@@ -1,0 +1,34 @@
+//! # `aes-vhdl` — AES-128 workloads for the evaluation (Section 6)
+//!
+//! The paper evaluates its Information Flow analysis on the NSA AES-128 test
+//! implementation, which is not publicly distributed.  This crate provides an
+//! equivalent workload:
+//!
+//! * [`reference`] — a from-scratch Rust AES-128 (FIPS-197) used as the
+//!   validation oracle;
+//! * [`vhdl`] — generators emitting VHDL1 source for SubBytes, ShiftRows
+//!   (the Figure 5 workload), MixColumns, AddRoundKey, a full round and the
+//!   complete ten-round cipher, in the style the paper describes: per-byte
+//!   resources, loops unrolled, constants propagated, and temporary variables
+//!   **reused across rows** — the property that separates the RD-based
+//!   analysis from Kemmerer's method.
+//!
+//! ```
+//! use aes_vhdl::vhdl::shift_rows_vhdl;
+//!
+//! let design = vhdl1_syntax::frontend(&shift_rows_vhdl())?;
+//! assert_eq!(design.processes.len(), 1);
+//! # Ok::<(), vhdl1_syntax::SyntaxError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reference;
+pub mod vhdl;
+
+pub use reference::{encrypt_block, hex_block, key_schedule, State, SBOX};
+pub use vhdl::{
+    add_round_key_vhdl, aes128_vhdl, aes_round_vhdl, byte_name, mix_columns_vhdl, shift_rows_vhdl,
+    sub_bytes_vhdl,
+};

@@ -1,0 +1,269 @@
+//! A from-scratch AES-128 reference implementation (FIPS-197).
+//!
+//! The reference model serves two purposes: it is the oracle against which
+//! the generated VHDL1 implementation is validated with the `vhdl1-sim`
+//! simulator, and its per-transformation functions (SubBytes, ShiftRows,
+//! MixColumns, AddRoundKey, the key schedule) are exposed so that each
+//! generated VHDL1 component can be checked in isolation.
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The round constants of the AES-128 key schedule.
+pub const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// The AES state: 16 bytes in column-major order (`state[r + 4*c]` is the
+/// byte in row `r`, column `c`), exactly as FIPS-197 lays out the block.
+pub type State = [u8; 16];
+
+/// Multiplication by `x` in GF(2^8) modulo the AES polynomial.
+pub fn xtime(b: u8) -> u8 {
+    let shifted = b << 1;
+    if b & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+/// GF(2^8) multiplication.
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// SubBytes: apply the S-box to every byte of the state.
+pub fn sub_bytes(state: &mut State) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// ShiftRows: rotate row `r` left by `r` positions.
+pub fn shift_rows(state: &mut State) {
+    let old = *state;
+    for r in 0..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+/// MixColumns: multiply each column by the fixed MDS matrix.
+pub fn mix_columns(state: &mut State) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[1 + 4 * c], state[2 + 4 * c], state[3 + 4 * c]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[1 + 4 * c] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[2 + 4 * c] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[3 + 4 * c] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+/// AddRoundKey: xor the round key into the state.
+pub fn add_round_key(state: &mut State, round_key: &State) {
+    for (s, k) in state.iter_mut().zip(round_key) {
+        *s ^= k;
+    }
+}
+
+/// The AES-128 key schedule: expands a 16-byte key into 11 round keys.
+///
+/// Round keys are returned in transmission (block) order — the concatenation
+/// of the words `w[4r] .. w[4r+3]` — so `keys[0]` equals the cipher key;
+/// convert with [`block_to_state`] before xoring into a [`State`].
+pub fn key_schedule(key: &[u8; 16]) -> [State; 11] {
+    // w[i] are 4-byte words, 44 of them.
+    let mut w = [[0u8; 4]; 44];
+    for (i, chunk) in key.chunks(4).enumerate() {
+        w[i].copy_from_slice(chunk);
+    }
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp.rotate_left(1);
+            for b in temp.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            temp[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ temp[j];
+        }
+    }
+    // Repack words into blocks: round key `round` is w[4*round] .. w[4*round+3].
+    let mut keys = [[0u8; 16]; 11];
+    for (round, key) in keys.iter_mut().enumerate() {
+        for c in 0..4 {
+            for r in 0..4 {
+                key[4 * c + r] = w[4 * round + c][r];
+            }
+        }
+    }
+    keys
+}
+
+/// Converts a 16-byte block (as transmitted) into the column-major [`State`].
+pub fn block_to_state(block: &[u8; 16]) -> State {
+    let mut state = [0u8; 16];
+    for c in 0..4 {
+        for r in 0..4 {
+            state[r + 4 * c] = block[4 * c + r];
+        }
+    }
+    state
+}
+
+/// Converts a column-major [`State`] back into a 16-byte block.
+pub fn state_to_block(state: &State) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    for c in 0..4 {
+        for r in 0..4 {
+            block[4 * c + r] = state[r + 4 * c];
+        }
+    }
+    block
+}
+
+/// Encrypts one 16-byte block with AES-128.
+pub fn encrypt_block(key: &[u8; 16], plaintext: &[u8; 16]) -> [u8; 16] {
+    let keys = key_schedule(key);
+    let round_keys: Vec<State> = keys.iter().map(block_to_state).collect();
+    let mut state = block_to_state(plaintext);
+    add_round_key(&mut state, &round_keys[0]);
+    for round in 1..10 {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, &round_keys[round]);
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &round_keys[10]);
+    state_to_block(&state)
+}
+
+/// Parses a 32-character hex string into 16 bytes (test helper).
+pub fn hex_block(s: &str) -> [u8; 16] {
+    assert_eq!(s.len(), 32, "hex block must be 32 characters");
+    let mut out = [0u8; 16];
+    for (i, byte) in out.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("valid hex");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = hex_block("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex_block("3243f6a8885a308d313198a2e0370734");
+        let ct = encrypt_block(&key, &pt);
+        assert_eq!(ct, hex_block("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key = hex_block("000102030405060708090a0b0c0d0e0f");
+        let pt = hex_block("00112233445566778899aabbccddeeff");
+        let ct = encrypt_block(&key, &pt);
+        assert_eq!(ct, hex_block("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn shift_rows_leaves_row_zero_and_rotates_others() {
+        // state[r + 4c]: fill with r*4 + c so rows are recognisable.
+        let mut state = [0u8; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                state[r + 4 * c] = (r * 4 + c) as u8;
+            }
+        }
+        shift_rows(&mut state);
+        for c in 0..4 {
+            assert_eq!(state[4 * c], c as u8, "row 0 unchanged");
+            assert_eq!(state[1 + 4 * c], (4 + (c + 1) % 4) as u8, "row 1 shifted by 1");
+            assert_eq!(state[2 + 4 * c], (8 + (c + 2) % 4) as u8, "row 2 shifted by 2");
+            assert_eq!(state[3 + 4 * c], (12 + (c + 3) % 4) as u8, "row 3 shifted by 3");
+        }
+    }
+
+    #[test]
+    fn mix_columns_known_column() {
+        // FIPS-197 / Wikipedia example column.
+        let mut state = [0u8; 16];
+        state[0] = 0xdb;
+        state[1] = 0x13;
+        state[2] = 0x53;
+        state[3] = 0x45;
+        mix_columns(&mut state);
+        assert_eq!(&state[0..4], &[0x8e, 0x4d, 0xa1, 0xbc]);
+    }
+
+    #[test]
+    fn gf_arithmetic() {
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(0x57, 0x02), xtime(0x57));
+        assert_eq!(gf_mul(0x01, 0xab), 0xab);
+    }
+
+    #[test]
+    fn key_schedule_first_and_last_round_keys() {
+        let key = hex_block("2b7e151628aed2a6abf7158809cf4f3c");
+        let keys = key_schedule(&key);
+        assert_eq!(keys[0], key);
+        // FIPS-197 appendix A.1: w[40..43] = d014f9a8 c9ee2589 e13f0cc8 b6630ca6
+        assert_eq!(keys[10], hex_block("d014f9a8c9ee2589e13f0cc8b6630ca6"));
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &b in SBOX.iter() {
+            assert!(!seen[b as usize], "duplicate S-box entry {b:#x}");
+            seen[b as usize] = true;
+        }
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x53], 0xed);
+    }
+
+    #[test]
+    fn block_state_roundtrip() {
+        let block = hex_block("000102030405060708090a0b0c0d0e0f");
+        assert_eq!(state_to_block(&block_to_state(&block)), block);
+        // Column-major layout: state[1] is the second byte of the first column.
+        assert_eq!(block_to_state(&block)[1], 0x01);
+        assert_eq!(block_to_state(&block)[4], 0x04);
+    }
+}

@@ -1,0 +1,481 @@
+//! Generators for VHDL1 implementations of the AES-128 transformations.
+//!
+//! The NSA test implementation evaluated in the paper is not distributed, so
+//! these generators produce an equivalent VHDL1 code base with the property
+//! the evaluation hinges on: the state is held in per-byte resources named
+//! `a_<row>_<col>` / `s_<i>`, and the transformations route values through a
+//! small set of **temporary variables that are reused across rows and
+//! columns** (Section 6: "The values flow through temporary variables, which
+//! are used for all three rows"), loops unrolled and constants propagated.
+//!
+//! Every generator returns plain VHDL1 source text; feed it to
+//! [`vhdl1_syntax::frontend`] for analysis or to `vhdl1_sim` for validation
+//! against the reference model in [`crate::reference`].
+
+use crate::reference::{RCON, SBOX};
+use std::fmt::Write as _;
+
+/// Formats a byte as an 8-bit VHDL vector literal.
+pub fn bin8(v: u8) -> String {
+    format!("\"{v:08b}\"")
+}
+
+/// The port/resource name of state byte in row `r`, column `c` with the given
+/// prefix (`a_1_2` style, matching the node names of Figure 5).
+pub fn byte_name(prefix: &str, row: usize, col: usize) -> String {
+    format!("{prefix}_{row}_{col}")
+}
+
+fn emit_sbox_chain(out: &mut String, indent: &str, input: &str, output: &str) {
+    for (i, &s) in SBOX.iter().enumerate() {
+        let kw = if i == 0 { "if" } else { "elsif" };
+        let _ = writeln!(out, "{indent}{kw} {input} = {} then", bin8(i as u8));
+        let _ = writeln!(out, "{indent}  {output} := {};", bin8(s));
+    }
+    let _ = writeln!(out, "{indent}end if;");
+}
+
+fn port_list(prefix: &str, dir: &str) -> String {
+    let mut names = Vec::new();
+    for r in 0..4 {
+        for c in 0..4 {
+            names.push(byte_name(prefix, r, c));
+        }
+    }
+    format!("{} : {dir} std_logic_vector(7 downto 0)", names.join(", "))
+}
+
+/// The ShiftRows workload of Figure 5: row 0 is copied unchanged, rows 1–3
+/// are rotated left by 1, 2 and 3 positions, all through the same four
+/// temporary variables.
+pub fn shift_rows_vhdl() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "entity shift_rows is");
+    let _ = writeln!(out, "  port(");
+    let _ = writeln!(out, "    {};", port_list("a", "in"));
+    let _ = writeln!(out, "    {}", port_list("b", "out"));
+    let _ = writeln!(out, "  );");
+    let _ = writeln!(out, "end shift_rows;");
+    let _ = writeln!(out, "architecture rtl of shift_rows is");
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out, "  shifter : process");
+    for t in 0..4 {
+        let _ = writeln!(out, "    variable temp_{t} : std_logic_vector(7 downto 0);");
+    }
+    let _ = writeln!(out, "  begin");
+    // Row 0 passes through untouched (the paper presents only rows 1-3).
+    for c in 0..4 {
+        let _ = writeln!(out, "    {} <= {};", byte_name("b", 0, c), byte_name("a", 0, c));
+    }
+    // Rows 1-3: load the row into the shared temporaries, then emit rotated.
+    for row in 1..4 {
+        for c in 0..4 {
+            let _ = writeln!(out, "    temp_{c} := {};", byte_name("a", row, c));
+        }
+        for c in 0..4 {
+            let src = (c + row) % 4;
+            let _ = writeln!(out, "    {} <= temp_{src};", byte_name("b", row, c));
+        }
+    }
+    let wait_on: Vec<String> =
+        (0..4).flat_map(|r| (0..4).map(move |c| byte_name("a", r, c))).collect();
+    let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
+    let _ = writeln!(out, "  end process shifter;");
+    let _ = writeln!(out, "end rtl;");
+    out
+}
+
+/// AddRoundKey over `nbytes` state bytes: `b_i <= a_i xor k_i`, routed
+/// through one shared temporary.
+pub fn add_round_key_vhdl(nbytes: usize) -> String {
+    let mut out = String::new();
+    let names = |p: &str| (0..nbytes).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(out, "entity add_round_key is");
+    let _ = writeln!(out, "  port(");
+    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("a"));
+    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("k"));
+    let _ = writeln!(out, "    {} : out std_logic_vector(7 downto 0)", names("b"));
+    let _ = writeln!(out, "  );");
+    let _ = writeln!(out, "end add_round_key;");
+    let _ = writeln!(out, "architecture rtl of add_round_key is");
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out, "  ark : process");
+    let _ = writeln!(out, "    variable temp : std_logic_vector(7 downto 0);");
+    let _ = writeln!(out, "  begin");
+    for i in 0..nbytes {
+        let _ = writeln!(out, "    temp := a_{i} xor k_{i};");
+        let _ = writeln!(out, "    b_{i} <= temp;");
+    }
+    let wait_on: Vec<String> =
+        (0..nbytes).flat_map(|i| [format!("a_{i}"), format!("k_{i}")]).collect();
+    let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
+    let _ = writeln!(out, "  end process ark;");
+    let _ = writeln!(out, "end rtl;");
+    out
+}
+
+/// SubBytes over `nbytes` state bytes, each through the full 256-entry S-box
+/// lookup chain and a shared temporary variable.
+pub fn sub_bytes_vhdl(nbytes: usize) -> String {
+    let mut out = String::new();
+    let names = |p: &str| (0..nbytes).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(out, "entity sub_bytes is");
+    let _ = writeln!(out, "  port(");
+    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("a"));
+    let _ = writeln!(out, "    {} : out std_logic_vector(7 downto 0)", names("b"));
+    let _ = writeln!(out, "  );");
+    let _ = writeln!(out, "end sub_bytes;");
+    let _ = writeln!(out, "architecture rtl of sub_bytes is");
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out, "  subber : process");
+    let _ = writeln!(out, "    variable temp : std_logic_vector(7 downto 0);");
+    let _ = writeln!(out, "  begin");
+    for i in 0..nbytes {
+        emit_sbox_chain(&mut out, "    ", &format!("a_{i}"), "temp");
+        let _ = writeln!(out, "    b_{i} <= temp;");
+    }
+    let wait_on: Vec<String> = (0..nbytes).map(|i| format!("a_{i}")).collect();
+    let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
+    let _ = writeln!(out, "  end process subber;");
+    let _ = writeln!(out, "end rtl;");
+    out
+}
+
+fn emit_xtime(out: &mut String, indent: &str, src: &str, dst: &str) {
+    let _ = writeln!(out, "{indent}{dst} := {src}(6 downto 0) & '0';");
+    let _ = writeln!(out, "{indent}if {src}(7 downto 7) = '1' then");
+    let _ = writeln!(out, "{indent}  {dst} := {dst} xor \"00011011\";");
+    let _ = writeln!(out, "{indent}end if;");
+}
+
+/// MixColumns over the full 16-byte state (`a_0 .. a_15` in block order),
+/// column by column through shared temporaries.
+pub fn mix_columns_vhdl() -> String {
+    let mut out = String::new();
+    let names = |p: &str| (0..16).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(out, "entity mix_columns is");
+    let _ = writeln!(out, "  port(");
+    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("a"));
+    let _ = writeln!(out, "    {} : out std_logic_vector(7 downto 0)", names("b"));
+    let _ = writeln!(out, "  );");
+    let _ = writeln!(out, "end mix_columns;");
+    let _ = writeln!(out, "architecture rtl of mix_columns is");
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out, "  mixer : process");
+    for v in ["c_0", "c_1", "c_2", "c_3", "x_0", "x_1", "x_2", "x_3", "acc"] {
+        let _ = writeln!(out, "    variable {v} : std_logic_vector(7 downto 0);");
+    }
+    let _ = writeln!(out, "  begin");
+    for col in 0..4 {
+        for r in 0..4 {
+            let _ = writeln!(out, "    c_{r} := a_{};", 4 * col + r);
+        }
+        for r in 0..4 {
+            emit_xtime(&mut out, "    ", &format!("c_{r}"), &format!("x_{r}"));
+        }
+        // Row formulas of the MDS matrix: 2 3 1 1 / 1 2 3 1 / 1 1 2 3 / 3 1 1 2.
+        let formulas = [
+            "x_0 xor (x_1 xor c_1) xor c_2 xor c_3",
+            "c_0 xor x_1 xor (x_2 xor c_2) xor c_3",
+            "c_0 xor c_1 xor x_2 xor (x_3 xor c_3)",
+            "(x_0 xor c_0) xor c_1 xor c_2 xor x_3",
+        ];
+        for (r, f) in formulas.iter().enumerate() {
+            let _ = writeln!(out, "    acc := {f};");
+            let _ = writeln!(out, "    b_{} <= acc;", 4 * col + r);
+        }
+    }
+    let wait_on: Vec<String> = (0..16).map(|i| format!("a_{i}")).collect();
+    let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
+    let _ = writeln!(out, "  end process mixer;");
+    let _ = writeln!(out, "end rtl;");
+    out
+}
+
+/// One full AES round (SubBytes, ShiftRows, MixColumns, AddRoundKey) over the
+/// 16-byte state in block order, fully unrolled.
+pub fn aes_round_vhdl() -> String {
+    let mut out = String::new();
+    let names = |p: &str| (0..16).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(out, "entity aes_round is");
+    let _ = writeln!(out, "  port(");
+    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("a"));
+    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("k"));
+    let _ = writeln!(out, "    {} : out std_logic_vector(7 downto 0)", names("b"));
+    let _ = writeln!(out, "  );");
+    let _ = writeln!(out, "end aes_round;");
+    let _ = writeln!(out, "architecture rtl of aes_round is");
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out, "  round : process");
+    for i in 0..16 {
+        let _ = writeln!(out, "    variable s_{i} : std_logic_vector(7 downto 0);");
+    }
+    for v in ["temp", "t_0", "t_1", "t_2", "t_3", "x_0", "x_1", "x_2", "x_3"] {
+        let _ = writeln!(out, "    variable {v} : std_logic_vector(7 downto 0);");
+    }
+    let _ = writeln!(out, "  begin");
+    // SubBytes straight from the inputs.
+    for i in 0..16 {
+        emit_sbox_chain(&mut out, "    ", &format!("a_{i}"), "temp");
+        let _ = writeln!(out, "    s_{i} := temp;");
+    }
+    emit_round_tail(&mut out, true);
+    for i in 0..16 {
+        let _ = writeln!(out, "    s_{i} := s_{i} xor k_{i};");
+        let _ = writeln!(out, "    b_{i} <= s_{i};");
+    }
+    let wait_on: Vec<String> =
+        (0..16).flat_map(|i| [format!("a_{i}"), format!("k_{i}")]).collect();
+    let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
+    let _ = writeln!(out, "  end process round;");
+    let _ = writeln!(out, "end rtl;");
+    out
+}
+
+/// Emits ShiftRows (+ MixColumns when `mix` is set) over the byte variables
+/// `s_0 .. s_15`, using the temporaries `t_*` and `x_*`.
+fn emit_round_tail(out: &mut String, mix: bool) {
+    // ShiftRows: row r of the state lives at s_{r}, s_{r+4}, s_{r+8}, s_{r+12}.
+    for row in 1..4 {
+        for c in 0..4 {
+            let _ = writeln!(out, "    t_{c} := s_{};", 4 * c + row);
+        }
+        for c in 0..4 {
+            let src = (c + row) % 4;
+            let _ = writeln!(out, "    s_{} := t_{src};", 4 * c + row);
+        }
+    }
+    if mix {
+        for col in 0..4 {
+            for r in 0..4 {
+                let _ = writeln!(out, "    t_{r} := s_{};", 4 * col + r);
+            }
+            for r in 0..4 {
+                emit_xtime(out, "    ", &format!("t_{r}"), &format!("x_{r}"));
+            }
+            let formulas = [
+                "x_0 xor (x_1 xor t_1) xor t_2 xor t_3",
+                "t_0 xor x_1 xor (x_2 xor t_2) xor t_3",
+                "t_0 xor t_1 xor x_2 xor (x_3 xor t_3)",
+                "(x_0 xor t_0) xor t_1 xor t_2 xor x_3",
+            ];
+            for (r, f) in formulas.iter().enumerate() {
+                let _ = writeln!(out, "    s_{} := {f};", 4 * col + r);
+            }
+        }
+    }
+}
+
+/// The complete AES-128 encryption, fully unrolled (all ten rounds and the
+/// key schedule inline), over 16-byte-wide `pt`/`key` inputs exposed as
+/// per-byte ports in block order.
+pub fn aes128_vhdl() -> String {
+    let mut out = String::new();
+    let names = |p: &str| (0..16).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(out, "entity aes128 is");
+    let _ = writeln!(out, "  port(");
+    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("pt"));
+    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("key"));
+    let _ = writeln!(out, "    {} : out std_logic_vector(7 downto 0)", names("ct"));
+    let _ = writeln!(out, "  );");
+    let _ = writeln!(out, "end aes128;");
+    let _ = writeln!(out, "architecture rtl of aes128 is");
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out, "  cipher : process");
+    for i in 0..16 {
+        let _ = writeln!(out, "    variable s_{i} : std_logic_vector(7 downto 0);");
+        let _ = writeln!(out, "    variable rk_{i} : std_logic_vector(7 downto 0);");
+    }
+    for v in ["temp", "t_0", "t_1", "t_2", "t_3", "x_0", "x_1", "x_2", "x_3", "g_0", "g_1", "g_2", "g_3"] {
+        let _ = writeln!(out, "    variable {v} : std_logic_vector(7 downto 0);");
+    }
+    let _ = writeln!(out, "  begin");
+    // Load state and initial round key.
+    for i in 0..16 {
+        let _ = writeln!(out, "    rk_{i} := key_{i};");
+        let _ = writeln!(out, "    s_{i} := pt_{i} xor rk_{i};");
+    }
+    for round in 1..=10 {
+        // SubBytes.
+        for i in 0..16 {
+            emit_sbox_chain(&mut out, "    ", &format!("s_{i}"), "temp");
+            let _ = writeln!(out, "    s_{i} := temp;");
+        }
+        // ShiftRows (+ MixColumns except in the last round).
+        emit_round_tail(&mut out, round != 10);
+        // Key schedule: rk <- next round key.  The g function uses the last
+        // word rk_12..rk_15 rotated by one byte.
+        for (j, src) in [13usize, 14, 15, 12].iter().enumerate() {
+            emit_sbox_chain(&mut out, "    ", &format!("rk_{src}"), "temp");
+            let _ = writeln!(out, "    g_{j} := temp;");
+        }
+        let _ = writeln!(out, "    g_0 := g_0 xor {};", bin8(RCON[round - 1]));
+        for word in 0..4 {
+            for j in 0..4 {
+                let idx = 4 * word + j;
+                if word == 0 {
+                    let _ = writeln!(out, "    rk_{idx} := rk_{idx} xor g_{j};");
+                } else {
+                    let _ = writeln!(out, "    rk_{idx} := rk_{idx} xor rk_{};", 4 * (word - 1) + j);
+                }
+            }
+        }
+        // AddRoundKey.
+        for i in 0..16 {
+            let _ = writeln!(out, "    s_{i} := s_{i} xor rk_{i};");
+        }
+    }
+    for i in 0..16 {
+        let _ = writeln!(out, "    ct_{i} <= s_{i};");
+    }
+    let wait_on: Vec<String> =
+        (0..16).flat_map(|i| [format!("pt_{i}"), format!("key_{i}")]).collect();
+    let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
+    let _ = writeln!(out, "  end process cipher;");
+    let _ = writeln!(out, "end rtl;");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use vhdl1_sim::{Simulator, Value};
+    use vhdl1_syntax::frontend;
+
+    fn drive_bytes(sim: &mut Simulator, prefix: &str, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            sim.drive_input_unsigned(&format!("{prefix}_{i}"), *b as u128).unwrap();
+        }
+    }
+
+    fn read_bytes(sim: &Simulator, prefix: &str, n: usize) -> Vec<u8> {
+        (0..n)
+            .map(|i| sim.signal(&format!("{prefix}_{i}")).unwrap().to_unsigned().unwrap() as u8)
+            .collect()
+    }
+
+    #[test]
+    fn shift_rows_vhdl_matches_reference() {
+        let design = frontend(&shift_rows_vhdl()).unwrap();
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.run_until_quiescent(50).unwrap();
+        // Drive a recognisable state: byte (r, c) = 16*r + c.
+        let mut state = [0u8; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                let v = (16 * r + c) as u8;
+                state[r + 4 * c] = v;
+                sim.drive_input(&byte_name("a", r, c), Value::from_unsigned(v as u128, 8))
+                    .unwrap();
+            }
+        }
+        sim.run_until_quiescent(50).unwrap();
+        let mut expected = state;
+        reference::shift_rows(&mut expected);
+        for r in 0..4 {
+            for c in 0..4 {
+                let got = sim
+                    .signal(&byte_name("b", r, c))
+                    .unwrap()
+                    .to_unsigned()
+                    .unwrap() as u8;
+                assert_eq!(got, expected[r + 4 * c], "mismatch at row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_round_key_vhdl_matches_reference() {
+        let design = frontend(&add_round_key_vhdl(8)).unwrap();
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.run_until_quiescent(50).unwrap();
+        let a: Vec<u8> = (0..8).map(|i| (i * 37 + 11) as u8).collect();
+        let k: Vec<u8> = (0..8).map(|i| (i * 91 + 5) as u8).collect();
+        drive_bytes(&mut sim, "a", &a);
+        drive_bytes(&mut sim, "k", &k);
+        sim.run_until_quiescent(50).unwrap();
+        let out = read_bytes(&sim, "b", 8);
+        for i in 0..8 {
+            assert_eq!(out[i], a[i] ^ k[i]);
+        }
+    }
+
+    #[test]
+    fn sub_bytes_vhdl_matches_sbox() {
+        let design = frontend(&sub_bytes_vhdl(2)).unwrap();
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.run_until_quiescent(50).unwrap();
+        for probe in [0x00u8, 0x53, 0xff, 0x10] {
+            drive_bytes(&mut sim, "a", &[probe, probe.wrapping_add(1)]);
+            sim.run_until_quiescent(50).unwrap();
+            let out = read_bytes(&sim, "b", 2);
+            assert_eq!(out[0], reference::SBOX[probe as usize]);
+            assert_eq!(out[1], reference::SBOX[probe.wrapping_add(1) as usize]);
+        }
+    }
+
+    #[test]
+    fn mix_columns_vhdl_matches_reference() {
+        let design = frontend(&mix_columns_vhdl()).unwrap();
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.run_until_quiescent(50).unwrap();
+        let mut state = [0u8; 16];
+        state[..4].copy_from_slice(&[0xdb, 0x13, 0x53, 0x45]);
+        state[4..8].copy_from_slice(&[0xf2, 0x0a, 0x22, 0x5c]);
+        state[8..12].copy_from_slice(&[0x01, 0x01, 0x01, 0x01]);
+        state[12..16].copy_from_slice(&[0xc6, 0xc6, 0xc6, 0xc6]);
+        drive_bytes(&mut sim, "a", &state);
+        sim.run_until_quiescent(50).unwrap();
+        let mut expected = state;
+        reference::mix_columns(&mut expected);
+        assert_eq!(read_bytes(&sim, "b", 16), expected.to_vec());
+    }
+
+    #[test]
+    fn aes_round_vhdl_matches_reference() {
+        let design = frontend(&aes_round_vhdl()).unwrap();
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.run_until_quiescent(50).unwrap();
+        let state: Vec<u8> = (0..16).map(|i| (i * 17 + 3) as u8).collect();
+        let key: Vec<u8> = (0..16).map(|i| (255 - i * 13) as u8).collect();
+        drive_bytes(&mut sim, "a", &state);
+        drive_bytes(&mut sim, "k", &key);
+        sim.run_until_quiescent(50).unwrap();
+        // The VHDL state is in block order; the reference works column-major.
+        let mut expected = reference::block_to_state(&state.clone().try_into().unwrap());
+        reference::sub_bytes(&mut expected);
+        reference::shift_rows(&mut expected);
+        reference::mix_columns(&mut expected);
+        let key_state = reference::block_to_state(&key.clone().try_into().unwrap());
+        reference::add_round_key(&mut expected, &key_state);
+        let expected_block = reference::state_to_block(&expected);
+        assert_eq!(read_bytes(&sim, "b", 16), expected_block.to_vec());
+    }
+
+    #[test]
+    fn full_aes128_vhdl_matches_fips_vector() {
+        let design = frontend(&aes128_vhdl()).unwrap();
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.run_until_quiescent(50).unwrap();
+        let key = reference::hex_block("000102030405060708090a0b0c0d0e0f");
+        let pt = reference::hex_block("00112233445566778899aabbccddeeff");
+        drive_bytes(&mut sim, "pt", &pt);
+        drive_bytes(&mut sim, "key", &key);
+        sim.run_until_quiescent(50).unwrap();
+        let expected = reference::hex_block("69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(read_bytes(&sim, "ct", 16), expected.to_vec());
+    }
+
+    #[test]
+    fn generated_sources_have_expected_shape() {
+        let sr = shift_rows_vhdl();
+        assert!(sr.contains("entity shift_rows"));
+        assert!(sr.contains("temp_3"));
+        let sb = sub_bytes_vhdl(1);
+        // One S-box chain has 256 branches.
+        assert_eq!(sb.matches("elsif").count(), 255);
+        assert!(bin8(0x63) == "\"01100011\"");
+        assert_eq!(byte_name("a", 1, 2), "a_1_2");
+    }
+}

@@ -1,0 +1,612 @@
+//! # `alfp-solver` — a stratified Datalog / ALFP constraint solver
+//!
+//! The paper implements both its own analysis and Kemmerer's method in the
+//! *Succinct Solver*, a solver for Alternation-free Least Fixed Point logic
+//! (ALFP).  The Succinct Solver itself is not distributed, so this crate
+//! provides the substrate from scratch: a bottom-up, semi-naive Datalog
+//! engine with stratified negation, which computes the same least models for
+//! the clause systems the analyses generate (see `vhdl1-infoflow`'s
+//! `alfp_encoding` module for the encodings and the cross-check tests).
+//!
+//! ```
+//! use alfp_solver::{Program, Term};
+//!
+//! let mut p = Program::new();
+//! // edge facts
+//! p.fact("edge", vec![Term::cst("a"), Term::cst("b")]);
+//! p.fact("edge", vec![Term::cst("b"), Term::cst("c")]);
+//! // path(X, Y) :- edge(X, Y).
+//! // path(X, Z) :- path(X, Y), edge(Y, Z).
+//! p.rule("path", vec![Term::var("X"), Term::var("Y")])
+//!     .pos("edge", vec![Term::var("X"), Term::var("Y")])
+//!     .build();
+//! p.rule("path", vec![Term::var("X"), Term::var("Z")])
+//!     .pos("path", vec![Term::var("X"), Term::var("Y")])
+//!     .pos("edge", vec![Term::var("Y"), Term::var("Z")])
+//!     .build();
+//! let model = p.solve()?;
+//! assert!(model.contains("path", &["a", "c"]));
+//! assert_eq!(model.relation("path").len(), 3);
+//! # Ok::<(), alfp_solver::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A term of a clause: either a constant symbol or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A constant symbol.
+    Const(String),
+    /// A clause variable (universally quantified over the clause).
+    Var(String),
+}
+
+impl Term {
+    /// Creates a constant term.
+    pub fn cst(s: impl Into<String>) -> Term {
+        Term::Const(s.into())
+    }
+
+    /// Creates a variable term.
+    pub fn var(s: impl Into<String>) -> Term {
+        Term::Var(s.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+/// A literal in a rule body: a possibly negated atom.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Literal {
+    /// Predicate name.
+    pub predicate: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+    /// Whether the literal is negated.
+    pub negated: bool,
+}
+
+/// A Horn-style rule `head :- body` (facts are rules with an empty body).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Predicate of the head atom.
+    pub head_predicate: String,
+    /// Argument terms of the head atom.
+    pub head_args: Vec<Term>,
+    /// Body literals (conjunction).
+    pub body: Vec<Literal>,
+}
+
+/// Errors reported by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// A variable occurs in the head or in a negated literal without being
+    /// bound by a positive body literal (the usual safety condition).
+    UnsafeRule {
+        /// The offending variable.
+        variable: String,
+        /// Predicate of the rule head.
+        head: String,
+    },
+    /// The program is not stratifiable: a predicate depends negatively on
+    /// itself through a cycle.
+    NotStratifiable {
+        /// A predicate on the offending negative cycle.
+        predicate: String,
+    },
+    /// A predicate is used with inconsistent arities.
+    ArityMismatch {
+        /// The predicate.
+        predicate: String,
+        /// First arity seen.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::UnsafeRule { variable, head } => {
+                write!(f, "unsafe rule for `{head}`: variable `{variable}` is not bound by a positive literal")
+            }
+            SolveError::NotStratifiable { predicate } => {
+                write!(f, "program is not stratifiable: `{predicate}` depends negatively on itself")
+            }
+            SolveError::ArityMismatch { predicate, expected, found } => {
+                write!(f, "predicate `{predicate}` used with arity {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A tuple of constant symbols.
+pub type Tuple = Vec<String>;
+
+/// The least model of a program: one relation (set of tuples) per predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Model {
+    relations: BTreeMap<String, BTreeSet<Tuple>>,
+}
+
+impl Model {
+    /// The tuples of a predicate (empty if the predicate never appears).
+    pub fn relation(&self, predicate: &str) -> BTreeSet<Tuple> {
+        self.relations.get(predicate).cloned().unwrap_or_default()
+    }
+
+    /// Whether the model contains the given ground atom.
+    pub fn contains(&self, predicate: &str, args: &[&str]) -> bool {
+        self.relations
+            .get(predicate)
+            .map(|r| r.contains(&args.iter().map(|s| s.to_string()).collect::<Tuple>()))
+            .unwrap_or(false)
+    }
+
+    /// Names of all predicates with at least one tuple.
+    pub fn predicates(&self) -> impl Iterator<Item = &String> {
+        self.relations.keys()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+}
+
+/// A Datalog/ALFP clause program.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a ground fact.  Non-constant arguments are rejected at solve time
+    /// by the safety check.
+    pub fn fact(&mut self, predicate: impl Into<String>, args: Vec<Term>) -> &mut Self {
+        self.rules.push(Rule {
+            head_predicate: predicate.into(),
+            head_args: args,
+            body: Vec::new(),
+        });
+        self
+    }
+
+    /// Starts building a rule with the given head.
+    pub fn rule(&mut self, predicate: impl Into<String>, args: Vec<Term>) -> RuleBuilder<'_> {
+        RuleBuilder {
+            program: self,
+            rule: Rule { head_predicate: predicate.into(), head_args: args, body: Vec::new() },
+        }
+    }
+
+    /// Adds an already-constructed rule.
+    pub fn add_rule(&mut self, rule: Rule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The rules of the program.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules (including facts).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Computes the least model of the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] if a rule is unsafe, a predicate is used with
+    /// inconsistent arities, or the program cannot be stratified.
+    pub fn solve(&self) -> Result<Model, SolveError> {
+        self.check_arities()?;
+        self.check_safety()?;
+        let strata = self.stratify()?;
+
+        let mut model = Model::default();
+        for stratum in strata {
+            let rules: Vec<&Rule> =
+                self.rules.iter().filter(|r| stratum.contains(&r.head_predicate)).collect();
+            evaluate_stratum(&rules, &mut model);
+        }
+        Ok(model)
+    }
+
+    fn check_arities(&self) -> Result<(), SolveError> {
+        let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+        for rule in &self.rules {
+            let mut note = |pred: &str, n: usize| -> Result<(), SolveError> {
+                match arities.get(pred) {
+                    Some(&expected) if expected != n => Err(SolveError::ArityMismatch {
+                        predicate: pred.to_string(),
+                        expected,
+                        found: n,
+                    }),
+                    _ => {
+                        arities.insert(pred.to_string(), n);
+                        Ok(())
+                    }
+                }
+            };
+            note(&rule.head_predicate, rule.head_args.len())?;
+            for lit in &rule.body {
+                note(&lit.predicate, lit.args.len())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_safety(&self) -> Result<(), SolveError> {
+        for rule in &self.rules {
+            let mut bound: BTreeSet<&str> = BTreeSet::new();
+            for lit in rule.body.iter().filter(|l| !l.negated) {
+                for arg in &lit.args {
+                    if let Term::Var(v) = arg {
+                        bound.insert(v);
+                    }
+                }
+            }
+            let mut need: Vec<&str> = Vec::new();
+            for arg in &rule.head_args {
+                if let Term::Var(v) = arg {
+                    need.push(v);
+                }
+            }
+            for lit in rule.body.iter().filter(|l| l.negated) {
+                for arg in &lit.args {
+                    if let Term::Var(v) = arg {
+                        need.push(v);
+                    }
+                }
+            }
+            for v in need {
+                if !bound.contains(v) {
+                    return Err(SolveError::UnsafeRule {
+                        variable: v.to_string(),
+                        head: rule.head_predicate.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes a stratification: an ordered partition of the predicates such
+    /// that negation only refers to earlier strata.
+    fn stratify(&self) -> Result<Vec<BTreeSet<String>>, SolveError> {
+        let mut preds: BTreeSet<String> = BTreeSet::new();
+        for r in &self.rules {
+            preds.insert(r.head_predicate.clone());
+            for l in &r.body {
+                preds.insert(l.predicate.clone());
+            }
+        }
+        // stratum[p] computed by fixed-point: stratum(head) >= stratum(pos body),
+        // stratum(head) >= stratum(neg body) + 1.
+        let mut stratum: BTreeMap<String, usize> = preds.iter().map(|p| (p.clone(), 0)).collect();
+        let max_rounds = preds.len() + 1;
+        for round in 0..=max_rounds {
+            let mut changed = false;
+            for r in &self.rules {
+                let head = stratum[&r.head_predicate];
+                let mut need = head;
+                for l in &r.body {
+                    let s = stratum[&l.predicate];
+                    need = need.max(if l.negated { s + 1 } else { s });
+                }
+                if need > head {
+                    stratum.insert(r.head_predicate.clone(), need);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            if round == max_rounds {
+                // A stratum exceeding the number of predicates implies a
+                // negative cycle.
+                let worst = stratum.iter().max_by_key(|(_, s)| **s).map(|(p, _)| p.clone());
+                return Err(SolveError::NotStratifiable {
+                    predicate: worst.unwrap_or_default(),
+                });
+            }
+        }
+        if stratum.values().any(|&s| s > preds.len()) {
+            let worst = stratum.iter().max_by_key(|(_, s)| **s).map(|(p, _)| p.clone());
+            return Err(SolveError::NotStratifiable { predicate: worst.unwrap_or_default() });
+        }
+        let max = stratum.values().copied().max().unwrap_or(0);
+        let mut out: Vec<BTreeSet<String>> = vec![BTreeSet::new(); max + 1];
+        for (p, s) in stratum {
+            out[s].insert(p);
+        }
+        Ok(out.into_iter().filter(|s| !s.is_empty()).collect())
+    }
+}
+
+/// Builder for a single rule.
+#[derive(Debug)]
+pub struct RuleBuilder<'a> {
+    program: &'a mut Program,
+    rule: Rule,
+}
+
+impl RuleBuilder<'_> {
+    /// Adds a positive body literal.
+    pub fn pos(mut self, predicate: impl Into<String>, args: Vec<Term>) -> Self {
+        self.rule.body.push(Literal { predicate: predicate.into(), args, negated: false });
+        self
+    }
+
+    /// Adds a negated body literal.
+    pub fn neg(mut self, predicate: impl Into<String>, args: Vec<Term>) -> Self {
+        self.rule.body.push(Literal { predicate: predicate.into(), args, negated: true });
+        self
+    }
+
+    /// Finishes the rule and adds it to the program.
+    pub fn build(self) {
+        self.program.rules.push(self.rule);
+    }
+}
+
+type Bindings = BTreeMap<String, String>;
+
+fn evaluate_stratum(rules: &[&Rule], model: &mut Model) {
+    // Naive-to-seminaive bottom-up evaluation restricted to the stratum's
+    // rules; relations of earlier strata are already complete in `model`.
+    loop {
+        let mut new_tuples: Vec<(String, Tuple)> = Vec::new();
+        for rule in rules {
+            let mut bindings: Vec<Bindings> = vec![BTreeMap::new()];
+            for lit in &rule.body {
+                bindings = extend_bindings(&bindings, lit, model);
+                if bindings.is_empty() {
+                    break;
+                }
+            }
+            for b in &bindings {
+                let tuple: Option<Tuple> = rule
+                    .head_args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Some(c.clone()),
+                        Term::Var(v) => b.get(v).cloned(),
+                    })
+                    .collect();
+                if let Some(tuple) = tuple {
+                    let rel = model.relations.entry(rule.head_predicate.clone()).or_default();
+                    if !rel.contains(&tuple) {
+                        new_tuples.push((rule.head_predicate.clone(), tuple));
+                    }
+                }
+            }
+        }
+        if new_tuples.is_empty() {
+            return;
+        }
+        for (pred, tuple) in new_tuples {
+            model.relations.entry(pred).or_default().insert(tuple);
+        }
+    }
+}
+
+fn extend_bindings(current: &[Bindings], lit: &Literal, model: &Model) -> Vec<Bindings> {
+    let empty = BTreeSet::new();
+    let relation = model.relations.get(&lit.predicate).unwrap_or(&empty);
+    let mut out = Vec::new();
+    for binding in current {
+        if lit.negated {
+            // All variables are bound (safety); check membership.
+            let tuple: Option<Tuple> = lit
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Some(c.clone()),
+                    Term::Var(v) => binding.get(v).cloned(),
+                })
+                .collect();
+            match tuple {
+                Some(t) if !relation.contains(&t) => out.push(binding.clone()),
+                _ => {}
+            }
+        } else {
+            for tuple in relation {
+                if let Some(extended) = unify(binding, &lit.args, tuple) {
+                    out.push(extended);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn unify(binding: &Bindings, args: &[Term], tuple: &[String]) -> Option<Bindings> {
+    if args.len() != tuple.len() {
+        return None;
+    }
+    let mut out = binding.clone();
+    for (arg, value) in args.iter().zip(tuple) {
+        match arg {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match out.get(v) {
+                Some(existing) if existing != value => return None,
+                Some(_) => {}
+                None => {
+                    out.insert(v.clone(), value.clone());
+                }
+            },
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_facts(p: &mut Program, edges: &[(&str, &str)]) {
+        for (a, b) in edges {
+            p.fact("edge", vec![Term::cst(*a), Term::cst(*b)]);
+        }
+    }
+
+    fn path_rules(p: &mut Program) {
+        p.rule("path", vec![Term::var("X"), Term::var("Y")])
+            .pos("edge", vec![Term::var("X"), Term::var("Y")])
+            .build();
+        p.rule("path", vec![Term::var("X"), Term::var("Z")])
+            .pos("path", vec![Term::var("X"), Term::var("Y")])
+            .pos("edge", vec![Term::var("Y"), Term::var("Z")])
+            .build();
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut p = Program::new();
+        edge_facts(&mut p, &[("a", "b"), ("b", "c"), ("c", "d")]);
+        path_rules(&mut p);
+        let m = p.solve().unwrap();
+        assert!(m.contains("path", &["a", "d"]));
+        assert_eq!(m.relation("path").len(), 6);
+        assert_eq!(m.relation("edge").len(), 3);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut p = Program::new();
+        edge_facts(&mut p, &[("a", "b"), ("b", "a")]);
+        path_rules(&mut p);
+        let m = p.solve().unwrap();
+        assert!(m.contains("path", &["a", "a"]));
+        assert_eq!(m.relation("path").len(), 4);
+    }
+
+    #[test]
+    fn constants_in_rule_heads_and_bodies() {
+        let mut p = Program::new();
+        edge_facts(&mut p, &[("a", "b"), ("b", "c")]);
+        p.rule("from_a", vec![Term::var("Y")])
+            .pos("edge", vec![Term::cst("a"), Term::var("Y")])
+            .build();
+        let m = p.solve().unwrap();
+        assert_eq!(m.relation("from_a"), BTreeSet::from([vec!["b".to_string()]]));
+    }
+
+    #[test]
+    fn stratified_negation() {
+        // unreachable(X) :- node(X), not path(a, X).
+        let mut p = Program::new();
+        edge_facts(&mut p, &[("a", "b"), ("c", "d")]);
+        path_rules(&mut p);
+        for n in ["a", "b", "c", "d"] {
+            p.fact("node", vec![Term::cst(n)]);
+        }
+        p.rule("unreachable", vec![Term::var("X")])
+            .pos("node", vec![Term::var("X")])
+            .neg("path", vec![Term::cst("a"), Term::var("X")])
+            .build();
+        let m = p.solve().unwrap();
+        assert!(m.contains("unreachable", &["c"]));
+        assert!(m.contains("unreachable", &["d"]));
+        assert!(m.contains("unreachable", &["a"])); // no self loop on a
+        assert!(!m.contains("unreachable", &["b"]));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let mut p = Program::new();
+        p.rule("bad", vec![Term::var("X")]).build();
+        assert!(matches!(p.solve(), Err(SolveError::UnsafeRule { .. })));
+
+        let mut p2 = Program::new();
+        p2.fact("node", vec![Term::cst("a")]);
+        p2.rule("bad", vec![Term::cst("a")])
+            .neg("node", vec![Term::var("Y")])
+            .build();
+        assert!(matches!(p2.solve(), Err(SolveError::UnsafeRule { .. })));
+    }
+
+    #[test]
+    fn non_stratifiable_program_rejected() {
+        // p(X) :- node(X), not q(X).  q(X) :- node(X), not p(X).
+        let mut p = Program::new();
+        p.fact("node", vec![Term::cst("a")]);
+        p.rule("p", vec![Term::var("X")])
+            .pos("node", vec![Term::var("X")])
+            .neg("q", vec![Term::var("X")])
+            .build();
+        p.rule("q", vec![Term::var("X")])
+            .pos("node", vec![Term::var("X")])
+            .neg("p", vec![Term::var("X")])
+            .build();
+        assert!(matches!(p.solve(), Err(SolveError::NotStratifiable { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut p = Program::new();
+        p.fact("r", vec![Term::cst("a")]);
+        p.fact("r", vec![Term::cst("a"), Term::cst("b")]);
+        assert!(matches!(p.solve(), Err(SolveError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_program_has_empty_model() {
+        let p = Program::new();
+        assert!(p.is_empty());
+        let m = p.solve().unwrap();
+        assert_eq!(m.tuple_count(), 0);
+    }
+
+    #[test]
+    fn model_queries() {
+        let mut p = Program::new();
+        edge_facts(&mut p, &[("a", "b")]);
+        let m = p.solve().unwrap();
+        assert_eq!(m.predicates().collect::<Vec<_>>(), vec!["edge"]);
+        assert!(!m.contains("missing", &["a"]));
+        assert_eq!(m.tuple_count(), 1);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Term::cst("a").to_string(), "a");
+        assert_eq!(Term::var("X").to_string(), "?X");
+        let e = SolveError::ArityMismatch { predicate: "p".into(), expected: 2, found: 3 };
+        assert!(e.to_string().contains("arity"));
+    }
+}

@@ -1,0 +1,56 @@
+//! SOLVER — Section 6: both analyses were implemented in the Succinct Solver.
+//! This bench runs the ALFP/Datalog encodings of the closure and of
+//! Kemmerer's method on the evaluation workloads, checks that the extracted
+//! graphs agree with the native implementation, and compares run times.
+
+use aes_vhdl::vhdl::shift_rows_vhdl;
+use bench::workloads::{design_of, temp_reuse_src};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vhdl1_infoflow::alfp_encoding::{encode_closure, encode_kemmerer, solve_closure};
+use vhdl1_infoflow::{analyze_with, AnalysisOptions};
+
+fn print_crosscheck() {
+    println!("== SOLVER: ALFP encoding vs native implementation ==");
+    for (name, src) in
+        [("temp_reuse(8)", temp_reuse_src(8)), ("aes_shift_rows", shift_rows_vhdl())]
+    {
+        let design = design_of(&src);
+        let result = analyze_with(&design, &AnalysisOptions::base());
+        let native = result.base_flow_graph();
+        let alfp = solve_closure(&result).expect("encoding is safe and stratified");
+        let agree = native.edges().all(|(f, t)| alfp.has_edge_nodes(f, t))
+            && alfp.edges().all(|(f, t)| native.has_edge_nodes(f, t));
+        let clauses = encode_closure(&result).len();
+        println!(
+            "  {:<16} clauses={:<6} native edges={:<5} alfp edges={:<5} graphs agree: {}",
+            name,
+            clauses,
+            native.edge_count(),
+            alfp.edge_count(),
+            agree
+        );
+    }
+    println!();
+}
+
+fn bench_alfp(c: &mut Criterion) {
+    print_crosscheck();
+    let design = design_of(&temp_reuse_src(8));
+    let result = analyze_with(&design, &AnalysisOptions::base());
+    let mut group = c.benchmark_group("alfp_solver");
+    group.sample_size(20);
+    group.bench_function("native_closure_temp_reuse_8", |b| {
+        b.iter(|| analyze_with(black_box(&design), &AnalysisOptions::base()).base_flow_graph())
+    });
+    group.bench_function("alfp_closure_temp_reuse_8", |b| {
+        b.iter(|| solve_closure(black_box(&result)).unwrap())
+    });
+    group.bench_function("alfp_kemmerer_temp_reuse_8", |b| {
+        b.iter(|| encode_kemmerer(black_box(&result)).solve().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alfp);
+criterion_main!(benches);

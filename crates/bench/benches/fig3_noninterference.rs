@@ -1,0 +1,57 @@
+//! FIG3 — Figure 3: non-transitive information-flow graphs for the
+//! illustration programs (a) `c := b; b := a` and (b) `b := a; c := b`,
+//! analysed exactly as the paper presents them (straight-line, base closure),
+//! and contrasted with Kemmerer's transitive closure.
+
+use bench::workloads::{design_of, program_a_src, program_b_src};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vhdl1_infoflow::{analyze_with, AnalysisOptions};
+
+fn sequential_base_options() -> AnalysisOptions {
+    let mut opts = AnalysisOptions::sequential_illustration();
+    opts.improved = false;
+    opts
+}
+
+fn print_figure3() {
+    println!("== FIG3: information-flow graphs for programs (a) and (b) ==");
+    for (name, src) in [("(a) c:=b; b:=a", program_a_src()), ("(b) b:=a; c:=b", program_b_src())]
+    {
+        let design = design_of(&src);
+        let result = analyze_with(&design, &sequential_base_options());
+        let ours = result.base_flow_graph();
+        let kemmerer = result.kemmerer_flow_graph();
+        let fmt = |g: &vhdl1_infoflow::FlowGraph| {
+            let mut edges: Vec<String> =
+                g.edges().map(|(f, t)| format!("{f}->{t}")).collect();
+            edges.sort();
+            edges.join(", ")
+        };
+        println!("program {name}");
+        println!("  this paper : {{{}}}   transitive: {}", fmt(&ours), ours.is_transitive());
+        println!("  kemmerer   : {{{}}}   transitive: {}", fmt(&kemmerer), kemmerer.is_transitive());
+    }
+    println!();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    print_figure3();
+    let design_a = design_of(&program_a_src());
+    let design_b = design_of(&program_b_src());
+    let opts = sequential_base_options();
+    let mut group = c.benchmark_group("fig3");
+    group.bench_function("analyze_program_a", |b| {
+        b.iter(|| analyze_with(black_box(&design_a), &opts).base_flow_graph())
+    });
+    group.bench_function("analyze_program_b", |b| {
+        b.iter(|| analyze_with(black_box(&design_b), &opts).base_flow_graph())
+    });
+    group.bench_function("kemmerer_program_a", |b| {
+        b.iter(|| vhdl1_infoflow::kemmerer_graph(black_box(&design_a)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! FIG5 — Figure 5: Kemmerer's method versus the RD-based analysis on the
+//! AES ShiftRows function.  Reproduces the paper's qualitative result: the
+//! twelve shifted-row bytes form three separate rotation cycles under our
+//! analysis, while Kemmerer's method cannot separate the rows.
+
+use aes_vhdl::vhdl::shift_rows_vhdl;
+use bench::fig5::{shift_rows_graphs, ShiftRowsGraphs};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vhdl1_infoflow::{analyze_with, kemmerer_graph, AnalysisOptions};
+use vhdl1_syntax::frontend;
+
+fn print_figure5() {
+    let graphs = shift_rows_graphs();
+    println!("== FIG5: AES ShiftRows, 12 shifted-row bytes (in/out merged) ==");
+    println!(
+        "  this paper : {:>3} edges, cross-row edges {:>3}, rows separated: {}",
+        graphs.ours.edge_count(),
+        ShiftRowsGraphs::cross_row_edges(&graphs.ours),
+        ShiftRowsGraphs::rows_are_separated(&graphs.ours)
+    );
+    println!(
+        "  kemmerer   : {:>3} edges, cross-row edges {:>3}, rows separated: {}",
+        graphs.kemmerer.edge_count(),
+        ShiftRowsGraphs::cross_row_edges(&graphs.kemmerer),
+        ShiftRowsGraphs::rows_are_separated(&graphs.kemmerer)
+    );
+    println!(
+        "  full graphs: ours {} edges vs kemmerer {} edges",
+        graphs.ours_full_edges, graphs.kemmerer_full_edges
+    );
+    let mut edges: Vec<String> =
+        graphs.ours.edges().map(|(f, t)| format!("{f}->{t}")).collect();
+    edges.sort();
+    println!("  our per-row rotation edges: {}", edges.join(", "));
+    println!();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    print_figure5();
+    let design = frontend(&shift_rows_vhdl()).unwrap();
+    let mut group = c.benchmark_group("fig5_shiftrows");
+    group.bench_function("rd_based_analysis", |b| {
+        b.iter(|| analyze_with(black_box(&design), &AnalysisOptions::default()).flow_graph())
+    });
+    group.bench_function("kemmerer_baseline", |b| {
+        b.iter(|| kemmerer_graph(black_box(&design)))
+    });
+    group.bench_function("frontend_parse_elaborate", |b| {
+        let src = shift_rows_vhdl();
+        b.iter(|| frontend(black_box(&src)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

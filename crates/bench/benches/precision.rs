@@ -1,0 +1,57 @@
+//! PRECISION — Section 6: "our analysis correctly eliminates the edges
+//! introduced by the overwritten variables."  Reports edge counts of
+//! Kemmerer's method, the RD-based analysis, and the ablations of DESIGN.md
+//! (no under-approximation, no Table 7 specialisation) on temporary-reuse
+//! workloads and the AES components.
+
+use aes_vhdl::vhdl::{add_round_key_vhdl, mix_columns_vhdl, shift_rows_vhdl};
+use bench::metrics::precision_row;
+use bench::workloads::{design_of, temp_reuse_src};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vhdl1_dataflow::RdOptions;
+use vhdl1_infoflow::{analyze_with, AnalysisOptions};
+use vhdl1_syntax::frontend;
+
+fn print_table() {
+    println!("== PRECISION: edge counts per analysis variant ==");
+    let workloads: Vec<(String, String)> = vec![
+        ("temp_reuse(4)".into(), temp_reuse_src(4)),
+        ("temp_reuse(16)".into(), temp_reuse_src(16)),
+        ("aes_shift_rows".into(), shift_rows_vhdl()),
+        ("aes_add_round_key".into(), add_round_key_vhdl(16)),
+        ("aes_mix_columns".into(), mix_columns_vhdl()),
+    ];
+    for (name, src) in workloads {
+        let design = design_of(&src);
+        println!("  {}", precision_row(&name, &design).format());
+    }
+    println!();
+}
+
+fn bench_precision(c: &mut Criterion) {
+    print_table();
+    let design = design_of(&temp_reuse_src(16));
+    let mut group = c.benchmark_group("precision");
+    group.bench_function("ours_temp_reuse_16", |b| {
+        b.iter(|| analyze_with(black_box(&design), &AnalysisOptions::base()).base_flow_graph())
+    });
+    group.bench_function("ours_no_under_approx_temp_reuse_16", |b| {
+        let opts = AnalysisOptions {
+            rd: RdOptions { use_under_approximation: false, ..RdOptions::default() },
+            ..AnalysisOptions::base()
+        };
+        b.iter(|| analyze_with(black_box(&design), &opts).base_flow_graph())
+    });
+    group.bench_function("kemmerer_temp_reuse_16", |b| {
+        b.iter(|| vhdl1_infoflow::kemmerer_graph(black_box(&design)))
+    });
+    let shift = frontend(&shift_rows_vhdl()).unwrap();
+    group.bench_function("ours_shift_rows", |b| {
+        b.iter(|| analyze_with(black_box(&shift), &AnalysisOptions::base()).base_flow_graph())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_precision);
+criterion_main!(benches);

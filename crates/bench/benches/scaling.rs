@@ -1,0 +1,75 @@
+//! COMPLEX — Section 7: scaling of the implementation with program size.
+//! The paper reports a worst-case complexity of O(n^5) with a conjectured
+//! cubic bound and notes that the bit-vector frameworks behave linearly in
+//! practice.  This bench sweeps synthetic program families (assignment
+//! chains and process pipelines) and reports the measured analysis times.
+
+use bench::workloads::{chain_src, design_of, pipeline_src};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use vhdl1_dataflow::{RdOptions, ReachingDefinitions};
+use vhdl1_infoflow::{analyze_with, AnalysisOptions};
+
+fn print_series() {
+    println!("== COMPLEX: analysis time vs program size (single-shot timings) ==");
+    println!("  chain length sweep (1 process):");
+    for n in [10usize, 20, 40, 80, 160] {
+        let design = design_of(&chain_src(n));
+        let start = Instant::now();
+        let result = analyze_with(&design, &AnalysisOptions::base());
+        let elapsed = start.elapsed();
+        println!(
+            "    n={:<4} labels={:<5} edges={:<5} time={:?}",
+            n,
+            design.max_label(),
+            result.base_flow_graph().edge_count(),
+            elapsed
+        );
+    }
+    println!("  process pipeline sweep (8 statements per process):");
+    for procs in [1usize, 2, 4, 8] {
+        let design = design_of(&pipeline_src(procs, 8));
+        let start = Instant::now();
+        let result = analyze_with(&design, &AnalysisOptions::base());
+        let elapsed = start.elapsed();
+        println!(
+            "    processes={:<3} labels={:<5} edges={:<5} time={:?}",
+            procs,
+            design.max_label(),
+            result.base_flow_graph().edge_count(),
+            elapsed
+        );
+    }
+    println!();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    print_series();
+
+    let mut group = c.benchmark_group("scaling_chain");
+    group.sample_size(20);
+    for n in [10usize, 40, 160] {
+        let design = design_of(&chain_src(n));
+        group.bench_with_input(BenchmarkId::new("full_analysis", n), &design, |b, d| {
+            b.iter(|| analyze_with(black_box(d), &AnalysisOptions::base()).base_flow_graph())
+        });
+        group.bench_with_input(BenchmarkId::new("reaching_definitions", n), &design, |b, d| {
+            b.iter(|| ReachingDefinitions::compute(black_box(d), &RdOptions::default()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling_processes");
+    group.sample_size(20);
+    for procs in [2usize, 4, 8] {
+        let design = design_of(&pipeline_src(procs, 8));
+        group.bench_with_input(BenchmarkId::new("full_analysis", procs), &design, |b, d| {
+            b.iter(|| analyze_with(black_box(d), &AnalysisOptions::base()).base_flow_graph())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

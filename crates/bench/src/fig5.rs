@@ -1,0 +1,123 @@
+//! The Figure 5 experiment: Kemmerer's method versus the RD-based analysis
+//! on the AES ShiftRows function.
+//!
+//! The paper presents both graphs restricted to the twelve bytes of the three
+//! shifted rows, with incoming and outgoing nodes merged.  This module runs
+//! both analyses on the generated ShiftRows workload and produces the two
+//! merged, restricted graphs so that benches and tests can compare their
+//! structure: the RD-based analysis separates the rows into three disjoint
+//! rotation cycles, Kemmerer's method connects bytes across rows through the
+//! shared temporaries.
+
+use aes_vhdl::vhdl::shift_rows_vhdl;
+use vhdl1_infoflow::{analyze_with, AnalysisOptions, FlowGraph, Node};
+use vhdl1_syntax::frontend;
+
+/// The two graphs of Figure 5, already merged and restricted to the twelve
+/// shifted-row bytes.
+#[derive(Debug, Clone)]
+pub struct ShiftRowsGraphs {
+    /// Figure 5(b): the RD-based analysis of this paper.
+    pub ours: FlowGraph,
+    /// Figure 5(a): Kemmerer's flow-insensitive method.
+    pub kemmerer: FlowGraph,
+    /// Number of edges of the full (unrestricted, unmerged) graph of the base
+    /// RD-guided closure — comparable node set to Kemmerer's graph.
+    pub ours_full_edges: usize,
+    /// Number of edges of the full Kemmerer graph.
+    pub kemmerer_full_edges: usize,
+}
+
+/// The row index (0-3) encoded in a Figure 5 node name `a_<row>_<col>`, if
+/// the name has that shape (exactly `prefix_row_col` with numeric row and
+/// column — temporaries like `temp_1` do not qualify).
+pub fn row_of(name: &str) -> Option<usize> {
+    let parts: Vec<&str> = name.split('_').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let row: usize = parts[1].parse().ok()?;
+    let _col: usize = parts[2].parse().ok()?;
+    Some(row)
+}
+
+fn merge_ports(name: &str) -> String {
+    // Identify the `b_<r>_<c>` output port with its `a_<r>_<c>` input, as the
+    // paper does when it merges incoming and outgoing nodes.
+    match name.strip_prefix("b_") {
+        Some(rest) => format!("a_{rest}"),
+        None => name.to_string(),
+    }
+}
+
+fn restrict_to_shifted_rows(g: &FlowGraph) -> FlowGraph {
+    g.restrict(|n: &Node| matches!(row_of(n.name()), Some(r) if (1..=3).contains(&r)))
+}
+
+/// Runs both analyses on the ShiftRows workload and builds the Figure 5
+/// graphs.
+pub fn shift_rows_graphs() -> ShiftRowsGraphs {
+    let design = frontend(&shift_rows_vhdl()).expect("ShiftRows workload elaborates");
+    let result = analyze_with(&design, &AnalysisOptions::default());
+
+    let ours_full = result.flow_graph();
+    let ours_base = result.base_flow_graph();
+    let kemmerer_full = result.kemmerer_flow_graph();
+
+    let ours = restrict_to_shifted_rows(
+        &ours_full.merge_io_nodes().map_names(merge_ports),
+    );
+    let kemmerer = restrict_to_shifted_rows(
+        &kemmerer_full.merge_io_nodes().map_names(merge_ports),
+    );
+    ShiftRowsGraphs {
+        ours,
+        kemmerer,
+        ours_full_edges: ours_base.edge_count(),
+        kemmerer_full_edges: kemmerer_full.edge_count(),
+    }
+}
+
+impl ShiftRowsGraphs {
+    /// Whether a graph keeps the three rows separate: every edge connects two
+    /// bytes of the same row.
+    pub fn rows_are_separated(g: &FlowGraph) -> bool {
+        g.edges().all(|(f, t)| row_of(f.name()) == row_of(t.name()))
+    }
+
+    /// Number of edges connecting bytes of *different* rows (the false
+    /// positives of a flow-insensitive analysis).
+    pub fn cross_row_edges(g: &FlowGraph) -> usize {
+        g.edges().filter(|(f, t)| row_of(f.name()) != row_of(t.name())).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_parsing() {
+        assert_eq!(row_of("a_1_3"), Some(1));
+        assert_eq!(row_of("b_3_0"), Some(3));
+        assert_eq!(row_of("temp_2"), None);
+        assert_eq!(row_of("clk"), None);
+    }
+
+    #[test]
+    fn figure5_shapes() {
+        let graphs = shift_rows_graphs();
+        // Both restricted graphs have the twelve row-1..3 nodes.
+        assert_eq!(graphs.ours.node_count(), 12);
+        assert_eq!(graphs.kemmerer.node_count(), 12);
+        // Ours: three disjoint rotation cycles, one per row => 12 edges, all
+        // within a row.
+        assert!(ShiftRowsGraphs::rows_are_separated(&graphs.ours));
+        assert_eq!(graphs.ours.edge_count(), 12);
+        // Kemmerer: the shared temporaries connect the rows.
+        assert!(!ShiftRowsGraphs::rows_are_separated(&graphs.kemmerer));
+        assert!(ShiftRowsGraphs::cross_row_edges(&graphs.kemmerer) > 0);
+        assert!(graphs.kemmerer.edge_count() > graphs.ours.edge_count());
+        assert!(graphs.kemmerer_full_edges > graphs.ours_full_edges);
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared workload generators and measurement helpers for the benchmark
+//! harness (and for the cross-crate integration tests).
+//!
+//! Each module corresponds to one experiment of EXPERIMENTS.md; the Criterion
+//! benches in `benches/` print the paper-shaped result rows and measure the
+//! analysis run times on the same workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig5;
+pub mod metrics;
+pub mod workloads;
+
+pub use fig5::{row_of, shift_rows_graphs, ShiftRowsGraphs};
+pub use metrics::{precision_row, PrecisionRow};

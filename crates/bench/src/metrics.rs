@@ -1,0 +1,90 @@
+//! Precision metrics: edge counts of the competing analyses and of the
+//! ablations called out in DESIGN.md.
+
+use vhdl1_dataflow::RdOptions;
+use vhdl1_infoflow::{analyze_with, AnalysisOptions};
+use vhdl1_syntax::Design;
+
+/// Edge counts of one workload under every analysis variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecisionRow {
+    /// Workload name (for reporting).
+    pub workload: String,
+    /// Nodes of the design (variables + signals).
+    pub nodes: usize,
+    /// Edges reported by Kemmerer's method.
+    pub kemmerer_edges: usize,
+    /// Edges reported by the RD-based analysis (base closure, merged view).
+    pub ours_edges: usize,
+    /// Edges when the under-approximation `RD∩ϕ` is disabled.
+    pub no_under_approx_edges: usize,
+    /// Edges when the RD specialisation of Table 7 is disabled.
+    pub no_specialization_edges: usize,
+}
+
+impl PrecisionRow {
+    /// Edges Kemmerer reports beyond the RD-based analysis (the spurious
+    /// flows the paper's Section 6 talks about).
+    pub fn spurious_edges(&self) -> usize {
+        self.kemmerer_edges.saturating_sub(self.ours_edges)
+    }
+
+    /// Formats the row the way the benches print it.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<28} nodes={:<4} kemmerer={:<5} ours={:<5} ours(no RD∩)={:<5} ours(no Table7)={:<5} spurious={}",
+            self.workload,
+            self.nodes,
+            self.kemmerer_edges,
+            self.ours_edges,
+            self.no_under_approx_edges,
+            self.no_specialization_edges,
+            self.spurious_edges()
+        )
+    }
+}
+
+/// Runs every analysis variant on `design` and collects the edge counts.
+pub fn precision_row(workload: &str, design: &Design) -> PrecisionRow {
+    let base = AnalysisOptions::base();
+    let result = analyze_with(design, &base);
+    let ours = result.base_flow_graph();
+    let kemmerer = result.kemmerer_flow_graph();
+
+    let no_under = analyze_with(
+        design,
+        &AnalysisOptions {
+            rd: RdOptions { use_under_approximation: false, ..base.rd },
+            ..base
+        },
+    )
+    .base_flow_graph();
+    let no_spec =
+        analyze_with(design, &AnalysisOptions { specialize_rd: false, ..base }).base_flow_graph();
+
+    PrecisionRow {
+        workload: workload.to_string(),
+        nodes: design.resource_names().len(),
+        kemmerer_edges: kemmerer.edge_count(),
+        ours_edges: ours.edge_count(),
+        no_under_approx_edges: no_under.edge_count(),
+        no_specialization_edges: no_spec.edge_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{design_of, temp_reuse_src};
+
+    #[test]
+    fn ablations_are_never_more_precise_than_the_full_analysis() {
+        let design = design_of(&temp_reuse_src(4));
+        let row = precision_row("temp_reuse(4)", &design);
+        assert!(row.kemmerer_edges > row.ours_edges);
+        assert!(row.no_specialization_edges >= row.ours_edges);
+        assert!(row.no_under_approx_edges >= row.ours_edges);
+        assert!(row.spurious_edges() > 0);
+        assert!(row.format().contains("kemmerer="));
+    }
+}

@@ -1,0 +1,167 @@
+//! Workload generators: the paper's illustration programs, the AES
+//! components, and synthetic program families for the scaling study.
+
+use vhdl1_syntax::{frontend, Design};
+
+/// Program (a) of Section 5: `[c := b]^1; [b := a]^2`, wrapped in a single
+/// process over plain variables.
+pub fn program_a_src() -> String {
+    sequential_variables_src("c := b; b := a;")
+}
+
+/// Program (b) of Section 5: `[b := a]^1; [c := b]^2`.
+pub fn program_b_src() -> String {
+    sequential_variables_src("b := a; c := b;")
+}
+
+/// Wraps a body over the variables `a`, `b`, `c` in a single process.
+pub fn sequential_variables_src(body: &str) -> String {
+    format!(
+        "entity seq is port(clk : in std_logic); end seq;
+         architecture rtl of seq is begin
+           p : process
+             variable a : std_logic;
+             variable b : std_logic;
+             variable c : std_logic;
+           begin
+             {body}
+           end process p;
+         end rtl;"
+    )
+}
+
+/// A synthetic temporary-reuse workload: `groups` independent input/output
+/// pairs all routed through a single shared temporary variable.  The RD-based
+/// analysis keeps the pairs separate; Kemmerer's method conflates all of
+/// them (the shape of the Figure 5 comparison in miniature).
+pub fn temp_reuse_src(groups: usize) -> String {
+    let mut ports_in = Vec::new();
+    let mut ports_out = Vec::new();
+    let mut body = String::new();
+    for i in 0..groups {
+        ports_in.push(format!("in_{i}"));
+        ports_out.push(format!("out_{i}"));
+        body.push_str(&format!("    tmp := in_{i};\n    out_{i} <= tmp;\n"));
+    }
+    format!(
+        "entity temps is port(
+           {} : in std_logic_vector(7 downto 0);
+           {} : out std_logic_vector(7 downto 0)
+         ); end temps;
+         architecture rtl of temps is begin
+           p : process
+             variable tmp : std_logic_vector(7 downto 0);
+           begin
+{body}    wait on {};
+           end process p;
+         end rtl;",
+        ports_in.join(", "),
+        ports_out.join(", "),
+        ports_in.join(", "),
+    )
+}
+
+/// A chain of `n` variable assignments `v_1 := v_0; ... ; v_n := v_{n-1}`
+/// feeding an output signal — used for the scaling study over program size.
+pub fn chain_src(n: usize) -> String {
+    let mut decls = String::new();
+    let mut body = String::new();
+    for i in 0..=n {
+        decls.push_str(&format!("    variable v_{i} : std_logic_vector(7 downto 0);\n"));
+    }
+    body.push_str("    v_0 := inp;\n");
+    for i in 1..=n {
+        body.push_str(&format!("    v_{i} := v_{};\n", i - 1));
+    }
+    body.push_str(&format!("    outp <= v_{n};\n"));
+    format!(
+        "entity chain is port(inp : in std_logic_vector(7 downto 0);
+                              outp : out std_logic_vector(7 downto 0)); end chain;
+         architecture rtl of chain is begin
+           p : process
+{decls}  begin
+{body}    wait on inp;
+           end process p;
+         end rtl;"
+    )
+}
+
+/// A pipeline of `n_procs` processes, each forwarding its predecessor's
+/// signal through `stmts_per` local assignments — used for the scaling study
+/// over process/synchronisation counts.
+pub fn pipeline_src(n_procs: usize, stmts_per: usize) -> String {
+    let mut signals = String::new();
+    for i in 1..n_procs {
+        signals.push_str(&format!("  signal stage_{i} : std_logic_vector(7 downto 0);\n"));
+    }
+    let mut processes = String::new();
+    for p in 0..n_procs {
+        let input = if p == 0 { "inp".to_string() } else { format!("stage_{p}") };
+        let output = if p + 1 == n_procs { "outp".to_string() } else { format!("stage_{}", p + 1) };
+        let mut body = String::new();
+        body.push_str(&format!("      v_0 := {input};\n"));
+        for i in 1..stmts_per {
+            body.push_str(&format!("      v_{i} := v_{};\n", i - 1));
+        }
+        let last = stmts_per.saturating_sub(1);
+        body.push_str(&format!("      {output} <= v_{last};\n"));
+        let mut decls = String::new();
+        for i in 0..stmts_per {
+            decls.push_str(&format!("      variable v_{i} : std_logic_vector(7 downto 0);\n"));
+        }
+        processes.push_str(&format!(
+            "  stage_proc_{p} : process
+{decls}    begin
+{body}      wait on {input};
+    end process stage_proc_{p};\n"
+        ));
+    }
+    format!(
+        "entity pipeline is port(inp : in std_logic_vector(7 downto 0);
+                                 outp : out std_logic_vector(7 downto 0)); end pipeline;
+         architecture rtl of pipeline is
+{signals}         begin
+{processes}         end rtl;"
+    )
+}
+
+/// Parses and elaborates a generated source, panicking on errors (the
+/// generators are trusted).
+pub fn design_of(src: &str) -> Design {
+    frontend(src).unwrap_or_else(|e| panic!("generated workload does not elaborate: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn illustration_programs_elaborate() {
+        assert_eq!(design_of(&program_a_src()).processes.len(), 1);
+        assert_eq!(design_of(&program_b_src()).processes.len(), 1);
+    }
+
+    #[test]
+    fn temp_reuse_scales_with_groups() {
+        let d = design_of(&temp_reuse_src(3));
+        assert_eq!(d.input_signals().len(), 3);
+        assert_eq!(d.output_signals().len(), 3);
+        assert!(design_of(&temp_reuse_src(8)).max_label() > d.max_label());
+    }
+
+    #[test]
+    fn chain_label_count_grows_linearly() {
+        let d10 = design_of(&chain_src(10));
+        let d20 = design_of(&chain_src(20));
+        assert_eq!(d20.max_label() - d10.max_label(), 10);
+    }
+
+    #[test]
+    fn pipeline_has_one_wait_per_process() {
+        let d = design_of(&pipeline_src(4, 3));
+        assert_eq!(d.processes.len(), 4);
+        for p in 0..4 {
+            assert_eq!(d.wait_labels(p).len(), 1);
+        }
+    }
+}

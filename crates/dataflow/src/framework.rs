@@ -1,0 +1,269 @@
+//! A small monotone-framework solver for forward data-flow equation systems
+//! over powerset lattices, in the style of *Principles of Program Analysis*.
+//!
+//! Both Reaching Definitions analyses of the paper are instances: the
+//! over-approximation combines predecessor information by union, the
+//! under-approximation by the *dotted intersection* operator `⋂̇` of
+//! Section 4.1 (`⋂̇ ∅ = ∅`), which keeps the least solution of the equation
+//! system well-defined.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use vhdl1_syntax::Label;
+
+/// How information flowing from several predecessors is combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Combine {
+    /// May-analysis: union of predecessor exit sets.
+    Union,
+    /// Must-analysis: the dotted intersection `⋂̇` (`⋂̇ ∅ = ∅`).
+    IntersectDotted,
+}
+
+/// A forward data-flow equation system over a powerset of facts `F`.
+#[derive(Debug, Clone)]
+pub struct Equations<F> {
+    /// All labels of the system.
+    pub labels: Vec<Label>,
+    /// Predecessors of each label under the flow relation.
+    pub preds: BTreeMap<Label, Vec<Label>>,
+    /// How predecessor exits are combined into an entry value.
+    pub combine: Combine,
+    /// Extra facts (`ι`) unioned into the entry of selected labels.
+    pub iota: BTreeMap<Label, BTreeSet<F>>,
+    /// Entries forced to a fixed value regardless of predecessors (used for
+    /// the isolated-entry treatment of the under-approximation).
+    pub forced_entry: BTreeMap<Label, BTreeSet<F>>,
+    /// Kill set of each label.
+    pub kill: BTreeMap<Label, BTreeSet<F>>,
+    /// Gen set of each label.
+    pub gen: BTreeMap<Label, BTreeSet<F>>,
+}
+
+impl<F: Ord + Clone> Default for Equations<F> {
+    fn default() -> Self {
+        Equations {
+            labels: Vec::new(),
+            preds: BTreeMap::new(),
+            combine: Combine::Union,
+            iota: BTreeMap::new(),
+            forced_entry: BTreeMap::new(),
+            kill: BTreeMap::new(),
+            gen: BTreeMap::new(),
+        }
+    }
+}
+
+/// The least solution of an equation system: entry and exit set per label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Solution<F: Ord> {
+    /// Facts holding at the entry of each label.
+    pub entry: BTreeMap<Label, BTreeSet<F>>,
+    /// Facts holding at the exit of each label.
+    pub exit: BTreeMap<Label, BTreeSet<F>>,
+}
+
+impl<F: Ord + Clone> Solution<F> {
+    /// The entry set of `l` (empty if the label is unknown).
+    pub fn entry_of(&self, l: Label) -> BTreeSet<F> {
+        self.entry.get(&l).cloned().unwrap_or_default()
+    }
+
+    /// The exit set of `l` (empty if the label is unknown).
+    pub fn exit_of(&self, l: Label) -> BTreeSet<F> {
+        self.exit.get(&l).cloned().unwrap_or_default()
+    }
+}
+
+/// Computes the least solution of `eq` by worklist iteration from the empty
+/// assignment.  All transfer functions of the framework are monotone, so the
+/// iteration converges to the least fixed point.
+pub fn solve<F: Ord + Clone>(eq: &Equations<F>) -> Solution<F> {
+    let empty: BTreeSet<F> = BTreeSet::new();
+    let mut entry: BTreeMap<Label, BTreeSet<F>> =
+        eq.labels.iter().map(|l| (*l, BTreeSet::new())).collect();
+    let mut exit: BTreeMap<Label, BTreeSet<F>> =
+        eq.labels.iter().map(|l| (*l, BTreeSet::new())).collect();
+
+    // Successor map for worklist propagation.
+    let mut succs: BTreeMap<Label, Vec<Label>> = BTreeMap::new();
+    for (l, ps) in &eq.preds {
+        for p in ps {
+            succs.entry(*p).or_default().push(*l);
+        }
+    }
+
+    let mut worklist: VecDeque<Label> = eq.labels.iter().copied().collect();
+    let mut queued: BTreeSet<Label> = eq.labels.iter().copied().collect();
+
+    while let Some(l) = worklist.pop_front() {
+        queued.remove(&l);
+
+        let new_entry = if let Some(forced) = eq.forced_entry.get(&l) {
+            forced.clone()
+        } else {
+            let preds = eq.preds.get(&l).map(Vec::as_slice).unwrap_or(&[]);
+            let mut combined: BTreeSet<F> = match eq.combine {
+                Combine::Union => {
+                    let mut acc = BTreeSet::new();
+                    for p in preds {
+                        acc.extend(exit.get(p).unwrap_or(&empty).iter().cloned());
+                    }
+                    acc
+                }
+                Combine::IntersectDotted => {
+                    // ⋂̇ ∅ = ∅
+                    let mut iter = preds.iter();
+                    match iter.next() {
+                        None => BTreeSet::new(),
+                        Some(first) => {
+                            let mut acc = exit.get(first).cloned().unwrap_or_default();
+                            for p in iter {
+                                let other = exit.get(p).unwrap_or(&empty);
+                                acc = acc.intersection(other).cloned().collect();
+                            }
+                            acc
+                        }
+                    }
+                }
+            };
+            if let Some(iota) = eq.iota.get(&l) {
+                combined.extend(iota.iter().cloned());
+            }
+            combined
+        };
+
+        let kill = eq.kill.get(&l).unwrap_or(&empty);
+        let gen = eq.gen.get(&l).unwrap_or(&empty);
+        let mut new_exit: BTreeSet<F> =
+            new_entry.iter().filter(|f| !kill.contains(*f)).cloned().collect();
+        new_exit.extend(gen.iter().cloned());
+
+        let entry_changed = entry.get(&l) != Some(&new_entry);
+        let exit_changed = exit.get(&l) != Some(&new_exit);
+        if entry_changed {
+            entry.insert(l, new_entry);
+        }
+        if exit_changed {
+            exit.insert(l, new_exit);
+            for s in succs.get(&l).map(Vec::as_slice).unwrap_or(&[]) {
+                if queued.insert(*s) {
+                    worklist.push_back(*s);
+                }
+            }
+        }
+    }
+
+    Solution { entry, exit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_line(combine: Combine) -> Equations<&'static str> {
+        // 1 -> 2 -> 3 with a gen at each label.
+        Equations {
+            labels: vec![1, 2, 3],
+            preds: BTreeMap::from([(2, vec![1]), (3, vec![2])]),
+            combine,
+            iota: BTreeMap::new(),
+            forced_entry: BTreeMap::new(),
+            kill: BTreeMap::new(),
+            gen: BTreeMap::from([
+                (1, BTreeSet::from(["a"])),
+                (2, BTreeSet::from(["b"])),
+                (3, BTreeSet::from(["c"])),
+            ]),
+        }
+    }
+
+    #[test]
+    fn union_accumulates_along_flow() {
+        let sol = solve(&straight_line(Combine::Union));
+        assert_eq!(sol.entry_of(3), BTreeSet::from(["a", "b"]));
+        assert_eq!(sol.exit_of(3), BTreeSet::from(["a", "b", "c"]));
+    }
+
+    #[test]
+    fn kill_removes_facts() {
+        let mut eq = straight_line(Combine::Union);
+        eq.kill.insert(2, BTreeSet::from(["a"]));
+        let sol = solve(&eq);
+        assert_eq!(sol.entry_of(3), BTreeSet::from(["b"]));
+    }
+
+    #[test]
+    fn dotted_intersection_of_branches() {
+        // Diamond: 1 -> 2, 1 -> 3, {2,3} -> 4; gen "x" only on 2.
+        let eq = Equations {
+            labels: vec![1, 2, 3, 4],
+            preds: BTreeMap::from([(2, vec![1]), (3, vec![1]), (4, vec![2, 3])]),
+            combine: Combine::IntersectDotted,
+            iota: BTreeMap::new(),
+            forced_entry: BTreeMap::new(),
+            kill: BTreeMap::new(),
+            gen: BTreeMap::from([(2, BTreeSet::from(["x"])), (3, BTreeSet::from(["y"]))]),
+        };
+        let sol = solve(&eq);
+        assert_eq!(sol.entry_of(4), BTreeSet::new());
+        // If both branches generate the same fact it must survive.
+        let mut eq2 = eq.clone();
+        eq2.gen.insert(3, BTreeSet::from(["x"]));
+        let sol2 = solve(&eq2);
+        assert_eq!(sol2.entry_of(4), BTreeSet::from(["x"]));
+    }
+
+    #[test]
+    fn dotted_intersection_over_no_predecessors_is_empty() {
+        let eq: Equations<&str> = Equations {
+            labels: vec![1],
+            combine: Combine::IntersectDotted,
+            ..Default::default()
+        };
+        let sol = solve(&eq);
+        assert_eq!(sol.entry_of(1), BTreeSet::new());
+    }
+
+    #[test]
+    fn forced_entry_overrides_predecessors() {
+        let mut eq = straight_line(Combine::Union);
+        eq.forced_entry.insert(2, BTreeSet::from(["forced"]));
+        let sol = solve(&eq);
+        assert_eq!(sol.entry_of(2), BTreeSet::from(["forced"]));
+        assert_eq!(sol.entry_of(3), BTreeSet::from(["forced", "b"]));
+    }
+
+    #[test]
+    fn iota_adds_initial_facts() {
+        let mut eq = straight_line(Combine::Union);
+        eq.iota.insert(1, BTreeSet::from(["init"]));
+        let sol = solve(&eq);
+        assert!(sol.entry_of(1).contains("init"));
+        assert!(sol.entry_of(3).contains("init"));
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        // 1 -> 2 -> 1 cycle with gen at 2; union analysis must terminate and
+        // propagate around the cycle.
+        let eq = Equations {
+            labels: vec![1, 2],
+            preds: BTreeMap::from([(1, vec![2]), (2, vec![1])]),
+            combine: Combine::Union,
+            iota: BTreeMap::new(),
+            forced_entry: BTreeMap::new(),
+            kill: BTreeMap::new(),
+            gen: BTreeMap::from([(2, BTreeSet::from(["x"]))]),
+        };
+        let sol = solve(&eq);
+        assert!(sol.entry_of(1).contains("x"));
+    }
+
+    #[test]
+    fn unknown_label_queries_are_empty() {
+        let sol = solve(&straight_line(Combine::Union));
+        assert!(sol.entry_of(99).is_empty());
+        assert!(sol.exit_of(99).is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! Reaching Definitions analysis for local variables and **present** signal
+//! values (Table 5).
+//!
+//! The analysis is a whole-program forward may-analysis over pairs
+//! `(n, d)` where `n` is a variable or signal and `d` is either the label of
+//! the defining block or the special marker `?` for the initial value.
+//!
+//! * variable assignments kill every other definition of the same variable
+//!   (including `?`) and generate their own;
+//! * `wait` statements are where signals obtain new *present* values: they
+//!   generate `(s, l)` for every signal `s` that **may** be active in any
+//!   process participating in the synchronisation (using `RD∪ϕ`), and kill
+//!   previous present-value definitions of signals that **must** be active in
+//!   some participating process (using `RD∩ϕ`) — the cross-flow relation `cf`
+//!   determines which wait statements can synchronise.
+
+use crate::active::ActiveRd;
+use crate::cfg::{BlockKind, DesignCfg};
+use crate::crossflow::CrossFlow;
+use crate::framework::{solve, Combine, Equations, Solution};
+use crate::RdOptions;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use vhdl1_syntax::{Design, Ident, Label};
+
+/// Where a resource obtained its current value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Def {
+    /// The special marker `?`: the initial value of the resource.
+    Init,
+    /// The definition made by the block with this label.
+    At(Label),
+}
+
+impl std::fmt::Display for Def {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Def::Init => write!(f, "?"),
+            Def::At(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// A reaching definition of a variable or present signal value.
+pub type ResDef = (Ident, Def);
+
+/// Result of the Reaching Definitions analysis for local variables and
+/// present signal values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PresentRd {
+    /// Entry/exit sets per label (`RDcf_entry`, `RDcf_exit`).
+    pub solution: Solution<ResDef>,
+}
+
+impl PresentRd {
+    /// Definitions of `n` reaching the entry of `l`.
+    pub fn definitions_reaching(&self, l: Label, n: &str) -> BTreeSet<Def> {
+        self.solution
+            .entry_of(l)
+            .into_iter()
+            .filter(|(name, _)| name == n)
+            .map(|(_, d)| d)
+            .collect()
+    }
+
+    /// The full entry set at `l`.
+    pub fn entry_of(&self, l: Label) -> BTreeSet<ResDef> {
+        self.solution.entry_of(l)
+    }
+}
+
+/// Runs the Reaching Definitions analysis of Table 5.
+pub fn present_rd(
+    design: &Design,
+    cfg: &DesignCfg,
+    cross: &CrossFlow,
+    active: &ActiveRd,
+    options: &RdOptions,
+) -> PresentRd {
+    let mut eq: Equations<ResDef> = Equations { combine: Combine::Union, ..Default::default() };
+
+    for pcfg in &cfg.processes {
+        let pidx = pcfg.process;
+        let with_loop = options.process_repeats;
+        let own_wait_labels: Vec<Label> = pcfg.wait_labels();
+
+        for (l, block) in &pcfg.blocks {
+            eq.labels.push(*l);
+            eq.preds.insert(*l, pcfg.predecessors(*l, with_loop));
+
+            let (kill, gen) = match &block.kind {
+                BlockKind::VarAssign { target, .. } => {
+                    let mut kill: BTreeSet<ResDef> =
+                        BTreeSet::from([(target.name.clone(), Def::Init)]);
+                    for l2 in cfg.variable_assign_labels(pidx, &target.name) {
+                        kill.insert((target.name.clone(), Def::At(l2)));
+                    }
+                    let gen = BTreeSet::from([(target.name.clone(), Def::At(*l))]);
+                    (kill, gen)
+                }
+                BlockKind::Wait { .. } => {
+                    if !cross.is_nonempty() {
+                        // No synchronisation tuple exists.
+                        (BTreeSet::new(), BTreeSet::new())
+                    } else {
+                        // Signals that MAY be active in any participating
+                        // process: own wait entry plus every wait of every
+                        // other process (the union over cf distributes).
+                        let mut may_active: BTreeSet<Ident> = active.may_be_active_at(*l);
+                        for (_, lj) in cross.other_wait_labels(pidx) {
+                            may_active.extend(active.may_be_active_at(lj));
+                        }
+                        // Signals that MUST be active in some participating
+                        // process for every synchronisation tuple: own wait
+                        // entry, plus (per other process) the intersection
+                        // over that process's wait labels.
+                        let mut must_active: BTreeSet<Ident> = active.must_be_active_at(*l);
+                        for (j, _) in cross.other_wait_labels(pidx) {
+                            // visit each other process once
+                            if cross.wait_labels[j].is_empty() {
+                                continue;
+                            }
+                            let mut iter = cross.wait_labels[j].iter();
+                            let mut acc = active.must_be_active_at(*iter.next().unwrap());
+                            for lj in iter {
+                                let other = active.must_be_active_at(*lj);
+                                acc = acc.intersection(&other).cloned().collect();
+                            }
+                            must_active.extend(acc);
+                        }
+
+                        // kill = must_active × WS(ss_i): present-value
+                        // definitions made at this process's wait statements
+                        // are overwritten when the signal is guaranteed to be
+                        // re-synchronised.
+                        let mut kill: BTreeSet<ResDef> = BTreeSet::new();
+                        for s in &must_active {
+                            for lw in &own_wait_labels {
+                                kill.insert((s.clone(), Def::At(*lw)));
+                            }
+                            if options.kill_initial_at_wait {
+                                kill.insert((s.clone(), Def::Init));
+                            }
+                        }
+                        // gen = may_active × {l}.
+                        let gen: BTreeSet<ResDef> =
+                            may_active.into_iter().map(|s| (s, Def::At(*l))).collect();
+                        (kill, gen)
+                    }
+                }
+                _ => (BTreeSet::new(), BTreeSet::new()),
+            };
+            eq.kill.insert(*l, kill);
+            eq.gen.insert(*l, gen);
+        }
+
+        // ι at the initial label: every free variable and signal of the
+        // process may still hold its initial value.
+        let mut iota: BTreeSet<ResDef> = BTreeSet::new();
+        for x in design.process_free_vars(pidx) {
+            iota.insert((x, Def::Init));
+        }
+        for s in design.process_free_signals(pidx) {
+            iota.insert((s, Def::Init));
+        }
+        eq.iota.insert(pcfg.init, iota);
+    }
+
+    PresentRd { solution: solve(&eq) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::active::active_signals_rd;
+    use vhdl1_syntax::frontend;
+
+    fn analyse(src: &str, options: &RdOptions) -> (Design, DesignCfg, PresentRd) {
+        let d = frontend(src).unwrap();
+        let cfg = DesignCfg::build(&d);
+        let cross = CrossFlow::build(&d);
+        let active = active_signals_rd(&d, &cfg, options);
+        let rd = present_rd(&d, &cfg, &cross, &active, options);
+        (d, cfg, rd)
+    }
+
+    const SINGLE: &str = "entity e is port(a : in std_logic; b : out std_logic); end e;
+         architecture rtl of e is
+           signal t : std_logic;
+         begin
+           p : process
+             variable x : std_logic;
+             variable y : std_logic;
+           begin
+             x := a;
+             y := x;
+             x := y;
+             t <= x;
+             wait on a;
+           end process p;
+         end rtl;";
+
+    #[test]
+    fn initial_values_reach_first_use() {
+        let (_, _, rd) = analyse(SINGLE, &RdOptions::default());
+        // At label 1 the initial values of a, x, y, t are available.
+        let defs = rd.entry_of(1);
+        assert!(defs.contains(&("a".to_string(), Def::Init)));
+        assert!(defs.contains(&("x".to_string(), Def::Init)));
+        assert!(defs.contains(&("t".to_string(), Def::Init)));
+    }
+
+    #[test]
+    fn variable_assignment_kills_previous_definitions() {
+        let (_, _, rd) = analyse(SINGLE, &RdOptions::default());
+        // At label 3 (x := y) the reaching definition of x is from label 1.
+        assert_eq!(rd.definitions_reaching(3, "x"), BTreeSet::from([Def::At(1)]));
+        // At label 4 (t <= x) the reaching definition of x is from label 3 only.
+        assert_eq!(rd.definitions_reaching(4, "x"), BTreeSet::from([Def::At(3)]));
+        // The initial value of x no longer reaches label 2.
+        assert!(!rd.entry_of(2).contains(&("x".to_string(), Def::Init)));
+    }
+
+    #[test]
+    fn wait_generates_present_definitions_for_active_signals() {
+        let (_, _, rd) = analyse(SINGLE, &RdOptions::default());
+        // After the wait at label 5, t's present value may stem from label 5;
+        // because the process loops, the entry of label 1 sees it.
+        assert!(rd.definitions_reaching(1, "t").contains(&Def::At(5)));
+        // The initial value of t also still reaches (the paper's formulation
+        // keeps the `?` definition).
+        assert!(rd.definitions_reaching(1, "t").contains(&Def::Init));
+    }
+
+    const TWO_PROC: &str = "entity e is port(a : in std_logic; b : out std_logic); end e;
+         architecture rtl of e is
+           signal t : std_logic;
+         begin
+           p1 : process begin t <= a; wait on a; end process p1;
+           p2 : process
+             variable v : std_logic;
+           begin
+             v := t;
+             b <= v;
+             wait on t;
+           end process p2;
+         end rtl;";
+
+    #[test]
+    fn synchronisation_transfers_definitions_across_processes() {
+        let (_, _, rd) = analyse(TWO_PROC, &RdOptions::default());
+        // Labels: p1 = {1: t<=a, 2: wait}, p2 = {3: v:=t, 4: b<=v, 5: wait}.
+        // At p2's wait (label 5), t may become newly defined because p1 may
+        // have an active assignment; after looping, label 3 sees t defined at
+        // label 5 (and possibly still the initial value).
+        let defs = rd.definitions_reaching(3, "t");
+        assert!(defs.contains(&Def::At(5)), "expected t defined at p2's wait, got {defs:?}");
+        assert!(defs.contains(&Def::Init));
+    }
+
+    #[test]
+    fn wait_kill_uses_under_approximation() {
+        // p1 assigns t on both branches => t must be active at p1's wait, so
+        // the definition of t made at p2's wait on the previous iteration is
+        // killed there... but killing happens in the process where the wait
+        // label is; here we check that a guaranteed re-synchronisation kills
+        // the old wait-definition within the same process.
+        let src = "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is
+               signal t : std_logic;
+             begin
+               p1 : process begin t <= a; wait on a; null; wait on a; end process p1;
+               p2 : process
+                 variable v : std_logic;
+               begin
+                 v := t;
+                 b <= v;
+                 wait on t;
+               end process p2;
+             end rtl;";
+        let (_, _, rd) = analyse(src, &RdOptions::default());
+        // p1 labels: 1 (t<=a), 2 (wait), 3 (null), 4 (wait); p2: 5,6,7.
+        // At p1's first wait, t is guaranteed active, so present-value
+        // definitions of t made at p1's waits are killed and regenerated at 2.
+        let defs_at_3 = rd.definitions_reaching(3, "t");
+        assert!(defs_at_3.contains(&Def::At(2)));
+        assert!(!defs_at_3.contains(&Def::At(4)), "old wait definition should be killed: {defs_at_3:?}");
+    }
+
+    #[test]
+    fn ablation_without_under_approximation_keeps_stale_definitions() {
+        // p1 assigns t before each of its two waits; with the
+        // under-approximation the second wait kills the present-value
+        // definition made at the first wait, without it the stale definition
+        // survives around the loop.
+        let src = "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is
+               signal t : std_logic;
+             begin
+               p1 : process begin t <= a; wait on a; t <= a; wait on a; end process p1;
+               p2 : process begin b <= t; wait on t; end process p2;
+             end rtl;";
+        // p1 labels: 1 (t<=a), 2 (wait), 3 (t<=a), 4 (wait); p2: 5, 6.
+        let (_, _, rd) = analyse(src, &RdOptions::default());
+        let defs_at_1 = rd.definitions_reaching(1, "t");
+        assert!(defs_at_1.contains(&Def::At(4)));
+        assert!(
+            !defs_at_1.contains(&Def::At(2)),
+            "definition from the first wait should be killed at the second: {defs_at_1:?}"
+        );
+        let opts = RdOptions { use_under_approximation: false, ..Default::default() };
+        let (_, _, rd_ablate) = analyse(src, &opts);
+        let defs_at_1 = rd_ablate.definitions_reaching(1, "t");
+        assert!(defs_at_1.contains(&Def::At(2)), "without RD∩ the stale definition survives");
+        assert!(defs_at_1.contains(&Def::At(4)));
+    }
+
+    #[test]
+    fn straight_line_mode_matches_sequential_intuition() {
+        // Program (a) of the paper: [c := b]^1; [b := a]^2 as variables in a
+        // single process without looping.
+        let src = "entity e is port(inp : in std_logic); end e;
+             architecture rtl of e is begin
+               p : process
+                 variable a : std_logic;
+                 variable b : std_logic;
+                 variable c : std_logic;
+               begin
+                 c := b;
+                 b := a;
+               end process p;
+             end rtl;";
+        let opts = RdOptions { process_repeats: false, ..Default::default() };
+        let (_, _, rd) = analyse(src, &opts);
+        assert_eq!(rd.definitions_reaching(1, "b"), BTreeSet::from([Def::Init]));
+        assert_eq!(rd.definitions_reaching(2, "a"), BTreeSet::from([Def::Init]));
+        // With looping enabled, b's definition from label 2 wraps around.
+        let (_, _, rd_loop) = analyse(src, &RdOptions::default());
+        assert!(rd_loop.definitions_reaching(1, "b").contains(&Def::At(2)));
+    }
+
+    #[test]
+    fn def_display_forms() {
+        assert_eq!(Def::Init.to_string(), "?");
+        assert_eq!(Def::At(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,174 @@
+//! Cross-cutting invariants of the Reaching Definitions analyses, checked on
+//! a family of representative designs (including randomly generated process
+//! bodies): the under-approximation is always contained in the
+//! over-approximation (the property the special intersection operator of
+//! Section 4.1 is designed to guarantee), and the analyses only ever talk
+//! about labels and resources that exist in the design.
+
+use proptest::prelude::*;
+use vhdl1_dataflow::{RdOptions, ReachingDefinitions};
+use vhdl1_syntax::{frontend, Design};
+
+fn check_invariants(design: &Design, options: &RdOptions) {
+    let rd = ReachingDefinitions::compute(design, options);
+    let labels = rd.cfg.labels();
+    let owners = design.label_owner();
+    assert_eq!(labels.len(), owners.len(), "every elementary block has a CFG node");
+
+    for &l in &labels {
+        let over = rd.active.over.entry_of(l);
+        let under = rd.active.under.entry_of(l);
+        for fact in &under {
+            assert!(
+                over.contains(fact),
+                "RD∩ entry at {l} contains {fact:?} which is missing from RD∪"
+            );
+        }
+        // Every definition mentioned by the analyses refers to an existing
+        // signal and an existing label of the same process.
+        for (sig, def_label) in over.iter() {
+            assert!(design.is_signal(sig), "{sig} is not a signal");
+            assert_eq!(owners.get(def_label), owners.get(&l), "definitions stay process-local");
+        }
+        for (name, _) in rd.present.entry_of(l) {
+            assert!(design.resource_names().contains(&name));
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_on_representative_designs() {
+    let sources = [
+        // Single process, branching and reassignment.
+        "entity e is port(a : in std_logic; b : out std_logic); end e;
+         architecture rtl of e is
+           signal t : std_logic;
+         begin
+           p : process
+             variable x : std_logic;
+           begin
+             x := a;
+             if a = '1' then t <= x; else t <= '0'; end if;
+             b <= t;
+             wait on a;
+           end process p;
+         end rtl;",
+        // Two processes with multiple synchronisation points.
+        "entity e is port(a : in std_logic; b : out std_logic); end e;
+         architecture rtl of e is
+           signal t : std_logic;
+           signal u : std_logic;
+         begin
+           p1 : process begin t <= a; wait on a; u <= t; wait on a, t; end process p1;
+           p2 : process begin b <= u; wait on u; end process p2;
+         end rtl;",
+        // Concurrent assignments and a block.
+        "entity e is port(a : in std_logic; b : out std_logic); end e;
+         architecture rtl of e is begin
+           blk : block signal t : std_logic; begin
+             t <= a;
+             b <= t;
+           end block blk;
+         end rtl;",
+    ];
+    for src in sources {
+        let design = frontend(src).unwrap();
+        for options in [
+            RdOptions::default(),
+            RdOptions { process_repeats: false, ..Default::default() },
+            RdOptions { kill_initial_at_wait: true, ..Default::default() },
+        ] {
+            check_invariants(&design, &options);
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_on_the_aes_shift_rows_workload() {
+    let design = frontend(&aes_vhdl_shift_rows()).unwrap();
+    check_invariants(&design, &RdOptions::default());
+}
+
+// Local copy of the ShiftRows generator call to avoid a dependency cycle with
+// the `aes-vhdl` crate (which depends on `vhdl1-sim` only); the source is
+// small enough to regenerate textually here.
+fn aes_vhdl_shift_rows() -> String {
+    let mut ports_in = Vec::new();
+    let mut ports_out = Vec::new();
+    for r in 0..4 {
+        for c in 0..4 {
+            ports_in.push(format!("a_{r}_{c}"));
+            ports_out.push(format!("b_{r}_{c}"));
+        }
+    }
+    let mut body = String::new();
+    for c in 0..4 {
+        body.push_str(&format!("    b_0_{c} <= a_0_{c};\n"));
+    }
+    for row in 1..4 {
+        for c in 0..4 {
+            body.push_str(&format!("    temp_{c} := a_{row}_{c};\n"));
+        }
+        for c in 0..4 {
+            body.push_str(&format!("    b_{row}_{c} <= temp_{};\n", (c + row) % 4));
+        }
+    }
+    format!(
+        "entity shift_rows is port(
+           {} : in std_logic_vector(7 downto 0);
+           {} : out std_logic_vector(7 downto 0)
+         ); end shift_rows;
+         architecture rtl of shift_rows is begin
+           shifter : process
+             variable temp_0 : std_logic_vector(7 downto 0);
+             variable temp_1 : std_logic_vector(7 downto 0);
+             variable temp_2 : std_logic_vector(7 downto 0);
+             variable temp_3 : std_logic_vector(7 downto 0);
+           begin
+{body}    wait on {};
+           end process shifter;
+         end rtl;",
+        ports_in.join(", "),
+        ports_out.join(", "),
+        ports_in.join(", ")
+    )
+}
+
+/// Random straight-line process bodies over two variables and one signal.
+fn arb_body() -> impl Strategy<Value = String> {
+    let stmt = prop_oneof![
+        Just("x := a;".to_string()),
+        Just("y := x;".to_string()),
+        Just("x := y;".to_string()),
+        Just("t <= x;".to_string()),
+        Just("t <= a;".to_string()),
+        Just("if a = '1' then x := y; else y := a; end if;".to_string()),
+        Just("wait on a;".to_string()),
+    ];
+    proptest::collection::vec(stmt, 1..10).prop_map(|v| v.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn under_approximation_is_contained_in_over_approximation(body in arb_body()) {
+        let src = format!(
+            "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is
+               signal t : std_logic;
+             begin
+               p : process
+                 variable x : std_logic;
+                 variable y : std_logic;
+               begin
+                 {body}
+                 wait on a;
+               end process p;
+             end rtl;"
+        );
+        let design = frontend(&src).unwrap();
+        check_invariants(&design, &RdOptions::default());
+        check_invariants(&design, &RdOptions { process_repeats: false, ..Default::default() });
+    }
+}

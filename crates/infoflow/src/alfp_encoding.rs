@@ -1,0 +1,307 @@
+//! ALFP / Datalog encodings of the analyses (the paper's implementation
+//! vehicle, Section 6: "Both the presented analyses and Kemmerer's method
+//! have been implemented using the Succinct Solver").
+//!
+//! The native Rust implementation in [`crate::closure`] is the one used for
+//! benchmarking; the clause systems generated here demonstrate the paper's
+//! implementation route and serve as an independent cross-check: the flow
+//! graph extracted from the least model of the clause system must coincide
+//! with the graph of the native analysis (see the `alfp_crosscheck`
+//! integration test).
+
+use crate::analysis::AnalysisResult;
+use crate::graph::FlowGraph;
+use crate::rm::{Access, Node};
+use alfp_solver::{Model, Program, SolveError, Term};
+use vhdl1_dataflow::Def;
+
+fn node_symbol(n: &Node) -> String {
+    match n {
+        Node::Res(x) => format!("res:{x}"),
+        Node::Incoming(x) => format!("in:{x}"),
+        Node::Outgoing(x) => format!("out:{x}"),
+    }
+}
+
+fn symbol_node(s: &str) -> Node {
+    match s.split_once(':') {
+        Some(("res", x)) => Node::res(x),
+        Some(("in", x)) => Node::incoming(x),
+        Some(("out", x)) => Node::outgoing(x),
+        _ => Node::res(s),
+    }
+}
+
+fn access_symbol(a: Access) -> &'static str {
+    match a {
+        Access::M0 => "m0",
+        Access::M1 => "m1",
+        Access::R0 => "r0",
+        Access::R1 => "r1",
+    }
+}
+
+fn def_symbol(d: &Def) -> String {
+    match d {
+        Def::Init => "init".to_string(),
+        Def::At(l) => format!("l{l}"),
+    }
+}
+
+/// Encodes the RD-guided global closure (Table 8) as a clause program.
+///
+/// Relations:
+///
+/// * `rm_lo(n, l, a)` — the local Resource Matrix,
+/// * `rd_dag(n, l_def, l_use)` — the specialised `RD†`,
+/// * `rd_phi(s, l_def, l_wait)` — the specialised `RD†ϕ`,
+/// * `co_occur(l1, l2)` — the cross-flow co-occurrence of wait labels,
+/// * `rm_gl(n, l, a)` — the derived global Resource Matrix,
+/// * `flow(n1, n2)` — the edges of the information-flow graph.
+pub fn encode_closure(result: &AnalysisResult) -> Program {
+    let mut p = Program::new();
+
+    // Facts: the local Resource Matrix.
+    for entry in &result.local {
+        p.fact(
+            "rm_lo",
+            vec![
+                Term::cst(node_symbol(&entry.node)),
+                Term::cst(format!("l{}", entry.label)),
+                Term::cst(access_symbol(entry.access)),
+            ],
+        );
+    }
+
+    // Facts: the specialised Reaching Definitions.
+    for (l, defs) in &result.specialized.present {
+        for (n, d) in defs {
+            if let Def::At(l_def) = d {
+                p.fact(
+                    "rd_dag",
+                    vec![
+                        Term::cst(format!("res:{n}")),
+                        Term::cst(format!("l{l_def}")),
+                        Term::cst(format!("l{l}")),
+                    ],
+                );
+            } else {
+                p.fact(
+                    "rd_init",
+                    vec![Term::cst(format!("res:{n}")), Term::cst(format!("l{l}"))],
+                );
+            }
+            let _ = def_symbol(d);
+        }
+    }
+    for (l, defs) in &result.specialized.active {
+        for (s, l_def) in defs {
+            p.fact(
+                "rd_phi",
+                vec![
+                    Term::cst(format!("res:{s}")),
+                    Term::cst(format!("l{l_def}")),
+                    Term::cst(format!("l{l}")),
+                ],
+            );
+        }
+    }
+
+    // Facts: co-occurrence of wait labels in some synchronisation tuple.
+    let wait_labels: Vec<_> =
+        result.rd.cfg.processes.iter().flat_map(|pr| pr.wait_labels()).collect();
+    for &l1 in &wait_labels {
+        for &l2 in &wait_labels {
+            if result.rd.cross.co_occur(l1, l2) {
+                p.fact(
+                    "co_occur",
+                    vec![Term::cst(format!("l{l1}")), Term::cst(format!("l{l2}"))],
+                );
+            }
+        }
+        p.fact("wait_label", vec![Term::cst(format!("l{l1}"))]);
+    }
+
+    // [Initialization]: rm_gl(N, L, A) :- rm_lo(N, L, A).
+    p.rule("rm_gl", vec![Term::var("N"), Term::var("L"), Term::var("A")])
+        .pos("rm_lo", vec![Term::var("N"), Term::var("L"), Term::var("A")])
+        .build();
+
+    // [Present values and local variables]:
+    // rm_gl(N, L, r0) :- rd_dag(NP, LDEF, L), rm_gl(N, LDEF, r0).
+    p.rule("rm_gl", vec![Term::var("N"), Term::var("L"), Term::cst("r0")])
+        .pos("rd_dag", vec![Term::var("NP"), Term::var("LDEF"), Term::var("L")])
+        .pos("rm_gl", vec![Term::var("N"), Term::var("LDEF"), Term::cst("r0")])
+        .build();
+
+    // [Synchronized values]:
+    // rm_gl(S, L, r0) :- rd_dag(SP, LI, L), wait_label(LI), co_occur(LI, LJ),
+    //                    rd_phi(SP, LPP, LJ), rm_gl(S, LPP, r0).
+    p.rule("rm_gl", vec![Term::var("S"), Term::var("L"), Term::cst("r0")])
+        .pos("rd_dag", vec![Term::var("SP"), Term::var("LI"), Term::var("L")])
+        .pos("wait_label", vec![Term::var("LI")])
+        .pos("co_occur", vec![Term::var("LI"), Term::var("LJ")])
+        .pos("rd_phi", vec![Term::var("SP"), Term::var("LPP"), Term::var("LJ")])
+        .pos("rm_gl", vec![Term::var("S"), Term::var("LPP"), Term::cst("r0")])
+        .build();
+
+    // Graph extraction: flow(N1, N2) :- rm_gl(N1, L, r0), rm_gl(N2, L, m0|m1).
+    for m in ["m0", "m1"] {
+        p.rule("flow", vec![Term::var("N1"), Term::var("N2")])
+            .pos("rm_gl", vec![Term::var("N1"), Term::var("L"), Term::cst("r0")])
+            .pos("rm_gl", vec![Term::var("N2"), Term::var("L"), Term::cst(m)])
+            .build();
+    }
+
+    p
+}
+
+/// Encodes Kemmerer's method as a clause program: direct flows from the local
+/// Resource Matrix followed by a transitive closure.
+pub fn encode_kemmerer(result: &AnalysisResult) -> Program {
+    let mut p = Program::new();
+    for entry in &result.local {
+        p.fact(
+            "rm_lo",
+            vec![
+                Term::cst(node_symbol(&entry.node)),
+                Term::cst(format!("l{}", entry.label)),
+                Term::cst(access_symbol(entry.access)),
+            ],
+        );
+    }
+    for m in ["m0", "m1"] {
+        p.rule("direct", vec![Term::var("N1"), Term::var("N2")])
+            .pos("rm_lo", vec![Term::var("N1"), Term::var("L"), Term::cst("r0")])
+            .pos("rm_lo", vec![Term::var("N2"), Term::var("L"), Term::cst(m)])
+            .build();
+    }
+    p.rule("flow", vec![Term::var("X"), Term::var("Y")])
+        .pos("direct", vec![Term::var("X"), Term::var("Y")])
+        .build();
+    p.rule("flow", vec![Term::var("X"), Term::var("Z")])
+        .pos("flow", vec![Term::var("X"), Term::var("Y")])
+        .pos("direct", vec![Term::var("Y"), Term::var("Z")])
+        .build();
+    p
+}
+
+/// Extracts the information-flow graph from the `flow` relation of a model.
+pub fn graph_from_model(model: &Model) -> FlowGraph {
+    let mut g = FlowGraph::new();
+    for tuple in model.relation("flow") {
+        if tuple.len() == 2 {
+            g.add_edge(symbol_node(&tuple[0]), symbol_node(&tuple[1]));
+        }
+    }
+    for tuple in model.relation("rm_lo").iter().chain(model.relation("rm_gl").iter()) {
+        if let Some(first) = tuple.first() {
+            g.add_node(symbol_node(first));
+        }
+    }
+    g
+}
+
+/// Solves the encoded base closure and returns the resulting graph.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the solver (the generated clause systems
+/// are always safe and stratified, so errors indicate an encoding bug).
+pub fn solve_closure(result: &AnalysisResult) -> Result<FlowGraph, SolveError> {
+    let model = encode_closure(result).solve()?;
+    Ok(graph_from_model(&model))
+}
+
+/// Solves the encoded Kemmerer analysis and returns the resulting graph.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the solver.
+pub fn solve_kemmerer(result: &AnalysisResult) -> Result<FlowGraph, SolveError> {
+    let model = encode_kemmerer(result).solve()?;
+    Ok(graph_from_model(&model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze_with, AnalysisOptions};
+    use vhdl1_syntax::frontend;
+
+    fn result_for(src: &str, opts: &AnalysisOptions) -> AnalysisResult {
+        analyze_with(&frontend(src).unwrap(), opts)
+    }
+
+    const TEMP_REUSE: &str = "entity e is port(inp : in std_logic); end e;
+         architecture rtl of e is begin
+           p : process
+             variable a : std_logic;
+             variable b : std_logic;
+             variable outa : std_logic;
+             variable outb : std_logic;
+             variable tmp : std_logic;
+           begin
+             tmp := a;
+             outa := tmp;
+             tmp := b;
+             outb := tmp;
+           end process p;
+         end rtl;";
+
+    #[test]
+    fn alfp_closure_matches_native_closure() {
+        let opts = AnalysisOptions {
+            rd: vhdl1_dataflow::RdOptions { process_repeats: false, ..Default::default() },
+            improved: false,
+            ..AnalysisOptions::default()
+        };
+        let result = result_for(TEMP_REUSE, &opts);
+        let native = result.base_flow_graph();
+        let alfp = solve_closure(&result).unwrap();
+        for (f, t) in native.edges() {
+            assert!(alfp.has_edge_nodes(f, t), "missing edge {f} -> {t} in ALFP model");
+        }
+        for (f, t) in alfp.edges() {
+            assert!(native.has_edge_nodes(f, t), "extra edge {f} -> {t} in ALFP model");
+        }
+    }
+
+    #[test]
+    fn alfp_kemmerer_matches_native_kemmerer() {
+        let result = result_for(TEMP_REUSE, &AnalysisOptions::base());
+        let native = result.kemmerer_flow_graph();
+        let alfp = solve_kemmerer(&result).unwrap();
+        for (f, t) in native.edges() {
+            assert!(alfp.has_edge_nodes(f, t), "missing edge {f} -> {t}");
+        }
+        assert!(alfp.has_edge("a", "outb"), "Kemmerer's spurious edge must be present");
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        for n in [Node::res("x"), Node::incoming("a"), Node::outgoing("b")] {
+            assert_eq!(symbol_node(&node_symbol(&n)), n);
+        }
+    }
+
+    #[test]
+    fn cross_process_flows_agree_with_native() {
+        let src = "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is
+               signal t : std_logic;
+             begin
+               p1 : process begin t <= a; wait on a; end process p1;
+               p2 : process begin b <= t; wait on t; end process p2;
+             end rtl;";
+        let result = result_for(src, &AnalysisOptions::base());
+        let native = result.base_flow_graph();
+        let alfp = solve_closure(&result).unwrap();
+        assert_eq!(
+            native.edges().collect::<Vec<_>>(),
+            alfp.edges().collect::<Vec<_>>(),
+            "edge sets must be identical"
+        );
+        assert!(alfp.has_edge("a", "b"));
+    }
+}

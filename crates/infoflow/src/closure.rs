@@ -1,0 +1,309 @@
+//! Global dependencies: RD specialisation (Table 7) and the RD-guided
+//! transitive closure of the Resource Matrix (Table 8).
+//!
+//! Rather than closing the local dependencies transitively (Kemmerer's
+//! flow-insensitive method), the closure follows only those definition-use
+//! chains that the Reaching Definitions analyses admit.  This is what makes
+//! the resulting information-flow graph non-transitive and eliminates the
+//! "spurious flows" of overwritten variables and signals.
+
+use crate::rm::{Access, Node, ResourceMatrix};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use vhdl1_syntax::{Design, Ident, Label};
+use vhdl1_dataflow::{Def, ReachingDefinitions};
+
+/// The specialised Reaching Definitions relations of Table 7.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpecializedRd {
+    /// `RD†(l)`: definitions of variables / present signal values that reach
+    /// *and are read at* label `l`.
+    pub present: BTreeMap<Label, BTreeSet<(Ident, Def)>>,
+    /// `RD†ϕ(l)`: active-signal definitions that reach *and are synchronised
+    /// at* the wait label `l`.
+    pub active: BTreeMap<Label, BTreeSet<(Ident, Label)>>,
+}
+
+impl SpecializedRd {
+    /// `RD†(l)` (empty set if the label carries no reads).
+    pub fn present_at(&self, l: Label) -> BTreeSet<(Ident, Def)> {
+        self.present.get(&l).cloned().unwrap_or_default()
+    }
+
+    /// `RD†ϕ(l)` (empty set if `l` is not a synchronising wait).
+    pub fn active_at(&self, l: Label) -> BTreeSet<(Ident, Label)> {
+        self.active.get(&l).cloned().unwrap_or_default()
+    }
+}
+
+/// Computes the specialisation of Table 7.
+///
+/// When `specialize` is `false` (an ablation discussed in DESIGN.md) the
+/// filtering on "actually read at the label" is skipped and the raw entry
+/// sets of the Reaching Definitions analyses are used instead.
+pub fn specialize_rd(
+    rd: &ReachingDefinitions,
+    local: &ResourceMatrix,
+    specialize: bool,
+) -> SpecializedRd {
+    let mut out = SpecializedRd::default();
+    let labels = rd.cfg.labels();
+
+    for &l in &labels {
+        // RD† for present values and local variables.
+        let entry = rd.present.entry_of(l);
+        let filtered: BTreeSet<(Ident, Def)> = entry
+            .into_iter()
+            .filter(|(n, _)| {
+                !specialize || local.contains(&Node::res(n.clone()), l, Access::R0)
+            })
+            .collect();
+        if !filtered.is_empty() {
+            out.present.insert(l, filtered);
+        }
+
+        // RD†ϕ for active signals at synchronisation points.
+        if rd.cross.occurs_in_some_tuple(l) {
+            let entry = rd.active.over.entry_of(l);
+            let filtered: BTreeSet<(Ident, Label)> = entry
+                .into_iter()
+                .filter(|(s, _)| {
+                    !specialize || local.contains(&Node::res(s.clone()), l, Access::R1)
+                })
+                .collect();
+            if !filtered.is_empty() {
+                out.active.insert(l, filtered);
+            }
+        }
+    }
+    out
+}
+
+/// One round of the two propagation rules of Table 8: returns the entries
+/// that should be added to `global` but are not yet present.
+///
+/// * `[Present values and local variables]`:
+///   `(n', l') ∈ RD†(l)` and `(n, l', R0) ∈ RM_gl` imply `(n, l, R0) ∈ RM_gl`.
+/// * `[Synchronized values]`:
+///   `(s', l_i) ∈ RD†(l)`, `(s', l'') ∈ RD†ϕ(l_j)`, `(s, l'', R0) ∈ RM_gl`
+///   and `l_i`, `l_j` co-occurring in `cf` imply `(s, l, R0) ∈ RM_gl`.
+pub fn table8_step(
+    global: &ResourceMatrix,
+    rd: &ReachingDefinitions,
+    spec: &SpecializedRd,
+    wait_labels: &BTreeSet<Label>,
+) -> Vec<(Node, Label, Access)> {
+    let mut additions: Vec<(Node, Label, Access)> = Vec::new();
+
+    // [Present values and local variables]
+    for (&l, defs) in &spec.present {
+        for (_n_prime, def) in defs {
+            let Def::At(l_prime) = def else { continue };
+            for entry in global.at_label(*l_prime) {
+                if entry.access == Access::R0 && !global.contains(&entry.node, l, Access::R0) {
+                    additions.push((entry.node.clone(), l, Access::R0));
+                }
+            }
+        }
+    }
+
+    // [Synchronized values]
+    for (&l, defs) in &spec.present {
+        for (s_prime, def) in defs {
+            let Def::At(li) = def else { continue };
+            if !wait_labels.contains(li) {
+                continue;
+            }
+            for (&lj, active_defs) in &spec.active {
+                if !rd.cross.co_occur(*li, lj) {
+                    continue;
+                }
+                for (s2, l_dprime) in active_defs {
+                    if s2 != s_prime {
+                        continue;
+                    }
+                    for entry in global.at_label(*l_dprime) {
+                        if entry.access == Access::R0
+                            && !global.contains(&entry.node, l, Access::R0)
+                        {
+                            additions.push((entry.node.clone(), l, Access::R0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    additions
+}
+
+/// Computes the global Resource Matrix `RM_gl` of Table 8 by closing the
+/// local dependencies under the two propagation rules, guided by the
+/// specialised Reaching Definitions.
+pub fn global_closure(
+    design: &Design,
+    rd: &ReachingDefinitions,
+    spec: &SpecializedRd,
+    local: &ResourceMatrix,
+) -> ResourceMatrix {
+    let _ = design;
+    let mut global = local.clone();
+    let wait_labels: BTreeSet<Label> =
+        rd.cfg.processes.iter().flat_map(|p| p.wait_labels()).collect();
+
+    // Fixpoint iteration: both rules only add (n, l, R0) entries, so the
+    // iteration is monotone and terminates.
+    loop {
+        let additions = table8_step(&global, rd, spec, &wait_labels);
+        if additions.is_empty() {
+            break;
+        }
+        for (node, label, access) in additions {
+            global.insert(node, label, access);
+        }
+    }
+    global
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FlowGraph;
+    use crate::local::local_dependencies;
+    use vhdl1_dataflow::RdOptions;
+    use vhdl1_syntax::frontend;
+
+    fn sequential(vars_body: &str) -> Design {
+        let src = format!(
+            "entity e is port(inp : in std_logic); end e;
+             architecture rtl of e is begin
+               p : process
+                 variable a : std_logic;
+                 variable b : std_logic;
+                 variable c : std_logic;
+               begin
+                 {vars_body}
+               end process p;
+             end rtl;"
+        );
+        frontend(&src).unwrap()
+    }
+
+    fn analyse_sequential(body: &str) -> FlowGraph {
+        let design = sequential(body);
+        let opts = RdOptions { process_repeats: false, ..Default::default() };
+        let rd = ReachingDefinitions::compute(&design, &opts);
+        let local = local_dependencies(&design);
+        let spec = specialize_rd(&rd, &local, true);
+        let global = global_closure(&design, &rd, &spec, &local);
+        FlowGraph::from_resource_matrix(&global)
+    }
+
+    #[test]
+    fn figure_3a_program_a_is_non_transitive() {
+        // (a): c := b; b := a  — flows b->c and a->b but NOT a->c.
+        let g = analyse_sequential("c := b; b := a;");
+        assert!(g.has_edge("b", "c"));
+        assert!(g.has_edge("a", "b"));
+        assert!(!g.has_edge("a", "c"), "the RD-based analysis must not report a -> c");
+        assert!(!g.is_transitive());
+    }
+
+    #[test]
+    fn figure_3b_program_b_has_the_transitive_flow() {
+        // (b): b := a; c := b  — here a -> c is a real flow.
+        let g = analyse_sequential("b := a; c := b;");
+        assert!(g.has_edge("a", "b"));
+        assert!(g.has_edge("b", "c"));
+        assert!(g.has_edge("a", "c"));
+    }
+
+    #[test]
+    fn overwritten_temporary_does_not_leak() {
+        // tmp is used for a, then overwritten and used for b: no cross flow.
+        let src = "entity e is port(inp : in std_logic); end e;
+             architecture rtl of e is begin
+               p : process
+                 variable a : std_logic;
+                 variable b : std_logic;
+                 variable outa : std_logic;
+                 variable outb : std_logic;
+                 variable tmp : std_logic;
+               begin
+                 tmp := a;
+                 outa := tmp;
+                 tmp := b;
+                 outb := tmp;
+               end process p;
+             end rtl;";
+        let design = frontend(src).unwrap();
+        let opts = RdOptions { process_repeats: false, ..Default::default() };
+        let rd = ReachingDefinitions::compute(&design, &opts);
+        let local = local_dependencies(&design);
+        let spec = specialize_rd(&rd, &local, true);
+        let global = global_closure(&design, &rd, &spec, &local);
+        let g = FlowGraph::from_resource_matrix(&global);
+        assert!(g.has_edge("a", "outa"));
+        assert!(g.has_edge("b", "outb"));
+        assert!(!g.has_edge("a", "outb"), "stale tmp value must not flow to outb");
+        assert!(!g.has_edge("b", "outa"));
+        // Kemmerer's method reports both spurious edges on the same program.
+        let k = crate::kemmerer::kemmerer_graph(&design);
+        assert!(k.has_edge("a", "outb"));
+        assert!(k.has_edge("b", "outa"));
+    }
+
+    #[test]
+    fn flows_across_processes_through_signals() {
+        let src = "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is
+               signal t : std_logic;
+             begin
+               p1 : process begin t <= a; wait on a; end process p1;
+               p2 : process
+                 variable v : std_logic;
+               begin
+                 v := t;
+                 b <= v;
+                 wait on t;
+               end process p2;
+             end rtl;";
+        let design = frontend(src).unwrap();
+        let rd = ReachingDefinitions::compute(&design, &RdOptions::default());
+        let local = local_dependencies(&design);
+        let spec = specialize_rd(&rd, &local, true);
+        let global = global_closure(&design, &rd, &spec, &local);
+        let g = FlowGraph::from_resource_matrix(&global);
+        assert!(g.has_edge("a", "t"), "direct assignment flow");
+        assert!(g.has_edge("t", "v"), "present value read into variable");
+        assert!(g.has_edge("v", "b"));
+        assert!(g.has_edge("a", "b"), "synchronised flow a -> t -> v -> b must be closed");
+    }
+
+    #[test]
+    fn specialization_filters_unread_definitions() {
+        let src = "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is begin
+               p : process
+                 variable x : std_logic;
+                 variable y : std_logic;
+               begin
+                 x := a;
+                 y := a;
+                 b <= y;
+                 wait on a;
+               end process p;
+             end rtl;";
+        let design = frontend(src).unwrap();
+        let rd = ReachingDefinitions::compute(&design, &RdOptions::default());
+        let local = local_dependencies(&design);
+        let spec = specialize_rd(&rd, &local, true);
+        // At label 3 (b <= y) only y is read, so RD†(3) mentions y but not x.
+        let at3 = spec.present_at(3);
+        assert!(at3.iter().any(|(n, _)| n == "y"));
+        assert!(!at3.iter().any(|(n, _)| n == "x"));
+        // Without specialisation x's definition is kept.
+        let raw = specialize_rd(&rd, &local, false);
+        assert!(raw.present_at(3).iter().any(|(n, _)| n == "x"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Kemmerer's Shared Resource Matrix / covert-channel analysis baseline
+//! (Section 5.2, attributed to Kemmerer and described by McHugh).
+//!
+//! The method builds direct dependencies from the local Resource Matrix —
+//! everything read at a label flows into everything modified at the same
+//! label — and then takes the **transitive closure** of the resulting graph,
+//! ignoring all control-flow information.  The paper shows (Figures 3 and 5)
+//! that this flow-insensitivity produces spurious edges which the RD-based
+//! analysis avoids.
+
+use crate::graph::FlowGraph;
+use crate::local::local_dependencies;
+use crate::rm::ResourceMatrix;
+use vhdl1_syntax::Design;
+
+/// Runs Kemmerer's method on a design: local dependencies followed by a
+/// transitive closure of the direct-flow graph.
+pub fn kemmerer_graph(design: &Design) -> FlowGraph {
+    let rm = local_dependencies(design);
+    kemmerer_graph_from_matrix(&rm)
+}
+
+/// Runs Kemmerer's closure on an already-computed local Resource Matrix.
+pub fn kemmerer_graph_from_matrix(rm: &ResourceMatrix) -> FlowGraph {
+    FlowGraph::from_resource_matrix(rm).transitive_closure()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vhdl1_syntax::frontend;
+
+    /// Program (a) of the paper: `[c := b]^1; [b := a]^2`.
+    fn program_a() -> Design {
+        frontend(
+            "entity e is port(inp : in std_logic); end e;
+             architecture rtl of e is begin
+               p : process
+                 variable a : std_logic;
+                 variable b : std_logic;
+                 variable c : std_logic;
+               begin
+                 c := b;
+                 b := a;
+               end process p;
+             end rtl;",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn kemmerer_adds_the_spurious_transitive_edge_on_program_a() {
+        // The true flows are b -> c and a -> b only (Figure 3(a)); Kemmerer's
+        // transitive closure also reports a -> c (the shape of Figure 3(b)).
+        let g = kemmerer_graph(&program_a());
+        assert!(g.has_edge("b", "c"));
+        assert!(g.has_edge("a", "b"));
+        assert!(g.has_edge("a", "c"), "Kemmerer's method must report the spurious edge");
+        assert!(g.is_transitive());
+    }
+
+    #[test]
+    fn kemmerer_is_always_transitive() {
+        let d = frontend(
+            "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is
+               signal t : std_logic;
+             begin
+               p1 : process begin t <= a; wait on a; end process p1;
+               p2 : process begin b <= t; wait on t; end process p2;
+             end rtl;",
+        )
+        .unwrap();
+        let g = kemmerer_graph(&d);
+        assert!(g.is_transitive());
+        assert!(g.has_edge("a", "t"));
+        assert!(g.has_edge("t", "b"));
+        assert!(g.has_edge("a", "b"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Resource Matrices (Section 5).
+//!
+//! A Resource Matrix records, per program point, which resources (variables
+//! and signals) might be *modified* and which might be *read*.  Entries are
+//! triples `(n, l, A)` with `A ∈ {M0, M1, R0, R1}`:
+//!
+//! * `M0` — the variable / present signal value `n` might be modified at `l`,
+//! * `M1` — the active value of signal `n` might be modified at `l`,
+//! * `R0` — the variable / present signal value `n` might be read at `l`,
+//! * `R1` — the active value of `n` is synchronised (read) at the wait `l`.
+//!
+//! The improved analysis of Section 5.3 additionally uses incoming (`n◦`) and
+//! outgoing (`n•`) nodes, so matrix entries range over [`Node`] rather than
+//! plain names.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use vhdl1_syntax::{Ident, Label};
+
+/// The access kinds recorded in a Resource Matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// Modification of a variable or of the present value of a signal.
+    M0,
+    /// Modification of the active value of a signal.
+    M1,
+    /// Read of a variable or of the present value of a signal.
+    R0,
+    /// Synchronisation read of the active values at a wait statement.
+    R1,
+}
+
+impl Access {
+    /// Whether this access is a modification (`M0` or `M1`).
+    pub fn is_modification(&self) -> bool {
+        matches!(self, Access::M0 | Access::M1)
+    }
+
+    /// Whether this access is a read (`R0` or `R1`).
+    pub fn is_read(&self) -> bool {
+        matches!(self, Access::R0 | Access::R1)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Access::M0 => "M0",
+            Access::M1 => "M1",
+            Access::R0 => "R0",
+            Access::R1 => "R1",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A node of the information-flow graph: a plain resource, an incoming value
+/// (`n◦`) or an outgoing value (`n•`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Node {
+    /// A variable or signal of the program.
+    Res(Ident),
+    /// The incoming (environment-provided or initial) value of a resource.
+    Incoming(Ident),
+    /// The outgoing (environment-observable) value of a resource.
+    Outgoing(Ident),
+}
+
+impl Node {
+    /// The underlying resource name.
+    pub fn name(&self) -> &str {
+        match self {
+            Node::Res(n) | Node::Incoming(n) | Node::Outgoing(n) => n,
+        }
+    }
+
+    /// Whether this is a plain (non-annotated) resource node.
+    pub fn is_plain(&self) -> bool {
+        matches!(self, Node::Res(_))
+    }
+
+    /// Convenience constructor for a plain resource node.
+    pub fn res(name: impl Into<Ident>) -> Node {
+        Node::Res(name.into())
+    }
+
+    /// Convenience constructor for an incoming node `n◦`.
+    pub fn incoming(name: impl Into<Ident>) -> Node {
+        Node::Incoming(name.into())
+    }
+
+    /// Convenience constructor for an outgoing node `n•`.
+    pub fn outgoing(name: impl Into<Ident>) -> Node {
+        Node::Outgoing(name.into())
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Res(n) => write!(f, "{n}"),
+            Node::Incoming(n) => write!(f, "{n}\u{25e6}"),
+            Node::Outgoing(n) => write!(f, "{n}\u{2022}"),
+        }
+    }
+}
+
+/// One entry `(n, l, A)` of a Resource Matrix.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RmEntry {
+    /// The accessed resource (or incoming/outgoing node).
+    pub node: Node,
+    /// The label of the access.
+    pub label: Label,
+    /// The kind of access.
+    pub access: Access,
+}
+
+impl RmEntry {
+    /// Creates an entry.
+    pub fn new(node: Node, label: Label, access: Access) -> RmEntry {
+        RmEntry { node, label, access }
+    }
+}
+
+impl fmt::Display for RmEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.node, self.label, self.access)
+    }
+}
+
+/// A Resource Matrix: a set of `(node, label, access)` entries.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceMatrix {
+    entries: BTreeSet<RmEntry>,
+}
+
+impl ResourceMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an entry; returns `true` if it was not already present.
+    pub fn insert(&mut self, node: Node, label: Label, access: Access) -> bool {
+        self.entries.insert(RmEntry::new(node, label, access))
+    }
+
+    /// Whether the matrix contains the entry.
+    pub fn contains(&self, node: &Node, label: Label, access: Access) -> bool {
+        self.entries.contains(&RmEntry::new(node.clone(), label, access))
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &RmEntry> {
+        self.entries.iter()
+    }
+
+    /// Entries at a given label.
+    pub fn at_label(&self, label: Label) -> impl Iterator<Item = &RmEntry> {
+        self.entries.iter().filter(move |e| e.label == label)
+    }
+
+    /// Nodes read (`R0`) at the given label.
+    pub fn reads_at(&self, label: Label) -> BTreeSet<&Node> {
+        self.entries
+            .iter()
+            .filter(|e| e.label == label && e.access == Access::R0)
+            .map(|e| &e.node)
+            .collect()
+    }
+
+    /// Nodes modified (`M0` or `M1`) at the given label.
+    pub fn modifications_at(&self, label: Label) -> BTreeSet<&Node> {
+        self.entries
+            .iter()
+            .filter(|e| e.label == label && e.access.is_modification())
+            .map(|e| &e.node)
+            .collect()
+    }
+
+    /// All labels mentioned by the matrix.
+    pub fn labels(&self) -> BTreeSet<Label> {
+        self.entries.iter().map(|e| e.label).collect()
+    }
+
+    /// All nodes mentioned by the matrix.
+    pub fn nodes(&self) -> BTreeSet<&Node> {
+        self.entries.iter().map(|e| &e.node).collect()
+    }
+
+    /// Merges another matrix into this one.
+    pub fn extend_from(&mut self, other: &ResourceMatrix) {
+        self.entries.extend(other.entries.iter().cloned());
+    }
+}
+
+impl FromIterator<RmEntry> for ResourceMatrix {
+    fn from_iter<T: IntoIterator<Item = RmEntry>>(iter: T) -> Self {
+        ResourceMatrix { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<RmEntry> for ResourceMatrix {
+    fn extend<T: IntoIterator<Item = RmEntry>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a ResourceMatrix {
+    type Item = &'a RmEntry;
+    type IntoIter = std::collections::btree_set::Iter<'a, RmEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut rm = ResourceMatrix::new();
+        assert!(rm.is_empty());
+        assert!(rm.insert(Node::res("x"), 1, Access::M0));
+        assert!(!rm.insert(Node::res("x"), 1, Access::M0));
+        rm.insert(Node::res("a"), 1, Access::R0);
+        rm.insert(Node::res("s"), 2, Access::M1);
+        assert_eq!(rm.len(), 3);
+        assert!(rm.contains(&Node::res("x"), 1, Access::M0));
+        assert_eq!(rm.reads_at(1), BTreeSet::from([&Node::res("a")]));
+        assert_eq!(
+            rm.modifications_at(1).into_iter().cloned().collect::<Vec<_>>(),
+            vec![Node::res("x")]
+        );
+        assert_eq!(rm.labels(), BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn node_display_uses_paper_notation() {
+        assert_eq!(Node::res("a").to_string(), "a");
+        assert_eq!(Node::incoming("a").to_string(), "a\u{25e6}");
+        assert_eq!(Node::outgoing("b").to_string(), "b\u{2022}");
+        assert_eq!(Node::outgoing("b").name(), "b");
+        assert!(Node::res("a").is_plain());
+        assert!(!Node::incoming("a").is_plain());
+    }
+
+    #[test]
+    fn access_classification() {
+        assert!(Access::M0.is_modification());
+        assert!(Access::M1.is_modification());
+        assert!(Access::R0.is_read());
+        assert!(Access::R1.is_read());
+        assert!(!Access::R0.is_modification());
+        assert_eq!(Access::M1.to_string(), "M1");
+    }
+
+    #[test]
+    fn entry_display() {
+        let e = RmEntry::new(Node::res("t"), 4, Access::R1);
+        assert_eq!(e.to_string(), "(t, 4, R1)");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let rm: ResourceMatrix =
+            vec![RmEntry::new(Node::res("a"), 1, Access::R0)].into_iter().collect();
+        let mut rm2 = ResourceMatrix::new();
+        rm2.insert(Node::res("b"), 2, Access::M0);
+        let mut merged = rm.clone();
+        merged.extend_from(&rm2);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.nodes().len(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors reported by the simulator.
+
+use crate::values::Value;
+use std::fmt;
+
+/// An error raised while evaluating expressions or executing a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A name was referenced that is neither a signal nor a local variable of
+    /// the executing process.
+    UndefinedName {
+        /// The unknown name.
+        name: String,
+    },
+    /// A slice referenced indices outside the declared range of a name.
+    InvalidSlice {
+        /// The sliced name.
+        name: String,
+    },
+    /// A branch or wait condition did not evaluate to a defined boolean and
+    /// strict-condition mode is enabled.
+    NonBooleanCondition {
+        /// The process that evaluated the condition.
+        process: String,
+        /// The offending value.
+        value: Value,
+    },
+    /// A process executed more steps than allowed without reaching a wait
+    /// statement (almost certainly a combinational loop or a missing wait).
+    StepLimitExceeded {
+        /// The runaway process.
+        process: String,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The design did not reach quiescence within the configured number of
+    /// delta cycles.
+    DeltaLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UndefinedName { name } => write!(f, "undefined name `{name}`"),
+            SimError::InvalidSlice { name } => write!(f, "slice out of range on `{name}`"),
+            SimError::NonBooleanCondition { process, value } => {
+                write!(f, "condition in process `{process}` evaluated to {value}, not a boolean")
+            }
+            SimError::StepLimitExceeded { process, limit } => {
+                write!(f, "process `{process}` exceeded {limit} steps without reaching a wait")
+            }
+            SimError::DeltaLimitExceeded { limit } => {
+                write!(f, "design did not stabilise within {limit} delta cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::UndefinedName { name: "x".into() }.to_string(),
+            "undefined name `x`"
+        );
+        assert!(SimError::StepLimitExceeded { process: "p".into(), limit: 10 }
+            .to_string()
+            .contains("10 steps"));
+        assert!(SimError::DeltaLimitExceeded { limit: 5 }.to_string().contains("5 delta"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Evaluation of VHDL1 expressions (Table 1).
+//!
+//! Expressions are evaluated against an environment providing the current
+//! value and the declared type of every visible name; the declared type is
+//! needed to translate slice indices into element offsets, since vectors are
+//! stored in declaration order.
+
+use crate::error::SimError;
+use crate::values::{Logic, Value};
+use vhdl1_syntax::{BinOp, Expr, RangeDir, Slice, Type, UnOp};
+
+/// The lookup environment of the evaluator.
+pub trait NameEnv {
+    /// Current value of a visible name.
+    fn value_of(&self, name: &str) -> Option<Value>;
+    /// Declared type of a visible name.
+    fn type_of(&self, name: &str) -> Option<Type>;
+}
+
+/// Translates a slice of a declared type into element offsets (in the order
+/// written in the slice).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidSlice`] if the slice leaves the declared range.
+pub fn slice_offsets(name: &str, ty: &Type, slice: &Slice) -> Result<Vec<usize>, SimError> {
+    let offset = |index: i64| -> Result<usize, SimError> {
+        let off = match ty {
+            Type::StdLogic => {
+                if index == 0 {
+                    0
+                } else {
+                    return Err(SimError::InvalidSlice { name: name.to_string() });
+                }
+            }
+            Type::StdLogicVector { dir: RangeDir::Downto, left, right } => {
+                if index > *left || index < *right {
+                    return Err(SimError::InvalidSlice { name: name.to_string() });
+                }
+                (left - index) as usize
+            }
+            Type::StdLogicVector { dir: RangeDir::To, left, right } => {
+                if index < *left || index > *right {
+                    return Err(SimError::InvalidSlice { name: name.to_string() });
+                }
+                (index - left) as usize
+            }
+        };
+        Ok(off)
+    };
+    let mut out = Vec::with_capacity(slice.width());
+    let indices: Vec<i64> = match slice.dir {
+        RangeDir::Downto => (slice.right..=slice.left).rev().collect(),
+        RangeDir::To => (slice.left..=slice.right).collect(),
+    };
+    for i in indices {
+        out.push(offset(i)?);
+    }
+    Ok(out)
+}
+
+/// Extracts the slice of a value according to the declared type of its name.
+pub fn slice_value(
+    name: &str,
+    value: &Value,
+    ty: &Type,
+    slice: &Slice,
+) -> Result<Value, SimError> {
+    let offsets = slice_offsets(name, ty, slice)?;
+    let bits = value.bits();
+    let mut out = Vec::with_capacity(offsets.len());
+    for off in offsets {
+        out.push(*bits.get(off).ok_or_else(|| SimError::InvalidSlice { name: name.to_string() })?);
+    }
+    Ok(Value::from_bits(out))
+}
+
+/// Returns `value` with the sliced positions overwritten by `new` (resized to
+/// the slice width).
+pub fn update_slice(
+    name: &str,
+    value: &Value,
+    ty: &Type,
+    slice: &Slice,
+    new: &Value,
+) -> Result<Value, SimError> {
+    let offsets = slice_offsets(name, ty, slice)?;
+    let mut bits = value.bits();
+    let new_bits = new.resized(offsets.len()).bits();
+    for (off, nb) in offsets.into_iter().zip(new_bits) {
+        if off >= bits.len() {
+            return Err(SimError::InvalidSlice { name: name.to_string() });
+        }
+        bits[off] = nb;
+    }
+    Ok(Value::from_bits(bits))
+}
+
+/// Evaluates an expression in the given environment.
+///
+/// # Errors
+///
+/// Returns [`SimError::UndefinedName`] for unknown names and
+/// [`SimError::InvalidSlice`] for out-of-range slices.
+pub fn eval(expr: &Expr, env: &dyn NameEnv) -> Result<Value, SimError> {
+    match expr {
+        Expr::Logic(c) => {
+            Value::logic(*c).ok_or_else(|| SimError::UndefinedName { name: c.to_string() })
+        }
+        Expr::Vector(s) => {
+            Value::vector(s).ok_or_else(|| SimError::UndefinedName { name: s.clone() })
+        }
+        Expr::Int(n) => Ok(Value::from_unsigned(*n as u128, 64)),
+        Expr::Name { name, slice } => {
+            let value =
+                env.value_of(name).ok_or_else(|| SimError::UndefinedName { name: name.clone() })?;
+            match slice {
+                None => Ok(value),
+                Some(sl) => {
+                    let ty = env
+                        .type_of(name)
+                        .ok_or_else(|| SimError::UndefinedName { name: name.clone() })?;
+                    slice_value(name, &value, &ty, sl)
+                }
+            }
+        }
+        Expr::Unary { op: UnOp::Not, expr } => {
+            let v = eval(expr, env)?;
+            Ok(Value::from_bits(v.bits().into_iter().map(Logic::not).collect()))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval(lhs, env)?;
+            let b = eval(rhs, env)?;
+            Ok(apply_binary(*op, &a, &b))
+        }
+    }
+}
+
+/// Applies a binary operator to two values.
+pub fn apply_binary(op: BinOp, a: &Value, b: &Value) -> Value {
+    match op {
+        BinOp::Concat => {
+            let mut bits = a.bits();
+            bits.extend(b.bits());
+            Value::from_bits(bits)
+        }
+        BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Nand | BinOp::Nor | BinOp::Xnor => {
+            let width = a.width().max(b.width());
+            let (a, b) = (a.resized(width), b.resized(width));
+            let bits = a
+                .bits()
+                .into_iter()
+                .zip(b.bits())
+                .map(|(x, y)| match op {
+                    BinOp::And => x.and(y),
+                    BinOp::Or => x.or(y),
+                    BinOp::Xor => x.xor(y),
+                    BinOp::Nand => x.and(y).not(),
+                    BinOp::Nor => x.or(y).not(),
+                    BinOp::Xnor => x.xor(y).not(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            Value::from_bits(bits)
+        }
+        BinOp::Eq | BinOp::Neq => {
+            let width = a.width().max(b.width());
+            let (a, b) = (a.resized(width), b.resized(width));
+            let mut result = Some(true);
+            for (x, y) in a.bits().into_iter().zip(b.bits()) {
+                match (x.to_bool(), y.to_bool()) {
+                    (Some(p), Some(q)) => {
+                        if p != q {
+                            result = Some(false);
+                            break;
+                        }
+                    }
+                    _ => {
+                        result = None;
+                        break;
+                    }
+                }
+            }
+            match result {
+                Some(eq) => {
+                    let truth = if op == BinOp::Eq { eq } else { !eq };
+                    Value::Logic(Logic::from_bool(truth))
+                }
+                None => Value::Logic(Logic::X),
+            }
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            match (a.to_unsigned(), b.to_unsigned()) {
+                (Some(x), Some(y)) => {
+                    let truth = match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        BinOp::Ge => x >= y,
+                        _ => unreachable!(),
+                    };
+                    Value::Logic(Logic::from_bool(truth))
+                }
+                _ => Value::Logic(Logic::X),
+            }
+        }
+        BinOp::Add | BinOp::Sub => {
+            let width = a.width().max(b.width());
+            match (a.to_unsigned(), b.to_unsigned()) {
+                (Some(x), Some(y)) => {
+                    let mask: u128 =
+                        if width >= 128 { u128::MAX } else { (1u128 << width) - 1 };
+                    let result = if op == BinOp::Add {
+                        x.wrapping_add(y) & mask
+                    } else {
+                        x.wrapping_sub(y) & mask
+                    };
+                    Value::from_unsigned(result, width)
+                }
+                _ => Value::filled(width, Logic::X),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vhdl1_syntax::parse_expression;
+
+    struct MapEnv {
+        values: BTreeMap<String, Value>,
+        types: BTreeMap<String, Type>,
+    }
+
+    impl NameEnv for MapEnv {
+        fn value_of(&self, name: &str) -> Option<Value> {
+            self.values.get(name).cloned()
+        }
+        fn type_of(&self, name: &str) -> Option<Type> {
+            self.types.get(name).cloned()
+        }
+    }
+
+    fn env() -> MapEnv {
+        let mut values = BTreeMap::new();
+        let mut types = BTreeMap::new();
+        values.insert("a".to_string(), Value::logic('1').unwrap());
+        types.insert("a".to_string(), Type::StdLogic);
+        values.insert("b".to_string(), Value::logic('0').unwrap());
+        types.insert("b".to_string(), Type::StdLogic);
+        values.insert("v".to_string(), Value::vector("11010010").unwrap());
+        types.insert("v".to_string(), Type::vector_downto(7, 0));
+        values.insert("w".to_string(), Value::vector("0011").unwrap());
+        types.insert("w".to_string(), Type::vector_to(0, 3));
+        MapEnv { values, types }
+    }
+
+    fn run(src: &str) -> Value {
+        eval(&parse_expression(src).unwrap(), &env()).unwrap()
+    }
+
+    #[test]
+    fn literals_and_names() {
+        assert_eq!(run("'1'"), Value::logic('1').unwrap());
+        assert_eq!(run("\"0101\""), Value::vector("0101").unwrap());
+        assert_eq!(run("a"), Value::logic('1').unwrap());
+        assert_eq!(run("7"), Value::from_unsigned(7, 64));
+    }
+
+    #[test]
+    fn logical_operations() {
+        assert_eq!(run("a and b"), Value::logic('0').unwrap());
+        assert_eq!(run("a or b"), Value::logic('1').unwrap());
+        assert_eq!(run("a xor a"), Value::logic('0').unwrap());
+        assert_eq!(run("not b"), Value::logic('1').unwrap());
+        assert_eq!(run("a nand a"), Value::logic('0').unwrap());
+    }
+
+    #[test]
+    fn downto_slicing() {
+        // v = "11010010" declared (7 downto 0): index 7 is the leftmost bit.
+        assert_eq!(run("v(7 downto 4)"), Value::vector("1101").unwrap());
+        assert_eq!(run("v(3 downto 0)"), Value::vector("0010").unwrap());
+        assert_eq!(run("v(0 downto 0)"), Value::logic('0').unwrap());
+    }
+
+    #[test]
+    fn to_slicing() {
+        // w = "0011" declared (0 to 3): index 0 is the leftmost bit.
+        assert_eq!(run("w(0 to 1)"), Value::vector("00").unwrap());
+        assert_eq!(run("w(2 to 3)"), Value::vector("11").unwrap());
+    }
+
+    #[test]
+    fn out_of_range_slice_errors() {
+        let e = eval(&parse_expression("v(9 downto 8)").unwrap(), &env());
+        assert_eq!(e, Err(SimError::InvalidSlice { name: "v".into() }));
+    }
+
+    #[test]
+    fn undefined_name_errors() {
+        let e = eval(&parse_expression("ghost").unwrap(), &env());
+        assert_eq!(e, Err(SimError::UndefinedName { name: "ghost".into() }));
+    }
+
+    #[test]
+    fn relational_operations() {
+        assert_eq!(run("v = v"), Value::logic('1').unwrap());
+        assert_eq!(run("v /= v"), Value::logic('0').unwrap());
+        assert_eq!(run("a = '1'"), Value::logic('1').unwrap());
+        // v = 0xD2 = 210
+        assert_eq!(run("v > 100"), Value::logic('1').unwrap());
+        assert_eq!(run("v < 100"), Value::logic('0').unwrap());
+        assert_eq!(run("v >= 210"), Value::logic('1').unwrap());
+        assert_eq!(run("v <= 209"), Value::logic('0').unwrap());
+    }
+
+    #[test]
+    fn comparisons_with_undefined_bits_yield_x() {
+        let mut e = env();
+        e.values.insert("u".to_string(), Value::vector("0X").unwrap());
+        e.types.insert("u".to_string(), Type::vector_downto(1, 0));
+        let v = eval(&parse_expression("u = \"00\"").unwrap(), &e).unwrap();
+        assert_eq!(v, Value::Logic(Logic::X));
+        let v = eval(&parse_expression("u < \"10\"").unwrap(), &e).unwrap();
+        assert_eq!(v, Value::Logic(Logic::X));
+    }
+
+    #[test]
+    fn arithmetic_is_modular_in_width() {
+        assert_eq!(run("\"1111\" + \"0001\""), Value::vector("0000").unwrap());
+        assert_eq!(run("\"0000\" - \"0001\""), Value::vector("1111").unwrap());
+        assert_eq!(run("\"0101\" + 1"), Value::from_unsigned(6, 64));
+    }
+
+    #[test]
+    fn concatenation() {
+        assert_eq!(run("a & b"), Value::vector("10").unwrap());
+        assert_eq!(run("v(7 downto 4) & \"0000\""), Value::vector("11010000").unwrap());
+    }
+
+    #[test]
+    fn update_slice_overwrites_selected_range() {
+        let ty = Type::vector_downto(7, 0);
+        let v = Value::vector("00000000").unwrap();
+        let updated =
+            update_slice("v", &v, &ty, &Slice::downto(7, 4), &Value::vector("1010").unwrap())
+                .unwrap();
+        assert_eq!(updated.to_literal(), "10100000");
+        let ty_to = Type::vector_to(0, 3);
+        let w = Value::vector("0000").unwrap();
+        let updated =
+            update_slice("w", &w, &ty_to, &Slice::to(1, 2), &Value::vector("11").unwrap()).unwrap();
+        assert_eq!(updated.to_literal(), "0110");
+    }
+}

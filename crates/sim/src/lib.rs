@@ -1,0 +1,45 @@
+//! # `vhdl1-sim` — structural operational semantics for VHDL1
+//!
+//! An executable implementation of Section 3 of *Information Flow Analysis
+//! for VHDL* (Tolstrup, Nielson & Nielson, PaCT 2005):
+//!
+//! * the nine-valued `std_logic` domain, vectors and the resolution function
+//!   ([`values`]),
+//! * the expression semantics of Table 1 ([`eval`]),
+//! * the statement and concurrent-statement semantics of Tables 2 and 3 —
+//!   processes execute until their synchronisation points, where active
+//!   values are resolved into new present values over delta cycles
+//!   ([`simulator`]).
+//!
+//! The simulator plays the role ModelSim plays in the paper: it validates
+//! that the VHDL1 workloads (notably the generated AES-128 implementation in
+//! `aes-vhdl`) compute the right values.
+//!
+//! ```
+//! use vhdl1_sim::{Simulator, Value};
+//!
+//! let design = vhdl1_syntax::frontend(
+//!     "entity e is port(a : in std_logic; b : out std_logic); end e;
+//!      architecture rtl of e is begin
+//!        p : process begin b <= not a; wait on a; end process p;
+//!      end rtl;")?;
+//! let mut sim = Simulator::new(&design)?;
+//! sim.run_until_quiescent(10)?;
+//! sim.drive_input("a", Value::logic('0').unwrap())?;
+//! sim.run_until_quiescent(10)?;
+//! assert_eq!(sim.signal("b"), Some(&Value::logic('1').unwrap()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod eval;
+pub mod simulator;
+pub mod values;
+
+pub use error::SimError;
+pub use eval::{apply_binary, eval, slice_value, update_slice, NameEnv};
+pub use simulator::{DeltaReport, SimOptions, Simulator};
+pub use values::{resolve_all, Logic, Value};

@@ -1,0 +1,88 @@
+//! Property-based tests for the `std_logic` value domain: algebraic
+//! properties of the resolution function and of the vector conversions that
+//! the simulator relies on.
+
+use proptest::prelude::*;
+use vhdl1_sim::{resolve_all, Logic, Value};
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop::sample::select(Logic::ALL.to_vec())
+}
+
+proptest! {
+    /// The IEEE 1164 resolution function is commutative and associative, so
+    /// the resolution of a multiset of drivers is well-defined regardless of
+    /// the order the semantics visits the processes in.
+    #[test]
+    fn resolution_is_commutative_and_associative(
+        a in arb_logic(), b in arb_logic(), c in arb_logic()
+    ) {
+        prop_assert_eq!(a.resolve(b), b.resolve(a));
+        prop_assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
+    }
+
+    /// Resolving a driver with itself never changes it (idempotence — except
+    /// for the don't-care value, which the IEEE table resolves to 'X'), and
+    /// 'U' / 'Z' behave as the annihilator / near-identity of the table.
+    #[test]
+    fn resolution_identities(a in arb_logic()) {
+        if a == Logic::DontCare {
+            prop_assert_eq!(a.resolve(a), Logic::X);
+        } else {
+            prop_assert_eq!(a.resolve(a), a);
+        }
+        prop_assert_eq!(a.resolve(Logic::U), Logic::U);
+        let z_resolved = Logic::Z.resolve(a);
+        if a == Logic::Z {
+            prop_assert_eq!(z_resolved, Logic::Z);
+        } else {
+            // Resolving with high impedance keeps the driving value except
+            // that weak values stay weak.
+            prop_assert_eq!(z_resolved.to_x01(), a.to_x01());
+        }
+    }
+
+    /// Gate operators agree with their boolean counterparts on defined values
+    /// and never return a defined value from an undefined operand pair that
+    /// could change the outcome.
+    #[test]
+    fn gates_match_boolean_logic(a in arb_logic(), b in arb_logic()) {
+        if let (Some(x), Some(y)) = (a.to_bool(), b.to_bool()) {
+            prop_assert_eq!(a.and(b).to_bool(), Some(x && y));
+            prop_assert_eq!(a.or(b).to_bool(), Some(x || y));
+            prop_assert_eq!(a.xor(b).to_bool(), Some(x ^ y));
+            prop_assert_eq!(a.not().to_bool(), Some(!x));
+        }
+    }
+
+    /// Unsigned round-trips through vectors of any width up to 64 bits.
+    #[test]
+    fn unsigned_roundtrip(n in 0u64..u64::MAX, width in 1usize..=64) {
+        let masked = if width == 64 { n as u128 } else { (n as u128) & ((1u128 << width) - 1) };
+        let v = Value::from_unsigned(masked, width);
+        prop_assert_eq!(v.width(), width);
+        prop_assert_eq!(v.to_unsigned(), Some(masked));
+    }
+
+    /// Resizing preserves the numeric value when widening and truncates
+    /// modulo 2^width when narrowing.
+    #[test]
+    fn resize_semantics(n in 0u32..u32::MAX, width in 1usize..=48) {
+        let v = Value::from_unsigned(n as u128, 32);
+        let resized = v.resized(width);
+        let expected = if width >= 32 {
+            n as u128
+        } else {
+            (n as u128) & ((1u128 << width) - 1)
+        };
+        prop_assert_eq!(resized.to_unsigned(), Some(expected));
+    }
+
+    /// `resolve_all` equals a pairwise left fold (the multiset view of the
+    /// paper's resolution function f_s).
+    #[test]
+    fn resolve_all_matches_fold(values in prop::collection::vec(arb_logic(), 1..6)) {
+        let folded = values.iter().copied().reduce(Logic::resolve);
+        prop_assert_eq!(resolve_all(values.iter().copied()), folded);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the VHDL1 front end.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// An error produced while lexing, parsing or elaborating a VHDL1 program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    kind: SyntaxErrorKind,
+    pos: Option<Pos>,
+    message: String,
+}
+
+/// The phase that produced a [`SyntaxError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntaxErrorKind {
+    /// Produced by the lexer.
+    Lex,
+    /// Produced by the parser.
+    Parse,
+    /// Produced by elaboration (scoping, uniqueness, binding checks).
+    Elaborate,
+}
+
+impl SyntaxError {
+    /// Creates a lexer error at `pos`.
+    pub fn lex(pos: Pos, message: String) -> Self {
+        SyntaxError { kind: SyntaxErrorKind::Lex, pos: Some(pos), message }
+    }
+
+    /// Creates a parser error at `pos`.
+    pub fn parse(pos: Pos, message: String) -> Self {
+        SyntaxError { kind: SyntaxErrorKind::Parse, pos: Some(pos), message }
+    }
+
+    /// Creates an elaboration error (no position available).
+    pub fn elaborate(message: String) -> Self {
+        SyntaxError { kind: SyntaxErrorKind::Elaborate, pos: None, message }
+    }
+
+    /// The phase that produced the error.
+    pub fn kind(&self) -> SyntaxErrorKind {
+        self.kind
+    }
+
+    /// Source position of the error, if known.
+    pub fn pos(&self) -> Option<Pos> {
+        self.pos
+    }
+
+    /// Human-readable description of the error.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.kind {
+            SyntaxErrorKind::Lex => "lex error",
+            SyntaxErrorKind::Parse => "parse error",
+            SyntaxErrorKind::Elaborate => "elaboration error",
+        };
+        match self.pos {
+            Some(p) => write!(f, "{phase} at {p}: {}", self.message),
+            None => write!(f, "{phase}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_phase() {
+        let e = SyntaxError::parse(Pos { line: 2, col: 7 }, "expected `;`".into());
+        assert_eq!(e.to_string(), "parse error at 2:7: expected `;`");
+        assert_eq!(e.kind(), SyntaxErrorKind::Parse);
+        assert_eq!(e.pos(), Some(Pos { line: 2, col: 7 }));
+    }
+
+    #[test]
+    fn elaborate_errors_have_no_position() {
+        let e = SyntaxError::elaborate("duplicate signal `s`".into());
+        assert_eq!(e.to_string(), "elaboration error: duplicate signal `s`");
+        assert!(e.pos().is_none());
+    }
+}

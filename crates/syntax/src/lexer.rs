@@ -1,0 +1,320 @@
+//! Hand-written lexer for VHDL1.
+//!
+//! VHDL identifiers and keywords are case-insensitive; the lexer normalises
+//! them to lower case.  Comments start with `--` and run to the end of line.
+
+use crate::error::SyntaxError;
+use crate::token::{Keyword, Pos, Token, TokenKind};
+
+/// Lexes a complete source text into a vector of tokens terminated by
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] on unterminated literals or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: Vec<char>,
+    idx: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, chars: src.chars().collect(), idx: 0, line: 1, col: 1 }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.idx).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.idx + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.idx += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, SyntaxError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, pos });
+                return Ok(out);
+            };
+            let kind = match c {
+                '(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                ')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                ';' => {
+                    self.bump();
+                    TokenKind::Semicolon
+                }
+                ',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                '+' => {
+                    self.bump();
+                    TokenKind::Plus
+                }
+                '&' => {
+                    self.bump();
+                    TokenKind::Ampersand
+                }
+                '-' => {
+                    // `--` comments are handled in skip_trivia, so this is minus.
+                    self.bump();
+                    TokenKind::Minus
+                }
+                '=' => {
+                    self.bump();
+                    TokenKind::Eq
+                }
+                ':' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::ColonEq
+                    } else {
+                        TokenKind::Colon
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::LtEq
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::GtEq
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '/' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::SlashEq
+                    } else {
+                        return Err(SyntaxError::lex(pos, "expected `/=`".to_string()));
+                    }
+                }
+                '\'' => {
+                    self.bump();
+                    let v = self.bump().ok_or_else(|| {
+                        SyntaxError::lex(pos, "unterminated character literal".to_string())
+                    })?;
+                    if self.bump() != Some('\'') {
+                        return Err(SyntaxError::lex(
+                            pos,
+                            "character literal must contain exactly one character".to_string(),
+                        ));
+                    }
+                    TokenKind::CharLit(v.to_ascii_uppercase())
+                }
+                '"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('"') => break,
+                            Some(ch) => s.push(ch.to_ascii_uppercase()),
+                            None => {
+                                return Err(SyntaxError::lex(
+                                    pos,
+                                    "unterminated string literal".to_string(),
+                                ))
+                            }
+                        }
+                    }
+                    TokenKind::StringLit(s)
+                }
+                c if c.is_ascii_digit() => {
+                    let mut n: i64 = 0;
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_digit() {
+                            n = n
+                                .checked_mul(10)
+                                .and_then(|n| n.checked_add((d as u8 - b'0') as i64))
+                                .ok_or_else(|| {
+                                    SyntaxError::lex(pos, "integer literal overflows".to_string())
+                                })?;
+                            self.bump();
+                        } else if d == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokenKind::IntLit(n)
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            s.push(d.to_ascii_lowercase());
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    match Keyword::from_str(&s) {
+                        Some(kw) => TokenKind::Keyword(kw),
+                        None => TokenKind::Ident(s),
+                    }
+                }
+                other => {
+                    return Err(SyntaxError::lex(pos, format!("unexpected character `{other}`")))
+                }
+            };
+            out.push(Token { kind, pos });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Lexer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lexer").field("remaining", &&self.src[self.idx.min(self.src.len())..]).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_keywords() {
+        let ks = kinds("entity e is port(a : in std_logic); end e;");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Entity));
+        assert_eq!(ks[1], TokenKind::Ident("e".into()));
+        assert!(ks.contains(&TokenKind::Keyword(Keyword::StdLogic)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_assignment_operators() {
+        let ks = kinds("x := '1'; s <= \"01\";");
+        assert!(ks.contains(&TokenKind::ColonEq));
+        assert!(ks.contains(&TokenKind::LtEq));
+        assert!(ks.contains(&TokenKind::CharLit('1')));
+        assert!(ks.contains(&TokenKind::StringLit("01".into())));
+    }
+
+    #[test]
+    fn case_insensitive_identifiers_and_keywords() {
+        let ks = kinds("ENTITY Foo IS");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Entity));
+        assert_eq!(ks[1], TokenKind::Ident("foo".into()));
+        assert_eq!(ks[2], TokenKind::Keyword(Keyword::Is));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("a -- a comment with -- dashes\n b");
+        assert_eq!(
+            ks,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_relational_operators() {
+        let ks = kinds("= /= < > >= <=");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Eq,
+                TokenKind::SlashEq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::LtEq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_integers_with_underscores() {
+        assert_eq!(kinds("1_024")[0], TokenKind::IntLit(1024));
+    }
+
+    #[test]
+    fn char_literal_uppercased() {
+        assert_eq!(kinds("'z'")[0], TokenKind::CharLit('Z'));
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(lex("\"01").is_err());
+    }
+
+    #[test]
+    fn errors_on_stray_slash() {
+        assert!(lex("a / b").is_err());
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+}

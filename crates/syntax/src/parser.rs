@@ -1,0 +1,863 @@
+//! Recursive-descent parser for VHDL1.
+//!
+//! The parser accepts the concrete syntax of Figure 1 in its conventional
+//! VHDL spelling: `if ... then ... else ... end if;`,
+//! `while ... loop ... end loop;` (the paper's `while e do ss` form is also
+//! accepted), processes with optional sensitivity lists (desugared to a
+//! trailing `wait on` statement, following Section 2), and concurrent signal
+//! assignments.
+//!
+//! Labels of elementary blocks are *not* assigned by the parser; they are
+//! assigned during elaboration so that they are unique across the whole
+//! program (Section 4).
+
+use crate::ast::*;
+use crate::error::SyntaxError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Pos, Token, TokenKind};
+
+/// Parses a complete VHDL1 program (a sequence of entities and architectures).
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] describing the first lexical or syntactic
+/// problem encountered.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+///   entity e is port(a : in std_logic; b : out std_logic); end e;
+///   architecture rtl of e is begin
+///     p : process begin b <= a; wait on a; end process p;
+///   end rtl;";
+/// let program = vhdl1_syntax::parse(src)?;
+/// assert_eq!(program.units.len(), 2);
+/// # Ok::<(), vhdl1_syntax::SyntaxError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, SyntaxError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+/// Parses a single sequential statement body (used by tests and workload
+/// generators that construct processes directly).
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] if the text is not a valid statement sequence.
+pub fn parse_statements(src: &str) -> Result<Stmt, SyntaxError> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let stmt = p.statement_sequence()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a single expression.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] if the text is not a valid expression.
+pub fn parse_expression(src: &str) -> Result<Expr, SyntaxError> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expression()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, idx: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.idx].kind
+    }
+
+    fn peek_n(&self, n: usize) -> &TokenKind {
+        let i = (self.idx + n).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.idx].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.idx].kind.clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        k
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), SyntaxError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), SyntaxError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SyntaxError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of input, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> SyntaxError {
+        SyntaxError::parse(self.pos(), message)
+    }
+
+    fn ident(&mut self) -> Result<Ident, SyntaxError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, SyntaxError> {
+        match self.peek().clone() {
+            TokenKind::IntLit(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => Err(self.err(format!("expected integer, found {other}"))),
+        }
+    }
+
+    // ---- programs -------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, SyntaxError> {
+        let mut units = Vec::new();
+        loop {
+            if matches!(self.peek(), TokenKind::Eof) {
+                break;
+            }
+            if self.at_kw(Keyword::Entity) {
+                units.push(DesignUnit::Entity(self.entity()?));
+            } else if self.at_kw(Keyword::Architecture) {
+                units.push(DesignUnit::Architecture(self.architecture()?));
+            } else {
+                return Err(self.err(format!(
+                    "expected `entity` or `architecture`, found {}",
+                    self.peek()
+                )));
+            }
+        }
+        Ok(Program { units })
+    }
+
+    fn entity(&mut self) -> Result<Entity, SyntaxError> {
+        self.expect_kw(Keyword::Entity)?;
+        let name = self.ident()?;
+        self.expect_kw(Keyword::Is)?;
+        let mut ports = Vec::new();
+        if self.eat_kw(Keyword::Port) {
+            self.expect(TokenKind::LParen)?;
+            loop {
+                ports.extend(self.port_group()?);
+                if self.eat(&TokenKind::Semicolon) {
+                    if matches!(self.peek(), TokenKind::RParen) {
+                        break;
+                    }
+                    continue;
+                }
+                break;
+            }
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semicolon)?;
+        }
+        self.expect_kw(Keyword::End)?;
+        if let TokenKind::Ident(_) = self.peek() {
+            let closing = self.ident()?;
+            if closing != name {
+                return Err(self.err(format!(
+                    "entity `{name}` closed with mismatched name `{closing}`"
+                )));
+            }
+        }
+        self.expect(TokenKind::Semicolon)?;
+        Ok(Entity { name, ports })
+    }
+
+    fn port_group(&mut self) -> Result<Vec<Port>, SyntaxError> {
+        let mut names = vec![self.ident()?];
+        while self.eat(&TokenKind::Comma) {
+            names.push(self.ident()?);
+        }
+        self.expect(TokenKind::Colon)?;
+        let mode = if self.eat_kw(Keyword::In) {
+            PortMode::In
+        } else if self.eat_kw(Keyword::Out) {
+            PortMode::Out
+        } else {
+            return Err(self.err(format!("expected `in` or `out`, found {}", self.peek())));
+        };
+        let ty = self.type_mark()?;
+        Ok(names.into_iter().map(|name| Port { name, mode, ty: ty.clone() }).collect())
+    }
+
+    fn type_mark(&mut self) -> Result<Type, SyntaxError> {
+        if self.eat_kw(Keyword::StdLogic) {
+            return Ok(Type::StdLogic);
+        }
+        if self.eat_kw(Keyword::StdLogicVector) {
+            self.expect(TokenKind::LParen)?;
+            let left = self.int()?;
+            let dir = self.range_dir()?;
+            let right = self.int()?;
+            self.expect(TokenKind::RParen)?;
+            return Ok(Type::StdLogicVector { dir, left, right });
+        }
+        Err(self.err(format!(
+            "expected `std_logic` or `std_logic_vector`, found {}",
+            self.peek()
+        )))
+    }
+
+    fn range_dir(&mut self) -> Result<RangeDir, SyntaxError> {
+        if self.eat_kw(Keyword::Downto) {
+            Ok(RangeDir::Downto)
+        } else if self.eat_kw(Keyword::To) {
+            Ok(RangeDir::To)
+        } else {
+            Err(self.err(format!("expected `downto` or `to`, found {}", self.peek())))
+        }
+    }
+
+    fn architecture(&mut self) -> Result<Architecture, SyntaxError> {
+        self.expect_kw(Keyword::Architecture)?;
+        let name = self.ident()?;
+        self.expect_kw(Keyword::Of)?;
+        let entity = self.ident()?;
+        self.expect_kw(Keyword::Is)?;
+        let decls = self.declarations()?;
+        self.expect_kw(Keyword::Begin)?;
+        let mut body = Vec::new();
+        while !self.at_kw(Keyword::End) {
+            body.push(self.concurrent()?);
+        }
+        self.expect_kw(Keyword::End)?;
+        if let TokenKind::Ident(_) = self.peek() {
+            let closing = self.ident()?;
+            if closing != name {
+                return Err(self.err(format!(
+                    "architecture `{name}` closed with mismatched name `{closing}`"
+                )));
+            }
+        }
+        self.expect(TokenKind::Semicolon)?;
+        Ok(Architecture { name, entity, decls, body })
+    }
+
+    fn declarations(&mut self) -> Result<Vec<Decl>, SyntaxError> {
+        let mut decls = Vec::new();
+        loop {
+            let is_var = self.at_kw(Keyword::Variable);
+            let is_sig = self.at_kw(Keyword::Signal);
+            if !is_var && !is_sig {
+                return Ok(decls);
+            }
+            self.bump();
+            let mut names = vec![self.ident()?];
+            while self.eat(&TokenKind::Comma) {
+                names.push(self.ident()?);
+            }
+            self.expect(TokenKind::Colon)?;
+            let ty = self.type_mark()?;
+            let init = if self.eat(&TokenKind::ColonEq) { Some(self.expression()?) } else { None };
+            self.expect(TokenKind::Semicolon)?;
+            for name in names {
+                decls.push(if is_var {
+                    Decl::Variable { name, ty: ty.clone(), init: init.clone() }
+                } else {
+                    Decl::Signal { name, ty: ty.clone(), init: init.clone() }
+                });
+            }
+        }
+    }
+
+    // ---- concurrent statements -------------------------------------------
+
+    fn concurrent(&mut self) -> Result<Concurrent, SyntaxError> {
+        // Labelled process or block: `ident : process ...` / `ident : block ...`
+        if matches!(self.peek(), TokenKind::Ident(_)) && matches!(self.peek_n(1), TokenKind::Colon)
+        {
+            match self.peek_n(2) {
+                TokenKind::Keyword(Keyword::Process) => return self.process().map(Concurrent::Process),
+                TokenKind::Keyword(Keyword::Block) => return self.block().map(Concurrent::Block),
+                _ => {}
+            }
+        }
+        // Unlabelled process (rare, give it a synthetic empty name).
+        if self.at_kw(Keyword::Process) {
+            return self.process_with_name(String::new()).map(Concurrent::Process);
+        }
+        // Concurrent signal assignment.
+        let target = self.target()?;
+        self.expect(TokenKind::LtEq)?;
+        let expr = self.expression()?;
+        self.expect(TokenKind::Semicolon)?;
+        Ok(Concurrent::Assign { target, expr })
+    }
+
+    fn process(&mut self) -> Result<Process, SyntaxError> {
+        let name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        self.process_with_name(name)
+    }
+
+    fn process_with_name(&mut self, name: Ident) -> Result<Process, SyntaxError> {
+        self.expect_kw(Keyword::Process)?;
+        // Optional sensitivity list: desugared to a trailing `wait on` (Section 2).
+        let mut sensitivity = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            sensitivity.push(self.ident()?);
+            while self.eat(&TokenKind::Comma) {
+                sensitivity.push(self.ident()?);
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        self.eat_kw(Keyword::Is);
+        let decls = self.declarations()?;
+        self.expect_kw(Keyword::Begin)?;
+        let mut body = self.statement_sequence()?;
+        self.expect_kw(Keyword::End)?;
+        self.expect_kw(Keyword::Process)?;
+        if let TokenKind::Ident(_) = self.peek() {
+            let closing = self.ident()?;
+            if !name.is_empty() && closing != name {
+                return Err(self
+                    .err(format!("process `{name}` closed with mismatched name `{closing}`")));
+            }
+        }
+        self.expect(TokenKind::Semicolon)?;
+        if !sensitivity.is_empty() {
+            body = Stmt::Seq(
+                Box::new(body),
+                Box::new(Stmt::Wait { label: 0, on: sensitivity, until: Expr::one() }),
+            );
+        }
+        Ok(Process { name, decls, body })
+    }
+
+    fn block(&mut self) -> Result<Block, SyntaxError> {
+        let name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        self.expect_kw(Keyword::Block)?;
+        self.eat_kw(Keyword::Is);
+        let decls = self.declarations()?;
+        self.expect_kw(Keyword::Begin)?;
+        let mut body = Vec::new();
+        while !self.at_kw(Keyword::End) {
+            body.push(self.concurrent()?);
+        }
+        self.expect_kw(Keyword::End)?;
+        self.expect_kw(Keyword::Block)?;
+        if let TokenKind::Ident(_) = self.peek() {
+            let closing = self.ident()?;
+            if closing != name {
+                return Err(
+                    self.err(format!("block `{name}` closed with mismatched name `{closing}`"))
+                );
+            }
+        }
+        self.expect(TokenKind::Semicolon)?;
+        Ok(Block { name, decls, body })
+    }
+
+    // ---- sequential statements ---------------------------------------------
+
+    fn at_statement_terminator(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Eof
+                | TokenKind::Keyword(Keyword::End)
+                | TokenKind::Keyword(Keyword::Else)
+                | TokenKind::Keyword(Keyword::Elsif)
+        )
+    }
+
+    fn statement_sequence(&mut self) -> Result<Stmt, SyntaxError> {
+        let mut stmts = Vec::new();
+        while !self.at_statement_terminator() {
+            stmts.push(self.statement()?);
+        }
+        Ok(Stmt::seq(stmts))
+    }
+
+    fn statement(&mut self) -> Result<Stmt, SyntaxError> {
+        if self.eat_kw(Keyword::Null) {
+            self.expect(TokenKind::Semicolon)?;
+            return Ok(Stmt::Null { label: 0 });
+        }
+        if self.eat_kw(Keyword::Wait) {
+            return self.wait_statement();
+        }
+        if self.eat_kw(Keyword::If) {
+            return self.if_statement();
+        }
+        if self.eat_kw(Keyword::While) {
+            return self.while_statement();
+        }
+        // Assignment.
+        let target = self.target()?;
+        if self.eat(&TokenKind::ColonEq) {
+            let expr = self.expression()?;
+            self.expect(TokenKind::Semicolon)?;
+            return Ok(Stmt::VarAssign { label: 0, target, expr });
+        }
+        if self.eat(&TokenKind::LtEq) {
+            let expr = self.expression()?;
+            self.expect(TokenKind::Semicolon)?;
+            return Ok(Stmt::SignalAssign { label: 0, target, expr });
+        }
+        Err(self.err(format!("expected `:=` or `<=`, found {}", self.peek())))
+    }
+
+    fn wait_statement(&mut self) -> Result<Stmt, SyntaxError> {
+        let mut on = Vec::new();
+        let mut explicit_on = false;
+        if self.eat_kw(Keyword::On) {
+            explicit_on = true;
+            on.push(self.ident()?);
+            while self.eat(&TokenKind::Comma) {
+                on.push(self.ident()?);
+            }
+        }
+        let until = if self.eat_kw(Keyword::Until) { self.expression()? } else { Expr::one() };
+        // Default `on` is the set of free signals of the `until` condition
+        // (Section 2); names that turn out to be variables are pruned at
+        // elaboration time.
+        if !explicit_on {
+            on = until.referenced_names();
+        }
+        self.expect(TokenKind::Semicolon)?;
+        Ok(Stmt::Wait { label: 0, on, until })
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt, SyntaxError> {
+        let cond = self.expression()?;
+        self.expect_kw(Keyword::Then)?;
+        let then_branch = self.statement_sequence()?;
+        let else_branch = if self.eat_kw(Keyword::Elsif) {
+            // `elsif` chains desugar to nested conditionals.
+            self.if_tail()?
+        } else if self.eat_kw(Keyword::Else) {
+            let e = self.statement_sequence()?;
+            self.expect_kw(Keyword::End)?;
+            self.expect_kw(Keyword::If)?;
+            self.expect(TokenKind::Semicolon)?;
+            e
+        } else {
+            self.expect_kw(Keyword::End)?;
+            self.expect_kw(Keyword::If)?;
+            self.expect(TokenKind::Semicolon)?;
+            Stmt::Null { label: 0 }
+        };
+        Ok(Stmt::If {
+            label: 0,
+            cond,
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        })
+    }
+
+    /// Parses the continuation of an `elsif`: behaves like a nested `if` but
+    /// shares the enclosing `end if;`.
+    fn if_tail(&mut self) -> Result<Stmt, SyntaxError> {
+        let cond = self.expression()?;
+        self.expect_kw(Keyword::Then)?;
+        let then_branch = self.statement_sequence()?;
+        let else_branch = if self.eat_kw(Keyword::Elsif) {
+            self.if_tail()?
+        } else if self.eat_kw(Keyword::Else) {
+            let e = self.statement_sequence()?;
+            self.expect_kw(Keyword::End)?;
+            self.expect_kw(Keyword::If)?;
+            self.expect(TokenKind::Semicolon)?;
+            e
+        } else {
+            self.expect_kw(Keyword::End)?;
+            self.expect_kw(Keyword::If)?;
+            self.expect(TokenKind::Semicolon)?;
+            Stmt::Null { label: 0 }
+        };
+        Ok(Stmt::If {
+            label: 0,
+            cond,
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        })
+    }
+
+    fn while_statement(&mut self) -> Result<Stmt, SyntaxError> {
+        let cond = self.expression()?;
+        if self.eat_kw(Keyword::Loop) {
+            let body = self.statement_sequence()?;
+            self.expect_kw(Keyword::End)?;
+            self.expect_kw(Keyword::Loop)?;
+            self.expect(TokenKind::Semicolon)?;
+            Ok(Stmt::While { label: 0, cond, body: Box::new(body) })
+        } else if self.eat_kw(Keyword::Do) {
+            // Paper-style `while e do ss end while;`
+            let body = self.statement_sequence()?;
+            self.expect_kw(Keyword::End)?;
+            self.expect_kw(Keyword::While)?;
+            self.expect(TokenKind::Semicolon)?;
+            Ok(Stmt::While { label: 0, cond, body: Box::new(body) })
+        } else {
+            Err(self.err(format!("expected `loop` or `do`, found {}", self.peek())))
+        }
+    }
+
+    fn target(&mut self) -> Result<Target, SyntaxError> {
+        let name = self.ident()?;
+        let slice = self.optional_slice()?;
+        Ok(Target { name, slice })
+    }
+
+    fn optional_slice(&mut self) -> Result<Option<Slice>, SyntaxError> {
+        if matches!(self.peek(), TokenKind::LParen) {
+            // Only a literal integer range is a slice in VHDL1.
+            if let (TokenKind::IntLit(_), TokenKind::Keyword(Keyword::Downto | Keyword::To)) =
+                (self.peek_n(1), self.peek_n(2))
+            {
+                self.expect(TokenKind::LParen)?;
+                let left = self.int()?;
+                let dir = self.range_dir()?;
+                let right = self.int()?;
+                self.expect(TokenKind::RParen)?;
+                return Ok(Some(Slice { dir, left, right }));
+            }
+            // Single-element index `x(3)` is sugar for `x(3 downto 3)`.
+            if let (TokenKind::IntLit(_), TokenKind::RParen) = (self.peek_n(1), self.peek_n(2)) {
+                self.expect(TokenKind::LParen)?;
+                let i = self.int()?;
+                self.expect(TokenKind::RParen)?;
+                return Ok(Some(Slice { dir: RangeDir::Downto, left: i, right: i }));
+            }
+        }
+        Ok(None)
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn expression(&mut self) -> Result<Expr, SyntaxError> {
+        self.logical_expression()
+    }
+
+    fn logical_expression(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.relation()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Keyword(Keyword::And) => BinOp::And,
+                TokenKind::Keyword(Keyword::Or) => BinOp::Or,
+                TokenKind::Keyword(Keyword::Xor) => BinOp::Xor,
+                TokenKind::Keyword(Keyword::Nand) => BinOp::Nand,
+                TokenKind::Keyword(Keyword::Nor) => BinOp::Nor,
+                TokenKind::Keyword(Keyword::Xnor) => BinOp::Xnor,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.relation()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn relation(&mut self) -> Result<Expr, SyntaxError> {
+        let lhs = self.adding_expression()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::SlashEq => BinOp::Neq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.adding_expression()?;
+        Ok(Expr::binary(op, lhs, rhs))
+    }
+
+    fn adding_expression(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Ampersand => BinOp::Concat,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, SyntaxError> {
+        if self.eat_kw(Keyword::Not) {
+            let e = self.factor()?;
+            return Ok(Expr::not(e));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SyntaxError> {
+        match self.peek().clone() {
+            TokenKind::CharLit(c) => {
+                self.bump();
+                Ok(Expr::Logic(c))
+            }
+            TokenKind::StringLit(s) => {
+                self.bump();
+                Ok(Expr::Vector(s))
+            }
+            TokenKind::IntLit(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(_) => {
+                let name = self.ident()?;
+                let slice = self.optional_slice()?;
+                Ok(Expr::Name { name, slice })
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entity_with_vector_ports() {
+        let p = parse(
+            "entity aes is port(key : in std_logic_vector(127 downto 0); \
+             ct : out std_logic_vector(127 downto 0)); end aes;",
+        )
+        .unwrap();
+        let e = p.entity("aes").unwrap();
+        assert_eq!(e.ports.len(), 2);
+        assert_eq!(e.ports[0].mode, PortMode::In);
+        assert_eq!(e.ports[0].ty.width(), 128);
+    }
+
+    #[test]
+    fn parses_port_name_groups() {
+        let p = parse("entity e is port(a, b : in std_logic; c : out std_logic); end e;").unwrap();
+        assert_eq!(p.entity("e").unwrap().ports.len(), 3);
+    }
+
+    #[test]
+    fn parses_architecture_with_process() {
+        let p = parse(
+            "entity e is port(a : in std_logic; b : out std_logic); end e;\n\
+             architecture rtl of e is\n\
+               signal t : std_logic;\n\
+             begin\n\
+               p1 : process\n\
+                 variable v : std_logic := '0';\n\
+               begin\n\
+                 v := a and t;\n\
+                 b <= v;\n\
+                 wait on a until a = '1';\n\
+               end process p1;\n\
+               t <= a;\n\
+             end rtl;",
+        )
+        .unwrap();
+        let a = p.architecture("rtl").unwrap();
+        assert_eq!(a.decls.len(), 1);
+        assert_eq!(a.body.len(), 2);
+        match &a.body[0] {
+            Concurrent::Process(proc) => {
+                assert_eq!(proc.name, "p1");
+                assert_eq!(proc.decls.len(), 1);
+                assert_eq!(proc.body.flatten().len(), 3);
+            }
+            other => panic!("expected process, got {other:?}"),
+        }
+        assert!(matches!(&a.body[1], Concurrent::Assign { .. }));
+    }
+
+    #[test]
+    fn sensitivity_list_desugars_to_wait() {
+        let p = parse(
+            "architecture a of e is begin \
+             p : process(clk, rst) begin q <= d; end process; end a;",
+        )
+        .unwrap();
+        let arch = p.architecture("a").unwrap();
+        let Concurrent::Process(proc) = &arch.body[0] else { panic!() };
+        let flat = proc.body.flatten();
+        assert_eq!(flat.len(), 2);
+        match flat[1] {
+            Stmt::Wait { on, until, .. } => {
+                assert_eq!(on, &vec!["clk".to_string(), "rst".to_string()]);
+                assert!(until.is_true_literal());
+            }
+            other => panic!("expected wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_until_defaults_on_to_free_names() {
+        let s = parse_statements("wait until clk = '1';").unwrap();
+        match s {
+            Stmt::Wait { on, .. } => assert_eq!(on, vec!["clk".to_string()]),
+            other => panic!("expected wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_wait_has_empty_sensitivity() {
+        let s = parse_statements("wait;").unwrap();
+        match s {
+            Stmt::Wait { on, until, .. } => {
+                assert!(on.is_empty());
+                assert!(until.is_true_literal());
+            }
+            other => panic!("expected wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_elsif_else_chain() {
+        let s = parse_statements(
+            "if a = '1' then x := '0'; elsif b = '1' then x := '1'; else null; end if;",
+        )
+        .unwrap();
+        let Stmt::If { else_branch, .. } = s else { panic!() };
+        assert!(matches!(*else_branch, Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_while_loop_and_paper_do_form() {
+        let a = parse_statements("while a = '0' loop x := x + 1; end loop;").unwrap();
+        assert!(matches!(a, Stmt::While { .. }));
+        let b = parse_statements("while a = '0' do x := x + 1; end while;").unwrap();
+        assert!(matches!(b, Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_sliced_assignment_and_index_sugar() {
+        let s = parse_statements("x(7 downto 4) := y(3 to 0); s(2) <= '1';").unwrap();
+        let flat = s.flatten();
+        match flat[0] {
+            Stmt::VarAssign { target, expr, .. } => {
+                assert_eq!(target.slice, Some(Slice::downto(7, 4)));
+                assert!(matches!(expr, Expr::Name { slice: Some(_), .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match flat[1] {
+            Stmt::SignalAssign { target, .. } => {
+                assert_eq!(target.slice, Some(Slice::downto(2, 2)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        // `a and b = '1'` parses the relation tighter than the logical op.
+        let e = parse_expression("a and b = '1'").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::And, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // `not a or b` binds `not` tighter than `or`.
+        let e = parse_expression("not a or b").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn le_inside_expression_is_relational() {
+        let e = parse_expression("a <= b").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Le, .. }));
+    }
+
+    #[test]
+    fn concatenation_and_arithmetic() {
+        let e = parse_expression("x(7 downto 4) & (y + 1)").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Concat, .. }));
+    }
+
+    #[test]
+    fn rejects_mismatched_entity_name() {
+        assert!(parse("entity e is end f;").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_statement() {
+        assert!(parse_statements("x + 1;").is_err());
+    }
+
+    #[test]
+    fn parses_block_with_local_signals() {
+        let p = parse(
+            "architecture a of e is begin \
+             b1 : block signal t : std_logic; begin t <= x; q <= t; end block b1; \
+             end a;",
+        )
+        .unwrap();
+        let arch = p.architecture("a").unwrap();
+        let Concurrent::Block(b) = &arch.body[0] else { panic!() };
+        assert_eq!(b.decls.len(), 1);
+        assert_eq!(b.body.len(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Pretty printer emitting parseable VHDL1 concrete syntax.
+//!
+//! The printer is the inverse of the parser up to label assignment and
+//! sensitivity-list desugaring; `parse(pretty(p))` reproduces the original
+//! AST for programs built from the constructs it prints (property-tested in
+//! the crate's test suite).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Pretty-prints a whole program.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    for unit in &p.units {
+        match unit {
+            DesignUnit::Entity(e) => pretty_entity(e, &mut out),
+            DesignUnit::Architecture(a) => pretty_architecture(a, &mut out),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Pretty-prints a single entity declaration.
+pub fn pretty_entity(e: &Entity, out: &mut String) {
+    let _ = writeln!(out, "entity {} is", e.name);
+    if !e.ports.is_empty() {
+        let _ = writeln!(out, "  port(");
+        for (i, port) in e.ports.iter().enumerate() {
+            let sep = if i + 1 == e.ports.len() { "" } else { ";" };
+            let _ = writeln!(out, "    {} : {} {}{}", port.name, port.mode, port.ty, sep);
+        }
+        let _ = writeln!(out, "  );");
+    }
+    let _ = writeln!(out, "end {};", e.name);
+}
+
+/// Pretty-prints a single architecture body.
+pub fn pretty_architecture(a: &Architecture, out: &mut String) {
+    let _ = writeln!(out, "architecture {} of {} is", a.name, a.entity);
+    for d in &a.decls {
+        let _ = writeln!(out, "  {}", pretty_decl(d));
+    }
+    let _ = writeln!(out, "begin");
+    for cs in &a.body {
+        pretty_concurrent(cs, 1, out);
+    }
+    let _ = writeln!(out, "end {};", a.name);
+}
+
+fn indent(level: usize) -> String {
+    "  ".repeat(level)
+}
+
+fn pretty_decl(d: &Decl) -> String {
+    let (kw, name, ty, init) = match d {
+        Decl::Variable { name, ty, init } => ("variable", name, ty, init),
+        Decl::Signal { name, ty, init } => ("signal", name, ty, init),
+    };
+    match init {
+        Some(e) => format!("{kw} {name} : {ty} := {};", pretty_expr(e)),
+        None => format!("{kw} {name} : {ty};"),
+    }
+}
+
+/// Pretty-prints a concurrent statement at the given indentation level.
+pub fn pretty_concurrent(cs: &Concurrent, level: usize, out: &mut String) {
+    let pad = indent(level);
+    match cs {
+        Concurrent::Assign { target, expr } => {
+            let _ = writeln!(out, "{pad}{target} <= {};", pretty_expr(expr));
+        }
+        Concurrent::Process(p) => {
+            let _ = writeln!(out, "{pad}{} : process", p.name);
+            for d in &p.decls {
+                let _ = writeln!(out, "{pad}  {}", pretty_decl(d));
+            }
+            let _ = writeln!(out, "{pad}begin");
+            pretty_stmt(&p.body, level + 1, out);
+            let _ = writeln!(out, "{pad}end process {};", p.name);
+        }
+        Concurrent::Block(b) => {
+            let _ = writeln!(out, "{pad}{} : block", b.name);
+            for d in &b.decls {
+                let _ = writeln!(out, "{pad}  {}", pretty_decl(d));
+            }
+            let _ = writeln!(out, "{pad}begin");
+            for inner in &b.body {
+                pretty_concurrent(inner, level + 1, out);
+            }
+            let _ = writeln!(out, "{pad}end block {};", b.name);
+        }
+    }
+}
+
+/// Pretty-prints a sequential statement at the given indentation level.
+pub fn pretty_stmt(s: &Stmt, level: usize, out: &mut String) {
+    let pad = indent(level);
+    match s {
+        Stmt::Null { .. } => {
+            let _ = writeln!(out, "{pad}null;");
+        }
+        Stmt::VarAssign { target, expr, .. } => {
+            let _ = writeln!(out, "{pad}{target} := {};", pretty_expr(expr));
+        }
+        Stmt::SignalAssign { target, expr, .. } => {
+            let _ = writeln!(out, "{pad}{target} <= {};", pretty_expr(expr));
+        }
+        Stmt::Wait { on, until, .. } => {
+            let mut line = format!("{pad}wait");
+            if !on.is_empty() {
+                let _ = write!(line, " on {}", on.join(", "));
+            }
+            if !until.is_true_literal() {
+                let _ = write!(line, " until {}", pretty_expr(until));
+            }
+            let _ = writeln!(out, "{line};");
+        }
+        Stmt::Seq(a, b) => {
+            pretty_stmt(a, level, out);
+            pretty_stmt(b, level, out);
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            let _ = writeln!(out, "{pad}if {} then", pretty_expr(cond));
+            pretty_stmt(then_branch, level + 1, out);
+            if !matches!(**else_branch, Stmt::Null { .. }) {
+                let _ = writeln!(out, "{pad}else");
+                pretty_stmt(else_branch, level + 1, out);
+            }
+            let _ = writeln!(out, "{pad}end if;");
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while {} loop", pretty_expr(cond));
+            pretty_stmt(body, level + 1, out);
+            let _ = writeln!(out, "{pad}end loop;");
+        }
+    }
+}
+
+/// Pretty-prints an expression with the minimum parenthesisation needed to
+/// re-parse to the same tree.
+pub fn pretty_expr(e: &Expr) -> String {
+    pretty_expr_prec(e, 0)
+}
+
+/// Precedence levels: 0 logical, 1 relational, 2 adding, 3 unary/primary.
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => {
+            if op.is_logical() {
+                0
+            } else if op.is_relational() {
+                1
+            } else {
+                2
+            }
+        }
+        Expr::Unary { .. } => 3,
+        _ => 4,
+    }
+}
+
+fn pretty_expr_prec(e: &Expr, min: u8) -> String {
+    let prec = precedence(e);
+    let body = match e {
+        Expr::Logic(c) => format!("'{c}'"),
+        Expr::Vector(s) => format!("\"{s}\""),
+        Expr::Int(i) => format!("{i}"),
+        Expr::Name { name, slice } => match slice {
+            Some(sl) => format!("{name}{sl}"),
+            None => name.clone(),
+        },
+        Expr::Unary { op, expr } => format!("{op} {}", pretty_expr_prec(expr, 3)),
+        Expr::Binary { op, lhs, rhs } => format!(
+            "{} {op} {}",
+            pretty_expr_prec(lhs, prec),
+            pretty_expr_prec(rhs, prec + 1)
+        ),
+    };
+    if prec < min {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expression, parse_statements};
+
+    #[test]
+    fn expression_roundtrip() {
+        for src in [
+            "a and b or c",
+            "not a",
+            "a = '1'",
+            "x(7 downto 0) & y",
+            "(a or b) and c",
+            "a + 1 - b",
+            "\"0101\"",
+            "a /= b",
+        ] {
+            let e = parse_expression(src).unwrap();
+            let printed = pretty_expr(&e);
+            let reparsed = parse_expression(&printed).unwrap();
+            assert_eq!(e, reparsed, "roundtrip failed for `{src}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn statement_roundtrip() {
+        let src = "x := a; s <= b; if a = '1' then x := '0'; else s <= '1'; end if; \
+                   while a = '0' loop x := x + 1; end loop; wait on a, b until a = '1'; null;";
+        let s = parse_statements(src).unwrap();
+        let mut printed = String::new();
+        pretty_stmt(&s, 0, &mut printed);
+        let reparsed = parse_statements(&printed).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let src = "
+            entity e is port(a : in std_logic; b : out std_logic_vector(3 downto 0)); end e;
+            architecture rtl of e is
+              signal t : std_logic := '0';
+            begin
+              p : process
+                variable v : std_logic_vector(3 downto 0) := \"0000\";
+              begin
+                v := v + 1;
+                b <= v;
+                wait on a until a = '1';
+              end process p;
+              t <= a;
+            end rtl;";
+        let p = parse(src).unwrap();
+        let printed = pretty_program(&p);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn wait_prints_minimal_form() {
+        let s = Stmt::Wait { label: 0, on: vec![], until: Expr::one() };
+        let mut out = String::new();
+        pretty_stmt(&s, 0, &mut out);
+        assert_eq!(out.trim(), "wait;");
+    }
+}

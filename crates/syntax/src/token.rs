@@ -1,0 +1,261 @@
+//! Tokens produced by the VHDL1 lexer.
+
+use std::fmt;
+
+/// A lexical token together with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Source position of the first character of the token.
+    pub pos: Pos,
+}
+
+/// A line/column position in the source text (both 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The different kinds of tokens of VHDL1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (case-insensitive in VHDL; normalised to lowercase).
+    Ident(String),
+    /// Reserved word.
+    Keyword(Keyword),
+    /// A `std_logic` character literal such as `'1'`.
+    CharLit(char),
+    /// A vector (string) literal such as `"0101"`.
+    StringLit(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `:=`
+    ColonEq,
+    /// `<=` — signal assignment or less-or-equal, resolved by the parser.
+    LtEq,
+    /// `=`
+    Eq,
+    /// `/=`
+    SlashEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `&`
+    Ampersand,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::CharLit(c) => write!(f, "'{c}'"),
+            TokenKind::StringLit(s) => write!(f, "\"{s}\""),
+            TokenKind::IntLit(i) => write!(f, "{i}"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::ColonEq => write!(f, "`:=`"),
+            TokenKind::LtEq => write!(f, "`<=`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::SlashEq => write!(f, "`/=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::GtEq => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Ampersand => write!(f, "`&`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Reserved words of VHDL1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant names are their own documentation
+pub enum Keyword {
+    Entity,
+    Is,
+    Port,
+    End,
+    In,
+    Out,
+    StdLogic,
+    StdLogicVector,
+    Downto,
+    To,
+    Architecture,
+    Of,
+    Begin,
+    Process,
+    Block,
+    Variable,
+    Signal,
+    Null,
+    Wait,
+    On,
+    Until,
+    If,
+    Then,
+    Else,
+    Elsif,
+    While,
+    Loop,
+    Do,
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+    Not,
+}
+
+impl Keyword {
+    /// Looks up a keyword by its (lower-case) spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "entity" => Entity,
+            "is" => Is,
+            "port" => Port,
+            "end" => End,
+            "in" => In,
+            "out" => Out,
+            "std_logic" => StdLogic,
+            "std_logic_vector" => StdLogicVector,
+            "downto" => Downto,
+            "to" => To,
+            "architecture" => Architecture,
+            "of" => Of,
+            "begin" => Begin,
+            "process" => Process,
+            "block" => Block,
+            "variable" => Variable,
+            "signal" => Signal,
+            "null" => Null,
+            "wait" => Wait,
+            "on" => On,
+            "until" => Until,
+            "if" => If,
+            "then" => Then,
+            "else" => Else,
+            "elsif" => Elsif,
+            "while" => While,
+            "loop" => Loop,
+            "do" => Do,
+            "and" => And,
+            "or" => Or,
+            "xor" => Xor,
+            "nand" => Nand,
+            "nor" => Nor,
+            "xnor" => Xnor,
+            "not" => Not,
+            _ => return None,
+        })
+    }
+
+    /// The canonical spelling of the keyword.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Entity => "entity",
+            Is => "is",
+            Port => "port",
+            End => "end",
+            In => "in",
+            Out => "out",
+            StdLogic => "std_logic",
+            StdLogicVector => "std_logic_vector",
+            Downto => "downto",
+            To => "to",
+            Architecture => "architecture",
+            Of => "of",
+            Begin => "begin",
+            Process => "process",
+            Block => "block",
+            Variable => "variable",
+            Signal => "signal",
+            Null => "null",
+            Wait => "wait",
+            On => "on",
+            Until => "until",
+            If => "if",
+            Then => "then",
+            Else => "else",
+            Elsif => "elsif",
+            While => "while",
+            Loop => "loop",
+            Do => "do",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Nand => "nand",
+            Nor => "nor",
+            Xnor => "xnor",
+            Not => "not",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Entity,
+            Keyword::Process,
+            Keyword::StdLogicVector,
+            Keyword::Downto,
+            Keyword::Xnor,
+            Keyword::Wait,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("frobnicate"), None);
+    }
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(Pos { line: 3, col: 14 }.to_string(), "3:14");
+    }
+}

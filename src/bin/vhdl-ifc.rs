@@ -1,0 +1,126 @@
+//! `vhdl-ifc` — command-line front end for the Information Flow analysis.
+//!
+//! ```console
+//! $ vhdl-ifc analyze design.vhd            # list information flows
+//! $ vhdl-ifc analyze design.vhd --dot      # Graphviz output
+//! $ vhdl-ifc analyze design.vhd --base     # base closure (no ◦/• nodes)
+//! $ vhdl-ifc compare design.vhd            # this paper's analysis vs Kemmerer
+//! $ vhdl-ifc simulate design.vhd sig=VALUE ...   # drive inputs, print outputs
+//! ```
+
+use std::process::ExitCode;
+use vhdl_infoflow::infoflow::{analyze_with, AnalysisOptions};
+use vhdl_infoflow::sim::{Simulator, Value};
+use vhdl_infoflow::syntax::frontend;
+
+fn usage() -> &'static str {
+    "usage:\n  vhdl-ifc analyze <file.vhd> [--dot] [--base] [--sequential]\n  vhdl-ifc compare <file.vhd>\n  vhdl-ifc simulate <file.vhd> [signal=value ...]\n\nvalues are bit strings (e.g. data=10110001) or single std_logic characters"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (command, rest) = args.split_first().ok_or("missing command")?;
+    match command.as_str() {
+        "analyze" => analyze_command(rest),
+        "compare" => compare_command(rest),
+        "simulate" => simulate_command(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_design(path: &str) -> Result<vhdl_infoflow::syntax::Design, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    frontend(&src).map_err(|e| e.to_string())
+}
+
+fn options(flags: &[String]) -> AnalysisOptions {
+    let mut opts = if flags.iter().any(|f| f == "--sequential") {
+        AnalysisOptions::sequential_illustration()
+    } else {
+        AnalysisOptions::default()
+    };
+    if flags.iter().any(|f| f == "--base") {
+        opts.improved = false;
+    }
+    opts
+}
+
+fn analyze_command(args: &[String]) -> Result<(), String> {
+    let (path, flags) = args.split_first().ok_or("analyze needs a file")?;
+    let design = load_design(path)?;
+    let result = analyze_with(&design, &options(flags));
+    let graph = result.flow_graph();
+    if flags.iter().any(|f| f == "--dot") {
+        println!("{}", graph.to_dot(&design.name));
+        return Ok(());
+    }
+    println!(
+        "design `{}`: {} processes, {} labelled blocks, {} resources",
+        design.name,
+        design.processes.len(),
+        design.max_label(),
+        design.resource_names().len()
+    );
+    println!("information flows ({} edges):", graph.edge_count());
+    for (from, to) in graph.edges() {
+        println!("  {from} -> {to}");
+    }
+    Ok(())
+}
+
+fn compare_command(args: &[String]) -> Result<(), String> {
+    let (path, flags) = args.split_first().ok_or("compare needs a file")?;
+    let design = load_design(path)?;
+    let mut opts = options(flags);
+    opts.improved = false;
+    let result = analyze_with(&design, &opts);
+    let ours = result.base_flow_graph();
+    let kemmerer = result.kemmerer_flow_graph();
+    println!("this paper : {} edges (non-transitive: {})", ours.edge_count(), !ours.is_transitive());
+    println!("kemmerer   : {} edges (always transitive)", kemmerer.edge_count());
+    let spurious = kemmerer.edge_difference(&ours);
+    println!("edges reported only by Kemmerer's method ({}):", spurious.len());
+    for (from, to) in spurious {
+        println!("  {from} -> {to}");
+    }
+    Ok(())
+}
+
+fn simulate_command(args: &[String]) -> Result<(), String> {
+    let (path, drives) = args.split_first().ok_or("simulate needs a file")?;
+    let design = load_design(path)?;
+    let mut sim = Simulator::new(&design).map_err(|e| e.to_string())?;
+    sim.run_until_quiescent(1000).map_err(|e| e.to_string())?;
+    for drive in drives {
+        let (name, value) = drive
+            .split_once('=')
+            .ok_or_else(|| format!("expected signal=value, got `{drive}`"))?;
+        let value = Value::vector(value)
+            .or_else(|| value.chars().next().and_then(Value::logic))
+            .ok_or_else(|| format!("`{value}` is not a std_logic value or bit string"))?;
+        sim.drive_input(name, value).map_err(|e| e.to_string())?;
+    }
+    sim.run_until_quiescent(10_000).map_err(|e| e.to_string())?;
+    println!("after {} delta cycles:", sim.delta_count());
+    for out in design.output_signals() {
+        if let Some(v) = sim.signal(&out) {
+            println!("  {out} = {v}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! # `vhdl-infoflow` — Information Flow Analysis for VHDL
+//!
+//! Facade crate re-exporting the full reproduction of *Information Flow
+//! Analysis for VHDL* (Tolstrup, Nielson & Nielson, PaCT 2005):
+//!
+//! * [`syntax`] — the VHDL1 front end (lexer, parser, elaboration),
+//! * [`sim`] — the structural operational semantics simulator,
+//! * [`dataflow`] — the Reaching Definitions analyses of Section 4,
+//! * [`alfp`] — the ALFP/Datalog constraint solver (Succinct Solver substrate),
+//! * [`infoflow`] — the Information Flow analysis of Section 5,
+//! * [`aes`] — the AES-128 VHDL1 workloads of the evaluation (Section 6).
+//!
+//! ```
+//! use vhdl_infoflow::prelude::*;
+//!
+//! let design = frontend(
+//!     "entity e is port(a : in std_logic; b : out std_logic); end e;
+//!      architecture rtl of e is begin
+//!        p : process begin b <= a; wait on a; end process p;
+//!      end rtl;")?;
+//! let graph = analyze(&design).flow_graph();
+//! assert!(graph.has_edge("a", "b"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aes_vhdl as aes;
+pub use alfp_solver as alfp;
+pub use vhdl1_dataflow as dataflow;
+pub use vhdl1_infoflow as infoflow;
+pub use vhdl1_sim as sim;
+pub use vhdl1_syntax as syntax;
+
+/// Commonly used items for working with the analysis end to end.
+pub mod prelude {
+    pub use crate::infoflow::{analyze, AnalysisOptions, AnalysisResult, FlowGraph};
+    pub use crate::syntax::{elaborate, frontend, parse, Design, Program};
+}

@@ -1,0 +1,58 @@
+//! FIG3 — the non-transitive information-flow graphs of Figure 3 and the
+//! comparison with Kemmerer's method (Section 5.2).
+
+use bench::workloads::{design_of, program_a_src, program_b_src};
+use vhdl_infoflow::infoflow::{analyze_with, AnalysisOptions};
+
+fn base_sequential() -> AnalysisOptions {
+    AnalysisOptions { improved: false, ..AnalysisOptions::sequential_illustration() }
+}
+
+#[test]
+fn figure_3a_program_a_graph_is_exactly_the_two_true_flows() {
+    let design = design_of(&program_a_src());
+    let result = analyze_with(&design, &base_sequential());
+    let g = result.base_flow_graph();
+    assert!(g.has_edge("b", "c"));
+    assert!(g.has_edge("a", "b"));
+    assert!(!g.has_edge("a", "c"), "Figure 3(a) has no a -> c edge");
+    assert_eq!(g.edge_count(), 2);
+    assert!(!g.is_transitive(), "the result graph is non-transitive");
+}
+
+#[test]
+fn figure_3b_program_b_graph_contains_the_real_transitive_flow() {
+    let design = design_of(&program_b_src());
+    let result = analyze_with(&design, &base_sequential());
+    let g = result.base_flow_graph();
+    assert!(g.has_edge("a", "b"));
+    assert!(g.has_edge("b", "c"));
+    assert!(g.has_edge("a", "c"), "Figure 3(b) includes a -> c");
+    assert_eq!(g.edge_count(), 3);
+}
+
+#[test]
+fn kemmerer_cannot_distinguish_the_two_programs() {
+    let a = design_of(&program_a_src());
+    let b = design_of(&program_b_src());
+    let ka = analyze_with(&a, &base_sequential()).kemmerer_flow_graph();
+    let kb = analyze_with(&b, &base_sequential()).kemmerer_flow_graph();
+    // Kemmerer's transitive closure yields the same (over-approximated) graph
+    // for both statement orders.
+    assert!(ka.has_edge("a", "c") && kb.has_edge("a", "c"));
+    assert_eq!(ka.edge_count(), kb.edge_count());
+    assert!(ka.is_transitive() && kb.is_transitive());
+}
+
+#[test]
+fn rd_based_graph_is_always_a_subgraph_of_kemmerers() {
+    for src in [program_a_src(), program_b_src()] {
+        let design = design_of(&src);
+        let result = analyze_with(&design, &base_sequential());
+        let ours = result.base_flow_graph();
+        let kemmerer = result.kemmerer_flow_graph();
+        for (f, t) in ours.edges() {
+            assert!(kemmerer.has_edge_nodes(f, t), "soundness: {f} -> {t} missing in Kemmerer");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! FIG5 — the headline evaluation result: on the AES ShiftRows function the
+//! RD-based analysis separates the three shifted rows, while Kemmerer's
+//! method conflates them through the shared temporary variables.
+
+use bench::fig5::{row_of, shift_rows_graphs, ShiftRowsGraphs};
+
+#[test]
+fn our_analysis_separates_the_three_rows_into_rotation_cycles() {
+    let graphs = shift_rows_graphs();
+    assert_eq!(graphs.ours.node_count(), 12, "12 shifted-row bytes as in Figure 5");
+    assert_eq!(graphs.ours.edge_count(), 12, "one rotation edge per byte");
+    assert!(ShiftRowsGraphs::rows_are_separated(&graphs.ours));
+    // Every byte has exactly one successor: the byte it is rotated into.
+    for n in graphs.ours.nodes() {
+        assert_eq!(graphs.ours.successors(n).len(), 1, "byte {n} must have one successor");
+        assert_eq!(graphs.ours.predecessors(n).len(), 1);
+    }
+    // Row r is rotated by r positions: a_r_c receives from a_r_{(c+r) mod 4}.
+    for row in 1..=3usize {
+        for col in 0..4usize {
+            let from = format!("a_{row}_{}", (col + row) % 4);
+            let to = format!("a_{row}_{col}");
+            assert!(graphs.ours.has_edge(&from, &to), "missing rotation edge {from} -> {to}");
+        }
+    }
+}
+
+#[test]
+fn kemmerer_conflates_the_rows_through_shared_temporaries() {
+    let graphs = shift_rows_graphs();
+    assert_eq!(graphs.kemmerer.node_count(), 12);
+    assert!(!ShiftRowsGraphs::rows_are_separated(&graphs.kemmerer));
+    assert!(ShiftRowsGraphs::cross_row_edges(&graphs.kemmerer) > 0);
+    assert!(
+        graphs.kemmerer.edge_count() >= 3 * graphs.ours.edge_count(),
+        "Kemmerer reports many times more edges ({} vs {})",
+        graphs.kemmerer.edge_count(),
+        graphs.ours.edge_count()
+    );
+}
+
+#[test]
+fn our_graph_is_a_subgraph_of_kemmerers() {
+    let graphs = shift_rows_graphs();
+    for (f, t) in graphs.ours.edges() {
+        assert!(
+            graphs.kemmerer.has_edge_nodes(f, t),
+            "soundness on the merged view: {f} -> {t} missing from Kemmerer's graph"
+        );
+    }
+    assert!(graphs.kemmerer_full_edges > graphs.ours_full_edges);
+}
+
+#[test]
+fn row_zero_passes_through_unchanged() {
+    // Row 0 is not shifted; in the unrestricted merged graph each a_0_c maps
+    // straight to itself (dropped as a self loop), so no row-0 node appears
+    // with a cross-column edge.
+    let graphs = shift_rows_graphs();
+    for n in graphs.ours.nodes() {
+        assert_ne!(row_of(n.name()), Some(0), "row 0 is excluded from the Figure 5 view");
+    }
+}

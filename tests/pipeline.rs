@@ -1,0 +1,120 @@
+//! Cross-crate end-to-end tests: frontend → Reaching Definitions →
+//! Information Flow → policy audit / DOT export, plus property-based tests on
+//! the core invariants.
+
+use proptest::prelude::*;
+use vhdl_infoflow::dataflow::{RdOptions, ReachingDefinitions};
+use vhdl_infoflow::infoflow::{analyze, analyze_with, audit, AnalysisOptions, Policy};
+use vhdl_infoflow::syntax::{frontend, parse, pretty_program};
+
+const CRYPTO: &str = "
+    entity unit is
+      port(
+        secret : in std_logic_vector(7 downto 0);
+        public : in std_logic_vector(7 downto 0);
+        output : out std_logic_vector(7 downto 0)
+      );
+    end unit;
+    architecture rtl of unit is
+      signal stage : std_logic_vector(7 downto 0);
+    begin
+      first : process
+        variable tmp : std_logic_vector(7 downto 0);
+      begin
+        tmp := public;
+        stage <= tmp;
+        wait on public;
+      end process first;
+      second : process
+      begin
+        output <= stage;
+        wait on stage;
+      end process second;
+    end rtl;";
+
+#[test]
+fn end_to_end_no_flow_from_unused_secret() {
+    let design = frontend(CRYPTO).unwrap();
+    let result = analyze(&design);
+    let graph = result.flow_graph().merge_io_nodes();
+    assert!(graph.has_edge("public", "output"));
+    assert!(!graph.has_edge("secret", "output"), "secret is never read");
+    let policy = Policy::new().with_level("secret", 1).with_level("output", 0);
+    assert!(audit(&graph, &policy).is_secure());
+}
+
+#[test]
+fn dot_export_is_well_formed() {
+    let design = frontend(CRYPTO).unwrap();
+    let dot = analyze(&design).flow_graph().to_dot("unit");
+    assert!(dot.starts_with("digraph \"unit\""));
+    assert!(dot.trim_end().ends_with('}'));
+    assert!(dot.contains("->"));
+}
+
+#[test]
+fn rd_and_analysis_are_deterministic() {
+    let design = frontend(CRYPTO).unwrap();
+    let a = analyze(&design);
+    let b = analyze(&design);
+    assert_eq!(a.global, b.global);
+    assert_eq!(a.flow_graph(), b.flow_graph());
+    let rd1 = ReachingDefinitions::compute(&design, &RdOptions::default());
+    let rd2 = ReachingDefinitions::compute(&design, &RdOptions::default());
+    assert_eq!(rd1, rd2);
+}
+
+/// Strategy generating small straight-line variable programs over a, b, c, d.
+fn arb_program() -> impl Strategy<Value = String> {
+    let vars = ["a", "b", "c", "d"];
+    let stmt = (0usize..4, 0usize..4).prop_map(move |(t, s)| format!("{} := {};", vars[t], vars[s]));
+    proptest::collection::vec(stmt, 1..8).prop_map(|stmts| {
+        format!(
+            "entity e is port(clk : in std_logic); end e;
+             architecture rtl of e is begin
+               p : process
+                 variable a : std_logic; variable b : std_logic;
+                 variable c : std_logic; variable d : std_logic;
+               begin
+                 {}
+               end process p;
+             end rtl;",
+            stmts.join(" ")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness relative to the baseline: every flow found by the RD-based
+    /// analysis is also found by Kemmerer's transitive closure.
+    #[test]
+    fn rd_based_graph_is_subgraph_of_kemmerer(src in arb_program()) {
+        let design = frontend(&src).unwrap();
+        let opts = AnalysisOptions { improved: false, ..AnalysisOptions::sequential_illustration() };
+        let result = analyze_with(&design, &opts);
+        let ours = result.base_flow_graph();
+        let kemmerer = result.kemmerer_flow_graph();
+        for (f, t) in ours.edges() {
+            prop_assert!(kemmerer.has_edge_nodes(f, t));
+        }
+    }
+
+    /// The pretty printer and the parser are inverses on generated programs.
+    #[test]
+    fn parse_pretty_roundtrip(src in arb_program()) {
+        let program = parse(&src).unwrap();
+        let printed = pretty_program(&program);
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(program, reparsed);
+    }
+
+    /// The Kemmerer baseline always produces a transitively closed graph.
+    #[test]
+    fn kemmerer_graph_is_transitive(src in arb_program()) {
+        let design = frontend(&src).unwrap();
+        let g = vhdl_infoflow::infoflow::kemmerer_graph(&design);
+        prop_assert!(g.is_transitive());
+    }
+}
