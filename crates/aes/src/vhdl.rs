@@ -65,7 +65,12 @@ pub fn shift_rows_vhdl() -> String {
     let _ = writeln!(out, "  begin");
     // Row 0 passes through untouched (the paper presents only rows 1-3).
     for c in 0..4 {
-        let _ = writeln!(out, "    {} <= {};", byte_name("b", 0, c), byte_name("a", 0, c));
+        let _ = writeln!(
+            out,
+            "    {} <= {};",
+            byte_name("b", 0, c),
+            byte_name("a", 0, c)
+        );
     }
     // Rows 1-3: load the row into the shared temporaries, then emit rotated.
     for row in 1..4 {
@@ -77,8 +82,9 @@ pub fn shift_rows_vhdl() -> String {
             let _ = writeln!(out, "    {} <= temp_{src};", byte_name("b", row, c));
         }
     }
-    let wait_on: Vec<String> =
-        (0..4).flat_map(|r| (0..4).map(move |c| byte_name("a", r, c))).collect();
+    let wait_on: Vec<String> = (0..4)
+        .flat_map(|r| (0..4).map(move |c| byte_name("a", r, c)))
+        .collect();
     let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
     let _ = writeln!(out, "  end process shifter;");
     let _ = writeln!(out, "end rtl;");
@@ -89,7 +95,12 @@ pub fn shift_rows_vhdl() -> String {
 /// through one shared temporary.
 pub fn add_round_key_vhdl(nbytes: usize) -> String {
     let mut out = String::new();
-    let names = |p: &str| (0..nbytes).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let names = |p: &str| {
+        (0..nbytes)
+            .map(|i| format!("{p}_{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let _ = writeln!(out, "entity add_round_key is");
     let _ = writeln!(out, "  port(");
     let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("a"));
@@ -106,8 +117,9 @@ pub fn add_round_key_vhdl(nbytes: usize) -> String {
         let _ = writeln!(out, "    temp := a_{i} xor k_{i};");
         let _ = writeln!(out, "    b_{i} <= temp;");
     }
-    let wait_on: Vec<String> =
-        (0..nbytes).flat_map(|i| [format!("a_{i}"), format!("k_{i}")]).collect();
+    let wait_on: Vec<String> = (0..nbytes)
+        .flat_map(|i| [format!("a_{i}"), format!("k_{i}")])
+        .collect();
     let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
     let _ = writeln!(out, "  end process ark;");
     let _ = writeln!(out, "end rtl;");
@@ -118,7 +130,12 @@ pub fn add_round_key_vhdl(nbytes: usize) -> String {
 /// lookup chain and a shared temporary variable.
 pub fn sub_bytes_vhdl(nbytes: usize) -> String {
     let mut out = String::new();
-    let names = |p: &str| (0..nbytes).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let names = |p: &str| {
+        (0..nbytes)
+            .map(|i| format!("{p}_{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let _ = writeln!(out, "entity sub_bytes is");
     let _ = writeln!(out, "  port(");
     let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("a"));
@@ -152,7 +169,12 @@ fn emit_xtime(out: &mut String, indent: &str, src: &str, dst: &str) {
 /// column by column through shared temporaries.
 pub fn mix_columns_vhdl() -> String {
     let mut out = String::new();
-    let names = |p: &str| (0..16).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let names = |p: &str| {
+        (0..16)
+            .map(|i| format!("{p}_{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let _ = writeln!(out, "entity mix_columns is");
     let _ = writeln!(out, "  port(");
     let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("a"));
@@ -162,7 +184,9 @@ pub fn mix_columns_vhdl() -> String {
     let _ = writeln!(out, "architecture rtl of mix_columns is");
     let _ = writeln!(out, "begin");
     let _ = writeln!(out, "  mixer : process");
-    for v in ["c_0", "c_1", "c_2", "c_3", "x_0", "x_1", "x_2", "x_3", "acc"] {
+    for v in [
+        "c_0", "c_1", "c_2", "c_3", "x_0", "x_1", "x_2", "x_3", "acc",
+    ] {
         let _ = writeln!(out, "    variable {v} : std_logic_vector(7 downto 0);");
     }
     let _ = writeln!(out, "  begin");
@@ -196,7 +220,12 @@ pub fn mix_columns_vhdl() -> String {
 /// 16-byte state in block order, fully unrolled.
 pub fn aes_round_vhdl() -> String {
     let mut out = String::new();
-    let names = |p: &str| (0..16).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let names = |p: &str| {
+        (0..16)
+            .map(|i| format!("{p}_{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let _ = writeln!(out, "entity aes_round is");
     let _ = writeln!(out, "  port(");
     let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("a"));
@@ -210,7 +239,9 @@ pub fn aes_round_vhdl() -> String {
     for i in 0..16 {
         let _ = writeln!(out, "    variable s_{i} : std_logic_vector(7 downto 0);");
     }
-    for v in ["temp", "t_0", "t_1", "t_2", "t_3", "x_0", "x_1", "x_2", "x_3"] {
+    for v in [
+        "temp", "t_0", "t_1", "t_2", "t_3", "x_0", "x_1", "x_2", "x_3",
+    ] {
         let _ = writeln!(out, "    variable {v} : std_logic_vector(7 downto 0);");
     }
     let _ = writeln!(out, "  begin");
@@ -224,8 +255,9 @@ pub fn aes_round_vhdl() -> String {
         let _ = writeln!(out, "    s_{i} := s_{i} xor k_{i};");
         let _ = writeln!(out, "    b_{i} <= s_{i};");
     }
-    let wait_on: Vec<String> =
-        (0..16).flat_map(|i| [format!("a_{i}"), format!("k_{i}")]).collect();
+    let wait_on: Vec<String> = (0..16)
+        .flat_map(|i| [format!("a_{i}"), format!("k_{i}")])
+        .collect();
     let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
     let _ = writeln!(out, "  end process round;");
     let _ = writeln!(out, "end rtl;");
@@ -271,12 +303,29 @@ fn emit_round_tail(out: &mut String, mix: bool) {
 /// per-byte ports in block order.
 pub fn aes128_vhdl() -> String {
     let mut out = String::new();
-    let names = |p: &str| (0..16).map(|i| format!("{p}_{i}")).collect::<Vec<_>>().join(", ");
+    let names = |p: &str| {
+        (0..16)
+            .map(|i| format!("{p}_{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let _ = writeln!(out, "entity aes128 is");
     let _ = writeln!(out, "  port(");
-    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("pt"));
-    let _ = writeln!(out, "    {} : in std_logic_vector(7 downto 0);", names("key"));
-    let _ = writeln!(out, "    {} : out std_logic_vector(7 downto 0)", names("ct"));
+    let _ = writeln!(
+        out,
+        "    {} : in std_logic_vector(7 downto 0);",
+        names("pt")
+    );
+    let _ = writeln!(
+        out,
+        "    {} : in std_logic_vector(7 downto 0);",
+        names("key")
+    );
+    let _ = writeln!(
+        out,
+        "    {} : out std_logic_vector(7 downto 0)",
+        names("ct")
+    );
     let _ = writeln!(out, "  );");
     let _ = writeln!(out, "end aes128;");
     let _ = writeln!(out, "architecture rtl of aes128 is");
@@ -286,7 +335,9 @@ pub fn aes128_vhdl() -> String {
         let _ = writeln!(out, "    variable s_{i} : std_logic_vector(7 downto 0);");
         let _ = writeln!(out, "    variable rk_{i} : std_logic_vector(7 downto 0);");
     }
-    for v in ["temp", "t_0", "t_1", "t_2", "t_3", "x_0", "x_1", "x_2", "x_3", "g_0", "g_1", "g_2", "g_3"] {
+    for v in [
+        "temp", "t_0", "t_1", "t_2", "t_3", "x_0", "x_1", "x_2", "x_3", "g_0", "g_1", "g_2", "g_3",
+    ] {
         let _ = writeln!(out, "    variable {v} : std_logic_vector(7 downto 0);");
     }
     let _ = writeln!(out, "  begin");
@@ -316,7 +367,11 @@ pub fn aes128_vhdl() -> String {
                 if word == 0 {
                     let _ = writeln!(out, "    rk_{idx} := rk_{idx} xor g_{j};");
                 } else {
-                    let _ = writeln!(out, "    rk_{idx} := rk_{idx} xor rk_{};", 4 * (word - 1) + j);
+                    let _ = writeln!(
+                        out,
+                        "    rk_{idx} := rk_{idx} xor rk_{};",
+                        4 * (word - 1) + j
+                    );
                 }
             }
         }
@@ -328,8 +383,9 @@ pub fn aes128_vhdl() -> String {
     for i in 0..16 {
         let _ = writeln!(out, "    ct_{i} <= s_{i};");
     }
-    let wait_on: Vec<String> =
-        (0..16).flat_map(|i| [format!("pt_{i}"), format!("key_{i}")]).collect();
+    let wait_on: Vec<String> = (0..16)
+        .flat_map(|i| [format!("pt_{i}"), format!("key_{i}")])
+        .collect();
     let _ = writeln!(out, "    wait on {};", wait_on.join(", "));
     let _ = writeln!(out, "  end process cipher;");
     let _ = writeln!(out, "end rtl;");
@@ -345,13 +401,19 @@ mod tests {
 
     fn drive_bytes(sim: &mut Simulator, prefix: &str, bytes: &[u8]) {
         for (i, b) in bytes.iter().enumerate() {
-            sim.drive_input_unsigned(&format!("{prefix}_{i}"), *b as u128).unwrap();
+            sim.drive_input_unsigned(&format!("{prefix}_{i}"), *b as u128)
+                .unwrap();
         }
     }
 
     fn read_bytes(sim: &Simulator, prefix: &str, n: usize) -> Vec<u8> {
         (0..n)
-            .map(|i| sim.signal(&format!("{prefix}_{i}")).unwrap().to_unsigned().unwrap() as u8)
+            .map(|i| {
+                sim.signal(&format!("{prefix}_{i}"))
+                    .unwrap()
+                    .to_unsigned()
+                    .unwrap() as u8
+            })
             .collect()
     }
 

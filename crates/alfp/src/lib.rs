@@ -3,10 +3,31 @@
 //! The paper implements both its own analysis and Kemmerer's method in the
 //! *Succinct Solver*, a solver for Alternation-free Least Fixed Point logic
 //! (ALFP).  The Succinct Solver itself is not distributed, so this crate
-//! provides the substrate from scratch: a bottom-up, semi-naive Datalog
-//! engine with stratified negation, which computes the same least models for
-//! the clause systems the analyses generate (see `vhdl1-infoflow`'s
-//! `alfp_encoding` module for the encodings and the cross-check tests).
+//! provides the substrate from scratch: a bottom-up Datalog engine with
+//! stratified negation, which computes the same least models for the clause
+//! systems the analyses generate (see `vhdl1-infoflow`'s `alfp_encoding`
+//! module for the encodings and the cross-check tests).
+//!
+//! ## Engine
+//!
+//! The solver is built for throughput on analysis-scale clause systems:
+//!
+//! * **Symbol interning** — every constant and predicate name is mapped to a
+//!   dense [`Symbol`] (`u32`) by an [`Interner`]; tuples are `Box<[Symbol]>`
+//!   and all joins compare machine words, never strings.  Front ends can
+//!   bypass string handling entirely via [`Program::intern`] and
+//!   [`Program::fact_interned`].
+//! * **Compiled rules** — at solve time, rule variables are numbered and
+//!   each body literal gets a precomputed bound-position mask, so bindings
+//!   live in a flat `Vec<Option<Symbol>>` slot array instead of a name map.
+//! * **Hash indexes** — every (predicate, bound-position-set) pair a rule
+//!   joins on gets a hash index from bound-value keys to tuple ids, so
+//!   joins probe instead of scanning whole relations.
+//! * **Semi-naive evaluation** — per stratum, each relation keeps a delta
+//!   (the contiguous id range of tuples added in the previous round) and
+//!   every recursive rule is re-evaluated once per body literal with that
+//!   literal restricted to the delta.  See [`Program::solve`] for the
+//!   invariants.
 //!
 //! ```
 //! use alfp_solver::{Program, Term};
@@ -33,12 +54,114 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+#[cfg(any(test, feature = "naive"))]
+mod naive;
+
+/// Fast, non-cryptographic hasher (FxHash) for the solver's hot maps.
+///
+/// The keys hashed in the inner loops are short symbol tuples; the default
+/// SipHash is measurably slower there and DoS resistance is irrelevant for
+/// an in-process constraint solver.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.hash = (self.hash.rotate_left(5) ^ u64::from(n)).wrapping_mul(FX_SEED);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// An interned constant or predicate name: a dense index into an
+/// [`Interner`]'s string table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index of the symbol (usable for side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner mapping names to dense [`Symbol`]s and back.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interner {
+    map: FxHashMap<Arc<str>, Symbol>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol (stable across repeated calls).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        // One shared allocation serves both the table and the map key.
+        let shared: Arc<str> = s.into();
+        self.strings.push(shared.clone());
+        self.map.insert(shared, sym);
+        sym
+    }
+
+    /// The symbol of `s`, if it has been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// The string of an interned symbol.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
 
 /// A term of a clause: either a constant symbol or a variable.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// A constant symbol.
     Const(String),
@@ -68,7 +191,7 @@ impl fmt::Display for Term {
 }
 
 /// A literal in a rule body: a possibly negated atom.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Literal {
     /// Predicate name.
     pub predicate: String,
@@ -79,7 +202,7 @@ pub struct Literal {
 }
 
 /// A Horn-style rule `head :- body` (facts are rules with an empty body).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     /// Predicate of the head atom.
     pub head_predicate: String,
@@ -124,10 +247,20 @@ impl fmt::Display for SolveError {
                 write!(f, "unsafe rule for `{head}`: variable `{variable}` is not bound by a positive literal")
             }
             SolveError::NotStratifiable { predicate } => {
-                write!(f, "program is not stratifiable: `{predicate}` depends negatively on itself")
+                write!(
+                    f,
+                    "program is not stratifiable: `{predicate}` depends negatively on itself"
+                )
             }
-            SolveError::ArityMismatch { predicate, expected, found } => {
-                write!(f, "predicate `{predicate}` used with arity {found}, expected {expected}")
+            SolveError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "predicate `{predicate}` used with arity {found}, expected {expected}"
+                )
             }
         }
     }
@@ -135,27 +268,159 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
-/// A tuple of constant symbols.
+/// A tuple of constant symbols, in resolved (string) form.
 pub type Tuple = Vec<String>;
 
-/// The least model of a program: one relation (set of tuples) per predicate.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// An interned relation: the tuples of one predicate, in insertion order,
+/// with a hash set for membership tests and optional join indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Box<[Symbol]>>,
+    ids: FxHashMap<Box<[Symbol]>, u32>,
+    /// Join indexes keyed by bound-position bitmask: for each mask, a map
+    /// from the bound-position values (in position order) to the ids of the
+    /// tuples carrying those values.
+    indexes: FxHashMap<u64, FxHashMap<Box<[Symbol]>, Vec<u32>>>,
+}
+
+impl Relation {
+    fn with_arity(arity: usize) -> Relation {
+        Relation {
+            arity,
+            ..Relation::default()
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Symbol]> {
+        self.tuples.iter().map(|t| &t[..])
+    }
+
+    /// Whether the relation contains the given interned tuple.
+    pub fn contains_syms(&self, tuple: &[Symbol]) -> bool {
+        self.ids.contains_key(tuple)
+    }
+
+    fn key_of(tuple: &[Symbol], mask: u64) -> Box<[Symbol]> {
+        tuple
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, s)| *s)
+            .collect()
+    }
+
+    /// Builds (or keeps) the join index for `mask`, covering all current
+    /// tuples; [`Relation::insert`] maintains it afterwards.
+    fn ensure_index(&mut self, mask: u64) {
+        if self.indexes.contains_key(&mask) {
+            return;
+        }
+        let mut index: FxHashMap<Box<[Symbol]>, Vec<u32>> = FxHashMap::default();
+        for (id, tuple) in self.tuples.iter().enumerate() {
+            index
+                .entry(Self::key_of(tuple, mask))
+                .or_default()
+                .push(id as u32);
+        }
+        self.indexes.insert(mask, index);
+    }
+
+    fn probe(&self, mask: u64, key: &[Symbol]) -> &[u32] {
+        self.indexes
+            .get(&mask)
+            .expect("join index registered at compile time")
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.  All registered
+    /// indexes are updated incrementally.
+    fn insert(&mut self, tuple: Box<[Symbol]>) -> bool {
+        if self.ids.contains_key(&tuple) {
+            return false;
+        }
+        let id = self.tuples.len() as u32;
+        for (mask, index) in &mut self.indexes {
+            index
+                .entry(Self::key_of(&tuple, *mask))
+                .or_default()
+                .push(id);
+        }
+        self.ids.insert(tuple.clone(), id);
+        self.tuples.push(tuple);
+        true
+    }
+}
+
+/// The least model of a program: one interned relation per predicate, plus
+/// the interner that resolves its symbols.
+#[derive(Debug, Clone, Default)]
 pub struct Model {
-    relations: BTreeMap<String, BTreeSet<Tuple>>,
+    interner: Interner,
+    relations: BTreeMap<String, Relation>,
 }
 
 impl Model {
-    /// The tuples of a predicate (empty if the predicate never appears).
+    /// The tuples of a predicate, resolved to strings (empty if the
+    /// predicate never appears).  Prefer [`Model::relation_ref`] on hot
+    /// paths: this accessor allocates a fresh set of fresh strings.
     pub fn relation(&self, predicate: &str) -> BTreeSet<Tuple> {
-        self.relations.get(predicate).cloned().unwrap_or_default()
+        self.relation_ref(predicate)
+            .map(|rel| {
+                rel.iter()
+                    .map(|t| t.iter().map(|&s| self.resolve(s).to_string()).collect())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Borrowed view of a predicate's interned relation, or `None` if the
+    /// predicate has no tuples.  Resolve symbols with [`Model::resolve`].
+    pub fn relation_ref(&self, predicate: &str) -> Option<&Relation> {
+        self.relations.get(predicate)
+    }
+
+    /// The string behind an interned symbol of this model.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// The symbol of a constant, if it occurs anywhere in the model.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.interner.get(s)
     }
 
     /// Whether the model contains the given ground atom.
     pub fn contains(&self, predicate: &str, args: &[&str]) -> bool {
-        self.relations
-            .get(predicate)
-            .map(|r| r.contains(&args.iter().map(|s| s.to_string()).collect::<Tuple>()))
-            .unwrap_or(false)
+        let Some(rel) = self.relations.get(predicate) else {
+            return false;
+        };
+        let Some(tuple) = args
+            .iter()
+            .map(|s| self.interner.get(s))
+            .collect::<Option<Vec<Symbol>>>()
+        else {
+            return false;
+        };
+        rel.contains_syms(&tuple)
     }
 
     /// Names of all predicates with at least one tuple.
@@ -165,20 +430,87 @@ impl Model {
 
     /// Total number of tuples across all relations.
     pub fn tuple_count(&self) -> usize {
-        self.relations.values().map(BTreeSet::len).sum()
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Used by the naive reference evaluator to produce the same model type.
+    #[cfg(any(test, feature = "naive"))]
+    fn from_string_relations(relations: BTreeMap<String, BTreeSet<Tuple>>) -> Model {
+        let mut interner = Interner::new();
+        let mut out: BTreeMap<String, Relation> = BTreeMap::new();
+        for (pred, tuples) in relations {
+            if tuples.is_empty() {
+                continue;
+            }
+            let arity = tuples.iter().next().map_or(0, Vec::len);
+            let rel = out
+                .entry(pred)
+                .or_insert_with(|| Relation::with_arity(arity));
+            for tuple in tuples {
+                rel.insert(tuple.iter().map(|s| interner.intern(s)).collect());
+            }
+        }
+        Model {
+            interner,
+            relations: out,
+        }
     }
 }
 
+impl PartialEq for Model {
+    /// Models are equal when they contain the same ground atoms, regardless
+    /// of symbol numbering or tuple insertion order.
+    fn eq(&self, other: &Model) -> bool {
+        if self.relations.len() != other.relations.len() {
+            return false;
+        }
+        self.relations
+            .iter()
+            .all(|(pred, rel)| match other.relations.get(pred) {
+                Some(other_rel) => {
+                    rel.len() == other_rel.len()
+                        && rel.iter().all(|t| {
+                            let resolved: Option<Vec<Symbol>> = t
+                                .iter()
+                                .map(|&s| other.interner.get(self.resolve(s)))
+                                .collect();
+                            resolved.is_some_and(|t| other_rel.contains_syms(&t))
+                        })
+                }
+                None => false,
+            })
+    }
+}
+
+impl Eq for Model {}
+
 /// A Datalog/ALFP clause program.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Program {
+    interner: Interner,
     rules: Vec<Rule>,
+    /// Ground facts emitted through the interned fast path, bypassing
+    /// string-based [`Term`] construction entirely.
+    interned_facts: Vec<(Symbol, Box<[Symbol]>)>,
 }
 
 impl Program {
     /// Creates an empty program.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Interns a constant or predicate name for use with
+    /// [`Program::fact_interned`].
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Adds a ground fact through the interned fast path.  `pred` and all
+    /// argument symbols must come from [`Program::intern`] on this program.
+    pub fn fact_interned(&mut self, pred: Symbol, args: Vec<Symbol>) -> &mut Self {
+        self.interned_facts.push((pred, args.into()));
+        self
     }
 
     /// Adds a ground fact.  Non-constant arguments are rejected at solve time
@@ -196,7 +528,11 @@ impl Program {
     pub fn rule(&mut self, predicate: impl Into<String>, args: Vec<Term>) -> RuleBuilder<'_> {
         RuleBuilder {
             program: self,
-            rule: Rule { head_predicate: predicate.into(), head_args: args, body: Vec::new() },
+            rule: Rule {
+                head_predicate: predicate.into(),
+                head_args: args,
+                body: Vec::new(),
+            },
         }
     }
 
@@ -206,63 +542,104 @@ impl Program {
         self
     }
 
-    /// The rules of the program.
+    /// The string-level rules of the program (facts added through
+    /// [`Program::fact_interned`] are not materialised as rules).
     pub fn rules(&self) -> &[Rule] {
         &self.rules
     }
 
-    /// Number of rules (including facts).
+    /// Number of clauses (rules plus facts, interned or not).
     pub fn len(&self) -> usize {
-        self.rules.len()
+        self.rules.len() + self.interned_facts.len()
     }
 
-    /// Whether the program has no rules.
+    /// Whether the program has no clauses.
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.rules.is_empty() && self.interned_facts.is_empty()
     }
 
-    /// Computes the least model of the program.
+    /// Computes the least model of the program by stratified semi-naive
+    /// evaluation.
+    ///
+    /// Per stratum the engine maintains, for every predicate of the stratum,
+    /// the contiguous id range of tuples added in the previous round (the
+    /// *delta*).  Round 0 evaluates every rule of the stratum against the
+    /// full relations; each later round re-evaluates each recursive rule
+    /// once per positive body literal of the stratum, with that literal
+    /// restricted to the delta and the remaining literals joined against
+    /// the full (current) relations via the precompiled hash indexes.
+    ///
+    /// Invariants relied on:
+    ///
+    /// * relations are append-only, so a round's delta is exactly an id
+    ///   range and tuples derived mid-round land in the *next* round's
+    ///   delta;
+    /// * every tuple derivable from at least one new tuple is re-derived,
+    ///   because each body-literal position takes its turn as the delta
+    ///   literal (joining the other positions against relations at least as
+    ///   large as in the previous round);
+    /// * negated literals only mention predicates of strictly earlier
+    ///   strata (enforced by stratification), which are complete, so
+    ///   negation-as-failure is sound and the per-stratum iteration is
+    ///   monotone and terminates.
     ///
     /// # Errors
     ///
     /// Returns [`SolveError`] if a rule is unsafe, a predicate is used with
     /// inconsistent arities, or the program cannot be stratified.
     pub fn solve(&self) -> Result<Model, SolveError> {
+        let arities = self.check_arities()?;
+        self.check_safety()?;
+        let strata = self.stratify()?;
+        let mut engine = Engine::compile(self, &arities);
+        for stratum in &strata {
+            engine.run_stratum(stratum);
+        }
+        Ok(engine.into_model())
+    }
+
+    /// Computes the least model with the naive reference evaluator (full
+    /// re-derivation each round over string bindings).  Kept as the oracle
+    /// for differential testing of the semi-naive engine and for
+    /// before/after benchmarking; enable the `naive` feature to use it
+    /// outside this crate's tests.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Program::solve`].
+    #[cfg(any(test, feature = "naive"))]
+    pub fn solve_naive(&self) -> Result<Model, SolveError> {
         self.check_arities()?;
         self.check_safety()?;
         let strata = self.stratify()?;
-
-        let mut model = Model::default();
-        for stratum in strata {
-            let rules: Vec<&Rule> =
-                self.rules.iter().filter(|r| stratum.contains(&r.head_predicate)).collect();
-            evaluate_stratum(&rules, &mut model);
-        }
-        Ok(model)
+        Ok(naive::solve(self, &strata))
     }
 
-    fn check_arities(&self) -> Result<(), SolveError> {
+    fn check_arities(&self) -> Result<BTreeMap<String, usize>, SolveError> {
         let mut arities: BTreeMap<String, usize> = BTreeMap::new();
-        for rule in &self.rules {
-            let mut note = |pred: &str, n: usize| -> Result<(), SolveError> {
-                match arities.get(pred) {
-                    Some(&expected) if expected != n => Err(SolveError::ArityMismatch {
-                        predicate: pred.to_string(),
-                        expected,
-                        found: n,
-                    }),
-                    _ => {
-                        arities.insert(pred.to_string(), n);
-                        Ok(())
-                    }
+        let mut note = |pred: &str, n: usize| -> Result<(), SolveError> {
+            match arities.get(pred) {
+                Some(&expected) if expected != n => Err(SolveError::ArityMismatch {
+                    predicate: pred.to_string(),
+                    expected,
+                    found: n,
+                }),
+                _ => {
+                    arities.insert(pred.to_string(), n);
+                    Ok(())
                 }
-            };
+            }
+        };
+        for rule in &self.rules {
             note(&rule.head_predicate, rule.head_args.len())?;
             for lit in &rule.body {
                 note(&lit.predicate, lit.args.len())?;
             }
         }
-        Ok(())
+        for (pred, args) in &self.interned_facts {
+            note(self.interner.resolve(*pred), args.len())?;
+        }
+        Ok(arities)
     }
 
     fn check_safety(&self) -> Result<(), SolveError> {
@@ -310,6 +687,9 @@ impl Program {
                 preds.insert(l.predicate.clone());
             }
         }
+        for (pred, _) in &self.interned_facts {
+            preds.insert(self.interner.resolve(*pred).to_string());
+        }
         // stratum[p] computed by fixed-point: stratum(head) >= stratum(pos body),
         // stratum(head) >= stratum(neg body) + 1.
         let mut stratum: BTreeMap<String, usize> = preds.iter().map(|p| (p.clone(), 0)).collect();
@@ -334,15 +714,23 @@ impl Program {
             if round == max_rounds {
                 // A stratum exceeding the number of predicates implies a
                 // negative cycle.
-                let worst = stratum.iter().max_by_key(|(_, s)| **s).map(|(p, _)| p.clone());
+                let worst = stratum
+                    .iter()
+                    .max_by_key(|(_, s)| **s)
+                    .map(|(p, _)| p.clone());
                 return Err(SolveError::NotStratifiable {
                     predicate: worst.unwrap_or_default(),
                 });
             }
         }
         if stratum.values().any(|&s| s > preds.len()) {
-            let worst = stratum.iter().max_by_key(|(_, s)| **s).map(|(p, _)| p.clone());
-            return Err(SolveError::NotStratifiable { predicate: worst.unwrap_or_default() });
+            let worst = stratum
+                .iter()
+                .max_by_key(|(_, s)| **s)
+                .map(|(p, _)| p.clone());
+            return Err(SolveError::NotStratifiable {
+                predicate: worst.unwrap_or_default(),
+            });
         }
         let max = stratum.values().copied().max().unwrap_or(0);
         let mut out: Vec<BTreeSet<String>> = vec![BTreeSet::new(); max + 1];
@@ -363,13 +751,21 @@ pub struct RuleBuilder<'a> {
 impl RuleBuilder<'_> {
     /// Adds a positive body literal.
     pub fn pos(mut self, predicate: impl Into<String>, args: Vec<Term>) -> Self {
-        self.rule.body.push(Literal { predicate: predicate.into(), args, negated: false });
+        self.rule.body.push(Literal {
+            predicate: predicate.into(),
+            args,
+            negated: false,
+        });
         self
     }
 
     /// Adds a negated body literal.
     pub fn neg(mut self, predicate: impl Into<String>, args: Vec<Term>) -> Self {
-        self.rule.body.push(Literal { predicate: predicate.into(), args, negated: true });
+        self.rule.body.push(Literal {
+            predicate: predicate.into(),
+            args,
+            negated: true,
+        });
         self
     }
 
@@ -379,99 +775,518 @@ impl RuleBuilder<'_> {
     }
 }
 
-type Bindings = BTreeMap<String, String>;
+// ---------------------------------------------------------------------------
+// Compiled representation and the semi-naive engine.
+// ---------------------------------------------------------------------------
 
-fn evaluate_stratum(rules: &[&Rule], model: &mut Model) {
-    // Naive-to-seminaive bottom-up evaluation restricted to the stratum's
-    // rules; relations of earlier strata are already complete in `model`.
-    loop {
-        let mut new_tuples: Vec<(String, Tuple)> = Vec::new();
-        for rule in rules {
-            let mut bindings: Vec<Bindings> = vec![BTreeMap::new()];
-            for lit in &rule.body {
-                bindings = extend_bindings(&bindings, lit, model);
-                if bindings.is_empty() {
-                    break;
-                }
-            }
-            for b in &bindings {
-                let tuple: Option<Tuple> = rule
+/// A head or body argument after variable numbering.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Const(Symbol),
+    Var(u32),
+}
+
+#[derive(Debug, Clone)]
+struct CompiledLit {
+    pred: Symbol,
+    negated: bool,
+    args: Vec<Slot>,
+    /// Bitmask of argument positions known to be bound (a constant, or a
+    /// variable bound by an earlier positive literal) when this literal is
+    /// evaluated in body order.
+    bound_mask: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    head_pred: Symbol,
+    head: Vec<Slot>,
+    body: Vec<CompiledLit>,
+    num_vars: usize,
+    /// Per positive-body-literal join plans for semi-naive rounds: for each
+    /// original position `pos`, the body reordered to start with that
+    /// literal (followed by the others in original order) with bound masks
+    /// recomputed for the new order.  Leading with the delta literal means
+    /// the (small) delta drives the join and every other literal can probe
+    /// an index keyed on the delta's bindings, instead of re-scanning the
+    /// delta once per binding of the literals in front of it.
+    variants: Vec<(usize, Vec<CompiledLit>)>,
+}
+
+/// The bitmask with every argument position of an `arity`-wide literal set
+/// (saturating at 64 positions — wider literals never use mask shortcuts).
+fn full_mask(arity: usize) -> u64 {
+    match arity {
+        0 => 0,
+        1..=63 => (1 << arity) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// Per-round delta ranges: predicate → `[start, end)` tuple-id range added
+/// in the previous round.
+type DeltaRanges = FxHashMap<Symbol, (usize, usize)>;
+
+/// Tuples derived by a rule evaluation but not yet inserted into the store,
+/// deduplicated by a hash set so emitting `k` tuples costs `O(k)` instead of
+/// a quadratic scan.
+#[derive(Debug, Default)]
+struct Pending {
+    tuples: Vec<(Symbol, Box<[Symbol]>)>,
+    seen: FxHashSet<(Symbol, Box<[Symbol]>)>,
+}
+
+impl Pending {
+    /// Records a derived head tuple unless already pending.
+    fn push(&mut self, pred: Symbol, tuple: Box<[Symbol]>) {
+        if self.seen.insert((pred, tuple.clone())) {
+            self.tuples.push((pred, tuple));
+        }
+    }
+
+    fn drain(&mut self) -> impl Iterator<Item = (Symbol, Box<[Symbol]>)> + '_ {
+        self.seen.clear();
+        self.tuples.drain(..)
+    }
+}
+
+struct Engine {
+    interner: Interner,
+    rels: FxHashMap<Symbol, Relation>,
+    rules: Vec<CompiledRule>,
+    facts: Vec<(Symbol, Box<[Symbol]>)>,
+}
+
+impl Engine {
+    fn compile(program: &Program, arities: &BTreeMap<String, usize>) -> Engine {
+        let mut interner = program.interner.clone();
+        let mut rels: FxHashMap<Symbol, Relation> = FxHashMap::default();
+        for (pred, &arity) in arities {
+            let sym = interner.intern(pred);
+            rels.insert(sym, Relation::with_arity(arity));
+        }
+
+        let mut facts: Vec<(Symbol, Box<[Symbol]>)> = program.interned_facts.clone();
+        let mut rules: Vec<CompiledRule> = Vec::new();
+        for rule in &program.rules {
+            if rule.body.is_empty() {
+                // Ground fact (safety guarantees no head variables).
+                let pred = interner.intern(&rule.head_predicate);
+                let tuple: Box<[Symbol]> = rule
                     .head_args
                     .iter()
                     .map(|t| match t {
-                        Term::Const(c) => Some(c.clone()),
-                        Term::Var(v) => b.get(v).cloned(),
+                        Term::Const(c) => interner.intern(c),
+                        Term::Var(_) => unreachable!("unsafe fact passed the safety check"),
                     })
                     .collect();
-                if let Some(tuple) = tuple {
-                    let rel = model.relations.entry(rule.head_predicate.clone()).or_default();
-                    if !rel.contains(&tuple) {
-                        new_tuples.push((rule.head_predicate.clone(), tuple));
+                facts.push((pred, tuple));
+                continue;
+            }
+
+            // Variable numbering in order of first occurrence across the
+            // body then the head (the head only uses bound variables).
+            let mut var_ids: Vec<(String, u32)> = Vec::new();
+            let id_of = |name: &str, var_ids: &mut Vec<(String, u32)>| -> u32 {
+                if let Some((_, id)) = var_ids.iter().find(|(n, _)| n == name) {
+                    return *id;
+                }
+                let id = var_ids.len() as u32;
+                var_ids.push((name.to_string(), id));
+                id
+            };
+
+            // Slot every literal first (constants interned, variables
+            // numbered), independent of evaluation order.
+            let slotted: Vec<(Symbol, bool, Vec<Slot>)> = rule
+                .body
+                .iter()
+                .map(|lit| {
+                    let pred = interner.intern(&lit.predicate);
+                    let args: Vec<Slot> = lit
+                        .args
+                        .iter()
+                        .map(|term| match term {
+                            Term::Const(c) => Slot::Const(interner.intern(c)),
+                            Term::Var(v) => Slot::Var(id_of(v, &mut var_ids)),
+                        })
+                        .collect();
+                    (pred, lit.negated, args)
+                })
+                .collect();
+
+            // Computes the bound masks for evaluating the literals in the
+            // given order.
+            let mask_pass = |order: &[usize]| -> Vec<CompiledLit> {
+                let mut bound_vars: FxHashSet<u32> = FxHashSet::default();
+                order
+                    .iter()
+                    .map(|&i| {
+                        let (pred, negated, ref args) = slotted[i];
+                        // Masks are u64 bitsets; literals wider than 64
+                        // positions keep an empty mask and fall back to the
+                        // scan-and-match path, which checks every position.
+                        let mut bound_mask = 0u64;
+                        for (pos, slot) in args.iter().enumerate().take(64) {
+                            match slot {
+                                Slot::Const(_) => bound_mask |= 1 << pos,
+                                Slot::Var(id) => {
+                                    if bound_vars.contains(id) {
+                                        bound_mask |= 1 << pos;
+                                    }
+                                }
+                            }
+                        }
+                        if args.len() > 64 {
+                            bound_mask = 0;
+                        }
+                        if !negated {
+                            for slot in args {
+                                if let Slot::Var(id) = slot {
+                                    bound_vars.insert(*id);
+                                }
+                            }
+                        }
+                        CompiledLit {
+                            pred,
+                            negated,
+                            args: args.clone(),
+                            bound_mask,
+                        }
+                    })
+                    .collect()
+            };
+
+            let identity: Vec<usize> = (0..slotted.len()).collect();
+            let body = mask_pass(&identity);
+            // A reordered plan per positive literal, for when that literal
+            // drives a semi-naive round as the delta.  Rotating a positive
+            // literal to the front never breaks safety: negated literals
+            // keep every positive literal that precedes them.
+            let variants: Vec<(usize, Vec<CompiledLit>)> = (0..slotted.len())
+                .filter(|&pos| !slotted[pos].1)
+                .map(|pos| {
+                    let mut order = vec![pos];
+                    order.extend((0..slotted.len()).filter(|&i| i != pos));
+                    (pos, mask_pass(&order))
+                })
+                .collect();
+
+            let head_pred = interner.intern(&rule.head_predicate);
+            let head: Vec<Slot> = rule
+                .head_args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Slot::Const(interner.intern(c)),
+                    Term::Var(v) => Slot::Var(id_of(v, &mut var_ids)),
+                })
+                .collect();
+
+            rules.push(CompiledRule {
+                head_pred,
+                head,
+                body,
+                num_vars: var_ids.len(),
+                variants,
+            });
+        }
+
+        // Register every join index any plan will probe, so inserts keep
+        // them current from the start.
+        for rule in &rules {
+            let plans = std::iter::once(&rule.body).chain(rule.variants.iter().map(|(_, b)| b));
+            for lit in plans.flatten().filter(|l| !l.negated) {
+                if lit.bound_mask != 0 && lit.bound_mask != full_mask(lit.args.len()) {
+                    if let Some(rel) = rels.get_mut(&lit.pred) {
+                        rel.ensure_index(lit.bound_mask);
                     }
                 }
             }
         }
-        if new_tuples.is_empty() {
-            return;
+
+        Engine {
+            interner,
+            rels,
+            rules,
+            facts,
         }
-        for (pred, tuple) in new_tuples {
-            model.relations.entry(pred).or_default().insert(tuple);
+    }
+
+    fn run_stratum(&mut self, stratum: &BTreeSet<String>) {
+        let preds: FxHashSet<Symbol> = stratum
+            .iter()
+            .filter_map(|p| self.interner.get(p))
+            .collect();
+
+        // Facts of this stratum's predicates.
+        for (pred, tuple) in &self.facts {
+            if preds.contains(pred) {
+                if let Some(rel) = self.rels.get_mut(pred) {
+                    rel.insert(tuple.clone());
+                }
+            }
+        }
+
+        let rule_ids: Vec<usize> = (0..self.rules.len())
+            .filter(|&i| preds.contains(&self.rules[i].head_pred))
+            .collect();
+        // The delta-driven plans of each rule: its variants whose leading
+        // (delta) literal is over a predicate of this stratum.
+        let recursive: Vec<Vec<usize>> = rule_ids
+            .iter()
+            .map(|&i| {
+                self.rules[i]
+                    .variants
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, body))| preds.contains(&body[0].pred))
+                    .map(|(v, _)| v)
+                    .collect()
+            })
+            .collect();
+
+        let mut bind: Vec<Option<Symbol>> = Vec::new();
+        let mut pending = Pending::default();
+
+        // Round 0: full evaluation of the non-recursive rules only.  Rules
+        // with a same-stratum delta plan are covered entirely by the delta
+        // rounds: each of their derivations needs at least one tuple of a
+        // stratum predicate, and every such tuple (including the facts
+        // inserted above) passes through a delta range exactly once because
+        // `marks` starts at 0.
+        for (k, &i) in rule_ids.iter().enumerate() {
+            if !recursive[k].is_empty() {
+                continue;
+            }
+            let rule = &self.rules[i];
+            bind.clear();
+            bind.resize(rule.num_vars, None);
+            eval_rule(rule, &rule.body, None, &self.rels, &mut bind, &mut pending);
+            for (pred, tuple) in pending.drain() {
+                if let Some(rel) = self.rels.get_mut(&pred) {
+                    rel.insert(tuple);
+                }
+            }
+        }
+
+        // Semi-naive rounds over contiguous delta ranges.
+        let mut marks: FxHashMap<Symbol, usize> = preds.iter().map(|&p| (p, 0)).collect();
+        loop {
+            let mut ranges: DeltaRanges = DeltaRanges::default();
+            let mut any = false;
+            for &p in &preds {
+                let len = self.rels.get(&p).map_or(0, Relation::len);
+                let start = marks[&p];
+                if len > start {
+                    any = true;
+                }
+                ranges.insert(p, (start, len));
+            }
+            if !any {
+                break;
+            }
+            for (&p, &(_, end)) in &ranges {
+                marks.insert(p, end);
+            }
+
+            for (k, &i) in rule_ids.iter().enumerate() {
+                let rule = &self.rules[i];
+                for &v in &recursive[k] {
+                    let body = &rule.variants[v].1;
+                    let (start, end) = ranges[&body[0].pred];
+                    if start == end {
+                        continue;
+                    }
+                    bind.clear();
+                    bind.resize(rule.num_vars, None);
+                    eval_rule(
+                        rule,
+                        body,
+                        Some(&ranges),
+                        &self.rels,
+                        &mut bind,
+                        &mut pending,
+                    );
+                    for (pred, tuple) in pending.drain() {
+                        if let Some(rel) = self.rels.get_mut(&pred) {
+                            rel.insert(tuple);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn into_model(self) -> Model {
+        let relations: BTreeMap<String, Relation> = self
+            .rels
+            .into_iter()
+            .filter(|(_, rel)| !rel.is_empty())
+            .map(|(sym, rel)| (self.interner.resolve(sym).to_string(), rel))
+            .collect();
+        Model {
+            interner: self.interner,
+            relations,
         }
     }
 }
 
-fn extend_bindings(current: &[Bindings], lit: &Literal, model: &Model) -> Vec<Bindings> {
-    let empty = BTreeSet::new();
-    let relation = model.relations.get(&lit.predicate).unwrap_or(&empty);
-    let mut out = Vec::new();
-    for binding in current {
+/// Evaluates one rule over the given body plan, appending newly derivable
+/// head tuples (not yet in the store and not yet pending) to `pending`.
+/// With `delta = Some(ranges)` the leading literal of the plan only ranges
+/// over the tuples in its predicate's delta id range.
+fn eval_rule(
+    rule: &CompiledRule,
+    body: &[CompiledLit],
+    delta: Option<&DeltaRanges>,
+    rels: &FxHashMap<Symbol, Relation>,
+    bind: &mut Vec<Option<Symbol>>,
+    pending: &mut Pending,
+) {
+    let mut trail: Vec<u32> = Vec::new();
+    join(rule, body, 0, delta, rels, bind, &mut trail, pending);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    rule: &CompiledRule,
+    body: &[CompiledLit],
+    idx: usize,
+    delta: Option<&DeltaRanges>,
+    rels: &FxHashMap<Symbol, Relation>,
+    bind: &mut Vec<Option<Symbol>>,
+    trail: &mut Vec<u32>,
+    pending: &mut Pending,
+) {
+    if idx == body.len() {
+        let tuple: Box<[Symbol]> = rule
+            .head
+            .iter()
+            .map(|slot| match slot {
+                Slot::Const(c) => *c,
+                Slot::Var(v) => bind[*v as usize].expect("head variable bound (safety)"),
+            })
+            .collect();
+        let exists = rels
+            .get(&rule.head_pred)
+            .is_some_and(|r| r.contains_syms(&tuple));
+        if !exists {
+            pending.push(rule.head_pred, tuple);
+        }
+        return;
+    }
+
+    let lit = &body[idx];
+    let Some(rel) = rels.get(&lit.pred) else {
         if lit.negated {
-            // All variables are bound (safety); check membership.
-            let tuple: Option<Tuple> = lit
-                .args
-                .iter()
-                .map(|t| match t {
-                    Term::Const(c) => Some(c.clone()),
-                    Term::Var(v) => binding.get(v).cloned(),
-                })
-                .collect();
-            match tuple {
-                Some(t) if !relation.contains(&t) => out.push(binding.clone()),
-                _ => {}
-            }
-        } else {
-            for tuple in relation {
-                if let Some(extended) = unify(binding, &lit.args, tuple) {
-                    out.push(extended);
-                }
-            }
+            join(rule, body, idx + 1, delta, rels, bind, trail, pending);
+        }
+        return;
+    };
+
+    if lit.negated {
+        // All variables are bound (safety); check absence in the (complete)
+        // relation of an earlier stratum.
+        let tuple: Vec<Symbol> = lit
+            .args
+            .iter()
+            .map(|slot| match slot {
+                Slot::Const(c) => *c,
+                Slot::Var(v) => bind[*v as usize].expect("negated variable bound (safety)"),
+            })
+            .collect();
+        if !rel.contains_syms(&tuple) {
+            join(rule, body, idx + 1, delta, rels, bind, trail, pending);
+        }
+        return;
+    }
+
+    let full = full_mask(lit.args.len());
+    let is_delta = delta.is_some() && idx == 0;
+
+    let descend = |tuple: &[Symbol],
+                   bind: &mut Vec<Option<Symbol>>,
+                   trail: &mut Vec<u32>,
+                   pending: &mut Pending| {
+        let depth = trail.len();
+        if match_tuple(&lit.args, tuple, bind, trail) {
+            join(rule, body, idx + 1, delta, rels, bind, trail, pending);
+        }
+        while trail.len() > depth {
+            let v = trail.pop().expect("trail entry");
+            bind[v as usize] = None;
+        }
+    };
+
+    if is_delta {
+        // Restrict this occurrence to the tuples added in the last round.
+        let (start, end) = delta.expect("delta ranges present")[&lit.pred];
+        for tuple in &rel.tuples[start..end] {
+            descend(tuple, bind, trail, pending);
+        }
+    } else if lit.bound_mask == full && !lit.args.is_empty() {
+        // Fully bound: a membership probe, no iteration.
+        let tuple: Vec<Symbol> = lit
+            .args
+            .iter()
+            .map(|slot| match slot {
+                Slot::Const(c) => *c,
+                Slot::Var(v) => bind[*v as usize].expect("bound position"),
+            })
+            .collect();
+        if rel.contains_syms(&tuple) {
+            join(rule, body, idx + 1, delta, rels, bind, trail, pending);
+        }
+    } else if lit.bound_mask == 0 {
+        for tuple in &rel.tuples {
+            descend(tuple, bind, trail, pending);
+        }
+    } else {
+        // Probe the hash index on the bound positions.
+        let key: Vec<Symbol> = lit
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| lit.bound_mask & (1 << i) != 0)
+            .map(|(_, slot)| match slot {
+                Slot::Const(c) => *c,
+                Slot::Var(v) => bind[*v as usize].expect("bound position"),
+            })
+            .collect();
+        for &id in rel.probe(lit.bound_mask, &key) {
+            descend(&rel.tuples[id as usize], bind, trail, pending);
         }
     }
-    out
 }
 
-fn unify(binding: &Bindings, args: &[Term], tuple: &[String]) -> Option<Bindings> {
-    if args.len() != tuple.len() {
-        return None;
-    }
-    let mut out = binding.clone();
-    for (arg, value) in args.iter().zip(tuple) {
-        match arg {
-            Term::Const(c) => {
-                if c != value {
-                    return None;
+/// Matches `tuple` against the literal's argument slots, binding any unbound
+/// variables (recorded on `trail` for unwinding).  Returns `false` on a
+/// constant or binding mismatch.
+fn match_tuple(
+    args: &[Slot],
+    tuple: &[Symbol],
+    bind: &mut [Option<Symbol>],
+    trail: &mut Vec<u32>,
+) -> bool {
+    debug_assert_eq!(args.len(), tuple.len());
+    for (slot, &value) in args.iter().zip(tuple) {
+        match slot {
+            Slot::Const(c) => {
+                if *c != value {
+                    return false;
                 }
             }
-            Term::Var(v) => match out.get(v) {
-                Some(existing) if existing != value => return None,
+            Slot::Var(v) => match bind[*v as usize] {
+                Some(existing) if existing != value => return false,
                 Some(_) => {}
                 None => {
-                    out.insert(v.clone(), value.clone());
+                    bind[*v as usize] = Some(value);
+                    trail.push(*v);
                 }
             },
         }
     }
-    Some(out)
+    true
 }
 
 #[cfg(test)]
@@ -523,7 +1338,10 @@ mod tests {
             .pos("edge", vec![Term::cst("a"), Term::var("Y")])
             .build();
         let m = p.solve().unwrap();
-        assert_eq!(m.relation("from_a"), BTreeSet::from([vec!["b".to_string()]]));
+        assert_eq!(
+            m.relation("from_a"),
+            BTreeSet::from([vec!["b".to_string()]])
+        );
     }
 
     #[test]
@@ -544,6 +1362,46 @@ mod tests {
         assert!(m.contains("unreachable", &["d"]));
         assert!(m.contains("unreachable", &["a"])); // no self loop on a
         assert!(!m.contains("unreachable", &["b"]));
+    }
+
+    #[test]
+    fn interned_fast_path_matches_string_facts() {
+        let mut p1 = Program::new();
+        edge_facts(&mut p1, &[("a", "b"), ("b", "c"), ("c", "d")]);
+        path_rules(&mut p1);
+
+        let mut p2 = Program::new();
+        let edge = p2.intern("edge");
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            let (a, b) = (p2.intern(a), p2.intern(b));
+            p2.fact_interned(edge, vec![a, b]);
+        }
+        path_rules(&mut p2);
+
+        assert_eq!(p2.len(), p1.len());
+        assert_eq!(p1.solve().unwrap(), p2.solve().unwrap());
+    }
+
+    #[test]
+    fn relation_ref_exposes_interned_tuples() {
+        let mut p = Program::new();
+        edge_facts(&mut p, &[("a", "b")]);
+        let m = p.solve().unwrap();
+        assert!(m.relation_ref("missing").is_none());
+        let rel = m.relation_ref("edge").unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.arity(), 2);
+        let tuple: Vec<&str> = rel
+            .iter()
+            .next()
+            .unwrap()
+            .iter()
+            .map(|&s| m.resolve(s))
+            .collect();
+        assert_eq!(tuple, vec!["a", "b"]);
+        let (a, b) = (m.lookup("a").unwrap(), m.lookup("b").unwrap());
+        assert!(rel.contains_syms(&[a, b]));
+        assert!(!rel.contains_syms(&[b, a]));
     }
 
     #[test]
@@ -599,6 +1457,7 @@ mod tests {
         let m = p.solve().unwrap();
         assert_eq!(m.predicates().collect::<Vec<_>>(), vec!["edge"]);
         assert!(!m.contains("missing", &["a"]));
+        assert!(!m.contains("edge", &["a", "zzz"]));
         assert_eq!(m.tuple_count(), 1);
     }
 
@@ -606,7 +1465,164 @@ mod tests {
     fn display_impls() {
         assert_eq!(Term::cst("a").to_string(), "a");
         assert_eq!(Term::var("X").to_string(), "?X");
-        let e = SolveError::ArityMismatch { predicate: "p".into(), expected: 2, found: 3 };
+        let e = SolveError::ArityMismatch {
+            predicate: "p".into(),
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("arity"));
+    }
+
+    // -----------------------------------------------------------------
+    // Differential testing: the semi-naive engine must agree with the
+    // naive reference evaluator on random stratified programs.
+    // -----------------------------------------------------------------
+
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            // splitmix64
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound
+        }
+
+        fn flag(&mut self) -> bool {
+            self.next() & 1 == 1
+        }
+    }
+
+    /// A random stratified program over a fixed schema:
+    /// EDB `edge/2`, `mark/1`; IDB `path/2` and `hull/1` (positive,
+    /// recursive), `iso/1` (negation stratum), `core/1` (second negation
+    /// stratum).
+    fn random_program(seed: u64) -> Program {
+        let mut rng = Rng(seed);
+        let consts: Vec<String> = (0..6).map(|i| format!("c{i}")).collect();
+        let c = |rng: &mut Rng, consts: &[String]| -> Term {
+            Term::cst(consts[rng.below(consts.len() as u64) as usize].clone())
+        };
+
+        let mut p = Program::new();
+        for _ in 0..(3 + rng.below(18)) {
+            let (a, b) = (c(&mut rng, &consts), c(&mut rng, &consts));
+            p.fact("edge", vec![a, b]);
+        }
+        for _ in 0..(1 + rng.below(4)) {
+            let a = c(&mut rng, &consts);
+            p.fact("mark", vec![a]);
+        }
+
+        // Positive stratum: always seed path, then a random rule mix.
+        p.rule("path", vec![Term::var("X"), Term::var("Y")])
+            .pos("edge", vec![Term::var("X"), Term::var("Y")])
+            .build();
+        if rng.flag() {
+            p.rule("path", vec![Term::var("X"), Term::var("Z")])
+                .pos("path", vec![Term::var("X"), Term::var("Y")])
+                .pos("edge", vec![Term::var("Y"), Term::var("Z")])
+                .build();
+        }
+        if rng.flag() {
+            p.rule("path", vec![Term::var("X"), Term::var("Z")])
+                .pos("edge", vec![Term::var("X"), Term::var("Y")])
+                .pos("path", vec![Term::var("Y"), Term::var("Z")])
+                .build();
+        }
+        if rng.flag() {
+            // Mutual recursion through a second predicate.
+            p.rule("hull", vec![Term::var("Y")])
+                .pos("mark", vec![Term::var("X")])
+                .pos("path", vec![Term::var("X"), Term::var("Y")])
+                .build();
+            p.rule("path", vec![Term::var("X"), Term::var("X")])
+                .pos("hull", vec![Term::var("X")])
+                .pos("edge", vec![Term::var("X"), Term::var("Y")])
+                .build();
+        } else {
+            p.rule("hull", vec![Term::var("X")])
+                .pos("mark", vec![Term::var("X")])
+                .build();
+        }
+        if rng.flag() {
+            // Constants in bodies and heads.
+            p.rule("path", vec![Term::cst("c0"), Term::var("Y")])
+                .pos("edge", vec![Term::cst("c1"), Term::var("Y")])
+                .build();
+        }
+
+        // Negation stratum.
+        p.rule("iso", vec![Term::var("X")])
+            .pos("mark", vec![Term::var("X")])
+            .neg("path", vec![Term::var("X"), Term::var("X")])
+            .build();
+        if rng.flag() {
+            p.rule("iso", vec![Term::var("Y")])
+                .pos("edge", vec![Term::var("X"), Term::var("Y")])
+                .neg("hull", vec![Term::var("Y")])
+                .build();
+        }
+
+        // Second negation stratum.
+        if rng.flag() {
+            p.rule("core", vec![Term::var("X")])
+                .pos("hull", vec![Term::var("X")])
+                .neg("iso", vec![Term::var("X")])
+                .build();
+        }
+
+        p
+    }
+
+    #[test]
+    fn semi_naive_agrees_with_naive_on_random_programs() {
+        for seed in 0..120u64 {
+            let p = random_program(seed);
+            let fast = p
+                .solve()
+                .unwrap_or_else(|e| panic!("seed {seed}: solve failed: {e}"));
+            let slow = p
+                .solve_naive()
+                .unwrap_or_else(|e| panic!("seed {seed}: naive failed: {e}"));
+            assert_eq!(
+                fast, slow,
+                "seed {seed}: semi-naive and naive models differ\nprogram: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn semi_naive_agrees_with_naive_on_interned_facts() {
+        for seed in 200..230u64 {
+            let mut p = random_program(seed);
+            // Route extra facts through the interned fast path.
+            let edge = p.intern("edge");
+            let mut rng = Rng(seed ^ 0xdead_beef);
+            for _ in 0..rng.below(8) {
+                let a = p.intern(&format!("c{}", rng.below(6)));
+                let b = p.intern(&format!("c{}", rng.below(6)));
+                p.fact_interned(edge, vec![a, b]);
+            }
+            assert_eq!(p.solve().unwrap(), p.solve_naive().unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fx_hasher_spreads_small_integers() {
+        use std::hash::Hash;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..1000 {
+            let mut h = FxHasher::default();
+            i.hash(&mut h);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 1000);
     }
 }

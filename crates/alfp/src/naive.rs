@@ -1,0 +1,132 @@
+//! The naive reference evaluator: per stratum, re-derive every tuple from
+//! scratch each round over string-keyed bindings until nothing new appears.
+//!
+//! This is the solver's original evaluation strategy, kept verbatim as the
+//! oracle for differential testing of the semi-naive engine (see the
+//! `semi_naive_agrees_with_naive_*` tests) and for before/after
+//! benchmarking via the `naive` feature.  It is deliberately simple and
+//! allocation-heavy; do not use it on large programs.
+
+use crate::{Literal, Model, Program, Rule, Term, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+type Bindings = BTreeMap<String, String>;
+type Relations = BTreeMap<String, BTreeSet<Tuple>>;
+
+/// Computes the least model naively.  `strata` must come from
+/// `Program::stratify` on the same (already checked) program.
+pub(crate) fn solve(program: &Program, strata: &[BTreeSet<String>]) -> Model {
+    let mut relations: Relations = BTreeMap::new();
+
+    // Facts from the interned fast path, resolved back to strings.
+    for (pred, args) in &program.interned_facts {
+        let name = program.interner.resolve(*pred).to_string();
+        let tuple: Tuple = args
+            .iter()
+            .map(|&s| program.interner.resolve(s).to_string())
+            .collect();
+        relations.entry(name).or_default().insert(tuple);
+    }
+
+    for stratum in strata {
+        let rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| stratum.contains(&r.head_predicate))
+            .collect();
+        evaluate_stratum(&rules, &mut relations);
+    }
+
+    Model::from_string_relations(relations)
+}
+
+fn evaluate_stratum(rules: &[&Rule], relations: &mut Relations) {
+    loop {
+        let mut new_tuples: Vec<(String, Tuple)> = Vec::new();
+        for rule in rules {
+            let mut bindings: Vec<Bindings> = vec![BTreeMap::new()];
+            for lit in &rule.body {
+                bindings = extend_bindings(&bindings, lit, relations);
+                if bindings.is_empty() {
+                    break;
+                }
+            }
+            for b in &bindings {
+                let tuple: Option<Tuple> = rule
+                    .head_args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Some(c.clone()),
+                        Term::Var(v) => b.get(v).cloned(),
+                    })
+                    .collect();
+                if let Some(tuple) = tuple {
+                    let rel = relations.entry(rule.head_predicate.clone()).or_default();
+                    if !rel.contains(&tuple) {
+                        new_tuples.push((rule.head_predicate.clone(), tuple));
+                    }
+                }
+            }
+        }
+        if new_tuples.is_empty() {
+            return;
+        }
+        for (pred, tuple) in new_tuples {
+            relations.entry(pred).or_default().insert(tuple);
+        }
+    }
+}
+
+fn extend_bindings(current: &[Bindings], lit: &Literal, relations: &Relations) -> Vec<Bindings> {
+    let empty = BTreeSet::new();
+    let relation = relations.get(&lit.predicate).unwrap_or(&empty);
+    let mut out = Vec::new();
+    for binding in current {
+        if lit.negated {
+            // All variables are bound (safety); check membership.
+            let tuple: Option<Tuple> = lit
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Some(c.clone()),
+                    Term::Var(v) => binding.get(v).cloned(),
+                })
+                .collect();
+            match tuple {
+                Some(t) if !relation.contains(&t) => out.push(binding.clone()),
+                _ => {}
+            }
+        } else {
+            for tuple in relation {
+                if let Some(extended) = unify(binding, &lit.args, tuple) {
+                    out.push(extended);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn unify(binding: &Bindings, args: &[Term], tuple: &[String]) -> Option<Bindings> {
+    if args.len() != tuple.len() {
+        return None;
+    }
+    let mut out = binding.clone();
+    for (arg, value) in args.iter().zip(tuple) {
+        match arg {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match out.get(v) {
+                Some(existing) if existing != value => return None,
+                Some(_) => {}
+                None => {
+                    out.insert(v.clone(), value.clone());
+                }
+            },
+        }
+    }
+    Some(out)
+}

@@ -19,12 +19,19 @@ fn simulate_full_aes() -> Vec<u8> {
     let key = hex_block("000102030405060708090a0b0c0d0e0f");
     let pt = hex_block("00112233445566778899aabbccddeeff");
     for i in 0..16 {
-        sim.drive_input_unsigned(&format!("pt_{i}"), pt[i] as u128).unwrap();
-        sim.drive_input_unsigned(&format!("key_{i}"), key[i] as u128).unwrap();
+        sim.drive_input_unsigned(&format!("pt_{i}"), pt[i] as u128)
+            .unwrap();
+        sim.drive_input_unsigned(&format!("key_{i}"), key[i] as u128)
+            .unwrap();
     }
     sim.run_until_quiescent(50).unwrap();
     (0..16)
-        .map(|i| sim.signal(&format!("ct_{i}")).unwrap().to_unsigned().unwrap() as u8)
+        .map(|i| {
+            sim.signal(&format!("ct_{i}"))
+                .unwrap()
+                .to_unsigned()
+                .unwrap() as u8
+        })
         .collect()
 }
 

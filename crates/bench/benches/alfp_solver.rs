@@ -4,17 +4,77 @@
 //! graphs agree with the native implementation, and compares run times.
 
 use aes_vhdl::vhdl::shift_rows_vhdl;
-use bench::workloads::{design_of, temp_reuse_src};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::workloads::{chain_tc_program, design_of, random_tc_program, temp_reuse_src};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use vhdl1_infoflow::alfp_encoding::{encode_closure, encode_kemmerer, solve_closure};
 use vhdl1_infoflow::{analyze_with, AnalysisOptions};
 
+fn time_once<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Single-shot semi-naive vs naive comparison on the transitive-closure
+/// workloads (the naive reference is only run at sizes where it finishes
+/// promptly).
+fn print_tc_speedups() {
+    println!("== TC: semi-naive indexed engine vs naive reference ==");
+    for n in [16usize, 32, 64] {
+        let p = chain_tc_program(n);
+        let (fast_model, fast) = time_once(|| p.solve().unwrap());
+        let (slow_model, slow) = time_once(|| p.solve_naive().unwrap());
+        assert_eq!(fast_model, slow_model, "engines disagree on chain({n})");
+        println!(
+            "  chain({n:<3})  semi-naive {:>10?}  naive {:>10?}  speedup {:>8.1}x",
+            fast,
+            slow,
+            slow.as_secs_f64() / fast.as_secs_f64().max(f64::EPSILON)
+        );
+    }
+    for (nodes, edges) in [(32usize, 96usize), (64, 192)] {
+        let p = random_tc_program(nodes, edges);
+        let (fast_model, fast) = time_once(|| p.solve().unwrap());
+        let (slow_model, slow) = time_once(|| p.solve_naive().unwrap());
+        assert_eq!(
+            fast_model, slow_model,
+            "engines disagree on random({nodes},{edges})"
+        );
+        println!(
+            "  random({nodes},{edges})  semi-naive {:>10?}  naive {:>10?}  speedup {:>8.1}x",
+            fast,
+            slow,
+            slow.as_secs_f64() / fast.as_secs_f64().max(f64::EPSILON)
+        );
+    }
+    println!();
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    print_tc_speedups();
+    let mut group = c.benchmark_group("transitive_closure");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let p = chain_tc_program(n);
+        group.bench_with_input(BenchmarkId::new("chain_semi_naive", n), &p, |b, p| {
+            b.iter(|| black_box(p).solve().unwrap())
+        });
+    }
+    let p = random_tc_program(128, 384);
+    group.bench_function("random_128_semi_naive", |b| {
+        b.iter(|| black_box(&p).solve().unwrap())
+    });
+    group.finish();
+}
+
 fn print_crosscheck() {
     println!("== SOLVER: ALFP encoding vs native implementation ==");
-    for (name, src) in
-        [("temp_reuse(8)", temp_reuse_src(8)), ("aes_shift_rows", shift_rows_vhdl())]
-    {
+    for (name, src) in [
+        ("temp_reuse(8)", temp_reuse_src(8)),
+        ("aes_shift_rows", shift_rows_vhdl()),
+    ] {
         let design = design_of(&src);
         let result = analyze_with(&design, &AnalysisOptions::base());
         let native = result.base_flow_graph();
@@ -52,5 +112,5 @@ fn bench_alfp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_alfp);
+criterion_group!(benches, bench_transitive_closure, bench_alfp);
 criterion_main!(benches);

@@ -16,21 +16,30 @@ fn sequential_base_options() -> AnalysisOptions {
 
 fn print_figure3() {
     println!("== FIG3: information-flow graphs for programs (a) and (b) ==");
-    for (name, src) in [("(a) c:=b; b:=a", program_a_src()), ("(b) b:=a; c:=b", program_b_src())]
-    {
+    for (name, src) in [
+        ("(a) c:=b; b:=a", program_a_src()),
+        ("(b) b:=a; c:=b", program_b_src()),
+    ] {
         let design = design_of(&src);
         let result = analyze_with(&design, &sequential_base_options());
         let ours = result.base_flow_graph();
         let kemmerer = result.kemmerer_flow_graph();
         let fmt = |g: &vhdl1_infoflow::FlowGraph| {
-            let mut edges: Vec<String> =
-                g.edges().map(|(f, t)| format!("{f}->{t}")).collect();
+            let mut edges: Vec<String> = g.edges().map(|(f, t)| format!("{f}->{t}")).collect();
             edges.sort();
             edges.join(", ")
         };
         println!("program {name}");
-        println!("  this paper : {{{}}}   transitive: {}", fmt(&ours), ours.is_transitive());
-        println!("  kemmerer   : {{{}}}   transitive: {}", fmt(&kemmerer), kemmerer.is_transitive());
+        println!(
+            "  this paper : {{{}}}   transitive: {}",
+            fmt(&ours),
+            ours.is_transitive()
+        );
+        println!(
+            "  kemmerer   : {{{}}}   transitive: {}",
+            fmt(&kemmerer),
+            kemmerer.is_transitive()
+        );
     }
     println!();
 }

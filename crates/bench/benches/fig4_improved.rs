@@ -23,8 +23,12 @@ fn print_figure4() {
     println!("  improved graph (Fig 4(b)) : {{{}}}", fmt(&improved));
     println!(
         "  a-incoming reaches c: {}   b-incoming reaches c: {} (paper: yes / no)",
-        improved.reachable_from(&Node::incoming("a")).contains(&Node::res("c")),
-        improved.reachable_from(&Node::incoming("b")).contains(&Node::res("c")),
+        improved
+            .reachable_from(&Node::incoming("a"))
+            .contains(&Node::res("c")),
+        improved
+            .reachable_from(&Node::incoming("b"))
+            .contains(&Node::res("c")),
     );
     println!();
 }

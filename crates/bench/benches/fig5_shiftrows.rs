@@ -29,8 +29,11 @@ fn print_figure5() {
         "  full graphs: ours {} edges vs kemmerer {} edges",
         graphs.ours_full_edges, graphs.kemmerer_full_edges
     );
-    let mut edges: Vec<String> =
-        graphs.ours.edges().map(|(f, t)| format!("{f}->{t}")).collect();
+    let mut edges: Vec<String> = graphs
+        .ours
+        .edges()
+        .map(|(f, t)| format!("{f}->{t}"))
+        .collect();
     edges.sort();
     println!("  our per-row rotation edges: {}", edges.join(", "));
     println!();

@@ -38,7 +38,10 @@ fn bench_precision(c: &mut Criterion) {
     });
     group.bench_function("ours_no_under_approx_temp_reuse_16", |b| {
         let opts = AnalysisOptions {
-            rd: RdOptions { use_under_approximation: false, ..RdOptions::default() },
+            rd: RdOptions {
+                use_under_approximation: false,
+                ..RdOptions::default()
+            },
             ..AnalysisOptions::base()
         };
         b.iter(|| analyze_with(black_box(&design), &opts).base_flow_graph())

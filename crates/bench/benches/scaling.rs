@@ -4,12 +4,95 @@
 //! practice.  This bench sweeps synthetic program families (assignment
 //! chains and process pipelines) and reports the measured analysis times.
 
-use bench::workloads::{chain_src, design_of, pipeline_src};
+use bench::workloads::{chain_src, chain_tc_program, design_of, pipeline_src};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vhdl1_dataflow::{RdOptions, ReachingDefinitions};
+use vhdl1_infoflow::alfp_encoding::solve_closure;
 use vhdl1_infoflow::{analyze_with, AnalysisOptions};
+
+/// One measured point of the ALFP scaling sweep, serialised into
+/// `BENCH_alfp.json` so the perf trajectory is machine-readable across PRs.
+struct BenchPoint {
+    workload: &'static str,
+    size: usize,
+    tuples: usize,
+    median_ns: u128,
+}
+
+fn median_of(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn measure<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let mut out = f(); // warm-up
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        out = f();
+        samples.push(start.elapsed());
+    }
+    (out, median_of(&mut samples))
+}
+
+/// Sweeps the ALFP solver on transitive-closure chains and on the encoded
+/// closure of the chain designs, printing the series and writing
+/// `BENCH_alfp.json`.
+fn alfp_series() {
+    println!("== ALFP: solver scaling (semi-naive indexed engine) ==");
+    let mut points: Vec<BenchPoint> = Vec::new();
+
+    println!("  transitive closure, chain length sweep:");
+    for n in [32usize, 64, 128, 256] {
+        let p = chain_tc_program(n);
+        let (model, median) = measure(5, || p.solve().unwrap());
+        let tuples = model.tuple_count();
+        println!("    n={n:<4} tuples={tuples:<7} median={median:?}");
+        points.push(BenchPoint {
+            workload: "chain_tc",
+            size: n,
+            tuples,
+            median_ns: median.as_nanos(),
+        });
+    }
+
+    println!("  encoded closure of the chain design:");
+    for n in [20usize, 80, 160] {
+        let design = design_of(&chain_src(n));
+        let result = analyze_with(&design, &AnalysisOptions::base());
+        let (graph, median) = measure(5, || solve_closure(&result).unwrap());
+        let edges = graph.edge_count();
+        println!("    n={n:<4} edges={edges:<6} median={median:?}");
+        points.push(BenchPoint {
+            workload: "encoded_closure_chain",
+            size: n,
+            tuples: edges,
+            median_ns: median.as_nanos(),
+        });
+    }
+
+    let json: String = points
+        .iter()
+        .map(|p| {
+            format!(
+                "  {{\"workload\": \"{}\", \"size\": {}, \"tuples\": {}, \"median_ns\": {}}}",
+                p.workload, p.size, p.tuples, p.median_ns
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!("[\n{json}\n]\n");
+    // Benches run with the package directory as CWD; anchor the summary at
+    // the workspace root so successive PRs overwrite the same file.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alfp.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  wrote BENCH_alfp.json ({} points)", points.len()),
+        Err(e) => println!("  could not write BENCH_alfp.json: {e}"),
+    }
+    println!();
+}
 
 fn print_series() {
     println!("== COMPLEX: analysis time vs program size (single-shot timings) ==");
@@ -46,6 +129,7 @@ fn print_series() {
 
 fn bench_scaling(c: &mut Criterion) {
     print_series();
+    alfp_series();
 
     let mut group = c.benchmark_group("scaling_chain");
     group.sample_size(20);
@@ -54,9 +138,11 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("full_analysis", n), &design, |b, d| {
             b.iter(|| analyze_with(black_box(d), &AnalysisOptions::base()).base_flow_graph())
         });
-        group.bench_with_input(BenchmarkId::new("reaching_definitions", n), &design, |b, d| {
-            b.iter(|| ReachingDefinitions::compute(black_box(d), &RdOptions::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reaching_definitions", n),
+            &design,
+            |b, d| b.iter(|| ReachingDefinitions::compute(black_box(d), &RdOptions::default())),
+        );
     }
     group.finish();
 

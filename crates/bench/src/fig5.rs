@@ -64,12 +64,8 @@ pub fn shift_rows_graphs() -> ShiftRowsGraphs {
     let ours_base = result.base_flow_graph();
     let kemmerer_full = result.kemmerer_flow_graph();
 
-    let ours = restrict_to_shifted_rows(
-        &ours_full.merge_io_nodes().map_names(merge_ports),
-    );
-    let kemmerer = restrict_to_shifted_rows(
-        &kemmerer_full.merge_io_nodes().map_names(merge_ports),
-    );
+    let ours = restrict_to_shifted_rows(&ours_full.merge_io_nodes().map_names(merge_ports));
+    let kemmerer = restrict_to_shifted_rows(&kemmerer_full.merge_io_nodes().map_names(merge_ports));
     ShiftRowsGraphs {
         ours,
         kemmerer,
@@ -88,7 +84,9 @@ impl ShiftRowsGraphs {
     /// Number of edges connecting bytes of *different* rows (the false
     /// positives of a flow-insensitive analysis).
     pub fn cross_row_edges(g: &FlowGraph) -> usize {
-        g.edges().filter(|(f, t)| row_of(f.name()) != row_of(t.name())).count()
+        g.edges()
+            .filter(|(f, t)| row_of(f.name()) != row_of(t.name()))
+            .count()
     }
 }
 

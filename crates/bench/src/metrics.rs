@@ -54,13 +54,22 @@ pub fn precision_row(workload: &str, design: &Design) -> PrecisionRow {
     let no_under = analyze_with(
         design,
         &AnalysisOptions {
-            rd: RdOptions { use_under_approximation: false, ..base.rd },
+            rd: RdOptions {
+                use_under_approximation: false,
+                ..base.rd
+            },
             ..base
         },
     )
     .base_flow_graph();
-    let no_spec =
-        analyze_with(design, &AnalysisOptions { specialize_rd: false, ..base }).base_flow_graph();
+    let no_spec = analyze_with(
+        design,
+        &AnalysisOptions {
+            specialize_rd: false,
+            ..base
+        },
+    )
+    .base_flow_graph();
 
     PrecisionRow {
         workload: workload.to_string(),

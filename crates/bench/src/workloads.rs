@@ -1,7 +1,55 @@
 //! Workload generators: the paper's illustration programs, the AES
-//! components, and synthetic program families for the scaling study.
+//! components, synthetic program families for the scaling study, and raw
+//! ALFP clause programs for solver benchmarks.
 
+use alfp_solver::{Program, Term};
 use vhdl1_syntax::{frontend, Design};
+
+/// `path` over a chain of `n` edges: the classic transitive-closure solver
+/// workload, quadratic in `n` output tuples.  Facts go through the interned
+/// fast path.
+pub fn chain_tc_program(n: usize) -> Program {
+    let mut p = Program::new();
+    let edge = p.intern("edge");
+    for i in 0..n {
+        let (a, b) = (p.intern(&format!("v{i}")), p.intern(&format!("v{}", i + 1)));
+        p.fact_interned(edge, vec![a, b]);
+    }
+    path_rules(&mut p);
+    p
+}
+
+/// `path` over a pseudo-random graph with `nodes` nodes and `edges` edges
+/// (fixed seed, xorshift64), a denser join workload than the chain.
+pub fn random_tc_program(nodes: usize, edges: usize) -> Program {
+    let mut p = Program::new();
+    let edge = p.intern("edge");
+    let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..edges {
+        let a = (next() % nodes as u64) as usize;
+        let b = (next() % nodes as u64) as usize;
+        let (a, b) = (p.intern(&format!("v{a}")), p.intern(&format!("v{b}")));
+        p.fact_interned(edge, vec![a, b]);
+    }
+    path_rules(&mut p);
+    p
+}
+
+fn path_rules(p: &mut Program) {
+    p.rule("path", vec![Term::var("X"), Term::var("Y")])
+        .pos("edge", vec![Term::var("X"), Term::var("Y")])
+        .build();
+    p.rule("path", vec![Term::var("X"), Term::var("Z")])
+        .pos("path", vec![Term::var("X"), Term::var("Y")])
+        .pos("edge", vec![Term::var("Y"), Term::var("Z")])
+        .build();
+}
 
 /// Program (a) of Section 5: `[c := b]^1; [b := a]^2`, wrapped in a single
 /// process over plain variables.
@@ -67,7 +115,9 @@ pub fn chain_src(n: usize) -> String {
     let mut decls = String::new();
     let mut body = String::new();
     for i in 0..=n {
-        decls.push_str(&format!("    variable v_{i} : std_logic_vector(7 downto 0);\n"));
+        decls.push_str(&format!(
+            "    variable v_{i} : std_logic_vector(7 downto 0);\n"
+        ));
     }
     body.push_str("    v_0 := inp;\n");
     for i in 1..=n {
@@ -92,12 +142,22 @@ pub fn chain_src(n: usize) -> String {
 pub fn pipeline_src(n_procs: usize, stmts_per: usize) -> String {
     let mut signals = String::new();
     for i in 1..n_procs {
-        signals.push_str(&format!("  signal stage_{i} : std_logic_vector(7 downto 0);\n"));
+        signals.push_str(&format!(
+            "  signal stage_{i} : std_logic_vector(7 downto 0);\n"
+        ));
     }
     let mut processes = String::new();
     for p in 0..n_procs {
-        let input = if p == 0 { "inp".to_string() } else { format!("stage_{p}") };
-        let output = if p + 1 == n_procs { "outp".to_string() } else { format!("stage_{}", p + 1) };
+        let input = if p == 0 {
+            "inp".to_string()
+        } else {
+            format!("stage_{p}")
+        };
+        let output = if p + 1 == n_procs {
+            "outp".to_string()
+        } else {
+            format!("stage_{}", p + 1)
+        };
         let mut body = String::new();
         body.push_str(&format!("      v_0 := {input};\n"));
         for i in 1..stmts_per {
@@ -107,7 +167,9 @@ pub fn pipeline_src(n_procs: usize, stmts_per: usize) -> String {
         body.push_str(&format!("      {output} <= v_{last};\n"));
         let mut decls = String::new();
         for i in 0..stmts_per {
-            decls.push_str(&format!("      variable v_{i} : std_logic_vector(7 downto 0);\n"));
+            decls.push_str(&format!(
+                "      variable v_{i} : std_logic_vector(7 downto 0);\n"
+            ));
         }
         processes.push_str(&format!(
             "  stage_proc_{p} : process

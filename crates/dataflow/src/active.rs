@@ -49,10 +49,18 @@ impl ActiveRd {
 pub fn active_signals_rd(design: &Design, cfg: &DesignCfg, options: &RdOptions) -> ActiveRd {
     let over = solve(&build_equations(design, cfg, options, Combine::Union));
     let under = if options.use_under_approximation {
-        solve(&build_equations(design, cfg, options, Combine::IntersectDotted))
+        solve(&build_equations(
+            design,
+            cfg,
+            options,
+            Combine::IntersectDotted,
+        ))
     } else {
         // Ablation: pretend nothing is ever guaranteed to be active.
-        let mut labels_only = Solution { entry: BTreeMap::new(), exit: BTreeMap::new() };
+        let mut labels_only = Solution {
+            entry: BTreeMap::new(),
+            exit: BTreeMap::new(),
+        };
         for l in cfg.labels() {
             labels_only.entry.insert(l, BTreeSet::new());
             labels_only.exit.insert(l, BTreeSet::new());
@@ -68,7 +76,10 @@ fn build_equations(
     options: &RdOptions,
     combine: Combine,
 ) -> Equations<SigDef> {
-    let mut eq = Equations { combine, ..Default::default() };
+    let mut eq = Equations {
+        combine,
+        ..Default::default()
+    };
     for pcfg in &cfg.processes {
         let pidx = pcfg.process;
         let with_loop = options.process_repeats;
@@ -215,7 +226,10 @@ mod tests {
         let rd = active_signals_rd(
             &d,
             &cfg,
-            &RdOptions { use_under_approximation: false, ..Default::default() },
+            &RdOptions {
+                use_under_approximation: false,
+                ..Default::default()
+            },
         );
         assert_eq!(rd.must_be_active_at(2), BTreeSet::new());
         assert_eq!(rd.may_be_active_at(2), BTreeSet::from(["t".to_string()]));
@@ -227,7 +241,10 @@ mod tests {
         let rd = active_signals_rd(
             &d,
             &cfg,
-            &RdOptions { process_repeats: false, ..Default::default() },
+            &RdOptions {
+                process_repeats: false,
+                ..Default::default()
+            },
         );
         assert_eq!(rd.may_be_active_at(1), BTreeSet::new());
         assert_eq!(rd.may_be_active_at(2), BTreeSet::from(["t".to_string()]));

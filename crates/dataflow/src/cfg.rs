@@ -118,7 +118,11 @@ impl ProcessCfg {
 
     /// Predecessors of `l` under the chosen edge set.
     pub fn predecessors(&self, l: Label, with_loop: bool) -> Vec<Label> {
-        self.edges(with_loop).iter().filter(|(_, t)| *t == l).map(|(f, _)| *f).collect()
+        self.edges(with_loop)
+            .iter()
+            .filter(|(_, t)| *t == l)
+            .map(|(f, _)| *f)
+            .collect()
     }
 
     /// Labels of the process in ascending order.
@@ -128,7 +132,11 @@ impl ProcessCfg {
 
     /// Labels of the `wait` blocks of the process.
     pub fn wait_labels(&self) -> Vec<Label> {
-        self.blocks.values().filter(|b| b.kind.is_wait()).map(|b| b.label).collect()
+        self.blocks
+            .values()
+            .filter(|b| b.kind.is_wait())
+            .map(|b| b.label)
+            .collect()
     }
 }
 
@@ -154,7 +162,14 @@ impl DesignCfg {
                 let mut flow = BTreeSet::new();
                 flow_edges(&p.body, &mut flow);
                 let loop_back = finals.iter().map(|f| (*f, init)).collect();
-                ProcessCfg { process: p.index, init, finals, blocks, flow, loop_back }
+                ProcessCfg {
+                    process: p.index,
+                    init,
+                    finals,
+                    blocks,
+                    flow,
+                    loop_back,
+                }
             })
             .collect();
         DesignCfg { processes }
@@ -167,13 +182,18 @@ impl DesignCfg {
 
     /// The CFG of the process owning `label`.
     pub fn cfg_of(&self, label: Label) -> Option<&ProcessCfg> {
-        self.processes.iter().find(|p| p.blocks.contains_key(&label))
+        self.processes
+            .iter()
+            .find(|p| p.blocks.contains_key(&label))
     }
 
     /// All labels of the design in ascending order.
     pub fn labels(&self) -> Vec<Label> {
-        let mut out: Vec<Label> =
-            self.processes.iter().flat_map(|p| p.blocks.keys().copied()).collect();
+        let mut out: Vec<Label> = self
+            .processes
+            .iter()
+            .flat_map(|p| p.blocks.keys().copied())
+            .collect();
         out.sort_unstable();
         out
     }
@@ -214,25 +234,46 @@ impl DesignCfg {
 fn collect_blocks(stmt: &Stmt, process: usize, out: &mut BTreeMap<Label, BasicBlock>) {
     match stmt {
         Stmt::Null { label } => {
-            out.insert(*label, BasicBlock { label: *label, process, kind: BlockKind::Null });
-        }
-        Stmt::VarAssign { label, target, expr } => {
             out.insert(
                 *label,
                 BasicBlock {
                     label: *label,
                     process,
-                    kind: BlockKind::VarAssign { target: target.clone(), expr: expr.clone() },
+                    kind: BlockKind::Null,
                 },
             );
         }
-        Stmt::SignalAssign { label, target, expr } => {
+        Stmt::VarAssign {
+            label,
+            target,
+            expr,
+        } => {
             out.insert(
                 *label,
                 BasicBlock {
                     label: *label,
                     process,
-                    kind: BlockKind::SignalAssign { target: target.clone(), expr: expr.clone() },
+                    kind: BlockKind::VarAssign {
+                        target: target.clone(),
+                        expr: expr.clone(),
+                    },
+                },
+            );
+        }
+        Stmt::SignalAssign {
+            label,
+            target,
+            expr,
+        } => {
+            out.insert(
+                *label,
+                BasicBlock {
+                    label: *label,
+                    process,
+                    kind: BlockKind::SignalAssign {
+                        target: target.clone(),
+                        expr: expr.clone(),
+                    },
                 },
             );
         }
@@ -242,7 +283,10 @@ fn collect_blocks(stmt: &Stmt, process: usize, out: &mut BTreeMap<Label, BasicBl
                 BasicBlock {
                     label: *label,
                     process,
-                    kind: BlockKind::Wait { on: on.clone(), until: until.clone() },
+                    kind: BlockKind::Wait {
+                        on: on.clone(),
+                        until: until.clone(),
+                    },
                 },
             );
         }
@@ -250,10 +294,19 @@ fn collect_blocks(stmt: &Stmt, process: usize, out: &mut BTreeMap<Label, BasicBl
             collect_blocks(a, process, out);
             collect_blocks(b, process, out);
         }
-        Stmt::If { label, cond, then_branch, else_branch } => {
+        Stmt::If {
+            label,
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             out.insert(
                 *label,
-                BasicBlock { label: *label, process, kind: BlockKind::IfCond { cond: cond.clone() } },
+                BasicBlock {
+                    label: *label,
+                    process,
+                    kind: BlockKind::IfCond { cond: cond.clone() },
+                },
             );
             collect_blocks(then_branch, process, out);
             collect_blocks(else_branch, process, out);
@@ -293,7 +346,11 @@ pub fn final_labels(stmt: &Stmt) -> BTreeSet<Label> {
         | Stmt::SignalAssign { label, .. }
         | Stmt::Wait { label, .. } => BTreeSet::from([*label]),
         Stmt::Seq(_, b) => final_labels(b),
-        Stmt::If { then_branch, else_branch, .. } => {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             let mut out = final_labels(then_branch);
             out.extend(final_labels(else_branch));
             out
@@ -317,7 +374,12 @@ pub fn flow_edges(stmt: &Stmt, out: &mut BTreeSet<(Label, Label)>) {
                 out.insert((l, ib));
             }
         }
-        Stmt::If { label, then_branch, else_branch, .. } => {
+        Stmt::If {
+            label,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             flow_edges(then_branch, out);
             flow_edges(else_branch, out);
             out.insert((*label, init_label(then_branch)));
@@ -399,7 +461,10 @@ mod tests {
         let cfg = DesignCfg::build(&d);
         assert_eq!(cfg.signal_assign_labels(0, "t"), BTreeSet::from([2, 3]));
         assert_eq!(cfg.variable_assign_labels(0, "x"), BTreeSet::from([1]));
-        assert_eq!(cfg.signals_assigned_in(0), BTreeSet::from(["t".to_string()]));
+        assert_eq!(
+            cfg.signals_assigned_in(0),
+            BTreeSet::from(["t".to_string()])
+        );
     }
 
     #[test]

@@ -26,8 +26,9 @@ pub struct CrossFlow {
 impl CrossFlow {
     /// Builds the cross-flow relation of `design`.
     pub fn build(design: &Design) -> CrossFlow {
-        let wait_labels: Vec<Vec<Label>> =
-            (0..design.processes.len()).map(|i| design.wait_labels(i)).collect();
+        let wait_labels: Vec<Vec<Label>> = (0..design.processes.len())
+            .map(|i| design.wait_labels(i))
+            .collect();
         let mut owner = BTreeMap::new();
         for (i, labels) in wait_labels.iter().enumerate() {
             for l in labels {

@@ -8,7 +8,8 @@
 //! system well-defined.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::Hash;
 use vhdl1_syntax::Label;
 
 /// How information flowing from several predecessors is combined.
@@ -64,29 +65,45 @@ pub struct Solution<F: Ord> {
 }
 
 impl<F: Ord + Clone> Solution<F> {
-    /// The entry set of `l` (empty if the label is unknown).
+    /// The entry set of `l` (empty if the label is unknown).  Prefer
+    /// [`Solution::entry_ref`] on hot paths: this accessor clones the set.
     pub fn entry_of(&self, l: Label) -> BTreeSet<F> {
         self.entry.get(&l).cloned().unwrap_or_default()
     }
 
-    /// The exit set of `l` (empty if the label is unknown).
+    /// The exit set of `l` (empty if the label is unknown).  Prefer
+    /// [`Solution::exit_ref`] on hot paths: this accessor clones the set.
     pub fn exit_of(&self, l: Label) -> BTreeSet<F> {
         self.exit.get(&l).cloned().unwrap_or_default()
+    }
+
+    /// Borrowed entry set of `l`, or `None` if the label is unknown.
+    pub fn entry_ref(&self, l: Label) -> Option<&BTreeSet<F>> {
+        self.entry.get(&l)
+    }
+
+    /// Borrowed exit set of `l`, or `None` if the label is unknown.
+    pub fn exit_ref(&self, l: Label) -> Option<&BTreeSet<F>> {
+        self.exit.get(&l)
     }
 }
 
 /// Computes the least solution of `eq` by worklist iteration from the empty
 /// assignment.  All transfer functions of the framework are monotone, so the
 /// iteration converges to the least fixed point.
-pub fn solve<F: Ord + Clone>(eq: &Equations<F>) -> Solution<F> {
-    let empty: BTreeSet<F> = BTreeSet::new();
-    let mut entry: BTreeMap<Label, BTreeSet<F>> =
-        eq.labels.iter().map(|l| (*l, BTreeSet::new())).collect();
-    let mut exit: BTreeMap<Label, BTreeSet<F>> =
-        eq.labels.iter().map(|l| (*l, BTreeSet::new())).collect();
+///
+/// The working sets are hashed ([`HashSet`]) for cheap membership tests and
+/// equality-of-size change detection; the final [`Solution`] is converted to
+/// ordered sets so downstream consumers keep deterministic iteration order.
+pub fn solve<F: Ord + Hash + Clone>(eq: &Equations<F>) -> Solution<F> {
+    let empty: HashSet<F> = HashSet::new();
+    let mut entry: HashMap<Label, HashSet<F>> =
+        eq.labels.iter().map(|l| (*l, HashSet::new())).collect();
+    let mut exit: HashMap<Label, HashSet<F>> =
+        eq.labels.iter().map(|l| (*l, HashSet::new())).collect();
 
     // Successor map for worklist propagation.
-    let mut succs: BTreeMap<Label, Vec<Label>> = BTreeMap::new();
+    let mut succs: HashMap<Label, Vec<Label>> = HashMap::new();
     for (l, ps) in &eq.preds {
         for p in ps {
             succs.entry(*p).or_default().push(*l);
@@ -94,18 +111,18 @@ pub fn solve<F: Ord + Clone>(eq: &Equations<F>) -> Solution<F> {
     }
 
     let mut worklist: VecDeque<Label> = eq.labels.iter().copied().collect();
-    let mut queued: BTreeSet<Label> = eq.labels.iter().copied().collect();
+    let mut queued: HashSet<Label> = eq.labels.iter().copied().collect();
 
     while let Some(l) = worklist.pop_front() {
         queued.remove(&l);
 
         let new_entry = if let Some(forced) = eq.forced_entry.get(&l) {
-            forced.clone()
+            forced.iter().cloned().collect()
         } else {
             let preds = eq.preds.get(&l).map(Vec::as_slice).unwrap_or(&[]);
-            let mut combined: BTreeSet<F> = match eq.combine {
+            let mut combined: HashSet<F> = match eq.combine {
                 Combine::Union => {
-                    let mut acc = BTreeSet::new();
+                    let mut acc = HashSet::new();
                     for p in preds {
                         acc.extend(exit.get(p).unwrap_or(&empty).iter().cloned());
                     }
@@ -115,12 +132,12 @@ pub fn solve<F: Ord + Clone>(eq: &Equations<F>) -> Solution<F> {
                     // ⋂̇ ∅ = ∅
                     let mut iter = preds.iter();
                     match iter.next() {
-                        None => BTreeSet::new(),
+                        None => HashSet::new(),
                         Some(first) => {
                             let mut acc = exit.get(first).cloned().unwrap_or_default();
                             for p in iter {
                                 let other = exit.get(p).unwrap_or(&empty);
-                                acc = acc.intersection(other).cloned().collect();
+                                acc.retain(|f| other.contains(f));
                             }
                             acc
                         }
@@ -133,11 +150,16 @@ pub fn solve<F: Ord + Clone>(eq: &Equations<F>) -> Solution<F> {
             combined
         };
 
-        let kill = eq.kill.get(&l).unwrap_or(&empty);
-        let gen = eq.gen.get(&l).unwrap_or(&empty);
-        let mut new_exit: BTreeSet<F> =
-            new_entry.iter().filter(|f| !kill.contains(*f)).cloned().collect();
-        new_exit.extend(gen.iter().cloned());
+        let kill = eq.kill.get(&l);
+        let gen = eq.gen.get(&l);
+        let mut new_exit: HashSet<F> = new_entry
+            .iter()
+            .filter(|f| kill.is_none_or(|k| !k.contains(*f)))
+            .cloned()
+            .collect();
+        if let Some(gen) = gen {
+            new_exit.extend(gen.iter().cloned());
+        }
 
         let entry_changed = entry.get(&l) != Some(&new_entry);
         let exit_changed = exit.get(&l) != Some(&new_exit);
@@ -154,7 +176,15 @@ pub fn solve<F: Ord + Clone>(eq: &Equations<F>) -> Solution<F> {
         }
     }
 
-    Solution { entry, exit }
+    let ordered = |m: HashMap<Label, HashSet<F>>| -> BTreeMap<Label, BTreeSet<F>> {
+        m.into_iter()
+            .map(|(l, s)| (l, s.into_iter().collect()))
+            .collect()
+    };
+    Solution {
+        entry: ordered(entry),
+        exit: ordered(exit),
+    }
 }
 
 #[cfg(test)]

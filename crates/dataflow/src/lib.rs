@@ -94,7 +94,13 @@ impl ReachingDefinitions {
         let cross = CrossFlow::build(design);
         let active = active_signals_rd(design, &cfg, options);
         let present = present_rd(design, &cfg, &cross, &active, options);
-        ReachingDefinitions { options: *options, cfg, cross, active, present }
+        ReachingDefinitions {
+            options: *options,
+            cfg,
+            cross,
+            active,
+            present,
+        }
     }
 }
 

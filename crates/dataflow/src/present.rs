@@ -55,17 +55,23 @@ pub struct PresentRd {
 impl PresentRd {
     /// Definitions of `n` reaching the entry of `l`.
     pub fn definitions_reaching(&self, l: Label, n: &str) -> BTreeSet<Def> {
-        self.solution
-            .entry_of(l)
+        self.entry_ref(l)
             .into_iter()
+            .flatten()
             .filter(|(name, _)| name == n)
-            .map(|(_, d)| d)
+            .map(|(_, d)| *d)
             .collect()
     }
 
-    /// The full entry set at `l`.
+    /// The full entry set at `l`.  Prefer [`PresentRd::entry_ref`] on hot
+    /// paths: this accessor clones the set.
     pub fn entry_of(&self, l: Label) -> BTreeSet<ResDef> {
         self.solution.entry_of(l)
+    }
+
+    /// Borrowed entry set at `l`, or `None` if the label is unknown.
+    pub fn entry_ref(&self, l: Label) -> Option<&BTreeSet<ResDef>> {
+        self.solution.entry_ref(l)
     }
 }
 
@@ -77,7 +83,10 @@ pub fn present_rd(
     active: &ActiveRd,
     options: &RdOptions,
 ) -> PresentRd {
-    let mut eq: Equations<ResDef> = Equations { combine: Combine::Union, ..Default::default() };
+    let mut eq: Equations<ResDef> = Equations {
+        combine: Combine::Union,
+        ..Default::default()
+    };
 
     for pcfg in &cfg.processes {
         let pidx = pcfg.process;
@@ -166,7 +175,9 @@ pub fn present_rd(
         eq.iota.insert(pcfg.init, iota);
     }
 
-    PresentRd { solution: solve(&eq) }
+    PresentRd {
+        solution: solve(&eq),
+    }
 }
 
 #[cfg(test)]
@@ -214,9 +225,15 @@ mod tests {
     fn variable_assignment_kills_previous_definitions() {
         let (_, _, rd) = analyse(SINGLE, &RdOptions::default());
         // At label 3 (x := y) the reaching definition of x is from label 1.
-        assert_eq!(rd.definitions_reaching(3, "x"), BTreeSet::from([Def::At(1)]));
+        assert_eq!(
+            rd.definitions_reaching(3, "x"),
+            BTreeSet::from([Def::At(1)])
+        );
         // At label 4 (t <= x) the reaching definition of x is from label 3 only.
-        assert_eq!(rd.definitions_reaching(4, "x"), BTreeSet::from([Def::At(3)]));
+        assert_eq!(
+            rd.definitions_reaching(4, "x"),
+            BTreeSet::from([Def::At(3)])
+        );
         // The initial value of x no longer reaches label 2.
         assert!(!rd.entry_of(2).contains(&("x".to_string(), Def::Init)));
     }
@@ -254,7 +271,10 @@ mod tests {
         // have an active assignment; after looping, label 3 sees t defined at
         // label 5 (and possibly still the initial value).
         let defs = rd.definitions_reaching(3, "t");
-        assert!(defs.contains(&Def::At(5)), "expected t defined at p2's wait, got {defs:?}");
+        assert!(
+            defs.contains(&Def::At(5)),
+            "expected t defined at p2's wait, got {defs:?}"
+        );
         assert!(defs.contains(&Def::Init));
     }
 
@@ -284,7 +304,10 @@ mod tests {
         // definitions of t made at p1's waits are killed and regenerated at 2.
         let defs_at_3 = rd.definitions_reaching(3, "t");
         assert!(defs_at_3.contains(&Def::At(2)));
-        assert!(!defs_at_3.contains(&Def::At(4)), "old wait definition should be killed: {defs_at_3:?}");
+        assert!(
+            !defs_at_3.contains(&Def::At(4)),
+            "old wait definition should be killed: {defs_at_3:?}"
+        );
     }
 
     #[test]
@@ -308,10 +331,16 @@ mod tests {
             !defs_at_1.contains(&Def::At(2)),
             "definition from the first wait should be killed at the second: {defs_at_1:?}"
         );
-        let opts = RdOptions { use_under_approximation: false, ..Default::default() };
+        let opts = RdOptions {
+            use_under_approximation: false,
+            ..Default::default()
+        };
         let (_, _, rd_ablate) = analyse(src, &opts);
         let defs_at_1 = rd_ablate.definitions_reaching(1, "t");
-        assert!(defs_at_1.contains(&Def::At(2)), "without RD∩ the stale definition survives");
+        assert!(
+            defs_at_1.contains(&Def::At(2)),
+            "without RD∩ the stale definition survives"
+        );
         assert!(defs_at_1.contains(&Def::At(4)));
     }
 
@@ -330,7 +359,10 @@ mod tests {
                  b := a;
                end process p;
              end rtl;";
-        let opts = RdOptions { process_repeats: false, ..Default::default() };
+        let opts = RdOptions {
+            process_repeats: false,
+            ..Default::default()
+        };
         let (_, _, rd) = analyse(src, &opts);
         assert_eq!(rd.definitions_reaching(1, "b"), BTreeSet::from([Def::Init]));
         assert_eq!(rd.definitions_reaching(2, "a"), BTreeSet::from([Def::Init]));

@@ -13,7 +13,11 @@ fn check_invariants(design: &Design, options: &RdOptions) {
     let rd = ReachingDefinitions::compute(design, options);
     let labels = rd.cfg.labels();
     let owners = design.label_owner();
-    assert_eq!(labels.len(), owners.len(), "every elementary block has a CFG node");
+    assert_eq!(
+        labels.len(),
+        owners.len(),
+        "every elementary block has a CFG node"
+    );
 
     for &l in &labels {
         let over = rd.active.over.entry_of(l);
@@ -28,7 +32,11 @@ fn check_invariants(design: &Design, options: &RdOptions) {
         // signal and an existing label of the same process.
         for (sig, def_label) in over.iter() {
             assert!(design.is_signal(sig), "{sig} is not a signal");
-            assert_eq!(owners.get(def_label), owners.get(&l), "definitions stay process-local");
+            assert_eq!(
+                owners.get(def_label),
+                owners.get(&l),
+                "definitions stay process-local"
+            );
         }
         for (name, _) in rd.present.entry_of(l) {
             assert!(design.resource_names().contains(&name));
@@ -75,8 +83,14 @@ fn invariants_hold_on_representative_designs() {
         let design = frontend(src).unwrap();
         for options in [
             RdOptions::default(),
-            RdOptions { process_repeats: false, ..Default::default() },
-            RdOptions { kill_initial_at_wait: true, ..Default::default() },
+            RdOptions {
+                process_repeats: false,
+                ..Default::default()
+            },
+            RdOptions {
+                kill_initial_at_wait: true,
+                ..Default::default()
+            },
         ] {
             check_invariants(&design, &options);
         }

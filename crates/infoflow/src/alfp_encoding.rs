@@ -12,8 +12,10 @@
 use crate::analysis::AnalysisResult;
 use crate::graph::FlowGraph;
 use crate::rm::{Access, Node};
-use alfp_solver::{Model, Program, SolveError, Term};
+use alfp_solver::{Model, Program, SolveError, Symbol, Term};
+use std::collections::HashMap;
 use vhdl1_dataflow::Def;
+use vhdl1_syntax::Label;
 
 fn node_symbol(n: &Node) -> String {
     match n {
@@ -41,10 +43,51 @@ fn access_symbol(a: Access) -> &'static str {
     }
 }
 
-fn def_symbol(d: &Def) -> String {
-    match d {
-        Def::Init => "init".to_string(),
-        Def::At(l) => format!("l{l}"),
+/// Memoised interning of the encoding's symbols: each distinct node, label
+/// or resource name is formatted and interned once, and facts are emitted
+/// through the solver's interned fast path with no per-fact string
+/// formatting.
+struct SymbolCache {
+    nodes: HashMap<Node, Symbol>,
+    labels: HashMap<Label, Symbol>,
+    resources: HashMap<String, Symbol>,
+}
+
+impl SymbolCache {
+    fn new() -> SymbolCache {
+        SymbolCache {
+            nodes: HashMap::new(),
+            labels: HashMap::new(),
+            resources: HashMap::new(),
+        }
+    }
+
+    fn node(&mut self, p: &mut Program, n: &Node) -> Symbol {
+        if let Some(&s) = self.nodes.get(n) {
+            return s;
+        }
+        let s = p.intern(&node_symbol(n));
+        self.nodes.insert(n.clone(), s);
+        s
+    }
+
+    fn label(&mut self, p: &mut Program, l: Label) -> Symbol {
+        if let Some(&s) = self.labels.get(&l) {
+            return s;
+        }
+        let s = p.intern(&format!("l{l}"));
+        self.labels.insert(l, s);
+        s
+    }
+
+    /// Symbol of the plain-resource node `res:<name>`.
+    fn resource(&mut self, p: &mut Program, name: &str) -> Symbol {
+        if let Some(&s) = self.resources.get(name) {
+            return s;
+        }
+        let s = p.intern(&format!("res:{name}"));
+        self.resources.insert(name.to_string(), s);
+        s
     }
 }
 
@@ -60,95 +103,128 @@ fn def_symbol(d: &Def) -> String {
 /// * `flow(n1, n2)` — the edges of the information-flow graph.
 pub fn encode_closure(result: &AnalysisResult) -> Program {
     let mut p = Program::new();
+    let mut syms = SymbolCache::new();
+    let rm_lo = p.intern("rm_lo");
+    let rd_dag = p.intern("rd_dag");
+    let rd_init = p.intern("rd_init");
+    let rd_phi = p.intern("rd_phi");
+    let co_occur = p.intern("co_occur");
+    let wait_label = p.intern("wait_label");
+    let access_syms =
+        [Access::M0, Access::M1, Access::R0, Access::R1].map(|a| (a, p.intern(access_symbol(a))));
+    let access = |a: Access| {
+        access_syms
+            .iter()
+            .find(|(k, _)| *k == a)
+            .expect("all accesses")
+            .1
+    };
 
     // Facts: the local Resource Matrix.
-    for entry in &result.local {
-        p.fact(
-            "rm_lo",
-            vec![
-                Term::cst(node_symbol(&entry.node)),
-                Term::cst(format!("l{}", entry.label)),
-                Term::cst(access_symbol(entry.access)),
-            ],
-        );
+    for entry in result.local.iter() {
+        let node = syms.node(&mut p, entry.node);
+        let label = syms.label(&mut p, entry.label);
+        p.fact_interned(rm_lo, vec![node, label, access(entry.access)]);
     }
 
     // Facts: the specialised Reaching Definitions.
     for (l, defs) in &result.specialized.present {
         for (n, d) in defs {
+            let res = syms.resource(&mut p, n);
+            let l_use = syms.label(&mut p, *l);
             if let Def::At(l_def) = d {
-                p.fact(
-                    "rd_dag",
-                    vec![
-                        Term::cst(format!("res:{n}")),
-                        Term::cst(format!("l{l_def}")),
-                        Term::cst(format!("l{l}")),
-                    ],
-                );
+                let l_def = syms.label(&mut p, *l_def);
+                p.fact_interned(rd_dag, vec![res, l_def, l_use]);
             } else {
-                p.fact(
-                    "rd_init",
-                    vec![Term::cst(format!("res:{n}")), Term::cst(format!("l{l}"))],
-                );
+                p.fact_interned(rd_init, vec![res, l_use]);
             }
-            let _ = def_symbol(d);
         }
     }
     for (l, defs) in &result.specialized.active {
         for (s, l_def) in defs {
-            p.fact(
-                "rd_phi",
-                vec![
-                    Term::cst(format!("res:{s}")),
-                    Term::cst(format!("l{l_def}")),
-                    Term::cst(format!("l{l}")),
-                ],
-            );
+            let res = syms.resource(&mut p, s);
+            let l_def = syms.label(&mut p, *l_def);
+            let l_wait = syms.label(&mut p, *l);
+            p.fact_interned(rd_phi, vec![res, l_def, l_wait]);
         }
     }
 
     // Facts: co-occurrence of wait labels in some synchronisation tuple.
-    let wait_labels: Vec<_> =
-        result.rd.cfg.processes.iter().flat_map(|pr| pr.wait_labels()).collect();
+    let wait_labels: Vec<_> = result
+        .rd
+        .cfg
+        .processes
+        .iter()
+        .flat_map(|pr| pr.wait_labels())
+        .collect();
     for &l1 in &wait_labels {
+        let s1 = syms.label(&mut p, l1);
         for &l2 in &wait_labels {
             if result.rd.cross.co_occur(l1, l2) {
-                p.fact(
-                    "co_occur",
-                    vec![Term::cst(format!("l{l1}")), Term::cst(format!("l{l2}"))],
-                );
+                let s2 = syms.label(&mut p, l2);
+                p.fact_interned(co_occur, vec![s1, s2]);
             }
         }
-        p.fact("wait_label", vec![Term::cst(format!("l{l1}"))]);
+        p.fact_interned(wait_label, vec![s1]);
     }
 
     // [Initialization]: rm_gl(N, L, A) :- rm_lo(N, L, A).
-    p.rule("rm_gl", vec![Term::var("N"), Term::var("L"), Term::var("A")])
-        .pos("rm_lo", vec![Term::var("N"), Term::var("L"), Term::var("A")])
-        .build();
+    p.rule(
+        "rm_gl",
+        vec![Term::var("N"), Term::var("L"), Term::var("A")],
+    )
+    .pos(
+        "rm_lo",
+        vec![Term::var("N"), Term::var("L"), Term::var("A")],
+    )
+    .build();
 
     // [Present values and local variables]:
     // rm_gl(N, L, r0) :- rd_dag(NP, LDEF, L), rm_gl(N, LDEF, r0).
-    p.rule("rm_gl", vec![Term::var("N"), Term::var("L"), Term::cst("r0")])
-        .pos("rd_dag", vec![Term::var("NP"), Term::var("LDEF"), Term::var("L")])
-        .pos("rm_gl", vec![Term::var("N"), Term::var("LDEF"), Term::cst("r0")])
-        .build();
+    p.rule(
+        "rm_gl",
+        vec![Term::var("N"), Term::var("L"), Term::cst("r0")],
+    )
+    .pos(
+        "rd_dag",
+        vec![Term::var("NP"), Term::var("LDEF"), Term::var("L")],
+    )
+    .pos(
+        "rm_gl",
+        vec![Term::var("N"), Term::var("LDEF"), Term::cst("r0")],
+    )
+    .build();
 
     // [Synchronized values]:
     // rm_gl(S, L, r0) :- rd_dag(SP, LI, L), wait_label(LI), co_occur(LI, LJ),
     //                    rd_phi(SP, LPP, LJ), rm_gl(S, LPP, r0).
-    p.rule("rm_gl", vec![Term::var("S"), Term::var("L"), Term::cst("r0")])
-        .pos("rd_dag", vec![Term::var("SP"), Term::var("LI"), Term::var("L")])
-        .pos("wait_label", vec![Term::var("LI")])
-        .pos("co_occur", vec![Term::var("LI"), Term::var("LJ")])
-        .pos("rd_phi", vec![Term::var("SP"), Term::var("LPP"), Term::var("LJ")])
-        .pos("rm_gl", vec![Term::var("S"), Term::var("LPP"), Term::cst("r0")])
-        .build();
+    p.rule(
+        "rm_gl",
+        vec![Term::var("S"), Term::var("L"), Term::cst("r0")],
+    )
+    .pos(
+        "rd_dag",
+        vec![Term::var("SP"), Term::var("LI"), Term::var("L")],
+    )
+    .pos("wait_label", vec![Term::var("LI")])
+    .pos("co_occur", vec![Term::var("LI"), Term::var("LJ")])
+    .pos(
+        "rd_phi",
+        vec![Term::var("SP"), Term::var("LPP"), Term::var("LJ")],
+    )
+    .pos(
+        "rm_gl",
+        vec![Term::var("S"), Term::var("LPP"), Term::cst("r0")],
+    )
+    .build();
 
     // Graph extraction: flow(N1, N2) :- rm_gl(N1, L, r0), rm_gl(N2, L, m0|m1).
     for m in ["m0", "m1"] {
         p.rule("flow", vec![Term::var("N1"), Term::var("N2")])
-            .pos("rm_gl", vec![Term::var("N1"), Term::var("L"), Term::cst("r0")])
+            .pos(
+                "rm_gl",
+                vec![Term::var("N1"), Term::var("L"), Term::cst("r0")],
+            )
             .pos("rm_gl", vec![Term::var("N2"), Term::var("L"), Term::cst(m)])
             .build();
     }
@@ -160,19 +236,20 @@ pub fn encode_closure(result: &AnalysisResult) -> Program {
 /// Resource Matrix followed by a transitive closure.
 pub fn encode_kemmerer(result: &AnalysisResult) -> Program {
     let mut p = Program::new();
-    for entry in &result.local {
-        p.fact(
-            "rm_lo",
-            vec![
-                Term::cst(node_symbol(&entry.node)),
-                Term::cst(format!("l{}", entry.label)),
-                Term::cst(access_symbol(entry.access)),
-            ],
-        );
+    let mut syms = SymbolCache::new();
+    let rm_lo = p.intern("rm_lo");
+    for entry in result.local.iter() {
+        let node = syms.node(&mut p, entry.node);
+        let label = syms.label(&mut p, entry.label);
+        let access = p.intern(access_symbol(entry.access));
+        p.fact_interned(rm_lo, vec![node, label, access]);
     }
     for m in ["m0", "m1"] {
         p.rule("direct", vec![Term::var("N1"), Term::var("N2")])
-            .pos("rm_lo", vec![Term::var("N1"), Term::var("L"), Term::cst("r0")])
+            .pos(
+                "rm_lo",
+                vec![Term::var("N1"), Term::var("L"), Term::cst("r0")],
+            )
             .pos("rm_lo", vec![Term::var("N2"), Term::var("L"), Term::cst(m)])
             .build();
     }
@@ -189,14 +266,31 @@ pub fn encode_kemmerer(result: &AnalysisResult) -> Program {
 /// Extracts the information-flow graph from the `flow` relation of a model.
 pub fn graph_from_model(model: &Model) -> FlowGraph {
     let mut g = FlowGraph::new();
-    for tuple in model.relation("flow") {
-        if tuple.len() == 2 {
-            g.add_edge(symbol_node(&tuple[0]), symbol_node(&tuple[1]));
+    // Decode each distinct symbol once; edges and nodes then reuse the
+    // decoded `Node`s instead of re-parsing strings per tuple.
+    let mut nodes: HashMap<Symbol, Node> = HashMap::new();
+    let mut node_of = |s: Symbol| -> Node {
+        nodes
+            .entry(s)
+            .or_insert_with(|| symbol_node(model.resolve(s)))
+            .clone()
+    };
+    if let Some(flow) = model.relation_ref("flow") {
+        for tuple in flow.iter() {
+            if let [from, to] = tuple {
+                let (from, to) = (node_of(*from), node_of(*to));
+                g.add_edge(from, to);
+            }
         }
     }
-    for tuple in model.relation("rm_lo").iter().chain(model.relation("rm_gl").iter()) {
-        if let Some(first) = tuple.first() {
-            g.add_node(symbol_node(first));
+    for rel in [model.relation_ref("rm_lo"), model.relation_ref("rm_gl")]
+        .into_iter()
+        .flatten()
+    {
+        for tuple in rel.iter() {
+            if let Some(first) = tuple.first() {
+                g.add_node(node_of(*first));
+            }
         }
     }
     g
@@ -252,7 +346,10 @@ mod tests {
     #[test]
     fn alfp_closure_matches_native_closure() {
         let opts = AnalysisOptions {
-            rd: vhdl1_dataflow::RdOptions { process_repeats: false, ..Default::default() },
+            rd: vhdl1_dataflow::RdOptions {
+                process_repeats: false,
+                ..Default::default()
+            },
             improved: false,
             ..AnalysisOptions::default()
         };
@@ -260,10 +357,16 @@ mod tests {
         let native = result.base_flow_graph();
         let alfp = solve_closure(&result).unwrap();
         for (f, t) in native.edges() {
-            assert!(alfp.has_edge_nodes(f, t), "missing edge {f} -> {t} in ALFP model");
+            assert!(
+                alfp.has_edge_nodes(f, t),
+                "missing edge {f} -> {t} in ALFP model"
+            );
         }
         for (f, t) in alfp.edges() {
-            assert!(native.has_edge_nodes(f, t), "extra edge {f} -> {t} in ALFP model");
+            assert!(
+                native.has_edge_nodes(f, t),
+                "extra edge {f} -> {t} in ALFP model"
+            );
         }
     }
 
@@ -275,7 +378,10 @@ mod tests {
         for (f, t) in native.edges() {
             assert!(alfp.has_edge_nodes(f, t), "missing edge {f} -> {t}");
         }
-        assert!(alfp.has_edge("a", "outb"), "Kemmerer's spurious edge must be present");
+        assert!(
+            alfp.has_edge("a", "outb"),
+            "Kemmerer's spurious edge must be present"
+        );
     }
 
     #[test]

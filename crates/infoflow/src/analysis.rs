@@ -44,16 +44,24 @@ impl AnalysisOptions {
     /// treated as outgoing values.
     pub fn sequential_illustration() -> Self {
         AnalysisOptions {
-            rd: RdOptions { process_repeats: false, ..RdOptions::default() },
+            rd: RdOptions {
+                process_repeats: false,
+                ..RdOptions::default()
+            },
             specialize_rd: true,
             improved: true,
-            improved_options: ImprovedOptions { finals_are_outgoing: true },
+            improved_options: ImprovedOptions {
+                finals_are_outgoing: true,
+            },
         }
     }
 
     /// Options for the base (non-improved) analysis.
     pub fn base() -> Self {
-        AnalysisOptions { improved: false, ..AnalysisOptions::default() }
+        AnalysisOptions {
+            improved: false,
+            ..AnalysisOptions::default()
+        }
     }
 }
 
@@ -181,8 +189,14 @@ mod tests {
         }
         // And Kemmerer has strictly more edges (the spurious ones).
         assert!(kemmerer.edge_count() > ours.edge_count());
-        assert!(kemmerer.has_edge("a", "b"), "spurious flow via the reused temporary");
-        assert!(!ours.has_edge("a", "b"), "our analysis kills the overwritten temporary");
+        assert!(
+            kemmerer.has_edge("a", "b"),
+            "spurious flow via the reused temporary"
+        );
+        assert!(
+            !ours.has_edge("a", "b"),
+            "our analysis kills the overwritten temporary"
+        );
     }
 
     #[test]

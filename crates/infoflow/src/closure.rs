@@ -9,9 +9,9 @@
 
 use crate::rm::{Access, Node, ResourceMatrix};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
-use vhdl1_syntax::{Design, Ident, Label};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use vhdl1_dataflow::{Def, ReachingDefinitions};
+use vhdl1_syntax::{Design, Ident, Label};
 
 /// The specialised Reaching Definitions relations of Table 7.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -50,13 +50,16 @@ pub fn specialize_rd(
     let labels = rd.cfg.labels();
 
     for &l in &labels {
-        // RD† for present values and local variables.
-        let entry = rd.present.entry_of(l);
-        let filtered: BTreeSet<(Ident, Def)> = entry
+        // RD† for present values and local variables.  The borrowed entry
+        // accessor avoids cloning whole definition sets per label; only the
+        // entries that survive the filter are cloned into the result.
+        let filtered: BTreeSet<(Ident, Def)> = rd
+            .present
+            .entry_ref(l)
             .into_iter()
-            .filter(|(n, _)| {
-                !specialize || local.contains(&Node::res(n.clone()), l, Access::R0)
-            })
+            .flatten()
+            .filter(|(n, _)| !specialize || local.contains(&Node::res(n.clone()), l, Access::R0))
+            .cloned()
             .collect();
         if !filtered.is_empty() {
             out.present.insert(l, filtered);
@@ -64,12 +67,16 @@ pub fn specialize_rd(
 
         // RD†ϕ for active signals at synchronisation points.
         if rd.cross.occurs_in_some_tuple(l) {
-            let entry = rd.active.over.entry_of(l);
-            let filtered: BTreeSet<(Ident, Label)> = entry
+            let filtered: BTreeSet<(Ident, Label)> = rd
+                .active
+                .over
+                .entry_ref(l)
                 .into_iter()
+                .flatten()
                 .filter(|(s, _)| {
                     !specialize || local.contains(&Node::res(s.clone()), l, Access::R1)
                 })
+                .cloned()
                 .collect();
             if !filtered.is_empty() {
                 out.active.insert(l, filtered);
@@ -100,7 +107,7 @@ pub fn table8_step(
         for (_n_prime, def) in defs {
             let Def::At(l_prime) = def else { continue };
             for entry in global.at_label(*l_prime) {
-                if entry.access == Access::R0 && !global.contains(&entry.node, l, Access::R0) {
+                if entry.access == Access::R0 && !global.contains(entry.node, l, Access::R0) {
                     additions.push((entry.node.clone(), l, Access::R0));
                 }
             }
@@ -123,8 +130,7 @@ pub fn table8_step(
                         continue;
                     }
                     for entry in global.at_label(*l_dprime) {
-                        if entry.access == Access::R0
-                            && !global.contains(&entry.node, l, Access::R0)
+                        if entry.access == Access::R0 && !global.contains(entry.node, l, Access::R0)
                         {
                             additions.push((entry.node.clone(), l, Access::R0));
                         }
@@ -137,9 +143,64 @@ pub fn table8_step(
     additions
 }
 
+/// The label-to-label propagation relation induced by the two rules of
+/// Table 8: an edge `l' → l` means every `(n, l', R0)` entry of `RM_gl`
+/// implies the entry `(n, l, R0)`.
+///
+/// Both rules have this shape — the rule premises mention `RM_gl` only
+/// through `(n, ·, R0)` with the node passed through unchanged — so the
+/// whole closure collapses to reachability over these edges, computed once
+/// from the specialised Reaching Definitions.
+fn propagation_edges(
+    rd: &ReachingDefinitions,
+    spec: &SpecializedRd,
+    wait_labels: &BTreeSet<Label>,
+) -> HashMap<Label, Vec<Label>> {
+    let mut seen: HashSet<(Label, Label)> = HashSet::new();
+    let mut edges: HashMap<Label, Vec<Label>> = HashMap::new();
+    let mut add = |edges: &mut HashMap<Label, Vec<Label>>, from: Label, to: Label| {
+        if seen.insert((from, to)) {
+            edges.entry(from).or_default().push(to);
+        }
+    };
+
+    for (&l, defs) in &spec.present {
+        for (s_prime, def) in defs {
+            let Def::At(l_prime) = def else { continue };
+
+            // [Present values and local variables]: (n', l') ∈ RD†(l) lets
+            // R0 entries at l' flow to l.
+            add(&mut edges, *l_prime, l);
+
+            // [Synchronized values]: definitions made at a wait label l_i
+            // additionally pull in the active-signal definitions of every
+            // co-occurring wait l_j.
+            if !wait_labels.contains(l_prime) {
+                continue;
+            }
+            for (&lj, active_defs) in &spec.active {
+                if !rd.cross.co_occur(*l_prime, lj) {
+                    continue;
+                }
+                for (s2, l_dprime) in active_defs {
+                    if s2 == s_prime {
+                        add(&mut edges, *l_dprime, l);
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
 /// Computes the global Resource Matrix `RM_gl` of Table 8 by closing the
 /// local dependencies under the two propagation rules, guided by the
 /// specialised Reaching Definitions.
+///
+/// Instead of re-running the rule premises to a fixpoint, the closure
+/// precomputes the [`propagation_edges`] relation and then propagates each
+/// `(n, l, R0)` entry along it with a worklist, processing every entry
+/// exactly once — semi-naive evaluation specialised to Table 8's shape.
 pub fn global_closure(
     design: &Design,
     rd: &ReachingDefinitions,
@@ -148,18 +209,27 @@ pub fn global_closure(
 ) -> ResourceMatrix {
     let _ = design;
     let mut global = local.clone();
-    let wait_labels: BTreeSet<Label> =
-        rd.cfg.processes.iter().flat_map(|p| p.wait_labels()).collect();
+    let wait_labels: BTreeSet<Label> = rd
+        .cfg
+        .processes
+        .iter()
+        .flat_map(|p| p.wait_labels())
+        .collect();
+    let edges = propagation_edges(rd, spec, &wait_labels);
 
-    // Fixpoint iteration: both rules only add (n, l, R0) entries, so the
-    // iteration is monotone and terminates.
-    loop {
-        let additions = table8_step(&global, rd, spec, &wait_labels);
-        if additions.is_empty() {
-            break;
-        }
-        for (node, label, access) in additions {
-            global.insert(node, label, access);
+    let mut worklist: VecDeque<(Node, Label)> = global
+        .iter()
+        .filter(|e| e.access == Access::R0)
+        .map(|e| (e.node.clone(), e.label))
+        .collect();
+    while let Some((node, label)) = worklist.pop_front() {
+        let Some(targets) = edges.get(&label) else {
+            continue;
+        };
+        for &target in targets {
+            if global.insert(node.clone(), target, Access::R0) {
+                worklist.push_back((node.clone(), target));
+            }
         }
     }
     global
@@ -191,7 +261,10 @@ mod tests {
 
     fn analyse_sequential(body: &str) -> FlowGraph {
         let design = sequential(body);
-        let opts = RdOptions { process_repeats: false, ..Default::default() };
+        let opts = RdOptions {
+            process_repeats: false,
+            ..Default::default()
+        };
         let rd = ReachingDefinitions::compute(&design, &opts);
         let local = local_dependencies(&design);
         let spec = specialize_rd(&rd, &local, true);
@@ -205,7 +278,10 @@ mod tests {
         let g = analyse_sequential("c := b; b := a;");
         assert!(g.has_edge("b", "c"));
         assert!(g.has_edge("a", "b"));
-        assert!(!g.has_edge("a", "c"), "the RD-based analysis must not report a -> c");
+        assert!(
+            !g.has_edge("a", "c"),
+            "the RD-based analysis must not report a -> c"
+        );
         assert!(!g.is_transitive());
     }
 
@@ -237,7 +313,10 @@ mod tests {
                end process p;
              end rtl;";
         let design = frontend(src).unwrap();
-        let opts = RdOptions { process_repeats: false, ..Default::default() };
+        let opts = RdOptions {
+            process_repeats: false,
+            ..Default::default()
+        };
         let rd = ReachingDefinitions::compute(&design, &opts);
         let local = local_dependencies(&design);
         let spec = specialize_rd(&rd, &local, true);
@@ -245,7 +324,10 @@ mod tests {
         let g = FlowGraph::from_resource_matrix(&global);
         assert!(g.has_edge("a", "outa"));
         assert!(g.has_edge("b", "outb"));
-        assert!(!g.has_edge("a", "outb"), "stale tmp value must not flow to outb");
+        assert!(
+            !g.has_edge("a", "outb"),
+            "stale tmp value must not flow to outb"
+        );
         assert!(!g.has_edge("b", "outa"));
         // Kemmerer's method reports both spurious edges on the same program.
         let k = crate::kemmerer::kemmerer_graph(&design);
@@ -277,7 +359,10 @@ mod tests {
         assert!(g.has_edge("a", "t"), "direct assignment flow");
         assert!(g.has_edge("t", "v"), "present value read into variable");
         assert!(g.has_edge("v", "b"));
-        assert!(g.has_edge("a", "b"), "synchronised flow a -> t -> v -> b must be closed");
+        assert!(
+            g.has_edge("a", "b"),
+            "synchronised flow a -> t -> v -> b must be closed"
+        );
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! information *might* flow from `n1` to `n2`.  The graph is in general
 //! **non-transitive** (Figure 3), which is exactly what distinguishes the
 //! RD-based analysis from Kemmerer's transitive-closure method.
+//!
+//! Edges are stored as forward and backward adjacency maps, so neighbour
+//! queries and the reachability-based operations (Kemmerer's transitive
+//! closure in particular) never scan the whole edge set.
 
 use crate::rm::{Access, Node, ResourceMatrix};
 use serde::{Deserialize, Serialize};
@@ -15,7 +19,9 @@ use std::fmt::Write as _;
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FlowGraph {
     nodes: BTreeSet<Node>,
-    edges: BTreeSet<(Node, Node)>,
+    succ: BTreeMap<Node, BTreeSet<Node>>,
+    pred: BTreeMap<Node, BTreeSet<Node>>,
+    edge_count: usize,
 }
 
 impl FlowGraph {
@@ -61,7 +67,15 @@ impl FlowGraph {
     pub fn add_edge(&mut self, from: Node, to: Node) {
         self.nodes.insert(from.clone());
         self.nodes.insert(to.clone());
-        self.edges.insert((from, to));
+        if self
+            .succ
+            .entry(from.clone())
+            .or_default()
+            .insert(to.clone())
+        {
+            self.pred.entry(to).or_default().insert(from);
+            self.edge_count += 1;
+        }
     }
 
     /// The nodes of the graph.
@@ -69,9 +83,11 @@ impl FlowGraph {
         self.nodes.iter()
     }
 
-    /// The edges of the graph.
-    pub fn edges(&self) -> impl Iterator<Item = &(Node, Node)> {
-        self.edges.iter()
+    /// The edges of the graph, in `(from, to)` lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (&Node, &Node)> {
+        self.succ
+            .iter()
+            .flat_map(|(f, ts)| ts.iter().map(move |t| (f, t)))
     }
 
     /// Number of nodes.
@@ -81,38 +97,38 @@ impl FlowGraph {
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.edge_count
     }
 
     /// Whether an edge exists between the *plain* resources with these names
     /// (convenience for tests and examples).
     pub fn has_edge(&self, from: &str, to: &str) -> bool {
-        self.edges.contains(&(Node::res(from), Node::res(to)))
+        self.has_edge_nodes(&Node::res(from), &Node::res(to))
     }
 
     /// Whether an edge exists between two nodes.
     pub fn has_edge_nodes(&self, from: &Node, to: &Node) -> bool {
-        self.edges.contains(&(from.clone(), to.clone()))
+        self.succ.get(from).is_some_and(|ts| ts.contains(to))
     }
 
     /// Successors of a node.
     pub fn successors(&self, n: &Node) -> BTreeSet<&Node> {
-        self.edges.iter().filter(|(f, _)| f == n).map(|(_, t)| t).collect()
+        self.succ.get(n).into_iter().flatten().collect()
     }
 
     /// Predecessors of a node.
     pub fn predecessors(&self, n: &Node) -> BTreeSet<&Node> {
-        self.edges.iter().filter(|(_, t)| t == n).map(|(f, _)| f).collect()
+        self.pred.get(n).into_iter().flatten().collect()
     }
 
     /// Nodes reachable from `n` following edges (excluding `n` itself unless
     /// it lies on a cycle).
     pub fn reachable_from(&self, n: &Node) -> BTreeSet<Node> {
         let mut seen: BTreeSet<Node> = BTreeSet::new();
-        let mut queue: VecDeque<Node> = self.successors(n).into_iter().cloned().collect();
+        let mut queue: VecDeque<&Node> = self.succ.get(n).into_iter().flatten().collect();
         while let Some(next) = queue.pop_front() {
             if seen.insert(next.clone()) {
-                queue.extend(self.successors(&next).into_iter().cloned());
+                queue.extend(self.succ.get(next).into_iter().flatten());
             }
         }
         seen
@@ -124,7 +140,7 @@ impl FlowGraph {
         let mut g = self.clone();
         for n in &self.nodes {
             for r in self.reachable_from(n) {
-                g.edges.insert((n.clone(), r));
+                g.add_edge(n.clone(), r);
             }
         }
         g
@@ -132,7 +148,9 @@ impl FlowGraph {
 
     /// Whether the graph equals its own transitive closure.
     pub fn is_transitive(&self) -> bool {
-        self.transitive_closure().edges == self.edges
+        // The closure only ever adds edges, so equal edge counts mean equal
+        // graphs.
+        self.transitive_closure().edge_count == self.edge_count
     }
 
     /// Restricts the graph to nodes whose *name* satisfies the predicate,
@@ -144,7 +162,7 @@ impl FlowGraph {
                 g.add_node(n.clone());
             }
         }
-        for (f, t) in &self.edges {
+        for (f, t) in self.edges() {
             if keep(f) && keep(t) {
                 g.add_edge(f.clone(), t.clone());
             }
@@ -161,7 +179,7 @@ impl FlowGraph {
         for n in &self.nodes {
             g.add_node(merge(n));
         }
-        for (f, t) in &self.edges {
+        for (f, t) in self.edges() {
             let (mf, mt) = (merge(f), merge(t));
             if mf != mt {
                 g.add_edge(mf, mt);
@@ -185,7 +203,7 @@ impl FlowGraph {
         for n in &self.nodes {
             g.add_node(map(n));
         }
-        for (f, t) in &self.edges {
+        for (f, t) in self.edges() {
             let (mf, mt) = (map(f), map(t));
             if mf != mt {
                 g.add_edge(mf, mt);
@@ -196,7 +214,10 @@ impl FlowGraph {
 
     /// Edges present in `self` but not in `other`.
     pub fn edge_difference(&self, other: &FlowGraph) -> BTreeSet<(Node, Node)> {
-        self.edges.difference(&other.edges).cloned().collect()
+        self.edges()
+            .filter(|(f, t)| !other.has_edge_nodes(f, t))
+            .map(|(f, t)| (f.clone(), t.clone()))
+            .collect()
     }
 
     /// Renders the graph in Graphviz DOT syntax.
@@ -216,7 +237,7 @@ impl FlowGraph {
             };
             let _ = writeln!(out, "  {id} [label=\"{n}\", shape={shape}];");
         }
-        for (f, t) in &self.edges {
+        for (f, t) in self.edges() {
             let _ = writeln!(out, "  {} -> {};", ids[f], ids[t]);
         }
         let _ = writeln!(out, "}}");
@@ -250,13 +271,24 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_edges_are_not_double_counted() {
+        let mut g = chain();
+        g.add_edge(Node::res("a"), Node::res("b"));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edges().count(), 2);
+    }
+
+    #[test]
     fn transitive_closure_and_transitivity_check() {
         let g = chain();
         assert!(!g.is_transitive());
         let tc = g.transitive_closure();
         assert!(tc.has_edge("a", "c"));
         assert!(tc.is_transitive());
-        assert_eq!(tc.edge_difference(&g), BTreeSet::from([(Node::res("a"), Node::res("c"))]));
+        assert_eq!(
+            tc.edge_difference(&g),
+            BTreeSet::from([(Node::res("a"), Node::res("c"))])
+        );
     }
 
     #[test]
@@ -299,7 +331,11 @@ mod tests {
         let mut g = FlowGraph::new();
         g.add_edge(Node::res("a_in"), Node::res("a_out"));
         g.add_edge(Node::res("a_in"), Node::res("b_out"));
-        let merged = g.map_names(|n| n.trim_end_matches("_in").trim_end_matches("_out").to_string());
+        let merged = g.map_names(|n| {
+            n.trim_end_matches("_in")
+                .trim_end_matches("_out")
+                .to_string()
+        });
         assert_eq!(merged.node_count(), 2);
         assert_eq!(merged.edge_count(), 1);
         assert!(merged.has_edge("a", "b"));

@@ -13,11 +13,11 @@ use crate::closure::{table8_step, SpecializedRd};
 use crate::rm::{Access, Node, ResourceMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use vhdl1_syntax::{Design, Ident, Label};
 use vhdl1_dataflow::{BlockKind, Def, ReachingDefinitions};
+use vhdl1_syntax::{Design, Ident, Label};
 
 /// Options of the improved analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct ImprovedOptions {
     /// Treat the variables assigned by the final statements of each process
     /// as outgoing values.  This reproduces the sequential illustration of
@@ -25,12 +25,6 @@ pub struct ImprovedOptions {
     /// "outcoming"; designs with entities normally rely on `out` ports
     /// instead.
     pub finals_are_outgoing: bool,
-}
-
-impl Default for ImprovedOptions {
-    fn default() -> Self {
-        ImprovedOptions { finals_are_outgoing: false }
-    }
 }
 
 /// Result of the improved closure: the extended global Resource Matrix plus
@@ -54,8 +48,12 @@ pub fn improved_closure(
     options: &ImprovedOptions,
 ) -> ImprovedClosure {
     let mut global = local.clone();
-    let wait_labels: BTreeSet<Label> =
-        rd.cfg.processes.iter().flat_map(|p| p.wait_labels()).collect();
+    let wait_labels: BTreeSet<Label> = rd
+        .cfg
+        .processes
+        .iter()
+        .flat_map(|p| p.wait_labels())
+        .collect();
     let input_signals: BTreeSet<Ident> = design.input_signals().into_iter().collect();
     let output_signals: BTreeSet<Ident> = design.output_signals().into_iter().collect();
 
@@ -76,16 +74,14 @@ pub fn improved_closure(
                 if let Some(block) = pcfg.blocks.get(l) {
                     if let BlockKind::VarAssign { target, .. } = &block.kind {
                         let entry =
-                            outgoing_labels.entry(target.name.clone()).or_insert_with(|| {
-                                let l = next_label;
-                                next_label += 1;
-                                l
-                            });
-                        outgoing_defs.push((
-                            target.name.clone(),
-                            *entry,
-                            BTreeSet::from([*l]),
-                        ));
+                            outgoing_labels
+                                .entry(target.name.clone())
+                                .or_insert_with(|| {
+                                    let l = next_label;
+                                    next_label += 1;
+                                    l
+                                });
+                        outgoing_defs.push((target.name.clone(), *entry, BTreeSet::from([*l])));
                     }
                 }
             }
@@ -142,7 +138,7 @@ pub fn improved_closure(
                     }
                     for entry in global.at_label(l_def) {
                         if entry.access == Access::R0
-                            && !global.contains(&entry.node, *l_out, Access::R0)
+                            && !global.contains(entry.node, *l_out, Access::R0)
                         {
                             additions.push((entry.node.clone(), *l_out, Access::R0));
                         }
@@ -153,7 +149,7 @@ pub fn improved_closure(
                 if !wait_labels.contains(l) {
                     for entry in global.at_label(*l) {
                         if entry.access == Access::R0
-                            && !global.contains(&entry.node, *l_out, Access::R0)
+                            && !global.contains(entry.node, *l_out, Access::R0)
                         {
                             additions.push((entry.node.clone(), *l_out, Access::R0));
                         }
@@ -170,7 +166,10 @@ pub fn improved_closure(
         }
     }
 
-    ImprovedClosure { matrix: global, outgoing_labels }
+    ImprovedClosure {
+        matrix: global,
+        outgoing_labels,
+    }
 }
 
 #[cfg(test)]
@@ -208,8 +207,13 @@ mod tests {
     fn figure_4b_initial_value_of_b_does_not_reach_c() {
         let g = improved_graph(
             PROGRAM_B,
-            &RdOptions { process_repeats: false, ..Default::default() },
-            &ImprovedOptions { finals_are_outgoing: true },
+            &RdOptions {
+                process_repeats: false,
+                ..Default::default()
+            },
+            &ImprovedOptions {
+                finals_are_outgoing: true,
+            },
         );
         // The initial value of a flows into b (and transitively c): a◦ -> b.
         assert!(g.has_edge_nodes(&Node::incoming("a"), &Node::res("b")));
@@ -243,7 +247,9 @@ mod tests {
         // [Initial values] rule (its initial value may reach a use); the
         // environment-driven [Incoming values] rule is restricted to `in`
         // ports, so b (an `out` port never read with an initial value) has none.
-        assert!(!g.nodes().any(|n| matches!(n, Node::Incoming(x) if x == "b")));
+        assert!(!g
+            .nodes()
+            .any(|n| matches!(n, Node::Incoming(x) if x == "b")));
     }
 
     #[test]
@@ -260,10 +266,9 @@ mod tests {
         let rd = ReachingDefinitions::compute(&design, &RdOptions::default());
         let local = local_dependencies(&design);
         let spec = specialize_rd(&rd, &local, true);
-        let closure =
-            improved_closure(&design, &rd, &spec, &local, &ImprovedOptions::default());
+        let closure = improved_closure(&design, &rd, &spec, &local, &ImprovedOptions::default());
         let max = design.max_label();
-        for (_, l) in &closure.outgoing_labels {
+        for l in closure.outgoing_labels.values() {
             assert!(*l > max);
         }
         assert_eq!(closure.outgoing_labels.len(), 1);

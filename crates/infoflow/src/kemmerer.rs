@@ -55,7 +55,10 @@ mod tests {
         let g = kemmerer_graph(&program_a());
         assert!(g.has_edge("b", "c"));
         assert!(g.has_edge("a", "b"));
-        assert!(g.has_edge("a", "c"), "Kemmerer's method must report the spurious edge");
+        assert!(
+            g.has_edge("a", "c"),
+            "Kemmerer's method must report the spurious edge"
+        );
         assert!(g.is_transitive());
     }
 

@@ -15,7 +15,14 @@ pub fn local_dependencies(design: &Design) -> ResourceMatrix {
     let mut rm = ResourceMatrix::new();
     for process in &design.processes {
         let fs_body = design.process_free_signals(process.index);
-        analyse_stmt(design, process.index, &process.body, &BTreeSet::new(), &fs_body, &mut rm);
+        analyse_stmt(
+            design,
+            process.index,
+            &process.body,
+            &BTreeSet::new(),
+            &fs_body,
+            &mut rm,
+        );
     }
     rm
 }
@@ -38,7 +45,11 @@ fn analyse_stmt(
 ) {
     match stmt {
         Stmt::Null { .. } => {}
-        Stmt::VarAssign { label, target, expr } => {
+        Stmt::VarAssign {
+            label,
+            target,
+            expr,
+        } => {
             rm.insert(Node::res(target.name.clone()), *label, Access::M0);
             let mut reads = expr_reads(design, pidx, expr);
             reads.extend(block_set.iter().cloned());
@@ -46,7 +57,11 @@ fn analyse_stmt(
                 rm.insert(Node::res(n), *label, Access::R0);
             }
         }
-        Stmt::SignalAssign { label, target, expr } => {
+        Stmt::SignalAssign {
+            label,
+            target,
+            expr,
+        } => {
             rm.insert(Node::res(target.name.clone()), *label, Access::M1);
             let mut reads = expr_reads(design, pidx, expr);
             reads.extend(block_set.iter().cloned());
@@ -71,7 +86,12 @@ fn analyse_stmt(
             analyse_stmt(design, pidx, a, block_set, fs_body, rm);
             analyse_stmt(design, pidx, b, block_set, fs_body, rm);
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             let mut extended = block_set.clone();
             extended.extend(expr_reads(design, pidx, cond));
             analyse_stmt(design, pidx, then_branch, &extended, fs_body, rm);
@@ -139,9 +159,7 @@ mod tests {
 
     #[test]
     fn nested_conditions_accumulate_block_set() {
-        let rm = rm_for(
-            "if c = '1' then if a = '1' then x := y; end if; end if; wait on a;",
-        );
+        let rm = rm_for("if c = '1' then if a = '1' then x := y; end if; end if; wait on a;");
         // x := y is label 3; both c and a are in its block set.
         assert!(rm.contains(&Node::res("c"), 3, Access::R0));
         assert!(rm.contains(&Node::res("a"), 3, Access::R0));

@@ -116,7 +116,10 @@ pub fn audit(graph: &FlowGraph, policy: &Policy) -> AuditReport {
         }
     }
     violations.sort();
-    AuditReport { violations, edges_checked }
+    AuditReport {
+        violations,
+        edges_checked,
+    }
 }
 
 #[cfg(test)]
@@ -157,8 +160,10 @@ mod tests {
 
     #[test]
     fn explicit_allow_list_overrides_lattice() {
-        let policy =
-            Policy::new().with_level("key", 2).with_level("debug", 0).with_allowed("key", "debug");
+        let policy = Policy::new()
+            .with_level("key", 2)
+            .with_level("debug", 0)
+            .with_allowed("key", "debug");
         assert!(policy.permits("key", "debug"));
         assert!(audit(&graph(), &policy).is_secure());
     }

@@ -12,9 +12,14 @@
 //! The improved analysis of Section 5.3 additionally uses incoming (`n◦`) and
 //! outgoing (`n•`) nodes, so matrix entries range over [`Node`] rather than
 //! plain names.
+//!
+//! Entries are stored label-first with the access kinds of a node packed
+//! into a bitmask, so the per-label queries the closure algorithms hammer
+//! (`at_label`, `reads_at`, `modifications_at`, `contains`) are direct map
+//! lookups instead of full scans, and membership tests allocate nothing.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use vhdl1_syntax::{Ident, Label};
 
@@ -32,6 +37,9 @@ pub enum Access {
 }
 
 impl Access {
+    /// All access kinds, in the order of their bitmask bits.
+    const ALL: [Access; 4] = [Access::M0, Access::M1, Access::R0, Access::R1];
+
     /// Whether this access is a modification (`M0` or `M1`).
     pub fn is_modification(&self) -> bool {
         matches!(self, Access::M0 | Access::M1)
@@ -40,6 +48,15 @@ impl Access {
     /// Whether this access is a read (`R0` or `R1`).
     pub fn is_read(&self) -> bool {
         matches!(self, Access::R0 | Access::R1)
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Access::M0 => 1 << 0,
+            Access::M1 => 1 << 1,
+            Access::R0 => 1 << 2,
+            Access::R1 => 1 << 3,
+        }
     }
 }
 
@@ -106,7 +123,7 @@ impl fmt::Display for Node {
     }
 }
 
-/// One entry `(n, l, A)` of a Resource Matrix.
+/// One entry `(n, l, A)` of a Resource Matrix, in owned form.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RmEntry {
     /// The accessed resource (or incoming/outgoing node).
@@ -120,7 +137,11 @@ pub struct RmEntry {
 impl RmEntry {
     /// Creates an entry.
     pub fn new(node: Node, label: Label, access: Access) -> RmEntry {
-        RmEntry { node, label, access }
+        RmEntry {
+            node,
+            label,
+            access,
+        }
     }
 }
 
@@ -130,10 +151,31 @@ impl fmt::Display for RmEntry {
     }
 }
 
-/// A Resource Matrix: a set of `(node, label, access)` entries.
+/// A borrowed view of one `(n, l, A)` entry, yielded by the iteration
+/// accessors without cloning the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmEntryRef<'a> {
+    /// The accessed resource (or incoming/outgoing node).
+    pub node: &'a Node,
+    /// The label of the access.
+    pub label: Label,
+    /// The kind of access.
+    pub access: Access,
+}
+
+impl RmEntryRef<'_> {
+    /// Clones into an owned [`RmEntry`].
+    pub fn to_owned(self) -> RmEntry {
+        RmEntry::new(self.node.clone(), self.label, self.access)
+    }
+}
+
+/// A Resource Matrix: a set of `(node, label, access)` entries, stored
+/// label-first with packed access bitmasks.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ResourceMatrix {
-    entries: BTreeSet<RmEntry>,
+    by_label: BTreeMap<Label, BTreeMap<Node, u8>>,
+    len: usize,
 }
 
 impl ResourceMatrix {
@@ -144,86 +186,139 @@ impl ResourceMatrix {
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the matrix has no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Inserts an entry; returns `true` if it was not already present.
     pub fn insert(&mut self, node: Node, label: Label, access: Access) -> bool {
-        self.entries.insert(RmEntry::new(node, label, access))
+        let mask = self
+            .by_label
+            .entry(label)
+            .or_default()
+            .entry(node)
+            .or_insert(0);
+        if *mask & access.bit() != 0 {
+            return false;
+        }
+        *mask |= access.bit();
+        self.len += 1;
+        true
     }
 
     /// Whether the matrix contains the entry.
     pub fn contains(&self, node: &Node, label: Label, access: Access) -> bool {
-        self.entries.contains(&RmEntry::new(node.clone(), label, access))
+        self.by_label
+            .get(&label)
+            .and_then(|nodes| nodes.get(node))
+            .is_some_and(|mask| mask & access.bit() != 0)
     }
 
-    /// Iterates over all entries.
-    pub fn iter(&self) -> impl Iterator<Item = &RmEntry> {
-        self.entries.iter()
+    /// Iterates over all entries (label-major, then node order).
+    pub fn iter(&self) -> impl Iterator<Item = RmEntryRef<'_>> {
+        self.by_label.iter().flat_map(|(&label, nodes)| {
+            nodes.iter().flat_map(move |(node, &mask)| {
+                Access::ALL
+                    .iter()
+                    .filter(move |a| mask & a.bit() != 0)
+                    .map(move |&access| RmEntryRef {
+                        node,
+                        label,
+                        access,
+                    })
+            })
+        })
     }
 
     /// Entries at a given label.
-    pub fn at_label(&self, label: Label) -> impl Iterator<Item = &RmEntry> {
-        self.entries.iter().filter(move |e| e.label == label)
+    pub fn at_label(&self, label: Label) -> impl Iterator<Item = RmEntryRef<'_>> {
+        self.by_label
+            .get(&label)
+            .into_iter()
+            .flat_map(move |nodes| {
+                nodes.iter().flat_map(move |(node, &mask)| {
+                    Access::ALL
+                        .iter()
+                        .filter(move |a| mask & a.bit() != 0)
+                        .map(move |&access| RmEntryRef {
+                            node,
+                            label,
+                            access,
+                        })
+                })
+            })
     }
 
     /// Nodes read (`R0`) at the given label.
     pub fn reads_at(&self, label: Label) -> BTreeSet<&Node> {
-        self.entries
-            .iter()
-            .filter(|e| e.label == label && e.access == Access::R0)
-            .map(|e| &e.node)
-            .collect()
+        self.nodes_at_with(label, Access::R0.bit())
     }
 
     /// Nodes modified (`M0` or `M1`) at the given label.
     pub fn modifications_at(&self, label: Label) -> BTreeSet<&Node> {
-        self.entries
-            .iter()
-            .filter(|e| e.label == label && e.access.is_modification())
-            .map(|e| &e.node)
+        self.nodes_at_with(label, Access::M0.bit() | Access::M1.bit())
+    }
+
+    fn nodes_at_with(&self, label: Label, bits: u8) -> BTreeSet<&Node> {
+        self.by_label
+            .get(&label)
+            .into_iter()
+            .flat_map(|nodes| {
+                nodes
+                    .iter()
+                    .filter(move |(_, &mask)| mask & bits != 0)
+                    .map(|(n, _)| n)
+            })
             .collect()
     }
 
     /// All labels mentioned by the matrix.
     pub fn labels(&self) -> BTreeSet<Label> {
-        self.entries.iter().map(|e| e.label).collect()
+        self.by_label.keys().copied().collect()
     }
 
     /// All nodes mentioned by the matrix.
     pub fn nodes(&self) -> BTreeSet<&Node> {
-        self.entries.iter().map(|e| &e.node).collect()
+        self.by_label
+            .values()
+            .flat_map(|nodes| nodes.keys())
+            .collect()
     }
 
     /// Merges another matrix into this one.
     pub fn extend_from(&mut self, other: &ResourceMatrix) {
-        self.entries.extend(other.entries.iter().cloned());
+        for (&label, nodes) in &other.by_label {
+            for (node, &mask) in nodes {
+                let entry = self
+                    .by_label
+                    .entry(label)
+                    .or_default()
+                    .entry(node.clone())
+                    .or_insert(0);
+                self.len += (mask & !*entry).count_ones() as usize;
+                *entry |= mask;
+            }
+        }
     }
 }
 
 impl FromIterator<RmEntry> for ResourceMatrix {
     fn from_iter<T: IntoIterator<Item = RmEntry>>(iter: T) -> Self {
-        ResourceMatrix { entries: iter.into_iter().collect() }
+        let mut rm = ResourceMatrix::new();
+        rm.extend(iter);
+        rm
     }
 }
 
 impl Extend<RmEntry> for ResourceMatrix {
     fn extend<T: IntoIterator<Item = RmEntry>>(&mut self, iter: T) {
-        self.entries.extend(iter);
-    }
-}
-
-impl<'a> IntoIterator for &'a ResourceMatrix {
-    type Item = &'a RmEntry;
-    type IntoIter = std::collections::btree_set::Iter<'a, RmEntry>;
-
-    fn into_iter(self) -> Self::IntoIter {
-        self.entries.iter()
+        for e in iter {
+            self.insert(e.node, e.label, e.access);
+        }
     }
 }
 
@@ -243,10 +338,28 @@ mod tests {
         assert!(rm.contains(&Node::res("x"), 1, Access::M0));
         assert_eq!(rm.reads_at(1), BTreeSet::from([&Node::res("a")]));
         assert_eq!(
-            rm.modifications_at(1).into_iter().cloned().collect::<Vec<_>>(),
+            rm.modifications_at(1)
+                .into_iter()
+                .cloned()
+                .collect::<Vec<_>>(),
             vec![Node::res("x")]
         );
         assert_eq!(rm.labels(), BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn iteration_yields_every_entry() {
+        let mut rm = ResourceMatrix::new();
+        rm.insert(Node::res("x"), 1, Access::M0);
+        rm.insert(Node::res("x"), 1, Access::R0);
+        rm.insert(Node::res("y"), 2, Access::R1);
+        let all: Vec<RmEntry> = rm.iter().map(RmEntryRef::to_owned).collect();
+        assert_eq!(all.len(), rm.len());
+        assert!(all.contains(&RmEntry::new(Node::res("x"), 1, Access::M0)));
+        assert!(all.contains(&RmEntry::new(Node::res("x"), 1, Access::R0)));
+        assert!(all.contains(&RmEntry::new(Node::res("y"), 2, Access::R1)));
+        assert_eq!(rm.at_label(1).count(), 2);
+        assert_eq!(rm.at_label(3).count(), 0);
     }
 
     #[test]
@@ -277,13 +390,17 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let rm: ResourceMatrix =
-            vec![RmEntry::new(Node::res("a"), 1, Access::R0)].into_iter().collect();
+        let rm: ResourceMatrix = vec![RmEntry::new(Node::res("a"), 1, Access::R0)]
+            .into_iter()
+            .collect();
         let mut rm2 = ResourceMatrix::new();
         rm2.insert(Node::res("b"), 2, Access::M0);
         let mut merged = rm.clone();
         merged.extend_from(&rm2);
         assert_eq!(merged.len(), 2);
         assert_eq!(merged.nodes().len(), 2);
+        // Overlapping extend does not double-count.
+        merged.extend_from(&rm2);
+        assert_eq!(merged.len(), 2);
     }
 }

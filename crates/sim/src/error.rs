@@ -47,10 +47,16 @@ impl fmt::Display for SimError {
             SimError::UndefinedName { name } => write!(f, "undefined name `{name}`"),
             SimError::InvalidSlice { name } => write!(f, "slice out of range on `{name}`"),
             SimError::NonBooleanCondition { process, value } => {
-                write!(f, "condition in process `{process}` evaluated to {value}, not a boolean")
+                write!(
+                    f,
+                    "condition in process `{process}` evaluated to {value}, not a boolean"
+                )
             }
             SimError::StepLimitExceeded { process, limit } => {
-                write!(f, "process `{process}` exceeded {limit} steps without reaching a wait")
+                write!(
+                    f,
+                    "process `{process}` exceeded {limit} steps without reaching a wait"
+                )
             }
             SimError::DeltaLimitExceeded { limit } => {
                 write!(f, "design did not stabilise within {limit} delta cycles")
@@ -71,9 +77,14 @@ mod tests {
             SimError::UndefinedName { name: "x".into() }.to_string(),
             "undefined name `x`"
         );
-        assert!(SimError::StepLimitExceeded { process: "p".into(), limit: 10 }
+        assert!(SimError::StepLimitExceeded {
+            process: "p".into(),
+            limit: 10
+        }
+        .to_string()
+        .contains("10 steps"));
+        assert!(SimError::DeltaLimitExceeded { limit: 5 }
             .to_string()
-            .contains("10 steps"));
-        assert!(SimError::DeltaLimitExceeded { limit: 5 }.to_string().contains("5 delta"));
+            .contains("5 delta"));
     }
 }

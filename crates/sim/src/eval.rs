@@ -30,18 +30,32 @@ pub fn slice_offsets(name: &str, ty: &Type, slice: &Slice) -> Result<Vec<usize>,
                 if index == 0 {
                     0
                 } else {
-                    return Err(SimError::InvalidSlice { name: name.to_string() });
+                    return Err(SimError::InvalidSlice {
+                        name: name.to_string(),
+                    });
                 }
             }
-            Type::StdLogicVector { dir: RangeDir::Downto, left, right } => {
+            Type::StdLogicVector {
+                dir: RangeDir::Downto,
+                left,
+                right,
+            } => {
                 if index > *left || index < *right {
-                    return Err(SimError::InvalidSlice { name: name.to_string() });
+                    return Err(SimError::InvalidSlice {
+                        name: name.to_string(),
+                    });
                 }
                 (left - index) as usize
             }
-            Type::StdLogicVector { dir: RangeDir::To, left, right } => {
+            Type::StdLogicVector {
+                dir: RangeDir::To,
+                left,
+                right,
+            } => {
                 if index < *left || index > *right {
-                    return Err(SimError::InvalidSlice { name: name.to_string() });
+                    return Err(SimError::InvalidSlice {
+                        name: name.to_string(),
+                    });
                 }
                 (index - left) as usize
             }
@@ -60,17 +74,14 @@ pub fn slice_offsets(name: &str, ty: &Type, slice: &Slice) -> Result<Vec<usize>,
 }
 
 /// Extracts the slice of a value according to the declared type of its name.
-pub fn slice_value(
-    name: &str,
-    value: &Value,
-    ty: &Type,
-    slice: &Slice,
-) -> Result<Value, SimError> {
+pub fn slice_value(name: &str, value: &Value, ty: &Type, slice: &Slice) -> Result<Value, SimError> {
     let offsets = slice_offsets(name, ty, slice)?;
     let bits = value.bits();
     let mut out = Vec::with_capacity(offsets.len());
     for off in offsets {
-        out.push(*bits.get(off).ok_or_else(|| SimError::InvalidSlice { name: name.to_string() })?);
+        out.push(*bits.get(off).ok_or_else(|| SimError::InvalidSlice {
+            name: name.to_string(),
+        })?);
     }
     Ok(Value::from_bits(out))
 }
@@ -89,7 +100,9 @@ pub fn update_slice(
     let new_bits = new.resized(offsets.len()).bits();
     for (off, nb) in offsets.into_iter().zip(new_bits) {
         if off >= bits.len() {
-            return Err(SimError::InvalidSlice { name: name.to_string() });
+            return Err(SimError::InvalidSlice {
+                name: name.to_string(),
+            });
         }
         bits[off] = nb;
     }
@@ -104,16 +117,17 @@ pub fn update_slice(
 /// [`SimError::InvalidSlice`] for out-of-range slices.
 pub fn eval(expr: &Expr, env: &dyn NameEnv) -> Result<Value, SimError> {
     match expr {
-        Expr::Logic(c) => {
-            Value::logic(*c).ok_or_else(|| SimError::UndefinedName { name: c.to_string() })
-        }
+        Expr::Logic(c) => Value::logic(*c).ok_or_else(|| SimError::UndefinedName {
+            name: c.to_string(),
+        }),
         Expr::Vector(s) => {
             Value::vector(s).ok_or_else(|| SimError::UndefinedName { name: s.clone() })
         }
         Expr::Int(n) => Ok(Value::from_unsigned(*n as u128, 64)),
         Expr::Name { name, slice } => {
-            let value =
-                env.value_of(name).ok_or_else(|| SimError::UndefinedName { name: name.clone() })?;
+            let value = env
+                .value_of(name)
+                .ok_or_else(|| SimError::UndefinedName { name: name.clone() })?;
             match slice {
                 None => Ok(value),
                 Some(sl) => {
@@ -124,9 +138,14 @@ pub fn eval(expr: &Expr, env: &dyn NameEnv) -> Result<Value, SimError> {
                 }
             }
         }
-        Expr::Unary { op: UnOp::Not, expr } => {
+        Expr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => {
             let v = eval(expr, env)?;
-            Ok(Value::from_bits(v.bits().into_iter().map(Logic::not).collect()))
+            Ok(Value::from_bits(
+                v.bits().into_iter().map(Logic::not).collect(),
+            ))
         }
         Expr::Binary { op, lhs, rhs } => {
             let a = eval(lhs, env)?;
@@ -189,27 +208,28 @@ pub fn apply_binary(op: BinOp, a: &Value, b: &Value) -> Value {
                 None => Value::Logic(Logic::X),
             }
         }
-        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            match (a.to_unsigned(), b.to_unsigned()) {
-                (Some(x), Some(y)) => {
-                    let truth = match op {
-                        BinOp::Lt => x < y,
-                        BinOp::Le => x <= y,
-                        BinOp::Gt => x > y,
-                        BinOp::Ge => x >= y,
-                        _ => unreachable!(),
-                    };
-                    Value::Logic(Logic::from_bool(truth))
-                }
-                _ => Value::Logic(Logic::X),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match (a.to_unsigned(), b.to_unsigned()) {
+            (Some(x), Some(y)) => {
+                let truth = match op {
+                    BinOp::Lt => x < y,
+                    BinOp::Le => x <= y,
+                    BinOp::Gt => x > y,
+                    BinOp::Ge => x >= y,
+                    _ => unreachable!(),
+                };
+                Value::Logic(Logic::from_bool(truth))
             }
-        }
+            _ => Value::Logic(Logic::X),
+        },
         BinOp::Add | BinOp::Sub => {
             let width = a.width().max(b.width());
             match (a.to_unsigned(), b.to_unsigned()) {
                 (Some(x), Some(y)) => {
-                    let mask: u128 =
-                        if width >= 128 { u128::MAX } else { (1u128 << width) - 1 };
+                    let mask: u128 = if width >= 128 {
+                        u128::MAX
+                    } else {
+                        (1u128 << width) - 1
+                    };
                     let result = if op == BinOp::Add {
                         x.wrapping_add(y) & mask
                     } else {
@@ -302,7 +322,12 @@ mod tests {
     #[test]
     fn undefined_name_errors() {
         let e = eval(&parse_expression("ghost").unwrap(), &env());
-        assert_eq!(e, Err(SimError::UndefinedName { name: "ghost".into() }));
+        assert_eq!(
+            e,
+            Err(SimError::UndefinedName {
+                name: "ghost".into()
+            })
+        );
     }
 
     #[test]
@@ -320,7 +345,8 @@ mod tests {
     #[test]
     fn comparisons_with_undefined_bits_yield_x() {
         let mut e = env();
-        e.values.insert("u".to_string(), Value::vector("0X").unwrap());
+        e.values
+            .insert("u".to_string(), Value::vector("0X").unwrap());
         e.types.insert("u".to_string(), Type::vector_downto(1, 0));
         let v = eval(&parse_expression("u = \"00\"").unwrap(), &e).unwrap();
         assert_eq!(v, Value::Logic(Logic::X));
@@ -338,21 +364,35 @@ mod tests {
     #[test]
     fn concatenation() {
         assert_eq!(run("a & b"), Value::vector("10").unwrap());
-        assert_eq!(run("v(7 downto 4) & \"0000\""), Value::vector("11010000").unwrap());
+        assert_eq!(
+            run("v(7 downto 4) & \"0000\""),
+            Value::vector("11010000").unwrap()
+        );
     }
 
     #[test]
     fn update_slice_overwrites_selected_range() {
         let ty = Type::vector_downto(7, 0);
         let v = Value::vector("00000000").unwrap();
-        let updated =
-            update_slice("v", &v, &ty, &Slice::downto(7, 4), &Value::vector("1010").unwrap())
-                .unwrap();
+        let updated = update_slice(
+            "v",
+            &v,
+            &ty,
+            &Slice::downto(7, 4),
+            &Value::vector("1010").unwrap(),
+        )
+        .unwrap();
         assert_eq!(updated.to_literal(), "10100000");
         let ty_to = Type::vector_to(0, 3);
         let w = Value::vector("0000").unwrap();
-        let updated =
-            update_slice("w", &w, &ty_to, &Slice::to(1, 2), &Value::vector("11").unwrap()).unwrap();
+        let updated = update_slice(
+            "w",
+            &w,
+            &ty_to,
+            &Slice::to(1, 2),
+            &Value::vector("11").unwrap(),
+        )
+        .unwrap();
         assert_eq!(updated.to_literal(), "0110");
     }
 }

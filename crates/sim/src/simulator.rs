@@ -25,7 +25,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { max_steps_per_activation: 1_000_000, strict_conditions: false }
+        SimOptions {
+            max_steps_per_activation: 1_000_000,
+            strict_conditions: false,
+        }
     }
 }
 
@@ -34,10 +37,7 @@ enum Status {
     /// The process has work to do before its next wait.
     Running,
     /// The process is suspended at a wait statement.
-    Waiting {
-        on: Vec<Ident>,
-        until: Expr,
-    },
+    Waiting { on: Vec<Ident>, until: Expr },
 }
 
 #[derive(Debug, Clone)]
@@ -64,10 +64,16 @@ struct ProcEnv<'a> {
 
 impl NameEnv for ProcEnv<'_> {
     fn value_of(&self, name: &str) -> Option<Value> {
-        self.vars.get(name).cloned().or_else(|| self.present.get(name).cloned())
+        self.vars
+            .get(name)
+            .cloned()
+            .or_else(|| self.present.get(name).cloned())
     }
     fn type_of(&self, name: &str) -> Option<Type> {
-        self.var_types.get(name).cloned().or_else(|| self.signal_types.get(name).cloned())
+        self.var_types
+            .get(name)
+            .cloned()
+            .or_else(|| self.signal_types.get(name).cloned())
     }
 }
 
@@ -170,7 +176,10 @@ impl Simulator {
 
     /// The current value of a local variable of a process.
     pub fn variable(&self, process: &str, name: &str) -> Option<&Value> {
-        self.procs.iter().find(|p| p.name == process).and_then(|p| p.vars.get(name))
+        self.procs
+            .iter()
+            .find(|p| p.name == process)
+            .and_then(|p| p.vars.get(name))
     }
 
     /// Drives an input port from the environment; the value takes effect at
@@ -182,10 +191,13 @@ impl Simulator {
     /// Returns [`SimError::UndefinedName`] if `name` is not an `in` port.
     pub fn drive_input(&mut self, name: &str, value: Value) -> Result<(), SimError> {
         if !self.input_ports.contains(name) {
-            return Err(SimError::UndefinedName { name: name.to_string() });
+            return Err(SimError::UndefinedName {
+                name: name.to_string(),
+            });
         }
         let width = self.signal_types[name].width();
-        self.env_drivers.insert(name.to_string(), value.resized(width));
+        self.env_drivers
+            .insert(name.to_string(), value.resized(width));
         Ok(())
     }
 
@@ -195,8 +207,7 @@ impl Simulator {
     ///
     /// Returns [`SimError::UndefinedName`] if `name` is not an `in` port.
     pub fn drive_input_unsigned(&mut self, name: &str, n: u128) -> Result<(), SimError> {
-        let width =
-            self.signal_types.get(name).map(Type::width).unwrap_or(1);
+        let width = self.signal_types.get(name).map(Type::width).unwrap_or(1);
         self.drive_input(name, Value::from_unsigned(n, width))
     }
 
@@ -212,8 +223,8 @@ impl Simulator {
         for idx in 0..self.procs.len() {
             self.run_process_to_wait(idx)?;
         }
-        let any_active = !self.env_drivers.is_empty()
-            || self.procs.iter().any(|p| !p.active.is_empty());
+        let any_active =
+            !self.env_drivers.is_empty() || self.procs.iter().any(|p| !p.active.is_empty());
         if !any_active {
             return Ok(None);
         }
@@ -336,12 +347,7 @@ impl Simulator {
                         signal_types: &self.signal_types,
                     };
                     let value = eval(&expr, &env)?;
-                    assign_target(
-                        &target,
-                        value,
-                        &mut p.vars,
-                        &p.var_types,
-                    )?;
+                    assign_target(&target, value, &mut p.vars, &p.var_types)?;
                 }
                 Stmt::SignalAssign { target, expr, .. } => {
                     let env = ProcEnv {
@@ -351,10 +357,11 @@ impl Simulator {
                         signal_types: &self.signal_types,
                     };
                     let value = eval(&expr, &env)?;
-                    let ty = self
-                        .signal_types
-                        .get(&target.name)
-                        .ok_or_else(|| SimError::UndefinedName { name: target.name.clone() })?;
+                    let ty = self.signal_types.get(&target.name).ok_or_else(|| {
+                        SimError::UndefinedName {
+                            name: target.name.clone(),
+                        }
+                    })?;
                     let new = match &target.slice {
                         None => value.resized(ty.width()),
                         Some(sl) => {
@@ -372,7 +379,12 @@ impl Simulator {
                     };
                     p.active.insert(target.name.clone(), new);
                 }
-                Stmt::If { cond, then_branch, else_branch, .. } => {
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     let env = ProcEnv {
                         vars: &p.vars,
                         var_types: &p.var_types,
@@ -390,7 +402,8 @@ impl Simulator {
                         }
                         None => false,
                     };
-                    p.stack.push(if taken { *then_branch } else { *else_branch });
+                    p.stack
+                        .push(if taken { *then_branch } else { *else_branch });
                 }
                 Stmt::While { cond, body, label } => {
                     let env = ProcEnv {
@@ -411,7 +424,11 @@ impl Simulator {
                         None => false,
                     };
                     if taken {
-                        p.stack.push(Stmt::While { cond, body: body.clone(), label });
+                        p.stack.push(Stmt::While {
+                            cond,
+                            body: body.clone(),
+                            label,
+                        });
                         p.stack.push(*body);
                     }
                 }
@@ -432,7 +449,9 @@ fn assign_target(
 ) -> Result<(), SimError> {
     let ty = var_types
         .get(&target.name)
-        .ok_or_else(|| SimError::UndefinedName { name: target.name.clone() })?;
+        .ok_or_else(|| SimError::UndefinedName {
+            name: target.name.clone(),
+        })?;
     let new = match &target.slice {
         None => value.resized(ty.width()),
         Some(sl) => {
@@ -523,7 +542,10 @@ mod tests {
         s.run_until_quiescent(20).unwrap();
         assert_eq!(s.signal("t").unwrap().to_unsigned(), Some(0b1010));
         assert_eq!(s.signal("b").unwrap().to_unsigned(), Some(0b1010));
-        assert!(s.delta_count() >= 2, "propagation needs at least two delta cycles");
+        assert!(
+            s.delta_count() >= 2,
+            "propagation needs at least two delta cycles"
+        );
     }
 
     #[test]
@@ -556,7 +578,8 @@ mod tests {
 
     #[test]
     fn while_loops_with_counters() {
-        let src = "entity e is port(go : in std_logic; b : out std_logic_vector(7 downto 0)); end e;
+        let src =
+            "entity e is port(go : in std_logic; b : out std_logic_vector(7 downto 0)); end e;
              architecture rtl of e is begin
                p : process
                  variable count : std_logic_vector(7 downto 0) := \"00000000\";
@@ -591,7 +614,11 @@ mod tests {
              end rtl;";
         let mut s = sim(src);
         s.run_until_quiescent(10).unwrap();
-        assert_eq!(s.signal("t"), Some(&Value::Logic(Logic::X)), "conflicting drivers resolve to X");
+        assert_eq!(
+            s.signal("t"),
+            Some(&Value::Logic(Logic::X)),
+            "conflicting drivers resolve to X"
+        );
     }
 
     #[test]
@@ -609,7 +636,10 @@ mod tests {
         let design = frontend(src).unwrap();
         let mut s = Simulator::with_options(
             &design,
-            SimOptions { max_steps_per_activation: 1000, strict_conditions: false },
+            SimOptions {
+                max_steps_per_activation: 1000,
+                strict_conditions: false,
+            },
         )
         .unwrap();
         assert!(matches!(

@@ -157,6 +157,7 @@ impl Logic {
     }
 
     /// IEEE 1164 `not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Logic {
         match self.to_x01() {
             Logic::Zero => Logic::One,
@@ -209,7 +210,10 @@ impl Value {
 
     /// A vector value from its string literal form (e.g. `"0101"`).
     pub fn vector(s: &str) -> Option<Value> {
-        s.chars().map(Logic::from_char).collect::<Option<Vec<_>>>().map(Value::Vector)
+        s.chars()
+            .map(Logic::from_char)
+            .collect::<Option<Vec<_>>>()
+            .map(Value::Vector)
     }
 
     /// A vector of the given width filled with `fill`.
@@ -226,7 +230,13 @@ impl Value {
     pub fn from_unsigned(n: u128, width: usize) -> Value {
         let bits: Vec<Logic> = (0..width)
             .rev()
-            .map(|i| if (n >> i) & 1 == 1 { Logic::One } else { Logic::Zero })
+            .map(|i| {
+                if (n >> i) & 1 == 1 {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            })
             .collect();
         if width == 1 {
             Value::Logic(bits[0])
@@ -346,7 +356,10 @@ mod tests {
         assert_eq!(Logic::Z.resolve(Logic::One), Logic::One);
         assert_eq!(Logic::Zero.resolve(Logic::One), Logic::X);
         assert_eq!(Logic::L.resolve(Logic::H), Logic::W);
-        assert_eq!(resolve_all([Logic::Z, Logic::Z, Logic::One]), Some(Logic::One));
+        assert_eq!(
+            resolve_all([Logic::Z, Logic::Z, Logic::One]),
+            Some(Logic::One)
+        );
         assert_eq!(resolve_all(std::iter::empty::<Logic>()), None);
     }
 
@@ -390,7 +403,10 @@ mod tests {
         let b = Value::vector("Z1H").unwrap();
         assert_eq!(a.resolve_with(&b).to_literal(), "01H");
         // Mismatched widths degrade to unknowns.
-        assert_eq!(a.resolve_with(&Value::logic('1').unwrap()).to_literal(), "XXX");
+        assert_eq!(
+            a.resolve_with(&Value::logic('1').unwrap()).to_literal(),
+            "XXX"
+        );
     }
 
     #[test]

@@ -131,12 +131,20 @@ pub enum Type {
 impl Type {
     /// Convenience constructor for `std_logic_vector(hi downto lo)`.
     pub fn vector_downto(hi: i64, lo: i64) -> Self {
-        Type::StdLogicVector { dir: RangeDir::Downto, left: hi, right: lo }
+        Type::StdLogicVector {
+            dir: RangeDir::Downto,
+            left: hi,
+            right: lo,
+        }
     }
 
     /// Convenience constructor for `std_logic_vector(lo to hi)`.
     pub fn vector_to(lo: i64, hi: i64) -> Self {
-        Type::StdLogicVector { dir: RangeDir::To, left: lo, right: hi }
+        Type::StdLogicVector {
+            dir: RangeDir::To,
+            left: lo,
+            right: hi,
+        }
     }
 
     /// Number of `std_logic` elements carried by this type.
@@ -212,12 +220,20 @@ pub struct Slice {
 impl Slice {
     /// Constructs a `downto` slice.
     pub fn downto(left: i64, right: i64) -> Self {
-        Slice { dir: RangeDir::Downto, left, right }
+        Slice {
+            dir: RangeDir::Downto,
+            left,
+            right,
+        }
     }
 
     /// Constructs a `to` slice.
     pub fn to(left: i64, right: i64) -> Self {
-        Slice { dir: RangeDir::To, left, right }
+        Slice {
+            dir: RangeDir::To,
+            left,
+            right,
+        }
     }
 
     /// Number of elements selected by the slice.
@@ -358,12 +374,18 @@ pub struct Target {
 impl Target {
     /// A whole-name target.
     pub fn whole(name: impl Into<Ident>) -> Self {
-        Target { name: name.into(), slice: None }
+        Target {
+            name: name.into(),
+            slice: None,
+        }
     }
 
     /// A sliced target.
     pub fn sliced(name: impl Into<Ident>, slice: Slice) -> Self {
-        Target { name: name.into(), slice: Some(slice) }
+        Target {
+            name: name.into(),
+            slice: Some(slice),
+        }
     }
 }
 
@@ -481,7 +503,11 @@ impl Stmt {
                 a.visit(f);
                 b.visit(f);
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.visit(f);
                 else_branch.visit(f);
             }
@@ -563,7 +589,10 @@ impl BinOp {
 
     /// Whether the operator is relational (yields a single `std_logic`).
     pub fn is_relational(&self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// Whether the operator is arithmetic on vectors (`opa`).
@@ -633,12 +662,18 @@ pub enum Expr {
 impl Expr {
     /// A reference to a whole variable or signal.
     pub fn name(n: impl Into<Ident>) -> Expr {
-        Expr::Name { name: n.into(), slice: None }
+        Expr::Name {
+            name: n.into(),
+            slice: None,
+        }
     }
 
     /// A reference to a slice of a vector variable or signal.
     pub fn slice(n: impl Into<Ident>, slice: Slice) -> Expr {
-        Expr::Name { name: n.into(), slice: Some(slice) }
+        Expr::Name {
+            name: n.into(),
+            slice: Some(slice),
+        }
     }
 
     /// The literal `'1'`.
@@ -653,12 +688,20 @@ impl Expr {
 
     /// Builds `lhs op rhs`.
     pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Builds `not e`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
-        Expr::Unary { op: UnOp::Not, expr: Box::new(e) }
+        Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(e),
+        }
     }
 
     /// Collects every name referenced by the expression, in first-occurrence
@@ -721,7 +764,11 @@ mod tests {
     fn stmt_seq_flatten_roundtrip() {
         let s = Stmt::seq(vec![
             Stmt::Null { label: 0 },
-            Stmt::VarAssign { label: 0, target: Target::whole("x"), expr: Expr::one() },
+            Stmt::VarAssign {
+                label: 0,
+                target: Target::whole("x"),
+                expr: Expr::one(),
+            },
             Stmt::Null { label: 0 },
         ]);
         let flat = s.flatten();
@@ -736,14 +783,24 @@ mod tests {
 
     #[test]
     fn expr_referenced_names_dedup() {
-        let e = Expr::binary(BinOp::And, Expr::name("a"), Expr::binary(BinOp::Or, Expr::name("b"), Expr::name("a")));
+        let e = Expr::binary(
+            BinOp::And,
+            Expr::name("a"),
+            Expr::binary(BinOp::Or, Expr::name("b"), Expr::name("a")),
+        );
         assert_eq!(e.referenced_names(), vec!["a".to_string(), "b".to_string()]);
     }
 
     #[test]
     fn display_forms() {
-        assert_eq!(Type::vector_downto(7, 0).to_string(), "std_logic_vector(7 downto 0)");
-        assert_eq!(Target::sliced("x", Slice::to(0, 3)).to_string(), "x(0 to 3)");
+        assert_eq!(
+            Type::vector_downto(7, 0).to_string(),
+            "std_logic_vector(7 downto 0)"
+        );
+        assert_eq!(
+            Target::sliced("x", Slice::to(0, 3)).to_string(),
+            "x(0 to 3)"
+        );
         assert_eq!(BinOp::Neq.to_string(), "/=");
         assert_eq!(PortMode::Out.to_string(), "out");
     }

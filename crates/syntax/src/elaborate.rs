@@ -145,7 +145,10 @@ impl Design {
 
     /// Free signals of `e` (the `FS(e)` of the paper).
     pub fn free_signals(&self, e: &Expr) -> BTreeSet<Ident> {
-        e.referenced_names().into_iter().filter(|n| self.is_signal(n)).collect()
+        e.referenced_names()
+            .into_iter()
+            .filter(|n| self.is_signal(n))
+            .collect()
     }
 
     /// Free variables of the whole body of process `pidx` (`FV(ss_i)`).
@@ -154,7 +157,9 @@ impl Design {
         if let Some(p) = self.processes.get(pidx) {
             p.body.visit(&mut |s| collect_stmt_names(s, &mut out));
         }
-        out.into_iter().filter(|n| self.is_variable_of(pidx, n)).collect()
+        out.into_iter()
+            .filter(|n| self.is_variable_of(pidx, n))
+            .collect()
     }
 
     /// Free signals of the whole body of process `pidx` (`FS(ss_i)`).
@@ -182,7 +187,9 @@ impl Design {
 
     /// Labels of all `wait` statements of the whole design (the set `WS`).
     pub fn all_wait_labels(&self) -> Vec<Label> {
-        (0..self.processes.len()).flat_map(|i| self.wait_labels(i)).collect()
+        (0..self.processes.len())
+            .flat_map(|i| self.wait_labels(i))
+            .collect()
     }
 
     /// Maps every label to the index of the process it occurs in.
@@ -298,7 +305,10 @@ pub fn elaborate_with(
     if let Some(entity) = program.entity(&arch.entity) {
         for port in &entity.ports {
             if !seen.insert(port.name.clone()) {
-                return Err(SyntaxError::elaborate(format!("duplicate port `{}`", port.name)));
+                return Err(SyntaxError::elaborate(format!(
+                    "duplicate port `{}`",
+                    port.name
+                )));
             }
             signals.push(SignalInfo {
                 name: port.name.clone(),
@@ -338,7 +348,13 @@ pub fn elaborate_with(
     // declared in blocks / processes.
     let mut raw_processes: Vec<(Ident, Vec<VariableInfo>, Stmt)> = Vec::new();
     let mut synthetic = 0usize;
-    collect_concurrent(&arch.body, &mut signals, &mut seen, &mut raw_processes, &mut synthetic)?;
+    collect_concurrent(
+        &arch.body,
+        &mut signals,
+        &mut seen,
+        &mut raw_processes,
+        &mut synthetic,
+    )?;
 
     if raw_processes.is_empty() {
         return Err(SyntaxError::elaborate(format!(
@@ -398,7 +414,11 @@ fn collect_concurrent(
                         target: target.clone(),
                         expr: expr.clone(),
                     }),
-                    Box::new(Stmt::Wait { label: 0, on: wait_on, until: Expr::one() }),
+                    Box::new(Stmt::Wait {
+                        label: 0,
+                        on: wait_on,
+                        until: Expr::one(),
+                    }),
                 );
                 processes.push((name, Vec::new(), body));
             }
@@ -471,7 +491,12 @@ fn prune_and_check(design: &Design, pidx: usize, stmt: &mut Stmt) -> Result<(), 
             prune_and_check(design, pidx, a)?;
             prune_and_check(design, pidx, b)?;
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             check_expr(design, pidx, cond)?;
             prune_and_check(design, pidx, then_branch)?;
             prune_and_check(design, pidx, else_branch)?;
@@ -552,7 +577,12 @@ pub fn assign_labels(stmt: &mut Stmt, next: &mut Label) {
             assign_labels(a, next);
             assign_labels(b, next);
         }
-        Stmt::If { label, then_branch, else_branch, .. } => {
+        Stmt::If {
+            label,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             *label = *next;
             *next += 1;
             assign_labels(then_branch, next);
@@ -732,7 +762,9 @@ mod tests {
         assert!(elaborate(&prog).is_err());
         let d = elaborate_with(
             &prog,
-            &ElaborateOptions { architecture: Some("two".into()) },
+            &ElaborateOptions {
+                architecture: Some("two".into()),
+            },
         )
         .unwrap();
         assert_eq!(d.name, "two");

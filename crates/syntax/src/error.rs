@@ -25,17 +25,29 @@ pub enum SyntaxErrorKind {
 impl SyntaxError {
     /// Creates a lexer error at `pos`.
     pub fn lex(pos: Pos, message: String) -> Self {
-        SyntaxError { kind: SyntaxErrorKind::Lex, pos: Some(pos), message }
+        SyntaxError {
+            kind: SyntaxErrorKind::Lex,
+            pos: Some(pos),
+            message,
+        }
     }
 
     /// Creates a parser error at `pos`.
     pub fn parse(pos: Pos, message: String) -> Self {
-        SyntaxError { kind: SyntaxErrorKind::Parse, pos: Some(pos), message }
+        SyntaxError {
+            kind: SyntaxErrorKind::Parse,
+            pos: Some(pos),
+            message,
+        }
     }
 
     /// Creates an elaboration error (no position available).
     pub fn elaborate(message: String) -> Self {
-        SyntaxError { kind: SyntaxErrorKind::Elaborate, pos: None, message }
+        SyntaxError {
+            kind: SyntaxErrorKind::Elaborate,
+            pos: None,
+            message,
+        }
     }
 
     /// The phase that produced the error.

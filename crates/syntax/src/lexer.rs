@@ -27,11 +27,20 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, chars: src.chars().collect(), idx: 0, line: 1, col: 1 }
+        Lexer {
+            src,
+            chars: src.chars().collect(),
+            idx: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn pos(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -60,7 +69,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia();
             let pos = self.pos();
             let Some(c) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, pos });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
                 return Ok(out);
             };
             let kind = match c {
@@ -198,7 +210,10 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 other => {
-                    return Err(SyntaxError::lex(pos, format!("unexpected character `{other}`")))
+                    return Err(SyntaxError::lex(
+                        pos,
+                        format!("unexpected character `{other}`"),
+                    ))
                 }
             };
             out.push(Token { kind, pos });
@@ -227,7 +242,9 @@ impl<'a> Lexer<'a> {
 
 impl std::fmt::Debug for Lexer<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Lexer").field("remaining", &&self.src[self.idx.min(self.src.len())..]).finish()
+        f.debug_struct("Lexer")
+            .field("remaining", &&self.src[self.idx.min(self.src.len())..])
+            .finish()
     }
 }
 
@@ -270,7 +287,11 @@ mod tests {
         let ks = kinds("a -- a comment with -- dashes\n b");
         assert_eq!(
             ks,
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

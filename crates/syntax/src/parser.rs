@@ -237,7 +237,14 @@ impl Parser {
             return Err(self.err(format!("expected `in` or `out`, found {}", self.peek())));
         };
         let ty = self.type_mark()?;
-        Ok(names.into_iter().map(|name| Port { name, mode, ty: ty.clone() }).collect())
+        Ok(names
+            .into_iter()
+            .map(|name| Port {
+                name,
+                mode,
+                ty: ty.clone(),
+            })
+            .collect())
     }
 
     fn type_mark(&mut self) -> Result<Type, SyntaxError> {
@@ -290,7 +297,12 @@ impl Parser {
             }
         }
         self.expect(TokenKind::Semicolon)?;
-        Ok(Architecture { name, entity, decls, body })
+        Ok(Architecture {
+            name,
+            entity,
+            decls,
+            body,
+        })
     }
 
     fn declarations(&mut self) -> Result<Vec<Decl>, SyntaxError> {
@@ -308,13 +320,25 @@ impl Parser {
             }
             self.expect(TokenKind::Colon)?;
             let ty = self.type_mark()?;
-            let init = if self.eat(&TokenKind::ColonEq) { Some(self.expression()?) } else { None };
+            let init = if self.eat(&TokenKind::ColonEq) {
+                Some(self.expression()?)
+            } else {
+                None
+            };
             self.expect(TokenKind::Semicolon)?;
             for name in names {
                 decls.push(if is_var {
-                    Decl::Variable { name, ty: ty.clone(), init: init.clone() }
+                    Decl::Variable {
+                        name,
+                        ty: ty.clone(),
+                        init: init.clone(),
+                    }
                 } else {
-                    Decl::Signal { name, ty: ty.clone(), init: init.clone() }
+                    Decl::Signal {
+                        name,
+                        ty: ty.clone(),
+                        init: init.clone(),
+                    }
                 });
             }
         }
@@ -327,14 +351,18 @@ impl Parser {
         if matches!(self.peek(), TokenKind::Ident(_)) && matches!(self.peek_n(1), TokenKind::Colon)
         {
             match self.peek_n(2) {
-                TokenKind::Keyword(Keyword::Process) => return self.process().map(Concurrent::Process),
+                TokenKind::Keyword(Keyword::Process) => {
+                    return self.process().map(Concurrent::Process)
+                }
                 TokenKind::Keyword(Keyword::Block) => return self.block().map(Concurrent::Block),
                 _ => {}
             }
         }
         // Unlabelled process (rare, give it a synthetic empty name).
         if self.at_kw(Keyword::Process) {
-            return self.process_with_name(String::new()).map(Concurrent::Process);
+            return self
+                .process_with_name(String::new())
+                .map(Concurrent::Process);
         }
         // Concurrent signal assignment.
         let target = self.target()?;
@@ -370,15 +398,20 @@ impl Parser {
         if let TokenKind::Ident(_) = self.peek() {
             let closing = self.ident()?;
             if !name.is_empty() && closing != name {
-                return Err(self
-                    .err(format!("process `{name}` closed with mismatched name `{closing}`")));
+                return Err(self.err(format!(
+                    "process `{name}` closed with mismatched name `{closing}`"
+                )));
             }
         }
         self.expect(TokenKind::Semicolon)?;
         if !sensitivity.is_empty() {
             body = Stmt::Seq(
                 Box::new(body),
-                Box::new(Stmt::Wait { label: 0, on: sensitivity, until: Expr::one() }),
+                Box::new(Stmt::Wait {
+                    label: 0,
+                    on: sensitivity,
+                    until: Expr::one(),
+                }),
             );
         }
         Ok(Process { name, decls, body })
@@ -400,9 +433,9 @@ impl Parser {
         if let TokenKind::Ident(_) = self.peek() {
             let closing = self.ident()?;
             if closing != name {
-                return Err(
-                    self.err(format!("block `{name}` closed with mismatched name `{closing}`"))
-                );
+                return Err(self.err(format!(
+                    "block `{name}` closed with mismatched name `{closing}`"
+                )));
             }
         }
         self.expect(TokenKind::Semicolon)?;
@@ -448,12 +481,20 @@ impl Parser {
         if self.eat(&TokenKind::ColonEq) {
             let expr = self.expression()?;
             self.expect(TokenKind::Semicolon)?;
-            return Ok(Stmt::VarAssign { label: 0, target, expr });
+            return Ok(Stmt::VarAssign {
+                label: 0,
+                target,
+                expr,
+            });
         }
         if self.eat(&TokenKind::LtEq) {
             let expr = self.expression()?;
             self.expect(TokenKind::Semicolon)?;
-            return Ok(Stmt::SignalAssign { label: 0, target, expr });
+            return Ok(Stmt::SignalAssign {
+                label: 0,
+                target,
+                expr,
+            });
         }
         Err(self.err(format!("expected `:=` or `<=`, found {}", self.peek())))
     }
@@ -468,7 +509,11 @@ impl Parser {
                 on.push(self.ident()?);
             }
         }
-        let until = if self.eat_kw(Keyword::Until) { self.expression()? } else { Expr::one() };
+        let until = if self.eat_kw(Keyword::Until) {
+            self.expression()?
+        } else {
+            Expr::one()
+        };
         // Default `on` is the set of free signals of the `until` condition
         // (Section 2); names that turn out to be variables are pruned at
         // elaboration time.
@@ -476,7 +521,11 @@ impl Parser {
             on = until.referenced_names();
         }
         self.expect(TokenKind::Semicolon)?;
-        Ok(Stmt::Wait { label: 0, on, until })
+        Ok(Stmt::Wait {
+            label: 0,
+            on,
+            until,
+        })
     }
 
     fn if_statement(&mut self) -> Result<Stmt, SyntaxError> {
@@ -541,14 +590,22 @@ impl Parser {
             self.expect_kw(Keyword::End)?;
             self.expect_kw(Keyword::Loop)?;
             self.expect(TokenKind::Semicolon)?;
-            Ok(Stmt::While { label: 0, cond, body: Box::new(body) })
+            Ok(Stmt::While {
+                label: 0,
+                cond,
+                body: Box::new(body),
+            })
         } else if self.eat_kw(Keyword::Do) {
             // Paper-style `while e do ss end while;`
             let body = self.statement_sequence()?;
             self.expect_kw(Keyword::End)?;
             self.expect_kw(Keyword::While)?;
             self.expect(TokenKind::Semicolon)?;
-            Ok(Stmt::While { label: 0, cond, body: Box::new(body) })
+            Ok(Stmt::While {
+                label: 0,
+                cond,
+                body: Box::new(body),
+            })
         } else {
             Err(self.err(format!("expected `loop` or `do`, found {}", self.peek())))
         }
@@ -578,7 +635,11 @@ impl Parser {
                 self.expect(TokenKind::LParen)?;
                 let i = self.int()?;
                 self.expect(TokenKind::RParen)?;
-                return Ok(Some(Slice { dir: RangeDir::Downto, left: i, right: i }));
+                return Ok(Some(Slice {
+                    dir: RangeDir::Downto,
+                    left: i,
+                    right: i,
+                }));
             }
         }
         Ok(None)
@@ -740,7 +801,9 @@ mod tests {
         )
         .unwrap();
         let arch = p.architecture("a").unwrap();
-        let Concurrent::Process(proc) = &arch.body[0] else { panic!() };
+        let Concurrent::Process(proc) = &arch.body[0] else {
+            panic!()
+        };
         let flat = proc.body.flatten();
         assert_eq!(flat.len(), 2);
         match flat[1] {
@@ -779,7 +842,9 @@ mod tests {
             "if a = '1' then x := '0'; elsif b = '1' then x := '1'; else null; end if;",
         )
         .unwrap();
-        let Stmt::If { else_branch, .. } = s else { panic!() };
+        let Stmt::If { else_branch, .. } = s else {
+            panic!()
+        };
         assert!(matches!(*else_branch, Stmt::If { .. }));
     }
 
@@ -815,7 +880,11 @@ mod tests {
         // `a and b = '1'` parses the relation tighter than the logical op.
         let e = parse_expression("a and b = '1'").unwrap();
         match e {
-            Expr::Binary { op: BinOp::And, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::And,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Eq, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -834,7 +903,13 @@ mod tests {
     #[test]
     fn concatenation_and_arithmetic() {
         let e = parse_expression("x(7 downto 4) & (y + 1)").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinOp::Concat, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::Concat,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -856,7 +931,9 @@ mod tests {
         )
         .unwrap();
         let arch = p.architecture("a").unwrap();
-        let Concurrent::Block(b) = &arch.body[0] else { panic!() };
+        let Concurrent::Block(b) = &arch.body[0] else {
+            panic!()
+        };
         assert_eq!(b.decls.len(), 1);
         assert_eq!(b.body.len(), 2);
     }

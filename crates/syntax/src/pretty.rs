@@ -120,7 +120,12 @@ pub fn pretty_stmt(s: &Stmt, level: usize, out: &mut String) {
             pretty_stmt(a, level, out);
             pretty_stmt(b, level, out);
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             let _ = writeln!(out, "{pad}if {} then", pretty_expr(cond));
             pretty_stmt(then_branch, level + 1, out);
             if !matches!(**else_branch, Stmt::Null { .. }) {
@@ -243,7 +248,11 @@ mod tests {
 
     #[test]
     fn wait_prints_minimal_form() {
-        let s = Stmt::Wait { label: 0, on: vec![], until: Expr::one() };
+        let s = Stmt::Wait {
+            label: 0,
+            on: vec![],
+            until: Expr::one(),
+        };
         let mut out = String::new();
         pretty_stmt(&s, 0, &mut out);
         assert_eq!(out.trim(), "wait;");

@@ -144,6 +144,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks up a keyword by its (lower-case) spelling.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {

@@ -19,7 +19,10 @@ fn row_of(name: &str) -> Option<usize> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let src = shift_rows_vhdl();
-    println!("generated ShiftRows workload: {} lines of VHDL1", src.lines().count());
+    println!(
+        "generated ShiftRows workload: {} lines of VHDL1",
+        src.lines().count()
+    );
 
     let design = frontend(&src)?;
     let result = analyze(&design);
@@ -29,14 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // only the three shifted rows shown.
     let present = |g: &vhdl_infoflow::infoflow::FlowGraph| {
         g.merge_io_nodes()
-            .map_names(|n| n.strip_prefix("b_").map(|r| format!("a_{r}")).unwrap_or_else(|| n.to_string()))
+            .map_names(|n| {
+                n.strip_prefix("b_")
+                    .map(|r| format!("a_{r}"))
+                    .unwrap_or_else(|| n.to_string())
+            })
             .restrict(|n: &Node| matches!(row_of(n.name()), Some(r) if (1..=3).contains(&r)))
     };
 
     let ours = present(&result.flow_graph());
     let kemmerer = present(&result.kemmerer_flow_graph());
 
-    println!("\nFigure 5(b) — this paper's analysis ({} edges):", ours.edge_count());
+    println!(
+        "\nFigure 5(b) — this paper's analysis ({} edges):",
+        ours.edge_count()
+    );
     for row in 1..=3 {
         let mut edges: Vec<String> = ours
             .edges()
@@ -57,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  (every byte of a shifted row depends on every byte routed through the shared temporaries)");
 
-    println!("\nDOT of the precise graph:\n{}", ours.to_dot("shift_rows_ours"));
+    println!(
+        "\nDOT of the precise graph:\n{}",
+        ours.to_dot("shift_rows_ours")
+    );
     Ok(())
 }

@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_allowed("key", "mixed");
 
     let report = audit(&graph, &policy);
-    println!("checked {} information-flow edges against the policy", report.edges_checked);
+    println!(
+        "checked {} information-flow edges against the policy",
+        report.edges_checked
+    );
     if report.is_secure() {
         println!("no policy violations found");
     } else {

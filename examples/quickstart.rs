@@ -59,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(graph.has_edge("enable", "data_out"));
     assert!(graph.has_edge("data_in", "data_out"));
 
-    println!("\nGraphviz DOT:\n{}", graph.merge_io_nodes().to_dot("gatekeeper"));
+    println!(
+        "\nGraphviz DOT:\n{}",
+        graph.merge_io_nodes().to_dot("gatekeeper")
+    );
     Ok(())
 }

@@ -11,7 +11,10 @@ use vhdl_infoflow::syntax::frontend;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let src = aes128_vhdl();
-    println!("generated AES-128 VHDL1: {} lines (fully unrolled)", src.lines().count());
+    println!(
+        "generated AES-128 VHDL1: {} lines (fully unrolled)",
+        src.lines().count()
+    );
 
     let design = frontend(&src)?;
     println!(
@@ -32,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.run_until_quiescent(50)?;
 
     let ct: Vec<u8> = (0..16)
-        .map(|i| sim.signal(&format!("ct_{i}")).unwrap().to_unsigned().unwrap() as u8)
+        .map(|i| {
+            sim.signal(&format!("ct_{i}"))
+                .unwrap()
+                .to_unsigned()
+                .unwrap() as u8
+        })
         .collect();
     let expected = encrypt_block(&key, &pt);
 
@@ -42,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("simulated : {}", hex(&ct));
     println!("reference : {}", hex(&expected));
     println!("delta cycles: {}", sim.delta_count());
-    assert_eq!(ct, expected.to_vec(), "VHDL1 simulation must match the reference model");
+    assert_eq!(
+        ct,
+        expected.to_vec(),
+        "VHDL1 simulation must match the reference model"
+    );
     println!("AES-128 VHDL1 implementation validated against FIPS-197");
     Ok(())
 }

@@ -91,10 +91,20 @@ fn compare_command(args: &[String]) -> Result<(), String> {
     let result = analyze_with(&design, &opts);
     let ours = result.base_flow_graph();
     let kemmerer = result.kemmerer_flow_graph();
-    println!("this paper : {} edges (non-transitive: {})", ours.edge_count(), !ours.is_transitive());
-    println!("kemmerer   : {} edges (always transitive)", kemmerer.edge_count());
+    println!(
+        "this paper : {} edges (non-transitive: {})",
+        ours.edge_count(),
+        !ours.is_transitive()
+    );
+    println!(
+        "kemmerer   : {} edges (always transitive)",
+        kemmerer.edge_count()
+    );
     let spurious = kemmerer.edge_difference(&ours);
-    println!("edges reported only by Kemmerer's method ({}):", spurious.len());
+    println!(
+        "edges reported only by Kemmerer's method ({}):",
+        spurious.len()
+    );
     for (from, to) in spurious {
         println!("  {from} -> {to}");
     }

@@ -13,12 +13,19 @@ fn simulate_aes(key: &[u8; 16], pt: &[u8; 16]) -> Vec<u8> {
     let mut sim = Simulator::new(&design).unwrap();
     sim.run_until_quiescent(50).unwrap();
     for i in 0..16 {
-        sim.drive_input_unsigned(&format!("pt_{i}"), pt[i] as u128).unwrap();
-        sim.drive_input_unsigned(&format!("key_{i}"), key[i] as u128).unwrap();
+        sim.drive_input_unsigned(&format!("pt_{i}"), pt[i] as u128)
+            .unwrap();
+        sim.drive_input_unsigned(&format!("key_{i}"), key[i] as u128)
+            .unwrap();
     }
     sim.run_until_quiescent(50).unwrap();
     (0..16)
-        .map(|i| sim.signal(&format!("ct_{i}")).unwrap().to_unsigned().unwrap() as u8)
+        .map(|i| {
+            sim.signal(&format!("ct_{i}"))
+                .unwrap()
+                .to_unsigned()
+                .unwrap() as u8
+        })
         .collect()
 }
 
@@ -35,7 +42,10 @@ fn full_aes128_vhdl_matches_reference_on_fips_and_random_blocks() {
         key2[i] = (i as u8).wrapping_mul(73).wrapping_add(19);
         pt2[i] = (i as u8).wrapping_mul(151).wrapping_add(7);
     }
-    assert_eq!(simulate_aes(&key2, &pt2), encrypt_block(&key2, &pt2).to_vec());
+    assert_eq!(
+        simulate_aes(&key2, &pt2),
+        encrypt_block(&key2, &pt2).to_vec()
+    );
 }
 
 #[test]
@@ -69,7 +79,10 @@ fn add_round_key_analysis_keeps_byte_lanes_separate() {
                 expected,
                 "lane separation violated for a_{i} -> b_{j}"
             );
-            assert_eq!(ours.has_edge(&format!("k_{i}"), &format!("b_{j}")), expected);
+            assert_eq!(
+                ours.has_edge(&format!("k_{i}"), &format!("b_{j}")),
+                expected
+            );
         }
     }
     // Kemmerer's method mixes every lane through the shared temporary.
@@ -83,7 +96,10 @@ fn full_aes_workload_statistics_match_the_paper_setting() {
     // the generated cipher is fully unrolled and sizable.
     let design = frontend(&aes128_vhdl()).unwrap();
     assert_eq!(design.processes.len(), 1);
-    assert!(design.max_label() > 50_000, "fully unrolled AES has tens of thousands of blocks");
+    assert!(
+        design.max_label() > 50_000,
+        "fully unrolled AES has tens of thousands of blocks"
+    );
     assert_eq!(design.input_signals().len(), 32);
     assert_eq!(design.output_signals().len(), 16);
 }

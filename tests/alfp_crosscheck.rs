@@ -14,10 +14,16 @@ fn assert_same_graph(
     alfp: &vhdl_infoflow::infoflow::FlowGraph,
 ) {
     for (f, t) in native.edges() {
-        assert!(alfp.has_edge_nodes(f, t), "edge {f} -> {t} missing from the ALFP model");
+        assert!(
+            alfp.has_edge_nodes(f, t),
+            "edge {f} -> {t} missing from the ALFP model"
+        );
     }
     for (f, t) in alfp.edges() {
-        assert!(native.has_edge_nodes(f, t), "edge {f} -> {t} only in the ALFP model");
+        assert!(
+            native.has_edge_nodes(f, t),
+            "edge {f} -> {t} only in the ALFP model"
+        );
     }
 }
 
@@ -39,7 +45,10 @@ fn kemmerer_encoding_agrees_with_the_native_baseline() {
     let native = result.kemmerer_flow_graph();
     let alfp = solve_kemmerer(&result).unwrap();
     for (f, t) in native.edges() {
-        assert!(alfp.has_edge_nodes(f, t), "edge {f} -> {t} missing from ALFP Kemmerer");
+        assert!(
+            alfp.has_edge_nodes(f, t),
+            "edge {f} -> {t} missing from ALFP Kemmerer"
+        );
     }
 }
 

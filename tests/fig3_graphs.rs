@@ -5,7 +5,10 @@ use bench::workloads::{design_of, program_a_src, program_b_src};
 use vhdl_infoflow::infoflow::{analyze_with, AnalysisOptions};
 
 fn base_sequential() -> AnalysisOptions {
-    AnalysisOptions { improved: false, ..AnalysisOptions::sequential_illustration() }
+    AnalysisOptions {
+        improved: false,
+        ..AnalysisOptions::sequential_illustration()
+    }
 }
 
 #[test]
@@ -52,7 +55,10 @@ fn rd_based_graph_is_always_a_subgraph_of_kemmerers() {
         let ours = result.base_flow_graph();
         let kemmerer = result.kemmerer_flow_graph();
         for (f, t) in ours.edges() {
-            assert!(kemmerer.has_edge_nodes(f, t), "soundness: {f} -> {t} missing in Kemmerer");
+            assert!(
+                kemmerer.has_edge_nodes(f, t),
+                "soundness: {f} -> {t} missing in Kemmerer"
+            );
         }
     }
 }

@@ -11,14 +11,24 @@ fn figure_4b_initial_value_of_b_is_not_observable_from_c() {
     let result = analyze_with(&design, &AnalysisOptions::sequential_illustration());
     let g = result.flow_graph();
     // The initial value of a flows into b and c.
-    assert!(g.reachable_from(&Node::incoming("a")).contains(&Node::res("b")));
-    assert!(g.reachable_from(&Node::incoming("a")).contains(&Node::res("c")));
+    assert!(g
+        .reachable_from(&Node::incoming("a"))
+        .contains(&Node::res("b")));
+    assert!(g
+        .reachable_from(&Node::incoming("a"))
+        .contains(&Node::res("c")));
     // The initial value of b is overwritten before any use: it reaches nothing.
-    assert!(!g.reachable_from(&Node::incoming("b")).contains(&Node::res("c")));
-    assert!(!g.reachable_from(&Node::incoming("b")).contains(&Node::outgoing("c")));
+    assert!(!g
+        .reachable_from(&Node::incoming("b"))
+        .contains(&Node::res("c")));
+    assert!(!g
+        .reachable_from(&Node::incoming("b"))
+        .contains(&Node::outgoing("c")));
     // The outgoing value of c depends on b's (new) value and a's initial one.
     assert!(g.has_edge_nodes(&Node::res("b"), &Node::outgoing("c")));
-    assert!(g.reachable_from(&Node::incoming("a")).contains(&Node::outgoing("c")));
+    assert!(g
+        .reachable_from(&Node::incoming("a"))
+        .contains(&Node::outgoing("c")));
 }
 
 #[test]
@@ -29,7 +39,10 @@ fn base_analysis_cannot_make_the_initial_value_distinction() {
     let design = design_of(&program_b_src());
     let result = analyze_with(
         &design,
-        &AnalysisOptions { improved: false, ..AnalysisOptions::sequential_illustration() },
+        &AnalysisOptions {
+            improved: false,
+            ..AnalysisOptions::sequential_illustration()
+        },
     );
     let g = result.flow_graph();
     assert!(g.nodes().all(|n| n.is_plain()));

@@ -7,12 +7,20 @@ use bench::fig5::{row_of, shift_rows_graphs, ShiftRowsGraphs};
 #[test]
 fn our_analysis_separates_the_three_rows_into_rotation_cycles() {
     let graphs = shift_rows_graphs();
-    assert_eq!(graphs.ours.node_count(), 12, "12 shifted-row bytes as in Figure 5");
+    assert_eq!(
+        graphs.ours.node_count(),
+        12,
+        "12 shifted-row bytes as in Figure 5"
+    );
     assert_eq!(graphs.ours.edge_count(), 12, "one rotation edge per byte");
     assert!(ShiftRowsGraphs::rows_are_separated(&graphs.ours));
     // Every byte has exactly one successor: the byte it is rotated into.
     for n in graphs.ours.nodes() {
-        assert_eq!(graphs.ours.successors(n).len(), 1, "byte {n} must have one successor");
+        assert_eq!(
+            graphs.ours.successors(n).len(),
+            1,
+            "byte {n} must have one successor"
+        );
         assert_eq!(graphs.ours.predecessors(n).len(), 1);
     }
     // Row r is rotated by r positions: a_r_c receives from a_r_{(c+r) mod 4}.
@@ -20,7 +28,10 @@ fn our_analysis_separates_the_three_rows_into_rotation_cycles() {
         for col in 0..4usize {
             let from = format!("a_{row}_{}", (col + row) % 4);
             let to = format!("a_{row}_{col}");
-            assert!(graphs.ours.has_edge(&from, &to), "missing rotation edge {from} -> {to}");
+            assert!(
+                graphs.ours.has_edge(&from, &to),
+                "missing rotation edge {from} -> {to}"
+            );
         }
     }
 }
@@ -58,6 +69,10 @@ fn row_zero_passes_through_unchanged() {
     // with a cross-column edge.
     let graphs = shift_rows_graphs();
     for n in graphs.ours.nodes() {
-        assert_ne!(row_of(n.name()), Some(0), "row 0 is excluded from the Figure 5 view");
+        assert_ne!(
+            row_of(n.name()),
+            Some(0),
+            "row 0 is excluded from the Figure 5 view"
+        );
     }
 }

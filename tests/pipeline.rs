@@ -39,7 +39,9 @@ fn end_to_end_no_flow_from_unused_secret() {
     let graph = result.flow_graph().merge_io_nodes();
     assert!(graph.has_edge("public", "output"));
     assert!(!graph.has_edge("secret", "output"), "secret is never read");
-    let policy = Policy::new().with_level("secret", 1).with_level("output", 0);
+    let policy = Policy::new()
+        .with_level("secret", 1)
+        .with_level("output", 0);
     assert!(audit(&graph, &policy).is_secure());
 }
 
@@ -67,7 +69,8 @@ fn rd_and_analysis_are_deterministic() {
 /// Strategy generating small straight-line variable programs over a, b, c, d.
 fn arb_program() -> impl Strategy<Value = String> {
     let vars = ["a", "b", "c", "d"];
-    let stmt = (0usize..4, 0usize..4).prop_map(move |(t, s)| format!("{} := {};", vars[t], vars[s]));
+    let stmt =
+        (0usize..4, 0usize..4).prop_map(move |(t, s)| format!("{} := {};", vars[t], vars[s]));
     proptest::collection::vec(stmt, 1..8).prop_map(|stmts| {
         format!(
             "entity e is port(clk : in std_logic); end e;

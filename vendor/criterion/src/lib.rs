@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate provides
+//! the subset of criterion's API the benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!` — backed by a simple wall-clock
+//! sampler.  Each benchmark is warmed up, then timed for `sample_size`
+//! samples of an automatically chosen iteration count; the median, mean and
+//! minimum per-iteration times are printed in a stable, greppable format:
+//!
+//! ```text
+//! group/name              median   12.345 µs   mean   12.400 µs   min   12.100 µs
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to the `criterion_group!` benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; CLI filtering is not
+    /// supported by the stand-in, so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier for a parameterised benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Runs a benchmark closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into().0;
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion helper so `bench_function` accepts both `&str` and
+/// [`BenchmarkId`] like the real criterion does.
+#[derive(Debug)]
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.id)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_size` samples of an iteration count
+    /// chosen so each sample runs for roughly 10 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration estimate.
+        let start = Instant::now();
+        black_box(f());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(10).as_nanos() / estimate.as_nanos()).clamp(1, 100_000) as usize;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters as u32);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id:<30} (no samples collected)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        println!(
+            "{}/{:<40} median {:>12}   mean {:>12}   min {:>12}",
+            group,
+            id,
+            format_duration(median),
+            format_duration(mean),
+            format_duration(min)
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render_like_criterion() {
+        let id: BenchId = BenchmarkId::new("solve", 64).into();
+        assert_eq!(id.0, "solve/64");
+        let id: BenchId = "plain".into();
+        assert_eq!(id.0, "plain");
+    }
+
+    #[test]
+    fn sampler_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("self_test");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

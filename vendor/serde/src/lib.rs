@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Provides just enough surface for `use serde::{Deserialize, Serialize}`
+//! plus the derive macros to compile: the traits are empty markers and the
+//! derives expand to nothing (see `serde_derive`).  The workspace never
+//! serialises data; the derives document intent and keep the door open for
+//! the real crates.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace builds in a hermetic environment without access to
+//! crates.io, and nothing in it actually serialises data — the
+//! `#[derive(Serialize, Deserialize)]` attributes on the analysis types only
+//! exist so downstream users *could* plug in real serde.  These derives
+//! therefore expand to nothing; swapping in the real crates later is a
+//! one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
