@@ -4,7 +4,7 @@
 //! implementation, which is not publicly distributed.  This crate provides an
 //! equivalent workload:
 //!
-//! * [`reference`] — a from-scratch Rust AES-128 (FIPS-197) used as the
+//! * [`mod@reference`] — a from-scratch Rust AES-128 (FIPS-197) used as the
 //!   validation oracle;
 //! * [`vhdl`] — generators emitting VHDL1 source for SubBytes, ShiftRows
 //!   (the Figure 5 workload), MixColumns, AddRoundKey, a full round and the

@@ -485,6 +485,33 @@ impl PartialEq for Model {
 impl Eq for Model {}
 
 /// A Datalog/ALFP clause program.
+///
+/// # Examples
+///
+/// Facts are asserted with [`Program::fact`], rules built with
+/// [`Program::rule`], and [`Program::solve`] computes the least model:
+///
+/// ```
+/// use alfp_solver::{Program, Term};
+///
+/// let mut p = Program::new();
+/// p.fact("person", vec![Term::cst("ada")]);
+/// p.fact("person", vec![Term::cst("byron")]);
+/// p.fact("parent", vec![Term::cst("ada"), Term::cst("byron")]);
+/// // has_parent(X) :- parent(Y, X).
+/// p.rule("has_parent", vec![Term::var("X")])
+///     .pos("parent", vec![Term::var("Y"), Term::var("X")])
+///     .build();
+/// // Stratified negation: root(X) :- person(X), !has_parent(X).
+/// p.rule("root", vec![Term::var("X")])
+///     .pos("person", vec![Term::var("X")])
+///     .neg("has_parent", vec![Term::var("X")])
+///     .build();
+/// let model = p.solve()?;
+/// assert!(model.contains("root", &["ada"]));
+/// assert!(!model.contains("root", &["byron"]));
+/// # Ok::<(), alfp_solver::SolveError>(())
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Program {
     interner: Interner,

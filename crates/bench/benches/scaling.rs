@@ -4,6 +4,7 @@
 //! practice.  This bench sweeps synthetic program families (assignment
 //! chains and process pipelines) and reports the measured analysis times.
 
+use aes_vhdl::vhdl::sub_bytes_vhdl;
 use bench::workloads::{chain_src, chain_tc_program, design_of, pipeline_src};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -69,6 +70,40 @@ fn alfp_series() {
             workload: "encoded_closure_chain",
             size: n,
             tuples: edges,
+            median_ns: median.as_nanos(),
+        });
+    }
+
+    // Dense Reaching Definitions (Tables 4 and 5 on interned bitset rows):
+    // the AES SubBytes family is the label-count stress test (two 256-way
+    // sbox chains through one shared temporary), the chain family the
+    // breadth test.  `tuples` records the label count of the design.
+    println!("  dense Reaching Definitions (interned bitset rows):");
+    for n in [1usize, 2] {
+        let design = design_of(&sub_bytes_vhdl(n));
+        let (rd, median) = measure(5, || {
+            ReachingDefinitions::compute(&design, &RdOptions::default())
+        });
+        let labels = rd.cfg.labels().len();
+        println!("    sub_bytes({n}) labels={labels:<5} median={median:?}");
+        points.push(BenchPoint {
+            workload: "rd_dense",
+            size: n,
+            tuples: labels,
+            median_ns: median.as_nanos(),
+        });
+    }
+    for n in [40usize, 160] {
+        let design = design_of(&chain_src(n));
+        let (rd, median) = measure(5, || {
+            ReachingDefinitions::compute(&design, &RdOptions::default())
+        });
+        let labels = rd.cfg.labels().len();
+        println!("    chain({n})    labels={labels:<5} median={median:?}");
+        points.push(BenchPoint {
+            workload: "rd_dense_chain",
+            size: n,
+            tuples: labels,
             median_ns: median.as_nanos(),
         });
     }

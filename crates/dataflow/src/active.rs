@@ -10,7 +10,7 @@
 //!   every pending assignment of the process.
 
 use crate::cfg::DesignCfg;
-use crate::framework::{solve, Combine, Equations, Solution};
+use crate::framework::{Combine, DenseEquations, Solution};
 use crate::RdOptions;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -34,38 +34,25 @@ impl ActiveRd {
     /// Signals that *may* be active at the entry of label `l`
     /// (`fst(RD∪ϕentry(l))`).
     pub fn may_be_active_at(&self, l: Label) -> BTreeSet<Ident> {
-        self.over.entry_of(l).into_iter().map(|(s, _)| s).collect()
+        self.over.entry_iter(l).map(|(s, _)| s.clone()).collect()
     }
 
     /// Signals that *must* be active at the entry of label `l`
     /// (`fst(RD∩ϕentry(l))`).
     pub fn must_be_active_at(&self, l: Label) -> BTreeSet<Ident> {
-        self.under.entry_of(l).into_iter().map(|(s, _)| s).collect()
+        self.under.entry_iter(l).map(|(s, _)| s.clone()).collect()
     }
 }
 
 /// Runs the active-signal Reaching Definitions analysis (both approximations)
 /// on every process of `design`.
 pub fn active_signals_rd(design: &Design, cfg: &DesignCfg, options: &RdOptions) -> ActiveRd {
-    let over = solve(&build_equations(design, cfg, options, Combine::Union));
+    let over = build_equations(design, cfg, options, Combine::Union).solve();
     let under = if options.use_under_approximation {
-        solve(&build_equations(
-            design,
-            cfg,
-            options,
-            Combine::IntersectDotted,
-        ))
+        build_equations(design, cfg, options, Combine::IntersectDotted).solve()
     } else {
         // Ablation: pretend nothing is ever guaranteed to be active.
-        let mut labels_only = Solution {
-            entry: BTreeMap::new(),
-            exit: BTreeMap::new(),
-        };
-        for l in cfg.labels() {
-            labels_only.entry.insert(l, BTreeSet::new());
-            labels_only.exit.insert(l, BTreeSet::new());
-        }
-        labels_only
+        Solution::empty_for(cfg.labels())
     };
     ActiveRd { over, under }
 }
@@ -75,45 +62,52 @@ fn build_equations(
     cfg: &DesignCfg,
     options: &RdOptions,
     combine: Combine,
-) -> Equations<SigDef> {
-    let mut eq = Equations {
-        combine,
-        ..Default::default()
-    };
+) -> DenseEquations<SigDef> {
+    let mut eq: DenseEquations<SigDef> = DenseEquations::new(combine);
     for pcfg in &cfg.processes {
-        let pidx = pcfg.process;
         let with_loop = options.process_repeats;
-        // All signal-assignment pairs of this process, used by the wait kill.
-        let mut all_assignments: BTreeSet<SigDef> = BTreeSet::new();
-        for s in cfg.signals_assigned_in(pidx) {
-            for l in cfg.signal_assign_labels(pidx, &s) {
-                all_assignments.insert((s.clone(), l));
+
+        // Intern every signal-assignment pair of the process once; the
+        // per-signal lists drive the assignment kills, the flat list the
+        // wait kill.
+        let mut per_signal: BTreeMap<&Ident, Vec<(Label, u32)>> = BTreeMap::new();
+        for (l, block) in &pcfg.blocks {
+            if let Some(s) = block.kind.assigned_signal() {
+                let id = eq.intern((s.clone(), *l));
+                per_signal.entry(s).or_default().push((*l, id));
             }
         }
+        let all_assignments: Vec<u32> = per_signal
+            .values()
+            .flat_map(|defs| defs.iter().map(|&(_, id)| id))
+            .collect();
+
+        let mut preds = pcfg.predecessor_map(with_loop);
         for (l, block) in &pcfg.blocks {
-            eq.labels.push(*l);
-            eq.preds.insert(*l, pcfg.predecessors(*l, with_loop));
-            let (kill, gen) = match &block.kind {
+            let row = eq.add_label(*l, preds.remove(l).unwrap_or_default());
+            match &block.kind {
                 crate::cfg::BlockKind::SignalAssign { target, .. } => {
-                    let kill: BTreeSet<SigDef> = cfg
-                        .signal_assign_labels(pidx, &target.name)
-                        .into_iter()
-                        .map(|l2| (target.name.clone(), l2))
-                        .collect();
-                    let gen = BTreeSet::from([(target.name.clone(), *l)]);
-                    (kill, gen)
+                    let defs = &per_signal[&target.name];
+                    for &(_, id) in defs {
+                        eq.push_kill(row, id);
+                    }
+                    let own = defs
+                        .iter()
+                        .find(|(l2, _)| l2 == l)
+                        .expect("own assignment is in the per-signal list")
+                        .1;
+                    eq.push_gen(row, own);
                 }
-                crate::cfg::BlockKind::Wait { .. } => (all_assignments.clone(), BTreeSet::new()),
-                _ => (BTreeSet::new(), BTreeSet::new()),
-            };
-            eq.kill.insert(*l, kill);
-            eq.gen.insert(*l, gen);
+                crate::cfg::BlockKind::Wait { .. } => eq.extend_kill(row, &all_assignments),
+                _ => {}
+            }
         }
         // The under-approximation treats the initial label as isolated: on the
         // very first entry nothing is guaranteed to be active, and the dotted
         // intersection with that empty path keeps it empty forever.
         if combine == Combine::IntersectDotted {
-            eq.forced_entry.insert(pcfg.init, BTreeSet::new());
+            let init_row = eq.row_of(pcfg.init).expect("init label was added");
+            eq.force_entry(init_row);
         }
         let _ = design; // the design is only needed for documentation symmetry
     }

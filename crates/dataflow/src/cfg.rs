@@ -118,11 +118,49 @@ impl ProcessCfg {
 
     /// Predecessors of `l` under the chosen edge set.
     pub fn predecessors(&self, l: Label, with_loop: bool) -> Vec<Label> {
-        self.edges(with_loop)
+        let mut out: Vec<Label> = self
+            .flow
             .iter()
             .filter(|(_, t)| *t == l)
             .map(|(f, _)| *f)
-            .collect()
+            .collect();
+        if with_loop {
+            out.extend(
+                self.loop_back
+                    .iter()
+                    .filter(|(_, t)| *t == l)
+                    .map(|(f, _)| *f),
+            );
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Predecessor lists of every label of the process, computed in one pass
+    /// over the edge sets.  Equivalent to calling [`ProcessCfg::predecessors`]
+    /// per label, without the per-call edge scan.
+    pub fn predecessor_map(&self, with_loop: bool) -> BTreeMap<Label, Vec<Label>> {
+        let mut out: BTreeMap<Label, Vec<Label>> =
+            self.blocks.keys().map(|l| (*l, Vec::new())).collect();
+        let mut insert = |f: Label, t: Label| {
+            if let Some(ps) = out.get_mut(&t) {
+                ps.push(f);
+            }
+        };
+        for &(f, t) in &self.flow {
+            insert(f, t);
+        }
+        if with_loop {
+            for &(f, t) in &self.loop_back {
+                insert(f, t);
+            }
+        }
+        for ps in out.values_mut() {
+            ps.sort_unstable();
+            ps.dedup();
+        }
+        out
     }
 
     /// Labels of the process in ascending order.
@@ -465,6 +503,20 @@ mod tests {
             cfg.signals_assigned_in(0),
             BTreeSet::from(["t".to_string()])
         );
+    }
+
+    #[test]
+    fn predecessor_map_matches_per_label_queries() {
+        let d = design("if a = '1' then x := '1'; else y := '0'; end if; wait on a;");
+        let cfg = DesignCfg::build(&d);
+        let p = &cfg.processes[0];
+        for with_loop in [false, true] {
+            let map = p.predecessor_map(with_loop);
+            assert_eq!(map.len(), p.blocks.len());
+            for (&l, preds) in &map {
+                assert_eq!(preds, &p.predecessors(l, with_loop), "label {l}");
+            }
+        }
     }
 
     #[test]

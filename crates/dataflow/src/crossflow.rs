@@ -10,9 +10,10 @@
 //! * can two labels be part of the *same* synchronisation?
 //! * iterate over the wait labels of every other process.
 
+use crate::active::ActiveRd;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use vhdl1_syntax::{Design, Label};
+use std::collections::{BTreeMap, BTreeSet};
+use vhdl1_syntax::{Design, Ident, Label};
 
 /// The cross-flow relation of a design.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -110,9 +111,85 @@ impl CrossFlow {
     }
 }
 
+/// Per-process summaries of the active-signal analysis over the cross-flow
+/// relation, precomputed once so the Table-5 wait transfer functions do not
+/// re-aggregate other processes' wait labels per label.
+///
+/// For every process `j` the summary holds
+///
+/// * `may[j]  = ⋃_{l ∈ WS_j} fst(RD∪ϕentry(l))` — signals that may be active
+///   at *some* wait of `j`, and
+/// * `must[j] = ⋂_{l ∈ WS_j} fst(RD∩ϕentry(l))` — signals guaranteed active
+///   at *every* wait of `j`,
+///
+/// which is exactly the per-process contribution of the synchronisation
+/// side conditions of Table 5 (`cf` quantifies over every wait of every
+/// other process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncSummary {
+    may: Vec<BTreeSet<Ident>>,
+    must: Vec<BTreeSet<Ident>>,
+}
+
+impl SyncSummary {
+    /// Builds the per-process summaries from the cross-flow relation and the
+    /// active-signal Reaching Definitions.
+    pub fn build(cross: &CrossFlow, active: &ActiveRd) -> SyncSummary {
+        let mut may = Vec::with_capacity(cross.wait_labels.len());
+        let mut must = Vec::with_capacity(cross.wait_labels.len());
+        for waits in &cross.wait_labels {
+            let mut may_j: BTreeSet<Ident> = BTreeSet::new();
+            for &l in waits {
+                may_j.extend(active.may_be_active_at(l));
+            }
+            may.push(may_j);
+            let mut iter = waits.iter();
+            let must_j = match iter.next() {
+                None => BTreeSet::new(),
+                Some(&first) => {
+                    let mut acc = active.must_be_active_at(first);
+                    for &l in iter {
+                        let other = active.must_be_active_at(l);
+                        acc.retain(|s| other.contains(s));
+                    }
+                    acc
+                }
+            };
+            must.push(must_j);
+        }
+        SyncSummary { may, must }
+    }
+
+    /// Signals that may be active at some wait of some process other than
+    /// `pidx`.
+    pub fn may_elsewhere(&self, pidx: usize) -> BTreeSet<Ident> {
+        self.union_excluding(&self.may, pidx)
+    }
+
+    /// Signals guaranteed active at every wait of some process other than
+    /// `pidx` (the union over other processes of their per-process
+    /// intersections).
+    pub fn must_elsewhere(&self, pidx: usize) -> BTreeSet<Ident> {
+        self.union_excluding(&self.must, pidx)
+    }
+
+    fn union_excluding(&self, sets: &[BTreeSet<Ident>], pidx: usize) -> BTreeSet<Ident> {
+        let mut out = BTreeSet::new();
+        for (j, set) in sets.iter().enumerate() {
+            if j != pidx {
+                out.extend(set.iter().cloned());
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::active::active_signals_rd;
+    use crate::cfg::DesignCfg;
+    use crate::RdOptions;
     use vhdl1_syntax::frontend;
 
     fn two_process_design() -> Design {
@@ -175,5 +252,31 @@ mod tests {
         let others: Vec<(usize, Label)> = cf.other_wait_labels(0).collect();
         assert_eq!(others.len(), 1);
         assert_eq!(others[0].0, 1);
+    }
+
+    #[test]
+    fn sync_summary_aggregates_per_process() {
+        let d = two_process_design();
+        let cf = CrossFlow::build(&d);
+        let cfg = DesignCfg::build(&d);
+        let active = active_signals_rd(&d, &cfg, &RdOptions::default());
+        let summary = SyncSummary::build(&cf, &active);
+        // p1 assigns t before each wait: t may be active at p1's waits, so
+        // p2's view of "elsewhere" includes t.
+        assert!(summary.may_elsewhere(1).contains("t"));
+        // p1's own waits are excluded from its "elsewhere" view; only p2's
+        // wait counts, and p2 assigns b (an out port).
+        assert!(!summary.may_elsewhere(0).contains("t"));
+        assert!(summary.may_elsewhere(0).contains("b"));
+        // must_elsewhere matches the per-label aggregation done longhand.
+        let mut expected = BTreeSet::new();
+        let mut iter = cf.wait_labels[0].iter();
+        let mut acc = active.must_be_active_at(*iter.next().unwrap());
+        for l in iter {
+            let other = active.must_be_active_at(*l);
+            acc.retain(|s| other.contains(s));
+        }
+        expected.extend(acc);
+        assert_eq!(summary.must_elsewhere(1), expected);
     }
 }

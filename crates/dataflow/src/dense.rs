@@ -1,0 +1,231 @@
+//! Interned dense fact representation for the monotone-framework solver.
+//!
+//! The Reaching Definitions analyses of the paper work over powersets of
+//! small, heavily shared facts — `(name, label)` and `(name, definition)`
+//! pairs.  Manipulating those powersets as `BTreeSet`s of owned pairs makes
+//! every transfer function allocate and compare strings.  This module
+//! provides the two ingredients of the dense alternative:
+//!
+//! * a [`FactInterner`] mapping each distinct fact to a dense `u32` id, and
+//! * a [`BitMatrix`] holding one fixed-width bitset row of fact ids per
+//!   label, so transfer functions become word-wise `and`/`or`/`and-not`
+//!   operations over `u64` words.
+//!
+//! The solver in [`crate::framework`] builds on both; decoding back to the
+//! `BTreeSet`-facing API happens lazily at the [`crate::framework::Solution`]
+//! layer.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Maps facts to dense `u32` ids and back.
+///
+/// Interning is append-only: ids are handed out in first-seen order and stay
+/// stable for the lifetime of the interner, so a bitset row built against an
+/// interner can always be decoded through [`FactInterner::resolve`].
+#[derive(Debug, Clone, Default)]
+pub struct FactInterner<F> {
+    facts: Vec<F>,
+    index: HashMap<F, u32>,
+}
+
+impl<F: Eq + Hash + Clone> FactInterner<F> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        FactInterner {
+            facts: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Interns `fact`, returning its id (allocating a fresh id on first
+    /// sight).
+    pub fn intern(&mut self, fact: F) -> u32 {
+        if let Some(&id) = self.index.get(&fact) {
+            return id;
+        }
+        let id = self.facts.len() as u32;
+        self.facts.push(fact.clone());
+        self.index.insert(fact, id);
+        id
+    }
+
+    /// Interns by reference, cloning `fact` only when it has not been seen
+    /// before.
+    pub fn intern_ref(&mut self, fact: &F) -> u32 {
+        if let Some(&id) = self.index.get(fact) {
+            return id;
+        }
+        let id = self.facts.len() as u32;
+        self.facts.push(fact.clone());
+        self.index.insert(fact.clone(), id);
+        id
+    }
+
+    /// The id of `fact`, if it has been interned.
+    pub fn lookup(&self, fact: &F) -> Option<u32> {
+        self.index.get(fact).copied()
+    }
+
+    /// The fact behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &F {
+        &self.facts[id as usize]
+    }
+
+    /// Number of distinct facts interned so far.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether no fact has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Consumes the interner, returning the fact table in id order.
+    pub fn into_facts(self) -> Vec<F> {
+        self.facts
+    }
+}
+
+/// Number of `u64` words needed to hold `nbits` bits.
+pub(crate) fn words_for(nbits: usize) -> usize {
+    nbits.div_ceil(64)
+}
+
+/// A rectangular bit matrix: one fixed-width row of `u64` words per label.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitMatrix {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix with `rows` rows of `words` words each.
+    pub fn zeroed(rows: usize, words: usize) -> BitMatrix {
+        BitMatrix {
+            words,
+            bits: vec![0; rows * words],
+        }
+    }
+
+    /// Row width in words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Borrowed row `r`.
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.bits[r * self.words..(r + 1) * self.words]
+    }
+
+    /// Mutably borrowed row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [u64] {
+        &mut self.bits[r * self.words..(r + 1) * self.words]
+    }
+
+    /// Sets bit `bit` of row `r`.
+    pub fn set(&mut self, r: usize, bit: u32) {
+        self.bits[r * self.words + (bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+
+    /// Whether bit `bit` of row `r` is set.
+    pub fn contains(&self, r: usize, bit: u32) -> bool {
+        self.bits[r * self.words + (bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Number of set bits in row `r`.
+    pub fn count_row(&self, r: usize) -> usize {
+        self.row(r).iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Iterates the indices of the set bits of a bitset row, in increasing
+/// order.
+pub fn iter_ones(row: &[u64]) -> OnesIter<'_> {
+    OnesIter {
+        row,
+        word_idx: 0,
+        current: row.first().copied().unwrap_or(0),
+    }
+}
+
+/// Iterator over the set bits of a bitset row (see [`iter_ones`]).
+#[derive(Debug, Clone)]
+pub struct OnesIter<'a> {
+    row: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.row.len() {
+                return None;
+            }
+            self.current = self.row[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.word_idx as u32 * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_round_trips() {
+        let mut i: FactInterner<(&str, u32)> = FactInterner::new();
+        let a = i.intern(("x", 1));
+        let b = i.intern(("y", 2));
+        assert_eq!(i.intern(("x", 1)), a);
+        assert_eq!(i.intern_ref(&("y", 2)), b);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), &("x", 1));
+        assert_eq!(i.lookup(&("y", 2)), Some(b));
+        assert_eq!(i.lookup(&("z", 3)), None);
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+        assert_eq!(i.into_facts(), vec![("x", 1), ("y", 2)]);
+    }
+
+    #[test]
+    fn bit_matrix_set_and_query() {
+        let mut m = BitMatrix::zeroed(2, 2);
+        m.set(0, 3);
+        m.set(0, 64);
+        m.set(1, 127);
+        assert!(m.contains(0, 3));
+        assert!(m.contains(0, 64));
+        assert!(!m.contains(0, 127));
+        assert!(m.contains(1, 127));
+        assert_eq!(m.count_row(0), 2);
+        assert_eq!(m.count_row(1), 1);
+        assert_eq!(iter_ones(m.row(0)).collect::<Vec<_>>(), vec![3, 64]);
+        assert_eq!(iter_ones(m.row(1)).collect::<Vec<_>>(), vec![127]);
+    }
+
+    #[test]
+    fn empty_rows_iterate_nothing() {
+        let m = BitMatrix::zeroed(1, 3);
+        assert_eq!(iter_ones(m.row(0)).count(), 0);
+        assert_eq!(iter_ones(&[]).count(), 0);
+    }
+
+    #[test]
+    fn words_for_rounds_up() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+    }
+}

@@ -3,7 +3,7 @@
 //! This crate implements Section 4 of *Information Flow Analysis for VHDL*
 //! (Tolstrup, Nielson & Nielson, PaCT 2005):
 //!
-//! * control-flow graphs of process bodies ([`cfg`]),
+//! * control-flow graphs of process bodies ([`mod@cfg`]),
 //! * the cross-flow relation `cf` over synchronisation points ([`crossflow`]),
 //! * a generic monotone-framework solver ([`framework`]),
 //! * the Reaching Definitions analysis for **active** signal values with its
@@ -30,13 +30,17 @@
 pub mod active;
 pub mod cfg;
 pub mod crossflow;
+pub mod dense;
 pub mod framework;
 pub mod present;
+#[cfg(any(test, feature = "setref"))]
+pub mod setref;
 
 pub use active::{active_signals_rd, ActiveRd, SigDef};
 pub use cfg::{BasicBlock, BlockKind, DesignCfg, ProcessCfg};
-pub use crossflow::CrossFlow;
-pub use framework::{solve, Combine, Equations, Solution};
+pub use crossflow::{CrossFlow, SyncSummary};
+pub use dense::FactInterner;
+pub use framework::{solve, Combine, DenseEquations, Equations, Solution};
 pub use present::{present_rd, Def, PresentRd, ResDef};
 
 use serde::{Deserialize, Serialize};

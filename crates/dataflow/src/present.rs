@@ -16,11 +16,11 @@
 
 use crate::active::ActiveRd;
 use crate::cfg::{BlockKind, DesignCfg};
-use crate::crossflow::CrossFlow;
-use crate::framework::{solve, Combine, Equations, Solution};
+use crate::crossflow::{CrossFlow, SyncSummary};
+use crate::framework::{Combine, DenseEquations, Solution};
 use crate::RdOptions;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use vhdl1_syntax::{Design, Ident, Label};
 
 /// Where a resource obtained its current value.
@@ -55,23 +55,28 @@ pub struct PresentRd {
 impl PresentRd {
     /// Definitions of `n` reaching the entry of `l`.
     pub fn definitions_reaching(&self, l: Label, n: &str) -> BTreeSet<Def> {
-        self.entry_ref(l)
-            .into_iter()
-            .flatten()
+        self.entry_iter(l)
             .filter(|(name, _)| name == n)
             .map(|(_, d)| *d)
             .collect()
     }
 
-    /// The full entry set at `l`.  Prefer [`PresentRd::entry_ref`] on hot
-    /// paths: this accessor clones the set.
+    /// The full entry set at `l`.  Prefer [`PresentRd::entry_ref`] or
+    /// [`PresentRd::entry_iter`] on hot paths: this accessor clones the set.
     pub fn entry_of(&self, l: Label) -> BTreeSet<ResDef> {
         self.solution.entry_of(l)
     }
 
-    /// Borrowed entry set at `l`, or `None` if the label is unknown.
+    /// Borrowed entry set at `l`, or `None` if the label is unknown.  The
+    /// underlying dense row is decoded on first access and memoised.
     pub fn entry_ref(&self, l: Label) -> Option<&BTreeSet<ResDef>> {
         self.solution.entry_ref(l)
+    }
+
+    /// Iterates the definitions reaching the entry of `l` without
+    /// materialising a set (empty if the label is unknown).
+    pub fn entry_iter(&self, l: Label) -> impl Iterator<Item = &ResDef> + '_ {
+        self.solution.entry_iter(l)
     }
 }
 
@@ -83,100 +88,98 @@ pub fn present_rd(
     active: &ActiveRd,
     options: &RdOptions,
 ) -> PresentRd {
-    let mut eq: Equations<ResDef> = Equations {
-        combine: Combine::Union,
-        ..Default::default()
-    };
+    let mut eq: DenseEquations<ResDef> = DenseEquations::new(Combine::Union);
+    // Per-process aggregates of the active-signal analysis over `cf`,
+    // computed once instead of per wait label.
+    let sync = SyncSummary::build(cross, active);
 
     for pcfg in &cfg.processes {
         let pidx = pcfg.process;
         let with_loop = options.process_repeats;
         let own_wait_labels: Vec<Label> = pcfg.wait_labels();
 
+        // Intern the kill universe of every assigned variable once: the
+        // initial-value marker plus one definition per assigning label.
+        // Each assignment's kill set is then a precomputed id list instead
+        // of a fresh set of owned `(name, def)` pairs.
+        let mut var_defs: BTreeMap<&Ident, Vec<u32>> = BTreeMap::new();
+        let mut var_def_at: BTreeMap<(&Ident, Label), u32> = BTreeMap::new();
         for (l, block) in &pcfg.blocks {
-            eq.labels.push(*l);
-            eq.preds.insert(*l, pcfg.predecessors(*l, with_loop));
+            if let Some(x) = block.kind.assigned_variable() {
+                let id = eq.intern((x.clone(), Def::At(*l)));
+                var_defs
+                    .entry(x)
+                    .or_insert_with(|| Vec::from([eq.intern((x.clone(), Def::Init))]))
+                    .push(id);
+                var_def_at.insert((x, *l), id);
+            }
+        }
 
-            let (kill, gen) = match &block.kind {
+        // Signals that may/must be active in a synchronisation this process
+        // participates in, short of the per-wait-label own contribution.
+        let may_elsewhere = sync.may_elsewhere(pidx);
+        let must_elsewhere = sync.must_elsewhere(pidx);
+
+        let mut preds = pcfg.predecessor_map(with_loop);
+        for (l, block) in &pcfg.blocks {
+            let row = eq.add_label(*l, preds.remove(l).unwrap_or_default());
+            match &block.kind {
                 BlockKind::VarAssign { target, .. } => {
-                    let mut kill: BTreeSet<ResDef> =
-                        BTreeSet::from([(target.name.clone(), Def::Init)]);
-                    for l2 in cfg.variable_assign_labels(pidx, &target.name) {
-                        kill.insert((target.name.clone(), Def::At(l2)));
-                    }
-                    let gen = BTreeSet::from([(target.name.clone(), Def::At(*l))]);
-                    (kill, gen)
+                    eq.extend_kill(row, &var_defs[&target.name]);
+                    eq.push_gen(row, var_def_at[&(&target.name, *l)]);
                 }
-                BlockKind::Wait { .. } => {
-                    if !cross.is_nonempty() {
-                        // No synchronisation tuple exists.
-                        (BTreeSet::new(), BTreeSet::new())
-                    } else {
-                        // Signals that MAY be active in any participating
-                        // process: own wait entry plus every wait of every
-                        // other process (the union over cf distributes).
-                        let mut may_active: BTreeSet<Ident> = active.may_be_active_at(*l);
-                        for (_, lj) in cross.other_wait_labels(pidx) {
-                            may_active.extend(active.may_be_active_at(lj));
-                        }
-                        // Signals that MUST be active in some participating
-                        // process for every synchronisation tuple: own wait
-                        // entry, plus (per other process) the intersection
-                        // over that process's wait labels.
-                        let mut must_active: BTreeSet<Ident> = active.must_be_active_at(*l);
-                        for (j, _) in cross.other_wait_labels(pidx) {
-                            // visit each other process once
-                            if cross.wait_labels[j].is_empty() {
-                                continue;
-                            }
-                            let mut iter = cross.wait_labels[j].iter();
-                            let mut acc = active.must_be_active_at(*iter.next().unwrap());
-                            for lj in iter {
-                                let other = active.must_be_active_at(*lj);
-                                acc = acc.intersection(&other).cloned().collect();
-                            }
-                            must_active.extend(acc);
-                        }
+                BlockKind::Wait { .. } if cross.is_nonempty() => {
+                    // Signals that MAY be active in any participating
+                    // process: own wait entry plus every wait of every
+                    // other process (the union over cf distributes).
+                    let mut may_active: BTreeSet<Ident> = active.may_be_active_at(*l);
+                    may_active.extend(may_elsewhere.iter().cloned());
+                    // Signals that MUST be active in some participating
+                    // process for every synchronisation tuple: own wait
+                    // entry, plus (per other process) the intersection
+                    // over that process's wait labels.
+                    let mut must_active: BTreeSet<Ident> = active.must_be_active_at(*l);
+                    must_active.extend(must_elsewhere.iter().cloned());
 
-                        // kill = must_active × WS(ss_i): present-value
-                        // definitions made at this process's wait statements
-                        // are overwritten when the signal is guaranteed to be
-                        // re-synchronised.
-                        let mut kill: BTreeSet<ResDef> = BTreeSet::new();
-                        for s in &must_active {
-                            for lw in &own_wait_labels {
-                                kill.insert((s.clone(), Def::At(*lw)));
-                            }
-                            if options.kill_initial_at_wait {
-                                kill.insert((s.clone(), Def::Init));
-                            }
+                    // kill = must_active × WS(ss_i): present-value
+                    // definitions made at this process's wait statements
+                    // are overwritten when the signal is guaranteed to be
+                    // re-synchronised.
+                    for s in &must_active {
+                        for lw in &own_wait_labels {
+                            let id = eq.intern((s.clone(), Def::At(*lw)));
+                            eq.push_kill(row, id);
                         }
-                        // gen = may_active × {l}.
-                        let gen: BTreeSet<ResDef> =
-                            may_active.into_iter().map(|s| (s, Def::At(*l))).collect();
-                        (kill, gen)
+                        if options.kill_initial_at_wait {
+                            let id = eq.intern((s.clone(), Def::Init));
+                            eq.push_kill(row, id);
+                        }
+                    }
+                    // gen = may_active × {l}.
+                    for s in may_active {
+                        let id = eq.intern((s, Def::At(*l)));
+                        eq.push_gen(row, id);
                     }
                 }
-                _ => (BTreeSet::new(), BTreeSet::new()),
-            };
-            eq.kill.insert(*l, kill);
-            eq.gen.insert(*l, gen);
+                _ => {}
+            }
         }
 
         // ι at the initial label: every free variable and signal of the
         // process may still hold its initial value.
-        let mut iota: BTreeSet<ResDef> = BTreeSet::new();
+        let init_row = eq.row_of(pcfg.init).expect("init label was added");
         for x in design.process_free_vars(pidx) {
-            iota.insert((x, Def::Init));
+            let id = eq.intern((x, Def::Init));
+            eq.push_iota(init_row, id);
         }
         for s in design.process_free_signals(pidx) {
-            iota.insert((s, Def::Init));
+            let id = eq.intern((s, Def::Init));
+            eq.push_iota(init_row, id);
         }
-        eq.iota.insert(pcfg.init, iota);
     }
 
     PresentRd {
-        solution: solve(&eq),
+        solution: eq.solve(),
     }
 }
 

@@ -1,0 +1,241 @@
+//! Reference set-based solver — the differential-testing oracle for the
+//! dense engine of [`crate::framework`].
+//!
+//! This is the original `BTreeSet`/`HashSet` worklist solver the dense
+//! engine replaced, preserved verbatim in behaviour: [`solve_sets`] computes
+//! the same least solution as [`crate::framework::solve`], but returns plain
+//! ordered maps.  It is compiled for tests and behind the `setref` feature,
+//! so external users can cross-check the dense solver too; the property
+//! tests at the bottom of this module compare both engines on randomized
+//! equation systems (both [`Combine`] operators, forced entries, unknown
+//! predecessors, cycles).
+
+use crate::framework::{Combine, Equations};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+use vhdl1_syntax::Label;
+
+/// Computes the least solution of `eq` with the reference set-based
+/// worklist iteration, returning `(entry, exit)` maps.
+pub fn solve_sets<F: Ord + Hash + Clone>(
+    eq: &Equations<F>,
+) -> (BTreeMap<Label, BTreeSet<F>>, BTreeMap<Label, BTreeSet<F>>) {
+    let empty: HashSet<F> = HashSet::new();
+    let mut entry: HashMap<Label, HashSet<F>> =
+        eq.labels.iter().map(|l| (*l, HashSet::new())).collect();
+    let mut exit: HashMap<Label, HashSet<F>> =
+        eq.labels.iter().map(|l| (*l, HashSet::new())).collect();
+
+    // Successor map for worklist propagation.
+    let mut succs: HashMap<Label, Vec<Label>> = HashMap::new();
+    for (l, ps) in &eq.preds {
+        for p in ps {
+            succs.entry(*p).or_default().push(*l);
+        }
+    }
+
+    let mut worklist: VecDeque<Label> = eq.labels.iter().copied().collect();
+    let mut queued: HashSet<Label> = eq.labels.iter().copied().collect();
+
+    while let Some(l) = worklist.pop_front() {
+        queued.remove(&l);
+
+        let new_entry = if let Some(forced) = eq.forced_entry.get(&l) {
+            forced.iter().cloned().collect()
+        } else {
+            let preds = eq.preds.get(&l).map(Vec::as_slice).unwrap_or(&[]);
+            let mut combined: HashSet<F> = match eq.combine {
+                Combine::Union => {
+                    let mut acc = HashSet::new();
+                    for p in preds {
+                        acc.extend(exit.get(p).unwrap_or(&empty).iter().cloned());
+                    }
+                    acc
+                }
+                Combine::IntersectDotted => {
+                    // ⋂̇ ∅ = ∅
+                    let mut iter = preds.iter();
+                    match iter.next() {
+                        None => HashSet::new(),
+                        Some(first) => {
+                            let mut acc = exit.get(first).cloned().unwrap_or_default();
+                            for p in iter {
+                                let other = exit.get(p).unwrap_or(&empty);
+                                acc.retain(|f| other.contains(f));
+                            }
+                            acc
+                        }
+                    }
+                }
+            };
+            if let Some(iota) = eq.iota.get(&l) {
+                combined.extend(iota.iter().cloned());
+            }
+            combined
+        };
+
+        let kill = eq.kill.get(&l);
+        let gen = eq.gen.get(&l);
+        let mut new_exit: HashSet<F> = new_entry
+            .iter()
+            .filter(|f| kill.is_none_or(|k| !k.contains(*f)))
+            .cloned()
+            .collect();
+        if let Some(gen) = gen {
+            new_exit.extend(gen.iter().cloned());
+        }
+
+        let entry_changed = entry.get(&l) != Some(&new_entry);
+        let exit_changed = exit.get(&l) != Some(&new_exit);
+        if entry_changed {
+            entry.insert(l, new_entry);
+        }
+        if exit_changed {
+            exit.insert(l, new_exit);
+            for s in succs.get(&l).map(Vec::as_slice).unwrap_or(&[]) {
+                if queued.insert(*s) {
+                    worklist.push_back(*s);
+                }
+            }
+        }
+    }
+
+    let ordered = |m: HashMap<Label, HashSet<F>>| -> BTreeMap<Label, BTreeSet<F>> {
+        m.into_iter()
+            .map(|(l, s)| (l, s.into_iter().collect()))
+            .collect()
+    };
+    (ordered(entry), ordered(exit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::solve;
+    use proptest::prelude::*;
+
+    /// A randomized equation system over a small fact alphabet: arbitrary
+    /// edges (including cycles, self-loops and dangling predecessor labels),
+    /// random gen/kill/ι sets and random forced entries.
+    #[derive(Debug, Clone)]
+    struct ArbSystem {
+        n: usize,
+        edges: Vec<(usize, usize)>,
+        gen: Vec<Vec<u8>>,
+        kill: Vec<Vec<u8>>,
+        iota: Vec<Vec<u8>>,
+        forced: Vec<Option<Vec<u8>>>,
+    }
+
+    impl ArbSystem {
+        fn to_equations(&self, combine: Combine) -> Equations<u8> {
+            let labels: Vec<Label> = (1..=self.n).map(|i| i as Label).collect();
+            let mut preds: BTreeMap<Label, Vec<Label>> = BTreeMap::new();
+            for &(f, t) in &self.edges {
+                // Map into the label range; a small share of edges keeps an
+                // out-of-range source to exercise unknown-predecessor
+                // handling.
+                let from = (f % (self.n + 2) + 1) as Label;
+                let to = (t % self.n + 1) as Label;
+                preds.entry(to).or_default().push(from);
+            }
+            let sets = |v: &[Vec<u8>]| -> BTreeMap<Label, BTreeSet<u8>> {
+                v.iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.is_empty())
+                    .map(|(i, s)| ((i + 1) as Label, s.iter().copied().collect()))
+                    .collect()
+            };
+            Equations {
+                labels,
+                preds,
+                combine,
+                iota: sets(&self.iota),
+                forced_entry: self
+                    .forced
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, f)| {
+                        f.as_ref()
+                            .map(|s| ((i + 1) as Label, s.iter().copied().collect()))
+                    })
+                    .collect(),
+                kill: sets(&self.kill),
+                gen: sets(&self.gen),
+            }
+        }
+    }
+
+    fn arb_system() -> impl Strategy<Value = ArbSystem> {
+        (2usize..10).prop_flat_map(|n| {
+            let facts = proptest::collection::vec(0u8..12, 0..4);
+            (
+                Just(n),
+                proptest::collection::vec((0usize..16, 0usize..16), 0..24),
+                proptest::collection::vec(facts.clone(), n..n + 1),
+                proptest::collection::vec(facts.clone(), n..n + 1),
+                proptest::collection::vec(facts.clone(), n..n + 1),
+                proptest::collection::vec(proptest::option::weighted(0.2, facts), n..n + 1),
+            )
+                .prop_map(|(n, edges, gen, kill, iota, forced)| ArbSystem {
+                    n,
+                    edges,
+                    gen,
+                    kill,
+                    iota,
+                    forced,
+                })
+        })
+    }
+
+    fn assert_engines_agree(eq: &Equations<u8>) {
+        let dense = solve(eq);
+        let (entry, exit) = solve_sets(eq);
+        for &l in &eq.labels {
+            assert_eq!(
+                Some(&entry[&l]),
+                dense.entry_ref(l),
+                "entry mismatch at label {l} ({:?})",
+                eq.combine
+            );
+            assert_eq!(
+                Some(&exit[&l]),
+                dense.exit_ref(l),
+                "exit mismatch at label {l} ({:?})",
+                eq.combine
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn dense_union_matches_set_oracle(sys in arb_system()) {
+            assert_engines_agree(&sys.to_equations(Combine::Union));
+        }
+
+        #[test]
+        fn dense_intersect_matches_set_oracle(sys in arb_system()) {
+            assert_engines_agree(&sys.to_equations(Combine::IntersectDotted));
+        }
+    }
+
+    #[test]
+    fn forced_entry_agrees_between_engines() {
+        // Deterministic regression for the forced-entry edge case: a forced
+        // label inside a cycle, in both combine modes.
+        for combine in [Combine::Union, Combine::IntersectDotted] {
+            let eq = Equations {
+                labels: vec![1, 2, 3],
+                preds: BTreeMap::from([(1, vec![3]), (2, vec![1]), (3, vec![2])]),
+                combine,
+                iota: BTreeMap::from([(1, BTreeSet::from([7u8]))]),
+                forced_entry: BTreeMap::from([(2, BTreeSet::from([1u8, 2]))]),
+                kill: BTreeMap::from([(3, BTreeSet::from([1u8]))]),
+                gen: BTreeMap::from([(3, BTreeSet::from([9u8]))]),
+            };
+            assert_engines_agree(&eq);
+        }
+    }
+}

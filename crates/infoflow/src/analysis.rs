@@ -107,11 +107,50 @@ impl AnalysisResult {
 }
 
 /// Runs the full analysis with default (paper-faithful) options.
+///
+/// # Examples
+///
+/// The canonical one-process copier: information flows from the input port
+/// to the output port, and nowhere else:
+///
+/// ```
+/// use vhdl1_infoflow::analyze;
+///
+/// let design = vhdl1_syntax::frontend(
+///     "entity e is port(a : in std_logic; b : out std_logic); end e;
+///      architecture rtl of e is begin
+///        p : process begin b <= a; wait on a; end process p;
+///      end rtl;")?;
+/// let result = analyze(&design);
+/// let graph = result.flow_graph();
+/// assert!(graph.has_edge("a", "b"));
+/// assert!(!graph.has_edge("b", "a"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn analyze(design: &Design) -> AnalysisResult {
     analyze_with(design, &AnalysisOptions::default())
 }
 
 /// Runs the full analysis with explicit options.
+///
+/// # Examples
+///
+/// [`AnalysisOptions::base`] skips the improved (Section 5.3) closure; the
+/// result then carries no incoming/outgoing nodes:
+///
+/// ```
+/// use vhdl1_infoflow::{analyze_with, AnalysisOptions};
+///
+/// let design = vhdl1_syntax::frontend(
+///     "entity e is port(a : in std_logic; b : out std_logic); end e;
+///      architecture rtl of e is begin
+///        p : process begin b <= a; wait on a; end process p;
+///      end rtl;")?;
+/// let result = analyze_with(&design, &AnalysisOptions::base());
+/// assert!(result.improved.is_none());
+/// assert!(result.base_flow_graph().has_edge("a", "b"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn analyze_with(design: &Design, options: &AnalysisOptions) -> AnalysisResult {
     let rd = ReachingDefinitions::compute(design, &options.rd);
     let local = local_dependencies(design);

@@ -50,15 +50,19 @@ pub fn specialize_rd(
     let labels = rd.cfg.labels();
 
     for &l in &labels {
-        // RD† for present values and local variables.  The borrowed entry
-        // accessor avoids cloning whole definition sets per label; only the
-        // entries that survive the filter are cloned into the result.
+        // RD† for present values and local variables.  The dense entry rows
+        // are iterated without materialising a set, filtered against the
+        // names actually read at `l` (collected once per label), and only
+        // the surviving entries are cloned into the result.
+        let reads = if specialize {
+            local.res_names_with(l, Access::R0)
+        } else {
+            BTreeSet::new()
+        };
         let filtered: BTreeSet<(Ident, Def)> = rd
             .present
-            .entry_ref(l)
-            .into_iter()
-            .flatten()
-            .filter(|(n, _)| !specialize || local.contains(&Node::res(n.clone()), l, Access::R0))
+            .entry_iter(l)
+            .filter(|(n, _)| !specialize || reads.contains(n.as_str()))
             .cloned()
             .collect();
         if !filtered.is_empty() {
@@ -67,15 +71,16 @@ pub fn specialize_rd(
 
         // RD†ϕ for active signals at synchronisation points.
         if rd.cross.occurs_in_some_tuple(l) {
+            let synced = if specialize {
+                local.res_names_with(l, Access::R1)
+            } else {
+                BTreeSet::new()
+            };
             let filtered: BTreeSet<(Ident, Label)> = rd
                 .active
                 .over
-                .entry_ref(l)
-                .into_iter()
-                .flatten()
-                .filter(|(s, _)| {
-                    !specialize || local.contains(&Node::res(s.clone()), l, Access::R1)
-                })
+                .entry_iter(l)
+                .filter(|(s, _)| !specialize || synced.contains(s.as_str()))
                 .cloned()
                 .collect();
             if !filtered.is_empty() {
@@ -198,7 +203,8 @@ fn propagation_edges(
 /// specialised Reaching Definitions.
 ///
 /// Instead of re-running the rule premises to a fixpoint, the closure
-/// precomputes the [`propagation_edges`] relation and then propagates each
+/// precomputes the (private) `propagation_edges` relation and then propagates
+/// each
 /// `(n, l, R0)` entry along it with a worklist, processing every entry
 /// exactly once — semi-naive evaluation specialised to Table 8's shape.
 pub fn global_closure(

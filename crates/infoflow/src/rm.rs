@@ -276,6 +276,23 @@ impl ResourceMatrix {
             .collect()
     }
 
+    /// Names of the *plain* resource nodes carrying `access` at `label`.
+    /// Used by the RD specialisation, which probes per-label membership many
+    /// times: collecting the names once replaces per-probe [`Node`]
+    /// construction.
+    pub fn res_names_with(&self, label: Label, access: Access) -> BTreeSet<&str> {
+        self.by_label
+            .get(&label)
+            .into_iter()
+            .flat_map(move |nodes| {
+                nodes
+                    .iter()
+                    .filter(move |(node, &mask)| node.is_plain() && mask & access.bit() != 0)
+                    .map(|(node, _)| node.name())
+            })
+            .collect()
+    }
+
     /// All labels mentioned by the matrix.
     pub fn labels(&self) -> BTreeSet<Label> {
         self.by_label.keys().copied().collect()

@@ -5,7 +5,7 @@
 //!
 //! * the nine-valued `std_logic` domain, vectors and the resolution function
 //!   ([`values`]),
-//! * the expression semantics of Table 1 ([`eval`]),
+//! * the expression semantics of Table 1 ([`mod@eval`]),
 //! * the statement and concurrent-statement semantics of Tables 2 and 3 —
 //!   processes execute until their synchronisation points, where active
 //!   values are resolved into new present values over delta cycles

@@ -6,7 +6,7 @@
 //! variables and signals.
 //!
 //! Elementary statements carry a [`Label`]; labels are assigned by the
-//! elaboration pass ([`crate::elaborate`]) and are unique across the whole
+//! elaboration pass ([`mod@crate::elaborate`]) and are unique across the whole
 //! program, as required by the analyses of Sections 4 and 5.
 
 use serde::{Deserialize, Serialize};

@@ -56,6 +56,30 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Chains a dependent strategy, mirroring `Strategy::prop_flat_map`:
+    /// each draw samples `self` first and then the strategy `f` builds from
+    /// that value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
 }
 
 /// Strategy adapter produced by [`Strategy::prop_map`].
@@ -79,11 +103,24 @@ impl<A: Strategy, B: Strategy> Strategy for (A, B) {
     }
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
-    }
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+);)*) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategies! {
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, G 5);
 }
 
 /// Strategy producing a fixed value, mirroring `proptest::strategy::Just`.
@@ -178,7 +215,35 @@ int_range_strategies!(u8, u16, u32, u64, usize);
 /// Namespace mirror of `proptest::prelude::prop`.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
     pub use crate::sample;
+}
+
+/// Strategies producing `Option` values.
+pub mod option {
+    use crate::{Strategy, TestRng};
+
+    /// Strategy producing `Some` with a fixed probability.
+    #[derive(Debug, Clone)]
+    pub struct Weighted<S> {
+        probability: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Map the top 53 bits to a uniform float in [0, 1).
+            let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            (draw < self.probability).then(|| self.inner.sample(rng))
+        }
+    }
+
+    /// `Some(value)` with probability `probability`, `None` otherwise,
+    /// mirroring `proptest::option::weighted`.
+    pub fn weighted<S: Strategy>(probability: f64, inner: S) -> Weighted<S> {
+        Weighted { probability, inner }
+    }
 }
 
 /// Strategies drawing from explicit value collections.
