@@ -9,6 +9,8 @@ use bench::workloads::{chain_src, chain_tc_program, design_of, pipeline_src};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+use vhdl1_cli::driver::{run_batch, BatchOptions, Job};
+use vhdl1_corpus::{generate, CorpusSpec};
 use vhdl1_dataflow::{RdOptions, ReachingDefinitions};
 use vhdl1_infoflow::alfp_encoding::solve_closure;
 use vhdl1_infoflow::{analyze_with, AnalysisOptions};
@@ -107,6 +109,57 @@ fn alfp_series() {
             median_ns: median.as_nanos(),
         });
     }
+
+    // Batch corpus analysis through the vhdl1c driver: a 50-design corpus
+    // swept across worker counts (`tuples` records the corpus size).  On a
+    // single-core container the series is flat; on multi-core hardware it is
+    // the parallel-speedup trajectory of the worker pool.
+    println!("  corpus batch analysis (vhdl1c driver, 50 designs):");
+    let jobs: Vec<Job> = generate(&CorpusSpec::new(7, 50))
+        .into_iter()
+        .map(Job::from_generated)
+        .collect();
+    for workers in [1usize, 2, 4, 8] {
+        let opts = BatchOptions {
+            jobs: workers,
+            ..BatchOptions::default()
+        };
+        let (batch, median) = measure(5, || run_batch(&jobs, &opts));
+        assert!(batch.check_ok(), "corpus batch must stay clean");
+        println!(
+            "    jobs={workers:<3} designs={:<4} violations={:<4} median={median:?}",
+            batch.designs.len(),
+            batch.total_violations()
+        );
+        points.push(BenchPoint {
+            workload: "corpus_scaling",
+            size: workers,
+            tuples: batch.designs.len(),
+            median_ns: median.as_nanos(),
+        });
+    }
+
+    // Cache efficacy: the same corpus twice in one batch — the second half
+    // is served from the content-hash cache.
+    let mut doubled = jobs.clone();
+    doubled.extend(jobs.iter().cloned().map(|mut j| {
+        j.name = format!("{}_again", j.name);
+        j
+    }));
+    let opts = BatchOptions::default();
+    let (batch, median) = measure(5, || run_batch(&doubled, &opts));
+    assert_eq!(batch.cache_hits, jobs.len());
+    println!(
+        "    cached rerun: designs={} cache_hits={} median={median:?}",
+        batch.designs.len(),
+        batch.cache_hits
+    );
+    points.push(BenchPoint {
+        workload: "corpus_cached_rerun",
+        size: doubled.len(),
+        tuples: batch.cache_hits,
+        median_ns: median.as_nanos(),
+    });
 
     let json: String = points
         .iter()

@@ -1,0 +1,217 @@
+//! `vhdl1c` — generate and batch-analyze VHDL1 design corpora.
+//!
+//! ```console
+//! $ vhdl1c gen --seed 7 --count 50                    # corpus manifest on stdout
+//! $ vhdl1c gen --seed 7 --count 50 | vhdl1c analyze --jobs 8 --format json
+//! $ vhdl1c analyze design.vhd --policy levels.pol --format text
+//! $ vhdl1c analyze corpus.manifest --jobs 4 --smoke --check --out report.json
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+use vhdl1_cli::driver::{run_batch, BatchOptions, Format, Job};
+use vhdl1_corpus::{generate, parse_manifest, write_manifest, CorpusSpec, Family};
+use vhdl1_infoflow::Policy;
+
+const USAGE: &str = "\
+usage:
+  vhdl1c gen --seed N --count N [--families f1,f2] [--out FILE]
+      Generate a deterministic corpus manifest (stdout by default).
+      Families: pipeline, fsm, sbox_core, cross_flow (default: all).
+
+  vhdl1c analyze [FILE...] [options]
+      Analyze .vhd/.vhdl files and/or corpus manifests; with no FILE,
+      read a manifest from stdin (the `gen | analyze` pipe).
+      --jobs N          worker threads (default 1)
+      --format FMT      json | dot | text (default json)
+      --policy FILE     audit against this policy file instead of the
+                        corpus-embedded ground-truth policies
+      --out FILE        write the report to FILE instead of stdout
+      --smoke           also smoke-simulate each design to quiescence
+      --timing          record per-design and batch wall-clock times
+      --check           exit 2 unless the batch is clean (no errors,
+                        ground-truth mismatches, or smoke failures)
+      --base            base closure only (no incoming/outgoing nodes)
+
+  vhdl1c help
+      Show this message.
+
+policy file format: `level NAME N` and `allow FROM -> TO` lines.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (command, rest) = args.split_first().ok_or("missing command")?;
+    match command.as_str() {
+        "gen" => gen_command(rest),
+        "analyze" => analyze_command(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Pulls the value of a `--flag VALUE` option out of `args`, if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("`{flag}` needs a value"));
+        }
+        let value = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pulls a boolean `--flag` out of `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn gen_command(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let seed: u64 = take_value(&mut args, "--seed")?
+        .ok_or("gen needs --seed")?
+        .parse()
+        .map_err(|_| "--seed must be an unsigned integer".to_string())?;
+    let count: usize = take_value(&mut args, "--count")?
+        .ok_or("gen needs --count")?
+        .parse()
+        .map_err(|_| "--count must be an unsigned integer".to_string())?;
+    let mut spec = CorpusSpec::new(seed, count);
+    if let Some(families) = take_value(&mut args, "--families")? {
+        let families: Vec<Family> = families
+            .split(',')
+            .map(|f| Family::from_str(f.trim()).ok_or_else(|| format!("unknown family `{f}`")))
+            .collect::<Result<_, _>>()?;
+        spec = spec.with_families(families);
+    }
+    let out_path = take_value(&mut args, "--out")?;
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let manifest = write_manifest(&generate(&spec));
+    write_output(out_path.as_deref(), &manifest)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn analyze_command(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let mut opts = BatchOptions::default();
+    if let Some(jobs) = take_value(&mut args, "--jobs")? {
+        opts.jobs = jobs
+            .parse()
+            .map_err(|_| "--jobs must be an unsigned integer".to_string())?;
+    }
+    if let Some(fmt) = take_value(&mut args, "--format")? {
+        opts.format = Format::from_str(&fmt).ok_or_else(|| format!("unknown format `{fmt}`"))?;
+    }
+    if let Some(path) = take_value(&mut args, "--policy")? {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read policy `{path}`: {e}"))?;
+        opts.policy = Some(Policy::parse_text(&text).map_err(|e| format!("policy `{path}`: {e}"))?);
+    }
+    opts.smoke = take_flag(&mut args, "--smoke");
+    opts.timing = take_flag(&mut args, "--timing");
+    let check = take_flag(&mut args, "--check");
+    if take_flag(&mut args, "--base") {
+        opts.analysis.improved = false;
+    }
+    let out_path = take_value(&mut args, "--out")?;
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unknown option `{flag}`"));
+    }
+
+    let jobs = collect_jobs(&args)?;
+    let batch = run_batch(&jobs, &opts);
+    let rendered = match opts.format {
+        Format::Json => batch.to_json(),
+        Format::Dot => batch.to_dot(),
+        Format::Text => batch.to_text(),
+    };
+    write_output(out_path.as_deref(), &rendered)?;
+    for e in &batch.errors {
+        eprintln!("error: {}: {}", e.name, e.error);
+    }
+    if check && !batch.check_ok() {
+        eprintln!(
+            "check failed: {} error(s), {} ground-truth mismatch(es), {} smoke failure(s)",
+            batch.errors.len(),
+            batch.ground_truth_mismatches(),
+            batch.smoke_failures()
+        );
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Builds the job list: named files (plain VHDL or manifests) or, with no
+/// files, a manifest read from stdin.
+fn collect_jobs(paths: &[String]) -> Result<Vec<Job>, String> {
+    let mut jobs = Vec::new();
+    if paths.is_empty() {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        jobs.extend(manifest_jobs(&text, "<stdin>")?);
+        return Ok(jobs);
+    }
+    for path in paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let is_vhdl = path.ends_with(".vhd") || path.ends_with(".vhdl");
+        if is_vhdl {
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(path)
+                .to_string();
+            jobs.push(Job::from_source(stem, text));
+        } else {
+            jobs.extend(manifest_jobs(&text, path)?);
+        }
+    }
+    Ok(jobs)
+}
+
+fn manifest_jobs(text: &str, origin: &str) -> Result<Vec<Job>, String> {
+    let designs = parse_manifest(text).map_err(|e| format!("manifest `{origin}`: {e}"))?;
+    if designs.is_empty() {
+        return Err(format!(
+            "manifest `{origin}` contains no designs (expected `--! design` headers)"
+        ));
+    }
+    Ok(designs.into_iter().map(Job::from_generated).collect())
+}
+
+fn write_output(path: Option<&str>, content: &str) -> Result<(), String> {
+    match path {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}"))
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}

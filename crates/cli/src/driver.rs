@@ -1,0 +1,493 @@
+//! Batch orchestration: jobs in, [`BatchReport`] out.
+//!
+//! Every job (a design source plus optional corpus ground truth) goes
+//! through parse → elaborate → RD dataflow → closure → flow graph → policy
+//! audit on a worker of the [`crate::pool`], with a content-hash cache in
+//! front: two jobs with identical source and identical effective policy
+//! analyze once and share the result (per-job ground-truth bookkeeping is
+//! re-derived, never copied across the cache).
+
+use crate::pool;
+use crate::report::{design_report, BatchError, BatchReport, DesignReport};
+use std::collections::HashMap;
+use std::time::Instant;
+use vhdl1_corpus::GeneratedDesign;
+use vhdl1_infoflow::{analyze_with, AnalysisOptions, Policy};
+use vhdl1_sim::Simulator;
+
+/// Output formats of `vhdl1c analyze`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Machine-readable JSON report.
+    Json,
+    /// Concatenated Graphviz DOT flow graphs.
+    Dot,
+    /// Human-readable security report.
+    Text,
+}
+
+impl Format {
+    /// Parses a `--format` argument.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Format> {
+        match s {
+            "json" => Some(Format::Json),
+            "dot" => Some(Format::Dot),
+            "text" => Some(Format::Text),
+            _ => None,
+        }
+    }
+}
+
+/// Ground truth attached to a job by the corpus generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobTruth {
+    /// Corpus family name.
+    pub family: String,
+    /// Whether the generator marked the design leaky.
+    pub leaky: bool,
+    /// Secret inputs (security level 1 in the derived policy).
+    pub secret_inputs: Vec<String>,
+    /// Public outputs (security level 0).
+    pub public_outputs: Vec<String>,
+    /// Intended (declassified) flows.
+    pub allowed_flows: Vec<(String, String)>,
+    /// Flow edges the audit must report.
+    pub expected_violations: Vec<(String, String)>,
+}
+
+impl JobTruth {
+    /// The policy implied by the ground truth: secrets at level 1, public
+    /// sinks at level 0, intended flows declassified.
+    pub fn derived_policy(&self) -> Policy {
+        let mut policy = Policy::new();
+        for s in &self.secret_inputs {
+            policy.levels.insert(s.clone(), 1);
+        }
+        for p in &self.public_outputs {
+            policy.levels.insert(p.clone(), 0);
+        }
+        for (from, to) in &self.allowed_flows {
+            policy.allowed.insert((from.clone(), to.clone()));
+        }
+        policy
+    }
+}
+
+/// One unit of batch work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Display name (design name for corpus entries, file stem for files).
+    pub name: String,
+    /// VHDL1 source text.
+    pub source: String,
+    /// Corpus ground truth, when the job came from a manifest.
+    pub truth: Option<JobTruth>,
+}
+
+impl Job {
+    /// A job from a plain source file (no ground truth).
+    pub fn from_source(name: impl Into<String>, source: impl Into<String>) -> Job {
+        Job {
+            name: name.into(),
+            source: source.into(),
+            truth: None,
+        }
+    }
+
+    /// A job from a generated corpus design.
+    pub fn from_generated(d: GeneratedDesign) -> Job {
+        Job {
+            name: d.name,
+            source: d.source,
+            truth: Some(JobTruth {
+                family: d.family.as_str().to_string(),
+                leaky: d.leaky,
+                secret_inputs: d.secret_inputs,
+                public_outputs: d.public_outputs,
+                allowed_flows: d.allowed_flows,
+                expected_violations: d.expected_violations,
+            }),
+        }
+    }
+}
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker count (`<= 1` runs inline).
+    pub jobs: usize,
+    /// Output format; DOT renderings are only produced when selected.
+    pub format: Format,
+    /// Overrides every job's derived policy when set (`--policy`).
+    pub policy: Option<Policy>,
+    /// Record per-design and batch wall-clock times (non-deterministic
+    /// output; off by default so reports are byte-reproducible).
+    pub timing: bool,
+    /// Smoke-simulate every design to quiescence.
+    pub smoke: bool,
+    /// Options of the underlying analysis.
+    pub analysis: AnalysisOptions,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            jobs: 1,
+            format: Format::Json,
+            policy: None,
+            timing: false,
+            smoke: false,
+            analysis: AnalysisOptions::default(),
+        }
+    }
+}
+
+/// 64-bit FNV-1a content hash (the cache key over design source).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs the batch: analyzes every job `opts.jobs`-way parallel and collects
+/// the aggregate report.  Job order is preserved in the output.
+///
+/// Jobs are deduplicated up front by content hash of `(source, effective
+/// policy)`: only one representative per group is analyzed (in the worker
+/// pool); the others reuse its result and are marked `cached`.  Grouping
+/// before the pool runs keeps `cached`/`cache_hits` — and therefore every
+/// report byte — independent of worker count and scheduling.
+pub fn run_batch(jobs: &[Job], opts: &BatchOptions) -> BatchReport {
+    let start = Instant::now();
+
+    // Group by cache key; compute each job's effective policy exactly once.
+    let mut first_of_key: HashMap<u64, usize> = HashMap::new();
+    let mut rep: Vec<usize> = Vec::with_capacity(jobs.len());
+    let mut uses: HashMap<usize, usize> = HashMap::new();
+    let mut policies: Vec<Policy> = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let policy = effective_policy(job, opts);
+        let key =
+            fnv1a64(job.source.as_bytes()) ^ fnv1a64(policy.to_text().as_bytes()).rotate_left(1);
+        let r = *first_of_key.entry(key).or_insert(i);
+        rep.push(r);
+        *uses.entry(r).or_insert(0) += 1;
+        policies.push(policy);
+    }
+
+    // Analyze one representative per group, in parallel.
+    let unique: Vec<usize> = (0..jobs.len()).filter(|&i| rep[i] == i).collect();
+    let unique_outcomes = pool::run(&unique, opts.jobs, |_, &i| {
+        analyze_job(&jobs[i], &policies[i], opts)
+    });
+    let mut outcome_of: HashMap<usize, Result<DesignReport, BatchError>> =
+        unique.into_iter().zip(unique_outcomes).collect();
+
+    // Reassemble in input order.  Ground-truth bookkeeping is re-derived per
+    // job (not copied from the representative): two jobs may share source
+    // and policy yet differ in attached ground truth — e.g. a plain `.vhd`
+    // file next to the identical corpus entry under a `--policy` override.
+    let mut batch = BatchReport::default();
+    for (i, job) in jobs.iter().enumerate() {
+        let r = rep[i];
+        let remaining = uses.get_mut(&r).expect("every group was counted");
+        *remaining -= 1;
+        let outcome = if *remaining == 0 {
+            outcome_of
+                .remove(&r)
+                .expect("representative outcome present")
+        } else {
+            outcome_of
+                .get(&r)
+                .expect("representative outcome present")
+                .clone()
+        };
+        let cached = r != i;
+        if cached {
+            batch.cache_hits += 1;
+        }
+        match outcome {
+            Ok(mut report) => {
+                report.name = job.name.clone();
+                report.cached = cached;
+                if cached {
+                    // The duplicate did not spend analysis time itself, and
+                    // its DOT graph (if any) must carry its own title.
+                    report.millis = None;
+                    if let Some(dot) = &mut report.dot {
+                        if let Some(eol) = dot.find('\n') {
+                            *dot = format!("digraph \"{}\" {{{}", job.name, &dot[eol..]);
+                        }
+                    }
+                }
+                apply_truth(&mut report, job);
+                batch.designs.push(report);
+            }
+            Err(mut err) => {
+                err.name = job.name.clone();
+                batch.errors.push(err);
+            }
+        }
+    }
+    if opts.timing {
+        batch.wall_ms = Some(start.elapsed().as_secs_f64() * 1e3);
+    }
+    batch
+}
+
+fn effective_policy(job: &Job, opts: &BatchOptions) -> Policy {
+    match (&opts.policy, &job.truth) {
+        (Some(p), _) => p.clone(),
+        (None, Some(truth)) => truth.derived_policy(),
+        (None, None) => Policy::new(),
+    }
+}
+
+/// Stamps (or clears) the job's ground-truth bookkeeping on a report whose
+/// analysis fields are already filled in.
+fn apply_truth(report: &mut DesignReport, job: &Job) {
+    match &job.truth {
+        Some(truth) => {
+            report.family = Some(truth.family.clone());
+            report.leaky = Some(truth.leaky);
+            report.expected_violations = truth.expected_violations.clone();
+            let mut actual: Vec<(String, String)> = report
+                .violations
+                .iter()
+                .map(|v| (v.from.clone(), v.to.clone()))
+                .collect();
+            actual.sort();
+            let mut expected = truth.expected_violations.clone();
+            expected.sort();
+            report.ground_truth_ok = Some(actual == expected);
+        }
+        None => {
+            report.family = None;
+            report.leaky = None;
+            report.expected_violations = Vec::new();
+            report.ground_truth_ok = None;
+        }
+    }
+}
+
+fn analyze_job(
+    job: &Job,
+    policy: &Policy,
+    opts: &BatchOptions,
+) -> Result<DesignReport, BatchError> {
+    let started = Instant::now();
+    let fail = |error: String| BatchError {
+        name: job.name.clone(),
+        error,
+    };
+    let design = vhdl1_syntax::frontend(&job.source).map_err(|e| fail(e.to_string()))?;
+    let result = analyze_with(&design, &opts.analysis);
+    let mut report = design_report(&design, &result, policy);
+    report.name = job.name.clone();
+    report.source_hash = format!("fnv1a:{:016x}", fnv1a64(job.source.as_bytes()));
+    if opts.format == Format::Dot {
+        report.dot = Some(result.flow_graph().to_dot(&job.name));
+    }
+    if opts.smoke {
+        match smoke_simulate(&design) {
+            Ok(deltas) => report.smoke_deltas = Some(deltas),
+            Err(e) => report.smoke_error = Some(e),
+        }
+    }
+    if opts.timing {
+        report.millis = Some(started.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok(report)
+}
+
+/// Runs a design in the simulator until quiescence (bounded), returning the
+/// delta-cycle count.
+fn smoke_simulate(design: &vhdl1_syntax::Design) -> Result<u64, String> {
+    let mut sim = Simulator::new(design).map_err(|e| e.to_string())?;
+    sim.run_until_quiescent(10_000).map_err(|e| e.to_string())?;
+    Ok(sim.delta_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vhdl1_corpus::{generate, CorpusSpec};
+
+    fn corpus_jobs(seed: u64, count: usize) -> Vec<Job> {
+        generate(&CorpusSpec::new(seed, count))
+            .into_iter()
+            .map(Job::from_generated)
+            .collect()
+    }
+
+    #[test]
+    fn ground_truth_is_reproduced_across_all_families() {
+        let jobs = corpus_jobs(7, 16); // two clean + two leaky per family
+        let batch = run_batch(&jobs, &BatchOptions::default());
+        assert!(batch.errors.is_empty(), "errors: {:?}", batch.errors);
+        for d in &batch.designs {
+            assert_eq!(
+                d.ground_truth_ok,
+                Some(true),
+                "{} ({:?} leaky={:?}): expected {:?}, audit found {:?}",
+                d.name,
+                d.family,
+                d.leaky,
+                d.expected_violations,
+                d.violations
+            );
+            assert_eq!(d.leaky, Some(!d.violations.is_empty()));
+        }
+        assert!(batch.check_ok());
+    }
+
+    #[test]
+    fn parallel_and_sequential_batches_agree() {
+        let jobs = corpus_jobs(11, 12);
+        let seq = run_batch(&jobs, &BatchOptions::default());
+        let par = run_batch(
+            &jobs,
+            &BatchOptions {
+                jobs: 8,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(seq.designs, par.designs);
+        assert_eq!(seq.to_json(), par.to_json());
+    }
+
+    #[test]
+    fn duplicate_sources_hit_the_cache() {
+        let mut jobs = corpus_jobs(3, 4);
+        let mut dup = jobs[0].clone();
+        dup.name = "duplicate".into();
+        jobs.push(dup);
+        let batch = run_batch(&jobs, &BatchOptions::default());
+        assert_eq!(batch.cache_hits, 1);
+        let last = batch.designs.last().unwrap();
+        assert!(last.cached);
+        assert_eq!(last.name, "duplicate");
+        // Cached record carries the same analysis results.
+        assert_eq!(last.edges, batch.designs[0].edges);
+    }
+
+    #[test]
+    fn cache_hits_keep_per_job_ground_truth() {
+        // Regression: a plain file and a corpus entry with the *identical
+        // source* share a cache group under a `--policy` override, but must
+        // keep their own ground-truth bookkeeping — the corpus entry's
+        // check must run, and the plain file must not inherit corpus
+        // metadata.  Exercised in both input orders.
+        let corpus_job = corpus_jobs(3, 8).remove(4); // a leaky design
+        let plain_job = Job::from_source("plain_copy", corpus_job.source.clone());
+        let opts = BatchOptions {
+            policy: Some(Policy::new()), // permissive: leaky check must fail
+            ..BatchOptions::default()
+        };
+        for jobs in [
+            vec![plain_job.clone(), corpus_job.clone()],
+            vec![corpus_job.clone(), plain_job.clone()],
+        ] {
+            let batch = run_batch(&jobs, &opts);
+            assert_eq!(batch.cache_hits, 1);
+            let plain = batch
+                .designs
+                .iter()
+                .find(|d| d.name == "plain_copy")
+                .unwrap();
+            assert_eq!(plain.family, None);
+            assert_eq!(plain.leaky, None);
+            assert_eq!(plain.ground_truth_ok, None);
+            assert!(plain.expected_violations.is_empty());
+            let corpus = batch
+                .designs
+                .iter()
+                .find(|d| d.name != "plain_copy")
+                .unwrap();
+            assert_eq!(corpus.leaky, Some(true));
+            assert_eq!(
+                corpus.ground_truth_ok,
+                Some(false),
+                "permissive override hides the leak, so the check must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_fields_are_worker_count_independent_with_duplicates() {
+        let mut jobs = corpus_jobs(9, 6);
+        let mut dup = jobs[2].clone();
+        dup.name = "dup".into();
+        jobs.insert(3, dup);
+        let seq = run_batch(&jobs, &BatchOptions::default());
+        let par = run_batch(
+            &jobs,
+            &BatchOptions {
+                jobs: 8,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(seq.cache_hits, 1);
+        assert_eq!(seq.to_json(), par.to_json());
+        // The duplicate — not the representative — carries the cached mark,
+        // regardless of scheduling.
+        assert!(seq.designs[3].cached);
+        assert!(!seq.designs[2].cached);
+    }
+
+    #[test]
+    fn policy_override_replaces_derived_policies() {
+        let jobs = corpus_jobs(5, 8); // includes the leaky second cycle
+        let permissive = run_batch(
+            &jobs,
+            &BatchOptions {
+                policy: Some(Policy::new()),
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(permissive.total_violations(), 0);
+        // With an override the ground-truth comparison still runs and now
+        // reports the discrepancy on leaky designs.
+        assert!(permissive.ground_truth_mismatches() > 0);
+    }
+
+    #[test]
+    fn smoke_simulation_reaches_quiescence_on_the_corpus() {
+        let jobs = corpus_jobs(13, 8);
+        let batch = run_batch(
+            &jobs,
+            &BatchOptions {
+                smoke: true,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(batch.smoke_failures(), 0, "{:?}", batch.designs);
+        assert!(batch.designs.iter().all(|d| d.smoke_deltas.is_some()));
+    }
+
+    #[test]
+    fn broken_sources_become_errors_not_panics() {
+        let jobs = vec![
+            Job::from_source("ok", "entity e is port(a : in std_logic; b : out std_logic); end e; architecture rtl of e is begin p : process begin b <= a; wait on a; end process p; end rtl;"),
+            Job::from_source("broken", "entity oops"),
+        ];
+        let batch = run_batch(&jobs, &BatchOptions::default());
+        assert_eq!(batch.designs.len(), 1);
+        assert_eq!(batch.errors.len(), 1);
+        assert_eq!(batch.errors[0].name, "broken");
+        assert!(!batch.check_ok());
+    }
+
+    #[test]
+    fn fnv_hash_is_stable() {
+        // Pinned: the cache key and the report's source_hash field must not
+        // drift silently between releases.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"vhdl"), fnv1a64(b"vhdl"));
+        assert_ne!(fnv1a64(b"vhdl"), fnv1a64(b"vhdk"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Minimal JSON emission helpers (the workspace vendors no serializer; the
+//! report schema is small and stable, so hand-rolled emission keeps the
+//! output byte-deterministic — a property the golden-file and determinism
+//! tests pin down).
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a quoted JSON string literal.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders an `Option` as a JSON value or `null`.
+pub fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders an optional string as a quoted literal or `null`.
+pub fn opt_string(v: Option<&str>) -> String {
+    match v {
+        Some(v) => string(v),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("x"), "\"x\"");
+    }
+
+    #[test]
+    fn options_render_null() {
+        assert_eq!(opt::<u32>(None), "null");
+        assert_eq!(opt(Some(3)), "3");
+        assert_eq!(opt_string(None), "null");
+        assert_eq!(opt_string(Some("a")), "\"a\"");
+    }
+}

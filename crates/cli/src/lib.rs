@@ -1,0 +1,39 @@
+//! # `vhdl1-cli` — the `vhdl1c` batch analysis driver
+//!
+//! The executable front door of the reproduction: where the library crates
+//! analyze one elaborated design at a time, `vhdl1c` runs the whole
+//! pipeline — parse → elaborate → Reaching Definitions → closure → flow
+//! graph → policy audit — over *files and corpora*, in parallel, with
+//! machine-readable output:
+//!
+//! * [`driver`] — batch orchestration: jobs, policies, ground-truth
+//!   checking, smoke simulation, and the content-hash result cache;
+//! * [`pool`] — the `std::thread` work-stealing scheduler behind `--jobs`;
+//! * [`report`] — the [`report::DesignReport`]/[`report::BatchReport`]
+//!   security reports with JSON, Graphviz DOT and text renderings (shared
+//!   with the `covert_channel_audit` example);
+//! * [`json`] — dependency-free JSON emission helpers.
+//!
+//! ```
+//! use vhdl1_cli::driver::{run_batch, BatchOptions, Job};
+//! use vhdl1_corpus::{generate, CorpusSpec};
+//!
+//! let jobs: Vec<Job> = generate(&CorpusSpec::new(7, 4))
+//!     .into_iter()
+//!     .map(Job::from_generated)
+//!     .collect();
+//! let batch = run_batch(&jobs, &BatchOptions { jobs: 4, ..BatchOptions::default() });
+//! assert_eq!(batch.designs.len(), 4);
+//! assert!(batch.check_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod json;
+pub mod pool;
+pub mod report;
+
+pub use driver::{fnv1a64, run_batch, BatchOptions, Format, Job, JobTruth};
+pub use report::{design_report, BatchError, BatchReport, DesignReport, ReportViolation};

@@ -1,0 +1,468 @@
+//! The security report shared by the `vhdl1c` batch driver and the library
+//! examples: one [`DesignReport`] per analyzed design (flow edges + policy
+//! audit + ground-truth verdict), aggregated into a [`BatchReport`] with
+//! JSON, Graphviz DOT and human-readable renderings.
+
+use crate::json;
+use std::fmt::Write as _;
+use vhdl1_infoflow::{audit, AnalysisResult, Policy};
+use vhdl1_syntax::Design;
+
+/// One policy violation, flattened to resource names and levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportViolation {
+    /// Source resource of the offending edge.
+    pub from: String,
+    /// Target resource of the offending edge.
+    pub to: String,
+    /// Security level of the source, if classified.
+    pub from_level: Option<u32>,
+    /// Security level of the target, if classified.
+    pub to_level: Option<u32>,
+}
+
+/// The analysis record of a single design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignReport {
+    /// Design (architecture) name.
+    pub name: String,
+    /// Corpus family name, when the design came from a corpus manifest.
+    pub family: Option<String>,
+    /// Whether the corpus marked this design as deliberately leaky.
+    pub leaky: Option<bool>,
+    /// FNV-1a content hash of the source text (the cache key).
+    pub source_hash: String,
+    /// Number of processes in the elaborated design.
+    pub processes: usize,
+    /// Number of labelled elementary blocks.
+    pub labels: u32,
+    /// Number of variables and signals.
+    pub resources: usize,
+    /// Edges of the information-flow graph (incoming/outgoing nodes merged
+    /// with their resource), in lexicographic order.
+    pub edges: Vec<(String, String)>,
+    /// Number of edges audited against the policy.
+    pub edges_checked: usize,
+    /// Every flow edge the policy forbids.
+    pub violations: Vec<ReportViolation>,
+    /// Ground-truth violation edges embedded by the corpus generator.
+    pub expected_violations: Vec<(String, String)>,
+    /// `Some(true)` when the audit reproduced the ground truth exactly,
+    /// `Some(false)` on a mismatch, `None` for designs without ground truth.
+    pub ground_truth_ok: Option<bool>,
+    /// Whether this record was served from the content-hash cache.
+    pub cached: bool,
+    /// Delta cycles until quiescence, when smoke simulation ran.
+    pub smoke_deltas: Option<u64>,
+    /// Smoke-simulation failure, if any.
+    pub smoke_error: Option<String>,
+    /// Wall-clock analysis time, when timing was requested.
+    pub millis: Option<f64>,
+    /// Graphviz DOT rendering of the full flow graph, when requested.
+    pub dot: Option<String>,
+}
+
+/// Builds the report record for one analyzed design.
+///
+/// The flow graph is audited with incoming/outgoing nodes merged into their
+/// underlying resource (the paper's presentation form), so policies talk
+/// about port and signal names only.
+pub fn design_report(design: &Design, result: &AnalysisResult, policy: &Policy) -> DesignReport {
+    let graph = result.flow_graph().merge_io_nodes();
+    let report = audit(&graph, policy);
+    DesignReport {
+        name: design.name.clone(),
+        family: None,
+        leaky: None,
+        source_hash: String::new(),
+        processes: design.processes.len(),
+        labels: design.max_label(),
+        resources: design.resource_names().len(),
+        edges: graph
+            .edges()
+            .map(|(f, t)| (f.name().to_string(), t.name().to_string()))
+            .collect(),
+        edges_checked: report.edges_checked,
+        violations: report
+            .violations
+            .iter()
+            .map(|v| ReportViolation {
+                from: v.from.name().to_string(),
+                to: v.to.name().to_string(),
+                from_level: v.from_level,
+                to_level: v.to_level,
+            })
+            .collect(),
+        expected_violations: vec![],
+        ground_truth_ok: None,
+        cached: false,
+        smoke_deltas: None,
+        smoke_error: None,
+        millis: None,
+        dot: None,
+    }
+}
+
+impl DesignReport {
+    /// Whether the audit found no violations.
+    pub fn is_secure(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn to_json(&self, out: &mut String, indent: &str) {
+        let _ = writeln!(out, "{indent}{{");
+        let _ = writeln!(out, "{indent}  \"name\": {},", json::string(&self.name));
+        let _ = writeln!(
+            out,
+            "{indent}  \"family\": {},",
+            json::opt_string(self.family.as_deref())
+        );
+        let _ = writeln!(out, "{indent}  \"leaky\": {},", json::opt(self.leaky));
+        let _ = writeln!(
+            out,
+            "{indent}  \"source_hash\": {},",
+            json::string(&self.source_hash)
+        );
+        let _ = writeln!(out, "{indent}  \"processes\": {},", self.processes);
+        let _ = writeln!(out, "{indent}  \"labels\": {},", self.labels);
+        let _ = writeln!(out, "{indent}  \"resources\": {},", self.resources);
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|(f, t)| format!("[{}, {}]", json::string(f), json::string(t)))
+            .collect();
+        let _ = writeln!(out, "{indent}  \"edges\": [{}],", edges.join(", "));
+        let _ = writeln!(out, "{indent}  \"edges_checked\": {},", self.edges_checked);
+        let violations: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"from\": {}, \"to\": {}, \"from_level\": {}, \"to_level\": {}}}",
+                    json::string(&v.from),
+                    json::string(&v.to),
+                    json::opt(v.from_level),
+                    json::opt(v.to_level)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{indent}  \"violations\": [{}],",
+            violations.join(", ")
+        );
+        let expected: Vec<String> = self
+            .expected_violations
+            .iter()
+            .map(|(f, t)| format!("[{}, {}]", json::string(f), json::string(t)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{indent}  \"expected_violations\": [{}],",
+            expected.join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"ground_truth_ok\": {},",
+            json::opt(self.ground_truth_ok)
+        );
+        let _ = writeln!(out, "{indent}  \"cached\": {},", self.cached);
+        let _ = writeln!(
+            out,
+            "{indent}  \"smoke_deltas\": {},",
+            json::opt(self.smoke_deltas)
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"smoke_error\": {},",
+            json::opt_string(self.smoke_error.as_deref())
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"millis\": {}",
+            match self.millis {
+                Some(ms) => format!("{ms:.3}"),
+                None => "null".to_string(),
+            }
+        );
+        let _ = write!(out, "{indent}}}");
+    }
+
+    fn to_text(&self, out: &mut String) {
+        let kind = match (self.family.as_deref(), self.leaky) {
+            (Some(f), Some(true)) => format!(" [{f}, leaky]"),
+            (Some(f), Some(false)) => format!(" [{f}, clean]"),
+            (Some(f), None) => format!(" [{f}]"),
+            _ => String::new(),
+        };
+        let cached = if self.cached { " (cached)" } else { "" };
+        let _ = writeln!(
+            out,
+            "design {}{kind}: {} flows, {} violation(s){cached}",
+            self.name,
+            self.edges.len(),
+            self.violations.len()
+        );
+        for v in &self.violations {
+            let levels = match (v.from_level, v.to_level) {
+                (Some(a), Some(b)) => format!(" (level {a} -> level {b})"),
+                _ => String::new(),
+            };
+            let _ = writeln!(out, "  illicit flow {} -> {}{levels}", v.from, v.to);
+        }
+        match self.ground_truth_ok {
+            Some(true) => {
+                let _ = writeln!(out, "  ground truth: reproduced");
+            }
+            Some(false) => {
+                let expected: Vec<String> = self
+                    .expected_violations
+                    .iter()
+                    .map(|(f, t)| format!("{f} -> {t}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  ground truth: MISMATCH (expected: [{}])",
+                    expected.join(", ")
+                );
+            }
+            None => {}
+        }
+        if let Some(deltas) = self.smoke_deltas {
+            let _ = writeln!(out, "  smoke simulation: quiescent after {deltas} delta(s)");
+        }
+        if let Some(err) = &self.smoke_error {
+            let _ = writeln!(out, "  smoke simulation: FAILED ({err})");
+        }
+        if let Some(ms) = self.millis {
+            let _ = writeln!(out, "  analysis time: {ms:.3} ms");
+        }
+    }
+}
+
+/// A design that failed to parse, elaborate, or otherwise analyze.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Name of the failing design (or its file/manifest entry).
+    pub name: String,
+    /// The failure message.
+    pub error: String,
+}
+
+/// The aggregate result of a batch run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchReport {
+    /// Per-design reports, in input order.
+    pub designs: Vec<DesignReport>,
+    /// Designs that failed before analysis.
+    pub errors: Vec<BatchError>,
+    /// Cache hits observed during the run.
+    pub cache_hits: usize,
+    /// Wall-clock time of the whole batch, when timing was requested.
+    pub wall_ms: Option<f64>,
+}
+
+impl BatchReport {
+    /// Number of designs whose audit found violations.
+    pub fn insecure_designs(&self) -> usize {
+        self.designs.iter().filter(|d| !d.is_secure()).count()
+    }
+
+    /// Total violations across the batch.
+    pub fn total_violations(&self) -> usize {
+        self.designs.iter().map(|d| d.violations.len()).sum()
+    }
+
+    /// Designs whose audit did not reproduce their embedded ground truth.
+    pub fn ground_truth_mismatches(&self) -> usize {
+        self.designs
+            .iter()
+            .filter(|d| d.ground_truth_ok == Some(false))
+            .count()
+    }
+
+    /// Smoke-simulation failures across the batch.
+    pub fn smoke_failures(&self) -> usize {
+        self.designs
+            .iter()
+            .filter(|d| d.smoke_error.is_some())
+            .count()
+    }
+
+    /// Whether the batch is clean: no errors, no ground-truth mismatches and
+    /// no smoke failures (violations by themselves are *findings*, not
+    /// failures).  This is what `vhdl1c analyze --check` gates on.
+    pub fn check_ok(&self) -> bool {
+        self.errors.is_empty() && self.ground_truth_mismatches() == 0 && self.smoke_failures() == 0
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"tool\": \"vhdl1c\",");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        out.push_str("  \"designs\": [\n");
+        for (i, d) in self.designs.iter().enumerate() {
+            d.to_json(&mut out, "    ");
+            out.push_str(if i + 1 == self.designs.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ],\n");
+        let errors: Vec<String> = self
+            .errors
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"name\": {}, \"error\": {}}}",
+                    json::string(&e.name),
+                    json::string(&e.error)
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"errors\": [{}],", errors.join(", "));
+        out.push_str("  \"summary\": {\n");
+        let _ = writeln!(out, "    \"designs\": {},", self.designs.len());
+        let _ = writeln!(out, "    \"errors\": {},", self.errors.len());
+        let _ = writeln!(
+            out,
+            "    \"insecure_designs\": {},",
+            self.insecure_designs()
+        );
+        let _ = writeln!(out, "    \"violations\": {},", self.total_violations());
+        let _ = writeln!(
+            out,
+            "    \"ground_truth_mismatches\": {},",
+            self.ground_truth_mismatches()
+        );
+        let _ = writeln!(out, "    \"smoke_failures\": {},", self.smoke_failures());
+        let _ = writeln!(out, "    \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(
+            out,
+            "    \"wall_ms\": {}",
+            match self.wall_ms {
+                Some(ms) => format!("{ms:.3}"),
+                None => "null".to_string(),
+            }
+        );
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.designs {
+            d.to_text(&mut out);
+        }
+        for e in &self.errors {
+            let _ = writeln!(out, "error {}: {}", e.name, e.error);
+        }
+        let _ = writeln!(
+            out,
+            "summary: {} design(s), {} insecure, {} violation(s), {} error(s), \
+             {} ground-truth mismatch(es), {} smoke failure(s), {} cache hit(s)",
+            self.designs.len(),
+            self.insecure_designs(),
+            self.total_violations(),
+            self.errors.len(),
+            self.ground_truth_mismatches(),
+            self.smoke_failures(),
+            self.cache_hits
+        );
+        out
+    }
+
+    /// Renders the concatenated Graphviz DOT graphs of every design that
+    /// carries one (i.e. when the batch ran with the DOT format selected).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        for d in &self.designs {
+            if let Some(dot) = &d.dot {
+                out.push_str(dot);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vhdl1_infoflow::{analyze, Policy};
+    use vhdl1_syntax::frontend;
+
+    fn copy_report(policy: &Policy) -> DesignReport {
+        let design = frontend(
+            "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is begin
+               p : process begin b <= a; wait on a; end process p;
+             end rtl;",
+        )
+        .unwrap();
+        let result = analyze(&design);
+        design_report(&design, &result, policy)
+    }
+
+    #[test]
+    fn design_report_carries_edges_and_violations() {
+        let permissive = copy_report(&Policy::new());
+        assert!(permissive.edges.contains(&("a".into(), "b".into())));
+        assert!(permissive.is_secure());
+
+        let strict = copy_report(&Policy::new().with_level("a", 1).with_level("b", 0));
+        assert!(!strict.is_secure());
+        assert_eq!(strict.violations[0].from, "a");
+        assert_eq!(strict.violations[0].to, "b");
+        assert_eq!(strict.violations[0].from_level, Some(1));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_contain_the_fields() {
+        let mut report = BatchReport::default();
+        report.designs.push(copy_report(&Policy::new()));
+        report.errors.push(BatchError {
+            name: "broken".into(),
+            error: "1:1: parse error \"quoted\"".into(),
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"tool\": \"vhdl1c\""));
+        assert!(json.contains("\"designs\": ["));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"summary\""));
+        // Balanced braces/brackets (cheap structural sanity check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn text_summary_counts() {
+        let mut report = BatchReport::default();
+        report.designs.push(copy_report(
+            &Policy::new().with_level("a", 1).with_level("b", 0),
+        ));
+        let text = report.to_text();
+        assert!(text.contains("illicit flow a -> b"));
+        assert!(text.contains("1 insecure"));
+    }
+
+    #[test]
+    fn check_ok_gates_on_mismatches_not_violations() {
+        let mut report = BatchReport::default();
+        let mut d = copy_report(&Policy::new().with_level("a", 1).with_level("b", 0));
+        assert!(!d.is_secure());
+        d.ground_truth_ok = Some(true);
+        report.designs.push(d.clone());
+        assert!(report.check_ok(), "violations alone must not fail --check");
+        d.ground_truth_ok = Some(false);
+        report.designs.push(d);
+        assert!(!report.check_ok());
+    }
+}

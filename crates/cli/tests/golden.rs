@@ -1,0 +1,157 @@
+//! Golden-file tests for the `vhdl1c` emitters, plus end-to-end determinism
+//! checks of the `gen | analyze` pipeline.
+//!
+//! Regenerate the golden files after an intentional schema change with:
+//! `UPDATE_GOLDEN=1 cargo test -p vhdl1-cli --test golden`.
+
+use std::process::{Command, Stdio};
+use vhdl1_cli::driver::{run_batch, BatchOptions, Format, Job};
+use vhdl1_corpus::{generate, write_manifest, CorpusSpec, Family};
+
+/// The quickstart-sized fixture shared by the JSON and DOT goldens.
+const GATEKEEPER: &str = "\
+entity gatekeeper is
+  port(
+    data_in : in std_logic_vector(7 downto 0);
+    enable  : in std_logic;
+    data_out : out std_logic_vector(7 downto 0)
+  );
+end gatekeeper;
+architecture rtl of gatekeeper is
+  signal latched : std_logic_vector(7 downto 0);
+begin
+  latch : process
+  begin
+    latched <= data_in;
+    wait on data_in;
+  end process latch;
+  forward : process
+    variable buffered : std_logic_vector(7 downto 0);
+  begin
+    if enable = '1' then
+      buffered := latched;
+    else
+      buffered := \"00000000\";
+    end if;
+    data_out <= buffered;
+    wait on latched, enable;
+  end process forward;
+end rtl;
+";
+
+fn fixture_jobs() -> Vec<Job> {
+    let mut jobs = vec![Job::from_source("gatekeeper", GATEKEEPER)];
+    // Two tiny corpus entries (one clean, one leaky) exercise the
+    // ground-truth fields of the report.
+    let spec = CorpusSpec::new(1, 2).with_families(vec![Family::Fsm]);
+    jobs.extend(generate(&spec).into_iter().map(Job::from_generated));
+    jobs
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file `{path}` ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "`{name}` drifted from its golden file; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn json_report_matches_golden() {
+    let batch = run_batch(&fixture_jobs(), &BatchOptions::default());
+    check_golden("report.json", &batch.to_json());
+}
+
+#[test]
+fn dot_report_matches_golden() {
+    let batch = run_batch(
+        &fixture_jobs(),
+        &BatchOptions {
+            format: Format::Dot,
+            ..BatchOptions::default()
+        },
+    );
+    check_golden("graphs.dot", &batch.to_dot());
+}
+
+#[test]
+fn text_report_matches_golden() {
+    let batch = run_batch(
+        &fixture_jobs(),
+        &BatchOptions {
+            format: Format::Text,
+            ..BatchOptions::default()
+        },
+    );
+    check_golden("report.txt", &batch.to_text());
+}
+
+#[test]
+fn same_seed_means_byte_identical_corpus_and_report() {
+    let manifest_a = write_manifest(&generate(&CorpusSpec::new(7, 12)));
+    let manifest_b = write_manifest(&generate(&CorpusSpec::new(7, 12)));
+    assert_eq!(manifest_a, manifest_b, "corpus generation must be pure");
+
+    let jobs: Vec<Job> = generate(&CorpusSpec::new(7, 12))
+        .into_iter()
+        .map(Job::from_generated)
+        .collect();
+    let report_a = run_batch(&jobs, &BatchOptions::default()).to_json();
+    let report_b = run_batch(
+        &jobs,
+        &BatchOptions {
+            jobs: 4,
+            ..BatchOptions::default()
+        },
+    )
+    .to_json();
+    assert_eq!(
+        report_a, report_b,
+        "reports must be byte-identical regardless of worker count"
+    );
+}
+
+/// Drives the real binary end to end: `vhdl1c gen | vhdl1c analyze`.
+#[test]
+fn binary_pipe_gen_analyze() {
+    let bin = env!("CARGO_BIN_EXE_vhdl1c");
+    let mut gen = Command::new(bin)
+        .args(["gen", "--seed", "7", "--count", "8"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn vhdl1c gen");
+    let analyze = Command::new(bin)
+        .args(["analyze", "--jobs", "2", "--format", "json", "--check"])
+        .stdin(gen.stdout.take().expect("gen stdout"))
+        .stdout(Stdio::piped())
+        .output()
+        .expect("run vhdl1c analyze");
+    assert!(gen.wait().expect("wait for gen").success());
+    assert!(
+        analyze.status.success(),
+        "analyze failed: {}",
+        String::from_utf8_lossy(&analyze.stderr)
+    );
+    let json = String::from_utf8(analyze.stdout).unwrap();
+    assert!(json.contains("\"designs\": ["));
+    assert!(json.contains("\"ground_truth_mismatches\": 0"));
+    assert!(json.contains("\"errors\": 0"));
+}
+
+/// The binary rejects unknown options instead of silently ignoring them.
+#[test]
+fn binary_rejects_unknown_flags() {
+    let bin = env!("CARGO_BIN_EXE_vhdl1c");
+    let out = Command::new(bin)
+        .args(["analyze", "--frobnicate"])
+        .output()
+        .expect("run vhdl1c");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}

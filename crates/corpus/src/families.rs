@@ -1,0 +1,444 @@
+//! Parameterized design families.
+//!
+//! Every builder returns a [`GeneratedDesign`]: a well-typed VHDL1 program
+//! (emitted through [`vhdl1_syntax::pretty`], so it round-trips through the
+//! real lexer and parser) together with its information-flow ground truth —
+//! which inputs are secret, which outputs are public sinks, which flows are
+//! intended (`allowed_flows`), and which flow edges a policy audit must flag
+//! (`expected_violations`, non-empty exactly for the deliberately leaky
+//! variants).
+//!
+//! Designs are simulation-safe by construction: every process suspends in a
+//! `wait on` over its *input* signals only (never on a signal the process
+//! itself drives), so a batch smoke-simulation always reaches quiescence.
+
+use crate::rng::Rng;
+use crate::{Family, GeneratedDesign};
+use vhdl1_syntax::{
+    Architecture, BinOp, Concurrent, Decl, DesignUnit, Entity, Expr, Port, PortMode, Process,
+    Program, Slice, Stmt, Target, Type,
+};
+
+fn vec8() -> Type {
+    Type::vector_downto(7, 0)
+}
+
+fn in_port(name: &str, ty: Type) -> Port {
+    Port {
+        name: name.into(),
+        mode: PortMode::In,
+        ty,
+    }
+}
+
+fn out_port(name: &str, ty: Type) -> Port {
+    Port {
+        name: name.into(),
+        mode: PortMode::Out,
+        ty,
+    }
+}
+
+fn var8(name: impl Into<String>) -> Decl {
+    Decl::Variable {
+        name: name.into(),
+        ty: vec8(),
+        init: None,
+    }
+}
+
+fn var_assign(name: &str, expr: Expr) -> Stmt {
+    Stmt::VarAssign {
+        label: 0,
+        target: Target::whole(name),
+        expr,
+    }
+}
+
+fn sig_assign(name: &str, expr: Expr) -> Stmt {
+    Stmt::SignalAssign {
+        label: 0,
+        target: Target::whole(name),
+        expr,
+    }
+}
+
+fn wait_on(signals: &[&str]) -> Stmt {
+    Stmt::Wait {
+        label: 0,
+        on: signals.iter().map(|s| s.to_string()).collect(),
+        until: Expr::one(),
+    }
+}
+
+/// A random 8-bit binary literal.
+fn bits8(rng: &mut Rng) -> Expr {
+    Expr::Vector((0..8).map(|_| *rng.pick(&['0', '1'])).collect())
+}
+
+/// A random byte-wide mixing step `acc = acc OP operand`.
+fn mix_step(rng: &mut Rng, acc: &str, operand: Expr) -> Stmt {
+    let op = *rng.pick(&[BinOp::Xor, BinOp::Add, BinOp::Sub, BinOp::And, BinOp::Or]);
+    var_assign(acc, Expr::binary(op, Expr::name(acc), operand))
+}
+
+/// A one-bit left rotation of the byte variable `v`: `v := v(6..0) & v(7)`.
+fn rotate_step(v: &str) -> Stmt {
+    var_assign(
+        v,
+        Expr::binary(
+            BinOp::Concat,
+            Expr::slice(v, Slice::downto(6, 0)),
+            Expr::slice(v, Slice::downto(7, 7)),
+        ),
+    )
+}
+
+fn program(name: &str, ports: Vec<Port>, decls: Vec<Decl>, body: Vec<Concurrent>) -> Program {
+    Program {
+        units: vec![
+            DesignUnit::Entity(Entity {
+                name: format!("{name}_e"),
+                ports,
+            }),
+            DesignUnit::Architecture(Architecture {
+                name: name.into(),
+                entity: format!("{name}_e"),
+                decls,
+                body,
+            }),
+        ],
+    }
+}
+
+fn process(name: &str, decls: Vec<Decl>, stmts: Vec<Stmt>) -> Concurrent {
+    Concurrent::Process(Process {
+        name: name.into(),
+        decls,
+        body: Stmt::seq(stmts),
+    })
+}
+
+fn owned_pairs(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect()
+}
+
+/// Combinational pipeline: the secret key is xor-folded into the data path
+/// over `12..=32` mixing stages.  The leaky variant taps an intermediate
+/// (key-tainted) stage onto the `tap` port; the clean variant forwards the
+/// public input instead.
+pub(crate) fn pipeline(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
+    let stages = rng.range(12, 32) as usize;
+    let mut stmts = vec![var_assign(
+        "v_0",
+        Expr::binary(BinOp::Xor, Expr::name("data_in"), Expr::name("key")),
+    )];
+    let mut decls = vec![var8("v_0")];
+    for i in 1..=stages {
+        let prev = format!("v_{}", i - 1);
+        let cur = format!("v_{i}");
+        decls.push(var8(&cur));
+        stmts.push(var_assign(&cur, Expr::name(&prev)));
+        if rng.chance(1, 2) {
+            stmts.push(rotate_step(&cur));
+        }
+        let constant = bits8(rng);
+        stmts.push(mix_step(rng, &cur, constant));
+    }
+    let last = format!("v_{stages}");
+    stmts.push(sig_assign("data_out", Expr::name(&last)));
+    // The tap: a key-tainted intermediate stage when leaky, the public
+    // input otherwise.
+    let tap_stage = format!("v_{}", rng.range(0, stages as u64));
+    stmts.push(sig_assign(
+        "tap",
+        if leaky {
+            Expr::name(&tap_stage)
+        } else {
+            Expr::name("data_in")
+        },
+    ));
+    stmts.push(wait_on(&["data_in", "key"]));
+
+    let source = vhdl1_syntax::pretty_program(&program(
+        name,
+        vec![
+            in_port("data_in", vec8()),
+            in_port("key", vec8()),
+            out_port("data_out", vec8()),
+            out_port("tap", vec8()),
+        ],
+        vec![],
+        vec![process("mix", decls, stmts)],
+    ));
+    GeneratedDesign {
+        name: name.into(),
+        family: Family::Pipeline,
+        leaky,
+        source,
+        secret_inputs: vec!["key".into()],
+        public_outputs: vec!["data_out".into(), "tap".into()],
+        allowed_flows: owned_pairs(&[("key", "data_out")]),
+        expected_violations: if leaky {
+            owned_pairs(&[("key", "tap")])
+        } else {
+            vec![]
+        },
+    }
+}
+
+/// A state machine whose transition is chosen by a branch condition: the
+/// leaky variant branches on the *secret* configuration word (an implicit
+/// flow into the state, observable at `observe`), the clean variant on the
+/// public request line.
+pub(crate) fn fsm(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
+    let sentinel = bits8(rng);
+    let fast = Expr::Int(rng.range(1, 3) as i64);
+    let slow = Expr::Int(rng.range(4, 7) as i64);
+    let cond = if leaky {
+        Expr::binary(BinOp::Eq, Expr::name("secret"), sentinel)
+    } else {
+        Expr::binary(BinOp::Eq, Expr::name("req"), Expr::one())
+    };
+    let mut step_stmts = vec![Stmt::If {
+        label: 0,
+        cond,
+        then_branch: Box::new(var_assign(
+            "next_state",
+            Expr::binary(BinOp::Add, Expr::name("state"), fast),
+        )),
+        else_branch: Box::new(var_assign(
+            "next_state",
+            Expr::binary(BinOp::Add, Expr::name("state"), slow),
+        )),
+    }];
+    // A post-transition diffusion chain: state-machine bookkeeping that
+    // stretches the definition-use chains the closure must follow.
+    for _ in 0..rng.range(8, 24) {
+        if rng.chance(1, 3) {
+            step_stmts.push(rotate_step("next_state"));
+        } else {
+            let constant = bits8(rng);
+            step_stmts.push(mix_step(rng, "next_state", constant));
+        }
+    }
+    step_stmts.push(sig_assign("state", Expr::name("next_state")));
+    step_stmts.push(wait_on(&["step"]));
+    let observer = vec![
+        sig_assign("observe", Expr::name("state")),
+        wait_on(&["state"]),
+    ];
+
+    let source = vhdl1_syntax::pretty_program(&program(
+        name,
+        vec![
+            in_port("step", Type::StdLogic),
+            in_port("req", Type::StdLogic),
+            in_port("secret", vec8()),
+            out_port("observe", vec8()),
+        ],
+        vec![Decl::Signal {
+            name: "state".into(),
+            ty: vec8(),
+            init: Some(Expr::Vector("00000000".into())),
+        }],
+        vec![
+            process("transition", vec![var8("next_state")], step_stmts),
+            process("observer", vec![], observer),
+        ],
+    ));
+    GeneratedDesign {
+        name: name.into(),
+        family: Family::Fsm,
+        leaky,
+        source,
+        secret_inputs: vec!["secret".into()],
+        public_outputs: vec!["observe".into()],
+        allowed_flows: vec![],
+        expected_violations: if leaky {
+            owned_pairs(&[("secret", "observe")])
+        } else {
+            vec![]
+        },
+    }
+}
+
+/// A miniature S-box/accumulator crypto core: a rotating accumulator is
+/// key-mixed and substituted through a small if-chain.  The leaky variant
+/// exposes the key-tainted substitution value on the `dbg` port; the clean
+/// variant echoes the public data input there.
+pub(crate) fn sbox_core(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
+    let subs = rng.range(8, 20);
+    let mut stmts = vec![
+        var_assign(
+            "t",
+            Expr::binary(
+                BinOp::Concat,
+                Expr::slice("acc", Slice::downto(6, 0)),
+                Expr::slice("acc", Slice::downto(7, 7)),
+            ),
+        ),
+        var_assign(
+            "t",
+            Expr::binary(BinOp::Xor, Expr::name("t"), Expr::name("key")),
+        ),
+    ];
+    // Substitution: a chain of constant rewrites, a tiny stand-in for an
+    // S-box lookup (keeps the nonlinearity that makes the flow interesting).
+    for _ in 0..subs {
+        let probe = bits8(rng);
+        let image = bits8(rng);
+        let diffusion = bits8(rng);
+        stmts.push(Stmt::If {
+            label: 0,
+            cond: Expr::binary(BinOp::Eq, Expr::name("t"), probe),
+            then_branch: Box::new(var_assign("t", image)),
+            else_branch: Box::new(mix_step(rng, "t", diffusion)),
+        });
+    }
+    stmts.push(sig_assign(
+        "acc",
+        Expr::binary(BinOp::Xor, Expr::name("t"), Expr::name("din")),
+    ));
+    stmts.push(sig_assign("cout", Expr::name("t")));
+    stmts.push(sig_assign(
+        "dbg",
+        if leaky {
+            Expr::name("t")
+        } else {
+            Expr::name("din")
+        },
+    ));
+    stmts.push(wait_on(&["din", "key"]));
+
+    let source = vhdl1_syntax::pretty_program(&program(
+        name,
+        vec![
+            in_port("din", vec8()),
+            in_port("key", vec8()),
+            out_port("cout", vec8()),
+            out_port("dbg", vec8()),
+        ],
+        vec![Decl::Signal {
+            name: "acc".into(),
+            ty: vec8(),
+            init: Some(Expr::Vector("00000000".into())),
+        }],
+        vec![process("core", vec![var8("t")], stmts)],
+    ));
+    GeneratedDesign {
+        name: name.into(),
+        family: Family::SboxCore,
+        leaky,
+        source,
+        secret_inputs: vec!["key".into()],
+        public_outputs: vec!["cout".into(), "dbg".into()],
+        allowed_flows: owned_pairs(&[("key", "cout")]),
+        expected_violations: if leaky {
+            owned_pairs(&[("key", "dbg")])
+        } else {
+            vec![]
+        },
+    }
+}
+
+/// A four-process design with signal cross-flow: two producers feed a
+/// select-gated mixer feeding the sinks.  Producer A folds the secret
+/// configuration word into its stream (intended, like a keyed transform);
+/// the leaky variant adds a monitor process that taps producer A's internal
+/// signal straight onto the `mon` port.
+pub(crate) fn cross_flow(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
+    let b_const = Expr::Int(rng.range(1, 9) as i64);
+    let producer_a = vec![
+        sig_assign(
+            "s_a",
+            Expr::binary(BinOp::Xor, Expr::name("a_in"), Expr::name("secret_cfg")),
+        ),
+        wait_on(&["a_in", "secret_cfg"]),
+    ];
+    let producer_b = vec![
+        sig_assign("s_b", Expr::binary(BinOp::Add, Expr::name("b_in"), b_const)),
+        wait_on(&["b_in"]),
+    ];
+    let mut mixer = vec![Stmt::If {
+        label: 0,
+        cond: Expr::binary(BinOp::Eq, Expr::name("sel"), Expr::one()),
+        then_branch: Box::new(var_assign("m", Expr::name("s_a"))),
+        else_branch: Box::new(var_assign("m", Expr::name("s_b"))),
+    }];
+    // Whitening chain between select and publish, as a real mixer would
+    // balance the paths; also the family's label-count scaling knob.
+    for _ in 0..rng.range(6, 18) {
+        if rng.chance(1, 3) {
+            mixer.push(rotate_step("m"));
+        } else {
+            let constant = bits8(rng);
+            mixer.push(mix_step(rng, "m", constant));
+        }
+    }
+    mixer.push(sig_assign("s_mix", Expr::name("m")));
+    mixer.push(wait_on(&["s_a", "s_b", "sel"]));
+    // One sink process per output.  A single process doing both assignments
+    // behind `wait on s_mix, s_b` would couple the flows: the analysis
+    // (faithfully to the paper) treats the sensitivity list as read at the
+    // synchronisation point, so an internal signal sampled after a shared
+    // wait receives flows from *everything* waited on — and the secret
+    // would reach `z_out` through the wait even though `z_out` only reads
+    // `s_b`.  Separate processes keep the clean variant's ground truth
+    // genuinely clean.
+    let sink_y = vec![
+        sig_assign("y_out", Expr::name("s_mix")),
+        wait_on(&["s_mix"]),
+    ];
+    let sink_z = vec![sig_assign("z_out", Expr::name("s_b")), wait_on(&["s_b"])];
+    let monitor = vec![
+        sig_assign("mon", Expr::name(if leaky { "s_a" } else { "s_b" })),
+        wait_on(if leaky { &["s_a"] } else { &["s_b"] }),
+    ];
+
+    let source = vhdl1_syntax::pretty_program(&program(
+        name,
+        vec![
+            in_port("a_in", vec8()),
+            in_port("b_in", vec8()),
+            in_port("sel", Type::StdLogic),
+            in_port("secret_cfg", vec8()),
+            out_port("y_out", vec8()),
+            out_port("z_out", vec8()),
+            out_port("mon", vec8()),
+        ],
+        ["s_a", "s_b", "s_mix"]
+            .iter()
+            .map(|s| Decl::Signal {
+                name: s.to_string(),
+                ty: vec8(),
+                init: None,
+            })
+            .collect(),
+        vec![
+            process("producer_a", vec![], producer_a),
+            process("producer_b", vec![], producer_b),
+            process("mixer", vec![var8("m")], mixer),
+            process("sink_y", vec![], sink_y),
+            process("sink_z", vec![], sink_z),
+            process("monitor", vec![], monitor),
+        ],
+    ));
+    GeneratedDesign {
+        name: name.into(),
+        family: Family::CrossFlow,
+        leaky,
+        source,
+        secret_inputs: vec!["secret_cfg".into()],
+        public_outputs: vec!["y_out".into(), "z_out".into(), "mon".into()],
+        allowed_flows: owned_pairs(&[("secret_cfg", "y_out")]),
+        expected_violations: if leaky {
+            owned_pairs(&[("secret_cfg", "mon")])
+        } else {
+            vec![]
+        },
+    }
+}

@@ -1,0 +1,181 @@
+//! The corpus stream format: how generated designs (and their ground truth)
+//! travel between `vhdl1c gen` and `vhdl1c analyze`.
+//!
+//! A manifest is a concatenation of design chunks.  Each chunk starts with
+//! metadata lines prefixed `--!` — a VHDL comment, so every chunk is also a
+//! valid VHDL1 compilation unit on its own — followed by the pretty-printed
+//! source:
+//!
+//! ```text
+//! --! design name=pipeline_s7_000 family=pipeline leaky=0
+//! --! secret key
+//! --! public data_out tap
+//! --! allow key->data_out
+//! --! expect key->tap
+//! entity pipeline_s7_000_e is
+//! ...
+//! ```
+//!
+//! `secret`/`public`/`allow`/`expect` lines are space-separated lists and
+//! may be absent when empty.  The format is line-based and append-only
+//! friendly, which is what lets `vhdl1c gen | vhdl1c analyze` stream.
+
+use crate::{Family, GeneratedDesign};
+use std::fmt::Write as _;
+
+/// Serialises a corpus into the manifest stream format.
+pub fn write_manifest(designs: &[GeneratedDesign]) -> String {
+    let mut out = String::new();
+    for d in designs {
+        let _ = writeln!(
+            out,
+            "--! design name={} family={} leaky={}",
+            d.name,
+            d.family.as_str(),
+            u8::from(d.leaky)
+        );
+        if !d.secret_inputs.is_empty() {
+            let _ = writeln!(out, "--! secret {}", d.secret_inputs.join(" "));
+        }
+        if !d.public_outputs.is_empty() {
+            let _ = writeln!(out, "--! public {}", d.public_outputs.join(" "));
+        }
+        for (from, to) in &d.allowed_flows {
+            let _ = writeln!(out, "--! allow {from}->{to}");
+        }
+        for (from, to) in &d.expected_violations {
+            let _ = writeln!(out, "--! expect {from}->{to}");
+        }
+        out.push_str(&d.source);
+        if !d.source.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses a manifest stream back into designs.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed metadata line.  Source text
+/// is *not* parsed here — the analyzer does that — but every chunk must be
+/// introduced by a `--! design` line.
+pub fn parse_manifest(text: &str) -> Result<Vec<GeneratedDesign>, String> {
+    let mut designs: Vec<GeneratedDesign> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if let Some(meta) = line.trim_start().strip_prefix("--!") {
+            let meta = meta.trim();
+            let (kind, rest) = meta.split_once(' ').unwrap_or((meta, ""));
+            match kind {
+                "design" => designs.push(parse_design_line(rest, lineno)?),
+                "secret" | "public" | "allow" | "expect" => {
+                    let d = designs.last_mut().ok_or_else(|| {
+                        format!("line {lineno}: `--! {kind}` before `--! design`")
+                    })?;
+                    match kind {
+                        "secret" => d.secret_inputs.extend(words(rest)),
+                        "public" => d.public_outputs.extend(words(rest)),
+                        "allow" => d.allowed_flows.push(parse_edge(rest, lineno)?),
+                        _ => d.expected_violations.push(parse_edge(rest, lineno)?),
+                    }
+                }
+                other => return Err(format!("line {lineno}: unknown metadata `--! {other}`")),
+            }
+        } else {
+            let d = designs.last_mut().ok_or_else(|| {
+                format!("line {lineno}: source text before any `--! design` header")
+            })?;
+            d.source.push_str(line);
+            d.source.push('\n');
+        }
+    }
+    Ok(designs)
+}
+
+fn words(s: &str) -> impl Iterator<Item = String> + '_ {
+    s.split_whitespace().map(str::to_string)
+}
+
+fn parse_edge(s: &str, lineno: usize) -> Result<(String, String), String> {
+    let (from, to) = s
+        .trim()
+        .split_once("->")
+        .ok_or_else(|| format!("line {lineno}: expected `from->to`, got `{s}`"))?;
+    Ok((from.trim().to_string(), to.trim().to_string()))
+}
+
+fn parse_design_line(rest: &str, lineno: usize) -> Result<GeneratedDesign, String> {
+    let mut name = None;
+    let mut family = None;
+    let mut leaky = false;
+    for field in rest.split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key=value`, got `{field}`"))?;
+        match key {
+            "name" => name = Some(value.to_string()),
+            "family" => {
+                family = Some(
+                    Family::from_str(value)
+                        .ok_or_else(|| format!("line {lineno}: unknown family `{value}`"))?,
+                )
+            }
+            "leaky" => leaky = value == "1",
+            other => return Err(format!("line {lineno}: unknown design field `{other}`")),
+        }
+    }
+    Ok(GeneratedDesign {
+        name: name.ok_or_else(|| format!("line {lineno}: design header without name"))?,
+        family: family.ok_or_else(|| format!("line {lineno}: design header without family"))?,
+        leaky,
+        source: String::new(),
+        secret_inputs: vec![],
+        public_outputs: vec![],
+        allowed_flows: vec![],
+        expected_violations: vec![],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, CorpusSpec};
+
+    #[test]
+    fn manifest_roundtrips() {
+        let corpus = generate(&CorpusSpec::new(7, 8));
+        let text = write_manifest(&corpus);
+        let back = parse_manifest(&text).unwrap();
+        assert_eq!(corpus, back);
+    }
+
+    #[test]
+    fn manifest_chunks_are_valid_vhdl() {
+        // The metadata lines are comments, so the whole stream lexes/parses
+        // as a sequence of design units.
+        let corpus = generate(&CorpusSpec::new(7, 4));
+        let text = write_manifest(&corpus);
+        let program = vhdl1_syntax::parse(&text).unwrap();
+        assert_eq!(program.units.len(), 2 * corpus.len());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_manifest("--! design").is_err());
+        assert!(parse_manifest("--! design name=x family=fsm\n--! allow broken").is_err());
+        assert!(parse_manifest("--! frobnicate x").is_err());
+        assert!(parse_manifest("entity e is end e;").is_err());
+        assert!(parse_manifest("--! secret key").is_err());
+        // Both identity fields of the design header are mandatory.
+        assert!(parse_manifest("--! design family=fsm").is_err());
+        assert!(parse_manifest("--! design name=x").is_err());
+        assert!(parse_manifest("--! design name=x family=unknown_family").is_err());
+    }
+
+    #[test]
+    fn empty_manifest_is_empty() {
+        assert_eq!(parse_manifest("").unwrap(), vec![]);
+    }
+}

@@ -170,6 +170,52 @@ pub fn analyze_with(design: &Design, options: &AnalysisOptions) -> AnalysisResul
     }
 }
 
+/// Parses, elaborates and analyzes a source text in one step — the
+/// per-design entry point of batch drivers (`vhdl1c analyze`), where inputs
+/// arrive as text rather than elaborated designs.
+///
+/// # Errors
+///
+/// Returns the front end's [`vhdl1_syntax::SyntaxError`] when the source
+/// does not parse or elaborate.
+///
+/// # Examples
+///
+/// ```
+/// use vhdl1_infoflow::{analyze_source, AnalysisOptions};
+///
+/// let result = analyze_source(
+///     "entity e is port(a : in std_logic; b : out std_logic); end e;
+///      architecture rtl of e is begin
+///        p : process begin b <= a; wait on a; end process p;
+///      end rtl;",
+///     &AnalysisOptions::default(),
+/// )?;
+/// assert!(result.flow_graph().has_edge("a", "b"));
+/// # Ok::<(), vhdl1_syntax::SyntaxError>(())
+/// ```
+pub fn analyze_source(
+    src: &str,
+    options: &AnalysisOptions,
+) -> Result<AnalysisResult, vhdl1_syntax::SyntaxError> {
+    Ok(analyze_with(&vhdl1_syntax::frontend(src)?, options))
+}
+
+/// Analyzes every design of a batch with shared options, preserving order.
+///
+/// This is the sequential batch entry point; parallel drivers (the
+/// `vhdl1c` worker pool) distribute the same per-design calls across
+/// threads.
+pub fn analyze_all<'d>(
+    designs: impl IntoIterator<Item = &'d Design>,
+    options: &AnalysisOptions,
+) -> Vec<AnalysisResult> {
+    designs
+        .into_iter()
+        .map(|d| analyze_with(d, options))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +289,22 @@ mod tests {
         let o = AnalysisOptions::sequential_illustration();
         assert!(!o.rd.process_repeats);
         assert!(o.improved_options.finals_are_outgoing);
+    }
+
+    #[test]
+    fn analyze_source_runs_the_front_end() {
+        let result = analyze_source(COPY, &AnalysisOptions::default()).unwrap();
+        assert!(result.flow_graph().has_edge("a", "b"));
+        assert!(analyze_source("entity broken", &AnalysisOptions::default()).is_err());
+    }
+
+    #[test]
+    fn analyze_all_preserves_order() {
+        let d1 = frontend(COPY).unwrap();
+        let d2 = frontend(&COPY.replace("rtl", "rtl2")).unwrap();
+        let results = analyze_all([&d1, &d2], &AnalysisOptions::default());
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].design_name, "rtl");
+        assert_eq!(results[1].design_name, "rtl2");
     }
 }

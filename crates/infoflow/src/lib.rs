@@ -49,7 +49,9 @@ pub mod local;
 pub mod policy;
 pub mod rm;
 
-pub use analysis::{analyze, analyze_with, AnalysisOptions, AnalysisResult};
+pub use analysis::{
+    analyze, analyze_all, analyze_source, analyze_with, AnalysisOptions, AnalysisResult,
+};
 pub use closure::{global_closure, specialize_rd, table8_step, SpecializedRd};
 pub use graph::FlowGraph;
 pub use improved::{improved_closure, ImprovedClosure, ImprovedOptions};

@@ -47,6 +47,99 @@ impl Policy {
         self
     }
 
+    /// Parses the textual policy format used by `vhdl1c --policy` files.
+    ///
+    /// One directive per line; blank lines and `#` comments are ignored:
+    ///
+    /// ```text
+    /// # resource levels (0 = public, larger = more confidential)
+    /// level key 2
+    /// level bus 0
+    /// # intended flows (declassifications)
+    /// allow key -> ciphertext
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vhdl1_infoflow::Policy;
+    ///
+    /// let p = Policy::parse_text("level key 2\nallow key -> ct\n").unwrap();
+    /// assert!(!p.permits("key", "anything_leveled")
+    ///     || p.levels.get("key") == Some(&2));
+    /// assert!(p.permits("key", "ct"));
+    /// ```
+    pub fn parse_text(text: &str) -> Result<Policy, String> {
+        let mut policy = Policy::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("level") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: `level` needs a resource name"))?;
+                    let level: Level = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("line {lineno}: `level {name}` needs a number"))?;
+                    if let Some(junk) = parts.next() {
+                        return Err(format!(
+                            "line {lineno}: unexpected `{junk}` after `level {name} {level}`"
+                        ));
+                    }
+                    policy.levels.insert(name.to_string(), level);
+                }
+                Some("allow") => {
+                    let rest: String = parts.collect::<Vec<_>>().join(" ");
+                    let (from, to) = rest.split_once("->").ok_or_else(|| {
+                        format!("line {lineno}: `allow` needs `from -> to`, got `{rest}`")
+                    })?;
+                    let (from, to) = (from.trim(), to.trim());
+                    if from.is_empty()
+                        || to.is_empty()
+                        || from.contains(char::is_whitespace)
+                        || to.contains(char::is_whitespace)
+                    {
+                        return Err(format!(
+                            "line {lineno}: `allow` endpoints must be single resource \
+                             names, got `{rest}`"
+                        ));
+                    }
+                    policy.allowed.insert((from.to_string(), to.to_string()));
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "line {lineno}: unknown directive `{other}` (expected `level` or `allow`)"
+                    ))
+                }
+                None => unreachable!("empty lines are skipped"),
+            }
+        }
+        Ok(policy)
+    }
+
+    /// Renders the policy in the [`Policy::parse_text`] format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, level) in &self.levels {
+            let _ = writeln!(out, "level {name} {level}");
+        }
+        for (from, to) in &self.allowed {
+            let _ = writeln!(out, "allow {from} -> {to}");
+        }
+        out
+    }
+
     /// Whether a flow between two resource names is permitted.
     pub fn permits(&self, from: &str, to: &str) -> bool {
         if self.allowed.contains(&(from.to_string(), to.to_string())) {
@@ -166,6 +259,35 @@ mod tests {
             .with_allowed("key", "debug");
         assert!(policy.permits("key", "debug"));
         assert!(audit(&graph(), &policy).is_secure());
+    }
+
+    #[test]
+    fn policy_text_roundtrips() {
+        let policy = Policy::new()
+            .with_level("key", 2)
+            .with_level("bus", 0)
+            .with_allowed("key", "ciphertext");
+        let text = policy.to_text();
+        assert_eq!(Policy::parse_text(&text).unwrap(), policy);
+    }
+
+    #[test]
+    fn policy_text_accepts_comments_and_blank_lines() {
+        let p = Policy::parse_text("# header\n\nlevel key 2  # trailing\nallow a -> b\n").unwrap();
+        assert_eq!(p.levels.get("key"), Some(&2));
+        assert!(p.allowed.contains(&("a".to_string(), "b".to_string())));
+    }
+
+    #[test]
+    fn policy_text_rejects_malformed_lines() {
+        assert!(Policy::parse_text("level key").is_err());
+        assert!(Policy::parse_text("level key notanumber").is_err());
+        assert!(Policy::parse_text("allow a b").is_err());
+        assert!(Policy::parse_text("deny a -> b").is_err());
+        // Trailing junk is an error, not silently ignored.
+        assert!(Policy::parse_text("level key 2 oops").is_err());
+        assert!(Policy::parse_text("allow key -> ct extra").is_err());
+        assert!(Policy::parse_text("allow -> ct").is_err());
     }
 
     #[test]

@@ -2,24 +2,32 @@
 //!
 //! VHDL identifiers and keywords are case-insensitive; the lexer normalises
 //! them to lower case.  Comments start with `--` and run to the end of line.
+//!
+//! The lexer scans the source bytes in place and borrows token payloads from
+//! the input wherever the text is already in normal form (lower-case
+//! identifiers, upper-case literals) — the common case for machine-generated
+//! and conventionally formatted sources — so lexing a large design performs
+//! no per-token allocation on the hot path (see `PERF.md`).
 
 use crate::error::SyntaxError;
 use crate::token::{Keyword, Pos, Token, TokenKind};
+use std::borrow::Cow;
 
 /// Lexes a complete source text into a vector of tokens terminated by
-/// [`TokenKind::Eof`].
+/// [`TokenKind::Eof`].  Identifier and string-literal tokens borrow from
+/// `src` when the spelling is already normalised.
 ///
 /// # Errors
 ///
 /// Returns a [`SyntaxError`] on unterminated literals or unexpected
 /// characters.
-pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
+pub fn lex(src: &str) -> Result<Vec<Token<'_>>, SyntaxError> {
     Lexer::new(src).run()
 }
 
 struct Lexer<'a> {
     src: &'a str,
-    chars: Vec<char>,
+    bytes: &'a [u8],
     idx: usize,
     line: u32,
     col: u32,
@@ -29,7 +37,7 @@ impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
         Lexer {
             src,
-            chars: src.chars().collect(),
+            bytes: src.as_bytes(),
             idx: 0,
             line: 1,
             col: 1,
@@ -43,17 +51,34 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn peek(&self) -> Option<char> {
-        self.chars.get(self.idx).copied()
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.idx).copied()
     }
 
-    fn peek2(&self) -> Option<char> {
-        self.chars.get(self.idx + 1).copied()
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.idx + 1).copied()
     }
 
-    fn bump(&mut self) -> Option<char> {
-        let c = self.peek()?;
+    /// Advances over one ASCII byte.  Must only be called when the current
+    /// byte is known to be ASCII (all VHDL1 token syntax is ASCII).
+    fn bump_ascii(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        debug_assert!(b.is_ascii(), "bump_ascii on a non-ASCII byte");
         self.idx += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    /// Advances over one character of arbitrary width (used inside literals
+    /// and for error reporting, where non-ASCII text may legitimately occur).
+    fn bump_char(&mut self) -> Option<char> {
+        let c = self.src[self.idx..].chars().next()?;
+        self.idx += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -63,94 +88,96 @@ impl<'a> Lexer<'a> {
         Some(c)
     }
 
-    fn run(mut self) -> Result<Vec<Token>, SyntaxError> {
-        let mut out = Vec::new();
+    fn run(mut self) -> Result<Vec<Token<'a>>, SyntaxError> {
+        // Identifiers dominate real sources at roughly one token per 6-8
+        // bytes; reserving for that density avoids regrowth churn.
+        let mut out = Vec::with_capacity(self.bytes.len() / 6 + 8);
         loop {
             self.skip_trivia();
             let pos = self.pos();
-            let Some(c) = self.peek() else {
+            let Some(b) = self.peek() else {
                 out.push(Token {
                     kind: TokenKind::Eof,
                     pos,
                 });
                 return Ok(out);
             };
-            let kind = match c {
-                '(' => {
-                    self.bump();
+            let kind = match b {
+                b'(' => {
+                    self.bump_ascii();
                     TokenKind::LParen
                 }
-                ')' => {
-                    self.bump();
+                b')' => {
+                    self.bump_ascii();
                     TokenKind::RParen
                 }
-                ';' => {
-                    self.bump();
+                b';' => {
+                    self.bump_ascii();
                     TokenKind::Semicolon
                 }
-                ',' => {
-                    self.bump();
+                b',' => {
+                    self.bump_ascii();
                     TokenKind::Comma
                 }
-                '+' => {
-                    self.bump();
+                b'+' => {
+                    self.bump_ascii();
                     TokenKind::Plus
                 }
-                '&' => {
-                    self.bump();
+                b'&' => {
+                    self.bump_ascii();
                     TokenKind::Ampersand
                 }
-                '-' => {
+                b'-' => {
                     // `--` comments are handled in skip_trivia, so this is minus.
-                    self.bump();
+                    self.bump_ascii();
                     TokenKind::Minus
                 }
-                '=' => {
-                    self.bump();
+                b'=' => {
+                    self.bump_ascii();
                     TokenKind::Eq
                 }
-                ':' => {
-                    self.bump();
-                    if self.peek() == Some('=') {
-                        self.bump();
+                b':' => {
+                    self.bump_ascii();
+                    if self.peek() == Some(b'=') {
+                        self.bump_ascii();
                         TokenKind::ColonEq
                     } else {
                         TokenKind::Colon
                     }
                 }
-                '<' => {
-                    self.bump();
-                    if self.peek() == Some('=') {
-                        self.bump();
+                b'<' => {
+                    self.bump_ascii();
+                    if self.peek() == Some(b'=') {
+                        self.bump_ascii();
                         TokenKind::LtEq
                     } else {
                         TokenKind::Lt
                     }
                 }
-                '>' => {
-                    self.bump();
-                    if self.peek() == Some('=') {
-                        self.bump();
+                b'>' => {
+                    self.bump_ascii();
+                    if self.peek() == Some(b'=') {
+                        self.bump_ascii();
                         TokenKind::GtEq
                     } else {
                         TokenKind::Gt
                     }
                 }
-                '/' => {
-                    self.bump();
-                    if self.peek() == Some('=') {
-                        self.bump();
+                b'/' => {
+                    self.bump_ascii();
+                    if self.peek() == Some(b'=') {
+                        self.bump_ascii();
                         TokenKind::SlashEq
                     } else {
                         return Err(SyntaxError::lex(pos, "expected `/=`".to_string()));
                     }
                 }
-                '\'' => {
-                    self.bump();
-                    let v = self.bump().ok_or_else(|| {
+                b'\'' => {
+                    self.bump_ascii();
+                    let v = self.bump_char().ok_or_else(|| {
                         SyntaxError::lex(pos, "unterminated character literal".to_string())
                     })?;
-                    if self.bump() != Some('\'') {
+                    if self.bump_char() != Some('\'') {
                         return Err(SyntaxError::lex(
                             pos,
                             "character literal must contain exactly one character".to_string(),
@@ -158,82 +185,118 @@ impl<'a> Lexer<'a> {
                     }
                     TokenKind::CharLit(v.to_ascii_uppercase())
                 }
-                '"' => {
-                    self.bump();
-                    let mut s = String::new();
-                    loop {
-                        match self.bump() {
-                            Some('"') => break,
-                            Some(ch) => s.push(ch.to_ascii_uppercase()),
-                            None => {
-                                return Err(SyntaxError::lex(
-                                    pos,
-                                    "unterminated string literal".to_string(),
-                                ))
-                            }
-                        }
-                    }
-                    TokenKind::StringLit(s)
+                b'"' => {
+                    self.bump_ascii();
+                    self.string_literal(pos)?
                 }
-                c if c.is_ascii_digit() => {
+                b if b.is_ascii_digit() => {
                     let mut n: i64 = 0;
                     while let Some(d) = self.peek() {
                         if d.is_ascii_digit() {
                             n = n
                                 .checked_mul(10)
-                                .and_then(|n| n.checked_add((d as u8 - b'0') as i64))
+                                .and_then(|n| n.checked_add((d - b'0') as i64))
                                 .ok_or_else(|| {
                                     SyntaxError::lex(pos, "integer literal overflows".to_string())
                                 })?;
-                            self.bump();
-                        } else if d == '_' {
-                            self.bump();
+                            self.bump_ascii();
+                        } else if d == b'_' {
+                            self.bump_ascii();
                         } else {
                             break;
                         }
                     }
                     TokenKind::IntLit(n)
                 }
-                c if c.is_ascii_alphabetic() || c == '_' => {
-                    let mut s = String::new();
+                b if b.is_ascii_alphabetic() || b == b'_' => {
+                    let start = self.idx;
+                    let mut has_upper = false;
                     while let Some(d) = self.peek() {
-                        if d.is_ascii_alphanumeric() || d == '_' {
-                            s.push(d.to_ascii_lowercase());
-                            self.bump();
+                        if d.is_ascii_alphanumeric() || d == b'_' {
+                            has_upper |= d.is_ascii_uppercase();
+                            self.bump_ascii();
                         } else {
                             break;
                         }
                     }
-                    match Keyword::from_str(&s) {
+                    let text = &self.src[start..self.idx];
+                    let spelled: Cow<'a, str> = if has_upper {
+                        Cow::Owned(text.to_ascii_lowercase())
+                    } else {
+                        Cow::Borrowed(text)
+                    };
+                    match Keyword::from_str(&spelled) {
                         Some(kw) => TokenKind::Keyword(kw),
-                        None => TokenKind::Ident(s),
+                        None => TokenKind::Ident(spelled),
                     }
                 }
-                other => {
+                _ => {
+                    // Decode the full character for the error message.
+                    let other = self.bump_char().expect("peeked byte implies a char");
                     return Err(SyntaxError::lex(
                         pos,
                         format!("unexpected character `{other}`"),
-                    ))
+                    ));
                 }
             };
             out.push(Token { kind, pos });
         }
     }
 
+    /// Scans a string literal body (the opening quote is already consumed),
+    /// borrowing the text when it is already upper-case.
+    fn string_literal(&mut self, pos: Pos) -> Result<TokenKind<'a>, SyntaxError> {
+        let start = self.idx;
+        let mut has_lower = false;
+        loop {
+            match self.peek() {
+                Some(b'"') => break,
+                Some(b) if b.is_ascii() => {
+                    has_lower |= b.is_ascii_lowercase();
+                    self.bump_ascii();
+                }
+                Some(_) => {
+                    self.bump_char();
+                }
+                None => {
+                    return Err(SyntaxError::lex(
+                        pos,
+                        "unterminated string literal".to_string(),
+                    ))
+                }
+            }
+        }
+        let text = &self.src[start..self.idx];
+        self.bump_ascii(); // closing quote
+        Ok(TokenKind::StringLit(if has_lower {
+            Cow::Owned(text.to_ascii_uppercase())
+        } else {
+            Cow::Borrowed(text)
+        }))
+    }
+
     fn skip_trivia(&mut self) {
         loop {
             match self.peek() {
-                Some(c) if c.is_whitespace() => {
-                    self.bump();
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump_ascii();
                 }
-                Some('-') if self.peek2() == Some('-') => {
-                    while let Some(c) = self.peek() {
-                        if c == '\n' {
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    // Comments may contain arbitrary text; scan bytes to the
+                    // newline (multi-byte characters never contain `\n`).
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
                             break;
                         }
-                        self.bump();
+                        if b.is_ascii() {
+                            self.bump_ascii();
+                        } else {
+                            self.bump_char();
+                        }
                     }
                 }
+                // Non-ASCII whitespace is not trivia in VHDL1; leave it for
+                // the main loop to report as an unexpected character.
                 _ => return,
             }
         }
@@ -252,7 +315,7 @@ impl std::fmt::Debug for Lexer<'_> {
 mod tests {
     use super::*;
 
-    fn kinds(src: &str) -> Vec<TokenKind> {
+    fn kinds(src: &str) -> Vec<TokenKind<'_>> {
         lex(src).unwrap().into_iter().map(|t| t.kind).collect()
     }
 
@@ -283,6 +346,36 @@ mod tests {
     }
 
     #[test]
+    fn lowercase_identifiers_borrow_from_the_source() {
+        let src = "latch_1 OUT_reg";
+        let toks = lex(src).unwrap();
+        match &toks[0].kind {
+            TokenKind::Ident(s) => assert!(matches!(s, Cow::Borrowed(_)), "should borrow"),
+            other => panic!("expected ident, got {other:?}"),
+        }
+        match &toks[1].kind {
+            TokenKind::Ident(s) => {
+                assert!(matches!(s, Cow::Owned(_)), "mixed case must normalise");
+                assert_eq!(s, "out_reg");
+            }
+            other => panic!("expected ident, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uppercase_string_literals_borrow_from_the_source() {
+        let toks = lex("\"01ZX\" \"01zx\"").unwrap();
+        match &toks[0].kind {
+            TokenKind::StringLit(s) => assert!(matches!(s, Cow::Borrowed(_))),
+            other => panic!("expected string literal, got {other:?}"),
+        }
+        match &toks[1].kind {
+            TokenKind::StringLit(s) => assert_eq!(s, "01ZX"),
+            other => panic!("expected string literal, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn skips_comments() {
         let ks = kinds("a -- a comment with -- dashes\n b");
         assert_eq!(
@@ -293,6 +386,13 @@ mod tests {
                 TokenKind::Eof
             ]
         );
+    }
+
+    #[test]
+    fn comments_may_contain_non_ascii_text() {
+        let ks = kinds("a -- flot paalidelighed\n-- nøgle π→σ\n b");
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1], TokenKind::Ident("b".into()));
     }
 
     #[test]
@@ -330,6 +430,11 @@ mod tests {
     #[test]
     fn errors_on_stray_slash() {
         assert!(lex("a / b").is_err());
+    }
+
+    #[test]
+    fn errors_on_non_ascii_outside_comments() {
+        assert!(lex("π <= a;").is_err());
     }
 
     #[test]

@@ -67,21 +67,21 @@ pub fn parse_expression(src: &str) -> Result<Expr, SyntaxError> {
     Ok(e)
 }
 
-struct Parser {
-    tokens: Vec<Token>,
+struct Parser<'a> {
+    tokens: Vec<Token<'a>>,
     idx: usize,
 }
 
-impl Parser {
-    fn new(tokens: Vec<Token>) -> Self {
+impl<'a> Parser<'a> {
+    fn new(tokens: Vec<Token<'a>>) -> Self {
         Parser { tokens, idx: 0 }
     }
 
-    fn peek(&self) -> &TokenKind {
+    fn peek(&self) -> &TokenKind<'a> {
         &self.tokens[self.idx].kind
     }
 
-    fn peek_n(&self, n: usize) -> &TokenKind {
+    fn peek_n(&self, n: usize) -> &TokenKind<'a> {
         let i = (self.idx + n).min(self.tokens.len() - 1);
         &self.tokens[i].kind
     }
@@ -90,7 +90,7 @@ impl Parser {
         self.tokens[self.idx].pos
     }
 
-    fn bump(&mut self) -> TokenKind {
+    fn bump(&mut self) -> TokenKind<'a> {
         let k = self.tokens[self.idx].kind.clone();
         if self.idx + 1 < self.tokens.len() {
             self.idx += 1;
@@ -119,7 +119,7 @@ impl Parser {
         }
     }
 
-    fn eat(&mut self, kind: &TokenKind) -> bool {
+    fn eat(&mut self, kind: &TokenKind<'_>) -> bool {
         if self.peek() == kind {
             self.bump();
             true
@@ -128,7 +128,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, kind: TokenKind) -> Result<(), SyntaxError> {
+    fn expect(&mut self, kind: TokenKind<'_>) -> Result<(), SyntaxError> {
         if self.eat(&kind) {
             Ok(())
         } else {
@@ -149,18 +149,20 @@ impl Parser {
     }
 
     fn ident(&mut self) -> Result<Ident, SyntaxError> {
-        match self.peek().clone() {
-            TokenKind::Ident(s) => {
-                self.bump();
-                Ok(s)
+        if matches!(self.peek(), TokenKind::Ident(_)) {
+            match self.bump() {
+                TokenKind::Ident(s) => Ok(s.into_owned()),
+                _ => unreachable!("peeked an identifier"),
             }
-            other => Err(self.err(format!("expected identifier, found {other}"))),
+        } else {
+            Err(self.err(format!("expected identifier, found {}", self.peek())))
         }
     }
 
     fn int(&mut self) -> Result<i64, SyntaxError> {
-        match self.peek().clone() {
+        match self.peek() {
             TokenKind::IntLit(n) => {
+                let n = *n;
                 self.bump();
                 Ok(n)
             }
@@ -709,16 +711,18 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr, SyntaxError> {
-        match self.peek().clone() {
+        match self.peek() {
             TokenKind::CharLit(c) => {
+                let c = *c;
                 self.bump();
                 Ok(Expr::Logic(c))
             }
-            TokenKind::StringLit(s) => {
-                self.bump();
-                Ok(Expr::Vector(s))
-            }
+            TokenKind::StringLit(_) => match self.bump() {
+                TokenKind::StringLit(s) => Ok(Expr::Vector(s.into_owned())),
+                _ => unreachable!("peeked a string literal"),
+            },
             TokenKind::IntLit(n) => {
+                let n = *n;
                 self.bump();
                 Ok(Expr::Int(n))
             }

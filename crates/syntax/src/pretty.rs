@@ -71,13 +71,23 @@ pub fn pretty_concurrent(cs: &Concurrent, level: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}{target} <= {};", pretty_expr(expr));
         }
         Concurrent::Process(p) => {
-            let _ = writeln!(out, "{pad}{} : process", p.name);
+            // Unlabelled processes (empty synthetic name) print without the
+            // `label :` prefix so the output re-parses.
+            if p.name.is_empty() {
+                let _ = writeln!(out, "{pad}process");
+            } else {
+                let _ = writeln!(out, "{pad}{} : process", p.name);
+            }
             for d in &p.decls {
                 let _ = writeln!(out, "{pad}  {}", pretty_decl(d));
             }
             let _ = writeln!(out, "{pad}begin");
             pretty_stmt(&p.body, level + 1, out);
-            let _ = writeln!(out, "{pad}end process {};", p.name);
+            if p.name.is_empty() {
+                let _ = writeln!(out, "{pad}end process;");
+            } else {
+                let _ = writeln!(out, "{pad}end process {};", p.name);
+            }
         }
         Concurrent::Block(b) => {
             let _ = writeln!(out, "{pad}{} : block", b.name);
@@ -176,11 +186,18 @@ fn pretty_expr_prec(e: &Expr, min: u8) -> String {
             None => name.clone(),
         },
         Expr::Unary { op, expr } => format!("{op} {}", pretty_expr_prec(expr, 3)),
-        Expr::Binary { op, lhs, rhs } => format!(
-            "{} {op} {}",
-            pretty_expr_prec(lhs, prec),
-            pretty_expr_prec(rhs, prec + 1)
-        ),
+        Expr::Binary { op, lhs, rhs } => {
+            // Relational operators are non-associative in the grammar (a
+            // relation parses exactly one comparison), so a relational
+            // operand on *either* side needs parentheses: `(a = b) = c`
+            // must not print as `a = b = c`, which does not re-parse.
+            let lhs_min = if op.is_relational() { prec + 1 } else { prec };
+            format!(
+                "{} {op} {}",
+                pretty_expr_prec(lhs, lhs_min),
+                pretty_expr_prec(rhs, prec + 1)
+            )
+        }
     };
     if prec < min {
         format!("({body})")

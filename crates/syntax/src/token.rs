@@ -1,12 +1,18 @@
 //! Tokens produced by the VHDL1 lexer.
+//!
+//! Tokens borrow their text from the lexed source where possible: an
+//! identifier that is already lower-case (and a string literal that is
+//! already upper-case) is a [`Cow::Borrowed`] slice of the input, so the
+//! common machine-generated-source path allocates nothing per token.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A lexical token together with its source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Token {
+pub struct Token<'a> {
     /// The token kind and payload.
-    pub kind: TokenKind,
+    pub kind: TokenKind<'a>,
     /// Source position of the first character of the token.
     pub pos: Pos,
 }
@@ -28,15 +34,17 @@ impl fmt::Display for Pos {
 
 /// The different kinds of tokens of VHDL1.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TokenKind {
+pub enum TokenKind<'a> {
     /// Identifier (case-insensitive in VHDL; normalised to lowercase).
-    Ident(String),
+    /// Borrows the source text when it is already lower-case.
+    Ident(Cow<'a, str>),
     /// Reserved word.
     Keyword(Keyword),
     /// A `std_logic` character literal such as `'1'`.
     CharLit(char),
-    /// A vector (string) literal such as `"0101"`.
-    StringLit(String),
+    /// A vector (string) literal such as `"0101"`.  Borrows the source text
+    /// when it is already upper-case.
+    StringLit(Cow<'a, str>),
     /// An integer literal.
     IntLit(i64),
     /// `(`
@@ -73,7 +81,7 @@ pub enum TokenKind {
     Eof,
 }
 
-impl fmt::Display for TokenKind {
+impl fmt::Display for TokenKind<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TokenKind::Ident(s) => write!(f, "identifier `{s}`"),

@@ -1,0 +1,295 @@
+//! Round-trip property tests: `parse(pretty(ast)) == ast` for randomly
+//! generated ASTs, and `parse(pretty(parse(src))) == parse(src)` for random
+//! concrete programs.  These shake out pretty-printer precedence and
+//! escaping bugs (e.g. the non-associative relational operators, unlabelled
+//! processes) that the small hand-written cases miss.
+
+use proptest::TestRng;
+use vhdl1_syntax::{
+    parse, parse_expression, parse_statements, pretty_expr, pretty_program, pretty_stmt,
+    Architecture, BinOp, Concurrent, Decl, DesignUnit, Entity, Expr, Port, PortMode, Process,
+    Program, Slice, Stmt, Target, Type,
+};
+
+const NAMES: &[&str] = &["a", "b", "c", "x", "y", "s", "t", "clk", "data", "q"];
+const LOGIC_CHARS: &[char] = &['0', '1', 'Z', 'X', 'U', 'W', 'L', 'H', '-'];
+
+fn pick<'x, T>(rng: &mut TestRng, xs: &'x [T]) -> &'x T {
+    &xs[rng.below(xs.len() as u64) as usize]
+}
+
+fn gen_slice(rng: &mut TestRng) -> Slice {
+    let a = rng.below(8) as i64;
+    let b = rng.below(8) as i64;
+    match rng.below(2) {
+        0 => Slice::downto(a.max(b), a.min(b)),
+        _ => Slice::to(a.min(b), a.max(b)),
+    }
+}
+
+fn gen_expr(rng: &mut TestRng, depth: u32) -> Expr {
+    let leaf = depth == 0 || rng.below(3) == 0;
+    if leaf {
+        match rng.below(4) {
+            0 => Expr::Logic(*pick(rng, LOGIC_CHARS)),
+            1 => {
+                let len = 1 + rng.below(8) as usize;
+                Expr::Vector((0..len).map(|_| *pick(rng, &['0', '1'])).collect())
+            }
+            2 => Expr::Int(rng.below(1000) as i64),
+            _ => {
+                let name = (*pick(rng, NAMES)).to_string();
+                if rng.below(3) == 0 {
+                    Expr::slice(name, gen_slice(rng))
+                } else {
+                    Expr::name(name)
+                }
+            }
+        }
+    } else {
+        match rng.below(5) {
+            0 => Expr::not(gen_expr(rng, depth - 1)),
+            _ => {
+                let op = *pick(
+                    rng,
+                    &[
+                        BinOp::And,
+                        BinOp::Or,
+                        BinOp::Xor,
+                        BinOp::Nand,
+                        BinOp::Nor,
+                        BinOp::Xnor,
+                        BinOp::Eq,
+                        BinOp::Neq,
+                        BinOp::Lt,
+                        BinOp::Le,
+                        BinOp::Gt,
+                        BinOp::Ge,
+                        BinOp::Add,
+                        BinOp::Sub,
+                        BinOp::Concat,
+                    ],
+                );
+                Expr::binary(op, gen_expr(rng, depth - 1), gen_expr(rng, depth - 1))
+            }
+        }
+    }
+}
+
+fn gen_target(rng: &mut TestRng) -> Target {
+    let name = (*pick(rng, NAMES)).to_string();
+    if rng.below(3) == 0 {
+        Target::sliced(name, gen_slice(rng))
+    } else {
+        Target::whole(name)
+    }
+}
+
+fn gen_stmt(rng: &mut TestRng, depth: u32) -> Stmt {
+    let simple = depth == 0 || rng.below(2) == 0;
+    if simple {
+        match rng.below(4) {
+            0 => Stmt::Null { label: 0 },
+            1 => Stmt::VarAssign {
+                label: 0,
+                target: gen_target(rng),
+                expr: gen_expr(rng, 2),
+            },
+            2 => Stmt::SignalAssign {
+                label: 0,
+                target: gen_target(rng),
+                expr: gen_expr(rng, 2),
+            },
+            _ => gen_wait(rng),
+        }
+    } else {
+        // Note: no bare `Seq` arm here.  The parser only ever builds `Seq`
+        // nodes as `Stmt::seq` over non-`Seq` elements (its canonical
+        // balanced form); the generator mirrors that so exact tree equality
+        // is the right comparison.
+        match rng.below(2) {
+            0 => Stmt::If {
+                label: 0,
+                cond: gen_expr(rng, 2),
+                then_branch: Box::new(gen_stmt_seq(rng, depth - 1)),
+                else_branch: Box::new(if rng.below(2) == 0 {
+                    Stmt::Null { label: 0 }
+                } else {
+                    gen_stmt_seq(rng, depth - 1)
+                }),
+            },
+            _ => Stmt::While {
+                label: 0,
+                cond: gen_expr(rng, 2),
+                body: Box::new(gen_stmt_seq(rng, depth - 1)),
+            },
+        }
+    }
+}
+
+/// Wait statements must stay canonical: an empty `on` list with a non-true
+/// `until` would be re-defaulted by the parser to the free names of the
+/// condition, so the generator only emits shapes the parser preserves.
+fn gen_wait(rng: &mut TestRng) -> Stmt {
+    match rng.below(3) {
+        0 => Stmt::Wait {
+            label: 0,
+            on: vec![],
+            until: Expr::one(),
+        },
+        1 => Stmt::Wait {
+            label: 0,
+            on: vec![(*pick(rng, NAMES)).to_string()],
+            until: Expr::one(),
+        },
+        _ => {
+            let cond = Expr::binary(BinOp::Eq, Expr::name(*pick(rng, NAMES)), Expr::one());
+            let mut on = cond.referenced_names();
+            if rng.below(2) == 0 {
+                let extra = (*pick(rng, NAMES)).to_string();
+                if !on.contains(&extra) {
+                    on.push(extra);
+                }
+            }
+            Stmt::Wait {
+                label: 0,
+                on,
+                until: cond,
+            }
+        }
+    }
+}
+
+fn gen_stmt_seq(rng: &mut TestRng, depth: u32) -> Stmt {
+    let n = 1 + rng.below(4) as usize;
+    Stmt::seq((0..n).map(|_| gen_stmt(rng, depth)).collect())
+}
+
+fn gen_decl(rng: &mut TestRng, signal: bool) -> Decl {
+    let name = format!("{}_{}", pick(rng, NAMES), rng.below(100));
+    let ty = match rng.below(2) {
+        0 => Type::StdLogic,
+        _ => Type::vector_downto(7, 0),
+    };
+    let init = (rng.below(3) == 0).then(|| match &ty {
+        Type::StdLogic => Expr::zero(),
+        Type::StdLogicVector { .. } => Expr::Vector("00000000".into()),
+    });
+    if signal {
+        Decl::Signal { name, ty, init }
+    } else {
+        Decl::Variable { name, ty, init }
+    }
+}
+
+fn gen_program(rng: &mut TestRng) -> Program {
+    let mut ports = Vec::new();
+    for (i, mode) in [(0, PortMode::In), (1, PortMode::Out)] {
+        ports.push(Port {
+            name: format!("p{i}"),
+            mode,
+            ty: Type::StdLogic,
+        });
+    }
+    let mut body: Vec<Concurrent> = Vec::new();
+    let n = 1 + rng.below(3);
+    for i in 0..n {
+        match rng.below(3) {
+            0 => body.push(Concurrent::Assign {
+                target: gen_target(rng),
+                expr: gen_expr(rng, 2),
+            }),
+            _ => body.push(Concurrent::Process(Process {
+                name: format!("proc_{i}"),
+                decls: (0..rng.below(3)).map(|_| gen_decl(rng, false)).collect(),
+                body: gen_stmt_seq(rng, 2),
+            })),
+        }
+    }
+    Program {
+        units: vec![
+            DesignUnit::Entity(Entity {
+                name: "e".into(),
+                ports,
+            }),
+            DesignUnit::Architecture(Architecture {
+                name: "rtl".into(),
+                entity: "e".into(),
+                decls: (0..rng.below(3)).map(|_| gen_decl(rng, true)).collect(),
+                body,
+            }),
+        ],
+    }
+}
+
+#[test]
+fn random_expressions_roundtrip() {
+    let mut rng = TestRng::deterministic("expr_roundtrip");
+    for case in 0..2000 {
+        let e = gen_expr(&mut rng, 4);
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expression(&printed)
+            .unwrap_or_else(|err| panic!("case {case}: `{printed}` does not parse: {err}"));
+        assert_eq!(e, reparsed, "case {case}: `{printed}` reparsed differently");
+    }
+}
+
+#[test]
+fn relational_chains_need_parentheses() {
+    // The regression the property test first caught: a relational operand on
+    // the left of a relational operator must parenthesise.
+    let e = Expr::binary(
+        BinOp::Eq,
+        Expr::binary(BinOp::Eq, Expr::name("a"), Expr::name("b")),
+        Expr::name("c"),
+    );
+    let printed = pretty_expr(&e);
+    assert_eq!(printed, "(a = b) = c");
+    assert_eq!(parse_expression(&printed).unwrap(), e);
+}
+
+#[test]
+fn random_statements_roundtrip() {
+    let mut rng = TestRng::deterministic("stmt_roundtrip");
+    for case in 0..500 {
+        let s = gen_stmt_seq(&mut rng, 3);
+        let mut printed = String::new();
+        pretty_stmt(&s, 0, &mut printed);
+        let reparsed = parse_statements(&printed)
+            .unwrap_or_else(|err| panic!("case {case}: does not parse: {err}\n{printed}"));
+        assert_eq!(s, reparsed, "case {case}:\n{printed}");
+    }
+}
+
+#[test]
+fn random_programs_roundtrip() {
+    let mut rng = TestRng::deterministic("program_roundtrip");
+    for case in 0..200 {
+        let p = gen_program(&mut rng);
+        let printed = pretty_program(&p);
+        let reparsed =
+            parse(&printed).unwrap_or_else(|err| panic!("case {case}: {err}\n{printed}"));
+        assert_eq!(p, reparsed, "case {case}:\n{printed}");
+    }
+}
+
+#[test]
+fn unlabelled_process_roundtrips() {
+    let src = "architecture a of e is begin process begin x := '1'; wait on a; end process; end a;";
+    let p = parse(src).unwrap();
+    let printed = pretty_program(&p);
+    assert_eq!(parse(&printed).unwrap(), p, "printed:\n{printed}");
+}
+
+#[test]
+fn reparse_is_a_fixed_point_of_pretty() {
+    // pretty ∘ parse is idempotent: printing a reparsed program reproduces
+    // the same text (pretty output is already in canonical form).
+    let mut rng = TestRng::deterministic("fixed_point");
+    for _ in 0..100 {
+        let p = gen_program(&mut rng);
+        let once = pretty_program(&p);
+        let twice = pretty_program(&parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

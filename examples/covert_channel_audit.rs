@@ -3,9 +3,14 @@
 //! design with security levels and check every information flow reported by
 //! the analysis against the policy.
 //!
+//! The audit goes through the same reporter as the `vhdl1c` batch driver
+//! ([`vhdl1_cli::report`]), so what this example prints is exactly what
+//! `vhdl1c analyze --format text` prints for the same design and policy.
+//!
 //! Run with `cargo run --example covert_channel_audit`.
 
-use vhdl_infoflow::infoflow::{analyze, audit, Policy};
+use vhdl1_cli::report::{design_report, BatchReport};
+use vhdl_infoflow::infoflow::{analyze, Policy};
 use vhdl_infoflow::syntax::frontend;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,7 +52,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let design = frontend(src)?;
     let result = analyze(&design);
-    let graph = result.flow_graph().merge_io_nodes();
 
     // Security lattice: key is secret (level 2), everything externally
     // observable is public (level 0).  Flows into the ciphertext are
@@ -61,24 +65,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_allowed("key", "ciphertext")
         .with_allowed("key", "mixed");
 
-    let report = audit(&graph, &policy);
-    println!(
-        "checked {} information-flow edges against the policy",
-        report.edges_checked
-    );
-    if report.is_secure() {
-        println!("no policy violations found");
-    } else {
-        println!("policy violations (candidate covert channels):");
-        for v in &report.violations {
-            println!("  {v}");
-        }
-    }
+    // One design, one report — rendered by the product reporter.
+    let report = design_report(&design, &result, &policy);
+    let batch = BatchReport {
+        designs: vec![report],
+        ..BatchReport::default()
+    };
+    print!("{}", batch.to_text());
 
     // The leak through the debug port must be flagged.
+    let report = &batch.designs[0];
+    assert!(!report.is_secure());
     assert!(report
         .violations
         .iter()
-        .any(|v| v.from.name() == "key" && v.to.name().starts_with("debug")));
+        .any(|v| v.from == "key" && v.to.starts_with("debug")));
     Ok(())
 }
