@@ -13,7 +13,7 @@ use vhdl1_cli::driver::{run_batch, BatchOptions, Job};
 use vhdl1_corpus::{generate, CorpusSpec};
 use vhdl1_dataflow::{RdOptions, ReachingDefinitions};
 use vhdl1_infoflow::alfp_encoding::solve_closure;
-use vhdl1_infoflow::{analyze_with, AnalysisOptions};
+use vhdl1_infoflow::{analyze_with, AnalysisOptions, Engine};
 
 /// One measured point of the ALFP scaling sweep, serialised into
 /// `BENCH_alfp.json` so the perf trajectory is machine-readable across PRs.
@@ -160,6 +160,88 @@ fn alfp_series() {
         tuples: batch.cache_hits,
         median_ns: median.as_nanos(),
     });
+
+    // Engine memo table: the same 50-design corpus analysed through a cold
+    // engine (fresh session per run: parse + all stages) and a warm one
+    // (every source a content-hash hit: no parsing, no stages).  `size`
+    // distinguishes the two legs: 0 = cold, 1 = warm.
+    println!("  engine cold vs warm (50 corpus designs through analyze_source):");
+    let (edges, cold_median) = measure(5, || {
+        let engine = Engine::default();
+        jobs.iter()
+            .map(|j| {
+                let a = engine.analyze_source(&j.source).expect("corpus parses");
+                a.flow_graph().edge_count()
+            })
+            .sum::<usize>()
+    });
+    println!("    cold: edges={edges:<6} median={cold_median:?}");
+    points.push(BenchPoint {
+        workload: "engine_cold_vs_warm",
+        size: 0,
+        tuples: jobs.len(),
+        median_ns: cold_median.as_nanos(),
+    });
+    let warm_engine = Engine::default();
+    for j in &jobs {
+        let a = warm_engine
+            .analyze_source(&j.source)
+            .expect("corpus parses");
+        let _ = a.flow_graph();
+    }
+    let (warm_edges, warm_median) = measure(5, || {
+        jobs.iter()
+            .map(|j| {
+                let a = warm_engine.analyze_source(&j.source).expect("cached");
+                a.flow_graph().edge_count()
+            })
+            .sum::<usize>()
+    });
+    assert_eq!(edges, warm_edges, "warm engine must reproduce cold results");
+    println!("    warm: edges={warm_edges:<6} median={warm_median:?}");
+    points.push(BenchPoint {
+        workload: "engine_cold_vs_warm",
+        size: 1,
+        tuples: jobs.len(),
+        median_ns: warm_median.as_nanos(),
+    });
+
+    // Demand-driven laziness: querying only the base flow graph through a
+    // default-options engine skips the Table-9 closure entirely; the eager
+    // one-shot computes it regardless.  Same designs, same options — the gap
+    // is the work the lazy API never does.
+    println!("  lazy graph-only query vs eager full pipeline (default options):");
+    for n in [40usize, 160] {
+        let design = design_of(&chain_src(n));
+        let lazy_engine = Engine::default();
+        let (lazy_edges, lazy_median) = measure(5, || {
+            lazy_engine.analyze(&design).base_flow_graph().edge_count()
+        });
+        let (eager_edges, eager_median) = measure(5, || {
+            analyze_with(&design, &AnalysisOptions::default())
+                .base_flow_graph()
+                .edge_count()
+        });
+        assert_eq!(lazy_edges, eager_edges);
+        assert_eq!(
+            lazy_engine.stats().improved,
+            0,
+            "lazy query must skip Table 9"
+        );
+        println!("    chain({n}): lazy={lazy_median:?} eager={eager_median:?} edges={lazy_edges}");
+        points.push(BenchPoint {
+            workload: "engine_lazy_graph_only",
+            size: n,
+            tuples: lazy_edges,
+            median_ns: lazy_median.as_nanos(),
+        });
+        points.push(BenchPoint {
+            workload: "engine_eager_full",
+            size: n,
+            tuples: eager_edges,
+            median_ns: eager_median.as_nanos(),
+        });
+    }
 
     let json: String = points
         .iter()

@@ -32,6 +32,8 @@ usage:
       --check           exit 2 unless the batch is clean (no errors,
                         ground-truth mismatches, or smoke failures)
       --base            base closure only (no incoming/outgoing nodes)
+      --no-cache        disable the engine's analysis memo table
+                        (report-level dedup of identical jobs stays on)
 
   vhdl1c help
       Show this message.
@@ -135,6 +137,9 @@ fn analyze_command(args: &[String]) -> Result<ExitCode, String> {
     let check = take_flag(&mut args, "--check");
     if take_flag(&mut args, "--base") {
         opts.analysis.improved = false;
+    }
+    if take_flag(&mut args, "--no-cache") {
+        opts.cache = vhdl1_infoflow::CachePolicy::Disabled;
     }
     let out_path = take_value(&mut args, "--out")?;
     if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {

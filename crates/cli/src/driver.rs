@@ -2,17 +2,20 @@
 //!
 //! Every job (a design source plus optional corpus ground truth) goes
 //! through parse → elaborate → RD dataflow → closure → flow graph → policy
-//! audit on a worker of the [`crate::pool`], with a content-hash cache in
-//! front: two jobs with identical source and identical effective policy
-//! analyze once and share the result (per-job ground-truth bookkeeping is
-//! re-derived, never copied across the cache).
+//! audit on a worker of the [`crate::pool`].  All workers share one
+//! [`vhdl1_infoflow::Engine`] — the analysis memo table lives in the
+//! library, keyed by the engine's content hash; the driver adds its own
+//! *report-level* dedup on top: two jobs with identical source and
+//! identical effective policy share one [`DesignReport`] (per-job
+//! ground-truth bookkeeping is re-derived, never copied across the cache),
+//! grouped up front so every report byte is independent of worker count.
 
 use crate::pool;
-use crate::report::{design_report, BatchError, BatchReport, DesignReport};
+use crate::report::{analysis_report, BatchError, BatchReport, DesignReport};
 use std::collections::HashMap;
 use std::time::Instant;
 use vhdl1_corpus::GeneratedDesign;
-use vhdl1_infoflow::{analyze_with, AnalysisOptions, Policy};
+use vhdl1_infoflow::{fnv1a64, AnalysisOptions, CachePolicy, Engine, EngineConfig, Policy};
 use vhdl1_sim::Simulator;
 
 /// Output formats of `vhdl1c analyze`.
@@ -128,7 +131,18 @@ pub struct BatchOptions {
     pub smoke: bool,
     /// Options of the underlying analysis.
     pub analysis: AnalysisOptions,
+    /// Memo-table policy of the shared analysis engine (the library-side
+    /// cache; report-level dedup is always on).  The default caps the table
+    /// rather than keeping every unique design's stage artifacts alive for
+    /// the whole batch: identical jobs are already shared by the report
+    /// dedup, so the engine cache only needs to cover the
+    /// same-source-different-policy working set.
+    pub cache: CachePolicy,
 }
+
+/// Default retention of the batch engine's memo table — bounds peak memory
+/// on huge corpora while still covering realistic duplicate working sets.
+pub const DEFAULT_ENGINE_CACHE: CachePolicy = CachePolicy::Capped(512);
 
 impl Default for BatchOptions {
     fn default() -> Self {
@@ -139,18 +153,9 @@ impl Default for BatchOptions {
             timing: false,
             smoke: false,
             analysis: AnalysisOptions::default(),
+            cache: DEFAULT_ENGINE_CACHE,
         }
     }
-}
-
-/// 64-bit FNV-1a content hash (the cache key over design source).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Runs the batch: analyzes every job `opts.jobs`-way parallel and collects
@@ -163,6 +168,12 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// report byte — independent of worker count and scheduling.
 pub fn run_batch(jobs: &[Job], opts: &BatchOptions) -> BatchReport {
     let start = Instant::now();
+
+    // One analysis session for the whole batch, shared by every worker.
+    let engine = Engine::new(EngineConfig {
+        options: opts.analysis,
+        cache: opts.cache,
+    });
 
     // Group by cache key; compute each job's effective policy exactly once.
     let mut first_of_key: HashMap<u64, usize> = HashMap::new();
@@ -182,7 +193,7 @@ pub fn run_batch(jobs: &[Job], opts: &BatchOptions) -> BatchReport {
     // Analyze one representative per group, in parallel.
     let unique: Vec<usize> = (0..jobs.len()).filter(|&i| rep[i] == i).collect();
     let unique_outcomes = pool::run(&unique, opts.jobs, |_, &i| {
-        analyze_job(&jobs[i], &policies[i], opts)
+        analyze_job(&engine, &jobs[i], &policies[i], opts)
     });
     let mut outcome_of: HashMap<usize, Result<DesignReport, BatchError>> =
         unique.into_iter().zip(unique_outcomes).collect();
@@ -275,25 +286,27 @@ fn apply_truth(report: &mut DesignReport, job: &Job) {
 }
 
 fn analyze_job(
+    engine: &Engine,
     job: &Job,
     policy: &Policy,
     opts: &BatchOptions,
 ) -> Result<DesignReport, BatchError> {
     let started = Instant::now();
-    let fail = |error: String| BatchError {
+    let analysis = engine.analyze_source(&job.source).map_err(|e| BatchError {
         name: job.name.clone(),
-        error,
-    };
-    let design = vhdl1_syntax::frontend(&job.source).map_err(|e| fail(e.to_string()))?;
-    let result = analyze_with(&design, &opts.analysis);
-    let mut report = design_report(&design, &result, policy);
+        phase: Some(e.phase().to_string()),
+        line: e.line_col().map(|(l, _)| l),
+        col: e.line_col().map(|(_, c)| c),
+        error: e.to_string(),
+    })?;
+    let mut report = analysis_report(&analysis, policy);
     report.name = job.name.clone();
     report.source_hash = format!("fnv1a:{:016x}", fnv1a64(job.source.as_bytes()));
     if opts.format == Format::Dot {
-        report.dot = Some(result.flow_graph().to_dot(&job.name));
+        report.dot = Some(analysis.flow_graph().to_dot(&job.name));
     }
     if opts.smoke {
-        match smoke_simulate(&design) {
+        match smoke_simulate(analysis.design()) {
             Ok(deltas) => report.smoke_deltas = Some(deltas),
             Err(e) => report.smoke_error = Some(e),
         }
@@ -480,6 +493,39 @@ mod tests {
         assert_eq!(batch.errors.len(), 1);
         assert_eq!(batch.errors[0].name, "broken");
         assert!(!batch.check_ok());
+    }
+
+    #[test]
+    fn frontend_errors_carry_phase_and_position_into_reports() {
+        let jobs = vec![
+            Job::from_source("bad_parse", "entity oops"),
+            Job::from_source(
+                "bad_elab",
+                "entity e is port(a : in std_logic; b : out std_logic); end e;\n\
+                 architecture rtl of e is begin\n\
+                 p : process begin b <= ghost; wait on a; end process;\n\
+                 end rtl;",
+            ),
+        ];
+        let batch = run_batch(&jobs, &BatchOptions::default());
+        assert_eq!(batch.errors.len(), 2);
+        let parse = &batch.errors[0];
+        assert_eq!(parse.phase.as_deref(), Some("parse"));
+        assert!(parse.line.is_some() && parse.col.is_some());
+        let elab = &batch.errors[1];
+        assert_eq!(elab.phase.as_deref(), Some("elaborate"));
+        assert_eq!((elab.line, elab.col), (Some(3), Some(24)));
+        assert!(
+            elab.error.contains("at 3:24"),
+            "text rendering must include line:col: {}",
+            elab.error
+        );
+        let json = batch.to_json();
+        assert!(json.contains("\"phase\": \"elaborate\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"col\": 24"));
+        let text = batch.to_text();
+        assert!(text.contains("error bad_elab: elaborate error at 3:24"));
     }
 
     #[test]

@@ -35,5 +35,11 @@ pub mod json;
 pub mod pool;
 pub mod report;
 
-pub use driver::{fnv1a64, run_batch, BatchOptions, Format, Job, JobTruth};
-pub use report::{design_report, BatchError, BatchReport, DesignReport, ReportViolation};
+pub use driver::{run_batch, BatchOptions, Format, Job, JobTruth};
+pub use report::{
+    analysis_report, design_report, BatchError, BatchReport, DesignReport, ReportViolation,
+};
+// The content-hash function moved into the analysis engine (the cache now
+// lives in the library); re-exported here so existing `vhdl1_cli::fnv1a64`
+// callers keep working.
+pub use vhdl1_infoflow::fnv1a64;

@@ -5,7 +5,7 @@
 
 use crate::json;
 use std::fmt::Write as _;
-use vhdl1_infoflow::{audit, AnalysisResult, Policy};
+use vhdl1_infoflow::{audit, Analysis, AnalysisResult, FlowGraph, Policy};
 use vhdl1_syntax::Design;
 
 /// One policy violation, flattened to resource names and levels.
@@ -62,14 +62,26 @@ pub struct DesignReport {
     pub dot: Option<String>,
 }
 
-/// Builds the report record for one analyzed design.
+/// Builds the report record for one analyzed design from the owned, eager
+/// [`AnalysisResult`] (compatibility path; rebuilds the graph).
 ///
 /// The flow graph is audited with incoming/outgoing nodes merged into their
 /// underlying resource (the paper's presentation form), so policies talk
 /// about port and signal names only.
 pub fn design_report(design: &Design, result: &AnalysisResult, policy: &Policy) -> DesignReport {
-    let graph = result.flow_graph().merge_io_nodes();
-    let report = audit(&graph, policy);
+    report_from_graph(design, &result.flow_graph().merge_io_nodes(), policy)
+}
+
+/// Builds the report record for one design from a lazy [`Analysis`] handle —
+/// the batch driver's path.  Demands exactly the merged flow graph (and its
+/// upstream stages); the graph is memoized in the handle, so rendering DOT
+/// afterwards reuses it.
+pub fn analysis_report(analysis: &Analysis<'_>, policy: &Policy) -> DesignReport {
+    report_from_graph(analysis.design(), analysis.merged_flow_graph(), policy)
+}
+
+fn report_from_graph(design: &Design, graph: &FlowGraph, policy: &Policy) -> DesignReport {
+    let report = audit(graph, policy);
     DesignReport {
         name: design.name.clone(),
         family: None,
@@ -241,12 +253,19 @@ impl DesignReport {
 }
 
 /// A design that failed to parse, elaborate, or otherwise analyze.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchError {
     /// Name of the failing design (or its file/manifest entry).
     pub name: String,
-    /// The failure message.
+    /// The failure message (includes `line:col` when known).
     pub error: String,
+    /// Failing pipeline phase (`lex` / `parse` / `elaborate`), when the
+    /// failure came from the analysis engine.
+    pub phase: Option<String>,
+    /// 1-based source line of the failure, when known.
+    pub line: Option<u32>,
+    /// 1-based source column of the failure, when known.
+    pub col: Option<u32>,
 }
 
 /// The aggregate result of a batch run.
@@ -317,8 +336,11 @@ impl BatchReport {
             .iter()
             .map(|e| {
                 format!(
-                    "{{\"name\": {}, \"error\": {}}}",
+                    "{{\"name\": {}, \"phase\": {}, \"line\": {}, \"col\": {}, \"error\": {}}}",
                     json::string(&e.name),
+                    json::opt_string(e.phase.as_deref()),
+                    json::opt(e.line),
+                    json::opt(e.col),
                     json::string(&e.error)
                 )
             })
@@ -426,7 +448,10 @@ mod tests {
         report.designs.push(copy_report(&Policy::new()));
         report.errors.push(BatchError {
             name: "broken".into(),
-            error: "1:1: parse error \"quoted\"".into(),
+            error: "parse error at 1:1: \"quoted\"".into(),
+            phase: Some("parse".into()),
+            line: Some(1),
+            col: Some(1),
         });
         let json = report.to_json();
         assert!(json.contains("\"tool\": \"vhdl1c\""));

@@ -16,7 +16,7 @@ use crate::rng::Rng;
 use crate::{Family, GeneratedDesign};
 use vhdl1_syntax::{
     Architecture, BinOp, Concurrent, Decl, DesignUnit, Entity, Expr, Port, PortMode, Process,
-    Program, Slice, Stmt, Target, Type,
+    Program, Slice, Span, Stmt, Target, Type,
 };
 
 fn vec8() -> Type {
@@ -28,6 +28,7 @@ fn in_port(name: &str, ty: Type) -> Port {
         name: name.into(),
         mode: PortMode::In,
         ty,
+        span: Span::NONE,
     }
 }
 
@@ -36,6 +37,7 @@ fn out_port(name: &str, ty: Type) -> Port {
         name: name.into(),
         mode: PortMode::Out,
         ty,
+        span: Span::NONE,
     }
 }
 
@@ -44,6 +46,7 @@ fn var8(name: impl Into<String>) -> Decl {
         name: name.into(),
         ty: vec8(),
         init: None,
+        span: Span::NONE,
     }
 }
 
@@ -244,6 +247,7 @@ pub(crate) fn fsm(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
             name: "state".into(),
             ty: vec8(),
             init: Some(Expr::Vector("00000000".into())),
+            span: Span::NONE,
         }],
         vec![
             process("transition", vec![var8("next_state")], step_stmts),
@@ -326,6 +330,7 @@ pub(crate) fn sbox_core(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesi
             name: "acc".into(),
             ty: vec8(),
             init: Some(Expr::Vector("00000000".into())),
+            span: Span::NONE,
         }],
         vec![process("core", vec![var8("t")], stmts)],
     ));
@@ -416,6 +421,7 @@ pub(crate) fn cross_flow(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDes
                 name: s.to_string(),
                 ty: vec8(),
                 init: None,
+                span: Span::NONE,
             })
             .collect(),
         vec![

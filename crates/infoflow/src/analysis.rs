@@ -1,11 +1,16 @@
-//! End-to-end driver: runs the Reaching Definitions analyses and the
-//! Information Flow analysis on an elaborated design.
+//! The eager one-shot entry points and their owned [`AnalysisResult`].
+//!
+//! These are compatibility wrappers over the demand-driven
+//! [`crate::engine`] API: each one builds a throwaway [`crate::Engine`],
+//! runs a lazy [`crate::Analysis`] to completion and materialises an owned
+//! result.  Callers that query more than once, analyse more than one design,
+//! or do not need every stage should hold an [`crate::Engine`] instead.
 
-use crate::closure::{global_closure, specialize_rd, SpecializedRd};
+use crate::closure::SpecializedRd;
+use crate::engine::Engine;
 use crate::graph::FlowGraph;
-use crate::improved::{improved_closure, ImprovedClosure, ImprovedOptions};
+use crate::improved::{ImprovedClosure, ImprovedOptions};
 use crate::kemmerer::kemmerer_graph_from_matrix;
-use crate::local::local_dependencies;
 use crate::rm::ResourceMatrix;
 use serde::{Deserialize, Serialize};
 use vhdl1_dataflow::{RdOptions, ReachingDefinitions};
@@ -87,6 +92,10 @@ pub struct AnalysisResult {
 impl AnalysisResult {
     /// The information-flow graph of the analysis: the improved graph when
     /// the improved analysis was run, the base graph otherwise.
+    ///
+    /// Builds a fresh graph on every call (the owned result has no memo
+    /// slots); query [`crate::Analysis::flow_graph`] instead when the graph
+    /// is needed more than once.
     pub fn flow_graph(&self) -> FlowGraph {
         match &self.improved {
             Some(imp) => FlowGraph::from_resource_matrix(&imp.matrix),
@@ -152,22 +161,7 @@ pub fn analyze(design: &Design) -> AnalysisResult {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn analyze_with(design: &Design, options: &AnalysisOptions) -> AnalysisResult {
-    let rd = ReachingDefinitions::compute(design, &options.rd);
-    let local = local_dependencies(design);
-    let specialized = specialize_rd(&rd, &local, options.specialize_rd);
-    let global = global_closure(design, &rd, &specialized, &local);
-    let improved = options
-        .improved
-        .then(|| improved_closure(design, &rd, &specialized, &local, &options.improved_options));
-    AnalysisResult {
-        design_name: design.name.clone(),
-        options: *options,
-        rd,
-        local,
-        specialized,
-        global,
-        improved,
-    }
+    Engine::with_options(*options).analyze(design).into_result()
 }
 
 /// Parses, elaborates and analyzes a source text in one step — the
@@ -210,9 +204,10 @@ pub fn analyze_all<'d>(
     designs: impl IntoIterator<Item = &'d Design>,
     options: &AnalysisOptions,
 ) -> Vec<AnalysisResult> {
+    let engine = Engine::with_options(*options);
     designs
         .into_iter()
-        .map(|d| analyze_with(d, options))
+        .map(|d| engine.analyze(d).into_result())
         .collect()
 }
 

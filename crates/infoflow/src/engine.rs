@@ -1,0 +1,977 @@
+//! Demand-driven analysis sessions: the [`Engine`] / [`Analysis`] query API.
+//!
+//! The paper's pipeline (Tables 6–9) is strictly staged, but callers rarely
+//! need every stage: a dashboard asking for the flow graph of the base
+//! closure should not pay for the Table-9 environment modelling, and a batch
+//! driver re-analysing an unchanged source should not pay for anything at
+//! all.  This module therefore exposes the analysis as *queries* over a
+//! long-lived session:
+//!
+//! * [`Engine`] — a cross-design session holding the shared
+//!   [`AnalysisOptions`], the content-hash memo table (previously private to
+//!   the `vhdl1c` driver) and the per-stage computation counters.  An engine
+//!   is cheap to create, [`Sync`], and designed to be shared by the worker
+//!   threads of a batch driver.
+//! * [`Analysis`] — a per-design handle whose stage accessors ([`rd`],
+//!   [`local`], [`specialized`], [`global`], [`improved`], [`flow_graph`],
+//!   [`kemmerer_graph`], …) compute on first demand into `OnceLock` slots
+//!   and return **borrowed** artifacts.  Asking twice never recomputes;
+//!   asking for a downstream stage computes exactly the upstream stages it
+//!   needs and nothing else.
+//! * [`EngineError`] — the structured error of the session API: the failing
+//!   [`phase`](EngineError::phase), the source
+//!   [`position`](EngineError::pos) (threaded through elaboration since the
+//!   AST carries [`vhdl1_syntax::Span`]s) and the underlying
+//!   [`SyntaxError`] as `std::error::Error::source`.
+//!
+//! The eager one-shot functions ([`crate::analyze`], [`crate::analyze_with`],
+//! [`crate::analyze_source`], [`crate::analyze_all`]) are thin compatibility
+//! wrappers that materialise an owned [`AnalysisResult`] from a finished
+//! `Analysis` (see DESIGN.md for why they stay).
+//!
+//! [`rd`]: Analysis::rd
+//! [`local`]: Analysis::local
+//! [`specialized`]: Analysis::specialized
+//! [`global`]: Analysis::global
+//! [`improved`]: Analysis::improved
+//! [`flow_graph`]: Analysis::flow_graph
+//! [`kemmerer_graph`]: Analysis::kemmerer_graph
+
+use crate::analysis::{AnalysisOptions, AnalysisResult};
+use crate::closure::{global_closure, specialize_rd, SpecializedRd};
+use crate::graph::FlowGraph;
+use crate::improved::{improved_closure, ImprovedClosure};
+use crate::kemmerer::kemmerer_graph_from_matrix;
+use crate::local::local_dependencies;
+use crate::policy::{audit, AuditReport, Policy};
+use crate::rm::ResourceMatrix;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use vhdl1_dataflow::ReachingDefinitions;
+use vhdl1_syntax::{Design, Pos, SyntaxError, SyntaxErrorKind};
+
+/// 64-bit FNV-1a content hash — the engine's cache key over source bytes.
+///
+/// Exposed because reports and external caches key on the same digest (the
+/// `vhdl1c` `source_hash` field is `fnv1a:<hex>` of this function).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Retention policy of the engine's content-hash memo table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Memoize every analysed source for the lifetime of the engine (batch
+    /// drivers: the working set is the corpus).
+    #[default]
+    Unbounded,
+    /// Keep at most this many designs, evicting the least recently inserted.
+    Capped(usize),
+    /// Never memoize (one-shot compatibility wrappers).
+    Disabled,
+}
+
+/// Configuration of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineConfig {
+    /// Options shared by every analysis of the session.
+    pub options: AnalysisOptions,
+    /// Memo-table retention.
+    pub cache: CachePolicy,
+}
+
+/// The phase of the pipeline an [`EngineError`] originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePhase {
+    /// Lexical analysis of the source text.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Elaboration (scoping, uniqueness and binding checks).
+    Elaborate,
+}
+
+impl fmt::Display for EnginePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnginePhase::Lex => write!(f, "lex"),
+            EnginePhase::Parse => write!(f, "parse"),
+            EnginePhase::Elaborate => write!(f, "elaborate"),
+        }
+    }
+}
+
+/// A structured analysis-session error: failing phase, source position (when
+/// the front end could attribute one) and the underlying cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    phase: EnginePhase,
+    pos: Option<Pos>,
+    message: String,
+    source: SyntaxError,
+}
+
+impl EngineError {
+    /// The phase that failed.
+    pub fn phase(&self) -> EnginePhase {
+        self.phase
+    }
+
+    /// Source position of the failure, if known (elaboration errors carry
+    /// one whenever the AST node at fault was parsed rather than built
+    /// programmatically).
+    pub fn pos(&self) -> Option<Pos> {
+        self.pos
+    }
+
+    /// `(line, column)` of the failure, if known.
+    pub fn line_col(&self) -> Option<(u32, u32)> {
+        self.pos.map(|p| (p.line, p.col))
+    }
+
+    /// The bare failure message (no phase/position prefix).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{} error at {p}: {}", self.phase, self.message),
+            None => write!(f, "{} error: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl From<SyntaxError> for EngineError {
+    fn from(e: SyntaxError) -> Self {
+        EngineError {
+            phase: match e.kind() {
+                SyntaxErrorKind::Lex => EnginePhase::Lex,
+                SyntaxErrorKind::Parse => EnginePhase::Parse,
+                SyntaxErrorKind::Elaborate => EnginePhase::Elaborate,
+            },
+            pos: e.pos(),
+            message: e.message().to_string(),
+            source: e,
+        }
+    }
+}
+
+/// Snapshot of the per-stage computation counters of an [`Engine`].
+///
+/// Each field counts how many times the corresponding stage was *actually
+/// computed* (memo hits do not count), summed over every [`Analysis`] of the
+/// session.  Tests use this to prove laziness: querying only
+/// [`Analysis::flow_graph`] under `improved: false` must leave
+/// [`improved`](EngineStats::improved) at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Front-end runs (parse + elaborate) on behalf of
+    /// [`Engine::analyze_source`].
+    pub frontend: u64,
+    /// Reaching Definitions computations (Section 4).
+    pub rd: u64,
+    /// Local Resource Matrix computations (Table 6).
+    pub local: u64,
+    /// RD specialisations (Table 7).
+    pub specialized: u64,
+    /// Base closures (Table 8).
+    pub global: u64,
+    /// Improved closures (Table 9).
+    pub improved: u64,
+    /// Flow-graph constructions (any of the graph views).
+    pub flow_graph: u64,
+    /// Kemmerer baseline graph constructions.
+    pub kemmerer: u64,
+    /// Memo-table hits in [`Engine::analyze_source`].
+    pub cache_hits: u64,
+    /// Memo-table misses in [`Engine::analyze_source`].
+    pub cache_misses: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    frontend: AtomicU64,
+    rd: AtomicU64,
+    local: AtomicU64,
+    specialized: AtomicU64,
+    global: AtomicU64,
+    improved: AtomicU64,
+    flow_graph: AtomicU64,
+    kemmerer: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// The lazily filled memo slots of one design's analysis.  Every slot is a
+/// `OnceLock`, so concurrent queries through a shared (cached) analysis
+/// compute each stage exactly once.
+#[derive(Default)]
+struct Slots {
+    rd: OnceLock<ReachingDefinitions>,
+    local: OnceLock<ResourceMatrix>,
+    specialized: OnceLock<SpecializedRd>,
+    global: OnceLock<ResourceMatrix>,
+    improved: OnceLock<Option<ImprovedClosure>>,
+    graph: OnceLock<FlowGraph>,
+    base_graph: OnceLock<FlowGraph>,
+    merged_graph: OnceLock<FlowGraph>,
+    kemmerer: OnceLock<FlowGraph>,
+}
+
+/// A design together with its memo slots, shareable across cache hits.
+struct Memo {
+    design: Design,
+    slots: Slots,
+}
+
+#[derive(Default)]
+struct Cache {
+    map: HashMap<u64, Arc<Memo>>,
+    /// Insertion order, for `CachePolicy::Capped` eviction.
+    order: VecDeque<u64>,
+}
+
+/// A long-lived analysis session: shared options, the content-hash memo
+/// table, and the stage-computation counters.
+///
+/// # Examples
+///
+/// ```
+/// use vhdl1_infoflow::{Engine, AnalysisOptions};
+///
+/// let engine = Engine::with_options(AnalysisOptions::base());
+/// let design = vhdl1_syntax::frontend(
+///     "entity e is port(a : in std_logic; b : out std_logic); end e;
+///      architecture rtl of e is begin
+///        p : process begin b <= a; wait on a; end process p;
+///      end rtl;")?;
+/// let analysis = engine.analyze(&design);
+/// assert!(analysis.flow_graph().has_edge("a", "b"));
+/// // Only the stages the graph needs ran; Table 9 was never touched.
+/// assert_eq!(engine.stats().improved, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    cache: Mutex<Cache>,
+    counters: Counters,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with an explicit configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            cache: Mutex::new(Cache::default()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Creates an engine with the given analysis options and the default
+    /// (unbounded) cache policy.
+    pub fn with_options(options: AnalysisOptions) -> Engine {
+        Engine::new(EngineConfig {
+            options,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// The session's analysis options.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.config.options
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Snapshot of the stage-computation and cache counters.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        EngineStats {
+            frontend: g(&c.frontend),
+            rd: g(&c.rd),
+            local: g(&c.local),
+            specialized: g(&c.specialized),
+            global: g(&c.global),
+            improved: g(&c.improved),
+            flow_graph: g(&c.flow_graph),
+            kemmerer: g(&c.kemmerer),
+            cache_hits: g(&c.cache_hits),
+            cache_misses: g(&c.cache_misses),
+        }
+    }
+
+    /// The memo-table key of a source text under this engine's options:
+    /// FNV-1a over the source bytes mixed with a fingerprint of the options
+    /// (so persisted keys from engines with different options never
+    /// collide).
+    pub fn source_key(&self, src: &str) -> u64 {
+        let options = fnv1a64(format!("{:?}", self.config.options).as_bytes());
+        fnv1a64(src.as_bytes()) ^ options.rotate_left(17)
+    }
+
+    /// Number of designs currently memoized.
+    pub fn cached_designs(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").map.len()
+    }
+
+    /// Drops every memoized design.
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        cache.map.clear();
+        cache.order.clear();
+    }
+
+    /// Starts a lazy analysis of an elaborated design.
+    ///
+    /// Nothing is computed until a stage is queried.  The handle borrows
+    /// both the engine and the design; the memo table is not consulted
+    /// (content hashing is defined over source text — use
+    /// [`Engine::analyze_source`] for that).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vhdl1_infoflow::Engine;
+    ///
+    /// let design = vhdl1_syntax::frontend(
+    ///     "entity e is port(a : in std_logic; b : out std_logic); end e;
+    ///      architecture rtl of e is begin
+    ///        p : process begin b <= a; wait on a; end process p;
+    ///      end rtl;")?;
+    /// let engine = Engine::default();
+    /// let analysis = engine.analyze(&design);
+    /// assert_eq!(engine.stats().rd, 0); // nothing ran yet
+    /// assert!(analysis.flow_graph().has_edge("a", "b"));
+    /// assert_eq!(engine.stats().rd, 1); // demanded exactly once
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn analyze<'e>(&'e self, design: &'e Design) -> Analysis<'e> {
+        Analysis {
+            engine: self,
+            inner: Inner::Borrowed {
+                design,
+                slots: Box::default(),
+            },
+        }
+    }
+
+    /// Parses, elaborates and lazily analyses a source text, memoized by
+    /// content hash: two calls with identical source (under identical
+    /// options) share one design and one set of stage memos, so the second
+    /// call performs no work beyond the hash lookup — not even parsing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`EngineError`] when the source does not lex,
+    /// parse or elaborate.
+    pub fn analyze_source(&self, src: &str) -> Result<Analysis<'_>, EngineError> {
+        if self.config.cache == CachePolicy::Disabled {
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.owned_analysis(self.run_frontend(src)?));
+        }
+        let key = self.source_key(src);
+        if let Some(memo) = self
+            .cache
+            .lock()
+            .expect("engine cache poisoned")
+            .map
+            .get(&key)
+        {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Analysis {
+                engine: self,
+                inner: Inner::Shared(Arc::clone(memo)),
+            });
+        }
+        // Miss: run the front end outside the lock (parsing can be slow), then
+        // publish.  A racing thread may publish the same key first; reuse its
+        // memo so both handles share one set of slots.
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let design = self.run_frontend(src)?;
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        let mut inserted = false;
+        let memo = Arc::clone(cache.map.entry(key).or_insert_with(|| {
+            inserted = true;
+            Arc::new(Memo {
+                design,
+                slots: Slots::default(),
+            })
+        }));
+        // Record insertion order only for a fresh entry: a racing thread that
+        // lost the publish must not add a duplicate order record (it would
+        // later evict the wrong key and leak stale order entries).
+        if inserted {
+            cache.order.push_back(key);
+        }
+        if let CachePolicy::Capped(cap) = self.config.cache {
+            while cache.map.len() > cap.max(1) {
+                match cache.order.pop_front() {
+                    Some(old) if old != key => {
+                        cache.map.remove(&old);
+                    }
+                    Some(_) => cache.order.push_back(key),
+                    None => break,
+                }
+            }
+        }
+        drop(cache);
+        Ok(Analysis {
+            engine: self,
+            inner: Inner::Shared(memo),
+        })
+    }
+
+    /// Lazily analyses every source of a batch, preserving order and
+    /// stopping at the first front-end failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EngineError`] together with the index of the
+    /// failing source.
+    pub fn analyze_sources<'e, 'a>(
+        &'e self,
+        sources: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<Analysis<'e>>, (usize, EngineError)> {
+        sources
+            .into_iter()
+            .enumerate()
+            .map(|(i, src)| self.analyze_source(src).map_err(|e| (i, e)))
+            .collect()
+    }
+
+    fn run_frontend(&self, src: &str) -> Result<Design, EngineError> {
+        self.counters.frontend.fetch_add(1, Ordering::Relaxed);
+        Ok(vhdl1_syntax::frontend(src)?)
+    }
+
+    fn owned_analysis(&self, design: Design) -> Analysis<'_> {
+        Analysis {
+            engine: self,
+            inner: Inner::Shared(Arc::new(Memo {
+                design,
+                slots: Slots::default(),
+            })),
+        }
+    }
+}
+
+enum Inner<'e> {
+    /// Design borrowed from the caller; slots private to this handle.
+    Borrowed {
+        design: &'e Design,
+        slots: Box<Slots>,
+    },
+    /// Design and slots owned by (and possibly shared through) the memo
+    /// table.
+    Shared(Arc<Memo>),
+}
+
+/// A lazy, memoized analysis of one design.
+///
+/// Every accessor computes its stage on first demand — reusing upstream
+/// stages transparently — and returns a borrowed artifact; repeated queries
+/// return the *same* reference without recomputation.  Handles obtained from
+/// [`Engine::analyze_source`] for identical sources share their memos.
+pub struct Analysis<'e> {
+    engine: &'e Engine,
+    inner: Inner<'e>,
+}
+
+impl fmt::Debug for Analysis<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Analysis")
+            .field("design", &self.design().name)
+            .finish()
+    }
+}
+
+impl<'e> Analysis<'e> {
+    /// The analysed design.
+    pub fn design(&self) -> &Design {
+        match &self.inner {
+            Inner::Borrowed { design, .. } => design,
+            Inner::Shared(memo) => &memo.design,
+        }
+    }
+
+    /// The engine this analysis runs in.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// The options in effect (the engine's).
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.engine.config.options
+    }
+
+    fn slots(&self) -> &Slots {
+        match &self.inner {
+            Inner::Borrowed { slots, .. } => slots,
+            Inner::Shared(memo) => &memo.slots,
+        }
+    }
+
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The Reaching Definitions artifacts (Section 4).
+    pub fn rd(&self) -> &ReachingDefinitions {
+        self.slots().rd.get_or_init(|| {
+            self.bump(&self.engine.counters.rd);
+            ReachingDefinitions::compute(self.design(), &self.options().rd)
+        })
+    }
+
+    /// The local Resource Matrix `RM_lo` (Table 6).
+    pub fn local(&self) -> &ResourceMatrix {
+        self.slots().local.get_or_init(|| {
+            self.bump(&self.engine.counters.local);
+            local_dependencies(self.design())
+        })
+    }
+
+    /// The specialised Reaching Definitions (Table 7).
+    pub fn specialized(&self) -> &SpecializedRd {
+        self.slots().specialized.get_or_init(|| {
+            let (rd, local) = (self.rd(), self.local());
+            self.bump(&self.engine.counters.specialized);
+            specialize_rd(rd, local, self.options().specialize_rd)
+        })
+    }
+
+    /// The global Resource Matrix `RM_gl` of the base closure (Table 8).
+    pub fn global(&self) -> &ResourceMatrix {
+        self.slots().global.get_or_init(|| {
+            let (rd, spec, local) = (self.rd(), self.specialized(), self.local());
+            self.bump(&self.engine.counters.global);
+            global_closure(self.design(), rd, spec, local)
+        })
+    }
+
+    /// The improved closure (Table 9), or `None` when the engine's options
+    /// disable the improved analysis.  Only computed when queried — and
+    /// never computed at all by [`Analysis::flow_graph`] under
+    /// `improved: false`.
+    pub fn improved(&self) -> Option<&ImprovedClosure> {
+        self.slots()
+            .improved
+            .get_or_init(|| {
+                self.options().improved.then(|| {
+                    let (rd, spec, local) = (self.rd(), self.specialized(), self.local());
+                    self.bump(&self.engine.counters.improved);
+                    improved_closure(
+                        self.design(),
+                        rd,
+                        spec,
+                        local,
+                        &self.options().improved_options,
+                    )
+                })
+            })
+            .as_ref()
+    }
+
+    /// The information-flow graph of the analysis: the improved graph when
+    /// the engine's options request the improved analysis, the base graph
+    /// otherwise.
+    ///
+    /// Memoized: repeated calls return the same reference without rebuilding
+    /// the graph (the repeated-rebuild hot spot of the eager
+    /// [`AnalysisResult::flow_graph`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vhdl1_infoflow::Engine;
+    ///
+    /// let design = vhdl1_syntax::frontend(
+    ///     "entity e is port(a : in std_logic; b : out std_logic); end e;
+    ///      architecture rtl of e is begin
+    ///        p : process begin b <= a; wait on a; end process p;
+    ///      end rtl;")?;
+    /// let engine = Engine::default();
+    /// let analysis = engine.analyze(&design);
+    /// let first = analysis.flow_graph();
+    /// assert!(first.has_edge("a", "b"));
+    /// // Same allocation, not an equal copy:
+    /// assert!(std::ptr::eq(first, analysis.flow_graph()));
+    /// assert_eq!(engine.stats().flow_graph, 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn flow_graph(&self) -> &FlowGraph {
+        self.slots().graph.get_or_init(|| {
+            let matrix = match self.improved() {
+                Some(imp) => &imp.matrix,
+                None => self.global(),
+            };
+            self.bump(&self.engine.counters.flow_graph);
+            FlowGraph::from_resource_matrix(matrix)
+        })
+    }
+
+    /// The information-flow graph of the base (non-improved) closure,
+    /// memoized independently of [`Analysis::flow_graph`].
+    pub fn base_flow_graph(&self) -> &FlowGraph {
+        self.slots().base_graph.get_or_init(|| {
+            let global = self.global();
+            self.bump(&self.engine.counters.flow_graph);
+            FlowGraph::from_resource_matrix(global)
+        })
+    }
+
+    /// [`Analysis::flow_graph`] with incoming/outgoing nodes merged into
+    /// their underlying resources — the presentation form policies talk
+    /// about, and the graph [`Analysis::audit`] checks.
+    pub fn merged_flow_graph(&self) -> &FlowGraph {
+        self.slots().merged_graph.get_or_init(|| {
+            let graph = self.flow_graph();
+            self.bump(&self.engine.counters.flow_graph);
+            graph.merge_io_nodes()
+        })
+    }
+
+    /// The graph produced by Kemmerer's method on the same local Resource
+    /// Matrix (the paper's comparison baseline).  Needs only Table 6.
+    pub fn kemmerer_graph(&self) -> &FlowGraph {
+        self.slots().kemmerer.get_or_init(|| {
+            let local = self.local();
+            self.bump(&self.engine.counters.kemmerer);
+            kemmerer_graph_from_matrix(local)
+        })
+    }
+
+    /// Audits the (merged) flow graph against a policy.
+    ///
+    /// The graph is memoized; the audit itself is recomputed per call since
+    /// it depends on the caller's policy.
+    pub fn audit(&self, policy: &Policy) -> AuditReport {
+        audit(self.merged_flow_graph(), policy)
+    }
+
+    /// Materialises the owned, eager [`AnalysisResult`] of the classic API,
+    /// computing any stage not yet demanded.
+    ///
+    /// Stages already computed are moved out (borrowed handles) or cloned
+    /// (handles sharing a memo-table entry).
+    pub fn into_result(self) -> AnalysisResult {
+        // Force every stage the eager result carries.
+        self.global();
+        self.improved();
+        let design_name = self.design().name.clone();
+        let options = *self.options();
+        let take = |slots: Slots| AnalysisResult {
+            design_name: design_name.clone(),
+            options,
+            rd: slots.rd.into_inner().expect("rd forced above"),
+            local: slots.local.into_inner().expect("local forced above"),
+            specialized: slots
+                .specialized
+                .into_inner()
+                .expect("specialized forced above"),
+            global: slots.global.into_inner().expect("global forced above"),
+            improved: slots.improved.into_inner().expect("improved forced above"),
+        };
+        match self.inner {
+            Inner::Borrowed { slots, .. } => take(*slots),
+            Inner::Shared(memo) => match Arc::try_unwrap(memo) {
+                Ok(memo) => take(memo.slots),
+                Err(memo) => AnalysisResult {
+                    design_name,
+                    options,
+                    rd: memo.slots.rd.get().expect("rd forced above").clone(),
+                    local: memo.slots.local.get().expect("local forced above").clone(),
+                    specialized: memo
+                        .slots
+                        .specialized
+                        .get()
+                        .expect("specialized forced above")
+                        .clone(),
+                    global: memo
+                        .slots
+                        .global
+                        .get()
+                        .expect("global forced above")
+                        .clone(),
+                    improved: memo
+                        .slots
+                        .improved
+                        .get()
+                        .expect("improved forced above")
+                        .clone(),
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_with;
+    use vhdl1_syntax::frontend;
+
+    const COPY: &str = "entity e is port(a : in std_logic; b : out std_logic); end e;
+         architecture rtl of e is begin
+           p : process begin b <= a; wait on a; end process p;
+         end rtl;";
+
+    const TWO_PROC: &str = "entity e is port(a : in std_logic; b : out std_logic); end e;
+         architecture rtl of e is
+           signal t : std_logic;
+         begin
+           p1 : process begin t <= a; wait on a; end process p1;
+           p2 : process begin b <= t; wait on t; end process p2;
+         end rtl;";
+
+    #[test]
+    fn nothing_computes_until_demanded() {
+        let design = frontend(COPY).unwrap();
+        let engine = Engine::default();
+        let _analysis = engine.analyze(&design);
+        assert_eq!(engine.stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn each_stage_computes_once_and_returns_the_same_reference() {
+        let design = frontend(COPY).unwrap();
+        let engine = Engine::default();
+        let analysis = engine.analyze(&design);
+        let rd1 = analysis.rd() as *const _;
+        let rd2 = analysis.rd() as *const _;
+        assert_eq!(rd1, rd2);
+        let g1 = analysis.flow_graph() as *const _;
+        let g2 = analysis.flow_graph() as *const _;
+        assert_eq!(g1, g2);
+        let k1 = analysis.kemmerer_graph() as *const _;
+        let k2 = analysis.kemmerer_graph() as *const _;
+        assert_eq!(k1, k2);
+        let stats = engine.stats();
+        assert_eq!(stats.rd, 1);
+        assert_eq!(stats.flow_graph, 1);
+        assert_eq!(stats.kemmerer, 1);
+    }
+
+    #[test]
+    fn base_options_flow_graph_performs_no_table9_work() {
+        let design = frontend(TWO_PROC).unwrap();
+        let engine = Engine::with_options(AnalysisOptions::base());
+        let analysis = engine.analyze(&design);
+        assert!(analysis.flow_graph().has_edge("a", "b"));
+        let stats = engine.stats();
+        assert_eq!(stats.improved, 0, "Table 9 must not run under base options");
+        assert_eq!(stats.rd, 1);
+        assert_eq!(stats.global, 1);
+        // The improved query itself answers None without running Table 9.
+        assert!(analysis.improved().is_none());
+        assert_eq!(engine.stats().improved, 0);
+    }
+
+    #[test]
+    fn kemmerer_graph_needs_only_table6() {
+        let design = frontend(TWO_PROC).unwrap();
+        let engine = Engine::default();
+        let analysis = engine.analyze(&design);
+        let _ = analysis.kemmerer_graph();
+        let stats = engine.stats();
+        assert_eq!(stats.local, 1);
+        assert_eq!(stats.rd, 0, "Kemmerer's method is RD-free");
+        assert_eq!(stats.global, 0);
+        assert_eq!(stats.improved, 0);
+    }
+
+    #[test]
+    fn into_result_matches_the_eager_pipeline() {
+        let design = frontend(TWO_PROC).unwrap();
+        let options = AnalysisOptions::default();
+        let eager = analyze_with(&design, &options);
+        let engine = Engine::with_options(options);
+        let lazy = engine.analyze(&design).into_result();
+        assert_eq!(eager, lazy);
+        // And after partial demand in graph-first order:
+        let analysis = engine.analyze(&design);
+        let _ = analysis.flow_graph();
+        assert_eq!(eager, analysis.into_result());
+    }
+
+    #[test]
+    fn analyze_source_memoizes_by_content_hash() {
+        let engine = Engine::default();
+        let a = engine.analyze_source(COPY).unwrap();
+        let _ = a.flow_graph();
+        let b = engine.analyze_source(COPY).unwrap();
+        // Shared memo: the graph is the very same allocation.
+        assert!(std::ptr::eq(a.flow_graph(), b.flow_graph()));
+        let stats = engine.stats();
+        assert_eq!(stats.frontend, 1, "second call must not reparse");
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.flow_graph, 1);
+        assert_eq!(engine.cached_designs(), 1);
+    }
+
+    #[test]
+    fn analyze_sources_preserves_order_and_reports_failing_index() {
+        let engine = Engine::default();
+        let renamed = COPY.replace("rtl", "second");
+        let analyses = engine.analyze_sources([COPY, renamed.as_str()]).unwrap();
+        assert_eq!(analyses.len(), 2);
+        assert_eq!(analyses[0].design().name, "rtl");
+        assert_eq!(analyses[1].design().name, "second");
+        assert!(analyses.iter().all(|a| a.flow_graph().has_edge("a", "b")));
+
+        let (index, err) = engine
+            .analyze_sources([COPY, "entity broken"])
+            .expect_err("second source must fail");
+        assert_eq!(index, 1);
+        assert_eq!(err.phase(), EnginePhase::Parse);
+    }
+
+    #[test]
+    fn disabled_cache_reparses_every_time() {
+        let engine = Engine::new(EngineConfig {
+            cache: CachePolicy::Disabled,
+            ..EngineConfig::default()
+        });
+        let _ = engine.analyze_source(COPY).unwrap();
+        let _ = engine.analyze_source(COPY).unwrap();
+        assert_eq!(engine.stats().frontend, 2);
+        assert_eq!(engine.cached_designs(), 0);
+    }
+
+    #[test]
+    fn capped_cache_evicts_oldest() {
+        let engine = Engine::new(EngineConfig {
+            cache: CachePolicy::Capped(2),
+            ..EngineConfig::default()
+        });
+        let srcs: Vec<String> = (0..3)
+            .map(|i| COPY.replace("rtl", &format!("r{i}")))
+            .collect();
+        for s in &srcs {
+            let _ = engine.analyze_source(s).unwrap();
+        }
+        assert_eq!(engine.cached_designs(), 2);
+        // Oldest (r0) evicted: analysing it again is a miss.
+        let _ = engine.analyze_source(&srcs[0]).unwrap();
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(engine.stats().frontend, 4);
+    }
+
+    #[test]
+    fn clear_cache_forgets_designs() {
+        let engine = Engine::default();
+        let _ = engine.analyze_source(COPY).unwrap();
+        assert_eq!(engine.cached_designs(), 1);
+        engine.clear_cache();
+        assert_eq!(engine.cached_designs(), 0);
+        let _ = engine.analyze_source(COPY).unwrap();
+        assert_eq!(engine.stats().frontend, 2);
+    }
+
+    #[test]
+    fn source_key_depends_on_options() {
+        let base = Engine::with_options(AnalysisOptions::base());
+        let full = Engine::default();
+        assert_ne!(base.source_key(COPY), full.source_key(COPY));
+        assert_eq!(full.source_key(COPY), Engine::default().source_key(COPY));
+        assert_ne!(full.source_key(COPY), full.source_key(TWO_PROC));
+    }
+
+    #[test]
+    fn engine_errors_are_structured() {
+        let engine = Engine::default();
+
+        let parse_err = engine.analyze_source("entity oops").unwrap_err();
+        assert_eq!(parse_err.phase(), EnginePhase::Parse);
+        assert!(parse_err.pos().is_some());
+
+        let elab_src = "entity e is port(a : in std_logic; b : out std_logic); end e;
+architecture rtl of e is begin
+  p : process begin b <= ghost; wait on a; end process;
+end rtl;";
+        let elab_err = engine.analyze_source(elab_src).unwrap_err();
+        assert_eq!(elab_err.phase(), EnginePhase::Elaborate);
+        assert_eq!(elab_err.line_col(), Some((3, 26)));
+        assert!(elab_err.to_string().contains("elaborate error at 3:26"));
+        assert!(elab_err.message().contains("ghost"));
+        // The original front-end error rides along as the source.
+        use std::error::Error as _;
+        assert!(elab_err.source().is_some());
+
+        // Errors are not memoized as designs.
+        assert_eq!(engine.cached_designs(), 0);
+    }
+
+    #[test]
+    fn audit_uses_the_merged_graph() {
+        let design = frontend(COPY).unwrap();
+        let engine = Engine::default();
+        let analysis = engine.analyze(&design);
+        let strict = Policy::new().with_level("a", 1).with_level("b", 0);
+        let report = analysis.audit(&strict);
+        assert_eq!(report.violations.len(), 1);
+        // A second audit with another policy reuses the memoized graph.
+        let graphs_before = engine.stats().flow_graph;
+        let permissive = analysis.audit(&Policy::new());
+        assert!(permissive.violations.is_empty());
+        assert_eq!(engine.stats().flow_graph, graphs_before);
+    }
+
+    #[test]
+    fn shared_engine_is_usable_across_threads() {
+        let engine = Engine::default();
+        let srcs: Vec<String> = (0..8)
+            .map(|i| COPY.replace("rtl", &format!("t{i}")))
+            .collect();
+        std::thread::scope(|scope| {
+            for chunk in srcs.chunks(2) {
+                let engine = &engine;
+                scope.spawn(move || {
+                    for src in chunk {
+                        let analysis = engine.analyze_source(src).unwrap();
+                        assert!(analysis.flow_graph().has_edge("a", "b"));
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.cached_designs(), 8);
+        assert_eq!(engine.stats().flow_graph, 8);
+    }
+}

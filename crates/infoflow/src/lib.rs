@@ -21,6 +21,12 @@
 //! 5. [`kemmerer`] — the flow-insensitive baseline the paper compares
 //!    against; [`policy`] — Common Criteria style flow audits.
 //!
+//! The primary entry point is the demand-driven [`engine`] API: a
+//! long-lived [`Engine`] session hands out lazy, memoized [`Analysis`]
+//! handles whose stage queries compute on first demand and return borrowed
+//! artifacts.  The eager [`analyze`]/[`analyze_with`] one-shots remain as
+//! compatibility wrappers materialising an owned [`AnalysisResult`].
+//!
 //! ```
 //! use vhdl1_infoflow::analyze;
 //!
@@ -42,6 +48,7 @@
 pub mod alfp_encoding;
 pub mod analysis;
 pub mod closure;
+pub mod engine;
 pub mod graph;
 pub mod improved;
 pub mod kemmerer;
@@ -53,6 +60,9 @@ pub use analysis::{
     analyze, analyze_all, analyze_source, analyze_with, AnalysisOptions, AnalysisResult,
 };
 pub use closure::{global_closure, specialize_rd, table8_step, SpecializedRd};
+pub use engine::{
+    fnv1a64, Analysis, CachePolicy, Engine, EngineConfig, EngineError, EnginePhase, EngineStats,
+};
 pub use graph::FlowGraph;
 pub use improved::{improved_closure, ImprovedClosure, ImprovedOptions};
 pub use kemmerer::{kemmerer_graph, kemmerer_graph_from_matrix};

@@ -1,0 +1,118 @@
+//! Differential property tests of the demand-driven engine against the
+//! eager one-shot pipeline, over seeded `vhdl1-corpus` designs.
+//!
+//! For every generated design, every lazy query result must be identical to
+//! the corresponding eager `analyze_with` artifact — in *both* demand
+//! orders (graph-first, which pulls the whole pipeline in one go, and
+//! rd-first, which walks the stages upstream-to-downstream) — and the
+//! engine's memo table must be deterministic: re-analysing the same corpus
+//! through a warm engine yields byte-for-byte the same graphs while
+//! performing zero additional stage computations, mirroring the
+//! worker-count-independence golden tests of `vhdl1c`.
+
+use vhdl1_corpus::{generate, CorpusSpec};
+use vhdl1_infoflow::{analyze_with, AnalysisOptions, Engine, EngineStats};
+
+fn corpus_sources(seed: u64, count: usize) -> Vec<(String, String)> {
+    generate(&CorpusSpec::new(seed, count))
+        .into_iter()
+        .map(|d| (d.name, d.source))
+        .collect()
+}
+
+fn check_against_eager(options: AnalysisOptions, seed: u64, count: usize) {
+    let sources = corpus_sources(seed, count);
+    let engine = Engine::with_options(options);
+    for (name, src) in &sources {
+        let design = vhdl1_syntax::frontend(src).expect("corpus designs elaborate");
+        let eager = analyze_with(&design, &options);
+
+        // Graph-first order: the downstream query pulls in every upstream
+        // stage transparently.
+        let graph_first = engine.analyze(&design);
+        assert_eq!(graph_first.flow_graph(), &eager.flow_graph(), "{name}");
+        assert_eq!(
+            graph_first.kemmerer_graph(),
+            &eager.kemmerer_flow_graph(),
+            "{name}"
+        );
+        assert_eq!(graph_first.rd(), &eager.rd, "{name}");
+        assert_eq!(graph_first.local(), &eager.local, "{name}");
+        assert_eq!(graph_first.specialized(), &eager.specialized, "{name}");
+        assert_eq!(graph_first.global(), &eager.global, "{name}");
+        assert_eq!(graph_first.improved(), eager.improved.as_ref(), "{name}");
+
+        // Rd-first order: stages demanded upstream-to-downstream.
+        let rd_first = engine.analyze(&design);
+        assert_eq!(rd_first.rd(), &eager.rd, "{name}");
+        assert_eq!(rd_first.local(), &eager.local, "{name}");
+        assert_eq!(rd_first.specialized(), &eager.specialized, "{name}");
+        assert_eq!(rd_first.global(), &eager.global, "{name}");
+        assert_eq!(rd_first.improved(), eager.improved.as_ref(), "{name}");
+        assert_eq!(
+            rd_first.base_flow_graph(),
+            &eager.base_flow_graph(),
+            "{name}"
+        );
+        assert_eq!(rd_first.flow_graph(), &eager.flow_graph(), "{name}");
+
+        // And the materialised owned result is the eager result.
+        assert_eq!(rd_first.into_result(), eager, "{name}");
+    }
+}
+
+#[test]
+fn lazy_queries_match_eager_pipeline_in_both_orders() {
+    check_against_eager(AnalysisOptions::default(), 7, 16);
+}
+
+#[test]
+fn lazy_queries_match_eager_pipeline_under_base_options() {
+    check_against_eager(AnalysisOptions::base(), 11, 12);
+}
+
+#[test]
+fn warm_engine_reproduces_cold_results_without_recomputation() {
+    let sources = corpus_sources(13, 12);
+    let engine = Engine::default();
+
+    // Cold pass: analyse every source through the content-hash cache.
+    let cold_graphs: Vec<String> = sources
+        .iter()
+        .map(|(name, src)| {
+            let a = engine.analyze_source(src).expect("corpus source analyses");
+            a.flow_graph().to_dot(name)
+        })
+        .collect();
+    let cold = engine.stats();
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses as usize, sources.len());
+    assert_eq!(cold.frontend as usize, sources.len());
+
+    // Warm pass: byte-identical graphs, zero new stage computations.
+    let warm_graphs: Vec<String> = sources
+        .iter()
+        .map(|(name, src)| {
+            let a = engine.analyze_source(src).expect("cached source analyses");
+            a.flow_graph().to_dot(name)
+        })
+        .collect();
+    assert_eq!(cold_graphs, warm_graphs);
+    let warm = engine.stats();
+    assert_eq!(warm.cache_hits as usize, sources.len());
+    assert_eq!(
+        EngineStats {
+            cache_hits: cold.cache_hits,
+            ..warm
+        },
+        cold,
+        "a warm pass must perform no frontend or stage work"
+    );
+
+    // Determinism across engines: a fresh engine reproduces the same bytes.
+    let other = Engine::default();
+    for ((name, src), cold_dot) in sources.iter().zip(&cold_graphs) {
+        let a = other.analyze_source(src).expect("corpus source analyses");
+        assert_eq!(&a.flow_graph().to_dot(name), cold_dot);
+    }
+}

@@ -124,7 +124,7 @@ pub fn eval(expr: &Expr, env: &dyn NameEnv) -> Result<Value, SimError> {
             Value::vector(s).ok_or_else(|| SimError::UndefinedName { name: s.clone() })
         }
         Expr::Int(n) => Ok(Value::from_unsigned(*n as u128, 64)),
-        Expr::Name { name, slice } => {
+        Expr::Name { name, slice, .. } => {
             let value = env
                 .value_of(name)
                 .ok_or_else(|| SimError::UndefinedName { name: name.clone() })?;

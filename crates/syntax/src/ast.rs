@@ -9,6 +9,7 @@
 //! elaboration pass ([`mod@crate::elaborate`]) and are unique across the whole
 //! program, as required by the analyses of Sections 4 and 5.
 
+use crate::token::Span;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -92,6 +93,8 @@ pub struct Port {
     pub mode: PortMode,
     /// The carried type.
     pub ty: Type,
+    /// Source position of the port name (diagnostics only, invisible to `==`).
+    pub span: Span,
 }
 
 /// Direction of a port as seen from the design.
@@ -322,6 +325,8 @@ pub enum Decl {
         ty: Type,
         /// Optional initial value.
         init: Option<Expr>,
+        /// Source position of the declared name (diagnostics only).
+        span: Span,
     },
     /// `signal s : type := e`.
     Signal {
@@ -331,6 +336,8 @@ pub enum Decl {
         ty: Type,
         /// Optional initial value.
         init: Option<Expr>,
+        /// Source position of the declared name (diagnostics only).
+        span: Span,
     },
 }
 
@@ -356,6 +363,13 @@ impl Decl {
         }
     }
 
+    /// Source position of the declared name, if the declaration was parsed.
+    pub fn span(&self) -> Span {
+        match self {
+            Decl::Variable { span, .. } | Decl::Signal { span, .. } => *span,
+        }
+    }
+
     /// Whether this is a signal declaration.
     pub fn is_signal(&self) -> bool {
         matches!(self, Decl::Signal { .. })
@@ -369,6 +383,8 @@ pub struct Target {
     pub name: Ident,
     /// Optional sub-range of a vector target.
     pub slice: Option<Slice>,
+    /// Source position of the target name (diagnostics only).
+    pub span: Span,
 }
 
 impl Target {
@@ -377,6 +393,7 @@ impl Target {
         Target {
             name: name.into(),
             slice: None,
+            span: Span::NONE,
         }
     }
 
@@ -385,6 +402,7 @@ impl Target {
         Target {
             name: name.into(),
             slice: Some(slice),
+            span: Span::NONE,
         }
     }
 }
@@ -640,6 +658,8 @@ pub enum Expr {
         name: Ident,
         /// Optional slice.
         slice: Option<Slice>,
+        /// Source position of the name (diagnostics only).
+        span: Span,
     },
     /// `opum e`.
     Unary {
@@ -665,6 +685,7 @@ impl Expr {
         Expr::Name {
             name: n.into(),
             slice: None,
+            span: Span::NONE,
         }
     }
 
@@ -673,6 +694,7 @@ impl Expr {
         Expr::Name {
             name: n.into(),
             slice: Some(slice),
+            span: Span::NONE,
         }
     }
 
@@ -732,6 +754,19 @@ impl Expr {
     /// condition of a `wait` statement).
     pub fn is_true_literal(&self) -> bool {
         matches!(self, Expr::Logic('1'))
+    }
+
+    /// Source position of the first occurrence of `wanted` in the expression,
+    /// if the expression was parsed (diagnostics helper for name errors).
+    pub fn pos_of_name(&self, wanted: &str) -> Option<crate::token::Pos> {
+        match self {
+            Expr::Name { name, span, .. } if name == wanted => span.pos(),
+            Expr::Unary { expr, .. } => expr.pos_of_name(wanted),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.pos_of_name(wanted).or_else(|| rhs.pos_of_name(wanted))
+            }
+            _ => None,
+        }
     }
 }
 

@@ -305,10 +305,10 @@ pub fn elaborate_with(
     if let Some(entity) = program.entity(&arch.entity) {
         for port in &entity.ports {
             if !seen.insert(port.name.clone()) {
-                return Err(SyntaxError::elaborate(format!(
-                    "duplicate port `{}`",
-                    port.name
-                )));
+                return Err(SyntaxError::elaborate_at(
+                    port.span.pos(),
+                    format!("duplicate port `{}`", port.name),
+                ));
             }
             signals.push(SignalInfo {
                 name: port.name.clone(),
@@ -325,9 +325,12 @@ pub fn elaborate_with(
     // Architecture-level declarations: internal signals only.
     for decl in &arch.decls {
         match decl {
-            Decl::Signal { name, ty, init } => {
+            Decl::Signal { name, ty, init, .. } => {
                 if !seen.insert(name.clone()) {
-                    return Err(SyntaxError::elaborate(format!("duplicate signal `{name}`")));
+                    return Err(SyntaxError::elaborate_at(
+                        decl.span().pos(),
+                        format!("duplicate signal `{name}`"),
+                    ));
                 }
                 signals.push(SignalInfo {
                     name: name.clone(),
@@ -337,9 +340,10 @@ pub fn elaborate_with(
                 });
             }
             Decl::Variable { name, .. } => {
-                return Err(SyntaxError::elaborate(format!(
-                    "variable `{name}` declared outside a process"
-                )));
+                return Err(SyntaxError::elaborate_at(
+                    decl.span().pos(),
+                    format!("variable `{name}` declared outside a process"),
+                ));
             }
         }
     }
@@ -426,16 +430,17 @@ fn collect_concurrent(
                 let mut variables = Vec::new();
                 for decl in &p.decls {
                     match decl {
-                        Decl::Variable { name, ty, init } => variables.push(VariableInfo {
+                        Decl::Variable { name, ty, init, .. } => variables.push(VariableInfo {
                             name: name.clone(),
                             ty: ty.clone(),
                             init: init.clone(),
                         }),
-                        Decl::Signal { name, ty, init } => {
+                        Decl::Signal { name, ty, init, .. } => {
                             if !seen.insert(name.clone()) {
-                                return Err(SyntaxError::elaborate(format!(
-                                    "duplicate signal `{name}`"
-                                )));
+                                return Err(SyntaxError::elaborate_at(
+                                    decl.span().pos(),
+                                    format!("duplicate signal `{name}`"),
+                                ));
                             }
                             signals.push(SignalInfo {
                                 name: name.clone(),
@@ -457,11 +462,12 @@ fn collect_concurrent(
             Concurrent::Block(b) => {
                 for decl in &b.decls {
                     match decl {
-                        Decl::Signal { name, ty, init } => {
+                        Decl::Signal { name, ty, init, .. } => {
                             if !seen.insert(name.clone()) {
-                                return Err(SyntaxError::elaborate(format!(
-                                    "duplicate signal `{name}`"
-                                )));
+                                return Err(SyntaxError::elaborate_at(
+                                    decl.span().pos(),
+                                    format!("duplicate signal `{name}`"),
+                                ));
                             }
                             signals.push(SignalInfo {
                                 name: name.clone(),
@@ -471,10 +477,10 @@ fn collect_concurrent(
                             });
                         }
                         Decl::Variable { name, .. } => {
-                            return Err(SyntaxError::elaborate(format!(
-                                "variable `{name}` declared in block `{}`",
-                                b.name
-                            )));
+                            return Err(SyntaxError::elaborate_at(
+                                decl.span().pos(),
+                                format!("variable `{name}` declared in block `{}`", b.name),
+                            ));
                         }
                     }
                 }
@@ -522,26 +528,35 @@ fn prune_and_check(design: &Design, pidx: usize, stmt: &mut Stmt) -> Result<(), 
         Stmt::VarAssign { target, expr, .. } => {
             check_expr(design, pidx, expr)?;
             if !design.is_variable_of(pidx, &target.name) {
-                return Err(SyntaxError::elaborate(format!(
-                    "`:=` target `{}` is not a variable of process `{}`",
-                    target.name, design.processes[pidx].name
-                )));
+                return Err(SyntaxError::elaborate_at(
+                    target.span.pos(),
+                    format!(
+                        "`:=` target `{}` is not a variable of process `{}`",
+                        target.name, design.processes[pidx].name
+                    ),
+                ));
             }
         }
         Stmt::SignalAssign { target, expr, .. } => {
             check_expr(design, pidx, expr)?;
             match design.signal(&target.name) {
                 None => {
-                    return Err(SyntaxError::elaborate(format!(
-                        "`<=` target `{}` is not a signal (process `{}`)",
-                        target.name, design.processes[pidx].name
-                    )))
+                    return Err(SyntaxError::elaborate_at(
+                        target.span.pos(),
+                        format!(
+                            "`<=` target `{}` is not a signal (process `{}`)",
+                            target.name, design.processes[pidx].name
+                        ),
+                    ))
                 }
                 Some(info) if info.kind == SignalKind::PortIn => {
-                    return Err(SyntaxError::elaborate(format!(
-                        "signal `{}` is an `in` port and cannot be driven",
-                        target.name
-                    )))
+                    return Err(SyntaxError::elaborate_at(
+                        target.span.pos(),
+                        format!(
+                            "signal `{}` is an `in` port and cannot be driven",
+                            target.name
+                        ),
+                    ))
                 }
                 Some(_) => {}
             }
@@ -554,10 +569,13 @@ fn prune_and_check(design: &Design, pidx: usize, stmt: &mut Stmt) -> Result<(), 
 fn check_expr(design: &Design, pidx: usize, e: &Expr) -> Result<(), SyntaxError> {
     for n in e.referenced_names() {
         if !design.is_signal(&n) && !design.is_variable_of(pidx, &n) {
-            return Err(SyntaxError::elaborate(format!(
-                "name `{n}` is not declared in the scope of process `{}`",
-                design.processes[pidx].name
-            )));
+            return Err(SyntaxError::elaborate_at(
+                e.pos_of_name(&n),
+                format!(
+                    "name `{n}` is not declared in the scope of process `{}`",
+                    design.processes[pidx].name
+                ),
+            ));
         }
     }
     Ok(())
@@ -676,6 +694,76 @@ mod tests {
               p : process variable v : std_logic; begin v <= a; wait on a; end process;
             end rtl;";
         assert!(elaborate(&parse(bad_sig).unwrap()).is_err());
+    }
+
+    #[test]
+    fn elaboration_errors_carry_source_positions() {
+        // Undeclared name: the error points at the offending identifier.
+        let src = "entity e is port(a : in std_logic; b : out std_logic); end e;
+architecture rtl of e is begin
+  p : process begin b <= ghost; wait on a; end process;
+end rtl;";
+        let err = elaborate(&parse(src).unwrap()).unwrap_err();
+        let pos = err
+            .pos()
+            .expect("undeclared-name error must carry a position");
+        assert_eq!((pos.line, pos.col), (3, 26), "{err}");
+        assert!(err.to_string().contains("at 3:26"), "{err}");
+
+        // Duplicate signal: the error points at the re-declaration.
+        let src = "entity e is port(t : in std_logic); end e;
+architecture rtl of e is
+  signal t : std_logic;
+begin
+  p : process begin null; wait on t; end process;
+end rtl;";
+        let err = elaborate(&parse(src).unwrap()).unwrap_err();
+        let pos = err
+            .pos()
+            .expect("duplicate-signal error must carry a position");
+        assert_eq!((pos.line, pos.col), (3, 10), "{err}");
+
+        // Assignment-class confusion: the error points at the target.
+        let src = "entity e is port(a : in std_logic); end e;
+architecture rtl of e is signal t : std_logic; begin
+  p : process begin
+    t := a;
+    wait on a;
+  end process;
+end rtl;";
+        let err = elaborate(&parse(src).unwrap()).unwrap_err();
+        let pos = err.pos().expect("`:=` class error must carry a position");
+        assert_eq!((pos.line, pos.col), (4, 5), "{err}");
+    }
+
+    #[test]
+    fn programmatic_asts_still_elaborate_without_positions() {
+        // ASTs built without spans (corpus generator, workloads) produce
+        // position-less elaboration errors, and Display degrades gracefully.
+        use crate::ast::{Expr, Target};
+        let mut prog = parse(
+            "entity e is port(a : in std_logic); end e;
+             architecture rtl of e is begin
+               p : process begin null; wait on a; end process;
+             end rtl;",
+        )
+        .unwrap();
+        // Splice in an unpositioned assignment to an undeclared name.
+        if let crate::ast::DesignUnit::Architecture(arch) = &mut prog.units[1] {
+            if let crate::ast::Concurrent::Process(p) = &mut arch.body[0] {
+                p.body = Stmt::Seq(
+                    Box::new(Stmt::SignalAssign {
+                        label: 0,
+                        target: Target::whole("nowhere"),
+                        expr: Expr::one(),
+                    }),
+                    Box::new(p.body.clone()),
+                );
+            }
+        }
+        let err = elaborate(&prog).unwrap_err();
+        assert!(err.pos().is_none());
+        assert!(err.to_string().starts_with("elaboration error: "));
     }
 
     #[test]

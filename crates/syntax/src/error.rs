@@ -50,6 +50,18 @@ impl SyntaxError {
         }
     }
 
+    /// Creates an elaboration error at an (optionally) known position —
+    /// elaboration works on the AST, where positions are carried by
+    /// [`crate::token::Span`]s and may be absent on programmatically built
+    /// nodes.
+    pub fn elaborate_at(pos: Option<Pos>, message: String) -> Self {
+        SyntaxError {
+            kind: SyntaxErrorKind::Elaborate,
+            pos,
+            message,
+        }
+    }
+
     /// The phase that produced the error.
     pub fn kind(&self) -> SyntaxErrorKind {
         self.kind

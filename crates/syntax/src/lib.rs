@@ -47,6 +47,7 @@ pub use error::{SyntaxError, SyntaxErrorKind};
 pub use lexer::lex;
 pub use parser::{parse, parse_expression, parse_statements};
 pub use pretty::{pretty_expr, pretty_program, pretty_stmt};
+pub use token::{Pos, Span};
 
 /// Parses and elaborates a source text in one step.
 ///

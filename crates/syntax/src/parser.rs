@@ -14,7 +14,7 @@
 use crate::ast::*;
 use crate::error::SyntaxError;
 use crate::lexer::lex;
-use crate::token::{Keyword, Pos, Token, TokenKind};
+use crate::token::{Keyword, Pos, Span, Token, TokenKind};
 
 /// Parses a complete VHDL1 program (a sequence of entities and architectures).
 ///
@@ -159,6 +159,13 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// An identifier together with the span of its first character, for AST
+    /// nodes that carry positions into elaboration diagnostics.
+    fn spanned_ident(&mut self) -> Result<(Ident, Span), SyntaxError> {
+        let span = Span::at(self.pos());
+        Ok((self.ident()?, span))
+    }
+
     fn int(&mut self) -> Result<i64, SyntaxError> {
         match self.peek() {
             TokenKind::IntLit(n) => {
@@ -226,9 +233,9 @@ impl<'a> Parser<'a> {
     }
 
     fn port_group(&mut self) -> Result<Vec<Port>, SyntaxError> {
-        let mut names = vec![self.ident()?];
+        let mut names = vec![self.spanned_ident()?];
         while self.eat(&TokenKind::Comma) {
-            names.push(self.ident()?);
+            names.push(self.spanned_ident()?);
         }
         self.expect(TokenKind::Colon)?;
         let mode = if self.eat_kw(Keyword::In) {
@@ -241,10 +248,11 @@ impl<'a> Parser<'a> {
         let ty = self.type_mark()?;
         Ok(names
             .into_iter()
-            .map(|name| Port {
+            .map(|(name, span)| Port {
                 name,
                 mode,
                 ty: ty.clone(),
+                span,
             })
             .collect())
     }
@@ -316,9 +324,9 @@ impl<'a> Parser<'a> {
                 return Ok(decls);
             }
             self.bump();
-            let mut names = vec![self.ident()?];
+            let mut names = vec![self.spanned_ident()?];
             while self.eat(&TokenKind::Comma) {
-                names.push(self.ident()?);
+                names.push(self.spanned_ident()?);
             }
             self.expect(TokenKind::Colon)?;
             let ty = self.type_mark()?;
@@ -328,18 +336,20 @@ impl<'a> Parser<'a> {
                 None
             };
             self.expect(TokenKind::Semicolon)?;
-            for name in names {
+            for (name, span) in names {
                 decls.push(if is_var {
                     Decl::Variable {
                         name,
                         ty: ty.clone(),
                         init: init.clone(),
+                        span,
                     }
                 } else {
                     Decl::Signal {
                         name,
                         ty: ty.clone(),
                         init: init.clone(),
+                        span,
                     }
                 });
             }
@@ -614,9 +624,9 @@ impl<'a> Parser<'a> {
     }
 
     fn target(&mut self) -> Result<Target, SyntaxError> {
-        let name = self.ident()?;
+        let (name, span) = self.spanned_ident()?;
         let slice = self.optional_slice()?;
-        Ok(Target { name, slice })
+        Ok(Target { name, slice, span })
     }
 
     fn optional_slice(&mut self) -> Result<Option<Slice>, SyntaxError> {
@@ -733,9 +743,9 @@ impl<'a> Parser<'a> {
                 Ok(e)
             }
             TokenKind::Ident(_) => {
-                let name = self.ident()?;
+                let (name, span) = self.spanned_ident()?;
                 let slice = self.optional_slice()?;
-                Ok(Expr::Name { name, slice })
+                Ok(Expr::Name { name, slice, span })
             }
             other => Err(self.err(format!("expected expression, found {other}"))),
         }

@@ -54,8 +54,8 @@ fn indent(level: usize) -> String {
 
 fn pretty_decl(d: &Decl) -> String {
     let (kw, name, ty, init) = match d {
-        Decl::Variable { name, ty, init } => ("variable", name, ty, init),
-        Decl::Signal { name, ty, init } => ("signal", name, ty, init),
+        Decl::Variable { name, ty, init, .. } => ("variable", name, ty, init),
+        Decl::Signal { name, ty, init, .. } => ("signal", name, ty, init),
     };
     match init {
         Some(e) => format!("{kw} {name} : {ty} := {};", pretty_expr(e)),
@@ -181,7 +181,7 @@ fn pretty_expr_prec(e: &Expr, min: u8) -> String {
         Expr::Logic(c) => format!("'{c}'"),
         Expr::Vector(s) => format!("\"{s}\""),
         Expr::Int(i) => format!("{i}"),
-        Expr::Name { name, slice } => match slice {
+        Expr::Name { name, slice, .. } => match slice {
             Some(sl) => format!("{name}{sl}"),
             None => name.clone(),
         },

@@ -32,6 +32,53 @@ impl fmt::Display for Pos {
     }
 }
 
+/// An optional source position carried by AST nodes for diagnostics.
+///
+/// Spans are deliberately invisible to `==`, hashing and ordering: two AST
+/// nodes that differ only in their spans are the same tree.  This keeps the
+/// pretty-printer round-trip property (`parse(pretty(ast)) == ast`) exact for
+/// programmatically built ASTs — the corpus generator, the AES workloads and
+/// the test generators construct nodes with [`Span::NONE`], while the parser
+/// attaches real positions that elaboration errors report as `line:col`.
+#[derive(Clone, Copy, Default)]
+pub struct Span(Option<Pos>);
+
+impl Span {
+    /// The absent span (programmatically built nodes).
+    pub const NONE: Span = Span(None);
+
+    /// A span at a known source position.
+    pub fn at(pos: Pos) -> Span {
+        Span(Some(pos))
+    }
+
+    /// The recorded position, if any.
+    pub fn pos(&self) -> Option<Pos> {
+        self.0
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _other: &Self) -> bool {
+        true // spans never distinguish AST nodes
+    }
+}
+
+impl Eq for Span {}
+
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {} // consistent with `==`
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(p) => write!(f, "Span({p})"),
+            None => write!(f, "Span(?)"),
+        }
+    }
+}
+
 /// The different kinds of tokens of VHDL1.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokenKind<'a> {

@@ -8,7 +8,7 @@ use proptest::TestRng;
 use vhdl1_syntax::{
     parse, parse_expression, parse_statements, pretty_expr, pretty_program, pretty_stmt,
     Architecture, BinOp, Concurrent, Decl, DesignUnit, Entity, Expr, Port, PortMode, Process,
-    Program, Slice, Stmt, Target, Type,
+    Program, Slice, Span, Stmt, Target, Type,
 };
 
 const NAMES: &[&str] = &["a", "b", "c", "x", "y", "s", "t", "clk", "data", "q"];
@@ -175,10 +175,21 @@ fn gen_decl(rng: &mut TestRng, signal: bool) -> Decl {
         Type::StdLogic => Expr::zero(),
         Type::StdLogicVector { .. } => Expr::Vector("00000000".into()),
     });
+    let span = Span::NONE;
     if signal {
-        Decl::Signal { name, ty, init }
+        Decl::Signal {
+            name,
+            ty,
+            init,
+            span,
+        }
     } else {
-        Decl::Variable { name, ty, init }
+        Decl::Variable {
+            name,
+            ty,
+            init,
+            span,
+        }
     }
 }
 
@@ -189,6 +200,7 @@ fn gen_program(rng: &mut TestRng) -> Program {
             name: format!("p{i}"),
             mode,
             ty: Type::StdLogic,
+            span: Span::NONE,
         });
     }
     let mut body: Vec<Concurrent> = Vec::new();

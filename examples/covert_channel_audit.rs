@@ -9,9 +9,8 @@
 //!
 //! Run with `cargo run --example covert_channel_audit`.
 
-use vhdl1_cli::report::{design_report, BatchReport};
-use vhdl_infoflow::infoflow::{analyze, Policy};
-use vhdl_infoflow::syntax::frontend;
+use vhdl1_cli::report::{analysis_report, BatchReport};
+use vhdl_infoflow::infoflow::{Engine, Policy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The design xors the secret key into the data path (allowed, it is the
@@ -50,8 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
           end process debug;
         end rtl;";
 
-    let design = frontend(src)?;
-    let result = analyze(&design);
+    // One session, one lazy analysis: the reporter demands exactly the
+    // merged flow graph; auditing a second policy later would reuse it.
+    let engine = Engine::default();
+    let analysis = engine.analyze_source(src)?;
 
     // Security lattice: key is secret (level 2), everything externally
     // observable is public (level 0).  Flows into the ciphertext are
@@ -66,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_allowed("key", "mixed");
 
     // One design, one report — rendered by the product reporter.
-    let report = design_report(&design, &result, &policy);
+    let report = analysis_report(&analysis, &policy);
     let batch = BatchReport {
         designs: vec![report],
         ..BatchReport::default()

@@ -1,5 +1,6 @@
-//! Quickstart: parse a small VHDL1 design, run the Information Flow analysis
-//! and print the resulting graph (and its Graphviz form).
+//! Quickstart: open an analysis session ([`Engine`]), query the Information
+//! Flow graph of a small VHDL1 design on demand and print it (and its
+//! Graphviz form).
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -38,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
           end process forward;
         end rtl;";
 
-    let design = frontend(src)?;
+    // An Engine is a long-lived analysis session: options, memo table and
+    // stage counters.  `analyze_source` parses, elaborates and hands back a
+    // lazy Analysis — nothing below runs until a stage is queried.
+    let engine = Engine::default();
+    let analysis = engine.analyze_source(src)?;
+    let design = analysis.design();
     println!(
         "design `{}`: {} signals, {} processes, {} labelled blocks",
         design.name,
@@ -47,8 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         design.max_label()
     );
 
-    let result = analyze(&design);
-    let graph = result.flow_graph();
+    // First demand computes the pipeline; every later call is a memo hit
+    // returning the same borrowed graph.
+    let graph = analysis.flow_graph();
 
     println!("\ninformation flows (edge = information may flow):");
     for (from, to) in graph.edges() {
@@ -61,7 +68,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nGraphviz DOT:\n{}",
-        graph.merge_io_nodes().to_dot("gatekeeper")
+        analysis.merged_flow_graph().to_dot("gatekeeper")
     );
+
+    // Re-analysing the same source is free — served from the content-hash
+    // memo table without even reparsing:
+    let again = engine.analyze_source(src)?;
+    assert!(std::ptr::eq(graph, again.flow_graph()));
+    assert_eq!(engine.stats().cache_hits, 1);
     Ok(())
 }

@@ -9,7 +9,7 @@
 //! ```
 
 use std::process::ExitCode;
-use vhdl_infoflow::infoflow::{analyze_with, AnalysisOptions};
+use vhdl_infoflow::infoflow::{AnalysisOptions, Engine};
 use vhdl_infoflow::sim::{Simulator, Value};
 use vhdl_infoflow::syntax::frontend;
 
@@ -43,9 +43,12 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn load_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
 fn load_design(path: &str) -> Result<vhdl_infoflow::syntax::Design, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    frontend(&src).map_err(|e| e.to_string())
+    frontend(&load_source(path)?).map_err(|e| e.to_string())
 }
 
 fn options(flags: &[String]) -> AnalysisOptions {
@@ -62,9 +65,14 @@ fn options(flags: &[String]) -> AnalysisOptions {
 
 fn analyze_command(args: &[String]) -> Result<(), String> {
     let (path, flags) = args.split_first().ok_or("analyze needs a file")?;
-    let design = load_design(path)?;
-    let result = analyze_with(&design, &options(flags));
-    let graph = result.flow_graph();
+    // Demand-driven: the engine computes exactly the stages the flow graph
+    // needs under the selected options (no Table-9 work under `--base`),
+    // and front-end failures arrive as structured, positioned errors.
+    let src = load_source(path)?;
+    let engine = Engine::with_options(options(flags));
+    let analysis = engine.analyze_source(&src).map_err(|e| e.to_string())?;
+    let design = analysis.design();
+    let graph = analysis.flow_graph();
     if flags.iter().any(|f| f == "--dot") {
         println!("{}", graph.to_dot(&design.name));
         return Ok(());
@@ -88,9 +96,10 @@ fn compare_command(args: &[String]) -> Result<(), String> {
     let design = load_design(path)?;
     let mut opts = options(flags);
     opts.improved = false;
-    let result = analyze_with(&design, &opts);
-    let ours = result.base_flow_graph();
-    let kemmerer = result.kemmerer_flow_graph();
+    let engine = Engine::with_options(opts);
+    let analysis = engine.analyze(&design);
+    let ours = analysis.base_flow_graph();
+    let kemmerer = analysis.kemmerer_graph();
     println!(
         "this paper : {} edges (non-transitive: {})",
         ours.edge_count(),
@@ -100,7 +109,7 @@ fn compare_command(args: &[String]) -> Result<(), String> {
         "kemmerer   : {} edges (always transitive)",
         kemmerer.edge_count()
     );
-    let spurious = kemmerer.edge_difference(&ours);
+    let spurious = kemmerer.edge_difference(ours);
     println!(
         "edges reported only by Kemmerer's method ({}):",
         spurious.len()

@@ -35,6 +35,8 @@ pub use vhdl1_syntax as syntax;
 
 /// Commonly used items for working with the analysis end to end.
 pub mod prelude {
-    pub use crate::infoflow::{analyze, AnalysisOptions, AnalysisResult, FlowGraph};
+    pub use crate::infoflow::{
+        analyze, Analysis, AnalysisOptions, AnalysisResult, Engine, EngineError, FlowGraph,
+    };
     pub use crate::syntax::{elaborate, frontend, parse, Design, Program};
 }
