@@ -3,49 +3,100 @@
 //! unrolled cipher).  The paper validates "several programs for implementing
 //! AES"; this bench measures the pipeline on those components and checks the
 //! full cipher against FIPS-197 through the simulator.
+//!
+//! The simulator series separate concerns:
+//!
+//! * `frontend_full_aes128` — lex + parse + elaborate of the ~104k-line
+//!   source (its own series, unchanged);
+//! * `simulate_full_aes128` — compile + simulate an already elaborated
+//!   design to quiescence, twice (cold `U` pass, then the driven block);
+//! * `sim_dense_full_aes128` — the same simulation over a pre-compiled
+//!   shared [`CompiledDesign`], i.e. the steady-state per-simulation cost;
+//! * `sim_ref_full_aes128` — the `simref` oracle under the identical
+//!   harness: the apples-to-apples baseline the dense core is measured
+//!   against.
 
 use aes_vhdl::vhdl::{add_round_key_vhdl, aes128_vhdl, mix_columns_vhdl, sub_bytes_vhdl};
 use aes_vhdl::{encrypt_block, hex_block};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use vhdl1_infoflow::{analyze_with, AnalysisOptions};
-use vhdl1_sim::Simulator;
-use vhdl1_syntax::frontend;
+use vhdl1_sim::simref::RefSimulator;
+use vhdl1_sim::{CompiledDesign, SimOptions, Simulator};
+use vhdl1_syntax::{frontend, Design};
 
-fn simulate_full_aes() -> Vec<u8> {
-    let design = frontend(&aes128_vhdl()).unwrap();
-    let mut sim = Simulator::new(&design).unwrap();
-    sim.run_until_quiescent(50).unwrap();
-    let key = hex_block("000102030405060708090a0b0c0d0e0f");
-    let pt = hex_block("00112233445566778899aabbccddeeff");
+const KEY_HEX: &str = "000102030405060708090a0b0c0d0e0f";
+const PT_HEX: &str = "00112233445566778899aabbccddeeff";
+
+fn simulate_with<S, D, R, O>(mut sim: S, mut run: R, mut drive: D, mut out: O) -> Vec<u8>
+where
+    R: FnMut(&mut S),
+    D: FnMut(&mut S, &str, u128),
+    O: FnMut(&S, &str) -> u8,
+{
+    run(&mut sim);
+    let key = hex_block(KEY_HEX);
+    let pt = hex_block(PT_HEX);
     for i in 0..16 {
-        sim.drive_input_unsigned(&format!("pt_{i}"), pt[i] as u128)
-            .unwrap();
-        sim.drive_input_unsigned(&format!("key_{i}"), key[i] as u128)
-            .unwrap();
+        drive(&mut sim, &format!("pt_{i}"), pt[i] as u128);
+        drive(&mut sim, &format!("key_{i}"), key[i] as u128);
     }
-    sim.run_until_quiescent(50).unwrap();
-    (0..16)
-        .map(|i| {
-            sim.signal(&format!("ct_{i}"))
-                .unwrap()
-                .to_unsigned()
-                .unwrap() as u8
-        })
-        .collect()
+    run(&mut sim);
+    (0..16).map(|i| out(&sim, &format!("ct_{i}"))).collect()
 }
 
-fn print_summary() {
+/// Dense core: construction (compile) + two runs to quiescence.
+fn simulate_full_aes(design: &Design) -> Vec<u8> {
+    simulate_with(
+        Simulator::new(design).unwrap(),
+        |s| {
+            s.run_until_quiescent(50).unwrap();
+        },
+        |s, name, v| s.drive_input_unsigned(name, v).unwrap(),
+        |s, name| s.signal(name).unwrap().to_unsigned().unwrap() as u8,
+    )
+}
+
+/// Dense core over a shared pre-compiled design: per-simulation cost only.
+fn simulate_compiled_aes(compiled: &Arc<CompiledDesign>) -> Vec<u8> {
+    simulate_with(
+        Simulator::from_compiled(Arc::clone(compiled), SimOptions::default()),
+        |s| {
+            s.run_until_quiescent(50).unwrap();
+        },
+        |s, name, v| s.drive_input_unsigned(name, v).unwrap(),
+        |s, name| s.signal(name).unwrap().to_unsigned().unwrap() as u8,
+    )
+}
+
+/// The `simref` oracle under the identical harness.
+fn simulate_ref_aes(design: &Design) -> Vec<u8> {
+    simulate_with(
+        RefSimulator::new(design).unwrap(),
+        |s| {
+            s.run_until_quiescent(50).unwrap();
+        },
+        |s, name, v| s.drive_input_unsigned(name, v).unwrap(),
+        |s, name| s.signal(name).unwrap().to_unsigned().unwrap() as u8,
+    )
+}
+
+fn print_summary(design: &Design) {
     println!("== AES-FULL: AES-128 components through the pipeline ==");
-    let ct = simulate_full_aes();
-    let expected = encrypt_block(
-        &hex_block("000102030405060708090a0b0c0d0e0f"),
-        &hex_block("00112233445566778899aabbccddeeff"),
+    let expected = encrypt_block(&hex_block(KEY_HEX), &hex_block(PT_HEX)).to_vec();
+    let dense_ct = simulate_full_aes(design);
+    let oracle_ct = simulate_ref_aes(design);
+    assert_eq!(
+        dense_ct, expected,
+        "dense ciphertext must match FIPS-197 / the Rust reference"
     );
-    println!(
-        "  simulated ciphertext matches FIPS-197 / Rust reference: {}",
-        ct == expected.to_vec()
+    assert_eq!(
+        dense_ct, oracle_ct,
+        "dense core and simref oracle must agree bit for bit"
     );
+    println!("  dense ciphertext matches FIPS-197 / Rust reference: true");
+    println!("  dense and simref oracle agree bit for bit: true");
     for (name, src) in [
         ("add_round_key(16 bytes)", add_round_key_vhdl(16)),
         ("mix_columns", mix_columns_vhdl()),
@@ -67,7 +118,9 @@ fn print_summary() {
 }
 
 fn bench_aes(c: &mut Criterion) {
-    print_summary();
+    let aes_src = aes128_vhdl();
+    let aes_design = frontend(&aes_src).unwrap();
+    print_summary(&aes_design);
     let mut group = c.benchmark_group("aes_full");
     group.sample_size(10);
 
@@ -83,8 +136,16 @@ fn bench_aes(c: &mut Criterion) {
     group.bench_function("analyze_sub_bytes_2", |b| {
         b.iter(|| analyze_with(black_box(&sub), &AnalysisOptions::base()).base_flow_graph())
     });
-    group.bench_function("simulate_full_aes128", |b| b.iter(simulate_full_aes));
-    let aes_src = aes128_vhdl();
+    group.bench_function("simulate_full_aes128", |b| {
+        b.iter(|| simulate_full_aes(black_box(&aes_design)))
+    });
+    let compiled = Arc::new(CompiledDesign::compile(&aes_design).unwrap());
+    group.bench_function("sim_dense_full_aes128", |b| {
+        b.iter(|| simulate_compiled_aes(black_box(&compiled)))
+    });
+    group.bench_function("sim_ref_full_aes128", |b| {
+        b.iter(|| simulate_ref_aes(black_box(&aes_design)))
+    });
     group.bench_function("frontend_full_aes128", |b| {
         b.iter(|| frontend(black_box(&aes_src)).unwrap())
     });

@@ -110,6 +110,30 @@ fn alfp_series() {
         });
     }
 
+    // Dense simulator (compiled interned core): the AES SubBytes family to
+    // quiescence — a cold `U` pass plus one driven block — including the
+    // per-design compile.  `tuples` records the delta-cycle count.
+    println!("  dense simulator (compiled interned core) to quiescence:");
+    for n in [1usize, 2] {
+        let design = design_of(&sub_bytes_vhdl(n));
+        let (deltas, median) = measure(5, || {
+            let mut sim = vhdl1_sim::Simulator::new(&design).expect("sub_bytes compiles");
+            sim.run_until_quiescent(50).expect("cold pass quiesces");
+            for i in 0..n {
+                sim.drive_input_unsigned(&format!("a_{i}"), 0x53).unwrap();
+            }
+            sim.run_until_quiescent(50).expect("driven pass quiesces");
+            sim.delta_count()
+        });
+        println!("    sub_bytes({n}) deltas={deltas:<3} median={median:?}");
+        points.push(BenchPoint {
+            workload: "sim_dense",
+            size: n,
+            tuples: deltas as usize,
+            median_ns: median.as_nanos(),
+        });
+    }
+
     // Batch corpus analysis through the vhdl1c driver: a 50-design corpus
     // swept across worker counts (`tuples` records the corpus size).  On a
     // single-core container the series is flat; on multi-core hardware it is

@@ -16,7 +16,6 @@ use std::collections::HashMap;
 use std::time::Instant;
 use vhdl1_corpus::GeneratedDesign;
 use vhdl1_infoflow::{fnv1a64, AnalysisOptions, CachePolicy, Engine, EngineConfig, Policy};
-use vhdl1_sim::Simulator;
 
 /// Output formats of `vhdl1c analyze`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -306,9 +305,12 @@ fn analyze_job(
         report.dot = Some(analysis.flow_graph().to_dot(&job.name));
     }
     if opts.smoke {
-        match smoke_simulate(analysis.design()) {
-            Ok(deltas) => report.smoke_deltas = Some(deltas),
-            Err(e) => report.smoke_error = Some(e),
+        // The engine memoizes the simulation per design, so duplicate
+        // sources in one batch smoke exactly once; simulator errors render
+        // `line:col` exactly like analysis errors.
+        match analysis.smoke(SMOKE_MAX_DELTAS) {
+            Ok(smoke) => report.smoke_deltas = Some(smoke.deltas),
+            Err(e) => report.smoke_error = Some(e.to_string()),
         }
     }
     if opts.timing {
@@ -317,13 +319,8 @@ fn analyze_job(
     Ok(report)
 }
 
-/// Runs a design in the simulator until quiescence (bounded), returning the
-/// delta-cycle count.
-fn smoke_simulate(design: &vhdl1_syntax::Design) -> Result<u64, String> {
-    let mut sim = Simulator::new(design).map_err(|e| e.to_string())?;
-    sim.run_until_quiescent(10_000).map_err(|e| e.to_string())?;
-    Ok(sim.delta_count())
-}
+/// Delta-cycle bound of `--smoke` simulations.
+const SMOKE_MAX_DELTAS: u64 = 10_000;
 
 #[cfg(test)]
 mod tests {
@@ -480,6 +477,50 @@ mod tests {
         );
         assert_eq!(batch.smoke_failures(), 0, "{:?}", batch.designs);
         assert!(batch.designs.iter().all(|d| d.smoke_deltas.is_some()));
+    }
+
+    #[test]
+    fn smoke_reports_are_byte_identical_across_runs_and_worker_counts() {
+        let jobs = corpus_jobs(17, 10);
+        let opts = |workers: usize| BatchOptions {
+            smoke: true,
+            jobs: workers,
+            ..BatchOptions::default()
+        };
+        let first = run_batch(&jobs, &opts(1)).to_json();
+        let second = run_batch(&jobs, &opts(1)).to_json();
+        assert_eq!(first, second, "same design must smoke byte-identically");
+        let parallel = run_batch(&jobs, &opts(8)).to_json();
+        assert_eq!(first, parallel, "smoke deltas are worker-count independent");
+    }
+
+    #[test]
+    fn smoke_failures_render_source_positions() {
+        // Elaboration accepts the out-of-range slice; the simulator rejects
+        // it at compile time with `line:col`, exactly like analysis errors.
+        let src =
+            "entity e is port(a : in std_logic_vector(3 downto 0); b : out std_logic); end e;\n\
+                   architecture rtl of e is begin\n\
+                   p : process begin\n\
+                   b <= a(9 downto 8);\n\
+                   wait on a;\n\
+                   end process;\n\
+                   end rtl;";
+        let jobs = vec![Job::from_source("bad_slice", src)];
+        let batch = run_batch(
+            &jobs,
+            &BatchOptions {
+                smoke: true,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(batch.smoke_failures(), 1);
+        let err = batch.designs[0]
+            .smoke_error
+            .as_deref()
+            .expect("smoke must fail");
+        assert!(err.contains("slice out of range"), "{err}");
+        assert!(err.contains("at 4:"), "smoke errors carry line:col: {err}");
     }
 
     #[test]

@@ -51,6 +51,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use vhdl1_dataflow::ReachingDefinitions;
+use vhdl1_sim::{SimError, Simulator};
 use vhdl1_syntax::{Design, Pos, SyntaxError, SyntaxErrorKind};
 
 /// 64-bit FNV-1a content hash — the engine's cache key over source bytes.
@@ -199,6 +200,8 @@ pub struct EngineStats {
     pub flow_graph: u64,
     /// Kemmerer baseline graph constructions.
     pub kemmerer: u64,
+    /// Smoke simulations to quiescence (Kemmerer-style validation runs).
+    pub smoke: u64,
     /// Memo-table hits in [`Engine::analyze_source`].
     pub cache_hits: u64,
     /// Memo-table misses in [`Engine::analyze_source`].
@@ -215,8 +218,25 @@ struct Counters {
     improved: AtomicU64,
     flow_graph: AtomicU64,
     kemmerer: AtomicU64,
+    smoke: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+}
+
+/// The result of a smoke simulation: the design ran to quiescence on the
+/// dense simulator core of `vhdl1-sim`.
+///
+/// The paper's Section 6 validation simulates every design (ModelSim's
+/// role); the engine exposes that as a lazy query so audits can require a
+/// design to actually *execute* before trusting its flow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmokeReport {
+    /// Delta cycles until quiescence.
+    pub deltas: u64,
+    /// FNV-1a digest over the quiescent signal states (in declaration
+    /// order) — byte-identical across runs and machines for the same
+    /// design, pinning simulator determinism.
+    pub state_digest: u64,
 }
 
 /// The lazily filled memo slots of one design's analysis.  Every slot is a
@@ -233,6 +253,7 @@ struct Slots {
     base_graph: OnceLock<FlowGraph>,
     merged_graph: OnceLock<FlowGraph>,
     kemmerer: OnceLock<FlowGraph>,
+    smoke: OnceLock<Result<SmokeReport, SimError>>,
 }
 
 /// A design together with its memo slots, shareable across cache hits.
@@ -331,6 +352,7 @@ impl Engine {
             improved: g(&c.improved),
             flow_graph: g(&c.flow_graph),
             kemmerer: g(&c.kemmerer),
+            smoke: g(&c.smoke),
             cache_hits: g(&c.cache_hits),
             cache_misses: g(&c.cache_misses),
         }
@@ -685,6 +707,43 @@ impl<'e> Analysis<'e> {
         audit(self.merged_flow_graph(), policy)
     }
 
+    /// Smoke-simulates the design to quiescence on the dense simulator core
+    /// and reports the delta-cycle count plus a digest of the quiescent
+    /// signal states (the Section 6 "does it actually run" validation).
+    ///
+    /// Memoized like every other stage: the first call compiles and runs
+    /// the design (its `max_deltas` bound applies); repeated calls return
+    /// the recorded outcome without re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] of the failed compilation or execution —
+    /// positioned (`line:col`) whenever the offending construct was parsed
+    /// from source text.
+    pub fn smoke(&self, max_deltas: u64) -> Result<SmokeReport, SimError> {
+        self.slots()
+            .smoke
+            .get_or_init(|| {
+                self.bump(&self.engine.counters.smoke);
+                let design = self.design();
+                let mut sim = Simulator::new(design)?;
+                let deltas = sim.run_until_quiescent(max_deltas)?;
+                let mut digest_input = String::new();
+                for sig in &design.signals {
+                    let value = sim.signal(&sig.name).expect("signal exists");
+                    digest_input.push_str(&sig.name);
+                    digest_input.push('=');
+                    digest_input.push_str(&value.to_literal());
+                    digest_input.push('\n');
+                }
+                Ok(SmokeReport {
+                    deltas,
+                    state_digest: fnv1a64(digest_input.as_bytes()),
+                })
+            })
+            .clone()
+    }
+
     /// Materialises the owned, eager [`AnalysisResult`] of the classic API,
     /// computing any stage not yet demanded.
     ///
@@ -952,6 +1011,48 @@ end rtl;";
         let permissive = analysis.audit(&Policy::new());
         assert!(permissive.violations.is_empty());
         assert_eq!(engine.stats().flow_graph, graphs_before);
+    }
+
+    #[test]
+    fn smoke_simulates_once_and_memoizes_the_outcome() {
+        let design = frontend(TWO_PROC).unwrap();
+        let engine = Engine::default();
+        let analysis = engine.analyze(&design);
+        let first = analysis.smoke(1_000).expect("two-process copy quiesces");
+        assert!(first.deltas >= 1);
+        // Second query — even with a different bound — replays the memo.
+        let second = analysis.smoke(1).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().smoke, 1);
+        // The digest is deterministic across engines and analyses.
+        let other = Engine::default();
+        let again = other.analyze(&design).smoke(1_000).unwrap();
+        assert_eq!(first.state_digest, again.state_digest);
+        assert_eq!(first.deltas, again.deltas);
+        // Smoke needs no analysis stages at all.
+        assert_eq!(engine.stats().rd, 0);
+    }
+
+    #[test]
+    fn smoke_errors_are_recorded_with_positions() {
+        // An out-of-range slice passes elaboration but fails simulator
+        // compilation; the error carries its source position.
+        let src = "entity e is port(a : in std_logic_vector(3 downto 0); b : out std_logic); end e;
+architecture rtl of e is begin
+  p : process begin
+    b <= a(9 downto 8);
+    wait on a;
+  end process;
+end rtl;";
+        let engine = Engine::default();
+        let analysis = engine.analyze_source(src).unwrap();
+        let err = analysis.smoke(100).unwrap_err();
+        assert_eq!(err.line_col().map(|(l, _)| l), Some(4), "{err}");
+        assert!(err.to_string().contains("at 4:"), "{err}");
+        // Errors are memoized too.
+        let err2 = analysis.smoke(100).unwrap_err();
+        assert_eq!(err, err2);
+        assert_eq!(engine.stats().smoke, 1);
     }
 
     #[test]

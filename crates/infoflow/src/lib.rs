@@ -62,6 +62,7 @@ pub use analysis::{
 pub use closure::{global_closure, specialize_rd, table8_step, SpecializedRd};
 pub use engine::{
     fnv1a64, Analysis, CachePolicy, Engine, EngineConfig, EngineError, EnginePhase, EngineStats,
+    SmokeReport,
 };
 pub use graph::FlowGraph;
 pub use improved::{improved_closure, ImprovedClosure, ImprovedOptions};

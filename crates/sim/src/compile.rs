@@ -1,0 +1,645 @@
+//! Compilation of an elaborated [`Design`] into the dense simulator core.
+//!
+//! The reference simulator interprets the AST directly: every activation
+//! re-clones the process body, every name is looked up in a string-keyed
+//! ordered map, and every value is a freshly allocated vector.  This module
+//! instead compiles each process **once** into a flat array of instructions
+//! over interned resources:
+//!
+//! * signals are the dense `u32` ids assigned at elaboration
+//!   ([`vhdl1_syntax::SignalNumbering`] — the index into `Design::signals`),
+//! * process variables get per-process dense ids the same way,
+//! * vector literals are pre-packed [`PackedValue`] constants,
+//! * slices are pre-resolved to `(start, len, direction)` element windows
+//!   (out-of-range slices are rejected here, at compile time, with their
+//!   source position),
+//! * control flow becomes branch/jump targets instead of a continuation
+//!   stack of cloned sub-trees,
+//! * every `wait` statement's sensitivity list becomes an **interned signal
+//!   bitset**, so wakeup checks at synchronisation are word scans.
+//!
+//! Execution of the compiled form lives in [`crate::simulator`].
+
+use crate::error::SimError;
+use crate::eval::{eval, slice_offsets, NameEnv};
+use crate::packed::{apply_binary_packed, PackedValue};
+use crate::values::{Logic, Value};
+use std::collections::HashMap;
+use vhdl1_syntax::{
+    Design, Expr, Ident, SignalKind, SignalNumbering, Slice, Span, Stmt, Type, UnOp,
+};
+
+/// A pre-resolved slice: a contiguous element window of the stored value.
+///
+/// `start` is the element offset of the *first* selected element in slice
+/// order; `descending` walks the window leftwards (a slice written against
+/// the declaration direction).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CSlice {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+    pub(crate) descending: bool,
+}
+
+/// A compiled expression over interned resources.
+#[derive(Debug, Clone)]
+pub(crate) enum CExpr {
+    /// A pre-packed literal.
+    Const(PackedValue),
+    /// The present value of a signal.
+    Sig(u32),
+    /// A slice of the present value of a signal.
+    SigSlice(u32, CSlice),
+    /// The value of a process variable.
+    Var(u32),
+    /// A slice of a process variable.
+    VarSlice(u32, CSlice),
+    /// Element-wise negation.
+    Not(Box<CExpr>),
+    /// A binary operator (reference semantics of Table 1).
+    Binary(vhdl1_syntax::BinOp, Box<CExpr>, Box<CExpr>),
+}
+
+/// One instruction of a compiled process body.
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    /// `null`.
+    Nop,
+    /// `x := e`, with the variable's width applied.
+    VarAssign {
+        /// Dense variable id.
+        var: u32,
+        /// Optional pre-resolved slice of the target.
+        slice: Option<CSlice>,
+        /// Right-hand side.
+        expr: CExpr,
+    },
+    /// `s <= e`: updates the process's active-value slot for the signal.
+    SigAssign {
+        /// Index into the process's driven-signal slots.
+        slot: u32,
+        /// Optional pre-resolved slice of the target.
+        slice: Option<CSlice>,
+        /// Right-hand side.
+        expr: CExpr,
+    },
+    /// Falls through when the condition is `'1'`, jumps to `target`
+    /// otherwise (the else/exit edge of `if`/`while`).
+    BranchIfFalse {
+        /// The compiled condition.
+        cond: CExpr,
+        /// Jump target when the condition is not true.
+        target: u32,
+        /// Source position of the condition (strict-mode diagnostics).
+        span: Span,
+    },
+    /// Unconditional jump (loop back-edges, if-join edges).
+    Jump(u32),
+    /// Suspension point: the process waits on the interned sensitivity set
+    /// `sens` until the guard holds (`None` = the default `'1'`).
+    Wait {
+        /// Index into [`CompiledDesign::sens_sets`].
+        sens: u32,
+        /// The compiled `until` guard, unless it is the `'1'` literal.
+        until: Option<CExpr>,
+        /// Source position of the guard (strict-mode diagnostics).
+        span: Span,
+    },
+}
+
+/// One compiled process.
+#[derive(Debug)]
+pub(crate) struct CompiledProcess {
+    pub(crate) name: Ident,
+    pub(crate) var_names: Vec<Ident>,
+    pub(crate) var_widths: Vec<u32>,
+    pub(crate) var_init: Vec<PackedValue>,
+    /// Signal ids this process may drive, in first-assignment order; the
+    /// position is the process's active-value *slot* for that signal.
+    pub(crate) driven: Vec<u32>,
+    pub(crate) code: Vec<Instr>,
+}
+
+/// A [`Design`] compiled for the dense simulator: interned signals, packed
+/// initial values, flat instruction arrays and interned sensitivity bitsets.
+///
+/// Compiling is a one-time cost per design; any number of
+/// [`crate::Simulator`] instances can be created from a shared compiled
+/// design via [`crate::Simulator::from_compiled`].
+#[derive(Debug)]
+pub struct CompiledDesign {
+    pub(crate) sig_names: Vec<Ident>,
+    pub(crate) sig_id: HashMap<Ident, u32>,
+    pub(crate) sig_widths: Vec<u32>,
+    /// Bitset over signal ids: the `in` ports.
+    pub(crate) input_bits: Box<[u64]>,
+    pub(crate) sig_init: Vec<PackedValue>,
+    pub(crate) procs: Vec<CompiledProcess>,
+    /// Interned sensitivity sets (bitsets over signal ids).
+    pub(crate) sens_sets: Vec<Box<[u64]>>,
+    /// `ceil(signal count / 64)`, the word length of every signal bitset.
+    pub(crate) sig_word_count: usize,
+}
+
+impl CompiledDesign {
+    /// Compiles `design`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when an initialiser cannot be evaluated, a
+    /// name is unresolvable, or a slice leaves its declared range — carrying
+    /// the source position whenever the AST node was parsed from text.
+    pub fn compile(design: &Design) -> Result<CompiledDesign, SimError> {
+        let numbering = design.signal_numbering();
+        let nsignals = design.signals.len();
+        let sig_word_count = nsignals.div_ceil(64).max(1);
+
+        let mut sig_names = Vec::with_capacity(nsignals);
+        let mut sig_widths = Vec::with_capacity(nsignals);
+        let mut sig_types = Vec::with_capacity(nsignals);
+        let mut sig_init = Vec::with_capacity(nsignals);
+        let mut input_bits = vec![0u64; sig_word_count].into_boxed_slice();
+        for (i, sig) in design.signals.iter().enumerate() {
+            sig_names.push(sig.name.clone());
+            sig_widths.push(sig.ty.width() as u32);
+            sig_types.push(sig.ty.clone());
+            let init = match &sig.init {
+                Some(e) => eval(e, &EmptyEnv)?.resized(sig.ty.width()),
+                None => Value::filled(sig.ty.width(), Logic::U),
+            };
+            sig_init.push(PackedValue::from_value(&init));
+            if sig.kind == SignalKind::PortIn {
+                input_bits[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        let sig_id: HashMap<Ident, u32> = sig_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+
+        let mut sens_pool = SensPool::default();
+        let mut procs = Vec::with_capacity(design.processes.len());
+        for p in &design.processes {
+            let mut var_names = Vec::with_capacity(p.variables.len());
+            let mut var_widths = Vec::with_capacity(p.variables.len());
+            let mut var_types = Vec::with_capacity(p.variables.len());
+            let mut var_init = Vec::with_capacity(p.variables.len());
+            for v in &p.variables {
+                let init = match &v.init {
+                    Some(e) => eval(e, &EmptyEnv)?.resized(v.ty.width()),
+                    None => Value::filled(v.ty.width(), Logic::U),
+                };
+                var_names.push(v.name.clone());
+                var_widths.push(v.ty.width() as u32);
+                var_types.push(v.ty.clone());
+                var_init.push(PackedValue::from_value(&init));
+            }
+            let mut ctx = ProcCompiler {
+                numbering: &numbering,
+                sig_types: &sig_types,
+                var_ids: var_names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (n.clone(), i as u32))
+                    .collect(),
+                var_types: &var_types,
+                driven: Vec::new(),
+                slot_of: HashMap::new(),
+                code: Vec::new(),
+                sens_pool: &mut sens_pool,
+                sig_word_count,
+            };
+            ctx.compile_stmt(&p.body)?;
+            if ctx.code.is_empty() {
+                ctx.code.push(Instr::Nop);
+            }
+            procs.push(CompiledProcess {
+                name: p.name.clone(),
+                var_names,
+                var_widths,
+                var_init,
+                driven: ctx.driven,
+                code: ctx.code,
+            });
+        }
+
+        Ok(CompiledDesign {
+            sig_names,
+            sig_id,
+            sig_widths,
+            input_bits,
+            sig_init,
+            procs,
+            sens_sets: sens_pool.sets,
+            sig_word_count,
+        })
+    }
+
+    /// Number of signals of the design.
+    pub fn signal_count(&self) -> usize {
+        self.sig_names.len()
+    }
+
+    /// Number of processes of the design.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+}
+
+/// Interner for sensitivity bitsets: identical `wait on` sets share one
+/// stored bitset.
+#[derive(Default)]
+struct SensPool {
+    ids: HashMap<Box<[u64]>, u32>,
+    sets: Vec<Box<[u64]>>,
+}
+
+impl SensPool {
+    fn intern(&mut self, set: Box<[u64]>) -> u32 {
+        if let Some(&id) = self.ids.get(&set) {
+            return id;
+        }
+        let id = self.sets.len() as u32;
+        self.sets.push(set.clone());
+        self.ids.insert(set, id);
+        id
+    }
+}
+
+struct ProcCompiler<'a> {
+    numbering: &'a SignalNumbering,
+    sig_types: &'a [Type],
+    var_ids: HashMap<Ident, u32>,
+    var_types: &'a [Type],
+    driven: Vec<u32>,
+    slot_of: HashMap<u32, u32>,
+    code: Vec<Instr>,
+    sens_pool: &'a mut SensPool,
+    sig_word_count: usize,
+}
+
+impl ProcCompiler<'_> {
+    fn compile_stmt(&mut self, stmt: &Stmt) -> Result<(), SimError> {
+        match stmt {
+            Stmt::Null { .. } => self.code.push(Instr::Nop),
+            Stmt::Seq(a, b) => {
+                self.compile_stmt(a)?;
+                self.compile_stmt(b)?;
+            }
+            Stmt::VarAssign { target, expr, .. } => {
+                let expr = self.compile_expr(expr)?;
+                let var =
+                    *self
+                        .var_ids
+                        .get(&target.name)
+                        .ok_or_else(|| SimError::UndefinedName {
+                            name: target.name.clone(),
+                            span: target.span,
+                        })?;
+                let slice = match &target.slice {
+                    None => None,
+                    Some(sl) => Some(
+                        compile_slice(&target.name, &self.var_types[var as usize], sl)
+                            .map_err(|e| e.with_span(target.span))?,
+                    ),
+                };
+                self.code.push(Instr::VarAssign { var, slice, expr });
+            }
+            Stmt::SignalAssign { target, expr, .. } => {
+                let expr = self.compile_expr(expr)?;
+                let sig =
+                    self.numbering
+                        .id(&target.name)
+                        .ok_or_else(|| SimError::UndefinedName {
+                            name: target.name.clone(),
+                            span: target.span,
+                        })?;
+                let slice = match &target.slice {
+                    None => None,
+                    Some(sl) => Some(
+                        compile_slice(&target.name, &self.sig_types[sig as usize], sl)
+                            .map_err(|e| e.with_span(target.span))?,
+                    ),
+                };
+                let slot = match self.slot_of.get(&sig) {
+                    Some(&s) => s,
+                    None => {
+                        let s = self.driven.len() as u32;
+                        self.driven.push(sig);
+                        self.slot_of.insert(sig, s);
+                        s
+                    }
+                };
+                self.code.push(Instr::SigAssign { slot, slice, expr });
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let ccond = self.compile_expr(cond)?;
+                let branch_at = self.code.len();
+                self.code.push(Instr::BranchIfFalse {
+                    cond: ccond,
+                    target: 0,
+                    span: expr_span(cond),
+                });
+                self.compile_stmt(then_branch)?;
+                let jump_at = self.code.len();
+                self.code.push(Instr::Jump(0));
+                let else_start = self.code.len() as u32;
+                self.patch_branch(branch_at, else_start);
+                self.compile_stmt(else_branch)?;
+                let join = self.code.len() as u32;
+                self.code[jump_at] = Instr::Jump(join);
+            }
+            Stmt::While { cond, body, .. } => {
+                let loop_start = self.code.len() as u32;
+                let ccond = self.compile_expr(cond)?;
+                let branch_at = self.code.len();
+                self.code.push(Instr::BranchIfFalse {
+                    cond: ccond,
+                    target: 0,
+                    span: expr_span(cond),
+                });
+                self.compile_stmt(body)?;
+                self.code.push(Instr::Jump(loop_start));
+                let exit = self.code.len() as u32;
+                self.patch_branch(branch_at, exit);
+            }
+            Stmt::Wait { on, until, .. } => {
+                let mut bits = vec![0u64; self.sig_word_count].into_boxed_slice();
+                for name in on {
+                    // Names that are not signals can never trigger a wakeup
+                    // (the reference simulator matches them against the
+                    // changed-signal set, where they never occur).
+                    if let Some(id) = self.numbering.id(name) {
+                        bits[id as usize / 64] |= 1u64 << (id as usize % 64);
+                    }
+                }
+                let sens = self.sens_pool.intern(bits);
+                let until_c = if until.is_true_literal() {
+                    None
+                } else {
+                    Some(self.compile_expr(until)?)
+                };
+                self.code.push(Instr::Wait {
+                    sens,
+                    until: until_c,
+                    span: expr_span(until),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn patch_branch(&mut self, at: usize, to: u32) {
+        if let Instr::BranchIfFalse { target, .. } = &mut self.code[at] {
+            *target = to;
+        }
+    }
+
+    fn compile_expr(&self, e: &Expr) -> Result<CExpr, SimError> {
+        Ok(match e {
+            Expr::Logic(c) => {
+                let v = Value::logic(*c).ok_or_else(|| SimError::UndefinedName {
+                    name: c.to_string(),
+                    span: Span::NONE,
+                })?;
+                CExpr::Const(PackedValue::from_value(&v))
+            }
+            Expr::Vector(s) => {
+                let v = Value::vector(s).ok_or_else(|| SimError::UndefinedName {
+                    name: s.clone(),
+                    span: Span::NONE,
+                })?;
+                CExpr::Const(PackedValue::from_value(&v))
+            }
+            Expr::Int(n) => CExpr::Const(PackedValue::from_unsigned(*n as u128, 64)),
+            Expr::Name { name, slice, span } => {
+                // Variables shadow signals, like the reference evaluator's
+                // environment lookup order.
+                if let Some(&var) = self.var_ids.get(name) {
+                    match slice {
+                        None => CExpr::Var(var),
+                        Some(sl) => CExpr::VarSlice(
+                            var,
+                            compile_slice(name, &self.var_types[var as usize], sl)
+                                .map_err(|e| e.with_span(*span))?,
+                        ),
+                    }
+                } else if let Some(sig) = self.numbering.id(name) {
+                    match slice {
+                        None => CExpr::Sig(sig),
+                        Some(sl) => CExpr::SigSlice(
+                            sig,
+                            compile_slice(name, &self.sig_types[sig as usize], sl)
+                                .map_err(|e| e.with_span(*span))?,
+                        ),
+                    }
+                } else {
+                    return Err(SimError::UndefinedName {
+                        name: name.clone(),
+                        span: *span,
+                    });
+                }
+            }
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => CExpr::Not(Box::new(self.compile_expr(expr)?)),
+            Expr::Binary { op, lhs, rhs } => CExpr::Binary(
+                *op,
+                Box::new(self.compile_expr(lhs)?),
+                Box::new(self.compile_expr(rhs)?),
+            ),
+        })
+    }
+}
+
+/// Resolves a source slice against the declared type into a contiguous
+/// element window, validating the bounds (the validation of
+/// [`crate::eval::slice_offsets`], hoisted to compile time).
+fn compile_slice(name: &str, ty: &Type, slice: &Slice) -> Result<CSlice, SimError> {
+    let offsets = slice_offsets(name, ty, slice)?;
+    // A null slice (e.g. `(0 downto 1)`, written against the range
+    // direction) selects no elements; the reference evaluator yields an
+    // empty offset list, which reads as an empty value and writes nothing.
+    let Some(&start) = offsets.first() else {
+        return Ok(CSlice {
+            start: 0,
+            len: 0,
+            descending: false,
+        });
+    };
+    let descending = offsets.len() > 1 && offsets[1] < offsets[0];
+    Ok(CSlice {
+        start: start as u32,
+        len: offsets.len() as u32,
+        descending,
+    })
+}
+
+/// The source position of the first named reference in `e`, if any — the
+/// best position available for condition diagnostics.
+fn expr_span(e: &Expr) -> Span {
+    match e {
+        Expr::Name { span, .. } => *span,
+        Expr::Unary { expr, .. } => expr_span(expr),
+        Expr::Binary { lhs, rhs, .. } => {
+            let l = expr_span(lhs);
+            if l.pos().is_some() {
+                l
+            } else {
+                expr_span(rhs)
+            }
+        }
+        Expr::Logic(_) | Expr::Vector(_) | Expr::Int(_) => Span::NONE,
+    }
+}
+
+/// Evaluates a compiled expression against the flat stores.  Compiled
+/// expressions cannot fail at runtime: names and slices were resolved and
+/// bounds-checked at compile time.
+pub(crate) fn eval_cexpr(e: &CExpr, vars: &[PackedValue], present: &[PackedValue]) -> PackedValue {
+    match e {
+        CExpr::Const(v) => v.clone(),
+        CExpr::Sig(id) => present[*id as usize].clone(),
+        CExpr::SigSlice(id, sl) => {
+            present[*id as usize].extract_slice(sl.start as usize, sl.len as usize, sl.descending)
+        }
+        CExpr::Var(id) => vars[*id as usize].clone(),
+        CExpr::VarSlice(id, sl) => {
+            vars[*id as usize].extract_slice(sl.start as usize, sl.len as usize, sl.descending)
+        }
+        CExpr::Not(inner) => eval_cexpr(inner, vars, present).not(),
+        CExpr::Binary(op, lhs, rhs) => apply_binary_packed(
+            *op,
+            &eval_cexpr(lhs, vars, present),
+            &eval_cexpr(rhs, vars, present),
+        ),
+    }
+}
+
+struct EmptyEnv;
+
+impl NameEnv for EmptyEnv {
+    fn value_of(&self, _name: &str) -> Option<Value> {
+        None
+    }
+    fn type_of(&self, _name: &str) -> Option<Type> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vhdl1_syntax::frontend;
+
+    #[test]
+    fn compiles_signals_processes_and_sensitivity_sets() {
+        let d = frontend(
+            "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is
+               signal t : std_logic_vector(3 downto 0) := \"1010\";
+             begin
+               p1 : process begin t <= t; wait on a; end process p1;
+               p2 : process begin b <= a; wait on a; end process p2;
+             end rtl;",
+        )
+        .unwrap();
+        let c = CompiledDesign::compile(&d).unwrap();
+        assert_eq!(c.signal_count(), 3);
+        assert_eq!(c.process_count(), 2);
+        assert_eq!(c.sig_id["a"], 0);
+        assert_eq!(c.sig_id["t"], 2);
+        assert_eq!(c.sig_widths[2], 4);
+        // `in` port bit set for a (id 0) only.
+        assert_eq!(c.input_bits[0], 0b001);
+        // Both processes wait on the same set: it is interned once.
+        assert_eq!(c.sens_sets.len(), 1);
+        assert_eq!(&*c.sens_sets[0], &[0b001u64][..]);
+        assert_eq!(c.sig_init[2].to_value(), Value::vector("1010").unwrap());
+    }
+
+    #[test]
+    fn null_slices_compile_to_empty_windows() {
+        // `(0 downto 1)` against a `downto` range selects no elements; the
+        // reference evaluator returns an empty offset list and the dense
+        // compiler must not panic on it.
+        let d = frontend(
+            "entity e is port(a : in std_logic_vector(3 downto 0);
+                              b : out std_logic_vector(3 downto 0)); end e;
+             architecture rtl of e is begin
+               p : process begin
+                 b(0 downto 1) <= a(0 downto 1);
+                 wait on a;
+               end process;
+             end rtl;",
+        )
+        .unwrap();
+        let c = CompiledDesign::compile(&d).expect("null slices are legal");
+        let has_empty_slice = c.procs[0].code.iter().any(|i| {
+            matches!(
+                i,
+                Instr::SigAssign {
+                    slice: Some(CSlice { len: 0, .. }),
+                    ..
+                }
+            )
+        });
+        assert!(has_empty_slice, "{:?}", c.procs[0].code);
+    }
+
+    #[test]
+    fn out_of_range_slices_fail_at_compile_time_with_positions() {
+        let d = frontend(
+            "entity e is port(a : in std_logic_vector(3 downto 0); b : out std_logic); end e;
+architecture rtl of e is begin
+  p : process begin
+    b <= a(9 downto 8);
+    wait on a;
+  end process;
+end rtl;",
+        )
+        .unwrap();
+        let err = CompiledDesign::compile(&d).unwrap_err();
+        assert!(matches!(err, SimError::InvalidSlice { .. }), "{err:?}");
+        let pos = err.pos().expect("parsed slice errors carry a position");
+        assert_eq!(pos.line, 4, "{err}");
+        assert!(err.to_string().contains("at 4:"), "{err}");
+    }
+
+    #[test]
+    fn branch_targets_form_well_bounded_code() {
+        let d = frontend(
+            "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is begin
+               p : process
+                 variable i : std_logic_vector(3 downto 0) := \"0000\";
+               begin
+                 i := \"0000\";
+                 while i < 3 loop
+                   i := i + 1;
+                 end loop;
+                 if a = '1' then b <= '1'; else b <= '0'; end if;
+                 wait on a;
+               end process;
+             end rtl;",
+        )
+        .unwrap();
+        let c = CompiledDesign::compile(&d).unwrap();
+        let code = &c.procs[0].code;
+        let n = code.len() as u32;
+        for instr in code {
+            match instr {
+                Instr::Jump(t) => assert!(*t <= n),
+                Instr::BranchIfFalse { target, .. } => assert!(*target <= n),
+                _ => {}
+            }
+        }
+    }
+}

@@ -2,8 +2,15 @@
 
 use crate::values::Value;
 use std::fmt;
+use vhdl1_syntax::{Pos, Span};
 
 /// An error raised while evaluating expressions or executing a design.
+///
+/// Errors that can be attributed to a source location carry a
+/// [`Span`] — filled in whenever the offending AST node was produced by the
+/// parser (programmatically built designs degrade to position-less errors).
+/// Like everywhere else in the workspace, spans are invisible to `==`, so
+/// tests may compare errors without constructing positions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// A name was referenced that is neither a signal nor a local variable of
@@ -11,11 +18,15 @@ pub enum SimError {
     UndefinedName {
         /// The unknown name.
         name: String,
+        /// Source position of the reference, if known.
+        span: Span,
     },
     /// A slice referenced indices outside the declared range of a name.
     InvalidSlice {
         /// The sliced name.
         name: String,
+        /// Source position of the slice, if known.
+        span: Span,
     },
     /// A branch or wait condition did not evaluate to a defined boolean and
     /// strict-condition mode is enabled.
@@ -24,6 +35,8 @@ pub enum SimError {
         process: String,
         /// The offending value.
         value: Value,
+        /// Source position of the condition, if known.
+        span: Span,
     },
     /// A process executed more steps than allowed without reaching a wait
     /// statement (almost certainly a combinational loop or a missing wait).
@@ -41,27 +54,68 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// The source position of the error, when the failing construct was
+    /// parsed from text (rather than built programmatically).
+    pub fn pos(&self) -> Option<Pos> {
+        match self {
+            SimError::UndefinedName { span, .. }
+            | SimError::InvalidSlice { span, .. }
+            | SimError::NonBooleanCondition { span, .. } => span.pos(),
+            SimError::StepLimitExceeded { .. } | SimError::DeltaLimitExceeded { .. } => None,
+        }
+    }
+
+    /// `(line, column)` of the failure, if known.
+    pub fn line_col(&self) -> Option<(u32, u32)> {
+        self.pos().map(|p| (p.line, p.col))
+    }
+
+    /// Attaches `span` to the error when it supports one and does not carry
+    /// a position yet; otherwise returns the error unchanged.
+    pub fn with_span(mut self, new: Span) -> SimError {
+        if new.pos().is_none() {
+            return self;
+        }
+        match &mut self {
+            SimError::UndefinedName { span, .. }
+            | SimError::InvalidSlice { span, .. }
+            | SimError::NonBooleanCondition { span, .. } => {
+                if span.pos().is_none() {
+                    *span = new;
+                }
+            }
+            SimError::StepLimitExceeded { .. } | SimError::DeltaLimitExceeded { .. } => {}
+        }
+        self
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::UndefinedName { name } => write!(f, "undefined name `{name}`"),
-            SimError::InvalidSlice { name } => write!(f, "slice out of range on `{name}`"),
-            SimError::NonBooleanCondition { process, value } => {
+            SimError::UndefinedName { name, .. } => write!(f, "undefined name `{name}`")?,
+            SimError::InvalidSlice { name, .. } => write!(f, "slice out of range on `{name}`")?,
+            SimError::NonBooleanCondition { process, value, .. } => {
                 write!(
                     f,
                     "condition in process `{process}` evaluated to {value}, not a boolean"
-                )
+                )?;
             }
             SimError::StepLimitExceeded { process, limit } => {
                 write!(
                     f,
                     "process `{process}` exceeded {limit} steps without reaching a wait"
-                )
+                )?;
             }
             SimError::DeltaLimitExceeded { limit } => {
-                write!(f, "design did not stabilise within {limit} delta cycles")
+                write!(f, "design did not stabilise within {limit} delta cycles")?;
             }
         }
+        if let Some(pos) = self.pos() {
+            write!(f, " at {pos}")?;
+        }
+        Ok(())
     }
 }
 
@@ -74,7 +128,11 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(
-            SimError::UndefinedName { name: "x".into() }.to_string(),
+            SimError::UndefinedName {
+                name: "x".into(),
+                span: Span::NONE,
+            }
+            .to_string(),
             "undefined name `x`"
         );
         assert!(SimError::StepLimitExceeded {
@@ -86,5 +144,34 @@ mod tests {
         assert!(SimError::DeltaLimitExceeded { limit: 5 }
             .to_string()
             .contains("5 delta"));
+    }
+
+    #[test]
+    fn positions_render_and_compare_invisibly() {
+        let pos = Pos { line: 3, col: 7 };
+        let with = SimError::InvalidSlice {
+            name: "v".into(),
+            span: Span::at(pos),
+        };
+        assert_eq!(with.to_string(), "slice out of range on `v` at 3:7");
+        assert_eq!(with.pos(), Some(pos));
+        assert_eq!(with.line_col(), Some((3, 7)));
+        // Spans never distinguish errors.
+        let without = SimError::InvalidSlice {
+            name: "v".into(),
+            span: Span::NONE,
+        };
+        assert_eq!(with, without);
+        // `with_span` fills only missing positions.
+        let filled = without.with_span(Span::at(pos));
+        assert_eq!(filled.pos(), Some(pos));
+        let kept = filled.with_span(Span::at(Pos { line: 9, col: 9 }));
+        assert_eq!(kept.pos(), Some(pos));
+        assert_eq!(
+            SimError::DeltaLimitExceeded { limit: 1 }
+                .with_span(Span::at(pos))
+                .pos(),
+            None
+        );
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::error::SimError;
 use crate::values::{Logic, Value};
-use vhdl1_syntax::{BinOp, Expr, RangeDir, Slice, Type, UnOp};
+use vhdl1_syntax::{BinOp, Expr, RangeDir, Slice, Span, Type, UnOp};
 
 /// The lookup environment of the evaluator.
 pub trait NameEnv {
@@ -32,6 +32,7 @@ pub fn slice_offsets(name: &str, ty: &Type, slice: &Slice) -> Result<Vec<usize>,
                 } else {
                     return Err(SimError::InvalidSlice {
                         name: name.to_string(),
+                        span: Span::NONE,
                     });
                 }
             }
@@ -43,6 +44,7 @@ pub fn slice_offsets(name: &str, ty: &Type, slice: &Slice) -> Result<Vec<usize>,
                 if index > *left || index < *right {
                     return Err(SimError::InvalidSlice {
                         name: name.to_string(),
+                        span: Span::NONE,
                     });
                 }
                 (left - index) as usize
@@ -55,6 +57,7 @@ pub fn slice_offsets(name: &str, ty: &Type, slice: &Slice) -> Result<Vec<usize>,
                 if index < *left || index > *right {
                     return Err(SimError::InvalidSlice {
                         name: name.to_string(),
+                        span: Span::NONE,
                     });
                 }
                 (index - left) as usize
@@ -81,6 +84,7 @@ pub fn slice_value(name: &str, value: &Value, ty: &Type, slice: &Slice) -> Resul
     for off in offsets {
         out.push(*bits.get(off).ok_or_else(|| SimError::InvalidSlice {
             name: name.to_string(),
+            span: Span::NONE,
         })?);
     }
     Ok(Value::from_bits(out))
@@ -102,6 +106,7 @@ pub fn update_slice(
         if off >= bits.len() {
             return Err(SimError::InvalidSlice {
                 name: name.to_string(),
+                span: Span::NONE,
             });
         }
         bits[off] = nb;
@@ -119,22 +124,26 @@ pub fn eval(expr: &Expr, env: &dyn NameEnv) -> Result<Value, SimError> {
     match expr {
         Expr::Logic(c) => Value::logic(*c).ok_or_else(|| SimError::UndefinedName {
             name: c.to_string(),
+            span: Span::NONE,
         }),
-        Expr::Vector(s) => {
-            Value::vector(s).ok_or_else(|| SimError::UndefinedName { name: s.clone() })
-        }
+        Expr::Vector(s) => Value::vector(s).ok_or_else(|| SimError::UndefinedName {
+            name: s.clone(),
+            span: Span::NONE,
+        }),
         Expr::Int(n) => Ok(Value::from_unsigned(*n as u128, 64)),
-        Expr::Name { name, slice, .. } => {
-            let value = env
-                .value_of(name)
-                .ok_or_else(|| SimError::UndefinedName { name: name.clone() })?;
+        Expr::Name { name, slice, span } => {
+            let value = env.value_of(name).ok_or_else(|| SimError::UndefinedName {
+                name: name.clone(),
+                span: *span,
+            })?;
             match slice {
                 None => Ok(value),
                 Some(sl) => {
-                    let ty = env
-                        .type_of(name)
-                        .ok_or_else(|| SimError::UndefinedName { name: name.clone() })?;
-                    slice_value(name, &value, &ty, sl)
+                    let ty = env.type_of(name).ok_or_else(|| SimError::UndefinedName {
+                        name: name.clone(),
+                        span: *span,
+                    })?;
+                    slice_value(name, &value, &ty, sl).map_err(|e| e.with_span(*span))
                 }
             }
         }
@@ -316,7 +325,13 @@ mod tests {
     #[test]
     fn out_of_range_slice_errors() {
         let e = eval(&parse_expression("v(9 downto 8)").unwrap(), &env());
-        assert_eq!(e, Err(SimError::InvalidSlice { name: "v".into() }));
+        assert_eq!(
+            e,
+            Err(SimError::InvalidSlice {
+                name: "v".into(),
+                span: Span::NONE,
+            })
+        );
     }
 
     #[test]
@@ -325,7 +340,8 @@ mod tests {
         assert_eq!(
             e,
             Err(SimError::UndefinedName {
-                name: "ghost".into()
+                name: "ghost".into(),
+                span: Span::NONE,
             })
         );
     }

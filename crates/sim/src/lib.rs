@@ -4,7 +4,8 @@
 //! for VHDL* (Tolstrup, Nielson & Nielson, PaCT 2005):
 //!
 //! * the nine-valued `std_logic` domain, vectors and the resolution function
-//!   ([`values`]),
+//!   ([`values`]), plus the nibble-packed dense form used by the execution
+//!   core ([`packed`]),
 //! * the expression semantics of Table 1 ([`mod@eval`]),
 //! * the statement and concurrent-statement semantics of Tables 2 and 3 —
 //!   processes execute until their synchronisation points, where active
@@ -14,6 +15,12 @@
 //! The simulator plays the role ModelSim plays in the paper: it validates
 //! that the VHDL1 workloads (notably the generated AES-128 implementation in
 //! `aes-vhdl`) compute the right values.
+//!
+//! Designs are [`compile`]d once into flat instruction arrays over interned
+//! `u32` signal/variable ids with packed `u64` values; the previous
+//! tree-walking implementation survives as the `simref` differential
+//! oracle (compiled for tests and behind the `simref` feature, like the
+//! `setref` solver of `vhdl1-dataflow`).
 //!
 //! ```
 //! use vhdl1_sim::{Simulator, Value};
@@ -27,19 +34,29 @@
 //! sim.run_until_quiescent(10)?;
 //! sim.drive_input("a", Value::logic('0').unwrap())?;
 //! sim.run_until_quiescent(10)?;
-//! assert_eq!(sim.signal("b"), Some(&Value::logic('1').unwrap()));
+//! assert_eq!(sim.signal("b"), Some(Value::logic('1').unwrap()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod error;
 pub mod eval;
+pub mod packed;
 pub mod simulator;
 pub mod values;
 
+#[cfg(any(test, feature = "simref"))]
+pub mod simref;
+
+#[cfg(test)]
+mod differential;
+
+pub use compile::CompiledDesign;
 pub use error::SimError;
 pub use eval::{apply_binary, eval, slice_value, update_slice, NameEnv};
+pub use packed::{apply_binary_packed, PackedValue};
 pub use simulator::{DeltaReport, SimOptions, Simulator};
 pub use values::{resolve_all, Logic, Value};

@@ -1,0 +1,746 @@
+//! Nibble-packed `std_logic` values for the dense simulator core.
+//!
+//! The reference value domain ([`crate::values::Value`]) stores every vector
+//! as a heap-allocated `Vec<Logic>`; each simulator step clones, resizes and
+//! rebuilds those vectors, and for a fully unrolled AES-128 that allocation
+//! churn dominates the run time.  [`PackedValue`] stores the same nine-valued
+//! elements as 4-bit codes packed into `u64` words — sixteen elements per
+//! word — with a **small-value inlining** fast path: values up to sixteen
+//! elements (every scalar and every byte-wide vector of the AES workload)
+//! live in a single inline word and never touch the heap.
+//!
+//! All operators mirror the reference semantics bit for bit; the table
+//! fidelity tests at the bottom pin the packed lookup tables to the
+//! [`Logic`] methods, and the `simref` differential tests pin whole-design
+//! behaviour.
+
+use crate::values::{Logic, Value};
+use std::fmt;
+
+// 4-bit codes, in the standard order of [`Logic::ALL`] (`Logic::code`).
+const C_X: u8 = 1;
+const C_0: u8 = 2;
+const C_1: u8 = 3;
+
+/// Normalises a code to the `X01` subtype (mirrors [`Logic::to_x01`]).
+const fn x01(c: u8) -> u8 {
+    match c {
+        2 | 6 => C_0,
+        3 | 7 => C_1,
+        _ => C_X,
+    }
+}
+
+const fn and_code(a: u8, b: u8) -> u8 {
+    let (a, b) = (x01(a), x01(b));
+    if a == C_0 || b == C_0 {
+        C_0
+    } else if a == C_1 && b == C_1 {
+        C_1
+    } else {
+        C_X
+    }
+}
+
+const fn or_code(a: u8, b: u8) -> u8 {
+    let (a, b) = (x01(a), x01(b));
+    if a == C_1 || b == C_1 {
+        C_1
+    } else if a == C_0 && b == C_0 {
+        C_0
+    } else {
+        C_X
+    }
+}
+
+const fn xor_code(a: u8, b: u8) -> u8 {
+    let (a, b) = (x01(a), x01(b));
+    if a == C_X || b == C_X {
+        C_X
+    } else if a == b {
+        C_0
+    } else {
+        C_1
+    }
+}
+
+const fn not_code(c: u8) -> u8 {
+    match x01(c) {
+        C_0 => C_1,
+        C_1 => C_0,
+        _ => C_X,
+    }
+}
+
+/// The IEEE 1164 resolution table in code space (mirrors [`Logic::resolve`]).
+const fn resolve_code(a: u8, b: u8) -> u8 {
+    const T: [[u8; 9]; 9] = [
+        // U  X  0  1  Z  W  L  H  -
+        [0, 0, 0, 0, 0, 0, 0, 0, 0], // U
+        [0, 1, 1, 1, 1, 1, 1, 1, 1], // X
+        [0, 1, 2, 1, 2, 2, 2, 2, 1], // 0
+        [0, 1, 1, 3, 3, 3, 3, 3, 1], // 1
+        [0, 1, 2, 3, 4, 5, 6, 7, 1], // Z
+        [0, 1, 2, 3, 5, 5, 5, 5, 1], // W
+        [0, 1, 2, 3, 6, 5, 6, 5, 1], // L
+        [0, 1, 2, 3, 7, 5, 5, 7, 1], // H
+        [0, 1, 1, 1, 1, 1, 1, 1, 1], // -
+    ];
+    T[a as usize][b as usize]
+}
+
+const fn nand_code(a: u8, b: u8) -> u8 {
+    not_code(and_code(a, b))
+}
+const fn nor_code(a: u8, b: u8) -> u8 {
+    not_code(or_code(a, b))
+}
+const fn xnor_code(a: u8, b: u8) -> u8 {
+    not_code(xor_code(a, b))
+}
+
+/// Builds a 256-entry binary lookup table indexed by `(a << 4) | b`.
+macro_rules! lut2 {
+    ($f:ident) => {{
+        let mut t = [0u8; 256];
+        let mut a = 0usize;
+        while a < 9 {
+            let mut b = 0usize;
+            while b < 9 {
+                t[(a << 4) | b] = $f(a as u8, b as u8);
+                b += 1;
+            }
+            a += 1;
+        }
+        t
+    }};
+}
+
+static RESOLVE_LUT: [u8; 256] = lut2!(resolve_code);
+static AND_LUT: [u8; 256] = lut2!(and_code);
+static OR_LUT: [u8; 256] = lut2!(or_code);
+static XOR_LUT: [u8; 256] = lut2!(xor_code);
+static NAND_LUT: [u8; 256] = lut2!(nand_code);
+static NOR_LUT: [u8; 256] = lut2!(nor_code);
+static XNOR_LUT: [u8; 256] = lut2!(xnor_code);
+
+static NOT_LUT: [u8; 16] = {
+    let mut t = [0u8; 16];
+    let mut c = 0usize;
+    while c < 9 {
+        t[c] = not_code(c as u8);
+        c += 1;
+    }
+    t
+};
+
+/// Elements per packed word (4 bits each).
+const PER_WORD: usize = 16;
+
+fn word_count(width: usize) -> usize {
+    width.div_ceil(PER_WORD)
+}
+
+/// Mask selecting the low `n` nibbles of a word (`n <= 16`).
+fn nibble_mask(n: usize) -> u64 {
+    if n >= PER_WORD {
+        !0
+    } else {
+        (1u64 << (4 * n)) - 1
+    }
+}
+
+/// Mask for the used nibbles of the *last* word of a `width`-element value.
+fn last_word_mask(width: usize) -> u64 {
+    let rem = width % PER_WORD;
+    if rem == 0 {
+        !0
+    } else {
+        nibble_mask(rem)
+    }
+}
+
+fn map2_word(lut: &[u8; 256], a: u64, b: u64, n: usize) -> u64 {
+    let mut out = 0u64;
+    for i in 0..n.min(PER_WORD) {
+        let x = ((a >> (4 * i)) & 0xF) as usize;
+        let y = ((b >> (4 * i)) & 0xF) as usize;
+        out |= u64::from(lut[(x << 4) | y]) << (4 * i);
+    }
+    out
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Up to sixteen elements packed into one word — no heap allocation.
+    Inline(u64),
+    /// Wider values: `ceil(width / 16)` words.
+    Heap(Box<[u64]>),
+}
+
+/// A `std_logic` scalar or vector in packed form.
+///
+/// Element `0` is the *leftmost* element (exactly like the reference
+/// [`Value`]); element `i` occupies nibble `i % 16` (low to high) of word
+/// `i / 16`.  Unused high nibbles are always zero, so derived equality and
+/// hashing are canonical.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PackedValue {
+    width: u32,
+    repr: Repr,
+}
+
+impl PackedValue {
+    /// A value of `width` elements, all set to `fill`.
+    pub fn filled(width: usize, fill: Logic) -> PackedValue {
+        let broadcast = 0x1111_1111_1111_1111u64 * u64::from(fill.code());
+        if width <= PER_WORD {
+            PackedValue {
+                width: width as u32,
+                repr: Repr::Inline(broadcast & nibble_mask(width)),
+            }
+        } else {
+            let mut words = vec![broadcast; word_count(width)].into_boxed_slice();
+            *words.last_mut().expect("width > 0") &= last_word_mask(width);
+            PackedValue {
+                width: width as u32,
+                repr: Repr::Heap(words),
+            }
+        }
+    }
+
+    /// The packed form of a reference [`Value`].
+    pub fn from_value(v: &Value) -> PackedValue {
+        match v {
+            Value::Logic(l) => PackedValue {
+                width: 1,
+                repr: Repr::Inline(u64::from(l.code())),
+            },
+            Value::Vector(bits) => {
+                let mut out = PackedValue::filled(bits.len(), Logic::U);
+                for (i, b) in bits.iter().enumerate() {
+                    out.set(i, b.code());
+                }
+                out
+            }
+        }
+    }
+
+    /// The reference [`Value`] form (scalar for width 1, vector otherwise).
+    pub fn to_value(&self) -> Value {
+        if self.width == 1 {
+            Value::Logic(Logic::from_code(self.get(0)))
+        } else {
+            Value::Vector(
+                (0..self.width())
+                    .map(|i| Logic::from_code(self.get(i)))
+                    .collect(),
+            )
+        }
+    }
+
+    /// Mirrors [`Value::from_unsigned`]: the leftmost element is the most
+    /// significant bit.
+    pub fn from_unsigned(n: u128, width: usize) -> PackedValue {
+        let mut out = PackedValue::filled(width, Logic::Zero);
+        for j in 0..width {
+            let bit_index = width - 1 - j;
+            let bit = if bit_index < 128 {
+                (n >> bit_index) & 1 == 1
+            } else {
+                false
+            };
+            if bit {
+                out.set(j, C_1);
+            }
+        }
+        out
+    }
+
+    /// Number of elements.
+    pub fn width(&self) -> usize {
+        self.width as usize
+    }
+
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(w) => std::slice::from_ref(w),
+            Repr::Heap(ws) => ws,
+        }
+    }
+
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline(w) => std::slice::from_mut(w),
+            Repr::Heap(ws) => ws,
+        }
+    }
+
+    /// The 4-bit code of element `i` (0 = leftmost).
+    pub fn get(&self, i: usize) -> u8 {
+        debug_assert!(i < self.width());
+        ((self.words()[i / PER_WORD] >> (4 * (i % PER_WORD))) & 0xF) as u8
+    }
+
+    /// Overwrites element `i` with `code`.
+    pub fn set(&mut self, i: usize, code: u8) {
+        debug_assert!(i < self.width());
+        let word = &mut self.words_mut()[i / PER_WORD];
+        let shift = 4 * (i % PER_WORD);
+        *word = (*word & !(0xFu64 << shift)) | (u64::from(code) << shift);
+    }
+
+    /// Copies `other` into `self` without reallocating when the widths match.
+    pub fn copy_from(&mut self, other: &PackedValue) {
+        if self.width == other.width {
+            match (&mut self.repr, &other.repr) {
+                (Repr::Inline(a), Repr::Inline(b)) => *a = *b,
+                (Repr::Heap(a), Repr::Heap(b)) => a.copy_from_slice(b),
+                _ => self.repr = other.repr.clone(),
+            }
+        } else {
+            *self = other.clone();
+        }
+    }
+
+    /// Mirrors [`Value::to_unsigned`]: `Some` iff every element is a defined
+    /// zero or one (weak levels count as defined).
+    pub fn to_unsigned(&self) -> Option<u128> {
+        let mut acc: u128 = 0;
+        for i in 0..self.width() {
+            let c = self.get(i);
+            if c & 2 == 0 {
+                return None;
+            }
+            acc = (acc << 1) | u128::from(c & 1);
+        }
+        Some(acc)
+    }
+
+    /// Mirrors [`Value::to_bool`]: the boolean of a width-1 value.
+    pub fn to_bool(&self) -> Option<bool> {
+        if self.width != 1 {
+            return None;
+        }
+        match self.get(0) {
+            3 | 7 => Some(true),
+            2 | 6 => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Mirrors [`Value::resized`]: truncates or zero-extends on the left
+    /// (most significant side); an empty result becomes a single `'0'`.
+    pub fn resized(&self, width: usize) -> PackedValue {
+        if width == self.width() && width > 0 {
+            return self.clone();
+        }
+        let out_w = width.max(1);
+        let mut out = PackedValue::filled(out_w, Logic::Zero);
+        if width > 0 {
+            let cur = self.width();
+            if cur >= width {
+                let drop = cur - width;
+                for j in 0..width {
+                    out.set(j, self.get(j + drop));
+                }
+            } else {
+                let pad = width - cur;
+                for j in 0..cur {
+                    out.set(pad + j, self.get(j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mirrors [`Value::resolve_with`]: element-wise IEEE 1164 resolution;
+    /// width mismatches degrade to all-`'X'` of the larger width.
+    pub fn resolve_with(&self, other: &PackedValue) -> PackedValue {
+        let mut out = self.clone();
+        out.resolve_assign(other);
+        out
+    }
+
+    /// In-place [`PackedValue::resolve_with`] (the resolution fold of the
+    /// synchronisation step).
+    pub fn resolve_assign(&mut self, other: &PackedValue) {
+        if self.width != other.width {
+            *self = PackedValue::filled(self.width().max(other.width()), Logic::X);
+            return;
+        }
+        let mut remaining = self.width();
+        let o = other.words();
+        for (i, w) in self.words_mut().iter_mut().enumerate() {
+            *w = map2_word(&RESOLVE_LUT, *w, o[i], remaining);
+            remaining = remaining.saturating_sub(PER_WORD);
+        }
+    }
+
+    /// Element-wise IEEE 1164 `not` (mirrors the reference unary operator).
+    pub fn not(&self) -> PackedValue {
+        let mut out = self.clone();
+        let mut remaining = out.width();
+        for w in out.words_mut() {
+            let mut nw = 0u64;
+            for i in 0..remaining.min(PER_WORD) {
+                let c = ((*w >> (4 * i)) & 0xF) as usize;
+                nw |= u64::from(NOT_LUT[c]) << (4 * i);
+            }
+            *w = nw;
+            remaining = remaining.saturating_sub(PER_WORD);
+        }
+        out
+    }
+
+    /// Extracts `len` elements starting at element offset `start`, walking
+    /// right (`descending: false`) or left (`descending: true`).
+    pub fn extract_slice(&self, start: usize, len: usize, descending: bool) -> PackedValue {
+        let mut out = PackedValue::filled(len, Logic::U);
+        for j in 0..len {
+            let src = if descending { start - j } else { start + j };
+            out.set(j, self.get(src));
+        }
+        out
+    }
+
+    /// Overwrites the sliced positions with `src` (resized to the slice
+    /// width), mirroring [`crate::eval::update_slice`].
+    pub fn write_slice(&mut self, start: usize, len: usize, descending: bool, src: &PackedValue) {
+        let resized = src.resized(len);
+        for j in 0..len {
+            let dst = if descending { start - j } else { start + j };
+            self.set(dst, resized.get(j));
+        }
+    }
+
+    /// Applies a binary gate operator element-wise over equal widths
+    /// (callers resize first), using the packed lookup tables.
+    fn gate(&self, other: &PackedValue, lut: &[u8; 256]) -> PackedValue {
+        debug_assert_eq!(self.width, other.width);
+        let mut out = self.clone();
+        let mut remaining = out.width();
+        let o = other.words();
+        for (i, w) in out.words_mut().iter_mut().enumerate() {
+            *w = map2_word(lut, *w, o[i], remaining);
+            remaining = remaining.saturating_sub(PER_WORD);
+        }
+        out
+    }
+
+    /// Concatenation: the elements of `self` followed by those of `other`.
+    pub fn concat(&self, other: &PackedValue) -> PackedValue {
+        let (wa, wb) = (self.width(), other.width());
+        let mut out = PackedValue::filled(wa + wb, Logic::U);
+        for i in 0..wa {
+            out.set(i, self.get(i));
+        }
+        for i in 0..wb {
+            out.set(wa + i, other.get(i));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for PackedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedValue(\"")?;
+        for i in 0..self.width() {
+            write!(f, "{}", Logic::from_code(self.get(i)).to_char())?;
+        }
+        write!(f, "\")")
+    }
+}
+
+/// Applies a binary operator with exactly the semantics of
+/// [`crate::eval::apply_binary`], over packed operands.
+pub fn apply_binary_packed(
+    op: vhdl1_syntax::BinOp,
+    a: &PackedValue,
+    b: &PackedValue,
+) -> PackedValue {
+    use vhdl1_syntax::BinOp;
+    match op {
+        BinOp::Concat => a.concat(b),
+        BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Nand | BinOp::Nor | BinOp::Xnor => {
+            let width = a.width().max(b.width());
+            let (ra, rb) = (a.resized(width), b.resized(width));
+            let lut = match op {
+                BinOp::And => &AND_LUT,
+                BinOp::Or => &OR_LUT,
+                BinOp::Xor => &XOR_LUT,
+                BinOp::Nand => &NAND_LUT,
+                BinOp::Nor => &NOR_LUT,
+                BinOp::Xnor => &XNOR_LUT,
+                _ => unreachable!(),
+            };
+            ra.gate(&rb, lut)
+        }
+        BinOp::Eq | BinOp::Neq => {
+            let width = a.width().max(b.width());
+            let (ra, rb) = (a.resized(width), b.resized(width));
+            let mut result = Some(true);
+            for i in 0..width {
+                let (x, y) = (ra.get(i), rb.get(i));
+                if x & 2 == 0 || y & 2 == 0 {
+                    result = None;
+                    break;
+                }
+                if x & 1 != y & 1 {
+                    result = Some(false);
+                    break;
+                }
+            }
+            let code = match result {
+                Some(eq) => {
+                    let truth = if op == BinOp::Eq { eq } else { !eq };
+                    if truth {
+                        C_1
+                    } else {
+                        C_0
+                    }
+                }
+                None => C_X,
+            };
+            PackedValue {
+                width: 1,
+                repr: Repr::Inline(u64::from(code)),
+            }
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let code = match (a.to_unsigned(), b.to_unsigned()) {
+                (Some(x), Some(y)) => {
+                    let truth = match op {
+                        BinOp::Lt => x < y,
+                        BinOp::Le => x <= y,
+                        BinOp::Gt => x > y,
+                        BinOp::Ge => x >= y,
+                        _ => unreachable!(),
+                    };
+                    if truth {
+                        C_1
+                    } else {
+                        C_0
+                    }
+                }
+                _ => C_X,
+            };
+            PackedValue {
+                width: 1,
+                repr: Repr::Inline(u64::from(code)),
+            }
+        }
+        BinOp::Add | BinOp::Sub => {
+            let width = a.width().max(b.width());
+            match (a.to_unsigned(), b.to_unsigned()) {
+                (Some(x), Some(y)) => {
+                    let mask: u128 = if width >= 128 {
+                        u128::MAX
+                    } else {
+                        (1u128 << width) - 1
+                    };
+                    let result = if op == BinOp::Add {
+                        x.wrapping_add(y) & mask
+                    } else {
+                        x.wrapping_sub(y) & mask
+                    };
+                    PackedValue::from_unsigned(result, width)
+                }
+                _ => PackedValue::filled(width, Logic::X),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::apply_binary;
+    use vhdl1_syntax::BinOp;
+
+    #[test]
+    fn code_tables_match_the_reference_logic_methods() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                let (ca, cb) = (a.code(), b.code());
+                assert_eq!(resolve_code(ca, cb), a.resolve(b).code(), "{a} resolve {b}");
+                assert_eq!(and_code(ca, cb), a.and(b).code(), "{a} and {b}");
+                assert_eq!(or_code(ca, cb), a.or(b).code(), "{a} or {b}");
+                assert_eq!(xor_code(ca, cb), a.xor(b).code(), "{a} xor {b}");
+                assert_eq!(nand_code(ca, cb), a.and(b).not().code());
+                assert_eq!(nor_code(ca, cb), a.or(b).not().code());
+                assert_eq!(xnor_code(ca, cb), a.xor(b).not().code());
+            }
+            assert_eq!(not_code(a.code()), a.not().code(), "not {a}");
+            assert_eq!(x01(a.code()), a.to_x01().code(), "x01 {a}");
+        }
+    }
+
+    /// A deterministic spread of values covering scalars, inline vectors,
+    /// word boundaries and multi-word heap vectors with all nine codes.
+    fn samples() -> Vec<Value> {
+        let mut out = vec![
+            Value::Logic(Logic::U),
+            Value::Logic(Logic::One),
+            Value::Logic(Logic::Z),
+            Value::vector("01").unwrap(),
+            Value::vector("UX01ZWLH-").unwrap(),
+            Value::vector("0101101001011010").unwrap(), // exactly one word
+            Value::vector("10101010101010101").unwrap(), // one past the word
+        ];
+        // A 130-element vector cycling through all nine codes.
+        let long: String = (0..130)
+            .map(|i| Logic::ALL[i % 9].to_char())
+            .collect::<String>();
+        out.push(Value::vector(&long).unwrap());
+        // Pseudo-random defined vectors of assorted widths.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for width in [3usize, 8, 15, 16, 17, 64] {
+            let s: String = (0..width)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if state >> 63 == 1 {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                })
+                .collect();
+            out.push(Value::vector(&s).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn value_roundtrip_is_exact() {
+        for v in samples() {
+            let p = PackedValue::from_value(&v);
+            assert_eq!(p.to_value(), v, "{v}");
+            assert_eq!(p.width(), v.width());
+            assert_eq!(p.to_unsigned(), v.to_unsigned(), "{v}");
+            assert_eq!(p.to_bool(), v.to_bool(), "{v}");
+        }
+    }
+
+    #[test]
+    fn resized_matches_reference() {
+        for v in samples() {
+            for w in [1usize, 2, 7, 8, 16, 17, 31, 130] {
+                let p = PackedValue::from_value(&v).resized(w);
+                assert_eq!(p.to_value(), v.resized(w), "{v} resized {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_unsigned_matches_reference() {
+        for n in [0u128, 1, 5, 0xFF, 0xDEAD_BEEF, u128::MAX] {
+            for w in [1usize, 4, 8, 16, 17, 64, 128] {
+                assert_eq!(
+                    PackedValue::from_unsigned(n, w).to_value(),
+                    Value::from_unsigned(n, w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_operators_match_reference_semantics() {
+        let ops = [
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Nand,
+            BinOp::Nor,
+            BinOp::Xnor,
+            BinOp::Eq,
+            BinOp::Neq,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Concat,
+        ];
+        let vs = samples();
+        for a in &vs {
+            for b in &vs {
+                let (pa, pb) = (PackedValue::from_value(a), PackedValue::from_value(b));
+                for op in ops {
+                    let reference = apply_binary(op, a, b);
+                    let packed = apply_binary_packed(op, &pa, &pb);
+                    assert_eq!(packed.to_value(), reference, "{a} {op} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_and_resolution_match_reference() {
+        let vs = samples();
+        for a in &vs {
+            let pa = PackedValue::from_value(a);
+            let reference = Value::from_bits(a.bits().into_iter().map(Logic::not).collect());
+            assert_eq!(pa.not().to_value(), reference, "not {a}");
+            for b in &vs {
+                let pb = PackedValue::from_value(b);
+                assert_eq!(
+                    pa.resolve_with(&pb).to_value(),
+                    a.resolve_with(b),
+                    "{a} resolve {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slices_extract_and_write() {
+        let v = PackedValue::from_value(&Value::vector("11010010").unwrap());
+        // Ascending extraction of elements 2..6.
+        assert_eq!(
+            v.extract_slice(2, 4, false).to_value(),
+            Value::vector("0100").unwrap()
+        );
+        // Descending extraction of elements 5..2.
+        assert_eq!(
+            v.extract_slice(5, 4, true).to_value(),
+            Value::vector("0010").unwrap()
+        );
+        let mut w = PackedValue::filled(8, Logic::Zero);
+        w.write_slice(
+            1,
+            3,
+            false,
+            &PackedValue::from_value(&Value::vector("111").unwrap()),
+        );
+        assert_eq!(w.to_value(), Value::vector("01110000").unwrap());
+        let mut w = PackedValue::filled(8, Logic::Zero);
+        w.write_slice(
+            6,
+            3,
+            true,
+            &PackedValue::from_value(&Value::vector("111").unwrap()),
+        );
+        assert_eq!(w.to_value(), Value::vector("00001110").unwrap());
+    }
+
+    #[test]
+    fn inline_and_heap_representations_are_canonical() {
+        // Same content must compare equal regardless of construction route.
+        let a = PackedValue::from_value(&Value::vector("0101").unwrap());
+        let mut b = PackedValue::filled(4, Logic::Zero);
+        b.set(1, C_1);
+        b.set(3, C_1);
+        assert_eq!(a, b);
+        // Gate results keep padding nibbles zeroed (Eq/Hash canonical).
+        let x = PackedValue::from_value(&Value::vector("10101").unwrap());
+        let y = apply_binary_packed(BinOp::Xor, &x, &x);
+        assert_eq!(y, PackedValue::filled(5, Logic::Zero));
+        let mut copy = PackedValue::filled(5, Logic::X);
+        copy.copy_from(&y);
+        assert_eq!(copy, y);
+    }
+}

@@ -1,0 +1,483 @@
+//! The reference simulator — the pre-dense tree-walking implementation,
+//! preserved as a differential oracle.
+//!
+//! [`RefSimulator`] interprets the AST directly with string-keyed ordered
+//! maps and reference [`Value`]s, exactly as the original implementation of
+//! the Section 3.2 semantics did.  It is compiled for tests and behind the
+//! `simref` feature, and exists so randomized differential tests can pin
+//! the dense core of [`crate::simulator`] against it: same quiescent signal
+//! states, same delta counts (see the `differential` test module).
+
+use crate::error::SimError;
+use crate::eval::{eval, update_slice, NameEnv};
+use crate::simulator::{DeltaReport, SimOptions};
+use crate::values::{Logic, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use vhdl1_syntax::{Design, Expr, Ident, SignalKind, Span, Stmt, Target, Type};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    /// The process has work to do before its next wait.
+    Running,
+    /// The process is suspended at a wait statement.
+    Waiting { on: Vec<Ident>, until: Expr },
+}
+
+#[derive(Debug, Clone)]
+struct ProcState {
+    name: Ident,
+    /// The process body, re-entered whenever the continuation stack drains
+    /// (`null; while '1' do ss`, Section 3.2).
+    body: Stmt,
+    vars: BTreeMap<Ident, Value>,
+    var_types: BTreeMap<Ident, Type>,
+    /// Active values driven by this process (`ϕ_i s 1`).
+    active: BTreeMap<Ident, Value>,
+    /// Continuation stack: statements still to execute, topmost last.
+    stack: Vec<Stmt>,
+    status: Status,
+}
+
+struct ProcEnv<'a> {
+    vars: &'a BTreeMap<Ident, Value>,
+    var_types: &'a BTreeMap<Ident, Type>,
+    present: &'a BTreeMap<Ident, Value>,
+    signal_types: &'a BTreeMap<Ident, Type>,
+}
+
+impl NameEnv for ProcEnv<'_> {
+    fn value_of(&self, name: &str) -> Option<Value> {
+        self.vars
+            .get(name)
+            .cloned()
+            .or_else(|| self.present.get(name).cloned())
+    }
+    fn type_of(&self, name: &str) -> Option<Type> {
+        self.var_types
+            .get(name)
+            .cloned()
+            .or_else(|| self.signal_types.get(name).cloned())
+    }
+}
+
+/// The reference simulator instance for one elaborated design.
+#[derive(Debug, Clone)]
+pub struct RefSimulator {
+    signal_types: BTreeMap<Ident, Type>,
+    input_ports: BTreeSet<Ident>,
+    present: BTreeMap<Ident, Value>,
+    env_drivers: BTreeMap<Ident, Value>,
+    procs: Vec<ProcState>,
+    options: SimOptions,
+    deltas: u64,
+}
+
+impl RefSimulator {
+    /// Creates a reference simulator with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if an initialiser expression cannot be
+    /// evaluated.
+    pub fn new(design: &Design) -> Result<RefSimulator, SimError> {
+        RefSimulator::with_options(design, SimOptions::default())
+    }
+
+    /// Creates a reference simulator with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if an initialiser expression cannot be
+    /// evaluated.
+    pub fn with_options(design: &Design, options: SimOptions) -> Result<RefSimulator, SimError> {
+        let mut signal_types = BTreeMap::new();
+        let mut present = BTreeMap::new();
+        let mut input_ports = BTreeSet::new();
+        let empty_env = EmptyEnv;
+        for sig in &design.signals {
+            signal_types.insert(sig.name.clone(), sig.ty.clone());
+            let init = match &sig.init {
+                Some(e) => eval(e, &empty_env)?.resized(sig.ty.width()),
+                None => Value::filled(sig.ty.width(), Logic::U),
+            };
+            present.insert(sig.name.clone(), init);
+            if sig.kind == SignalKind::PortIn {
+                input_ports.insert(sig.name.clone());
+            }
+        }
+        let mut procs = Vec::new();
+        for p in &design.processes {
+            let mut vars = BTreeMap::new();
+            let mut var_types = BTreeMap::new();
+            for v in &p.variables {
+                let init = match &v.init {
+                    Some(e) => eval(e, &empty_env)?.resized(v.ty.width()),
+                    None => Value::filled(v.ty.width(), Logic::U),
+                };
+                vars.insert(v.name.clone(), init);
+                var_types.insert(v.name.clone(), v.ty.clone());
+            }
+            procs.push(ProcState {
+                name: p.name.clone(),
+                body: p.body.clone(),
+                vars,
+                var_types,
+                active: BTreeMap::new(),
+                stack: vec![p.body.clone()],
+                status: Status::Running,
+            });
+        }
+        Ok(RefSimulator {
+            signal_types,
+            input_ports,
+            present,
+            env_drivers: BTreeMap::new(),
+            procs,
+            options,
+            deltas: 0,
+        })
+    }
+
+    /// Number of delta cycles performed so far.
+    pub fn delta_count(&self) -> u64 {
+        self.deltas
+    }
+
+    /// The present value of a signal.
+    pub fn signal(&self, name: &str) -> Option<&Value> {
+        self.present.get(name)
+    }
+
+    /// The current value of a local variable of a process.
+    pub fn variable(&self, process: &str, name: &str) -> Option<&Value> {
+        self.procs
+            .iter()
+            .find(|p| p.name == process)
+            .and_then(|p| p.vars.get(name))
+    }
+
+    /// Drives an input port from the environment; the value takes effect at
+    /// the next synchronisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UndefinedName`] if `name` is not an `in` port.
+    pub fn drive_input(&mut self, name: &str, value: Value) -> Result<(), SimError> {
+        if !self.input_ports.contains(name) {
+            return Err(SimError::UndefinedName {
+                name: name.to_string(),
+                span: Span::NONE,
+            });
+        }
+        let width = self.signal_types[name].width();
+        self.env_drivers
+            .insert(name.to_string(), value.resized(width));
+        Ok(())
+    }
+
+    /// Drives an input port with the unsigned value `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UndefinedName`] if `name` is not an `in` port.
+    pub fn drive_input_unsigned(&mut self, name: &str, n: u128) -> Result<(), SimError> {
+        let width = self.signal_types.get(name).map(Type::width).unwrap_or(1);
+        self.drive_input(name, Value::from_unsigned(n, width))
+    }
+
+    /// Runs every non-waiting process until it suspends, then performs one
+    /// synchronisation.  Returns `None` if the design is quiescent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors (step limits, undefined names, strict
+    /// condition failures).
+    pub fn delta_step(&mut self) -> Result<Option<DeltaReport>, SimError> {
+        for idx in 0..self.procs.len() {
+            self.run_process_to_wait(idx)?;
+        }
+        let any_active =
+            !self.env_drivers.is_empty() || self.procs.iter().any(|p| !p.active.is_empty());
+        if !any_active {
+            return Ok(None);
+        }
+
+        // Resolution: combine all drivers of each signal.
+        let mut drivers: BTreeMap<Ident, Vec<Value>> = BTreeMap::new();
+        for (s, v) in std::mem::take(&mut self.env_drivers) {
+            drivers.entry(s).or_default().push(v);
+        }
+        for p in &mut self.procs {
+            for (s, v) in std::mem::take(&mut p.active) {
+                drivers.entry(s).or_default().push(v);
+            }
+        }
+        let mut changed = BTreeSet::new();
+        for (s, values) in drivers {
+            let resolved = values
+                .into_iter()
+                .reduce(|a, b| a.resolve_with(&b))
+                .expect("driver list is never empty");
+            let old = self.present.get(&s).cloned();
+            if old.as_ref() != Some(&resolved) {
+                changed.insert(s.clone());
+            }
+            self.present.insert(s, resolved);
+        }
+
+        // Resume processes whose wait condition is satisfied.
+        let mut resumed = Vec::new();
+        for p in &mut self.procs {
+            if let Status::Waiting { on, until } = &p.status {
+                let triggered = on.iter().any(|s| changed.contains(s));
+                if !triggered {
+                    continue;
+                }
+                let env = ProcEnv {
+                    vars: &p.vars,
+                    var_types: &p.var_types,
+                    present: &self.present,
+                    signal_types: &self.signal_types,
+                };
+                let cond = eval(until, &env)?;
+                let proceed = match cond.to_bool() {
+                    Some(b) => b,
+                    None if self.options.strict_conditions => {
+                        return Err(SimError::NonBooleanCondition {
+                            process: p.name.clone(),
+                            value: cond,
+                            span: Span::NONE,
+                        })
+                    }
+                    None => false,
+                };
+                if proceed {
+                    p.status = Status::Running;
+                    resumed.push(p.name.clone());
+                }
+            }
+        }
+        self.deltas += 1;
+        Ok(Some(DeltaReport { changed, resumed }))
+    }
+
+    /// Repeats [`RefSimulator::delta_step`] until the design is quiescent or
+    /// `max_deltas` cycles have elapsed.  Returns the number of delta cycles
+    /// performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DeltaLimitExceeded`] if quiescence is not reached,
+    /// or any execution error from the processes.
+    pub fn run_until_quiescent(&mut self, max_deltas: u64) -> Result<u64, SimError> {
+        let mut count = 0;
+        loop {
+            match self.delta_step()? {
+                Some(_) => {
+                    count += 1;
+                    if count > max_deltas {
+                        return Err(SimError::DeltaLimitExceeded { limit: max_deltas });
+                    }
+                }
+                None => return Ok(count),
+            }
+        }
+    }
+
+    fn run_process_to_wait(&mut self, idx: usize) -> Result<(), SimError> {
+        let mut steps = 0usize;
+        loop {
+            let p = &mut self.procs[idx];
+            if !matches!(p.status, Status::Running) {
+                return Ok(());
+            }
+            let stmt = match p.stack.pop() {
+                Some(stmt) => stmt,
+                None => {
+                    // The process body is repeated indefinitely (Section 3.2).
+                    let body = p.body.clone();
+                    p.stack.push(body);
+                    continue;
+                }
+            };
+            steps += 1;
+            if steps > self.options.max_steps_per_activation {
+                return Err(SimError::StepLimitExceeded {
+                    process: p.name.clone(),
+                    limit: self.options.max_steps_per_activation,
+                });
+            }
+            match stmt {
+                Stmt::Null { .. } => {}
+                Stmt::Seq(a, b) => {
+                    p.stack.push(*b);
+                    p.stack.push(*a);
+                }
+                Stmt::VarAssign { target, expr, .. } => {
+                    let env = ProcEnv {
+                        vars: &p.vars,
+                        var_types: &p.var_types,
+                        present: &self.present,
+                        signal_types: &self.signal_types,
+                    };
+                    let value = eval(&expr, &env)?;
+                    assign_target(&target, value, &mut p.vars, &p.var_types)?;
+                }
+                Stmt::SignalAssign { target, expr, .. } => {
+                    let env = ProcEnv {
+                        vars: &p.vars,
+                        var_types: &p.var_types,
+                        present: &self.present,
+                        signal_types: &self.signal_types,
+                    };
+                    let value = eval(&expr, &env)?;
+                    let ty = self.signal_types.get(&target.name).ok_or_else(|| {
+                        SimError::UndefinedName {
+                            name: target.name.clone(),
+                            span: target.span,
+                        }
+                    })?;
+                    let new = match &target.slice {
+                        None => value.resized(ty.width()),
+                        Some(sl) => {
+                            // Slice assignments update only part of the active
+                            // value; start from the pending active value if
+                            // any, otherwise from the present value.
+                            let base = p
+                                .active
+                                .get(&target.name)
+                                .or_else(|| self.present.get(&target.name))
+                                .cloned()
+                                .unwrap_or_else(|| Value::filled(ty.width(), Logic::U));
+                            update_slice(&target.name, &base, ty, sl, &value)
+                                .map_err(|e| e.with_span(target.span))?
+                        }
+                    };
+                    p.active.insert(target.name.clone(), new);
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let env = ProcEnv {
+                        vars: &p.vars,
+                        var_types: &p.var_types,
+                        present: &self.present,
+                        signal_types: &self.signal_types,
+                    };
+                    let c = eval(&cond, &env)?;
+                    let taken = match c.to_bool() {
+                        Some(b) => b,
+                        None if self.options.strict_conditions => {
+                            return Err(SimError::NonBooleanCondition {
+                                process: p.name.clone(),
+                                value: c,
+                                span: Span::NONE,
+                            })
+                        }
+                        None => false,
+                    };
+                    p.stack
+                        .push(if taken { *then_branch } else { *else_branch });
+                }
+                Stmt::While { cond, body, label } => {
+                    let env = ProcEnv {
+                        vars: &p.vars,
+                        var_types: &p.var_types,
+                        present: &self.present,
+                        signal_types: &self.signal_types,
+                    };
+                    let c = eval(&cond, &env)?;
+                    let taken = match c.to_bool() {
+                        Some(b) => b,
+                        None if self.options.strict_conditions => {
+                            return Err(SimError::NonBooleanCondition {
+                                process: p.name.clone(),
+                                value: c,
+                                span: Span::NONE,
+                            })
+                        }
+                        None => false,
+                    };
+                    if taken {
+                        p.stack.push(Stmt::While {
+                            cond,
+                            body: body.clone(),
+                            label,
+                        });
+                        p.stack.push(*body);
+                    }
+                }
+                Stmt::Wait { on, until, .. } => {
+                    p.status = Status::Waiting { on, until };
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+fn assign_target(
+    target: &Target,
+    value: Value,
+    vars: &mut BTreeMap<Ident, Value>,
+    var_types: &BTreeMap<Ident, Type>,
+) -> Result<(), SimError> {
+    let ty = var_types
+        .get(&target.name)
+        .ok_or_else(|| SimError::UndefinedName {
+            name: target.name.clone(),
+            span: target.span,
+        })?;
+    let new = match &target.slice {
+        None => value.resized(ty.width()),
+        Some(sl) => {
+            let base = vars
+                .get(&target.name)
+                .cloned()
+                .unwrap_or_else(|| Value::filled(ty.width(), Logic::U));
+            update_slice(&target.name, &base, ty, sl, &value)
+                .map_err(|e| e.with_span(target.span))?
+        }
+    };
+    vars.insert(target.name.clone(), new);
+    Ok(())
+}
+
+struct EmptyEnv;
+
+impl NameEnv for EmptyEnv {
+    fn value_of(&self, _name: &str) -> Option<Value> {
+        None
+    }
+    fn type_of(&self, _name: &str) -> Option<Type> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vhdl1_syntax::frontend;
+
+    const COPY: &str = "entity e is port(a : in std_logic; b : out std_logic); end e;
+         architecture rtl of e is begin
+           p : process begin b <= a; wait on a; end process p;
+         end rtl;";
+
+    #[test]
+    fn oracle_still_simulates_the_basics() {
+        let mut s = RefSimulator::new(&frontend(COPY).unwrap()).unwrap();
+        assert_eq!(s.signal("b"), Some(&Value::Logic(Logic::U)));
+        s.run_until_quiescent(10).unwrap();
+        s.drive_input("a", Value::logic('1').unwrap()).unwrap();
+        s.run_until_quiescent(10).unwrap();
+        assert_eq!(s.signal("b"), Some(&Value::logic('1').unwrap()));
+        assert!(s.drive_input("b", Value::logic('1').unwrap()).is_err());
+        assert_eq!(s.run_until_quiescent(10).unwrap(), 0);
+        assert!(s.delta_count() >= 1);
+        assert_eq!(s.variable("p", "ghost"), None);
+    }
+}

@@ -1,16 +1,27 @@
-//! Execution of elaborated designs: the concurrent semantics of Section 3.2.
+//! Execution of elaborated designs: the concurrent semantics of Section 3.2,
+//! on the dense interned core.
 //!
 //! Each process runs by itself until it reaches a `wait` statement; when all
 //! processes are suspended, a synchronisation (delta cycle) takes place: the
 //! active values driven by the processes (and by the environment) are
 //! combined with the resolution function, become the new present values, and
 //! processes whose wait conditions are satisfied resume.
+//!
+//! The engine executes the compiled form of [`crate::compile`]: present
+//! values live in a flat `u32`-indexed store of [`PackedValue`]s, active
+//! values in per-process driver slots (a dense event queue drained at every
+//! synchronisation), changed signals in a bitset, and wakeup is a word scan
+//! of that bitset against each suspended process's interned sensitivity set.
+//! The previous tree-walking simulator is preserved bit-for-bit as the
+//! `simref` differential oracle (the `simref` module, feature/test gated).
 
+use crate::compile::{eval_cexpr, CompiledDesign, Instr};
 use crate::error::SimError;
-use crate::eval::{eval, update_slice, NameEnv};
-use crate::values::{Logic, Value};
-use std::collections::{BTreeMap, BTreeSet};
-use vhdl1_syntax::{Design, Expr, Ident, SignalKind, Stmt, Target, Type};
+use crate::packed::PackedValue;
+use crate::values::Value;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use vhdl1_syntax::{Design, Ident};
 
 /// Configuration of the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,51 +43,6 @@ impl Default for SimOptions {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Status {
-    /// The process has work to do before its next wait.
-    Running,
-    /// The process is suspended at a wait statement.
-    Waiting { on: Vec<Ident>, until: Expr },
-}
-
-#[derive(Debug, Clone)]
-struct ProcState {
-    name: Ident,
-    /// The process body, re-entered whenever the continuation stack drains
-    /// (`null; while '1' do ss`, Section 3.2).
-    body: Stmt,
-    vars: BTreeMap<Ident, Value>,
-    var_types: BTreeMap<Ident, Type>,
-    /// Active values driven by this process (`ϕ_i s 1`).
-    active: BTreeMap<Ident, Value>,
-    /// Continuation stack: statements still to execute, topmost last.
-    stack: Vec<Stmt>,
-    status: Status,
-}
-
-struct ProcEnv<'a> {
-    vars: &'a BTreeMap<Ident, Value>,
-    var_types: &'a BTreeMap<Ident, Type>,
-    present: &'a BTreeMap<Ident, Value>,
-    signal_types: &'a BTreeMap<Ident, Type>,
-}
-
-impl NameEnv for ProcEnv<'_> {
-    fn value_of(&self, name: &str) -> Option<Value> {
-        self.vars
-            .get(name)
-            .cloned()
-            .or_else(|| self.present.get(name).cloned())
-    }
-    fn type_of(&self, name: &str) -> Option<Type> {
-        self.var_types
-            .get(name)
-            .cloned()
-            .or_else(|| self.signal_types.get(name).cloned())
-    }
-}
-
 /// A report of one synchronisation (delta cycle).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DeltaReport {
@@ -86,16 +52,49 @@ pub struct DeltaReport {
     pub resumed: Vec<Ident>,
 }
 
-/// A simulator instance for one elaborated design.
+/// Per-process runtime state: variables, active-value slots (the process's
+/// part of the event queue) and the program counter.
 #[derive(Debug, Clone)]
+struct ProcRt {
+    vars: Vec<PackedValue>,
+    /// Active values per driven-signal slot, drained at synchronisation.
+    active: Vec<Option<PackedValue>>,
+    /// Slots set during the current activation, in assignment order.
+    touched: Vec<u32>,
+    /// Next instruction to execute.
+    pc: u32,
+    /// `Some(i)` when suspended at the `Wait` instruction at index `i`.
+    waiting: Option<u32>,
+}
+
+/// A simulator instance for one elaborated design.
+#[derive(Clone)]
 pub struct Simulator {
-    signal_types: BTreeMap<Ident, Type>,
-    input_ports: BTreeSet<Ident>,
-    present: BTreeMap<Ident, Value>,
-    env_drivers: BTreeMap<Ident, Value>,
-    procs: Vec<ProcState>,
+    design: Arc<CompiledDesign>,
     options: SimOptions,
+    /// Present value of every signal, indexed by dense signal id.
+    present: Vec<PackedValue>,
+    /// Environment drivers (inputs), indexed by signal id.
+    env: Vec<Option<PackedValue>>,
+    env_touched: Vec<u32>,
+    procs: Vec<ProcRt>,
+    /// Resolution scratch: pending resolved value per signal id.
+    pending: Vec<Option<PackedValue>>,
+    /// Signals driven in the current synchronisation, in first-driver order.
+    driven_list: Vec<u32>,
+    /// Bitset of signals whose present value changed last synchronisation.
+    changed_bits: Box<[u64]>,
     deltas: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("signals", &self.design.signal_count())
+            .field("processes", &self.design.process_count())
+            .field("deltas", &self.deltas)
+            .finish()
+    }
 }
 
 impl Simulator {
@@ -103,8 +102,8 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns a [`SimError`] if an initialiser expression cannot be
-    /// evaluated.
+    /// Returns a [`SimError`] if the design does not compile (unresolvable
+    /// name, out-of-range slice, unevaluable initialiser).
     pub fn new(design: &Design) -> Result<Simulator, SimError> {
         Simulator::with_options(design, SimOptions::default())
     }
@@ -113,55 +112,47 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns a [`SimError`] if an initialiser expression cannot be
-    /// evaluated.
+    /// See [`Simulator::new`].
     pub fn with_options(design: &Design, options: SimOptions) -> Result<Simulator, SimError> {
-        let mut signal_types = BTreeMap::new();
-        let mut present = BTreeMap::new();
-        let mut input_ports = BTreeSet::new();
-        let empty_env = EmptyEnv;
-        for sig in &design.signals {
-            signal_types.insert(sig.name.clone(), sig.ty.clone());
-            let init = match &sig.init {
-                Some(e) => eval(e, &empty_env)?.resized(sig.ty.width()),
-                None => Value::filled(sig.ty.width(), Logic::U),
-            };
-            present.insert(sig.name.clone(), init);
-            if sig.kind == SignalKind::PortIn {
-                input_ports.insert(sig.name.clone());
-            }
-        }
-        let mut procs = Vec::new();
-        for p in &design.processes {
-            let mut vars = BTreeMap::new();
-            let mut var_types = BTreeMap::new();
-            for v in &p.variables {
-                let init = match &v.init {
-                    Some(e) => eval(e, &empty_env)?.resized(v.ty.width()),
-                    None => Value::filled(v.ty.width(), Logic::U),
-                };
-                vars.insert(v.name.clone(), init);
-                var_types.insert(v.name.clone(), v.ty.clone());
-            }
-            procs.push(ProcState {
-                name: p.name.clone(),
-                body: p.body.clone(),
-                vars,
-                var_types,
-                active: BTreeMap::new(),
-                stack: vec![p.body.clone()],
-                status: Status::Running,
-            });
-        }
-        Ok(Simulator {
-            signal_types,
-            input_ports,
-            present,
-            env_drivers: BTreeMap::new(),
-            procs,
+        Ok(Simulator::from_compiled(
+            Arc::new(CompiledDesign::compile(design)?),
             options,
+        ))
+    }
+
+    /// Creates a simulator over an already compiled design, sharing the
+    /// compiled form (instruction arrays, constants, sensitivity sets)
+    /// across instances.
+    pub fn from_compiled(design: Arc<CompiledDesign>, options: SimOptions) -> Simulator {
+        let nsignals = design.sig_names.len();
+        let procs = design
+            .procs
+            .iter()
+            .map(|p| ProcRt {
+                vars: p.var_init.clone(),
+                active: vec![None; p.driven.len()],
+                touched: Vec::new(),
+                pc: 0,
+                waiting: None,
+            })
+            .collect();
+        Simulator {
+            present: design.sig_init.clone(),
+            env: vec![None; nsignals],
+            env_touched: Vec::new(),
+            procs,
+            pending: vec![None; nsignals],
+            driven_list: Vec::new(),
+            changed_bits: vec![0u64; design.sig_word_count].into_boxed_slice(),
             deltas: 0,
-        })
+            design,
+            options,
+        }
+    }
+
+    /// The compiled design this simulator executes.
+    pub fn compiled(&self) -> &Arc<CompiledDesign> {
+        &self.design
     }
 
     /// Number of delta cycles performed so far.
@@ -170,16 +161,21 @@ impl Simulator {
     }
 
     /// The present value of a signal.
-    pub fn signal(&self, name: &str) -> Option<&Value> {
-        self.present.get(name)
+    pub fn signal(&self, name: &str) -> Option<Value> {
+        let id = *self.design.sig_id.get(name)?;
+        Some(self.present[id as usize].to_value())
     }
 
     /// The current value of a local variable of a process.
-    pub fn variable(&self, process: &str, name: &str) -> Option<&Value> {
-        self.procs
+    pub fn variable(&self, process: &str, name: &str) -> Option<Value> {
+        let (pi, cp) = self
+            .design
+            .procs
             .iter()
-            .find(|p| p.name == process)
-            .and_then(|p| p.vars.get(name))
+            .enumerate()
+            .find(|(_, p)| p.name == process)?;
+        let vi = cp.var_names.iter().position(|v| v == name)?;
+        Some(self.procs[pi].vars[vi].to_value())
     }
 
     /// Drives an input port from the environment; the value takes effect at
@@ -190,14 +186,23 @@ impl Simulator {
     ///
     /// Returns [`SimError::UndefinedName`] if `name` is not an `in` port.
     pub fn drive_input(&mut self, name: &str, value: Value) -> Result<(), SimError> {
-        if !self.input_ports.contains(name) {
+        let id =
+            self.design.sig_id.get(name).copied().filter(|&id| {
+                self.design.input_bits[id as usize / 64] >> (id as usize % 64) & 1 == 1
+            });
+        let Some(id) = id else {
             return Err(SimError::UndefinedName {
                 name: name.to_string(),
+                span: vhdl1_syntax::Span::NONE,
             });
+        };
+        let width = self.design.sig_widths[id as usize] as usize;
+        let packed = PackedValue::from_value(&value).resized(width);
+        let slot = &mut self.env[id as usize];
+        if slot.is_none() {
+            self.env_touched.push(id);
         }
-        let width = self.signal_types[name].width();
-        self.env_drivers
-            .insert(name.to_string(), value.resized(width));
+        *slot = Some(packed);
         Ok(())
     }
 
@@ -207,7 +212,12 @@ impl Simulator {
     ///
     /// Returns [`SimError::UndefinedName`] if `name` is not an `in` port.
     pub fn drive_input_unsigned(&mut self, name: &str, n: u128) -> Result<(), SimError> {
-        let width = self.signal_types.get(name).map(Type::width).unwrap_or(1);
+        let width = self
+            .design
+            .sig_id
+            .get(name)
+            .map(|&id| self.design.sig_widths[id as usize] as usize)
+            .unwrap_or(1);
         self.drive_input(name, Value::from_unsigned(n, width))
     }
 
@@ -217,74 +227,9 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Propagates execution errors (step limits, undefined names, strict
-    /// condition failures).
+    /// Propagates execution errors (step limits, strict condition failures).
     pub fn delta_step(&mut self) -> Result<Option<DeltaReport>, SimError> {
-        for idx in 0..self.procs.len() {
-            self.run_process_to_wait(idx)?;
-        }
-        let any_active =
-            !self.env_drivers.is_empty() || self.procs.iter().any(|p| !p.active.is_empty());
-        if !any_active {
-            return Ok(None);
-        }
-
-        // Resolution: combine all drivers of each signal.
-        let mut drivers: BTreeMap<Ident, Vec<Value>> = BTreeMap::new();
-        for (s, v) in std::mem::take(&mut self.env_drivers) {
-            drivers.entry(s).or_default().push(v);
-        }
-        for p in &mut self.procs {
-            for (s, v) in std::mem::take(&mut p.active) {
-                drivers.entry(s).or_default().push(v);
-            }
-        }
-        let mut changed = BTreeSet::new();
-        for (s, values) in drivers {
-            let resolved = values
-                .into_iter()
-                .reduce(|a, b| a.resolve_with(&b))
-                .expect("driver list is never empty");
-            let old = self.present.get(&s).cloned();
-            if old.as_ref() != Some(&resolved) {
-                changed.insert(s.clone());
-            }
-            self.present.insert(s, resolved);
-        }
-
-        // Resume processes whose wait condition is satisfied.
-        let mut resumed = Vec::new();
-        for p in &mut self.procs {
-            if let Status::Waiting { on, until } = &p.status {
-                let triggered = on.iter().any(|s| changed.contains(s));
-                if !triggered {
-                    continue;
-                }
-                let env = ProcEnv {
-                    vars: &p.vars,
-                    var_types: &p.var_types,
-                    present: &self.present,
-                    signal_types: &self.signal_types,
-                };
-                let cond = eval(until, &env)?;
-                let proceed = match cond.to_bool() {
-                    Some(b) => b,
-                    None if self.options.strict_conditions => {
-                        return Err(SimError::NonBooleanCondition {
-                            process: p.name.clone(),
-                            value: cond,
-                        })
-                    }
-                    None => false,
-                };
-                if proceed {
-                    p.status = Status::Running;
-                    resumed.push(p.name.clone());
-                }
-            }
-        }
-        self.deltas += 1;
-        Ok(Some(DeltaReport { changed, resumed }))
+        self.delta_step_inner(true)
     }
 
     /// Repeats [`Simulator::delta_step`] until the design is quiescent or
@@ -298,7 +243,7 @@ impl Simulator {
     pub fn run_until_quiescent(&mut self, max_deltas: u64) -> Result<u64, SimError> {
         let mut count = 0;
         loop {
-            match self.delta_step()? {
+            match self.delta_step_inner(false)? {
                 Some(_) => {
                     count += 1;
                     if count > max_deltas {
@@ -310,130 +255,195 @@ impl Simulator {
         }
     }
 
-    fn run_process_to_wait(&mut self, idx: usize) -> Result<(), SimError> {
-        let mut steps = 0usize;
-        loop {
-            let p = &mut self.procs[idx];
-            if !matches!(p.status, Status::Running) {
-                return Ok(());
+    fn delta_step_inner(&mut self, want_report: bool) -> Result<Option<DeltaReport>, SimError> {
+        let design = Arc::clone(&self.design);
+        for idx in 0..self.procs.len() {
+            self.run_process_to_wait(&design, idx)?;
+        }
+        let any_active =
+            !self.env_touched.is_empty() || self.procs.iter().any(|p| !p.touched.is_empty());
+        if !any_active {
+            return Ok(None);
+        }
+
+        // Resolution: fold every driver of each signal (the IEEE resolution
+        // function is associative and commutative, so fold order is free).
+        for &sig in &self.env_touched {
+            let v = self.env[sig as usize].take().expect("touched env slot");
+            fold_driver(&mut self.pending, &mut self.driven_list, sig, v);
+        }
+        self.env_touched.clear();
+        for (pi, p) in self.procs.iter_mut().enumerate() {
+            for &slot in &p.touched {
+                let v = p.active[slot as usize].take().expect("touched slot");
+                let sig = design.procs[pi].driven[slot as usize];
+                fold_driver(&mut self.pending, &mut self.driven_list, sig, v);
             }
-            let stmt = match p.stack.pop() {
-                Some(stmt) => stmt,
-                None => {
-                    // The process body is repeated indefinitely (Section 3.2).
-                    let body = p.body.clone();
-                    p.stack.push(body);
-                    continue;
+            p.touched.clear();
+        }
+
+        // Commit: compare against the present values, record changes.
+        let mut report = if want_report {
+            Some(DeltaReport::default())
+        } else {
+            None
+        };
+        for w in self.changed_bits.iter_mut() {
+            *w = 0;
+        }
+        for &sig in &self.driven_list {
+            let resolved = self.pending[sig as usize].take().expect("driven signal");
+            let present = &mut self.present[sig as usize];
+            if *present != resolved {
+                self.changed_bits[sig as usize / 64] |= 1u64 << (sig as usize % 64);
+                present.copy_from(&resolved);
+                if let Some(r) = &mut report {
+                    r.changed.insert(design.sig_names[sig as usize].clone());
+                }
+            }
+        }
+        self.driven_list.clear();
+
+        // Resume processes whose wait condition is satisfied: a word scan of
+        // the interned sensitivity bitset against the changed bitset.
+        for (pi, p) in self.procs.iter_mut().enumerate() {
+            let Some(wait_at) = p.waiting else { continue };
+            let Instr::Wait { sens, until, span } = &design.procs[pi].code[wait_at as usize] else {
+                unreachable!("waiting processes suspend at Wait instructions");
+            };
+            let sens_bits = &design.sens_sets[*sens as usize];
+            let triggered = sens_bits
+                .iter()
+                .zip(self.changed_bits.iter())
+                .any(|(s, c)| s & c != 0);
+            if !triggered {
+                continue;
+            }
+            let proceed = match until {
+                None => true,
+                Some(cond) => {
+                    let c = eval_cexpr(cond, &p.vars, &self.present);
+                    match c.to_bool() {
+                        Some(b) => b,
+                        None if self.options.strict_conditions => {
+                            return Err(SimError::NonBooleanCondition {
+                                process: design.procs[pi].name.clone(),
+                                value: c.to_value(),
+                                span: *span,
+                            })
+                        }
+                        None => false,
+                    }
                 }
             };
+            if proceed {
+                p.waiting = None;
+                if let Some(r) = &mut report {
+                    r.resumed.push(design.procs[pi].name.clone());
+                }
+            }
+        }
+        self.deltas += 1;
+        Ok(Some(report.unwrap_or_default()))
+    }
+
+    fn run_process_to_wait(&mut self, design: &CompiledDesign, idx: usize) -> Result<(), SimError> {
+        let cp = &design.procs[idx];
+        let p = &mut self.procs[idx];
+        if p.waiting.is_some() {
+            return Ok(());
+        }
+        let code = &cp.code;
+        let mut steps = 0usize;
+        loop {
+            if p.pc as usize >= code.len() {
+                // The process body is repeated indefinitely (Section 3.2).
+                p.pc = 0;
+            }
             steps += 1;
             if steps > self.options.max_steps_per_activation {
                 return Err(SimError::StepLimitExceeded {
-                    process: p.name.clone(),
+                    process: cp.name.clone(),
                     limit: self.options.max_steps_per_activation,
                 });
             }
-            match stmt {
-                Stmt::Null { .. } => {}
-                Stmt::Seq(a, b) => {
-                    p.stack.push(*b);
-                    p.stack.push(*a);
-                }
-                Stmt::VarAssign { target, expr, .. } => {
-                    let env = ProcEnv {
-                        vars: &p.vars,
-                        var_types: &p.var_types,
-                        present: &self.present,
-                        signal_types: &self.signal_types,
-                    };
-                    let value = eval(&expr, &env)?;
-                    assign_target(&target, value, &mut p.vars, &p.var_types)?;
-                }
-                Stmt::SignalAssign { target, expr, .. } => {
-                    let env = ProcEnv {
-                        vars: &p.vars,
-                        var_types: &p.var_types,
-                        present: &self.present,
-                        signal_types: &self.signal_types,
-                    };
-                    let value = eval(&expr, &env)?;
-                    let ty = self.signal_types.get(&target.name).ok_or_else(|| {
-                        SimError::UndefinedName {
-                            name: target.name.clone(),
+            match &code[p.pc as usize] {
+                Instr::Nop => p.pc += 1,
+                Instr::VarAssign { var, slice, expr } => {
+                    let val = eval_cexpr(expr, &p.vars, &self.present);
+                    let vi = *var as usize;
+                    match slice {
+                        None => {
+                            let w = cp.var_widths[vi] as usize;
+                            if val.width() == w {
+                                p.vars[vi].copy_from(&val);
+                            } else {
+                                p.vars[vi] = val.resized(w);
+                            }
                         }
-                    })?;
-                    let new = match &target.slice {
-                        None => value.resized(ty.width()),
-                        Some(sl) => {
-                            // Slice assignments update only part of the active
-                            // value; start from the pending active value if
-                            // any, otherwise from the present value.
-                            let base = p
-                                .active
-                                .get(&target.name)
-                                .or_else(|| self.present.get(&target.name))
-                                .cloned()
-                                .unwrap_or_else(|| Value::filled(ty.width(), Logic::U));
-                            update_slice(&target.name, &base, ty, sl, &value)?
-                        }
-                    };
-                    p.active.insert(target.name.clone(), new);
-                }
-                Stmt::If {
-                    cond,
-                    then_branch,
-                    else_branch,
-                    ..
-                } => {
-                    let env = ProcEnv {
-                        vars: &p.vars,
-                        var_types: &p.var_types,
-                        present: &self.present,
-                        signal_types: &self.signal_types,
-                    };
-                    let c = eval(&cond, &env)?;
-                    let taken = match c.to_bool() {
-                        Some(b) => b,
-                        None if self.options.strict_conditions => {
-                            return Err(SimError::NonBooleanCondition {
-                                process: p.name.clone(),
-                                value: c,
-                            })
-                        }
-                        None => false,
-                    };
-                    p.stack
-                        .push(if taken { *then_branch } else { *else_branch });
-                }
-                Stmt::While { cond, body, label } => {
-                    let env = ProcEnv {
-                        vars: &p.vars,
-                        var_types: &p.var_types,
-                        present: &self.present,
-                        signal_types: &self.signal_types,
-                    };
-                    let c = eval(&cond, &env)?;
-                    let taken = match c.to_bool() {
-                        Some(b) => b,
-                        None if self.options.strict_conditions => {
-                            return Err(SimError::NonBooleanCondition {
-                                process: p.name.clone(),
-                                value: c,
-                            })
-                        }
-                        None => false,
-                    };
-                    if taken {
-                        p.stack.push(Stmt::While {
-                            cond,
-                            body: body.clone(),
-                            label,
-                        });
-                        p.stack.push(*body);
+                        Some(sl) => p.vars[vi].write_slice(
+                            sl.start as usize,
+                            sl.len as usize,
+                            sl.descending,
+                            &val,
+                        ),
                     }
+                    p.pc += 1;
                 }
-                Stmt::Wait { on, until, .. } => {
-                    p.status = Status::Waiting { on, until };
+                Instr::SigAssign { slot, slice, expr } => {
+                    let val = eval_cexpr(expr, &p.vars, &self.present);
+                    let si = *slot as usize;
+                    let sig = cp.driven[si] as usize;
+                    match slice {
+                        None => {
+                            let w = design.sig_widths[sig] as usize;
+                            let v = if val.width() == w {
+                                val
+                            } else {
+                                val.resized(w)
+                            };
+                            if p.active[si].is_none() {
+                                p.touched.push(*slot);
+                            }
+                            p.active[si] = Some(v);
+                        }
+                        Some(sl) => {
+                            // Slice assignments update only part of the
+                            // active value; start from the pending active
+                            // value if any, otherwise from the present value.
+                            if p.active[si].is_none() {
+                                p.touched.push(*slot);
+                                p.active[si] = Some(self.present[sig].clone());
+                            }
+                            p.active[si].as_mut().expect("just filled").write_slice(
+                                sl.start as usize,
+                                sl.len as usize,
+                                sl.descending,
+                                &val,
+                            );
+                        }
+                    }
+                    p.pc += 1;
+                }
+                Instr::BranchIfFalse { cond, target, span } => {
+                    let c = eval_cexpr(cond, &p.vars, &self.present);
+                    let taken = match c.to_bool() {
+                        Some(b) => b,
+                        None if self.options.strict_conditions => {
+                            return Err(SimError::NonBooleanCondition {
+                                process: cp.name.clone(),
+                                value: c.to_value(),
+                                span: *span,
+                            })
+                        }
+                        None => false,
+                    };
+                    p.pc = if taken { p.pc + 1 } else { *target };
+                }
+                Instr::Jump(t) => p.pc = *t,
+                Instr::Wait { .. } => {
+                    p.waiting = Some(p.pc);
+                    p.pc += 1;
                     return Ok(());
                 }
             }
@@ -441,45 +451,25 @@ impl Simulator {
     }
 }
 
-fn assign_target(
-    target: &Target,
-    value: Value,
-    vars: &mut BTreeMap<Ident, Value>,
-    var_types: &BTreeMap<Ident, Type>,
-) -> Result<(), SimError> {
-    let ty = var_types
-        .get(&target.name)
-        .ok_or_else(|| SimError::UndefinedName {
-            name: target.name.clone(),
-        })?;
-    let new = match &target.slice {
-        None => value.resized(ty.width()),
-        Some(sl) => {
-            let base = vars
-                .get(&target.name)
-                .cloned()
-                .unwrap_or_else(|| Value::filled(ty.width(), Logic::U));
-            update_slice(&target.name, &base, ty, sl, &value)?
+fn fold_driver(
+    pending: &mut [Option<PackedValue>],
+    driven: &mut Vec<u32>,
+    sig: u32,
+    value: PackedValue,
+) {
+    match &mut pending[sig as usize] {
+        Some(acc) => acc.resolve_assign(&value),
+        slot @ None => {
+            *slot = Some(value);
+            driven.push(sig);
         }
-    };
-    vars.insert(target.name.clone(), new);
-    Ok(())
-}
-
-struct EmptyEnv;
-
-impl NameEnv for EmptyEnv {
-    fn value_of(&self, _name: &str) -> Option<Value> {
-        None
-    }
-    fn type_of(&self, _name: &str) -> Option<Type> {
-        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::values::Logic;
     use vhdl1_syntax::frontend;
 
     fn sim(src: &str) -> Simulator {
@@ -494,8 +484,9 @@ mod tests {
     #[test]
     fn initial_values_are_uninitialised() {
         let s = sim(COPY);
-        assert_eq!(s.signal("a"), Some(&Value::Logic(Logic::U)));
-        assert_eq!(s.signal("b"), Some(&Value::Logic(Logic::U)));
+        assert_eq!(s.signal("a"), Some(Value::Logic(Logic::U)));
+        assert_eq!(s.signal("b"), Some(Value::Logic(Logic::U)));
+        assert_eq!(s.signal("ghost"), None);
     }
 
     #[test]
@@ -505,8 +496,8 @@ mod tests {
         s.run_until_quiescent(10).unwrap();
         s.drive_input("a", Value::logic('1').unwrap()).unwrap();
         s.run_until_quiescent(10).unwrap();
-        assert_eq!(s.signal("a"), Some(&Value::logic('1').unwrap()));
-        assert_eq!(s.signal("b"), Some(&Value::logic('1').unwrap()));
+        assert_eq!(s.signal("a"), Some(Value::logic('1').unwrap()));
+        assert_eq!(s.signal("b"), Some(Value::logic('1').unwrap()));
     }
 
     #[test]
@@ -516,6 +507,16 @@ mod tests {
         assert!(n >= 1);
         // With no new inputs, the design stays quiescent.
         assert_eq!(s.run_until_quiescent(10).unwrap(), 0);
+    }
+
+    #[test]
+    fn delta_reports_name_changed_signals_and_resumed_processes() {
+        let mut s = sim(COPY);
+        s.run_until_quiescent(10).unwrap();
+        s.drive_input("a", Value::logic('1').unwrap()).unwrap();
+        let report = s.delta_step().unwrap().expect("driven input synchronises");
+        assert!(report.changed.contains("a"));
+        assert_eq!(report.resumed, vec!["p".to_string()]);
     }
 
     #[test]
@@ -571,6 +572,8 @@ mod tests {
         s.run_until_quiescent(10).unwrap();
         assert_eq!(s.signal("b").unwrap().to_unsigned(), Some(15));
         assert_eq!(s.variable("p", "v").unwrap().to_unsigned(), Some(15));
+        assert_eq!(s.variable("p", "ghost"), None);
+        assert_eq!(s.variable("ghost", "v"), None);
         s.drive_input_unsigned("a", 4).unwrap();
         s.run_until_quiescent(10).unwrap();
         assert_eq!(s.signal("b").unwrap().to_unsigned(), Some(0));
@@ -616,7 +619,7 @@ mod tests {
         s.run_until_quiescent(10).unwrap();
         assert_eq!(
             s.signal("t"),
-            Some(&Value::Logic(Logic::X)),
+            Some(Value::Logic(Logic::X)),
             "conflicting drivers resolve to X"
         );
     }
@@ -679,5 +682,50 @@ mod tests {
              end rtl;";
         let s = sim(src);
         assert_eq!(s.signal("t").unwrap().to_literal(), "1010");
+    }
+
+    #[test]
+    fn shared_compiled_designs_reproduce_fresh_simulations() {
+        let design = frontend(TWO_STAGE).unwrap();
+        let compiled = Arc::new(CompiledDesign::compile(&design).unwrap());
+        let mut a = Simulator::from_compiled(Arc::clone(&compiled), SimOptions::default());
+        let mut b = Simulator::from_compiled(Arc::clone(&compiled), SimOptions::default());
+        for s in [&mut a, &mut b] {
+            s.run_until_quiescent(20).unwrap();
+            s.drive_input_unsigned("a", 0b1100).unwrap();
+            s.run_until_quiescent(20).unwrap();
+        }
+        assert_eq!(a.signal("b"), b.signal("b"));
+        assert_eq!(a.delta_count(), b.delta_count());
+    }
+
+    #[test]
+    fn strict_conditions_error_with_process_attribution() {
+        let src = "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is begin
+               p : process begin
+                 if a = '1' then b <= '1'; else b <= '0'; end if;
+                 wait on a;
+               end process p;
+             end rtl;";
+        let design = frontend(src).unwrap();
+        let mut s = Simulator::with_options(
+            &design,
+            SimOptions {
+                strict_conditions: true,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        // `a` is 'U', so `a = '1'` is 'X' — not a boolean.
+        let err = s.run_until_quiescent(10).unwrap_err();
+        assert!(err.pos().is_some(), "parsed condition carries its position");
+        match err {
+            SimError::NonBooleanCondition { process, value, .. } => {
+                assert_eq!(process, "p");
+                assert_eq!(value, Value::Logic(Logic::X));
+            }
+            other => panic!("expected NonBooleanCondition, got {other:?}"),
+        }
     }
 }

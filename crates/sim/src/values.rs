@@ -174,6 +174,21 @@ impl Logic {
             _ => Logic::X,
         }
     }
+
+    /// The dense 4-bit code of the value used by the packed representation
+    /// of [`crate::packed::PackedValue`] (standard order, `'U'` = 0).
+    pub fn code(self) -> u8 {
+        self.strength_index() as u8
+    }
+
+    /// The inverse of [`Logic::code`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `code` is not one of the nine standard codes (`0..=8`).
+    pub fn from_code(code: u8) -> Logic {
+        Logic::ALL[code as usize]
+    }
 }
 
 impl fmt::Display for Logic {

@@ -219,6 +219,52 @@ impl Design {
         }
         out
     }
+
+    /// The dense `u32` numbering of the design's signals, as assigned by
+    /// elaboration: signal `i` is `self.signals[i]` (ports first, then
+    /// internal signals in declaration order).
+    ///
+    /// Dense consumers — notably the `vhdl1-sim` interned simulator core —
+    /// index flat per-signal stores and bitsets by these ids instead of
+    /// looking names up in ordered maps.
+    pub fn signal_numbering(&self) -> SignalNumbering {
+        SignalNumbering {
+            ids: self
+                .signals
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.name.clone(), i as u32))
+                .collect(),
+            count: self.signals.len(),
+        }
+    }
+}
+
+/// Name → dense id translation for the signals of one [`Design`].
+///
+/// Ids are stable across calls: they are the positions of
+/// [`Design::signals`], fixed at elaboration time.
+#[derive(Debug, Clone, Default)]
+pub struct SignalNumbering {
+    ids: std::collections::HashMap<Ident, u32>,
+    count: usize,
+}
+
+impl SignalNumbering {
+    /// The id of `name`, if it denotes a signal of the design.
+    pub fn id(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// Number of signals covered by the numbering.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the design has no signals at all.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
 }
 
 /// The label carried by an elementary statement, if any.

@@ -41,7 +41,7 @@ pub use ast::{
 };
 pub use elaborate::{
     elaborate, elaborate_with, stmt_label, Design, ElabProcess, ElaborateOptions, SignalInfo,
-    SignalKind, VariableInfo,
+    SignalKind, SignalNumbering, VariableInfo,
 };
 pub use error::{SyntaxError, SyntaxErrorKind};
 pub use lexer::lex;
