@@ -238,6 +238,16 @@ pub enum SolveError {
         /// Conflicting arity.
         found: usize,
     },
+    /// A bounded solve ([`Program::solve_bounded`]) hit one of its resource
+    /// limits before reaching the least model.
+    ResourceExhausted {
+        /// The exhausted resource (`"facts"` or `"rounds"`).
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// Consumption when the solver gave up (`> limit`).
+        consumed: u64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -262,11 +272,32 @@ impl fmt::Display for SolveError {
                     "predicate `{predicate}` used with arity {found}, expected {expected}"
                 )
             }
+            SolveError::ResourceExhausted {
+                resource,
+                limit,
+                consumed,
+            } => {
+                write!(
+                    f,
+                    "solver {resource} budget exhausted: {consumed}, limit {limit}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for SolveError {}
+
+/// Resource limits for [`Program::solve_bounded`].  `None` fields are
+/// unlimited; the default is fully unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveLimits {
+    /// Maximum total tuple count across all relations, checked once per
+    /// semi-naive round.
+    pub max_facts: Option<u64>,
+    /// Maximum number of semi-naive rounds, summed over all strata.
+    pub max_rounds: Option<u64>,
+}
 
 /// A tuple of constant symbols, in resolved (string) form.
 pub type Tuple = Vec<String>;
@@ -615,12 +646,27 @@ impl Program {
     /// Returns [`SolveError`] if a rule is unsafe, a predicate is used with
     /// inconsistent arities, or the program cannot be stratified.
     pub fn solve(&self) -> Result<Model, SolveError> {
+        self.solve_bounded(&SolveLimits::default())
+    }
+
+    /// [`Program::solve`] under explicit resource limits: the evaluation
+    /// stops with [`SolveError::ResourceExhausted`] once the total tuple
+    /// count or the summed semi-naive round count exceeds its budget.  Both
+    /// counters are deterministic functions of the program, so the same
+    /// program and limits always exhaust (or converge) identically.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`Program::solve`], plus
+    /// [`SolveError::ResourceExhausted`].
+    pub fn solve_bounded(&self, limits: &SolveLimits) -> Result<Model, SolveError> {
         let arities = self.check_arities()?;
         self.check_safety()?;
         let strata = self.stratify()?;
         let mut engine = Engine::compile(self, &arities);
+        let mut rounds: u64 = 0;
         for stratum in &strata {
-            engine.run_stratum(stratum);
+            engine.run_stratum(stratum, limits, &mut rounds)?;
         }
         Ok(engine.into_model())
     }
@@ -1039,7 +1085,12 @@ impl Engine {
         }
     }
 
-    fn run_stratum(&mut self, stratum: &BTreeSet<String>) {
+    fn run_stratum(
+        &mut self,
+        stratum: &BTreeSet<String>,
+        limits: &SolveLimits,
+        rounds: &mut u64,
+    ) -> Result<(), SolveError> {
         let preds: FxHashSet<Symbol> = stratum
             .iter()
             .filter_map(|p| self.interner.get(p))
@@ -1099,6 +1150,16 @@ impl Engine {
         // Semi-naive rounds over contiguous delta ranges.
         let mut marks: FxHashMap<Symbol, usize> = preds.iter().map(|&p| (p, 0)).collect();
         loop {
+            if let Some(max) = limits.max_facts {
+                let total: u64 = self.rels.values().map(|r| r.len() as u64).sum();
+                if total > max {
+                    return Err(SolveError::ResourceExhausted {
+                        resource: "facts",
+                        limit: max,
+                        consumed: total,
+                    });
+                }
+            }
             let mut ranges: DeltaRanges = DeltaRanges::default();
             let mut any = false;
             for &p in &preds {
@@ -1111,6 +1172,16 @@ impl Engine {
             }
             if !any {
                 break;
+            }
+            *rounds += 1;
+            if let Some(max) = limits.max_rounds {
+                if *rounds > max {
+                    return Err(SolveError::ResourceExhausted {
+                        resource: "rounds",
+                        limit: max,
+                        consumed: *rounds,
+                    });
+                }
             }
             for (&p, &(_, end)) in &ranges {
                 marks.insert(p, end);
@@ -1142,6 +1213,7 @@ impl Engine {
                 }
             }
         }
+        Ok(())
     }
 
     fn into_model(self) -> Model {
@@ -1345,6 +1417,56 @@ mod tests {
         assert!(m.contains("path", &["a", "d"]));
         assert_eq!(m.relation("path").len(), 6);
         assert_eq!(m.relation("edge").len(), 3);
+    }
+
+    #[test]
+    fn bounded_solve_exhausts_deterministically() {
+        let chain: Vec<(String, String)> = (0..40)
+            .map(|i| (format!("n{i}"), format!("n{}", i + 1)))
+            .collect();
+        let mut p = Program::new();
+        for (a, b) in &chain {
+            p.fact("edge", vec![Term::cst(a.clone()), Term::cst(b.clone())]);
+        }
+        path_rules(&mut p);
+        // Generous limits converge to the same model as the unbounded solve.
+        let loose = SolveLimits {
+            max_facts: Some(1_000_000),
+            max_rounds: Some(1_000_000),
+        };
+        assert_eq!(
+            p.solve_bounded(&loose).unwrap().relation("path"),
+            p.solve().unwrap().relation("path")
+        );
+        // A tight round budget exhausts, and always at the same point.
+        let tight = SolveLimits {
+            max_rounds: Some(3),
+            ..Default::default()
+        };
+        let e1 = p.solve_bounded(&tight).unwrap_err();
+        let e2 = p.solve_bounded(&tight).unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(matches!(
+            e1,
+            SolveError::ResourceExhausted {
+                resource: "rounds",
+                limit: 3,
+                consumed: 4,
+            }
+        ));
+        assert!(e1.to_string().contains("budget exhausted"));
+        // A tight fact budget exhausts too (40 edges alone exceed 10 facts).
+        let few_facts = SolveLimits {
+            max_facts: Some(10),
+            ..Default::default()
+        };
+        assert!(matches!(
+            p.solve_bounded(&few_facts),
+            Err(SolveError::ResourceExhausted {
+                resource: "facts",
+                ..
+            })
+        ));
     }
 
     #[test]

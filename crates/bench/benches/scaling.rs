@@ -195,7 +195,7 @@ fn alfp_series() {
         jobs.iter()
             .map(|j| {
                 let a = engine.analyze_source(&j.source).expect("corpus parses");
-                a.flow_graph().edge_count()
+                a.flow_graph().expect("unlimited budget").edge_count()
             })
             .sum::<usize>()
     });
@@ -217,7 +217,7 @@ fn alfp_series() {
         jobs.iter()
             .map(|j| {
                 let a = warm_engine.analyze_source(&j.source).expect("cached");
-                a.flow_graph().edge_count()
+                a.flow_graph().expect("unlimited budget").edge_count()
             })
             .sum::<usize>()
     });
@@ -239,7 +239,11 @@ fn alfp_series() {
         let design = design_of(&chain_src(n));
         let lazy_engine = Engine::default();
         let (lazy_edges, lazy_median) = measure(5, || {
-            lazy_engine.analyze(&design).base_flow_graph().edge_count()
+            lazy_engine
+                .analyze(&design)
+                .base_flow_graph()
+                .expect("unlimited budget")
+                .edge_count()
         });
         let (eager_edges, eager_median) = measure(5, || {
             analyze_with(&design, &AnalysisOptions::default())

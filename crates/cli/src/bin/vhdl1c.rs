@@ -5,19 +5,23 @@
 //! $ vhdl1c gen --seed 7 --count 50 | vhdl1c analyze --jobs 8 --format json
 //! $ vhdl1c analyze design.vhd --policy levels.pol --format text
 //! $ vhdl1c analyze corpus.manifest --jobs 4 --smoke --check --out report.json
+//! $ vhdl1c gen --seed 3 --count 20 --families hostile \
+//!     | vhdl1c analyze --budget tight --deadline-ms 2000 --check
 //! ```
 
-use std::io::Read as _;
+use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
 use vhdl1_cli::driver::{run_batch, BatchOptions, Format, Job};
 use vhdl1_corpus::{generate, parse_manifest, write_manifest, CorpusSpec, Family};
-use vhdl1_infoflow::Policy;
+use vhdl1_infoflow::{Budget, Policy};
 
 const USAGE: &str = "\
 usage:
   vhdl1c gen --seed N --count N [--families f1,f2] [--out FILE]
       Generate a deterministic corpus manifest (stdout by default).
-      Families: pipeline, fsm, sbox_core, cross_flow (default: all).
+      Families: pipeline, fsm, sbox_core, cross_flow (default: all),
+      plus the opt-in `hostile` family of adversarial stress designs
+      (never generated unless named).
 
   vhdl1c analyze [FILE...] [options]
       Analyze .vhd/.vhdl files and/or corpus manifests; with no FILE,
@@ -29,8 +33,12 @@ usage:
       --out FILE        write the report to FILE instead of stdout
       --smoke           also smoke-simulate each design to quiescence
       --timing          record per-design and batch wall-clock times
-      --check           exit 2 unless the batch is clean (no errors,
-                        ground-truth mismatches, or smoke failures)
+      --check           gate the exit code on batch cleanliness (below)
+      --budget NAME     resource budget: tight | standard | unlimited
+                        (default unlimited); exhausted designs land in
+                        the report's `degraded` section
+      --deadline-ms N   per-design wall-clock deadline; over-deadline
+                        designs are cooperatively cancelled and degraded
       --base            base closure only (no incoming/outgoing nodes)
       --no-cache        disable the engine's analysis memo table
                         (report-level dedup of identical jobs stays on)
@@ -38,22 +46,49 @@ usage:
   vhdl1c help
       Show this message.
 
+exit codes:
+  0  success (with --check: batch clean, nothing degraded)
+  1  usage or I/O error
+  2  --check failed: unexpected error, ground-truth mismatch, or
+     smoke failure (wrong answers)
+  3  --check passed but at least one design exceeded its resource
+     budget or deadline (incomplete answers)
+
 policy file format: `level NAME N` and `allow FROM -> TO` lines.";
+
+/// A CLI failure: usage errors reprint the usage text, runtime errors
+/// (unreadable files, malformed policies, broken pipes) stay one line.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
+
+fn runtime(message: impl Into<String>) -> CliError {
+    CliError::Runtime(message.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Runtime(message)) => {
+            eprintln!("error: {message}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
-    let (command, rest) = args.split_first().ok_or("missing command")?;
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
+    let (command, rest) = args.split_first().ok_or_else(|| usage("missing command"))?;
     match command.as_str() {
         "gen" => gen_command(rest),
         "analyze" => analyze_command(rest),
@@ -61,15 +96,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(usage(format!("unknown command `{other}`"))),
     }
 }
 
 /// Pulls the value of a `--flag VALUE` option out of `args`, if present.
-fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
     if let Some(i) = args.iter().position(|a| a == flag) {
         if i + 1 >= args.len() {
-            return Err(format!("`{flag}` needs a value"));
+            return Err(usage(format!("`{flag}` needs a value")));
         }
         let value = args.remove(i + 1);
         args.remove(i);
@@ -89,48 +124,69 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn gen_command(args: &[String]) -> Result<ExitCode, String> {
+fn gen_command(args: &[String]) -> Result<ExitCode, CliError> {
     let mut args = args.to_vec();
     let seed: u64 = take_value(&mut args, "--seed")?
-        .ok_or("gen needs --seed")?
+        .ok_or_else(|| usage("gen needs --seed"))?
         .parse()
-        .map_err(|_| "--seed must be an unsigned integer".to_string())?;
+        .map_err(|_| usage("--seed must be an unsigned integer"))?;
     let count: usize = take_value(&mut args, "--count")?
-        .ok_or("gen needs --count")?
+        .ok_or_else(|| usage("gen needs --count"))?
         .parse()
-        .map_err(|_| "--count must be an unsigned integer".to_string())?;
+        .map_err(|_| usage("--count must be an unsigned integer"))?;
     let mut spec = CorpusSpec::new(seed, count);
     if let Some(families) = take_value(&mut args, "--families")? {
         let families: Vec<Family> = families
             .split(',')
-            .map(|f| Family::from_str(f.trim()).ok_or_else(|| format!("unknown family `{f}`")))
+            .map(|f| {
+                Family::from_str(f.trim()).ok_or_else(|| usage(format!("unknown family `{f}`")))
+            })
             .collect::<Result<_, _>>()?;
         spec = spec.with_families(families);
     }
     let out_path = take_value(&mut args, "--out")?;
     if let Some(extra) = args.first() {
-        return Err(format!("unexpected argument `{extra}`"));
+        return Err(usage(format!("unexpected argument `{extra}`")));
     }
     let manifest = write_manifest(&generate(&spec));
     write_output(out_path.as_deref(), &manifest)?;
     Ok(ExitCode::SUCCESS)
 }
 
-fn analyze_command(args: &[String]) -> Result<ExitCode, String> {
+fn analyze_command(args: &[String]) -> Result<ExitCode, CliError> {
     let mut args = args.to_vec();
     let mut opts = BatchOptions::default();
     if let Some(jobs) = take_value(&mut args, "--jobs")? {
         opts.jobs = jobs
             .parse()
-            .map_err(|_| "--jobs must be an unsigned integer".to_string())?;
+            .map_err(|_| usage("--jobs must be an unsigned integer"))?;
     }
     if let Some(fmt) = take_value(&mut args, "--format")? {
-        opts.format = Format::from_str(&fmt).ok_or_else(|| format!("unknown format `{fmt}`"))?;
+        opts.format =
+            Format::from_str(&fmt).ok_or_else(|| usage(format!("unknown format `{fmt}`")))?;
     }
     if let Some(path) = take_value(&mut args, "--policy")? {
         let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read policy `{path}`: {e}"))?;
-        opts.policy = Some(Policy::parse_text(&text).map_err(|e| format!("policy `{path}`: {e}"))?);
+            .map_err(|e| runtime(format!("cannot read policy `{path}`: {e}")))?;
+        opts.policy =
+            Some(Policy::parse_text(&text).map_err(|e| runtime(format!("policy `{path}`: {e}")))?);
+    }
+    if let Some(name) = take_value(&mut args, "--budget")? {
+        opts.analysis.budget = Budget::preset(&name).ok_or_else(|| {
+            usage(format!(
+                "unknown budget `{name}` (tight, standard, unlimited)"
+            ))
+        })?;
+    }
+    if let Some(ms) = take_value(&mut args, "--deadline-ms")? {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| usage("--deadline-ms must be an unsigned integer"))?;
+        // Belt and suspenders: the engine checks its own wall clock at stage
+        // boundaries, and the driver's watchdog trips the cooperative cancel
+        // flag of any design that overstays.
+        opts.analysis.budget.deadline_ms = Some(ms);
+        opts.deadline_ms = Some(ms);
     }
     opts.smoke = take_flag(&mut args, "--smoke");
     opts.timing = take_flag(&mut args, "--timing");
@@ -143,7 +199,7 @@ fn analyze_command(args: &[String]) -> Result<ExitCode, String> {
     }
     let out_path = take_value(&mut args, "--out")?;
     if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
-        return Err(format!("unknown option `{flag}`"));
+        return Err(usage(format!("unknown option `{flag}`")));
     }
 
     let jobs = collect_jobs(&args)?;
@@ -155,35 +211,52 @@ fn analyze_command(args: &[String]) -> Result<ExitCode, String> {
     };
     write_output(out_path.as_deref(), &rendered)?;
     for e in &batch.errors {
-        eprintln!("error: {}: {}", e.name, e.error);
+        let tag = if e.expected { " (expected)" } else { "" };
+        eprintln!("error{tag}: {}: {}", e.name, e.error);
     }
-    if check && !batch.check_ok() {
+    for d in &batch.degraded {
         eprintln!(
-            "check failed: {} error(s), {} ground-truth mismatch(es), {} smoke failure(s)",
-            batch.errors.len(),
-            batch.ground_truth_mismatches(),
-            batch.smoke_failures()
+            "degraded: {}: {} budget exhausted (consumed {}, limit {})",
+            d.name, d.stage, d.consumed, d.limit
         );
-        return Ok(ExitCode::from(2));
+    }
+    if check {
+        if !batch.check_ok() {
+            eprintln!(
+                "check failed: {} unexpected error(s), {} ground-truth mismatch(es), \
+                 {} smoke failure(s)",
+                batch.unexpected_errors(),
+                batch.ground_truth_mismatches(),
+                batch.smoke_failures()
+            );
+            return Ok(ExitCode::from(2));
+        }
+        if !batch.degraded.is_empty() {
+            eprintln!(
+                "check passed with {} design(s) degraded by resource budgets",
+                batch.degraded.len()
+            );
+            return Ok(ExitCode::from(3));
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
 
 /// Builds the job list: named files (plain VHDL or manifests) or, with no
 /// files, a manifest read from stdin.
-fn collect_jobs(paths: &[String]) -> Result<Vec<Job>, String> {
+fn collect_jobs(paths: &[String]) -> Result<Vec<Job>, CliError> {
     let mut jobs = Vec::new();
     if paths.is_empty() {
         let mut text = String::new();
         std::io::stdin()
             .read_to_string(&mut text)
-            .map_err(|e| format!("cannot read stdin: {e}"))?;
+            .map_err(|e| runtime(format!("cannot read stdin: {e}")))?;
         jobs.extend(manifest_jobs(&text, "<stdin>")?);
         return Ok(jobs);
     }
     for path in paths {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| runtime(format!("cannot read `{path}`: {e}")))?;
         let is_vhdl = path.ends_with(".vhd") || path.ends_with(".vhdl");
         if is_vhdl {
             let stem = std::path::Path::new(path)
@@ -199,24 +272,29 @@ fn collect_jobs(paths: &[String]) -> Result<Vec<Job>, String> {
     Ok(jobs)
 }
 
-fn manifest_jobs(text: &str, origin: &str) -> Result<Vec<Job>, String> {
-    let designs = parse_manifest(text).map_err(|e| format!("manifest `{origin}`: {e}"))?;
+fn manifest_jobs(text: &str, origin: &str) -> Result<Vec<Job>, CliError> {
+    let designs = parse_manifest(text).map_err(|e| runtime(format!("manifest `{origin}`: {e}")))?;
     if designs.is_empty() {
-        return Err(format!(
+        return Err(runtime(format!(
             "manifest `{origin}` contains no designs (expected `--! design` headers)"
-        ));
+        )));
     }
     Ok(designs.into_iter().map(Job::from_generated).collect())
 }
 
-fn write_output(path: Option<&str>, content: &str) -> Result<(), String> {
+/// Writes the rendered output, turning every I/O failure — including a
+/// broken stdout pipe (`gen | head`) — into a one-line diagnostic instead
+/// of a panic.
+fn write_output(path: Option<&str>, content: &str) -> Result<(), CliError> {
     match path {
-        Some(path) => {
-            std::fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}"))
-        }
+        Some(path) => std::fs::write(path, content)
+            .map_err(|e| runtime(format!("cannot write `{path}`: {e}"))),
         None => {
-            print!("{content}");
-            Ok(())
+            let mut stdout = std::io::stdout().lock();
+            stdout
+                .write_all(content.as_bytes())
+                .and_then(|()| stdout.flush())
+                .map_err(|e| runtime(format!("cannot write to stdout: {e}")))
         }
     }
 }

@@ -11,11 +11,15 @@
 //! grouped up front so every report byte is independent of worker count.
 
 use crate::pool;
-use crate::report::{analysis_report, BatchError, BatchReport, DesignReport};
+use crate::report::{analysis_report, BatchError, BatchReport, DegradedEntry, DesignReport};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use vhdl1_corpus::GeneratedDesign;
-use vhdl1_infoflow::{fnv1a64, AnalysisOptions, CachePolicy, Engine, EngineConfig, Policy};
+use vhdl1_infoflow::{
+    fnv1a64, AnalysisOptions, CachePolicy, CancelFlag, Engine, EngineConfig, EngineError, Policy,
+};
 
 /// Output formats of `vhdl1c analyze`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +60,11 @@ pub struct JobTruth {
     pub allowed_flows: Vec<(String, String)>,
     /// Flow edges the audit must report.
     pub expected_violations: Vec<(String, String)>,
+    /// Whether the generator *expects* the front end to reject this design
+    /// (hostile truncated/garbage sources).  Such a rejection is recorded
+    /// as an expected error; a successful analysis is a ground-truth
+    /// mismatch.
+    pub expect_error: bool,
 }
 
 impl JobTruth {
@@ -109,6 +118,7 @@ impl Job {
                 public_outputs: d.public_outputs,
                 allowed_flows: d.allowed_flows,
                 expected_violations: d.expected_violations,
+                expect_error: d.expect_error,
             }),
         }
     }
@@ -128,6 +138,13 @@ pub struct BatchOptions {
     pub timing: bool,
     /// Smoke-simulate every design to quiescence.
     pub smoke: bool,
+    /// Per-design wall-clock deadline, enforced by a watchdog thread that
+    /// trips each design's cooperative [`CancelFlag`] — the design lands in
+    /// the report's `degraded` section (stage `deadline`) while the batch
+    /// completes.  Wall-clock by nature, so reports stop being
+    /// byte-reproducible; pure counter budgets (in
+    /// [`BatchOptions::analysis`]) keep determinism.
+    pub deadline_ms: Option<u64>,
     /// Options of the underlying analysis.
     pub analysis: AnalysisOptions,
     /// Memo-table policy of the shared analysis engine (the library-side
@@ -151,6 +168,7 @@ impl Default for BatchOptions {
             policy: None,
             timing: false,
             smoke: false,
+            deadline_ms: None,
             analysis: AnalysisOptions::default(),
             cache: DEFAULT_ENGINE_CACHE,
         }
@@ -174,28 +192,36 @@ pub fn run_batch(jobs: &[Job], opts: &BatchOptions) -> BatchReport {
         cache: opts.cache,
     });
 
+    // One watchdog thread for the whole batch, when a deadline is set.
+    // Joined (via Drop) before run_batch returns.
+    let watchdog = opts
+        .deadline_ms
+        .map(|ms| Watchdog::spawn(Duration::from_millis(ms)));
+
     // Group by cache key; compute each job's effective policy exactly once.
     let mut first_of_key: HashMap<u64, usize> = HashMap::new();
     let mut rep: Vec<usize> = Vec::with_capacity(jobs.len());
-    let mut uses: HashMap<usize, usize> = HashMap::new();
     let mut policies: Vec<Policy> = Vec::with_capacity(jobs.len());
     for (i, job) in jobs.iter().enumerate() {
         let policy = effective_policy(job, opts);
         let key =
             fnv1a64(job.source.as_bytes()) ^ fnv1a64(policy.to_text().as_bytes()).rotate_left(1);
-        let r = *first_of_key.entry(key).or_insert(i);
-        rep.push(r);
-        *uses.entry(r).or_insert(0) += 1;
+        rep.push(*first_of_key.entry(key).or_insert(i));
         policies.push(policy);
     }
 
-    // Analyze one representative per group, in parallel.
+    // Analyze one representative per group, in parallel.  The pool isolates
+    // panics: a crashing item becomes `Err(message)` while the rest of the
+    // batch completes.
     let unique: Vec<usize> = (0..jobs.len()).filter(|&i| rep[i] == i).collect();
     let unique_outcomes = pool::run(&unique, opts.jobs, |_, &i| {
-        analyze_job(&engine, &jobs[i], &policies[i], opts)
+        analyze_job(&engine, &jobs[i], &policies[i], opts, watchdog.as_ref())
     });
-    let mut outcome_of: HashMap<usize, Result<DesignReport, BatchError>> =
-        unique.into_iter().zip(unique_outcomes).collect();
+    let outcome_of: HashMap<usize, JobOutcome> = unique
+        .into_iter()
+        .zip(unique_outcomes)
+        .map(|(i, r)| (i, r.unwrap_or_else(JobOutcome::panicked)))
+        .collect();
 
     // Reassemble in input order.  Ground-truth bookkeeping is re-derived per
     // job (not copied from the representative): two jobs may share source
@@ -203,50 +229,176 @@ pub fn run_batch(jobs: &[Job], opts: &BatchOptions) -> BatchReport {
     // file next to the identical corpus entry under a `--policy` override.
     let mut batch = BatchReport::default();
     for (i, job) in jobs.iter().enumerate() {
-        let r = rep[i];
-        let remaining = uses.get_mut(&r).expect("every group was counted");
-        *remaining -= 1;
-        let outcome = if *remaining == 0 {
-            outcome_of
-                .remove(&r)
-                .expect("representative outcome present")
-        } else {
-            outcome_of
-                .get(&r)
-                .expect("representative outcome present")
-                .clone()
-        };
-        let cached = r != i;
+        let outcome = outcome_of.get(&rep[i]).cloned().unwrap_or_else(|| {
+            // Unreachable by construction (every representative was queued);
+            // degrade to a structured error rather than crashing the batch.
+            JobOutcome::from_error(BatchError {
+                error: "internal: representative outcome missing".to_string(),
+                ..BatchError::default()
+            })
+        });
+        let cached = rep[i] != i;
         if cached {
             batch.cache_hits += 1;
         }
-        match outcome {
-            Ok(mut report) => {
-                report.name = job.name.clone();
-                report.cached = cached;
-                if cached {
-                    // The duplicate did not spend analysis time itself, and
-                    // its DOT graph (if any) must carry its own title.
-                    report.millis = None;
-                    if let Some(dot) = &mut report.dot {
-                        if let Some(eol) = dot.find('\n') {
-                            *dot = format!("digraph \"{}\" {{{}", job.name, &dot[eol..]);
-                        }
+        let JobOutcome {
+            report,
+            error,
+            degraded,
+        } = outcome;
+        if let Some(mut report) = report {
+            report.name = job.name.clone();
+            report.cached = cached;
+            if cached {
+                // The duplicate did not spend analysis time itself, and
+                // its DOT graph (if any) must carry its own title.
+                report.millis = None;
+                if let Some(dot) = &mut report.dot {
+                    if let Some(eol) = dot.find('\n') {
+                        *dot = format!("digraph \"{}\" {{{}", job.name, &dot[eol..]);
                     }
                 }
-                apply_truth(&mut report, job);
-                batch.designs.push(report);
             }
-            Err(mut err) => {
-                err.name = job.name.clone();
-                batch.errors.push(err);
-            }
+            apply_truth(&mut report, job);
+            batch.designs.push(report);
+        }
+        if let Some(mut err) = error {
+            err.name = job.name.clone();
+            err.expected = job.truth.as_ref().is_some_and(|t| t.expect_error);
+            batch.errors.push(err);
+        }
+        if let Some(mut deg) = degraded {
+            deg.name = job.name.clone();
+            batch.degraded.push(deg);
         }
     }
     if opts.timing {
         batch.wall_ms = Some(start.elapsed().as_secs_f64() * 1e3);
     }
     batch
+}
+
+/// Everything one job can produce: at most one report (possibly with an
+/// attached degradation, e.g. smoke budget exhaustion on an otherwise
+/// complete analysis), or an error, or a pure degradation.
+#[derive(Debug, Clone, Default)]
+struct JobOutcome {
+    report: Option<DesignReport>,
+    error: Option<BatchError>,
+    degraded: Option<DegradedEntry>,
+}
+
+impl JobOutcome {
+    fn from_error(error: BatchError) -> JobOutcome {
+        JobOutcome {
+            error: Some(error),
+            ..JobOutcome::default()
+        }
+    }
+
+    /// Classifies an engine error: budget exhaustion degrades the design
+    /// (the analyzer answered within its contract); anything else is a
+    /// genuine per-design error.
+    fn from_engine_error(e: &EngineError) -> JobOutcome {
+        if let EngineError::ResourceExhausted {
+            stage,
+            limit,
+            consumed,
+            ..
+        } = e
+        {
+            JobOutcome {
+                degraded: Some(DegradedEntry {
+                    name: String::new(), // stamped during reassembly
+                    stage: stage.as_str().to_string(),
+                    limit: *limit,
+                    consumed: *consumed,
+                    message: e.to_string(),
+                }),
+                ..JobOutcome::default()
+            }
+        } else {
+            JobOutcome::from_error(BatchError {
+                name: String::new(), // stamped during reassembly
+                phase: e.phase().map(|p| p.to_string()),
+                line: e.line_col().map(|(l, _)| l),
+                col: e.line_col().map(|(_, c)| c),
+                error: e.to_string(),
+                expected: false,
+            })
+        }
+    }
+
+    /// The outcome of a work item the pool caught panicking.
+    fn panicked(message: String) -> JobOutcome {
+        JobOutcome::from_error(BatchError {
+            phase: Some("panic".to_string()),
+            error: format!("panicked: {message}"),
+            ..BatchError::default()
+        })
+    }
+}
+
+/// The per-batch deadline enforcer: one thread polling every in-flight
+/// design's start time, tripping its cooperative [`CancelFlag`] once the
+/// deadline passes.  The analysis observes the flag at its next stage
+/// boundary and surfaces as `ResourceExhausted` (stage `deadline`) — no
+/// threads are killed, no state is torn down mid-stage.
+struct Watchdog {
+    entries: Arc<Mutex<Vec<(Instant, CancelFlag)>>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn spawn(deadline: Duration) -> Watchdog {
+        let entries: Arc<Mutex<Vec<(Instant, CancelFlag)>>> = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let poll_entries = Arc::clone(&entries);
+        let poll_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !poll_stop.load(Ordering::Relaxed) {
+                {
+                    let mut entries = poll_entries
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    entries.retain(|(started, flag)| {
+                        if started.elapsed() >= deadline {
+                            flag.cancel();
+                            return false;
+                        }
+                        true
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        Watchdog {
+            entries,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Starts the clock for one design; the returned flag trips once the
+    /// deadline elapses.
+    fn register(&self) -> CancelFlag {
+        let flag = CancelFlag::new();
+        self.entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push((Instant::now(), flag.clone()));
+        flag
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 fn effective_policy(job: &Job, opts: &BatchOptions) -> Policy {
@@ -265,6 +417,12 @@ fn apply_truth(report: &mut DesignReport, job: &Job) {
             report.family = Some(truth.family.clone());
             report.leaky = Some(truth.leaky);
             report.expected_violations = truth.expected_violations.clone();
+            if truth.expect_error {
+                // The front end was supposed to reject this design; an
+                // analysis that went through is a wrong answer.
+                report.ground_truth_ok = Some(false);
+                return;
+            }
             let mut actual: Vec<(String, String)> = report
                 .violations
                 .iter()
@@ -289,34 +447,52 @@ fn analyze_job(
     job: &Job,
     policy: &Policy,
     opts: &BatchOptions,
-) -> Result<DesignReport, BatchError> {
+    watchdog: Option<&Watchdog>,
+) -> JobOutcome {
     let started = Instant::now();
-    let analysis = engine.analyze_source(&job.source).map_err(|e| BatchError {
-        name: job.name.clone(),
-        phase: Some(e.phase().to_string()),
-        line: e.line_col().map(|(l, _)| l),
-        col: e.line_col().map(|(_, c)| c),
-        error: e.to_string(),
-    })?;
-    let mut report = analysis_report(&analysis, policy);
+    let analysis = match engine.analyze_source(&job.source) {
+        Ok(analysis) => analysis,
+        Err(e) => return JobOutcome::from_engine_error(&e),
+    };
+    let analysis = match watchdog {
+        Some(watchdog) => analysis.with_cancel_flag(watchdog.register()),
+        None => analysis,
+    };
+    let mut report = match analysis_report(&analysis, policy) {
+        Ok(report) => report,
+        Err(e) => return JobOutcome::from_engine_error(&e),
+    };
     report.name = job.name.clone();
     report.source_hash = format!("fnv1a:{:016x}", fnv1a64(job.source.as_bytes()));
     if opts.format == Format::Dot {
-        report.dot = Some(analysis.flow_graph().to_dot(&job.name));
+        match analysis.flow_graph() {
+            Ok(graph) => report.dot = Some(graph.to_dot(&job.name)),
+            Err(e) => return JobOutcome::from_engine_error(&e),
+        }
     }
+    let mut degraded = None;
     if opts.smoke {
         // The engine memoizes the simulation per design, so duplicate
         // sources in one batch smoke exactly once; simulator errors render
-        // `line:col` exactly like analysis errors.
+        // `line:col` exactly like analysis errors.  Budget exhaustion
+        // degrades the design (the audit verdict above still stands) and
+        // does not count as a smoke *failure*.
         match analysis.smoke(SMOKE_MAX_DELTAS) {
             Ok(smoke) => report.smoke_deltas = Some(smoke.deltas),
+            Err(e) if e.is_resource_exhausted() => {
+                degraded = JobOutcome::from_engine_error(&e).degraded;
+            }
             Err(e) => report.smoke_error = Some(e.to_string()),
         }
     }
     if opts.timing {
         report.millis = Some(started.elapsed().as_secs_f64() * 1e3);
     }
-    Ok(report)
+    JobOutcome {
+        report: Some(report),
+        error: None,
+        degraded,
+    }
 }
 
 /// Delta-cycle bound of `--smoke` simulations.
@@ -567,6 +743,145 @@ mod tests {
         assert!(json.contains("\"col\": 24"));
         let text = batch.to_text();
         assert!(text.contains("error bad_elab: elaborate error at 3:24"));
+    }
+
+    fn hostile_jobs(seed: u64, count: usize) -> Vec<Job> {
+        let spec = CorpusSpec::new(seed, count).with_families(vec![vhdl1_corpus::Family::Hostile]);
+        generate(&spec)
+            .into_iter()
+            .map(Job::from_generated)
+            .collect()
+    }
+
+    fn tight_opts(workers: usize) -> BatchOptions {
+        let mut opts = BatchOptions {
+            jobs: workers,
+            ..BatchOptions::default()
+        };
+        opts.analysis.budget = vhdl1_infoflow::Budget::tight();
+        opts
+    }
+
+    #[test]
+    fn hostile_batch_with_tight_budget_is_deterministic_and_clean() {
+        // Satellite: same source + same budget => byte-identical report,
+        // across repeated runs and across worker counts.  Pure counter
+        // budgets (no wall-clock deadline, no timing) keep determinism.
+        let jobs = hostile_jobs(3, 12);
+        let first = run_batch(&jobs, &tight_opts(1));
+        let second = run_batch(&jobs, &tight_opts(1));
+        assert_eq!(first.to_json(), second.to_json());
+        let parallel = run_batch(&jobs, &tight_opts(8));
+        assert_eq!(first.to_json(), parallel.to_json());
+
+        // Every job is accounted for exactly once (no smoke => a report and
+        // a degradation never co-occur).
+        assert_eq!(
+            first.designs.len() + first.errors.len() + first.degraded.len(),
+            jobs.len()
+        );
+        // The tight budget must actually bite on hostile designs, naming
+        // the exhausted stage.
+        assert!(!first.degraded.is_empty(), "tight budget never tripped");
+        for d in &first.degraded {
+            assert!(!d.stage.is_empty() && d.limit > 0 && d.consumed > d.limit - 1);
+            assert!(d.message.contains("budget exhausted"), "{}", d.message);
+        }
+        // Degradation and expected rejections are not wrong answers.
+        assert!(
+            first.errors.iter().all(|e| e.expected),
+            "{:?}",
+            first.errors
+        );
+        assert!(first.check_ok());
+    }
+
+    #[test]
+    fn hostile_garbage_designs_are_expected_errors() {
+        // Across a few seeds the hostile family always emits some
+        // truncated/garbage designs; their rejections are *expected* and
+        // keep the batch clean, and none of them produce a report.
+        let jobs = hostile_jobs(42, 10);
+        let batch = run_batch(&jobs, &BatchOptions::default());
+        assert!(!batch.errors.is_empty(), "no garbage design in seed 42");
+        for e in &batch.errors {
+            assert!(e.expected, "{}: hostile rejection must be expected", e.name);
+            assert!(e.phase.is_some());
+        }
+        assert_eq!(batch.unexpected_errors(), 0);
+        // Under the default (unlimited) budget nothing degrades and every
+        // analyzable design reproduces its ground truth — the whole hostile
+        // batch checks green, which is what CI's exit-0 leg relies on.
+        assert!(batch.degraded.is_empty());
+        assert!(
+            batch.check_ok(),
+            "hostile batch under default budget must check green"
+        );
+    }
+
+    #[test]
+    fn surviving_an_expected_rejection_is_a_mismatch() {
+        // A design whose ground truth says "the front end must reject this"
+        // but which analyzes fine is a wrong answer, not a success.
+        let mut job = corpus_jobs(1, 1).remove(0);
+        job.truth.as_mut().unwrap().expect_error = true;
+        let batch = run_batch(&[job], &BatchOptions::default());
+        assert_eq!(batch.designs[0].ground_truth_ok, Some(false));
+        assert!(!batch.check_ok());
+    }
+
+    #[test]
+    fn zero_deadline_degrades_every_design_via_the_engine_gate() {
+        // The engine checks its own wall clock at stage boundaries: an
+        // already-expired deadline trips deterministically before the first
+        // stage runs, so every design degrades with the `deadline` stage.
+        let jobs = corpus_jobs(7, 4);
+        let mut opts = BatchOptions::default();
+        opts.analysis.budget.deadline_ms = Some(0);
+        let batch = run_batch(&jobs, &opts);
+        assert!(batch.designs.is_empty());
+        assert_eq!(batch.degraded.len(), jobs.len());
+        assert!(batch.degraded.iter().all(|d| d.stage == "deadline"));
+        assert!(batch.check_ok(), "deadline degradation is not failure");
+    }
+
+    #[test]
+    fn watchdog_cancels_expired_flags() {
+        let watchdog = Watchdog::spawn(Duration::from_millis(0));
+        let flag = watchdog.register();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !flag.is_cancelled() {
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn generous_deadline_leaves_the_batch_untouched() {
+        // End-to-end through the watchdog thread: a deadline no design
+        // comes near must not perturb results (and the watchdog must shut
+        // down cleanly when run_batch returns).
+        let jobs = corpus_jobs(5, 6);
+        let with_deadline = run_batch(
+            &jobs,
+            &BatchOptions {
+                deadline_ms: Some(60_000),
+                jobs: 4,
+                ..BatchOptions::default()
+            },
+        );
+        let without = run_batch(&jobs, &BatchOptions::default());
+        assert_eq!(with_deadline.to_json(), without.to_json());
+        assert!(with_deadline.degraded.is_empty());
+    }
+
+    #[test]
+    fn panic_outcomes_surface_as_batch_errors() {
+        let outcome = JobOutcome::panicked("stack blew up".to_string());
+        let err = outcome.error.unwrap();
+        assert_eq!(err.phase.as_deref(), Some("panic"));
+        assert_eq!(err.error, "panicked: stack blew up");
+        assert!(!err.expected);
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod report;
 
 pub use driver::{run_batch, BatchOptions, Format, Job, JobTruth};
 pub use report::{
-    analysis_report, design_report, BatchError, BatchReport, DesignReport, ReportViolation,
+    analysis_report, design_report, BatchError, BatchReport, DegradedEntry, DesignReport,
+    ReportViolation,
 };
 // The content-hash function moved into the analysis engine (the cache now
 // lives in the library); re-exported here so existing `vhdl1_cli::fnv1a64`

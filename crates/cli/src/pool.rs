@@ -8,8 +8,15 @@
 //! own front, and steals from a victim's back when empty.  The work set is
 //! static (no task spawns tasks), so "every queue empty" is a correct
 //! termination condition.
+//!
+//! Every invocation of the work closure runs under
+//! [`std::panic::catch_unwind`]: one hostile design panicking the analyzer
+//! must not take down the rest of the batch (or the worker thread holding
+//! its queue).  A panicking item surfaces as `Err(message)` in its result
+//! slot while every other item completes normally.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
 
@@ -17,10 +24,10 @@ use std::sync::Mutex;
 /// item order.  `jobs <= 1` runs inline on the calling thread (the honest
 /// sequential baseline — no pool overhead to flatter the comparison).
 ///
-/// # Panics
-///
-/// Propagates panics from `work` (the scope join panics).
-pub fn run<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<R>
+/// Each `work` call is isolated with `catch_unwind`: a panic yields
+/// `Err(panic message)` for that item only.  The inline path isolates
+/// identically, so sequential and parallel runs agree on panicking inputs.
+pub fn run<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<Result<R, String>>
 where
     T: Sync,
     R: Send,
@@ -28,13 +35,17 @@ where
 {
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| guarded(&work, i, t))
+            .collect();
     }
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
         .map(|w| Mutex::new((w..items.len()).step_by(jobs).collect()))
         .collect();
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<Result<R, String>>> = (0..items.len()).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
     std::thread::scope(|scope| {
         for w in 0..jobs {
             let tx = tx.clone();
@@ -42,9 +53,9 @@ where
             let work = &work;
             scope.spawn(move || {
                 while let Some(i) = pop_or_steal(queues, w) {
-                    let r = work(i, &items[i]);
+                    let r = guarded(work, i, &items[i]);
                     if tx.send((i, r)).is_err() {
-                        return; // receiver gone: another worker panicked
+                        return; // receiver gone: the scope is unwinding
                     }
                 }
             });
@@ -56,19 +67,46 @@ where
     });
     slots
         .into_iter()
-        .map(|r| r.expect("static work set: every index was queued exactly once"))
+        .map(|r| r.unwrap_or_else(|| Err("worker lost before reporting a result".to_string())))
         .collect()
 }
 
+/// One isolated `work` invocation.  `AssertUnwindSafe` is sound here: on
+/// `Err` the only thing observed afterwards is the panic payload — the
+/// closure's captures are shared immutable state (`&items`, the engine)
+/// whose broken invariants, if any, surface as further per-item errors, not
+/// undefined behavior.
+fn guarded<T, R>(work: &impl Fn(usize, &T) -> R, i: usize, item: &T) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(|| work(i, item))).map_err(|payload| panic_message(&*payload))
+}
+
+/// Best-effort extraction of the human-readable panic message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
+
 fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
-    if let Some(i) = queues[w].lock().expect("pool queue poisoned").pop_front() {
+    // A queue mutex is only held across `pop_front`/`pop_back` (which do
+    // not panic), but recover from poisoning anyway: an index deque has no
+    // invariants a half-completed pop could break.
+    if let Some(i) = queues[w]
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .pop_front()
+    {
         return Some(i);
     }
     for off in 1..queues.len() {
         let victim = (w + off) % queues.len();
         if let Some(i) = queues[victim]
             .lock()
-            .expect("pool queue poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .pop_back()
         {
             return Some(i);
@@ -87,6 +125,7 @@ mod tests {
         let items: Vec<usize> = (0..100).collect();
         for jobs in [1, 2, 4, 16] {
             let out = run(&items, jobs, |_, &x| x * 2);
+            let out: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
             assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
         }
     }
@@ -100,7 +139,8 @@ mod tests {
             (i as u32, x)
         });
         assert_eq!(counter.load(Ordering::Relaxed), items.len());
-        for (i, (idx, x)) in out.iter().enumerate() {
+        for (i, r) in out.iter().enumerate() {
+            let (idx, x) = r.as_ref().unwrap();
             assert_eq!(*idx as usize, i);
             assert_eq!(*x, i as u32);
         }
@@ -124,12 +164,45 @@ mod tests {
             acc
         });
         assert_eq!(out.len(), 64);
+        assert!(out.iter().all(Result::is_ok));
     }
 
     #[test]
     fn empty_and_single_item_batches() {
         let none: Vec<u8> = vec![];
         assert!(run(&none, 8, |_, &x| x).is_empty());
-        assert_eq!(run(&[41u8], 8, |_, &x| x + 1), vec![42]);
+        let one = run(&[41u8], 8, |_, &x| x + 1);
+        assert_eq!(
+            one.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>(),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn a_panicking_item_is_isolated() {
+        let items: Vec<u32> = (0..32).collect();
+        for jobs in [1, 4] {
+            let out = run(&items, jobs, |_, &x| {
+                assert!(x != 13, "boom at 13");
+                x * 3
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("boom at 13"), "panic message lost: {msg}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 3, "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_string_panic_payloads_render_a_placeholder() {
+        let out = run(&[0u8], 1, |_, _| -> u8 {
+            std::panic::panic_any(42usize);
+        });
+        assert_eq!(out[0].as_ref().unwrap_err(), "panic of unknown type");
     }
 }

@@ -5,7 +5,7 @@
 
 use crate::json;
 use std::fmt::Write as _;
-use vhdl1_infoflow::{audit, Analysis, AnalysisResult, FlowGraph, Policy};
+use vhdl1_infoflow::{audit, Analysis, AnalysisResult, EngineError, FlowGraph, Policy};
 use vhdl1_syntax::Design;
 
 /// One policy violation, flattened to resource names and levels.
@@ -76,8 +76,22 @@ pub fn design_report(design: &Design, result: &AnalysisResult, policy: &Policy) 
 /// the batch driver's path.  Demands exactly the merged flow graph (and its
 /// upstream stages); the graph is memoized in the handle, so rendering DOT
 /// afterwards reuses it.
-pub fn analysis_report(analysis: &Analysis<'_>, policy: &Policy) -> DesignReport {
-    report_from_graph(analysis.design(), analysis.merged_flow_graph(), policy)
+///
+/// # Errors
+///
+/// Propagates the engine error of any stage the merged graph depends on —
+/// in practice [`EngineError::ResourceExhausted`] when the analysis budget
+/// cuts a stage short (pure frontend failures are already surfaced by
+/// `Engine::analyze_source` before a handle exists).
+pub fn analysis_report(
+    analysis: &Analysis<'_>,
+    policy: &Policy,
+) -> Result<DesignReport, EngineError> {
+    Ok(report_from_graph(
+        analysis.design(),
+        analysis.merged_flow_graph()?,
+        policy,
+    ))
 }
 
 fn report_from_graph(design: &Design, graph: &FlowGraph, policy: &Policy) -> DesignReport {
@@ -259,13 +273,39 @@ pub struct BatchError {
     pub name: String,
     /// The failure message (includes `line:col` when known).
     pub error: String,
-    /// Failing pipeline phase (`lex` / `parse` / `elaborate`), when the
-    /// failure came from the analysis engine.
+    /// Failing pipeline phase (`lex` / `parse` / `elaborate`, or `panic`
+    /// for a failure the worker pool isolated), when known.
     pub phase: Option<String>,
     /// 1-based source line of the failure, when known.
     pub line: Option<u32>,
     /// 1-based source column of the failure, when known.
     pub col: Option<u32>,
+    /// Whether the corpus ground truth *expected* this design to be
+    /// rejected (hostile truncated/garbage sources).  Expected errors are
+    /// correct behavior and do not fail [`BatchReport::check_ok`].
+    pub expected: bool,
+}
+
+/// A design whose analysis a resource budget cut short.
+///
+/// Degradation is not failure: the analyzer answered "this design exceeds
+/// the configured budget" instead of an audit verdict, which is exactly the
+/// contract of bounded analysis.  Degraded entries therefore live in their
+/// own report section and keep [`BatchReport::check_ok`] green; `vhdl1c
+/// analyze --check` signals them with exit code 3 instead of 2.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedEntry {
+    /// Name of the design that blew its budget.
+    pub name: String,
+    /// Budget stage that ran out (`frontend`, `rd`, `closure`, `improved`,
+    /// `smoke`, or `deadline`).
+    pub stage: String,
+    /// The configured limit of that stage.
+    pub limit: u64,
+    /// Units consumed when the limit tripped.
+    pub consumed: u64,
+    /// Full rendered engine error.
+    pub message: String,
 }
 
 /// The aggregate result of a batch run.
@@ -275,6 +315,8 @@ pub struct BatchReport {
     pub designs: Vec<DesignReport>,
     /// Designs that failed before analysis.
     pub errors: Vec<BatchError>,
+    /// Designs whose analysis exceeded a resource budget, in input order.
+    pub degraded: Vec<DegradedEntry>,
     /// Cache hits observed during the run.
     pub cache_hits: usize,
     /// Wall-clock time of the whole batch, when timing was requested.
@@ -308,11 +350,21 @@ impl BatchReport {
             .count()
     }
 
-    /// Whether the batch is clean: no errors, no ground-truth mismatches and
-    /// no smoke failures (violations by themselves are *findings*, not
-    /// failures).  This is what `vhdl1c analyze --check` gates on.
+    /// Errors the corpus ground truth did *not* predict — the count that
+    /// fails a `--check` run.
+    pub fn unexpected_errors(&self) -> usize {
+        self.errors.iter().filter(|e| !e.expected).count()
+    }
+
+    /// Whether the batch is clean: no unexpected errors, no ground-truth
+    /// mismatches and no smoke failures (violations by themselves are
+    /// *findings*, not failures; expected rejections and budget-degraded
+    /// designs are correct bounded-analysis behavior).  This is what
+    /// `vhdl1c analyze --check` gates on.
     pub fn check_ok(&self) -> bool {
-        self.errors.is_empty() && self.ground_truth_mismatches() == 0 && self.smoke_failures() == 0
+        self.unexpected_errors() == 0
+            && self.ground_truth_mismatches() == 0
+            && self.smoke_failures() == 0
     }
 
     /// Renders the machine-readable JSON report.
@@ -320,7 +372,7 @@ impl BatchReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"tool\": \"vhdl1c\",");
-        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"schema\": 2,");
         out.push_str("  \"designs\": [\n");
         for (i, d) in self.designs.iter().enumerate() {
             d.to_json(&mut out, "    ");
@@ -336,19 +388,43 @@ impl BatchReport {
             .iter()
             .map(|e| {
                 format!(
-                    "{{\"name\": {}, \"phase\": {}, \"line\": {}, \"col\": {}, \"error\": {}}}",
+                    "{{\"name\": {}, \"phase\": {}, \"line\": {}, \"col\": {}, \
+                     \"expected\": {}, \"error\": {}}}",
                     json::string(&e.name),
                     json::opt_string(e.phase.as_deref()),
                     json::opt(e.line),
                     json::opt(e.col),
+                    e.expected,
                     json::string(&e.error)
                 )
             })
             .collect();
         let _ = writeln!(out, "  \"errors\": [{}],", errors.join(", "));
+        let degraded: Vec<String> = self
+            .degraded
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"name\": {}, \"stage\": {}, \"limit\": {}, \"consumed\": {}, \
+                     \"message\": {}}}",
+                    json::string(&d.name),
+                    json::string(&d.stage),
+                    d.limit,
+                    d.consumed,
+                    json::string(&d.message)
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"degraded\": [{}],", degraded.join(", "));
         out.push_str("  \"summary\": {\n");
         let _ = writeln!(out, "    \"designs\": {},", self.designs.len());
         let _ = writeln!(out, "    \"errors\": {},", self.errors.len());
+        let _ = writeln!(
+            out,
+            "    \"unexpected_errors\": {},",
+            self.unexpected_errors()
+        );
+        let _ = writeln!(out, "    \"degraded\": {},", self.degraded.len());
         let _ = writeln!(
             out,
             "    \"insecure_designs\": {},",
@@ -381,16 +457,27 @@ impl BatchReport {
             d.to_text(&mut out);
         }
         for e in &self.errors {
-            let _ = writeln!(out, "error {}: {}", e.name, e.error);
+            let tag = if e.expected { " (expected)" } else { "" };
+            let _ = writeln!(out, "error {}{tag}: {}", e.name, e.error);
+        }
+        for d in &self.degraded {
+            let _ = writeln!(
+                out,
+                "degraded {}: {} budget exhausted (consumed {}, limit {})",
+                d.name, d.stage, d.consumed, d.limit
+            );
         }
         let _ = writeln!(
             out,
-            "summary: {} design(s), {} insecure, {} violation(s), {} error(s), \
-             {} ground-truth mismatch(es), {} smoke failure(s), {} cache hit(s)",
+            "summary: {} design(s), {} insecure, {} violation(s), {} error(s) \
+             ({} unexpected), {} degraded, {} ground-truth mismatch(es), \
+             {} smoke failure(s), {} cache hit(s)",
             self.designs.len(),
             self.insecure_designs(),
             self.total_violations(),
             self.errors.len(),
+            self.unexpected_errors(),
+            self.degraded.len(),
             self.ground_truth_mismatches(),
             self.smoke_failures(),
             self.cache_hits
@@ -452,11 +539,22 @@ mod tests {
             phase: Some("parse".into()),
             line: Some(1),
             col: Some(1),
+            expected: false,
+        });
+        report.degraded.push(DegradedEntry {
+            name: "too_big".into(),
+            stage: "closure".into(),
+            limit: 100,
+            consumed: 101,
+            message: "closure budget exhausted: consumed 101, limit 100".into(),
         });
         let json = report.to_json();
         assert!(json.contains("\"tool\": \"vhdl1c\""));
+        assert!(json.contains("\"schema\": 2,"));
         assert!(json.contains("\"designs\": ["));
         assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"expected\": false"));
+        assert!(json.contains("\"stage\": \"closure\""));
         assert!(json.contains("\"summary\""));
         // Balanced braces/brackets (cheap structural sanity check).
         assert_eq!(
@@ -489,5 +587,38 @@ mod tests {
         d.ground_truth_ok = Some(false);
         report.designs.push(d);
         assert!(!report.check_ok());
+    }
+
+    #[test]
+    fn expected_errors_and_degradation_keep_check_green() {
+        let mut report = BatchReport::default();
+        report.errors.push(BatchError {
+            name: "garbage".into(),
+            error: "parse error at 1:1: unexpected input".into(),
+            expected: true,
+            ..BatchError::default()
+        });
+        report.degraded.push(DegradedEntry {
+            name: "huge".into(),
+            stage: "rd".into(),
+            limit: 10,
+            consumed: 11,
+            message: "rd budget exhausted: consumed 11, limit 10".into(),
+        });
+        assert!(
+            report.check_ok(),
+            "expected rejections and budget degradation are correct outcomes"
+        );
+        let text = report.to_text();
+        assert!(text.contains("error garbage (expected):"));
+        assert!(text.contains("degraded huge: rd budget exhausted (consumed 11, limit 10)"));
+
+        report.errors.push(BatchError {
+            name: "surprise".into(),
+            error: "parse error at 2:2: unexpected input".into(),
+            ..BatchError::default()
+        });
+        assert!(!report.check_ok(), "unexpected errors must still fail");
+        assert_eq!(report.unexpected_errors(), 1);
     }
 }

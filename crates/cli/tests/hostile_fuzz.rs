@@ -1,0 +1,132 @@
+//! Seeded fuzz-style differential test over the adversarial corpus.
+//!
+//! Every hostile design — deep expression nests, pathological sensitivity
+//! fan-in, fixpoint-stressing signal chains, oversized literals, truncated
+//! and garbage byte streams — must come out of the pipeline as either a
+//! successful analysis or a *structured* error/degradation.  A panic
+//! anywhere is a bug, which the test enforces with `catch_unwind` around
+//! both entry points:
+//!
+//! * the library path (`Engine::analyze_source` + forcing every stage), and
+//! * the batch path (`run_batch`), under a tight and a loose budget.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use vhdl1_cli::driver::{run_batch, BatchOptions, Job};
+use vhdl1_corpus::{generate, CorpusSpec, Family};
+use vhdl1_infoflow::{Budget, Engine, EngineConfig, Policy};
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+const DESIGNS_PER_SEED: usize = 10;
+
+fn budgets() -> Vec<(&'static str, Budget)> {
+    vec![("tight", Budget::tight()), ("standard", Budget::standard())]
+}
+
+/// Forces every stage of a lazy analysis; each must return `Ok` or a
+/// structured `EngineError` — never panic (the caller wraps us in
+/// `catch_unwind` to prove it).
+fn force_all_stages(engine: &Engine, source: &str) -> Result<(), String> {
+    let analysis = match engine.analyze_source(source) {
+        Ok(analysis) => analysis,
+        Err(e) => {
+            // Structured failure: must render and carry a phase or stage.
+            let rendered = e.to_string();
+            if rendered.is_empty() {
+                return Err("empty error rendering".to_string());
+            }
+            if e.phase().is_none() && e.stage().is_none() {
+                return Err(format!("error without phase or stage: {rendered}"));
+            }
+            return Ok(());
+        }
+    };
+    let _ = analysis.rd();
+    let _ = analysis.specialized();
+    let _ = analysis.global();
+    let _ = analysis.improved();
+    let _ = analysis.flow_graph();
+    let _ = analysis.merged_flow_graph();
+    let _ = analysis.kemmerer_graph();
+    let _ = analysis.audit(&Policy::new());
+    let _ = analysis.smoke(1_000);
+    Ok(())
+}
+
+#[test]
+fn hostile_designs_never_panic_the_engine() {
+    for seed in SEEDS {
+        let spec = CorpusSpec::new(seed, DESIGNS_PER_SEED).with_families(vec![Family::Hostile]);
+        for (budget_name, budget) in budgets() {
+            let engine = Engine::new(EngineConfig {
+                options: vhdl1_infoflow::AnalysisOptions {
+                    budget,
+                    ..Default::default()
+                },
+                ..EngineConfig::default()
+            });
+            for design in generate(&spec) {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    force_all_stages(&engine, &design.source)
+                }));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(diag)) => panic!(
+                        "{} (seed {seed}, budget {budget_name}): unstructured failure: {diag}",
+                        design.name
+                    ),
+                    Err(_) => panic!(
+                        "{} (seed {seed}, budget {budget_name}): the engine panicked",
+                        design.name
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_batches_never_panic_and_account_for_every_job() {
+    for seed in SEEDS {
+        let spec = CorpusSpec::new(seed, DESIGNS_PER_SEED).with_families(vec![Family::Hostile]);
+        let jobs: Vec<Job> = generate(&spec)
+            .into_iter()
+            .map(Job::from_generated)
+            .collect();
+        for (budget_name, budget) in budgets() {
+            for workers in [1, 4] {
+                let mut opts = BatchOptions {
+                    jobs: workers,
+                    ..BatchOptions::default()
+                };
+                opts.analysis.budget = budget;
+                let batch = catch_unwind(AssertUnwindSafe(|| run_batch(&jobs, &opts)))
+                    .unwrap_or_else(|_| {
+                        panic!("run_batch panicked (seed {seed}, budget {budget_name})")
+                    });
+                // Every job lands in exactly one bucket (no smoke, so a
+                // report never carries a degradation alongside).
+                assert_eq!(
+                    batch.designs.len() + batch.errors.len() + batch.degraded.len(),
+                    jobs.len(),
+                    "jobs lost or double-counted (seed {seed}, budget {budget_name})"
+                );
+                // No panic slipped through the pool's isolation either.
+                for e in &batch.errors {
+                    assert_ne!(
+                        e.phase.as_deref(),
+                        Some("panic"),
+                        "{}: worker panicked: {}",
+                        e.name,
+                        e.error
+                    );
+                }
+                // Degradations name a stage; the report renders cleanly.
+                for d in &batch.degraded {
+                    assert!(!d.stage.is_empty(), "{}: degraded without stage", d.name);
+                }
+                let json = batch.to_json();
+                assert_eq!(json.matches('{').count(), json.matches('}').count());
+            }
+        }
+    }
+}

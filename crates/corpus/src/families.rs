@@ -190,6 +190,7 @@ pub(crate) fn pipeline(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesig
         } else {
             vec![]
         },
+        expect_error: false,
     }
 }
 
@@ -267,6 +268,7 @@ pub(crate) fn fsm(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
         } else {
             vec![]
         },
+        expect_error: false,
     }
 }
 
@@ -347,6 +349,7 @@ pub(crate) fn sbox_core(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesi
         } else {
             vec![]
         },
+        expect_error: false,
     }
 }
 
@@ -446,5 +449,232 @@ pub(crate) fn cross_flow(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDes
         } else {
             vec![]
         },
+        expect_error: false,
+    }
+}
+
+// --- the hostile family -----------------------------------------------------
+
+/// Shared entity interface of the analyzable hostile variants: a secret
+/// `key`, a public `inp`, and one observable sink `out_o`.
+fn hostile_ports() -> Vec<Port> {
+    vec![
+        in_port("key", vec8()),
+        in_port("inp", vec8()),
+        out_port("out_o", vec8()),
+    ]
+}
+
+/// Ground truth shared by the analyzable hostile variants: `key` reaches
+/// `out_o` by construction, recorded as an expected violation for leaky
+/// variants and as a declassified (allowed) flow for clean ones.
+fn hostile_truth(name: &str, source: String, leaky: bool) -> GeneratedDesign {
+    GeneratedDesign {
+        name: name.into(),
+        family: Family::Hostile,
+        leaky,
+        source,
+        secret_inputs: vec!["key".into()],
+        public_outputs: vec!["out_o".into()],
+        allowed_flows: if leaky {
+            vec![]
+        } else {
+            owned_pairs(&[("key", "out_o")])
+        },
+        expected_violations: if leaky {
+            owned_pairs(&[("key", "out_o")])
+        } else {
+            vec![]
+        },
+        expect_error: false,
+    }
+}
+
+/// Adversarial stress designs.  Five shapes, drawn at random per design:
+///
+/// 0. deeply nested parenthesised expressions (parser recursion stress —
+///    between the tight budget's depth limit and the hard default);
+/// 1. pathological sensitivity/driver fan-in (dozens of producer processes
+///    feeding one wide-sensitivity collector);
+/// 2. a fixpoint-stressing signal chain long enough to exceed the tight
+///    budget's simulation delta limit;
+/// 3. oversized vector literals pushing the source past the tight budget's
+///    size cap;
+/// 4. truncated/garbage bytes the front end must reject with a structured
+///    error (`expect_error`, never leaky).
+///
+/// Every variant must be survivable: under any budget the pipeline returns
+/// `Ok` or a structured error, never a panic or a hang.
+pub(crate) fn hostile(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
+    match rng.below(5) {
+        0 => hostile_deep_nest(name, rng, leaky),
+        1 => hostile_fan_in(name, rng, leaky),
+        2 => hostile_fixpoint_chain(name, rng, leaky),
+        3 => hostile_oversized(name, rng, leaky),
+        _ => hostile_garbage(name, rng),
+    }
+}
+
+/// Variant 0: a right-nested xor tower.  The printer parenthesises the
+/// nested right operand at every level, so the emitted source carries
+/// `72..=96` nested parentheses — above the tight budget's parse depth (64),
+/// below the parser's hard default (256).
+fn hostile_deep_nest(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
+    let depth = rng.range(72, 96);
+    let mut expr = Expr::binary(BinOp::Xor, Expr::name("key"), Expr::name("inp"));
+    for _ in 0..depth {
+        expr = Expr::binary(BinOp::Xor, Expr::name("inp"), expr);
+    }
+    let stmts = vec![sig_assign("out_o", expr), wait_on(&["key", "inp"])];
+    let source = vhdl1_syntax::pretty_program(&program(
+        name,
+        hostile_ports(),
+        vec![],
+        vec![process("deep", vec![], stmts)],
+    ));
+    hostile_truth(name, source, leaky)
+}
+
+/// Variant 1: sensitivity/driver fan-in.  Dozens of producer processes each
+/// drive one internal signal from the inputs; a collector process folds all
+/// of them into `out_o` behind a sensitivity list as wide as the design.
+fn hostile_fan_in(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
+    let n = rng.range(24, 40) as usize;
+    let sigs: Vec<String> = (0..n).map(|i| format!("s_{i}")).collect();
+    let decls = sigs
+        .iter()
+        .map(|s| Decl::Signal {
+            name: s.clone(),
+            ty: vec8(),
+            init: None,
+            span: Span::NONE,
+        })
+        .collect();
+    let mut body = Vec::with_capacity(n + 1);
+    for (i, s) in sigs.iter().enumerate() {
+        body.push(process(
+            &format!("prod_{i}"),
+            vec![],
+            vec![
+                sig_assign(
+                    s,
+                    Expr::binary(BinOp::Xor, Expr::name("key"), Expr::name("inp")),
+                ),
+                wait_on(&["key", "inp"]),
+            ],
+        ));
+    }
+    let mut fold = Expr::name(&sigs[0]);
+    for s in &sigs[1..] {
+        fold = Expr::binary(BinOp::Xor, fold, Expr::name(s));
+    }
+    let wait_list: Vec<&str> = sigs.iter().map(String::as_str).collect();
+    body.push(process(
+        "collect",
+        vec![],
+        vec![sig_assign("out_o", fold), wait_on(&wait_list)],
+    ));
+    let source = vhdl1_syntax::pretty_program(&program(name, hostile_ports(), decls, body));
+    hostile_truth(name, source, leaky)
+}
+
+/// Variant 2: a fixpoint-stressing chain of concurrent assignments
+/// `s_1 <= s_0; s_2 <= s_1; ...`, seeded by a literal so the startup event
+/// ripples through every link.  A ~200-link chain costs O(n²) closure
+/// worklist pops (~40k) and one simulation delta per link, blowing past
+/// the tight budget's 10k-pop and 1k-delta caps while staying tractable
+/// in seconds under an unlimited budget even in debug builds.
+fn hostile_fixpoint_chain(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
+    let n = rng.range(180, 240) as usize;
+    let decls = (0..n)
+        .map(|i| Decl::Signal {
+            name: format!("s_{i}"),
+            ty: vec8(),
+            init: None,
+            span: Span::NONE,
+        })
+        .collect();
+    let mut body = vec![casg("s_0", bits8(rng))];
+    for i in 1..n {
+        body.push(casg(&format!("s_{i}"), Expr::name(format!("s_{}", i - 1))));
+    }
+    body.push(casg(
+        "out_o",
+        Expr::binary(
+            BinOp::Xor,
+            Expr::name(format!("s_{}", n - 1)),
+            Expr::name("key"),
+        ),
+    ));
+    let source = vhdl1_syntax::pretty_program(&program(name, hostile_ports(), decls, body));
+    hostile_truth(name, source, leaky)
+}
+
+fn casg(name: &str, expr: Expr) -> Concurrent {
+    Concurrent::Assign {
+        target: Target::whole(name),
+        expr,
+    }
+}
+
+/// Variant 3: oversized vector literals.  A kilobit-wide scratch variable is
+/// rewritten with fresh kilobit literals until the source crosses the tight
+/// budget's byte cap; the actual flow logic stays one line.
+fn hostile_oversized(name: &str, rng: &mut Rng, leaky: bool) -> GeneratedDesign {
+    let width = 1024i64;
+    let rewrites = rng.range(18, 24);
+    let mut stmts = Vec::new();
+    for _ in 0..rewrites {
+        let literal: String = (0..width).map(|_| *rng.pick(&['0', '1'])).collect();
+        stmts.push(var_assign("pad", Expr::Vector(literal)));
+    }
+    stmts.push(sig_assign(
+        "out_o",
+        Expr::binary(BinOp::Xor, Expr::name("key"), Expr::name("inp")),
+    ));
+    stmts.push(wait_on(&["key", "inp"]));
+    let pad = Decl::Variable {
+        name: "pad".into(),
+        ty: Type::vector_downto(width - 1, 0),
+        init: None,
+        span: Span::NONE,
+    };
+    let source = vhdl1_syntax::pretty_program(&program(
+        name,
+        hostile_ports(),
+        vec![],
+        vec![process("fat", vec![pad], stmts)],
+    ));
+    hostile_truth(name, source, leaky)
+}
+
+/// Variant 4: truncated or garbage byte streams.  The front end must reject
+/// these with a structured error, so they carry `expect_error` and no flow
+/// ground truth.  The bytes deliberately avoid `-` so a chunk can never be
+/// mistaken for a `--!` manifest metadata line.
+fn hostile_garbage(name: &str, rng: &mut Rng) -> GeneratedDesign {
+    let source = if rng.chance(1, 2) {
+        // Truncated mid-declaration.
+        format!("entity {name}_e is\n  port(\n    key : in std_logic_vector(7 downto\n")
+    } else {
+        let alphabet = [
+            'q', 'z', '%', '$', '{', '@', '(', '7', '~', '\\', 'e', 'n', 't', 'i', 'y', ' ',
+        ];
+        let mut s: String = (0..rng.range(64, 256))
+            .map(|_| *rng.pick(&alphabet))
+            .collect();
+        s.push('\n');
+        s
+    };
+    GeneratedDesign {
+        name: name.into(),
+        family: Family::Hostile,
+        leaky: false,
+        source,
+        secret_inputs: vec![],
+        public_outputs: vec![],
+        allowed_flows: vec![],
+        expected_violations: vec![],
+        expect_error: true,
     }
 }

@@ -53,10 +53,18 @@ pub enum Family {
     SboxCore,
     /// Multi-process producer/mixer/sink design with signal cross-flow.
     CrossFlow,
+    /// Adversarial stress designs: deeply nested expressions, pathological
+    /// sensitivity fan-in, fixpoint-stressing signal chains, oversized
+    /// literals, and truncated/garbage byte streams.  Opt-in only — not part
+    /// of [`Family::ALL`] — and built to exhaust resource budgets or trip
+    /// the front end, never to crash the pipeline.
+    Hostile,
 }
 
 impl Family {
-    /// All families, in the fixed order the generator cycles through.
+    /// All *well-behaved* families, in the fixed order the generator cycles
+    /// through.  [`Family::Hostile`] is deliberately excluded: adversarial
+    /// designs are generated only when asked for by name.
     pub const ALL: [Family; 4] = [
         Family::Pipeline,
         Family::Fsm,
@@ -71,12 +79,16 @@ impl Family {
             Family::Fsm => "fsm",
             Family::SboxCore => "sbox_core",
             Family::CrossFlow => "cross_flow",
+            Family::Hostile => "hostile",
         }
     }
 
     /// Parses a family from its [`Family::as_str`] name.
     #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Family> {
+        if s == Family::Hostile.as_str() {
+            return Some(Family::Hostile);
+        }
         Family::ALL.into_iter().find(|f| f.as_str() == s)
     }
 }
@@ -141,6 +153,11 @@ pub struct GeneratedDesign {
     /// Ground truth: flow edges a policy audit must report.  Empty exactly
     /// for clean variants.
     pub expected_violations: Vec<(String, String)>,
+    /// Whether the *front end* is expected to reject this design (truncated
+    /// or garbage sources from the hostile family).  A structured error is
+    /// the correct outcome for these; a successful analysis is a wrong
+    /// answer, and a panic is always a bug.
+    pub expect_error: bool,
 }
 
 /// Generates the corpus described by `spec`.
@@ -188,6 +205,7 @@ pub fn generate_one(family: Family, name: &str, rng: &mut Rng, leaky: bool) -> G
         Family::Fsm => families::fsm(name, rng, leaky),
         Family::SboxCore => families::sbox_core(name, rng, leaky),
         Family::CrossFlow => families::cross_flow(name, rng, leaky),
+        Family::Hostile => families::hostile(name, rng, leaky),
     }
 }
 
@@ -242,6 +260,56 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn hostile_is_opt_in_only() {
+        assert!(
+            !Family::ALL.contains(&Family::Hostile),
+            "hostile designs must never appear in a default corpus"
+        );
+        assert_eq!(Family::from_str("hostile"), Some(Family::Hostile));
+        let spec = CorpusSpec::new(11, 10).with_families(vec![Family::Hostile]);
+        assert_eq!(
+            generate(&spec),
+            generate(&spec),
+            "hostile must be deterministic"
+        );
+    }
+
+    #[test]
+    fn hostile_designs_parse_or_expect_error() {
+        let mut saw_expect_error = false;
+        for seed in [3, 11, 42] {
+            let spec = CorpusSpec::new(seed, 10).with_families(vec![Family::Hostile]);
+            for d in generate(&spec) {
+                assert_eq!(d.family, Family::Hostile);
+                assert_eq!(d.leaky, !d.expected_violations.is_empty());
+                match vhdl1_syntax::frontend(&d.source) {
+                    Ok(design) => {
+                        assert!(
+                            !d.expect_error,
+                            "{}: expected a front-end rejection but it elaborated",
+                            d.name
+                        );
+                        assert_eq!(design.name, d.name);
+                    }
+                    Err(e) => {
+                        assert!(
+                            d.expect_error,
+                            "{}: unexpected front-end error: {e}",
+                            d.name
+                        );
+                        assert!(!d.leaky, "garbage designs carry no flow ground truth");
+                        saw_expect_error = true;
+                    }
+                }
+            }
+        }
+        assert!(
+            saw_expect_error,
+            "no truncated/garbage hostile design generated"
+        );
     }
 
     #[test]

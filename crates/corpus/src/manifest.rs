@@ -29,10 +29,15 @@ pub fn write_manifest(designs: &[GeneratedDesign]) -> String {
     for d in designs {
         let _ = writeln!(
             out,
-            "--! design name={} family={} leaky={}",
+            "--! design name={} family={} leaky={}{}",
             d.name,
             d.family.as_str(),
-            u8::from(d.leaky)
+            u8::from(d.leaky),
+            if d.expect_error {
+                " expect_error=1"
+            } else {
+                ""
+            }
         );
         if !d.secret_inputs.is_empty() {
             let _ = writeln!(out, "--! secret {}", d.secret_inputs.join(" "));
@@ -110,6 +115,7 @@ fn parse_design_line(rest: &str, lineno: usize) -> Result<GeneratedDesign, Strin
     let mut name = None;
     let mut family = None;
     let mut leaky = false;
+    let mut expect_error = false;
     for field in rest.split_whitespace() {
         let (key, value) = field
             .split_once('=')
@@ -123,6 +129,7 @@ fn parse_design_line(rest: &str, lineno: usize) -> Result<GeneratedDesign, Strin
                 )
             }
             "leaky" => leaky = value == "1",
+            "expect_error" => expect_error = value == "1",
             other => return Err(format!("line {lineno}: unknown design field `{other}`")),
         }
     }
@@ -135,6 +142,7 @@ fn parse_design_line(rest: &str, lineno: usize) -> Result<GeneratedDesign, Strin
         public_outputs: vec![],
         allowed_flows: vec![],
         expected_violations: vec![],
+        expect_error,
     })
 }
 
@@ -159,6 +167,20 @@ mod tests {
         let text = write_manifest(&corpus);
         let program = vhdl1_syntax::parse(&text).unwrap();
         assert_eq!(program.units.len(), 2 * corpus.len());
+    }
+
+    #[test]
+    fn hostile_manifest_roundtrips() {
+        use crate::Family;
+        let spec = CorpusSpec::new(42, 10).with_families(vec![Family::Hostile]);
+        let corpus = generate(&spec);
+        let text = write_manifest(&corpus);
+        let back = parse_manifest(&text).unwrap();
+        assert_eq!(corpus, back);
+        assert!(
+            back.iter().any(|d| d.expect_error),
+            "expect_error must survive the roundtrip"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   every pending assignment of the process.
 
 use crate::cfg::DesignCfg;
-use crate::framework::{Combine, DenseEquations, Solution};
+use crate::framework::{Combine, DenseEquations, Solution, SolveExhausted};
 use crate::RdOptions;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -47,14 +47,33 @@ impl ActiveRd {
 /// Runs the active-signal Reaching Definitions analysis (both approximations)
 /// on every process of `design`.
 pub fn active_signals_rd(design: &Design, cfg: &DesignCfg, options: &RdOptions) -> ActiveRd {
-    let over = build_equations(design, cfg, options, Combine::Union).solve();
+    match active_signals_rd_bounded(design, cfg, options, u64::MAX) {
+        Ok(rd) => rd,
+        Err(e) => unreachable!("unbounded solve cannot exhaust: {e}"),
+    }
+}
+
+/// [`active_signals_rd`] under a per-solve worklist step budget (each of the
+/// two approximations may take up to `max_steps` steps).
+///
+/// # Errors
+///
+/// Returns [`SolveExhausted`] if either fixpoint fails to converge within
+/// `max_steps` worklist iterations.
+pub fn active_signals_rd_bounded(
+    design: &Design,
+    cfg: &DesignCfg,
+    options: &RdOptions,
+    max_steps: u64,
+) -> Result<ActiveRd, SolveExhausted> {
+    let over = build_equations(design, cfg, options, Combine::Union).solve_bounded(max_steps)?;
     let under = if options.use_under_approximation {
-        build_equations(design, cfg, options, Combine::IntersectDotted).solve()
+        build_equations(design, cfg, options, Combine::IntersectDotted).solve_bounded(max_steps)?
     } else {
         // Ablation: pretend nothing is ever guaranteed to be active.
         Solution::empty_for(cfg.labels())
     };
-    ActiveRd { over, under }
+    Ok(ActiveRd { over, under })
 }
 
 fn build_equations(

@@ -190,6 +190,18 @@ impl<F: Eq + Hash + Ord + Clone> DenseEquations<F> {
     /// the empty assignment.  All transfer functions of the framework are
     /// monotone, so the iteration converges to the least fixed point.
     pub fn solve(self) -> Solution<F> {
+        match self.solve_bounded(u64::MAX) {
+            Ok(sol) => sol,
+            Err(e) => unreachable!("unbounded solve cannot exhaust {e}"),
+        }
+    }
+
+    /// [`DenseEquations::solve`] under a worklist-iteration budget: solving
+    /// stops with [`SolveExhausted`] once `max_steps` labels have been popped
+    /// off the worklist.  The step count is a deterministic function of the
+    /// equation system, so the same system and budget always exhaust (or
+    /// converge) identically.
+    pub fn solve_bounded(self, max_steps: u64) -> Result<Solution<F>, SolveExhausted> {
         let n = self.labels.len();
         let nf = self.interner.len();
         let words = words_for(nf);
@@ -253,6 +265,18 @@ impl<F: Eq + Hash + Ord + Clone> DenseEquations<F> {
 
         let mut worklist: VecDeque<usize> = (0..n).collect();
         let mut queued: Vec<bool> = vec![true; n];
+        let mut steps: u64 = 0;
+        macro_rules! charge_step {
+            () => {
+                steps += 1;
+                if steps > max_steps {
+                    return Err(SolveExhausted {
+                        steps,
+                        limit: max_steps,
+                    });
+                }
+            };
+        }
 
         match self.combine {
             // Producer-driven propagation: popping `r` pushes its exit row
@@ -261,6 +285,7 @@ impl<F: Eq + Hash + Ord + Clone> DenseEquations<F> {
             Combine::Union => {
                 let mut src = vec![0u64; words];
                 while let Some(r) = worklist.pop_front() {
+                    charge_step!();
                     queued[r] = false;
                     src.copy_from_slice(exit.row(r));
                     for &s in &succs[r] {
@@ -295,6 +320,7 @@ impl<F: Eq + Hash + Ord + Clone> DenseEquations<F> {
             Combine::IntersectDotted => {
                 let mut scratch = vec![0u64; words];
                 while let Some(r) = worklist.pop_front() {
+                    charge_step!();
                     queued[r] = false;
                     if self.forced[r].is_some() {
                         continue;
@@ -339,7 +365,7 @@ impl<F: Eq + Hash + Ord + Clone> DenseEquations<F> {
         }
 
         let index: HashMap<Label, usize> = self.index;
-        Solution {
+        Ok(Solution {
             labels: self.labels,
             index,
             facts: self.interner.into_facts(),
@@ -347,9 +373,31 @@ impl<F: Eq + Hash + Ord + Clone> DenseEquations<F> {
             exit,
             entry_sets: (0..n).map(|_| OnceLock::new()).collect(),
             exit_sets: (0..n).map(|_| OnceLock::new()).collect(),
-        }
+        })
     }
 }
+
+/// A bounded solve ([`DenseEquations::solve_bounded`]) gave up: the worklist
+/// iteration hit its step budget before reaching the fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveExhausted {
+    /// Worklist pops performed when the solver gave up (`limit + 1`).
+    pub steps: u64,
+    /// The configured step budget.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for SolveExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dataflow worklist budget exhausted: {} steps, limit {}",
+            self.steps, self.limit
+        )
+    }
+}
+
+impl std::error::Error for SolveExhausted {}
 
 /// The least solution of an equation system: entry and exit set per label.
 ///
@@ -681,6 +729,38 @@ mod tests {
         let mut other = eq.clone();
         other.gen.insert(3, BTreeSet::from(["different"]));
         assert_ne!(solve(&eq), solve(&other));
+    }
+
+    #[test]
+    fn bounded_solve_exhausts_deterministically() {
+        let lower = |eq: &Equations<&'static str>| {
+            let mut dense = DenseEquations::new(eq.combine);
+            for &l in &eq.labels {
+                let row = dense.add_label(l, eq.preds.get(&l).cloned().unwrap_or_default());
+                if let Some(facts) = eq.gen.get(&l) {
+                    for f in facts {
+                        let id = dense.intern_ref(f);
+                        dense.push_gen(row, id);
+                    }
+                }
+            }
+            dense
+        };
+        let eq = straight_line(Combine::Union);
+        // A generous budget converges to the same solution as `solve`.
+        let sol = lower(&eq).solve_bounded(1_000).expect("converges");
+        assert_eq!(sol.entry_of(3), BTreeSet::from(["a", "b"]));
+        // A one-step budget exhausts, and always at the same point.
+        let e1 = lower(&eq).solve_bounded(1).expect_err("exhausts");
+        let e2 = lower(&eq).solve_bounded(1).expect_err("exhausts");
+        assert_eq!(e1, e2);
+        assert_eq!(e1.limit, 1);
+        assert!(e1.steps > e1.limit);
+        assert!(e1.to_string().contains("worklist budget exhausted"));
+        // The must-analysis path charges the same budget.
+        let mut must = eq.clone();
+        must.combine = Combine::IntersectDotted;
+        assert!(lower(&must).solve_bounded(1).is_err());
     }
 
     #[test]

@@ -36,12 +36,12 @@ pub mod present;
 #[cfg(any(test, feature = "setref"))]
 pub mod setref;
 
-pub use active::{active_signals_rd, ActiveRd, SigDef};
+pub use active::{active_signals_rd, active_signals_rd_bounded, ActiveRd, SigDef};
 pub use cfg::{BasicBlock, BlockKind, DesignCfg, ProcessCfg};
 pub use crossflow::{CrossFlow, SyncSummary};
 pub use dense::FactInterner;
-pub use framework::{solve, Combine, DenseEquations, Equations, Solution};
-pub use present::{present_rd, Def, PresentRd, ResDef};
+pub use framework::{solve, Combine, DenseEquations, Equations, Solution, SolveExhausted};
+pub use present::{present_rd, present_rd_bounded, Def, PresentRd, ResDef};
 
 use serde::{Deserialize, Serialize};
 use vhdl1_syntax::Design;
@@ -94,17 +94,36 @@ pub struct ReachingDefinitions {
 impl ReachingDefinitions {
     /// Computes all Reaching Definitions artefacts for `design`.
     pub fn compute(design: &Design, options: &RdOptions) -> ReachingDefinitions {
+        match ReachingDefinitions::compute_bounded(design, options, u64::MAX) {
+            Ok(rd) => rd,
+            Err(e) => unreachable!("unbounded solve cannot exhaust: {e}"),
+        }
+    }
+
+    /// [`ReachingDefinitions::compute`] under a worklist step budget: each of
+    /// the three fixpoint solves (active over, active under, present) may take
+    /// up to `max_steps` worklist iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveExhausted`] if any fixpoint fails to converge within
+    /// the budget.
+    pub fn compute_bounded(
+        design: &Design,
+        options: &RdOptions,
+        max_steps: u64,
+    ) -> Result<ReachingDefinitions, SolveExhausted> {
         let cfg = DesignCfg::build(design);
         let cross = CrossFlow::build(design);
-        let active = active_signals_rd(design, &cfg, options);
-        let present = present_rd(design, &cfg, &cross, &active, options);
-        ReachingDefinitions {
+        let active = active_signals_rd_bounded(design, &cfg, options, max_steps)?;
+        let present = present_rd_bounded(design, &cfg, &cross, &active, options, max_steps)?;
+        Ok(ReachingDefinitions {
             options: *options,
             cfg,
             cross,
             active,
             present,
-        }
+        })
     }
 }
 

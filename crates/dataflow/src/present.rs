@@ -17,7 +17,7 @@
 use crate::active::ActiveRd;
 use crate::cfg::{BlockKind, DesignCfg};
 use crate::crossflow::{CrossFlow, SyncSummary};
-use crate::framework::{Combine, DenseEquations, Solution};
+use crate::framework::{Combine, DenseEquations, Solution, SolveExhausted};
 use crate::RdOptions;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -88,6 +88,26 @@ pub fn present_rd(
     active: &ActiveRd,
     options: &RdOptions,
 ) -> PresentRd {
+    match present_rd_bounded(design, cfg, cross, active, options, u64::MAX) {
+        Ok(rd) => rd,
+        Err(e) => unreachable!("unbounded solve cannot exhaust: {e}"),
+    }
+}
+
+/// [`present_rd`] under a worklist step budget.
+///
+/// # Errors
+///
+/// Returns [`SolveExhausted`] if the fixpoint fails to converge within
+/// `max_steps` worklist iterations.
+pub fn present_rd_bounded(
+    design: &Design,
+    cfg: &DesignCfg,
+    cross: &CrossFlow,
+    active: &ActiveRd,
+    options: &RdOptions,
+    max_steps: u64,
+) -> Result<PresentRd, SolveExhausted> {
     let mut eq: DenseEquations<ResDef> = DenseEquations::new(Combine::Union);
     // Per-process aggregates of the active-signal analysis over `cf`,
     // computed once instead of per wait label.
@@ -178,9 +198,9 @@ pub fn present_rd(
         }
     }
 
-    PresentRd {
-        solution: eq.solve(),
-    }
+    Ok(PresentRd {
+        solution: eq.solve_bounded(max_steps)?,
+    })
 }
 
 #[cfg(test)]

@@ -307,6 +307,21 @@ pub fn solve_closure(result: &AnalysisResult) -> Result<FlowGraph, SolveError> {
     Ok(graph_from_model(&model))
 }
 
+/// [`solve_closure`] under explicit solver resource limits.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`], including
+/// [`SolveError::ResourceExhausted`](alfp_solver::SolveError) when a limit
+/// of `limits` is hit.
+pub fn solve_closure_bounded(
+    result: &AnalysisResult,
+    limits: &alfp_solver::SolveLimits,
+) -> Result<FlowGraph, SolveError> {
+    let model = encode_closure(result).solve_bounded(limits)?;
+    Ok(graph_from_model(&model))
+}
+
 /// Solves the encoded Kemmerer analysis and returns the resulting graph.
 ///
 /// # Errors
@@ -314,6 +329,21 @@ pub fn solve_closure(result: &AnalysisResult) -> Result<FlowGraph, SolveError> {
 /// Propagates [`SolveError`] from the solver.
 pub fn solve_kemmerer(result: &AnalysisResult) -> Result<FlowGraph, SolveError> {
     let model = encode_kemmerer(result).solve()?;
+    Ok(graph_from_model(&model))
+}
+
+/// [`solve_kemmerer`] under explicit solver resource limits.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`], including
+/// [`SolveError::ResourceExhausted`](alfp_solver::SolveError) when a limit
+/// of `limits` is hit.
+pub fn solve_kemmerer_bounded(
+    result: &AnalysisResult,
+    limits: &alfp_solver::SolveLimits,
+) -> Result<FlowGraph, SolveError> {
+    let model = encode_kemmerer(result).solve_bounded(limits)?;
     Ok(graph_from_model(&model))
 }
 

@@ -6,6 +6,7 @@
 //! result.  Callers that query more than once, analyse more than one design,
 //! or do not need every stage should hold an [`crate::Engine`] instead.
 
+use crate::budget::Budget;
 use crate::closure::SpecializedRd;
 use crate::engine::Engine;
 use crate::graph::FlowGraph;
@@ -30,6 +31,10 @@ pub struct AnalysisOptions {
     pub improved: bool,
     /// Options of the improved analysis.
     pub improved_options: ImprovedOptions,
+    /// Resource limits of every stage (unlimited by default).  The budget is
+    /// part of the options and therefore of the engine's memo key, so
+    /// analyses under different budgets never share cached stages.
+    pub budget: Budget,
 }
 
 impl Default for AnalysisOptions {
@@ -39,6 +44,7 @@ impl Default for AnalysisOptions {
             specialize_rd: true,
             improved: true,
             improved_options: ImprovedOptions::default(),
+            budget: Budget::default(),
         }
     }
 }
@@ -58,6 +64,7 @@ impl AnalysisOptions {
             improved_options: ImprovedOptions {
                 finals_are_outgoing: true,
             },
+            budget: Budget::default(),
         }
     }
 
@@ -141,6 +148,12 @@ pub fn analyze(design: &Design) -> AnalysisResult {
 }
 
 /// Runs the full analysis with explicit options.
+///
+/// # Panics
+///
+/// Panics when `options.budget` is exhausted mid-pipeline (see
+/// [`crate::Analysis::into_result`]); budget-aware callers should drive an
+/// [`Engine`] and use [`crate::Analysis::try_into_result`] instead.
 ///
 /// # Examples
 ///

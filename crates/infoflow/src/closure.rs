@@ -13,6 +13,28 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use vhdl1_dataflow::{Def, ReachingDefinitions};
 use vhdl1_syntax::{Design, Ident, Label};
 
+/// A closure fixpoint (Table 8 or Table 9) failed to converge within its
+/// iteration budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosureExhausted {
+    /// Iterations charged before giving up (always `limit + 1`).
+    pub iterations: u64,
+    /// The configured iteration budget.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for ClosureExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "closure iteration budget exhausted: {} iterations, limit {}",
+            self.iterations, self.limit
+        )
+    }
+}
+
+impl std::error::Error for ClosureExhausted {}
+
 /// The specialised Reaching Definitions relations of Table 7.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SpecializedRd {
@@ -213,6 +235,30 @@ pub fn global_closure(
     spec: &SpecializedRd,
     local: &ResourceMatrix,
 ) -> ResourceMatrix {
+    match global_closure_bounded(design, rd, spec, local, u64::MAX) {
+        Ok(global) => global,
+        Err(e) => unreachable!("unbounded closure cannot exhaust: {e}"),
+    }
+}
+
+/// [`global_closure`] under an iteration budget: each worklist pop charges
+/// one iteration.
+///
+/// The worklist processes entries in a deterministic FIFO order, so a given
+/// design and budget always exhaust at the same point — regardless of thread
+/// count or run.
+///
+/// # Errors
+///
+/// Returns [`ClosureExhausted`] when the closure does not converge within
+/// `max_iterations` worklist pops.
+pub fn global_closure_bounded(
+    design: &Design,
+    rd: &ReachingDefinitions,
+    spec: &SpecializedRd,
+    local: &ResourceMatrix,
+    max_iterations: u64,
+) -> Result<ResourceMatrix, ClosureExhausted> {
     let _ = design;
     let mut global = local.clone();
     let wait_labels: BTreeSet<Label> = rd
@@ -228,7 +274,15 @@ pub fn global_closure(
         .filter(|e| e.access == Access::R0)
         .map(|e| (e.node.clone(), e.label))
         .collect();
+    let mut iterations: u64 = 0;
     while let Some((node, label)) = worklist.pop_front() {
+        iterations += 1;
+        if iterations > max_iterations {
+            return Err(ClosureExhausted {
+                iterations,
+                limit: max_iterations,
+            });
+        }
         let Some(targets) = edges.get(&label) else {
             continue;
         };
@@ -238,7 +292,7 @@ pub fn global_closure(
             }
         }
     }
-    global
+    Ok(global)
 }
 
 #[cfg(test)]
@@ -369,6 +423,28 @@ mod tests {
             g.has_edge("a", "b"),
             "synchronised flow a -> t -> v -> b must be closed"
         );
+    }
+
+    #[test]
+    fn bounded_closure_exhausts_deterministically() {
+        let design = sequential("b := a; c := b;");
+        let opts = RdOptions {
+            process_repeats: false,
+            ..Default::default()
+        };
+        let rd = ReachingDefinitions::compute(&design, &opts);
+        let local = local_dependencies(&design);
+        let spec = specialize_rd(&rd, &local, true);
+        // Roomy budget: identical to the unbounded closure.
+        let bounded = global_closure_bounded(&design, &rd, &spec, &local, 10_000).unwrap();
+        assert_eq!(bounded, global_closure(&design, &rd, &spec, &local));
+        // Starved budget: a structured, repeatable error.
+        let e1 = global_closure_bounded(&design, &rd, &spec, &local, 1).unwrap_err();
+        let e2 = global_closure_bounded(&design, &rd, &spec, &local, 1).unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(e1.limit, 1);
+        assert_eq!(e1.iterations, 2);
+        assert!(e1.to_string().contains("budget exhausted"));
     }
 
     #[test]

@@ -18,11 +18,23 @@
 //!   and return **borrowed** artifacts.  Asking twice never recomputes;
 //!   asking for a downstream stage computes exactly the upstream stages it
 //!   needs and nothing else.
-//! * [`EngineError`] — the structured error of the session API: the failing
-//!   [`phase`](EngineError::phase), the source
-//!   [`position`](EngineError::pos) (threaded through elaboration since the
-//!   AST carries [`vhdl1_syntax::Span`]s) and the underlying
-//!   [`SyntaxError`] as `std::error::Error::source`.
+//! * [`EngineError`] — the structured error of the session API: front-end
+//!   failures carry the failing [`phase`](EngineError::phase) and source
+//!   [`position`](EngineError::pos); budget exhaustion surfaces as
+//!   [`EngineError::ResourceExhausted`] naming the exhausted
+//!   [`EngineStage`] and how much of the limit was consumed.
+//!
+//! # Budgets
+//!
+//! Every stage accessor honours the [`crate::Budget`] carried by the
+//! engine's [`AnalysisOptions`].  Limits are **cooperative**: stages check
+//! their own counters at iteration boundaries, and the wall-clock deadline
+//! plus the optional [`CancelFlag`] are checked at stage boundaries (before
+//! a not-yet-computed stage starts).  Deterministic counter exhaustion is
+//! memoized like any other stage result — so a given source and budget
+//! truncate at the same point on every run — while deadline/cancel
+//! exhaustion is *never* memoized (it depends on wall-clock time, not the
+//! input).
 //!
 //! The eager one-shot functions ([`crate::analyze`], [`crate::analyze_with`],
 //! [`crate::analyze_source`], [`crate::analyze_all`]) are thin compatibility
@@ -38,9 +50,10 @@
 //! [`kemmerer_graph`]: Analysis::kemmerer_graph
 
 use crate::analysis::{AnalysisOptions, AnalysisResult};
-use crate::closure::{global_closure, specialize_rd, SpecializedRd};
+use crate::budget::{Budget, CancelFlag};
+use crate::closure::{global_closure_bounded, specialize_rd, SpecializedRd};
 use crate::graph::FlowGraph;
-use crate::improved::{improved_closure, ImprovedClosure};
+use crate::improved::{improved_closure_bounded, ImprovedClosure};
 use crate::kemmerer::kemmerer_graph_from_matrix;
 use crate::local::local_dependencies;
 use crate::policy::{audit, AuditReport, Policy};
@@ -50,9 +63,10 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 use vhdl1_dataflow::ReachingDefinitions;
-use vhdl1_sim::{SimError, Simulator};
-use vhdl1_syntax::{Design, Pos, SyntaxError, SyntaxErrorKind};
+use vhdl1_sim::{SimError, SimOptions, Simulator};
+use vhdl1_syntax::{Design, FrontendLimits, Pos, SyntaxError, SyntaxErrorKind};
 
 /// 64-bit FNV-1a content hash — the engine's cache key over source bytes.
 ///
@@ -89,7 +103,7 @@ pub struct EngineConfig {
     pub cache: CachePolicy,
 }
 
-/// The phase of the pipeline an [`EngineError`] originated from.
+/// The front-end phase an [`EngineError::Frontend`] originated from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnginePhase {
     /// Lexical analysis of the source text.
@@ -110,58 +124,186 @@ impl fmt::Display for EnginePhase {
     }
 }
 
-/// A structured analysis-session error: failing phase, source position (when
-/// the front end could attribute one) and the underlying cause.
+/// The pipeline stage an [`EngineError::ResourceExhausted`] names: the stage
+/// whose budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EngineStage {
+    /// The front end: source-size or parse-depth limit.
+    Frontend,
+    /// Reaching Definitions: worklist step limit.
+    Rd,
+    /// The base closure (Table 8): iteration limit.
+    Closure,
+    /// The improved closure (Table 9): iteration limit.
+    Improved,
+    /// The smoke simulation: delta-cycle or statement-step limit.
+    Smoke,
+    /// The wall-clock deadline or an external cancellation, observed at a
+    /// stage boundary.
+    Deadline,
+}
+
+impl EngineStage {
+    /// The stage's stable lower-case name, as it appears in reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineStage::Frontend => "frontend",
+            EngineStage::Rd => "rd",
+            EngineStage::Closure => "closure",
+            EngineStage::Improved => "improved",
+            EngineStage::Smoke => "smoke",
+            EngineStage::Deadline => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for EngineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// A structured analysis-session error.
+///
+/// Every failure mode of the pipeline maps onto exactly one variant, so
+/// drivers can triage without string matching: front-end rejections keep
+/// their phase and position, simulation failures keep the underlying
+/// [`SimError`], and budget exhaustion names the exhausted stage with its
+/// limit and consumption.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EngineError {
-    phase: EnginePhase,
-    pos: Option<Pos>,
-    message: String,
-    source: SyntaxError,
+pub enum EngineError {
+    /// The source did not lex, parse or elaborate.
+    Frontend {
+        /// The front-end phase that rejected the source.
+        phase: EnginePhase,
+        /// Source position of the failure, if known.
+        pos: Option<Pos>,
+        /// The bare failure message (no phase/position prefix).
+        message: String,
+        /// The underlying front-end error.
+        source: SyntaxError,
+    },
+    /// The smoke simulation failed to compile or execute the design (for a
+    /// reason other than a budget limit).
+    Sim(SimError),
+    /// A stage exhausted its [`Budget`] — the analysis was cut off, not
+    /// wrong.  Deterministic for every stage except
+    /// [`EngineStage::Deadline`]: the same source under the same budget
+    /// exhausts at the same point on every run.
+    ResourceExhausted {
+        /// The stage whose budget ran out.
+        stage: EngineStage,
+        /// The configured limit (milliseconds for
+        /// [`EngineStage::Deadline`], stage-specific units otherwise).
+        limit: u64,
+        /// How much was consumed when the stage gave up (strictly greater
+        /// than `limit` for counter budgets).
+        consumed: u64,
+        /// Source position of the construct being processed, when the stage
+        /// could attribute one (parse-depth exhaustion does).
+        pos: Option<Pos>,
+    },
 }
 
 impl EngineError {
-    /// The phase that failed.
-    pub fn phase(&self) -> EnginePhase {
-        self.phase
+    /// The front-end phase that failed, for [`EngineError::Frontend`].
+    pub fn phase(&self) -> Option<EnginePhase> {
+        match self {
+            EngineError::Frontend { phase, .. } => Some(*phase),
+            _ => None,
+        }
+    }
+
+    /// The exhausted stage, for [`EngineError::ResourceExhausted`].
+    pub fn stage(&self) -> Option<EngineStage> {
+        match self {
+            EngineError::ResourceExhausted { stage, .. } => Some(*stage),
+            _ => None,
+        }
+    }
+
+    /// Whether this error reports budget exhaustion (the analysis was cut
+    /// off) rather than a defect of the input (it was rejected).
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, EngineError::ResourceExhausted { .. })
     }
 
     /// Source position of the failure, if known (elaboration errors carry
     /// one whenever the AST node at fault was parsed rather than built
     /// programmatically).
     pub fn pos(&self) -> Option<Pos> {
-        self.pos
+        match self {
+            EngineError::Frontend { pos, .. } => *pos,
+            EngineError::Sim(e) => e.pos(),
+            EngineError::ResourceExhausted { pos, .. } => *pos,
+        }
     }
 
     /// `(line, column)` of the failure, if known.
     pub fn line_col(&self) -> Option<(u32, u32)> {
-        self.pos.map(|p| (p.line, p.col))
+        self.pos().map(|p| (p.line, p.col))
     }
 
     /// The bare failure message (no phase/position prefix).
-    pub fn message(&self) -> &str {
-        &self.message
+    pub fn message(&self) -> String {
+        match self {
+            EngineError::Frontend { message, .. } => message.clone(),
+            EngineError::Sim(e) => e.to_string(),
+            EngineError::ResourceExhausted {
+                stage,
+                limit,
+                consumed,
+                ..
+            } => format!("{stage} budget exhausted: consumed {consumed}, limit {limit}"),
+        }
     }
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.pos {
-            Some(p) => write!(f, "{} error at {p}: {}", self.phase, self.message),
-            None => write!(f, "{} error: {}", self.phase, self.message),
+        match self {
+            EngineError::Frontend {
+                phase,
+                pos,
+                message,
+                ..
+            } => match pos {
+                Some(p) => write!(f, "{phase} error at {p}: {message}"),
+                None => write!(f, "{phase} error: {message}"),
+            },
+            EngineError::Sim(e) => write!(f, "sim error: {e}"),
+            EngineError::ResourceExhausted {
+                stage,
+                limit,
+                consumed,
+                pos,
+            } => {
+                write!(
+                    f,
+                    "{stage} budget exhausted: consumed {consumed}, limit {limit}"
+                )?;
+                if let Some(p) = pos {
+                    write!(f, " at {p}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.source)
+        match self {
+            EngineError::Frontend { source, .. } => Some(source),
+            EngineError::Sim(e) => Some(e),
+            EngineError::ResourceExhausted { .. } => None,
+        }
     }
 }
 
 impl From<SyntaxError> for EngineError {
     fn from(e: SyntaxError) -> Self {
-        EngineError {
+        EngineError::Frontend {
             phase: match e.kind() {
                 SyntaxErrorKind::Lex => EnginePhase::Lex,
                 SyntaxErrorKind::Parse => EnginePhase::Parse,
@@ -242,18 +384,24 @@ pub struct SmokeReport {
 /// The lazily filled memo slots of one design's analysis.  Every slot is a
 /// `OnceLock`, so concurrent queries through a shared (cached) analysis
 /// compute each stage exactly once.
+///
+/// Fallible stages store `Result`s: deterministic budget exhaustion is a
+/// memoizable outcome exactly like success (the truncation point depends
+/// only on the input and the budget).  Deadline/cancel exhaustion never
+/// reaches these slots — it is raised by the pre-`OnceLock` gate of each
+/// accessor.
 #[derive(Default)]
 struct Slots {
-    rd: OnceLock<ReachingDefinitions>,
+    rd: OnceLock<Result<ReachingDefinitions, EngineError>>,
     local: OnceLock<ResourceMatrix>,
     specialized: OnceLock<SpecializedRd>,
-    global: OnceLock<ResourceMatrix>,
-    improved: OnceLock<Option<ImprovedClosure>>,
+    global: OnceLock<Result<ResourceMatrix, EngineError>>,
+    improved: OnceLock<Result<Option<ImprovedClosure>, EngineError>>,
     graph: OnceLock<FlowGraph>,
     base_graph: OnceLock<FlowGraph>,
     merged_graph: OnceLock<FlowGraph>,
     kemmerer: OnceLock<FlowGraph>,
-    smoke: OnceLock<Result<SmokeReport, SimError>>,
+    smoke: OnceLock<Result<SmokeReport, EngineError>>,
 }
 
 /// A design together with its memo slots, shareable across cache hits.
@@ -284,7 +432,7 @@ struct Cache {
 ///        p : process begin b <= a; wait on a; end process p;
 ///      end rtl;")?;
 /// let analysis = engine.analyze(&design);
-/// assert!(analysis.flow_graph().has_edge("a", "b"));
+/// assert!(analysis.flow_graph()?.has_edge("a", "b"));
 /// // Only the stages the graph needs ran; Table 9 was never touched.
 /// assert_eq!(engine.stats().improved, 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -361,7 +509,9 @@ impl Engine {
     /// The memo-table key of a source text under this engine's options:
     /// FNV-1a over the source bytes mixed with a fingerprint of the options
     /// (so persisted keys from engines with different options never
-    /// collide).
+    /// collide).  The [`Budget`] is part of the options, so analyses under
+    /// different budgets never share memo slots either — which is what
+    /// keeps budget truncation points deterministic.
     pub fn source_key(&self, src: &str) -> u64 {
         let options = fnv1a64(format!("{:?}", self.config.options).as_bytes());
         fnv1a64(src.as_bytes()) ^ options.rotate_left(17)
@@ -399,7 +549,7 @@ impl Engine {
     /// let engine = Engine::default();
     /// let analysis = engine.analyze(&design);
     /// assert_eq!(engine.stats().rd, 0); // nothing ran yet
-    /// assert!(analysis.flow_graph().has_edge("a", "b"));
+    /// assert!(analysis.flow_graph()?.has_edge("a", "b"));
     /// assert_eq!(engine.stats().rd, 1); // demanded exactly once
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
@@ -410,6 +560,8 @@ impl Engine {
                 design,
                 slots: Box::default(),
             },
+            started: Instant::now(),
+            cancel: None,
         }
     }
 
@@ -421,7 +573,8 @@ impl Engine {
     /// # Errors
     ///
     /// Returns a structured [`EngineError`] when the source does not lex,
-    /// parse or elaborate.
+    /// parse or elaborate, or exceeds the budget's source-size or
+    /// parse-depth limit.
     pub fn analyze_source(&self, src: &str) -> Result<Analysis<'_>, EngineError> {
         if self.config.cache == CachePolicy::Disabled {
             self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -439,6 +592,8 @@ impl Engine {
             return Ok(Analysis {
                 engine: self,
                 inner: Inner::Shared(Arc::clone(memo)),
+                started: Instant::now(),
+                cancel: None,
             });
         }
         // Miss: run the front end outside the lock (parsing can be slow), then
@@ -476,6 +631,8 @@ impl Engine {
         Ok(Analysis {
             engine: self,
             inner: Inner::Shared(memo),
+            started: Instant::now(),
+            cancel: None,
         })
     }
 
@@ -498,8 +655,42 @@ impl Engine {
     }
 
     fn run_frontend(&self, src: &str) -> Result<Design, EngineError> {
+        let budget = self.config.options.budget;
+        if let Some(max) = budget.max_source_bytes {
+            if src.len() as u64 > max {
+                return Err(EngineError::ResourceExhausted {
+                    stage: EngineStage::Frontend,
+                    limit: max,
+                    consumed: src.len() as u64,
+                    pos: None,
+                });
+            }
+        }
         self.counters.frontend.fetch_add(1, Ordering::Relaxed);
-        Ok(vhdl1_syntax::frontend(src)?)
+        let limits = FrontendLimits {
+            max_source_bytes: budget.max_source_bytes,
+            max_parse_depth: budget.max_parse_depth,
+        };
+        vhdl1_syntax::frontend_with_limits(src, &limits).map_err(|e| {
+            if e.is_resource_limit() {
+                // The only resource limit left to the front end is parse
+                // depth (the size cap was enforced above).
+                let depth = u64::from(
+                    budget
+                        .max_parse_depth
+                        .unwrap_or(vhdl1_syntax::DEFAULT_PARSE_DEPTH)
+                        .min(vhdl1_syntax::DEFAULT_PARSE_DEPTH),
+                );
+                EngineError::ResourceExhausted {
+                    stage: EngineStage::Frontend,
+                    limit: depth,
+                    consumed: depth + 1,
+                    pos: e.pos(),
+                }
+            } else {
+                EngineError::from(e)
+            }
+        })
     }
 
     fn owned_analysis(&self, design: Design) -> Analysis<'_> {
@@ -509,6 +700,8 @@ impl Engine {
                 design,
                 slots: Slots::default(),
             })),
+            started: Instant::now(),
+            cancel: None,
         }
     }
 }
@@ -530,9 +723,18 @@ enum Inner<'e> {
 /// stages transparently — and returns a borrowed artifact; repeated queries
 /// return the *same* reference without recomputation.  Handles obtained from
 /// [`Engine::analyze_source`] for identical sources share their memos.
+///
+/// Accessors are fallible: they surface [`EngineError::ResourceExhausted`]
+/// when the engine's [`Budget`] cuts a stage short.  Stages already
+/// memoized remain readable after a deadline or cancellation — only *new*
+/// work is refused.
 pub struct Analysis<'e> {
     engine: &'e Engine,
     inner: Inner<'e>,
+    /// When this handle was created — the epoch of `budget.deadline_ms`.
+    started: Instant,
+    /// External cooperative cancellation, observed at stage boundaries.
+    cancel: Option<CancelFlag>,
 }
 
 impl fmt::Debug for Analysis<'_> {
@@ -562,6 +764,48 @@ impl<'e> Analysis<'e> {
         &self.engine.config.options
     }
 
+    /// Attaches a cooperative cancellation flag: once
+    /// [`CancelFlag::cancel`] is called (by a watchdog, typically), every
+    /// accessor that would start a *new* stage returns
+    /// [`EngineError::ResourceExhausted`] with the
+    /// [`EngineStage::Deadline`] stage instead.
+    pub fn with_cancel_flag(mut self, flag: CancelFlag) -> Analysis<'e> {
+        self.cancel = Some(flag);
+        self
+    }
+
+    fn budget(&self) -> &Budget {
+        &self.engine.config.options.budget
+    }
+
+    /// The deadline/cancellation gate, checked before any not-yet-memoized
+    /// stage starts.  Never memoized: it depends on wall-clock time.
+    fn check_alive(&self) -> Result<(), EngineError> {
+        let elapsed = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        if self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled) {
+            return Err(EngineError::ResourceExhausted {
+                stage: EngineStage::Deadline,
+                limit: self.budget().deadline_ms.unwrap_or(0),
+                consumed: elapsed,
+                pos: None,
+            });
+        }
+        // Inclusive: a deadline of 0 ms is already expired when the handle
+        // is created, which gives callers a deterministic "trip before the
+        // first stage" switch.
+        if let Some(deadline) = self.budget().deadline_ms {
+            if elapsed >= deadline {
+                return Err(EngineError::ResourceExhausted {
+                    stage: EngineStage::Deadline,
+                    limit: deadline,
+                    consumed: elapsed,
+                    pos: None,
+                });
+            }
+        }
+        Ok(())
+    }
+
     fn slots(&self) -> &Slots {
         match &self.inner {
             Inner::Borrowed { slots, .. } => slots,
@@ -574,14 +818,36 @@ impl<'e> Analysis<'e> {
     }
 
     /// The Reaching Definitions artifacts (Section 4).
-    pub fn rd(&self) -> &ReachingDefinitions {
-        self.slots().rd.get_or_init(|| {
-            self.bump(&self.engine.counters.rd);
-            ReachingDefinitions::compute(self.design(), &self.options().rd)
-        })
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ResourceExhausted`] (stage `rd`) when a
+    /// fixpoint exceeds the budget's dataflow step limit, or stage
+    /// `deadline` when the deadline/cancel gate trips first.
+    pub fn rd(&self) -> Result<&ReachingDefinitions, EngineError> {
+        if self.slots().rd.get().is_none() {
+            self.check_alive()?;
+        }
+        self.slots()
+            .rd
+            .get_or_init(|| {
+                self.bump(&self.engine.counters.rd);
+                let max = self.budget().max_dataflow_steps.unwrap_or(u64::MAX);
+                ReachingDefinitions::compute_bounded(self.design(), &self.options().rd, max)
+                    .map_err(|e| EngineError::ResourceExhausted {
+                        stage: EngineStage::Rd,
+                        limit: e.limit,
+                        consumed: e.steps,
+                        pos: None,
+                    })
+            })
+            .as_ref()
+            .map_err(|e| e.clone())
     }
 
-    /// The local Resource Matrix `RM_lo` (Table 6).
+    /// The local Resource Matrix `RM_lo` (Table 6).  Infallible: the local
+    /// dependencies are a single linear pass, bounded by the source-size
+    /// budget the front end already enforced.
     pub fn local(&self) -> &ResourceMatrix {
         self.slots().local.get_or_init(|| {
             self.bump(&self.engine.counters.local);
@@ -590,44 +856,103 @@ impl<'e> Analysis<'e> {
     }
 
     /// The specialised Reaching Definitions (Table 7).
-    pub fn specialized(&self) -> &SpecializedRd {
-        self.slots().specialized.get_or_init(|| {
-            let (rd, local) = (self.rd(), self.local());
+    ///
+    /// # Errors
+    ///
+    /// Propagates the upstream [`Analysis::rd`] failure.
+    pub fn specialized(&self) -> Result<&SpecializedRd, EngineError> {
+        if self.slots().specialized.get().is_none() {
+            self.check_alive()?;
+            self.rd()?;
+        }
+        Ok(self.slots().specialized.get_or_init(|| {
+            let rd = self.rd().expect("rd forced above");
+            let local = self.local();
             self.bump(&self.engine.counters.specialized);
             specialize_rd(rd, local, self.options().specialize_rd)
-        })
+        }))
     }
 
     /// The global Resource Matrix `RM_gl` of the base closure (Table 8).
-    pub fn global(&self) -> &ResourceMatrix {
-        self.slots().global.get_or_init(|| {
-            let (rd, spec, local) = (self.rd(), self.specialized(), self.local());
-            self.bump(&self.engine.counters.global);
-            global_closure(self.design(), rd, spec, local)
-        })
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ResourceExhausted`] (stage `closure`) when
+    /// the closure exceeds the budget's iteration limit, and propagates
+    /// upstream failures.
+    pub fn global(&self) -> Result<&ResourceMatrix, EngineError> {
+        if self.slots().global.get().is_none() {
+            self.check_alive()?;
+            self.specialized()?;
+        }
+        self.slots()
+            .global
+            .get_or_init(|| {
+                let rd = self.rd().expect("rd forced above");
+                let spec = self.specialized().expect("specialized forced above");
+                let local = self.local();
+                self.bump(&self.engine.counters.global);
+                let max = self.budget().max_closure_iterations.unwrap_or(u64::MAX);
+                global_closure_bounded(self.design(), rd, spec, local, max).map_err(|e| {
+                    EngineError::ResourceExhausted {
+                        stage: EngineStage::Closure,
+                        limit: e.limit,
+                        consumed: e.iterations,
+                        pos: None,
+                    }
+                })
+            })
+            .as_ref()
+            .map_err(|e| e.clone())
     }
 
     /// The improved closure (Table 9), or `None` when the engine's options
     /// disable the improved analysis.  Only computed when queried — and
     /// never computed at all by [`Analysis::flow_graph`] under
     /// `improved: false`.
-    pub fn improved(&self) -> Option<&ImprovedClosure> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ResourceExhausted`] (stage `improved`) when
+    /// the combined fixpoint exceeds the budget's iteration limit, and
+    /// propagates upstream failures.
+    pub fn improved(&self) -> Result<Option<&ImprovedClosure>, EngineError> {
+        if self.slots().improved.get().is_none() {
+            self.check_alive()?;
+            if self.options().improved {
+                self.specialized()?;
+            }
+        }
         self.slots()
             .improved
             .get_or_init(|| {
-                self.options().improved.then(|| {
-                    let (rd, spec, local) = (self.rd(), self.specialized(), self.local());
-                    self.bump(&self.engine.counters.improved);
-                    improved_closure(
-                        self.design(),
-                        rd,
-                        spec,
-                        local,
-                        &self.options().improved_options,
-                    )
+                if !self.options().improved {
+                    return Ok(None);
+                }
+                let rd = self.rd().expect("rd forced above");
+                let spec = self.specialized().expect("specialized forced above");
+                let local = self.local();
+                self.bump(&self.engine.counters.improved);
+                let max = self.budget().max_closure_iterations.unwrap_or(u64::MAX);
+                improved_closure_bounded(
+                    self.design(),
+                    rd,
+                    spec,
+                    local,
+                    &self.options().improved_options,
+                    max,
+                )
+                .map(Some)
+                .map_err(|e| EngineError::ResourceExhausted {
+                    stage: EngineStage::Improved,
+                    limit: e.limit,
+                    consumed: e.iterations,
+                    pos: None,
                 })
             })
             .as_ref()
+            .map(|o| o.as_ref())
+            .map_err(|e| e.clone())
     }
 
     /// The information-flow graph of the analysis: the improved graph when
@@ -637,6 +962,10 @@ impl<'e> Analysis<'e> {
     /// Memoized: repeated calls return the same reference without rebuilding
     /// the graph (the repeated-rebuild hot spot of the eager
     /// [`AnalysisResult::flow_graph`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure of whichever closure the graph is built from.
     ///
     /// # Examples
     ///
@@ -650,61 +979,94 @@ impl<'e> Analysis<'e> {
     ///      end rtl;")?;
     /// let engine = Engine::default();
     /// let analysis = engine.analyze(&design);
-    /// let first = analysis.flow_graph();
+    /// let first = analysis.flow_graph()?;
     /// assert!(first.has_edge("a", "b"));
     /// // Same allocation, not an equal copy:
-    /// assert!(std::ptr::eq(first, analysis.flow_graph()));
+    /// assert!(std::ptr::eq(first, analysis.flow_graph()?));
     /// assert_eq!(engine.stats().flow_graph, 1);
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
-    pub fn flow_graph(&self) -> &FlowGraph {
-        self.slots().graph.get_or_init(|| {
-            let matrix = match self.improved() {
+    pub fn flow_graph(&self) -> Result<&FlowGraph, EngineError> {
+        if self.slots().graph.get().is_none() {
+            self.check_alive()?;
+            if self.improved()?.is_none() {
+                self.global()?;
+            }
+        }
+        Ok(self.slots().graph.get_or_init(|| {
+            let matrix = match self.improved().expect("improved forced above") {
                 Some(imp) => &imp.matrix,
-                None => self.global(),
+                None => self.global().expect("global forced above"),
             };
             self.bump(&self.engine.counters.flow_graph);
             FlowGraph::from_resource_matrix(matrix)
-        })
+        }))
     }
 
     /// The information-flow graph of the base (non-improved) closure,
     /// memoized independently of [`Analysis::flow_graph`].
-    pub fn base_flow_graph(&self) -> &FlowGraph {
-        self.slots().base_graph.get_or_init(|| {
-            let global = self.global();
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure of the base closure.
+    pub fn base_flow_graph(&self) -> Result<&FlowGraph, EngineError> {
+        if self.slots().base_graph.get().is_none() {
+            self.check_alive()?;
+            self.global()?;
+        }
+        Ok(self.slots().base_graph.get_or_init(|| {
+            let global = self.global().expect("global forced above");
             self.bump(&self.engine.counters.flow_graph);
             FlowGraph::from_resource_matrix(global)
-        })
+        }))
     }
 
     /// [`Analysis::flow_graph`] with incoming/outgoing nodes merged into
     /// their underlying resources — the presentation form policies talk
     /// about, and the graph [`Analysis::audit`] checks.
-    pub fn merged_flow_graph(&self) -> &FlowGraph {
-        self.slots().merged_graph.get_or_init(|| {
-            let graph = self.flow_graph();
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure of [`Analysis::flow_graph`].
+    pub fn merged_flow_graph(&self) -> Result<&FlowGraph, EngineError> {
+        if self.slots().merged_graph.get().is_none() {
+            self.flow_graph()?;
+        }
+        Ok(self.slots().merged_graph.get_or_init(|| {
+            let graph = self.flow_graph().expect("flow graph forced above");
             self.bump(&self.engine.counters.flow_graph);
             graph.merge_io_nodes()
-        })
+        }))
     }
 
     /// The graph produced by Kemmerer's method on the same local Resource
     /// Matrix (the paper's comparison baseline).  Needs only Table 6.
-    pub fn kemmerer_graph(&self) -> &FlowGraph {
-        self.slots().kemmerer.get_or_init(|| {
+    ///
+    /// # Errors
+    ///
+    /// Fails only through the deadline/cancel gate (the Kemmerer baseline
+    /// has no counter budget of its own).
+    pub fn kemmerer_graph(&self) -> Result<&FlowGraph, EngineError> {
+        if self.slots().kemmerer.get().is_none() {
+            self.check_alive()?;
+        }
+        Ok(self.slots().kemmerer.get_or_init(|| {
             let local = self.local();
             self.bump(&self.engine.counters.kemmerer);
             kemmerer_graph_from_matrix(local)
-        })
+        }))
     }
 
     /// Audits the (merged) flow graph against a policy.
     ///
     /// The graph is memoized; the audit itself is recomputed per call since
     /// it depends on the caller's policy.
-    pub fn audit(&self, policy: &Policy) -> AuditReport {
-        audit(self.merged_flow_graph(), policy)
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure of [`Analysis::merged_flow_graph`].
+    pub fn audit(&self, policy: &Policy) -> Result<AuditReport, EngineError> {
+        Ok(audit(self.merged_flow_graph()?, policy))
     }
 
     /// Smoke-simulates the design to quiescence on the dense simulator core
@@ -712,33 +1074,71 @@ impl<'e> Analysis<'e> {
     /// signal states (the Section 6 "does it actually run" validation).
     ///
     /// Memoized like every other stage: the first call compiles and runs
-    /// the design (its `max_deltas` bound applies); repeated calls return
-    /// the recorded outcome without re-simulating.
+    /// the design (its `max_deltas` bound applies, further capped by the
+    /// budget's `max_sim_deltas`); repeated calls return the recorded
+    /// outcome without re-simulating.
     ///
     /// # Errors
     ///
-    /// Returns the [`SimError`] of the failed compilation or execution —
-    /// positioned (`line:col`) whenever the offending construct was parsed
-    /// from source text.
-    pub fn smoke(&self, max_deltas: u64) -> Result<SmokeReport, SimError> {
+    /// Returns [`EngineError::Sim`] for compilation or execution failures
+    /// (positioned whenever the offending construct was parsed from source
+    /// text), or [`EngineError::ResourceExhausted`] (stage `smoke`) when
+    /// the *budget's* simulation limits cut the run short — exceeding the
+    /// caller's own `max_deltas` stays an [`EngineError::Sim`].
+    pub fn smoke(&self, max_deltas: u64) -> Result<SmokeReport, EngineError> {
+        if self.slots().smoke.get().is_none() {
+            self.check_alive()?;
+        }
         self.slots()
             .smoke
             .get_or_init(|| {
                 self.bump(&self.engine.counters.smoke);
+                let budget = *self.budget();
+                let budget_deltas = budget.max_sim_deltas.unwrap_or(u64::MAX);
+                let effective_deltas = max_deltas.min(budget_deltas);
                 let design = self.design();
-                let mut sim = Simulator::new(design)?;
-                let deltas = sim.run_until_quiescent(max_deltas)?;
-                let mut digest_input = String::new();
-                for sig in &design.signals {
-                    let value = sim.signal(&sig.name).expect("signal exists");
-                    digest_input.push_str(&sig.name);
-                    digest_input.push('=');
-                    digest_input.push_str(&value.to_literal());
-                    digest_input.push('\n');
-                }
-                Ok(SmokeReport {
-                    deltas,
-                    state_digest: fnv1a64(digest_input.as_bytes()),
+                let run = || -> Result<SmokeReport, SimError> {
+                    let mut sim = Simulator::with_options(
+                        design,
+                        SimOptions {
+                            max_total_steps: budget.max_sim_steps,
+                            ..SimOptions::default()
+                        },
+                    )?;
+                    let deltas = sim.run_until_quiescent(effective_deltas)?;
+                    let mut digest_input = String::new();
+                    for sig in &design.signals {
+                        let value = sim.signal(&sig.name).expect("signal exists");
+                        digest_input.push_str(&sig.name);
+                        digest_input.push('=');
+                        digest_input.push_str(&value.to_literal());
+                        digest_input.push('\n');
+                    }
+                    Ok(SmokeReport {
+                        deltas,
+                        state_digest: fnv1a64(digest_input.as_bytes()),
+                    })
+                };
+                run().map_err(|e| match e {
+                    // A delta overrun is budget exhaustion only when the
+                    // budget (not the caller's bound) was the binding limit.
+                    SimError::DeltaLimitExceeded { limit }
+                        if limit == budget_deltas && budget_deltas < max_deltas =>
+                    {
+                        EngineError::ResourceExhausted {
+                            stage: EngineStage::Smoke,
+                            limit,
+                            consumed: limit + 1,
+                            pos: None,
+                        }
+                    }
+                    SimError::TotalStepLimitExceeded { limit } => EngineError::ResourceExhausted {
+                        stage: EngineStage::Smoke,
+                        limit,
+                        consumed: limit + 1,
+                        pos: None,
+                    },
+                    other => EngineError::Sim(other),
                 })
             })
             .clone()
@@ -749,32 +1149,72 @@ impl<'e> Analysis<'e> {
     ///
     /// Stages already computed are moved out (borrowed handles) or cloned
     /// (handles sharing a memo-table entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine's budget cuts a stage short — the eager API
+    /// predates budgets and has no error channel.  Budget-aware callers use
+    /// [`Analysis::try_into_result`].
     pub fn into_result(self) -> AnalysisResult {
+        match self.try_into_result() {
+            Ok(result) => result,
+            Err(e) => panic!("analysis exceeded its budget: {e}"),
+        }
+    }
+
+    /// Fallible [`Analysis::into_result`]: materialises the owned
+    /// [`AnalysisResult`], surfacing budget exhaustion as an error instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EngineError`] of the first stage that exceeded the
+    /// budget (or tripped the deadline/cancel gate).
+    pub fn try_into_result(self) -> Result<AnalysisResult, EngineError> {
         // Force every stage the eager result carries.
-        self.global();
-        self.improved();
+        self.global()?;
+        self.improved()?;
         let design_name = self.design().name.clone();
         let options = *self.options();
         let take = |slots: Slots| AnalysisResult {
             design_name: design_name.clone(),
             options,
-            rd: slots.rd.into_inner().expect("rd forced above"),
+            rd: slots
+                .rd
+                .into_inner()
+                .expect("rd forced above")
+                .expect("rd errors propagated above"),
             local: slots.local.into_inner().expect("local forced above"),
             specialized: slots
                 .specialized
                 .into_inner()
                 .expect("specialized forced above"),
-            global: slots.global.into_inner().expect("global forced above"),
-            improved: slots.improved.into_inner().expect("improved forced above"),
+            global: slots
+                .global
+                .into_inner()
+                .expect("global forced above")
+                .expect("global errors propagated above"),
+            improved: slots
+                .improved
+                .into_inner()
+                .expect("improved forced above")
+                .expect("improved errors propagated above"),
         };
-        match self.inner {
+        Ok(match self.inner {
             Inner::Borrowed { slots, .. } => take(*slots),
             Inner::Shared(memo) => match Arc::try_unwrap(memo) {
                 Ok(memo) => take(memo.slots),
                 Err(memo) => AnalysisResult {
                     design_name,
                     options,
-                    rd: memo.slots.rd.get().expect("rd forced above").clone(),
+                    rd: memo
+                        .slots
+                        .rd
+                        .get()
+                        .expect("rd forced above")
+                        .as_ref()
+                        .expect("rd errors propagated above")
+                        .clone(),
                     local: memo.slots.local.get().expect("local forced above").clone(),
                     specialized: memo
                         .slots
@@ -787,16 +1227,20 @@ impl<'e> Analysis<'e> {
                         .global
                         .get()
                         .expect("global forced above")
+                        .as_ref()
+                        .expect("global errors propagated above")
                         .clone(),
                     improved: memo
                         .slots
                         .improved
                         .get()
                         .expect("improved forced above")
+                        .as_ref()
+                        .expect("improved errors propagated above")
                         .clone(),
                 },
             },
-        }
+        })
     }
 }
 
@@ -832,14 +1276,14 @@ mod tests {
         let design = frontend(COPY).unwrap();
         let engine = Engine::default();
         let analysis = engine.analyze(&design);
-        let rd1 = analysis.rd() as *const _;
-        let rd2 = analysis.rd() as *const _;
+        let rd1 = analysis.rd().unwrap() as *const _;
+        let rd2 = analysis.rd().unwrap() as *const _;
         assert_eq!(rd1, rd2);
-        let g1 = analysis.flow_graph() as *const _;
-        let g2 = analysis.flow_graph() as *const _;
+        let g1 = analysis.flow_graph().unwrap() as *const _;
+        let g2 = analysis.flow_graph().unwrap() as *const _;
         assert_eq!(g1, g2);
-        let k1 = analysis.kemmerer_graph() as *const _;
-        let k2 = analysis.kemmerer_graph() as *const _;
+        let k1 = analysis.kemmerer_graph().unwrap() as *const _;
+        let k2 = analysis.kemmerer_graph().unwrap() as *const _;
         assert_eq!(k1, k2);
         let stats = engine.stats();
         assert_eq!(stats.rd, 1);
@@ -852,13 +1296,13 @@ mod tests {
         let design = frontend(TWO_PROC).unwrap();
         let engine = Engine::with_options(AnalysisOptions::base());
         let analysis = engine.analyze(&design);
-        assert!(analysis.flow_graph().has_edge("a", "b"));
+        assert!(analysis.flow_graph().unwrap().has_edge("a", "b"));
         let stats = engine.stats();
         assert_eq!(stats.improved, 0, "Table 9 must not run under base options");
         assert_eq!(stats.rd, 1);
         assert_eq!(stats.global, 1);
         // The improved query itself answers None without running Table 9.
-        assert!(analysis.improved().is_none());
+        assert!(analysis.improved().unwrap().is_none());
         assert_eq!(engine.stats().improved, 0);
     }
 
@@ -867,7 +1311,7 @@ mod tests {
         let design = frontend(TWO_PROC).unwrap();
         let engine = Engine::default();
         let analysis = engine.analyze(&design);
-        let _ = analysis.kemmerer_graph();
+        let _ = analysis.kemmerer_graph().unwrap();
         let stats = engine.stats();
         assert_eq!(stats.local, 1);
         assert_eq!(stats.rd, 0, "Kemmerer's method is RD-free");
@@ -885,7 +1329,7 @@ mod tests {
         assert_eq!(eager, lazy);
         // And after partial demand in graph-first order:
         let analysis = engine.analyze(&design);
-        let _ = analysis.flow_graph();
+        let _ = analysis.flow_graph().unwrap();
         assert_eq!(eager, analysis.into_result());
     }
 
@@ -893,10 +1337,13 @@ mod tests {
     fn analyze_source_memoizes_by_content_hash() {
         let engine = Engine::default();
         let a = engine.analyze_source(COPY).unwrap();
-        let _ = a.flow_graph();
+        let _ = a.flow_graph().unwrap();
         let b = engine.analyze_source(COPY).unwrap();
         // Shared memo: the graph is the very same allocation.
-        assert!(std::ptr::eq(a.flow_graph(), b.flow_graph()));
+        assert!(std::ptr::eq(
+            a.flow_graph().unwrap(),
+            b.flow_graph().unwrap()
+        ));
         let stats = engine.stats();
         assert_eq!(stats.frontend, 1, "second call must not reparse");
         assert_eq!(stats.cache_hits, 1);
@@ -913,13 +1360,15 @@ mod tests {
         assert_eq!(analyses.len(), 2);
         assert_eq!(analyses[0].design().name, "rtl");
         assert_eq!(analyses[1].design().name, "second");
-        assert!(analyses.iter().all(|a| a.flow_graph().has_edge("a", "b")));
+        assert!(analyses
+            .iter()
+            .all(|a| a.flow_graph().unwrap().has_edge("a", "b")));
 
         let (index, err) = engine
             .analyze_sources([COPY, "entity broken"])
             .expect_err("second source must fail");
         assert_eq!(index, 1);
-        assert_eq!(err.phase(), EnginePhase::Parse);
+        assert_eq!(err.phase(), Some(EnginePhase::Parse));
     }
 
     #[test]
@@ -971,6 +1420,13 @@ mod tests {
         assert_ne!(base.source_key(COPY), full.source_key(COPY));
         assert_eq!(full.source_key(COPY), Engine::default().source_key(COPY));
         assert_ne!(full.source_key(COPY), full.source_key(TWO_PROC));
+        // The budget participates in the key: tight and unlimited budgets
+        // never share memo slots (truncation points stay deterministic).
+        let tight = Engine::with_options(AnalysisOptions {
+            budget: Budget::tight(),
+            ..AnalysisOptions::default()
+        });
+        assert_ne!(tight.source_key(COPY), full.source_key(COPY));
     }
 
     #[test]
@@ -978,15 +1434,17 @@ mod tests {
         let engine = Engine::default();
 
         let parse_err = engine.analyze_source("entity oops").unwrap_err();
-        assert_eq!(parse_err.phase(), EnginePhase::Parse);
+        assert_eq!(parse_err.phase(), Some(EnginePhase::Parse));
         assert!(parse_err.pos().is_some());
+        assert!(!parse_err.is_resource_exhausted());
+        assert_eq!(parse_err.stage(), None);
 
         let elab_src = "entity e is port(a : in std_logic; b : out std_logic); end e;
 architecture rtl of e is begin
   p : process begin b <= ghost; wait on a; end process;
 end rtl;";
         let elab_err = engine.analyze_source(elab_src).unwrap_err();
-        assert_eq!(elab_err.phase(), EnginePhase::Elaborate);
+        assert_eq!(elab_err.phase(), Some(EnginePhase::Elaborate));
         assert_eq!(elab_err.line_col(), Some((3, 26)));
         assert!(elab_err.to_string().contains("elaborate error at 3:26"));
         assert!(elab_err.message().contains("ghost"));
@@ -999,16 +1457,177 @@ end rtl;";
     }
 
     #[test]
+    fn oversized_source_exhausts_the_frontend_budget() {
+        let engine = Engine::with_options(AnalysisOptions {
+            budget: Budget {
+                max_source_bytes: Some(64),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        });
+        let err = engine.analyze_source(COPY).unwrap_err();
+        assert_eq!(err.stage(), Some(EngineStage::Frontend));
+        assert!(err.is_resource_exhausted());
+        let EngineError::ResourceExhausted {
+            limit, consumed, ..
+        } = &err
+        else {
+            panic!("expected ResourceExhausted, got {err:?}");
+        };
+        assert_eq!(*limit, 64);
+        assert_eq!(*consumed, COPY.len() as u64);
+        assert!(
+            err.to_string().contains("frontend budget exhausted"),
+            "{err}"
+        );
+        // Exhaustion never pollutes the memo table.
+        assert_eq!(engine.cached_designs(), 0);
+    }
+
+    #[test]
+    fn deep_nesting_exhausts_the_parse_depth_budget() {
+        let engine = Engine::with_options(AnalysisOptions {
+            budget: Budget {
+                max_parse_depth: Some(8),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        });
+        let nested = format!(
+            "architecture a of e is begin p : process begin x := {}a{}; \
+             wait; end process p; end a;",
+            "(".repeat(40),
+            ")".repeat(40)
+        );
+        let err = engine.analyze_source(&nested).unwrap_err();
+        assert_eq!(err.stage(), Some(EngineStage::Frontend));
+        assert!(err.pos().is_some(), "depth exhaustion carries a position");
+    }
+
+    #[test]
+    fn rd_budget_exhaustion_is_structured_and_memoized() {
+        let engine = Engine::with_options(AnalysisOptions {
+            budget: Budget {
+                max_dataflow_steps: Some(1),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        });
+        let analysis = engine.analyze_source(TWO_PROC).unwrap();
+        let err = analysis.rd().unwrap_err();
+        assert_eq!(err.stage(), Some(EngineStage::Rd));
+        // Downstream queries see the same error (memoized, not recomputed).
+        let err2 = analysis.flow_graph().unwrap_err();
+        assert_eq!(err, err2);
+        assert_eq!(engine.stats().rd, 1, "the failed stage ran exactly once");
+        // A second handle over the same source replays the memoized failure.
+        let again = engine.analyze_source(TWO_PROC).unwrap();
+        assert_eq!(again.rd().unwrap_err(), err);
+        assert_eq!(engine.stats().rd, 1);
+    }
+
+    #[test]
+    fn closure_budget_exhaustion_names_the_closure_stage() {
+        let engine = Engine::with_options(AnalysisOptions {
+            improved: false,
+            budget: Budget {
+                max_closure_iterations: Some(1),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        });
+        let design = frontend(TWO_PROC).unwrap();
+        let analysis = engine.analyze(&design);
+        let err = analysis.global().unwrap_err();
+        assert_eq!(err.stage(), Some(EngineStage::Closure));
+        // rd itself is fine: only the closure was cut off.
+        assert!(analysis.rd().is_ok());
+        // The improved stage of a budgeted engine with improved: true
+        // reports its own stage name.
+        let engine2 = Engine::with_options(AnalysisOptions {
+            budget: Budget {
+                max_closure_iterations: Some(1),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        });
+        let analysis2 = engine2.analyze(&design);
+        assert_eq!(
+            analysis2.improved().unwrap_err().stage(),
+            Some(EngineStage::Improved)
+        );
+    }
+
+    #[test]
+    fn try_into_result_surfaces_exhaustion_where_into_result_panics() {
+        let engine = Engine::with_options(AnalysisOptions {
+            budget: Budget {
+                max_dataflow_steps: Some(1),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        });
+        let design = frontend(TWO_PROC).unwrap();
+        let err = engine.analyze(&design).try_into_result().unwrap_err();
+        assert_eq!(err.stage(), Some(EngineStage::Rd));
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.analyze(&design).into_result()
+        }))
+        .unwrap_err();
+        let text = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("exceeded its budget"), "{text}");
+    }
+
+    #[test]
+    fn cancel_flag_stops_new_stages_but_keeps_memoized_ones() {
+        let design = frontend(TWO_PROC).unwrap();
+        let engine = Engine::default();
+        let flag = CancelFlag::new();
+        let analysis = engine.analyze(&design).with_cancel_flag(flag.clone());
+        // Before cancellation everything works.
+        assert!(analysis.rd().is_ok());
+        flag.cancel();
+        // Memoized stages stay readable; new stages are refused.
+        assert!(analysis.rd().is_ok());
+        let err = analysis.global().unwrap_err();
+        assert_eq!(err.stage(), Some(EngineStage::Deadline));
+        assert_eq!(engine.stats().global, 0, "no new work after cancel");
+        // A fresh, uncancelled handle over the same design is unaffected.
+        assert!(engine.analyze(&design).global().is_ok());
+    }
+
+    #[test]
+    fn elapsed_deadline_refuses_new_stages() {
+        let engine = Engine::with_options(AnalysisOptions {
+            budget: Budget {
+                deadline_ms: Some(0),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        });
+        let design = frontend(TWO_PROC).unwrap();
+        let analysis = engine.analyze(&design);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let err = analysis.rd().unwrap_err();
+        assert_eq!(err.stage(), Some(EngineStage::Deadline));
+        let EngineError::ResourceExhausted { consumed, .. } = err else {
+            panic!("deadline must report ResourceExhausted");
+        };
+        assert!(consumed >= 5);
+        assert_eq!(engine.stats().rd, 0);
+    }
+
+    #[test]
     fn audit_uses_the_merged_graph() {
         let design = frontend(COPY).unwrap();
         let engine = Engine::default();
         let analysis = engine.analyze(&design);
         let strict = Policy::new().with_level("a", 1).with_level("b", 0);
-        let report = analysis.audit(&strict);
+        let report = analysis.audit(&strict).unwrap();
         assert_eq!(report.violations.len(), 1);
         // A second audit with another policy reuses the memoized graph.
         let graphs_before = engine.stats().flow_graph;
-        let permissive = analysis.audit(&Policy::new());
+        let permissive = analysis.audit(&Policy::new()).unwrap();
         assert!(permissive.violations.is_empty());
         assert_eq!(engine.stats().flow_graph, graphs_before);
     }
@@ -1049,10 +1668,60 @@ end rtl;";
         let err = analysis.smoke(100).unwrap_err();
         assert_eq!(err.line_col().map(|(l, _)| l), Some(4), "{err}");
         assert!(err.to_string().contains("at 4:"), "{err}");
+        assert!(matches!(err, EngineError::Sim(_)));
         // Errors are memoized too.
         let err2 = analysis.smoke(100).unwrap_err();
         assert_eq!(err, err2);
         assert_eq!(engine.stats().smoke, 1);
+    }
+
+    #[test]
+    fn smoke_distinguishes_budget_exhaustion_from_caller_bounds() {
+        // An oscillator never quiesces (the seed assignment makes t definite,
+        // after which every wake flips it): under a budget delta cap below
+        // the caller's bound, that is resource exhaustion …
+        let ring = "entity e is port(a : in std_logic); end e;
+architecture rtl of e is
+  signal t : std_logic;
+begin
+  p : process begin t <= '1'; wait on t; t <= not t; wait on t; end process p;
+end rtl;";
+        let engine = Engine::with_options(AnalysisOptions {
+            budget: Budget {
+                max_sim_deltas: Some(10),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        });
+        let design = frontend(ring).unwrap();
+        let err = engine.analyze(&design).smoke(1_000).unwrap_err();
+        assert_eq!(err.stage(), Some(EngineStage::Smoke));
+        // … while the same overrun against the caller's own (tighter or
+        // equal) bound stays a plain simulation error.
+        let plain = Engine::default();
+        let err = plain.analyze(&design).smoke(10).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Sim(SimError::DeltaLimitExceeded { limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn smoke_step_budget_exhaustion_is_structured() {
+        let engine = Engine::with_options(AnalysisOptions {
+            budget: Budget {
+                max_sim_steps: Some(2),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        });
+        let design = frontend(TWO_PROC).unwrap();
+        let err = engine.analyze(&design).smoke(1_000).unwrap_err();
+        assert_eq!(err.stage(), Some(EngineStage::Smoke));
+        let EngineError::ResourceExhausted { limit, .. } = err else {
+            panic!("step overrun must be ResourceExhausted");
+        };
+        assert_eq!(limit, 2);
     }
 
     #[test]
@@ -1067,7 +1736,7 @@ end rtl;";
                 scope.spawn(move || {
                     for src in chunk {
                         let analysis = engine.analyze_source(src).unwrap();
-                        assert!(analysis.flow_graph().has_edge("a", "b"));
+                        assert!(analysis.flow_graph().unwrap().has_edge("a", "b"));
                     }
                 });
             }

@@ -9,7 +9,7 @@
 //! `n•` (the value the environment can observe), modelled through the
 //! environment process `π` of Section 5.3.
 
-use crate::closure::{table8_step, SpecializedRd};
+use crate::closure::{table8_step, ClosureExhausted, SpecializedRd};
 use crate::rm::{Access, Node, ResourceMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -47,6 +47,40 @@ pub fn improved_closure(
     local: &ResourceMatrix,
     options: &ImprovedOptions,
 ) -> ImprovedClosure {
+    match improved_closure_bounded(design, rd, spec, local, options, u64::MAX) {
+        Ok(closure) => closure,
+        Err(e) => unreachable!("unbounded closure cannot exhaust: {e}"),
+    }
+}
+
+/// [`improved_closure`] under an iteration budget: every fixpoint round and
+/// every applied addition charges one iteration, so the charge tracks actual
+/// work and a given design and budget always exhaust at the same
+/// (deterministic) point.
+///
+/// # Errors
+///
+/// Returns [`ClosureExhausted`] when the fixpoint does not converge within
+/// `max_iterations`.
+pub fn improved_closure_bounded(
+    design: &Design,
+    rd: &ReachingDefinitions,
+    spec: &SpecializedRd,
+    local: &ResourceMatrix,
+    options: &ImprovedOptions,
+    max_iterations: u64,
+) -> Result<ImprovedClosure, ClosureExhausted> {
+    let mut iterations: u64 = 0;
+    let mut charge = |amount: u64| -> Result<(), ClosureExhausted> {
+        iterations = iterations.saturating_add(amount);
+        if iterations > max_iterations {
+            return Err(ClosureExhausted {
+                iterations,
+                limit: max_iterations,
+            });
+        }
+        Ok(())
+    };
     let mut global = local.clone();
     let wait_labels: BTreeSet<Label> = rd
         .cfg
@@ -96,6 +130,7 @@ pub fn improved_closure(
     }
 
     loop {
+        charge(1)?;
         let mut additions = table8_step(&global, rd, spec, &wait_labels);
 
         // [Initial values]: reading a value that may still be the initial one
@@ -161,15 +196,16 @@ pub fn improved_closure(
         if additions.is_empty() {
             break;
         }
+        charge(additions.len() as u64)?;
         for (node, label, access) in additions {
             global.insert(node, label, access);
         }
     }
 
-    ImprovedClosure {
+    Ok(ImprovedClosure {
         matrix: global,
         outgoing_labels,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -258,6 +294,22 @@ mod tests {
         let merged = g.merge_io_nodes();
         assert!(merged.has_edge("a", "t"));
         assert!(merged.has_edge("t", "b"));
+    }
+
+    #[test]
+    fn bounded_improved_closure_exhausts_deterministically() {
+        let design = frontend(PORTED).unwrap();
+        let rd = ReachingDefinitions::compute(&design, &RdOptions::default());
+        let local = local_dependencies(&design);
+        let spec = specialize_rd(&rd, &local, true);
+        let opts = ImprovedOptions::default();
+        let roomy = improved_closure_bounded(&design, &rd, &spec, &local, &opts, 100_000).unwrap();
+        assert_eq!(roomy, improved_closure(&design, &rd, &spec, &local, &opts));
+        let e1 = improved_closure_bounded(&design, &rd, &spec, &local, &opts, 1).unwrap_err();
+        let e2 = improved_closure_bounded(&design, &rd, &spec, &local, &opts, 1).unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(e1.limit, 1);
+        assert!(e1.iterations > 1);
     }
 
     #[test]

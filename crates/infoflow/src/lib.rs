@@ -47,6 +47,7 @@
 
 pub mod alfp_encoding;
 pub mod analysis;
+pub mod budget;
 pub mod closure;
 pub mod engine;
 pub mod graph;
@@ -59,13 +60,17 @@ pub mod rm;
 pub use analysis::{
     analyze, analyze_all, analyze_source, analyze_with, AnalysisOptions, AnalysisResult,
 };
-pub use closure::{global_closure, specialize_rd, table8_step, SpecializedRd};
+pub use budget::{Budget, CancelFlag};
+pub use closure::{
+    global_closure, global_closure_bounded, specialize_rd, table8_step, ClosureExhausted,
+    SpecializedRd,
+};
 pub use engine::{
-    fnv1a64, Analysis, CachePolicy, Engine, EngineConfig, EngineError, EnginePhase, EngineStats,
-    SmokeReport,
+    fnv1a64, Analysis, CachePolicy, Engine, EngineConfig, EngineError, EnginePhase, EngineStage,
+    EngineStats, SmokeReport,
 };
 pub use graph::FlowGraph;
-pub use improved::{improved_closure, ImprovedClosure, ImprovedOptions};
+pub use improved::{improved_closure, improved_closure_bounded, ImprovedClosure, ImprovedOptions};
 pub use kemmerer::{kemmerer_graph, kemmerer_graph_from_matrix};
 pub use local::local_dependencies;
 pub use policy::{audit, AuditReport, Policy, Violation};

@@ -30,31 +30,55 @@ fn check_against_eager(options: AnalysisOptions, seed: u64, count: usize) {
         // Graph-first order: the downstream query pulls in every upstream
         // stage transparently.
         let graph_first = engine.analyze(&design);
-        assert_eq!(graph_first.flow_graph(), &eager.flow_graph(), "{name}");
         assert_eq!(
-            graph_first.kemmerer_graph(),
+            graph_first.flow_graph().unwrap(),
+            &eager.flow_graph(),
+            "{name}"
+        );
+        assert_eq!(
+            graph_first.kemmerer_graph().unwrap(),
             &eager.kemmerer_flow_graph(),
             "{name}"
         );
-        assert_eq!(graph_first.rd(), &eager.rd, "{name}");
+        assert_eq!(graph_first.rd().unwrap(), &eager.rd, "{name}");
         assert_eq!(graph_first.local(), &eager.local, "{name}");
-        assert_eq!(graph_first.specialized(), &eager.specialized, "{name}");
-        assert_eq!(graph_first.global(), &eager.global, "{name}");
-        assert_eq!(graph_first.improved(), eager.improved.as_ref(), "{name}");
+        assert_eq!(
+            graph_first.specialized().unwrap(),
+            &eager.specialized,
+            "{name}"
+        );
+        assert_eq!(graph_first.global().unwrap(), &eager.global, "{name}");
+        assert_eq!(
+            graph_first.improved().unwrap(),
+            eager.improved.as_ref(),
+            "{name}"
+        );
 
         // Rd-first order: stages demanded upstream-to-downstream.
         let rd_first = engine.analyze(&design);
-        assert_eq!(rd_first.rd(), &eager.rd, "{name}");
+        assert_eq!(rd_first.rd().unwrap(), &eager.rd, "{name}");
         assert_eq!(rd_first.local(), &eager.local, "{name}");
-        assert_eq!(rd_first.specialized(), &eager.specialized, "{name}");
-        assert_eq!(rd_first.global(), &eager.global, "{name}");
-        assert_eq!(rd_first.improved(), eager.improved.as_ref(), "{name}");
         assert_eq!(
-            rd_first.base_flow_graph(),
+            rd_first.specialized().unwrap(),
+            &eager.specialized,
+            "{name}"
+        );
+        assert_eq!(rd_first.global().unwrap(), &eager.global, "{name}");
+        assert_eq!(
+            rd_first.improved().unwrap(),
+            eager.improved.as_ref(),
+            "{name}"
+        );
+        assert_eq!(
+            rd_first.base_flow_graph().unwrap(),
             &eager.base_flow_graph(),
             "{name}"
         );
-        assert_eq!(rd_first.flow_graph(), &eager.flow_graph(), "{name}");
+        assert_eq!(
+            rd_first.flow_graph().unwrap(),
+            &eager.flow_graph(),
+            "{name}"
+        );
 
         // And the materialised owned result is the eager result.
         assert_eq!(rd_first.into_result(), eager, "{name}");
@@ -81,7 +105,7 @@ fn warm_engine_reproduces_cold_results_without_recomputation() {
         .iter()
         .map(|(name, src)| {
             let a = engine.analyze_source(src).expect("corpus source analyses");
-            a.flow_graph().to_dot(name)
+            a.flow_graph().unwrap().to_dot(name)
         })
         .collect();
     let cold = engine.stats();
@@ -94,7 +118,7 @@ fn warm_engine_reproduces_cold_results_without_recomputation() {
         .iter()
         .map(|(name, src)| {
             let a = engine.analyze_source(src).expect("cached source analyses");
-            a.flow_graph().to_dot(name)
+            a.flow_graph().unwrap().to_dot(name)
         })
         .collect();
     assert_eq!(cold_graphs, warm_graphs);
@@ -113,6 +137,6 @@ fn warm_engine_reproduces_cold_results_without_recomputation() {
     let other = Engine::default();
     for ((name, src), cold_dot) in sources.iter().zip(&cold_graphs) {
         let a = other.analyze_source(src).expect("corpus source analyses");
-        assert_eq!(&a.flow_graph().to_dot(name), cold_dot);
+        assert_eq!(&a.flow_graph().unwrap().to_dot(name), cold_dot);
     }
 }

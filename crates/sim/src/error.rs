@@ -52,6 +52,13 @@ pub enum SimError {
         /// The configured limit.
         limit: u64,
     },
+    /// The run as a whole executed more statement steps than the configured
+    /// total budget ([`crate::SimOptions::max_total_steps`]), summed over all
+    /// processes and delta cycles.
+    TotalStepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
 }
 
 impl SimError {
@@ -62,7 +69,9 @@ impl SimError {
             SimError::UndefinedName { span, .. }
             | SimError::InvalidSlice { span, .. }
             | SimError::NonBooleanCondition { span, .. } => span.pos(),
-            SimError::StepLimitExceeded { .. } | SimError::DeltaLimitExceeded { .. } => None,
+            SimError::StepLimitExceeded { .. }
+            | SimError::DeltaLimitExceeded { .. }
+            | SimError::TotalStepLimitExceeded { .. } => None,
         }
     }
 
@@ -85,7 +94,9 @@ impl SimError {
                     *span = new;
                 }
             }
-            SimError::StepLimitExceeded { .. } | SimError::DeltaLimitExceeded { .. } => {}
+            SimError::StepLimitExceeded { .. }
+            | SimError::DeltaLimitExceeded { .. }
+            | SimError::TotalStepLimitExceeded { .. } => {}
         }
         self
     }
@@ -110,6 +121,12 @@ impl fmt::Display for SimError {
             }
             SimError::DeltaLimitExceeded { limit } => {
                 write!(f, "design did not stabilise within {limit} delta cycles")?;
+            }
+            SimError::TotalStepLimitExceeded { limit } => {
+                write!(
+                    f,
+                    "run exceeded the total budget of {limit} statement steps"
+                )?;
             }
         }
         if let Some(pos) = self.pos() {

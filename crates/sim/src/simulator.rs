@@ -32,6 +32,11 @@ pub struct SimOptions {
     /// Raise an error when a branch condition is not a defined boolean
     /// (otherwise the else branch is taken).
     pub strict_conditions: bool,
+    /// Maximum number of elementary steps the whole run may execute, summed
+    /// over all processes and delta cycles, before
+    /// [`SimError::TotalStepLimitExceeded`] is raised.  `None` (the default)
+    /// leaves the run bounded only by the per-activation and delta limits.
+    pub max_total_steps: Option<u64>,
 }
 
 impl Default for SimOptions {
@@ -39,6 +44,7 @@ impl Default for SimOptions {
         SimOptions {
             max_steps_per_activation: 1_000_000,
             strict_conditions: false,
+            max_total_steps: None,
         }
     }
 }
@@ -85,6 +91,9 @@ pub struct Simulator {
     /// Bitset of signals whose present value changed last synchronisation.
     changed_bits: Box<[u64]>,
     deltas: u64,
+    /// Elementary steps executed by the whole run so far (all processes, all
+    /// delta cycles) — checked against [`SimOptions::max_total_steps`].
+    total_steps: u64,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -145,6 +154,7 @@ impl Simulator {
             driven_list: Vec::new(),
             changed_bits: vec![0u64; design.sig_word_count].into_boxed_slice(),
             deltas: 0,
+            total_steps: 0,
             design,
             options,
         }
@@ -158,6 +168,12 @@ impl Simulator {
     /// Number of delta cycles performed so far.
     pub fn delta_count(&self) -> u64 {
         self.deltas
+    }
+
+    /// Number of elementary statement steps executed so far, summed over all
+    /// processes and delta cycles.
+    pub fn total_step_count(&self) -> u64 {
+        self.total_steps
     }
 
     /// The present value of a signal.
@@ -366,6 +382,12 @@ impl Simulator {
                     process: cp.name.clone(),
                     limit: self.options.max_steps_per_activation,
                 });
+            }
+            self.total_steps += 1;
+            if let Some(max) = self.options.max_total_steps {
+                if self.total_steps > max {
+                    return Err(SimError::TotalStepLimitExceeded { limit: max });
+                }
             }
             match &code[p.pc as usize] {
                 Instr::Nop => p.pc += 1,
@@ -641,7 +663,7 @@ mod tests {
             &design,
             SimOptions {
                 max_steps_per_activation: 1000,
-                strict_conditions: false,
+                ..SimOptions::default()
             },
         )
         .unwrap();
@@ -649,6 +671,30 @@ mod tests {
             s.run_until_quiescent(10),
             Err(SimError::StepLimitExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn total_step_budget_bounds_the_whole_run() {
+        // A well-behaved design (waits every activation) that nevertheless
+        // executes many steps across delta cycles: a two-signal ping-pong
+        // would never settle, but even a plain copy chain accumulates steps.
+        let design = frontend(TWO_STAGE).unwrap();
+        let mut s = Simulator::with_options(
+            &design,
+            SimOptions {
+                max_total_steps: Some(3),
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        let err = s.run_until_quiescent(20).unwrap_err();
+        assert_eq!(err, SimError::TotalStepLimitExceeded { limit: 3 });
+        assert!(err.pos().is_none());
+        assert!(err.to_string().contains("total budget of 3"));
+        // The same run with no total cap completes and reports its count.
+        let mut free = Simulator::new(&design).unwrap();
+        free.run_until_quiescent(20).unwrap();
+        assert!(free.total_step_count() > 3);
     }
 
     #[test]

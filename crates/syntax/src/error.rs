@@ -9,6 +9,9 @@ pub struct SyntaxError {
     kind: SyntaxErrorKind,
     pos: Option<Pos>,
     message: String,
+    /// `true` when the error reports an exhausted resource limit (source
+    /// size, nesting depth) rather than malformed input.
+    resource_limit: bool,
 }
 
 /// The phase that produced a [`SyntaxError`].
@@ -29,6 +32,7 @@ impl SyntaxError {
             kind: SyntaxErrorKind::Lex,
             pos: Some(pos),
             message,
+            resource_limit: false,
         }
     }
 
@@ -38,6 +42,7 @@ impl SyntaxError {
             kind: SyntaxErrorKind::Parse,
             pos: Some(pos),
             message,
+            resource_limit: false,
         }
     }
 
@@ -47,6 +52,7 @@ impl SyntaxError {
             kind: SyntaxErrorKind::Elaborate,
             pos: None,
             message,
+            resource_limit: false,
         }
     }
 
@@ -59,7 +65,28 @@ impl SyntaxError {
             kind: SyntaxErrorKind::Elaborate,
             pos,
             message,
+            resource_limit: false,
         }
+    }
+
+    /// Creates a resource-limit error: the front end gave up because a
+    /// configured budget (source size, nesting depth) was exhausted, not
+    /// because the input was malformed.  Callers with a budget can detect
+    /// this through [`SyntaxError::is_resource_limit`] and report it as
+    /// resource exhaustion rather than a syntax problem.
+    pub fn resource(kind: SyntaxErrorKind, pos: Option<Pos>, message: String) -> Self {
+        SyntaxError {
+            kind,
+            pos,
+            message,
+            resource_limit: true,
+        }
+    }
+
+    /// `true` when the error reports an exhausted resource limit rather than
+    /// malformed input.
+    pub fn is_resource_limit(&self) -> bool {
+        self.resource_limit
     }
 
     /// The phase that produced the error.

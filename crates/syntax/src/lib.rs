@@ -45,9 +45,23 @@ pub use elaborate::{
 };
 pub use error::{SyntaxError, SyntaxErrorKind};
 pub use lexer::lex;
-pub use parser::{parse, parse_expression, parse_statements};
+pub use parser::{
+    parse, parse_expression, parse_statements, parse_with_depth, DEFAULT_PARSE_DEPTH,
+};
 pub use pretty::{pretty_expr, pretty_program, pretty_stmt};
 pub use token::{Pos, Span};
+
+/// Resource limits of the budgeted front end ([`frontend_with_limits`]).
+///
+/// `None` fields fall back to the built-in defaults: no source-size bound
+/// and [`DEFAULT_PARSE_DEPTH`] nesting levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrontendLimits {
+    /// Maximum accepted source length in bytes (checked before lexing).
+    pub max_source_bytes: Option<u64>,
+    /// Maximum combined expression/statement/block nesting depth.
+    pub max_parse_depth: Option<u32>,
+}
 
 /// Parses and elaborates a source text in one step.
 ///
@@ -68,4 +82,27 @@ pub use token::{Pos, Span};
 /// ```
 pub fn frontend(src: &str) -> Result<Design, SyntaxError> {
     elaborate(&parse(src)?)
+}
+
+/// [`frontend`] under explicit resource limits: the source size is checked
+/// before lexing and the parser honours the nesting-depth bound.
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] from the parser or the elaborator; exhausted
+/// limits are reported as resource-limit errors
+/// ([`SyntaxError::is_resource_limit`]) so budgeted callers can distinguish
+/// them from malformed input.
+pub fn frontend_with_limits(src: &str, limits: &FrontendLimits) -> Result<Design, SyntaxError> {
+    if let Some(max) = limits.max_source_bytes {
+        if src.len() as u64 > max {
+            return Err(SyntaxError::resource(
+                SyntaxErrorKind::Lex,
+                None,
+                format!("source is {} bytes, limit is {max}", src.len()),
+            ));
+        }
+    }
+    let depth = limits.max_parse_depth.unwrap_or(DEFAULT_PARSE_DEPTH);
+    elaborate(&parse_with_depth(src, depth)?)
 }

@@ -36,8 +36,38 @@ use crate::token::{Keyword, Pos, Span, Token, TokenKind};
 /// # Ok::<(), vhdl1_syntax::SyntaxError>(())
 /// ```
 pub fn parse(src: &str) -> Result<Program, SyntaxError> {
+    parse_with_depth(src, DEFAULT_PARSE_DEPTH)
+}
+
+/// Default bound on combined expression/statement/block nesting depth.
+///
+/// The parser is recursive-descent, so unbounded nesting would exhaust the
+/// call stack; this bound is generous for real designs (which rarely nest
+/// beyond a few dozen levels) while keeping the worst-case stack usage well
+/// under common thread stack sizes.  [`parse_with_depth`] accepts a tighter
+/// bound for budgeted front ends.
+pub const DEFAULT_PARSE_DEPTH: u32 = 256;
+
+/// Bound on the arm count of one `if/elsif/.../end if` ladder.
+///
+/// Ladders parse iteratively (so flat S-box style chains with hundreds of
+/// arms cost no recursion), but they still desugar to nested conditionals
+/// that every downstream traversal recurses over — so the arm count gets its
+/// own, much more generous, resource bound.
+pub const MAX_ELSIF_ARMS: usize = 1024;
+
+/// [`parse`] with an explicit nesting-depth bound (capped at
+/// [`DEFAULT_PARSE_DEPTH`] — deeper inputs would risk exhausting the call
+/// stack regardless of the caller's wishes).
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] for malformed input, or a resource-limit error
+/// (see [`SyntaxError::is_resource_limit`]) when nesting exceeds
+/// `max_depth`.
+pub fn parse_with_depth(src: &str, max_depth: u32) -> Result<Program, SyntaxError> {
     let tokens = lex(src)?;
-    Parser::new(tokens).program()
+    Parser::with_depth(tokens, max_depth).program()
 }
 
 /// Parses a single sequential statement body (used by tests and workload
@@ -70,11 +100,45 @@ pub fn parse_expression(src: &str) -> Result<Expr, SyntaxError> {
 struct Parser<'a> {
     tokens: Vec<Token<'a>>,
     idx: usize,
+    /// Current combined nesting depth (expressions, statements, blocks).
+    depth: u32,
+    /// Bound on `depth`; exceeding it yields a resource-limit error instead
+    /// of a call-stack overflow.
+    max_depth: u32,
 }
 
 impl<'a> Parser<'a> {
     fn new(tokens: Vec<Token<'a>>) -> Self {
-        Parser { tokens, idx: 0 }
+        Parser::with_depth(tokens, DEFAULT_PARSE_DEPTH)
+    }
+
+    fn with_depth(tokens: Vec<Token<'a>>, max_depth: u32) -> Self {
+        Parser {
+            tokens,
+            idx: 0,
+            depth: 0,
+            max_depth: max_depth.min(DEFAULT_PARSE_DEPTH),
+        }
+    }
+
+    /// Enters one nesting level of a recursive production, failing with a
+    /// resource-limit error once the depth bound is exceeded.  Every
+    /// `descend` is paired with an `ascend` on the (successful or failing)
+    /// way out, so the counter tracks the live recursion depth.
+    fn descend(&mut self, what: &'static str) -> Result<(), SyntaxError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(SyntaxError::resource(
+                crate::error::SyntaxErrorKind::Parse,
+                Some(self.pos()),
+                format!("{what} too deeply nested (depth limit {})", self.max_depth),
+            ));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> &TokenKind<'a> {
@@ -359,6 +423,17 @@ impl<'a> Parser<'a> {
     // ---- concurrent statements -------------------------------------------
 
     fn concurrent(&mut self) -> Result<Concurrent, SyntaxError> {
+        // Nested `block`s recurse back into `concurrent`; like statements,
+        // they charge two depth units per level (see `statement`).
+        self.descend("block")?;
+        self.descend("block")?;
+        let r = self.concurrent_inner();
+        self.ascend();
+        self.ascend();
+        r
+    }
+
+    fn concurrent_inner(&mut self) -> Result<Concurrent, SyntaxError> {
         // Labelled process or block: `ident : process ...` / `ident : block ...`
         if matches!(self.peek(), TokenKind::Ident(_)) && matches!(self.peek_n(1), TokenKind::Colon)
         {
@@ -475,6 +550,18 @@ impl<'a> Parser<'a> {
     }
 
     fn statement(&mut self) -> Result<Stmt, SyntaxError> {
+        // Statements charge two depth units: one statement nesting level
+        // keeps far more parser state on the call stack than one expression
+        // level, and the shared bound is sized for the cheaper of the two.
+        self.descend("statement")?;
+        self.descend("statement")?;
+        let r = self.statement_inner();
+        self.ascend();
+        self.ascend();
+        r
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt, SyntaxError> {
         if self.eat_kw(Keyword::Null) {
             self.expect(TokenKind::Semicolon)?;
             return Ok(Stmt::Null { label: 0 });
@@ -541,58 +628,36 @@ impl<'a> Parser<'a> {
     }
 
     fn if_statement(&mut self) -> Result<Stmt, SyntaxError> {
-        let cond = self.expression()?;
-        self.expect_kw(Keyword::Then)?;
-        let then_branch = self.statement_sequence()?;
-        let else_branch = if self.eat_kw(Keyword::Elsif) {
-            // `elsif` chains desugar to nested conditionals.
-            self.if_tail()?
-        } else if self.eat_kw(Keyword::Else) {
-            let e = self.statement_sequence()?;
-            self.expect_kw(Keyword::End)?;
-            self.expect_kw(Keyword::If)?;
-            self.expect(TokenKind::Semicolon)?;
-            e
+        // The whole `if/elsif*/else?` ladder is parsed iteratively: real
+        // designs arrive with hundreds of flat `elsif` arms (S-box lookups),
+        // which must not consume recursion depth the way genuinely nested
+        // `if`s do.  The arm count still gets its own bound so adversarial
+        // mega-ladders cannot build an AST too deep to traverse.
+        let mut arms = Vec::new();
+        loop {
+            if arms.len() >= MAX_ELSIF_ARMS {
+                return Err(SyntaxError::resource(
+                    crate::error::SyntaxErrorKind::Parse,
+                    Some(self.pos()),
+                    format!("too many elsif arms (limit {MAX_ELSIF_ARMS})"),
+                ));
+            }
+            let cond = self.expression()?;
+            self.expect_kw(Keyword::Then)?;
+            arms.push((cond, self.statement_sequence()?));
+            if !self.eat_kw(Keyword::Elsif) {
+                break;
+            }
+        }
+        let else_branch = if self.eat_kw(Keyword::Else) {
+            self.statement_sequence()?
         } else {
-            self.expect_kw(Keyword::End)?;
-            self.expect_kw(Keyword::If)?;
-            self.expect(TokenKind::Semicolon)?;
             Stmt::Null { label: 0 }
         };
-        Ok(Stmt::If {
-            label: 0,
-            cond,
-            then_branch: Box::new(then_branch),
-            else_branch: Box::new(else_branch),
-        })
-    }
-
-    /// Parses the continuation of an `elsif`: behaves like a nested `if` but
-    /// shares the enclosing `end if;`.
-    fn if_tail(&mut self) -> Result<Stmt, SyntaxError> {
-        let cond = self.expression()?;
-        self.expect_kw(Keyword::Then)?;
-        let then_branch = self.statement_sequence()?;
-        let else_branch = if self.eat_kw(Keyword::Elsif) {
-            self.if_tail()?
-        } else if self.eat_kw(Keyword::Else) {
-            let e = self.statement_sequence()?;
-            self.expect_kw(Keyword::End)?;
-            self.expect_kw(Keyword::If)?;
-            self.expect(TokenKind::Semicolon)?;
-            e
-        } else {
-            self.expect_kw(Keyword::End)?;
-            self.expect_kw(Keyword::If)?;
-            self.expect(TokenKind::Semicolon)?;
-            Stmt::Null { label: 0 }
-        };
-        Ok(Stmt::If {
-            label: 0,
-            cond,
-            then_branch: Box::new(then_branch),
-            else_branch: Box::new(else_branch),
-        })
+        self.expect_kw(Keyword::End)?;
+        self.expect_kw(Keyword::If)?;
+        self.expect(TokenKind::Semicolon)?;
+        Ok(fold_if_ladder(arms, else_branch))
     }
 
     fn while_statement(&mut self) -> Result<Stmt, SyntaxError> {
@@ -660,7 +725,10 @@ impl<'a> Parser<'a> {
     // ---- expressions --------------------------------------------------------
 
     fn expression(&mut self) -> Result<Expr, SyntaxError> {
-        self.logical_expression()
+        self.descend("expression")?;
+        let r = self.logical_expression();
+        self.ascend();
+        r
     }
 
     fn logical_expression(&mut self) -> Result<Expr, SyntaxError> {
@@ -714,8 +782,12 @@ impl<'a> Parser<'a> {
 
     fn factor(&mut self) -> Result<Expr, SyntaxError> {
         if self.eat_kw(Keyword::Not) {
-            let e = self.factor()?;
-            return Ok(Expr::not(e));
+            // `not` chains recurse without passing through `expression`, so
+            // they count against the same depth bound.
+            self.descend("expression")?;
+            let e = self.factor();
+            self.ascend();
+            return Ok(Expr::not(e?));
         }
         self.primary()
     }
@@ -750,6 +822,22 @@ impl<'a> Parser<'a> {
             other => Err(self.err(format!("expected expression, found {other}"))),
         }
     }
+}
+
+/// Desugars a parsed `if/elsif*/else?` ladder into nested conditionals,
+/// folded from the last arm outwards.  Kept out of [`Parser::if_statement`]
+/// so its temporaries don't enlarge the recursive parse frame.
+fn fold_if_ladder(arms: Vec<(Expr, Stmt)>, else_branch: Stmt) -> Stmt {
+    let mut stmt = else_branch;
+    for (cond, then_branch) in arms.into_iter().rev() {
+        stmt = Stmt::If {
+            label: 0,
+            cond,
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(stmt),
+        };
+    }
+    stmt
 }
 
 #[cfg(test)]
@@ -934,6 +1022,71 @@ mod tests {
     #[test]
     fn rejects_garbage_statement() {
         assert!(parse_statements("x + 1;").is_err());
+    }
+
+    #[test]
+    fn deeply_nested_expression_errors_instead_of_overflowing() {
+        // Regression: 100k nesting levels used to overflow the call stack.
+        let depth = 100_000;
+        let src = format!("{}a{}", "(".repeat(depth), ")".repeat(depth));
+        let err = parse_expression(&src).expect_err("must not crash");
+        assert!(err.is_resource_limit(), "{err}");
+        assert!(
+            err.to_string().contains("expression too deeply nested"),
+            "{err}"
+        );
+        assert!(err.pos().is_some(), "depth errors carry a position");
+        // The same expression embedded in a full program is caught too.
+        let prog = format!(
+            "architecture a of e is begin p : process begin x := {src}; \
+             wait; end process p; end a;"
+        );
+        let err = parse(&prog).expect_err("must not crash");
+        assert!(err.is_resource_limit());
+        // `not` chains recurse through `factor` and are bounded as well.
+        let nots = format!("{} a", "not ".repeat(100_000));
+        assert!(parse_expression(&nots)
+            .expect_err("bounded")
+            .is_resource_limit());
+    }
+
+    #[test]
+    fn deeply_nested_statements_error_instead_of_overflowing() {
+        let depth = 100_000;
+        let src = format!(
+            "{}x := '1';{}",
+            "if a = '1' then ".repeat(depth),
+            " end if;".repeat(depth)
+        );
+        let err = parse_statements(&src).expect_err("must not crash");
+        assert!(err.is_resource_limit(), "{err}");
+        assert!(err.to_string().contains("too deeply nested"), "{err}");
+    }
+
+    #[test]
+    fn parse_with_depth_tightens_but_never_loosens_the_bound() {
+        let nested = |d: usize| format!("{}a{}", "(".repeat(d), ")".repeat(d));
+        let shallow = format!("architecture a of e is begin q <= {}; end a;", nested(100));
+        assert!(parse(&shallow).is_ok());
+        let err = parse_with_depth(&shallow, 32).expect_err("tight bound applies");
+        assert!(err.is_resource_limit());
+        // Requests beyond the default are clamped: still no stack overflow.
+        let deep = format!(
+            "architecture a of e is begin q <= {}; end a;",
+            nested(50_000)
+        );
+        assert!(parse_with_depth(&deep, u32::MAX)
+            .expect_err("clamped")
+            .is_resource_limit());
+    }
+
+    #[test]
+    fn ordinary_nesting_is_unaffected_by_the_depth_guard() {
+        let src = format!(
+            "architecture a of e is begin q <= {}; end a;",
+            "(a xor (b and (c or (not d))))"
+        );
+        assert!(parse(&src).is_ok());
     }
 
     #[test]

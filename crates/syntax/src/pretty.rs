@@ -136,8 +136,26 @@ pub fn pretty_stmt(s: &Stmt, level: usize, out: &mut String) {
             else_branch,
             ..
         } => {
+            // A conditional whose else branch is exactly another conditional
+            // prints as an `elsif` ladder.  This is the inverse of the
+            // parser's desugaring, and — unlike physically nested
+            // `if ... end if;` blocks — keeps S-box style ladders with
+            // hundreds of arms within the parser's nesting bound when the
+            // output is read back.
             let _ = writeln!(out, "{pad}if {} then", pretty_expr(cond));
             pretty_stmt(then_branch, level + 1, out);
+            let mut else_branch = else_branch;
+            while let Stmt::If {
+                cond,
+                then_branch,
+                else_branch: nested_else,
+                ..
+            } = &**else_branch
+            {
+                let _ = writeln!(out, "{pad}elsif {} then", pretty_expr(cond));
+                pretty_stmt(then_branch, level + 1, out);
+                else_branch = nested_else;
+            }
             if !matches!(**else_branch, Stmt::Null { .. }) {
                 let _ = writeln!(out, "{pad}else");
                 pretty_stmt(else_branch, level + 1, out);

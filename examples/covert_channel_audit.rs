@@ -66,8 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_allowed("key", "ciphertext")
         .with_allowed("key", "mixed");
 
-    // One design, one report — rendered by the product reporter.
-    let report = analysis_report(&analysis, &policy);
+    // One design, one report — rendered by the product reporter.  The
+    // default budget is unlimited, so the only error source here is the
+    // engine itself.
+    let report = analysis_report(&analysis, &policy)?;
     let batch = BatchReport {
         designs: vec![report],
         ..BatchReport::default()

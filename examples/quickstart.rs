@@ -54,8 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // First demand computes the pipeline; every later call is a memo hit
-    // returning the same borrowed graph.
-    let graph = analysis.flow_graph();
+    // returning the same borrowed graph.  Stage queries are fallible — the
+    // engine's resource budget (unlimited by default) can cut them short.
+    let graph = analysis.flow_graph()?;
 
     println!("\ninformation flows (edge = information may flow):");
     for (from, to) in graph.edges() {
@@ -68,13 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nGraphviz DOT:\n{}",
-        analysis.merged_flow_graph().to_dot("gatekeeper")
+        analysis.merged_flow_graph()?.to_dot("gatekeeper")
     );
 
     // Re-analysing the same source is free — served from the content-hash
     // memo table without even reparsing:
     let again = engine.analyze_source(src)?;
-    assert!(std::ptr::eq(graph, again.flow_graph()));
+    assert!(std::ptr::eq(graph, again.flow_graph()?));
     assert_eq!(engine.stats().cache_hits, 1);
     Ok(())
 }

@@ -72,7 +72,7 @@ fn analyze_command(args: &[String]) -> Result<(), String> {
     let engine = Engine::with_options(options(flags));
     let analysis = engine.analyze_source(&src).map_err(|e| e.to_string())?;
     let design = analysis.design();
-    let graph = analysis.flow_graph();
+    let graph = analysis.flow_graph().map_err(|e| e.to_string())?;
     if flags.iter().any(|f| f == "--dot") {
         println!("{}", graph.to_dot(&design.name));
         return Ok(());
@@ -98,8 +98,8 @@ fn compare_command(args: &[String]) -> Result<(), String> {
     opts.improved = false;
     let engine = Engine::with_options(opts);
     let analysis = engine.analyze(&design);
-    let ours = analysis.base_flow_graph();
-    let kemmerer = analysis.kemmerer_graph();
+    let ours = analysis.base_flow_graph().map_err(|e| e.to_string())?;
+    let kemmerer = analysis.kemmerer_graph().map_err(|e| e.to_string())?;
     println!(
         "this paper : {} edges (non-transitive: {})",
         ours.edge_count(),
