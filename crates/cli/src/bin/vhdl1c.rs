@@ -11,7 +11,7 @@
 
 use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
-use vhdl1_cli::driver::{run_batch, BatchOptions, Format, Job};
+use vhdl1_cli::driver::{run_batch, BatchOptions, Format, Job, VerifyOptions};
 use vhdl1_corpus::{generate, parse_manifest, write_manifest, CorpusSpec, Family};
 use vhdl1_infoflow::{Budget, Policy};
 
@@ -43,14 +43,30 @@ usage:
       --no-cache        disable the engine's analysis memo table
                         (report-level dedup of identical jobs stays on)
 
+  vhdl1c verify [FILE...] [options]
+      Analyze like `analyze`, then witness dynamic flows per design by
+      seeded differential simulation (twin runs perturbing one input at
+      a time) and cross-check them against the static flow graph:
+      a witnessed flow the static analysis missed is a soundness
+      violation (hard --check failure); static edges never witnessed
+      are reported as the precision gap, with per-edge flow coverage.
+      Takes every `analyze` option, plus:
+      --rounds N        stimulus rounds per perturbation source
+                        (default 16)
+      --seed N          stimulus seed (default 1)
+      --min-coverage F  with --check, also fail (exit 2) when static
+                        flow-edge coverage over leaky designs falls
+                        below F (0..=1)
+
   vhdl1c help
       Show this message.
 
 exit codes:
   0  success (with --check: batch clean, nothing degraded)
   1  usage or I/O error
-  2  --check failed: unexpected error, ground-truth mismatch, or
-     smoke failure (wrong answers)
+  2  --check failed: unexpected error, ground-truth mismatch, smoke
+     failure, dynamic soundness violation, dynflow failure, or
+     coverage below --min-coverage (wrong answers)
   3  --check passed but at least one design exceeded its resource
      budget or deadline (incomplete answers)
 
@@ -91,7 +107,8 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let (command, rest) = args.split_first().ok_or_else(|| usage("missing command"))?;
     match command.as_str() {
         "gen" => gen_command(rest),
-        "analyze" => analyze_command(rest),
+        "analyze" => analyze_command(rest, false),
+        "verify" => analyze_command(rest, true),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -153,9 +170,33 @@ fn gen_command(args: &[String]) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn analyze_command(args: &[String]) -> Result<ExitCode, CliError> {
+fn analyze_command(args: &[String], verify: bool) -> Result<ExitCode, CliError> {
     let mut args = args.to_vec();
     let mut opts = BatchOptions::default();
+    let mut min_coverage = None;
+    if verify {
+        let mut verify_opts = VerifyOptions::default();
+        if let Some(rounds) = take_value(&mut args, "--rounds")? {
+            verify_opts.rounds = rounds
+                .parse()
+                .map_err(|_| usage("--rounds must be an unsigned integer"))?;
+        }
+        if let Some(seed) = take_value(&mut args, "--seed")? {
+            verify_opts.seed = seed
+                .parse()
+                .map_err(|_| usage("--seed must be an unsigned integer"))?;
+        }
+        if let Some(cov) = take_value(&mut args, "--min-coverage")? {
+            let cov: f64 = cov
+                .parse()
+                .map_err(|_| usage("--min-coverage must be a number in 0..=1"))?;
+            if !(0.0..=1.0).contains(&cov) {
+                return Err(usage("--min-coverage must be a number in 0..=1"));
+            }
+            min_coverage = Some(cov);
+        }
+        opts.verify = Some(verify_opts);
+    }
     if let Some(jobs) = take_value(&mut args, "--jobs")? {
         opts.jobs = jobs
             .parse()
@@ -221,13 +262,30 @@ fn analyze_command(args: &[String]) -> Result<ExitCode, CliError> {
         );
     }
     if check {
-        if !batch.check_ok() {
+        // Coverage gate: judged over the leaky population when one exists
+        // (clean designs legitimately keep conservative edges unexercised),
+        // over everything otherwise.
+        let coverage_ok = min_coverage.is_none_or(|min| {
+            let (covered, total) = match batch.dynflow_leaky_edges() {
+                (_, 0) => batch.dynflow_edges(),
+                leaky => leaky,
+            };
+            total == 0 || covered as f64 / total as f64 >= min
+        });
+        if !batch.check_ok() || !coverage_ok {
             eprintln!(
                 "check failed: {} unexpected error(s), {} ground-truth mismatch(es), \
-                 {} smoke failure(s)",
+                 {} smoke failure(s), {} soundness violation(s), {} dynflow failure(s){}",
                 batch.unexpected_errors(),
                 batch.ground_truth_mismatches(),
-                batch.smoke_failures()
+                batch.smoke_failures(),
+                batch.soundness_violations(),
+                batch.dynflow_failures(),
+                if coverage_ok {
+                    String::new()
+                } else {
+                    format!(", coverage below {:.2}", min_coverage.unwrap_or(0.0))
+                }
             );
             return Ok(ExitCode::from(2));
         }

@@ -11,7 +11,9 @@
 //! grouped up front so every report byte is independent of worker count.
 
 use crate::pool;
-use crate::report::{analysis_report, BatchError, BatchReport, DegradedEntry, DesignReport};
+use crate::report::{
+    analysis_report, BatchError, BatchReport, DegradedEntry, DesignReport, DynFlowSection,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -138,6 +140,9 @@ pub struct BatchOptions {
     pub timing: bool,
     /// Smoke-simulate every design to quiescence.
     pub smoke: bool,
+    /// Witness dynamic flows by differential simulation and cross-check
+    /// them against the static flow graph (`vhdl1c verify`).
+    pub verify: Option<VerifyOptions>,
     /// Per-design wall-clock deadline, enforced by a watchdog thread that
     /// trips each design's cooperative [`CancelFlag`] — the design lands in
     /// the report's `degraded` section (stage `deadline`) while the batch
@@ -168,9 +173,28 @@ impl Default for BatchOptions {
             policy: None,
             timing: false,
             smoke: false,
+            verify: None,
             deadline_ms: None,
             analysis: AnalysisOptions::default(),
             cache: DEFAULT_ENGINE_CACHE,
+        }
+    }
+}
+
+/// Parameters of the dynamic flow-witness pass (`vhdl1c verify`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Stimulus rounds per perturbation source.
+    pub rounds: u64,
+    /// Stimulus seed.
+    pub seed: u64,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            rounds: 16,
+            seed: 1,
         }
     }
 }
@@ -483,6 +507,18 @@ fn analyze_job(
                 degraded = JobOutcome::from_engine_error(&e).degraded;
             }
             Err(e) => report.smoke_error = Some(e.to_string()),
+        }
+    }
+    if let Some(verify) = &opts.verify {
+        // Memoized per (rounds, seed) like smoke; budget exhaustion degrades
+        // the design, any other simulator failure is a verify failure the
+        // `--check` gate counts.
+        match analysis.dynamic_flows(verify.rounds, verify.seed) {
+            Ok(dynflow) => report.dynflow = Some(DynFlowSection::from_report(&dynflow)),
+            Err(e) if e.is_resource_exhausted() => {
+                degraded = JobOutcome::from_engine_error(&e).degraded;
+            }
+            Err(e) => report.dynflow_error = Some(e.to_string()),
         }
     }
     if opts.timing {

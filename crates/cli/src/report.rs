@@ -5,8 +5,109 @@
 
 use crate::json;
 use std::fmt::Write as _;
-use vhdl1_infoflow::{audit, Analysis, AnalysisResult, EngineError, FlowGraph, Policy};
+use vhdl1_infoflow::{
+    audit, Analysis, AnalysisResult, DynFlowReport, EngineError, FlowGraph, Policy,
+};
 use vhdl1_syntax::Design;
+
+/// The dynamic flow-witness record of one design (`vhdl1c verify`): the
+/// engine's [`DynFlowReport`] flattened for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynFlowSection {
+    /// Stimulus rounds per perturbation source.
+    pub rounds: u64,
+    /// Stimulus seed.
+    pub seed: u64,
+    /// Witnessed `(input, output)` flows (concrete diverging executions).
+    pub witnessed: Vec<(String, String)>,
+    /// Dynamically witnessed dependences the static analysis misses —
+    /// soundness bugs, hard `--check` failures.
+    pub soundness_violations: Vec<(String, String)>,
+    /// Static merged-graph edges never exercised dynamically (expected
+    /// conservatism; the precision report).
+    pub unwitnessed_static: Vec<(String, String)>,
+    /// Mined `no-flow(src, sink)` candidates as `(from, to, static_agrees)`.
+    pub no_flow_properties: Vec<(String, String, bool)>,
+    /// Static merged-graph edges dynamically exercised.
+    pub covered_edges: usize,
+    /// Total static merged-graph edges.
+    pub static_edges: usize,
+    /// Kemmerer-baseline edges dynamically exercised.
+    pub kemmerer_covered: usize,
+    /// Total Kemmerer-baseline edges.
+    pub kemmerer_edges: usize,
+}
+
+impl DynFlowSection {
+    /// Flattens an engine [`DynFlowReport`].
+    pub fn from_report(report: &DynFlowReport) -> DynFlowSection {
+        DynFlowSection {
+            rounds: report.rounds,
+            seed: report.seed,
+            witnessed: report.witnessed.clone(),
+            soundness_violations: report.soundness_violations.clone(),
+            unwitnessed_static: report.unwitnessed_static.clone(),
+            no_flow_properties: report
+                .no_flow_properties
+                .iter()
+                .map(|p| (p.from.clone(), p.to.clone(), p.static_agrees))
+                .collect(),
+            covered_edges: report.covered_edges,
+            static_edges: report.static_edges,
+            kemmerer_covered: report.kemmerer_covered,
+            kemmerer_edges: report.kemmerer_edges,
+        }
+    }
+
+    /// Fraction of static edges dynamically exercised (1.0 when edgeless).
+    pub fn coverage(&self) -> f64 {
+        if self.static_edges == 0 {
+            1.0
+        } else {
+            self.covered_edges as f64 / self.static_edges as f64
+        }
+    }
+
+    fn to_json_value(&self) -> String {
+        let pairs = |v: &[(String, String)]| -> String {
+            let items: Vec<String> = v
+                .iter()
+                .map(|(f, t)| format!("[{}, {}]", json::string(f), json::string(t)))
+                .collect();
+            format!("[{}]", items.join(", "))
+        };
+        let no_flows: Vec<String> = self
+            .no_flow_properties
+            .iter()
+            .map(|(f, t, agrees)| {
+                format!(
+                    "{{\"from\": {}, \"to\": {}, \"static_agrees\": {}}}",
+                    json::string(f),
+                    json::string(t),
+                    agrees
+                )
+            })
+            .collect();
+        format!(
+            "{{\"rounds\": {}, \"seed\": {}, \"witnessed\": {}, \
+             \"soundness_violations\": {}, \"unwitnessed_static\": {}, \
+             \"no_flow_properties\": [{}], \"covered_edges\": {}, \
+             \"static_edges\": {}, \"coverage\": {:.6}, \
+             \"kemmerer_covered\": {}, \"kemmerer_edges\": {}}}",
+            self.rounds,
+            self.seed,
+            pairs(&self.witnessed),
+            pairs(&self.soundness_violations),
+            pairs(&self.unwitnessed_static),
+            no_flows.join(", "),
+            self.covered_edges,
+            self.static_edges,
+            self.coverage(),
+            self.kemmerer_covered,
+            self.kemmerer_edges
+        )
+    }
+}
 
 /// One policy violation, flattened to resource names and levels.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +157,10 @@ pub struct DesignReport {
     pub smoke_deltas: Option<u64>,
     /// Smoke-simulation failure, if any.
     pub smoke_error: Option<String>,
+    /// Dynamic flow-witness results, when `verify` ran.
+    pub dynflow: Option<DynFlowSection>,
+    /// Dynamic flow-witness failure, if any.
+    pub dynflow_error: Option<String>,
     /// Wall-clock analysis time, when timing was requested.
     pub millis: Option<f64>,
     /// Graphviz DOT rendering of the full flow graph, when requested.
@@ -124,6 +229,8 @@ fn report_from_graph(design: &Design, graph: &FlowGraph, policy: &Policy) -> Des
         cached: false,
         smoke_deltas: None,
         smoke_error: None,
+        dynflow: None,
+        dynflow_error: None,
         millis: None,
         dot: None,
     }
@@ -205,6 +312,19 @@ impl DesignReport {
         );
         let _ = writeln!(
             out,
+            "{indent}  \"dynflow\": {},",
+            match &self.dynflow {
+                Some(d) => d.to_json_value(),
+                None => "null".to_string(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "{indent}  \"dynflow_error\": {},",
+            json::opt_string(self.dynflow_error.as_deref())
+        );
+        let _ = writeln!(
+            out,
             "{indent}  \"millis\": {}",
             match self.millis {
                 Some(ms) => format!("{ms:.3}"),
@@ -259,6 +379,35 @@ impl DesignReport {
         }
         if let Some(err) = &self.smoke_error {
             let _ = writeln!(out, "  smoke simulation: FAILED ({err})");
+        }
+        if let Some(d) = &self.dynflow {
+            let _ = writeln!(
+                out,
+                "  dynamic flows: {} witnessed, coverage {}/{} ({:.1}%), {} soundness violation(s)",
+                d.witnessed.len(),
+                d.covered_edges,
+                d.static_edges,
+                d.coverage() * 100.0,
+                d.soundness_violations.len()
+            );
+            for (src, sink) in &d.soundness_violations {
+                let _ = writeln!(out, "  soundness VIOLATION {src} -> {sink}");
+            }
+            if !d.no_flow_properties.is_empty() {
+                let confirmed = d
+                    .no_flow_properties
+                    .iter()
+                    .filter(|(_, _, agrees)| *agrees)
+                    .count();
+                let _ = writeln!(
+                    out,
+                    "  no-flow properties: {} mined ({confirmed} statically confirmed)",
+                    d.no_flow_properties.len()
+                );
+            }
+        }
+        if let Some(err) = &self.dynflow_error {
+            let _ = writeln!(out, "  dynamic flows: FAILED ({err})");
         }
         if let Some(ms) = self.millis {
             let _ = writeln!(out, "  analysis time: {ms:.3} ms");
@@ -356,15 +505,74 @@ impl BatchReport {
         self.errors.iter().filter(|e| !e.expected).count()
     }
 
+    /// Whether any design carries dynamic flow-witness results.
+    pub fn has_dynflow(&self) -> bool {
+        self.designs.iter().any(|d| d.dynflow.is_some())
+    }
+
+    /// Dynamically witnessed flows the static analysis missed, summed over
+    /// the batch — every one a soundness counterexample.
+    pub fn soundness_violations(&self) -> usize {
+        self.designs
+            .iter()
+            .filter_map(|d| d.dynflow.as_ref())
+            .map(|d| d.soundness_violations.len())
+            .sum()
+    }
+
+    /// Designs whose dynamic flow-witness run failed outright.
+    pub fn dynflow_failures(&self) -> usize {
+        self.designs
+            .iter()
+            .filter(|d| d.dynflow_error.is_some())
+            .count()
+    }
+
+    /// Witnessed `(input, output)` flows summed over the batch.
+    pub fn witnessed_flows(&self) -> usize {
+        self.designs
+            .iter()
+            .filter_map(|d| d.dynflow.as_ref())
+            .map(|d| d.witnessed.len())
+            .sum()
+    }
+
+    /// `(covered, total)` static merged-graph edges summed over every
+    /// design with dynamic flow-witness results.
+    pub fn dynflow_edges(&self) -> (usize, usize) {
+        self.designs
+            .iter()
+            .filter_map(|d| d.dynflow.as_ref())
+            .fold((0, 0), |(c, t), d| {
+                (c + d.covered_edges, t + d.static_edges)
+            })
+    }
+
+    /// `(covered, total)` static edges restricted to designs the corpus
+    /// marked leaky — the acceptance-bar coverage population (clean designs
+    /// legitimately keep conservative edges unexercised).
+    pub fn dynflow_leaky_edges(&self) -> (usize, usize) {
+        self.designs
+            .iter()
+            .filter(|d| d.leaky == Some(true))
+            .filter_map(|d| d.dynflow.as_ref())
+            .fold((0, 0), |(c, t), d| {
+                (c + d.covered_edges, t + d.static_edges)
+            })
+    }
+
     /// Whether the batch is clean: no unexpected errors, no ground-truth
-    /// mismatches and no smoke failures (violations by themselves are
-    /// *findings*, not failures; expected rejections and budget-degraded
-    /// designs are correct bounded-analysis behavior).  This is what
-    /// `vhdl1c analyze --check` gates on.
+    /// mismatches, no smoke failures, no dynamic soundness violations and
+    /// no dynflow failures (violations by themselves are *findings*, not
+    /// failures; expected rejections and budget-degraded designs are
+    /// correct bounded-analysis behavior).  This is what `vhdl1c analyze
+    /// --check` and `vhdl1c verify --check` gate on.
     pub fn check_ok(&self) -> bool {
         self.unexpected_errors() == 0
             && self.ground_truth_mismatches() == 0
             && self.smoke_failures() == 0
+            && self.soundness_violations() == 0
+            && self.dynflow_failures() == 0
     }
 
     /// Renders the machine-readable JSON report.
@@ -372,7 +580,7 @@ impl BatchReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"tool\": \"vhdl1c\",");
-        let _ = writeln!(out, "  \"schema\": 2,");
+        let _ = writeln!(out, "  \"schema\": 3,");
         out.push_str("  \"designs\": [\n");
         for (i, d) in self.designs.iter().enumerate() {
             d.to_json(&mut out, "    ");
@@ -437,6 +645,20 @@ impl BatchReport {
             self.ground_truth_mismatches()
         );
         let _ = writeln!(out, "    \"smoke_failures\": {},", self.smoke_failures());
+        let _ = writeln!(
+            out,
+            "    \"soundness_violations\": {},",
+            self.soundness_violations()
+        );
+        let _ = writeln!(
+            out,
+            "    \"dynflow_failures\": {},",
+            self.dynflow_failures()
+        );
+        let _ = writeln!(out, "    \"witnessed_flows\": {},", self.witnessed_flows());
+        let (covered, total) = self.dynflow_edges();
+        let _ = writeln!(out, "    \"dynflow_covered_edges\": {covered},");
+        let _ = writeln!(out, "    \"dynflow_static_edges\": {total},");
         let _ = writeln!(out, "    \"cache_hits\": {},", self.cache_hits);
         let _ = writeln!(
             out,
@@ -482,6 +704,22 @@ impl BatchReport {
             self.smoke_failures(),
             self.cache_hits
         );
+        if self.has_dynflow() || self.dynflow_failures() > 0 {
+            let (covered, total) = self.dynflow_edges();
+            let pct = if total == 0 {
+                100.0
+            } else {
+                covered as f64 / total as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "dynflow: {} witnessed flow(s), {} soundness violation(s), \
+                 coverage {covered}/{total} static edge(s) ({pct:.1}%), {} failure(s)",
+                self.witnessed_flows(),
+                self.soundness_violations(),
+                self.dynflow_failures()
+            );
+        }
         out
     }
 
@@ -550,7 +788,7 @@ mod tests {
         });
         let json = report.to_json();
         assert!(json.contains("\"tool\": \"vhdl1c\""));
-        assert!(json.contains("\"schema\": 2,"));
+        assert!(json.contains("\"schema\": 3,"));
         assert!(json.contains("\"designs\": ["));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"expected\": false"));
@@ -620,5 +858,69 @@ mod tests {
         });
         assert!(!report.check_ok(), "unexpected errors must still fail");
         assert_eq!(report.unexpected_errors(), 1);
+    }
+
+    fn dynflow_section() -> DynFlowSection {
+        DynFlowSection {
+            rounds: 8,
+            seed: 1,
+            witnessed: vec![("a".into(), "b".into())],
+            soundness_violations: vec![],
+            unwitnessed_static: vec![("a".into(), "c".into())],
+            no_flow_properties: vec![("a".into(), "c".into(), true)],
+            covered_edges: 1,
+            static_edges: 2,
+            kemmerer_covered: 1,
+            kemmerer_edges: 1,
+        }
+    }
+
+    #[test]
+    fn dynflow_section_renders_and_aggregates() {
+        let mut report = BatchReport::default();
+        let mut d = copy_report(&Policy::new());
+        d.leaky = Some(true);
+        d.dynflow = Some(dynflow_section());
+        report.designs.push(d);
+
+        let json = report.to_json();
+        assert!(json.contains("\"dynflow\": {\"rounds\": 8, \"seed\": 1,"));
+        assert!(json.contains("\"coverage\": 0.500000"));
+        assert!(json.contains("\"static_agrees\": true"));
+        assert!(json.contains("\"witnessed_flows\": 1,"));
+        assert!(json.contains("\"dynflow_covered_edges\": 1,"));
+        assert!(json.contains("\"dynflow_static_edges\": 2,"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        let text = report.to_text();
+        assert!(text.contains("dynamic flows: 1 witnessed, coverage 1/2 (50.0%)"));
+        assert!(text.contains("no-flow properties: 1 mined (1 statically confirmed)"));
+        assert!(text.contains("dynflow: 1 witnessed flow(s), 0 soundness violation(s)"));
+
+        assert_eq!(report.dynflow_leaky_edges(), (1, 2));
+        assert!(report.check_ok());
+    }
+
+    #[test]
+    fn soundness_violations_and_dynflow_failures_fail_check() {
+        let mut report = BatchReport::default();
+        let mut d = copy_report(&Policy::new());
+        let mut section = dynflow_section();
+        section.soundness_violations = vec![("a".into(), "x".into())];
+        d.dynflow = Some(section);
+        report.designs.push(d);
+        assert!(
+            !report.check_ok(),
+            "a witnessed-but-unpredicted flow is a hard failure"
+        );
+        assert!(report.to_text().contains("soundness VIOLATION a -> x"));
+
+        let mut report = BatchReport::default();
+        let mut d = copy_report(&Policy::new());
+        d.dynflow_error = Some("simulation error: oops".into());
+        report.designs.push(d);
+        assert!(!report.check_ok());
+        assert!(report.to_text().contains("dynamic flows: FAILED"));
     }
 }

@@ -5,7 +5,7 @@
 //! `UPDATE_GOLDEN=1 cargo test -p vhdl1-cli --test golden`.
 
 use std::process::{Command, Stdio};
-use vhdl1_cli::driver::{run_batch, BatchOptions, Format, Job};
+use vhdl1_cli::driver::{run_batch, BatchOptions, Format, Job, VerifyOptions};
 use vhdl1_corpus::{generate, write_manifest, CorpusSpec, Family};
 
 /// The quickstart-sized fixture shared by the JSON and DOT goldens.
@@ -92,6 +92,58 @@ fn text_report_matches_golden() {
     check_golden("report.txt", &batch.to_text());
 }
 
+fn verify_options() -> BatchOptions {
+    BatchOptions {
+        verify: Some(VerifyOptions { rounds: 8, seed: 1 }),
+        ..BatchOptions::default()
+    }
+}
+
+#[test]
+fn verify_json_report_matches_golden() {
+    let batch = run_batch(&fixture_jobs(), &verify_options());
+    check_golden("verify.json", &batch.to_json());
+}
+
+#[test]
+fn verify_text_report_matches_golden() {
+    let batch = run_batch(
+        &fixture_jobs(),
+        &BatchOptions {
+            format: Format::Text,
+            ..verify_options()
+        },
+    );
+    check_golden("verify.txt", &batch.to_text());
+}
+
+/// Verify reports are byte-identical across repeated runs and across worker
+/// counts: the dynflow sweep depends only on `(design, rounds, seed)`.
+#[test]
+fn verify_report_is_deterministic_across_runs_and_worker_counts() {
+    let jobs: Vec<Job> = generate(&CorpusSpec::new(7, 8))
+        .into_iter()
+        .map(Job::from_generated)
+        .collect();
+    let first = run_batch(&jobs, &verify_options()).to_json();
+    let again = run_batch(&jobs, &verify_options()).to_json();
+    assert_eq!(first, again, "verify must be pure across runs");
+    for workers in [2, 4] {
+        let parallel = run_batch(
+            &jobs,
+            &BatchOptions {
+                jobs: workers,
+                ..verify_options()
+            },
+        )
+        .to_json();
+        assert_eq!(
+            first, parallel,
+            "verify output must not depend on --jobs {workers}"
+        );
+    }
+}
+
 #[test]
 fn same_seed_means_byte_identical_corpus_and_report() {
     let manifest_a = write_manifest(&generate(&CorpusSpec::new(7, 12)));
@@ -142,6 +194,44 @@ fn binary_pipe_gen_analyze() {
     assert!(json.contains("\"designs\": ["));
     assert!(json.contains("\"ground_truth_mismatches\": 0"));
     assert!(json.contains("\"errors\": 0"));
+}
+
+/// Drives the real binary end to end: `vhdl1c gen | vhdl1c verify --check`.
+#[test]
+fn binary_pipe_gen_verify() {
+    let bin = env!("CARGO_BIN_EXE_vhdl1c");
+    let mut gen = Command::new(bin)
+        .args(["gen", "--seed", "7", "--count", "8"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn vhdl1c gen");
+    let verify = Command::new(bin)
+        .args([
+            "verify",
+            "--jobs",
+            "2",
+            "--rounds",
+            "8",
+            "--seed",
+            "1",
+            "--min-coverage",
+            "0.9",
+            "--check",
+        ])
+        .stdin(gen.stdout.take().expect("gen stdout"))
+        .stdout(Stdio::piped())
+        .output()
+        .expect("run vhdl1c verify");
+    assert!(gen.wait().expect("wait for gen").success());
+    assert!(
+        verify.status.success(),
+        "verify failed: {}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+    let json = String::from_utf8(verify.stdout).unwrap();
+    assert!(json.contains("\"schema\": 3,"));
+    assert!(json.contains("\"soundness_violations\": 0"));
+    assert!(json.contains("\"dynflow_failures\": 0"));
 }
 
 /// The binary rejects unknown options instead of silently ignoring them.

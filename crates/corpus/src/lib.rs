@@ -160,6 +160,42 @@ pub struct GeneratedDesign {
     pub expect_error: bool,
 }
 
+impl GeneratedDesign {
+    /// Every secret-to-public flow the design actually implements: the
+    /// declassified [`GeneratedDesign::allowed_flows`] plus (for leaky
+    /// variants) the [`GeneratedDesign::expected_violations`].  These are the
+    /// pairs a dynamic flow-witness oracle should be able to observe given
+    /// enough stimulus; each pair is `(secret input, public output)`.
+    pub fn expected_dynamic_flows(&self) -> Vec<(String, String)> {
+        let mut flows = self.allowed_flows.clone();
+        for edge in &self.expected_violations {
+            if !flows.contains(edge) {
+                flows.push(edge.clone());
+            }
+        }
+        flows
+    }
+
+    /// Every `(secret input, public output)` pair the design does *not*
+    /// implement: the complement of [`GeneratedDesign::expected_dynamic_flows`]
+    /// over the full secret × public grid.  A dynamic oracle must never
+    /// witness one of these — doing so means the generator's ground truth and
+    /// the design source disagree.
+    pub fn expected_no_flows(&self) -> Vec<(String, String)> {
+        let flows = self.expected_dynamic_flows();
+        let mut out = Vec::new();
+        for secret in &self.secret_inputs {
+            for sink in &self.public_outputs {
+                let pair = (secret.clone(), sink.clone());
+                if !flows.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Generates the corpus described by `spec`.
 ///
 /// Deterministic: each design draws from an independent child generator
@@ -310,6 +346,34 @@ mod tests {
             saw_expect_error,
             "no truncated/garbage hostile design generated"
         );
+    }
+
+    #[test]
+    fn expected_flow_partition_covers_the_secret_public_grid() {
+        for d in generate(&CorpusSpec::new(7, 16)) {
+            let flows = d.expected_dynamic_flows();
+            let no_flows = d.expected_no_flows();
+            // Violations are always expected dynamic flows; allowed flows too.
+            for edge in d.expected_violations.iter().chain(&d.allowed_flows) {
+                assert!(flows.contains(edge), "{}: {edge:?} missing", d.name);
+            }
+            // The two sets partition the secret × public grid (allowed flows
+            // may extend beyond it, e.g. from non-secret inputs).
+            for secret in &d.secret_inputs {
+                for sink in &d.public_outputs {
+                    let pair = (secret.clone(), sink.clone());
+                    assert_ne!(
+                        flows.contains(&pair),
+                        no_flows.contains(&pair),
+                        "{}: {pair:?} must be exactly one of flow / no-flow",
+                        d.name
+                    );
+                }
+            }
+            for pair in &no_flows {
+                assert!(!flows.contains(pair), "{}: {pair:?} in both sets", d.name);
+            }
+        }
     }
 
     #[test]

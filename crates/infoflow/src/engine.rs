@@ -52,6 +52,7 @@
 use crate::analysis::{AnalysisOptions, AnalysisResult};
 use crate::budget::{Budget, CancelFlag};
 use crate::closure::{global_closure_bounded, specialize_rd, SpecializedRd};
+use crate::dynflow::{cross_check, DynFlowReport};
 use crate::graph::FlowGraph;
 use crate::improved::{improved_closure_bounded, ImprovedClosure};
 use crate::kemmerer::kemmerer_graph_from_matrix;
@@ -65,6 +66,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use vhdl1_dataflow::ReachingDefinitions;
+use vhdl1_dynflow::DynFlowOptions;
 use vhdl1_sim::{SimError, SimOptions, Simulator};
 use vhdl1_syntax::{Design, FrontendLimits, Pos, SyntaxError, SyntaxErrorKind};
 
@@ -138,6 +140,9 @@ pub enum EngineStage {
     Improved,
     /// The smoke simulation: delta-cycle or statement-step limit.
     Smoke,
+    /// The dynamic flow witnessing (differential simulation): delta-cycle
+    /// or statement-step limit.
+    DynFlow,
     /// The wall-clock deadline or an external cancellation, observed at a
     /// stage boundary.
     Deadline,
@@ -152,6 +157,7 @@ impl EngineStage {
             EngineStage::Closure => "closure",
             EngineStage::Improved => "improved",
             EngineStage::Smoke => "smoke",
+            EngineStage::DynFlow => "dynflow",
             EngineStage::Deadline => "deadline",
         }
     }
@@ -344,6 +350,9 @@ pub struct EngineStats {
     pub kemmerer: u64,
     /// Smoke simulations to quiescence (Kemmerer-style validation runs).
     pub smoke: u64,
+    /// Dynamic flow-witness computations (differential simulation sweeps);
+    /// one per distinct `(rounds, seed)` demanded per design.
+    pub dynamic_flows: u64,
     /// Memo-table hits in [`Engine::analyze_source`].
     pub cache_hits: u64,
     /// Memo-table misses in [`Engine::analyze_source`].
@@ -361,9 +370,16 @@ struct Counters {
     flow_graph: AtomicU64,
     kemmerer: AtomicU64,
     smoke: AtomicU64,
+    dynflow: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
+
+/// Built-in delta-cycle cap per quiescence run of
+/// [`Analysis::dynamic_flows`] (each twin's settle and each stimulus
+/// round).  The budget's `max_sim_deltas` tightens it further; only the
+/// budget-tightened case reports as [`EngineStage::DynFlow`] exhaustion.
+pub const DYNFLOW_MAX_DELTAS: u64 = 10_000;
 
 /// The result of a smoke simulation: the design ran to quiescence on the
 /// dense simulator core of `vhdl1-sim`.
@@ -375,9 +391,11 @@ struct Counters {
 pub struct SmokeReport {
     /// Delta cycles until quiescence.
     pub deltas: u64,
-    /// FNV-1a digest over the quiescent signal states (in declaration
-    /// order) — byte-identical across runs and machines for the same
-    /// design, pinning simulator determinism.
+    /// FNV-1a digest over the run's state trajectory: each delta cycle's
+    /// changed signals (in deterministic signal order) followed by the
+    /// quiescent state of every signal in declaration order — byte-identical
+    /// across runs and machines for the same design, pinning simulator
+    /// determinism including the path taken, not just the final state.
     pub state_digest: u64,
 }
 
@@ -390,6 +408,10 @@ pub struct SmokeReport {
 /// only on the input and the budget).  Deadline/cancel exhaustion never
 /// reaches these slots — it is raised by the pre-`OnceLock` gate of each
 /// accessor.
+/// One memo cell of the keyed dynflow family: shareable across the lock so
+/// the map guard never spans a computation.
+type DynFlowCell = Arc<OnceLock<Result<Arc<DynFlowReport>, EngineError>>>;
+
 #[derive(Default)]
 struct Slots {
     rd: OnceLock<Result<ReachingDefinitions, EngineError>>,
@@ -402,6 +424,11 @@ struct Slots {
     merged_graph: OnceLock<FlowGraph>,
     kemmerer: OnceLock<FlowGraph>,
     smoke: OnceLock<Result<SmokeReport, EngineError>>,
+    /// Dynamic flow witnessing is parameterised by `(rounds, seed)`, so the
+    /// memo is a keyed family of `OnceLock`s: each distinct parameter pair
+    /// computes exactly once per design, concurrently-safe like every other
+    /// slot.
+    dynflow: Mutex<HashMap<(u64, u64), DynFlowCell>>,
 }
 
 /// A design together with its memo slots, shareable across cache hits.
@@ -501,6 +528,7 @@ impl Engine {
             flow_graph: g(&c.flow_graph),
             kemmerer: g(&c.kemmerer),
             smoke: g(&c.smoke),
+            dynamic_flows: g(&c.dynflow),
             cache_hits: g(&c.cache_hits),
             cache_misses: g(&c.cache_misses),
         }
@@ -1070,8 +1098,12 @@ impl<'e> Analysis<'e> {
     }
 
     /// Smoke-simulates the design to quiescence on the dense simulator core
-    /// and reports the delta-cycle count plus a digest of the quiescent
-    /// signal states (the Section 6 "does it actually run" validation).
+    /// and reports the delta-cycle count plus a digest of the run's **whole
+    /// state trajectory** — every delta cycle's changed signals folded in
+    /// order, then the quiescent state of every signal (the Section 6 "does
+    /// it actually run" validation).  Two designs that merely *end* in the
+    /// same state digest differently when they took different paths there,
+    /// which is what makes the digest usable as a twin-run comparison key.
     ///
     /// Memoized like every other stage: the first call compiles and runs
     /// the design (its `max_deltas` bound applies, further capped by the
@@ -1105,8 +1137,30 @@ impl<'e> Analysis<'e> {
                             ..SimOptions::default()
                         },
                     )?;
-                    let deltas = sim.run_until_quiescent(effective_deltas)?;
+                    // Mirror `run_until_quiescent` delta accounting exactly,
+                    // but fold every intermediate delta's changed signals
+                    // into the digest as we go.
                     let mut digest_input = String::new();
+                    let mut deltas: u64 = 0;
+                    while let Some(report) = sim.delta_step()? {
+                        deltas += 1;
+                        if deltas > effective_deltas {
+                            return Err(SimError::DeltaLimitExceeded {
+                                limit: effective_deltas,
+                            });
+                        }
+                        digest_input.push_str("delta ");
+                        digest_input.push_str(&deltas.to_string());
+                        digest_input.push('\n');
+                        for sig in &report.changed {
+                            let value = sim.signal(sig).expect("changed signal exists");
+                            digest_input.push_str(sig);
+                            digest_input.push('=');
+                            digest_input.push_str(&value.to_literal());
+                            digest_input.push('\n');
+                        }
+                    }
+                    digest_input.push_str("quiescent\n");
                     for sig in &design.signals {
                         let value = sim.signal(&sig.name).expect("signal exists");
                         digest_input.push_str(&sig.name);
@@ -1142,6 +1196,76 @@ impl<'e> Analysis<'e> {
                 })
             })
             .clone()
+    }
+
+    /// Witnesses dynamic flows by secret-perturbation differential
+    /// simulation and cross-checks them against the static flow graphs: the
+    /// design runs `rounds` seeded stimulus rounds per input port as a twin
+    /// pair over one shared compile (`vhdl1-dynflow`), and the witnessed
+    /// divergences are measured against [`Analysis::merged_flow_graph`] and
+    /// [`Analysis::kemmerer_graph`] — soundness violations (witnessed flows
+    /// the static analysis misses), unwitnessed static edges (precision),
+    /// and per-edge coverage.
+    ///
+    /// Memoized per `(rounds, seed)`: distinct parameter pairs are
+    /// independent computations, equal pairs compute exactly once per design
+    /// (counted by [`EngineStats::dynamic_flows`]) even across threads
+    /// sharing a memo-table entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Sim`] when the design fails to compile or
+    /// execute, or [`EngineError::ResourceExhausted`] (stage `dynflow`) when
+    /// the budget's simulation limits cut the sweep short — and propagates
+    /// the failure of the static graphs it cross-checks against.
+    pub fn dynamic_flows(&self, rounds: u64, seed: u64) -> Result<Arc<DynFlowReport>, EngineError> {
+        let cell = {
+            let mut map = self.slots().dynflow.lock().expect("dynflow memo poisoned");
+            Arc::clone(map.entry((rounds, seed)).or_default())
+        };
+        if cell.get().is_none() {
+            self.check_alive()?;
+            self.merged_flow_graph()?;
+            self.kemmerer_graph()?;
+        }
+        cell.get_or_init(|| {
+            self.bump(&self.engine.counters.dynflow);
+            let budget = *self.budget();
+            let budget_deltas = budget.max_sim_deltas.unwrap_or(u64::MAX);
+            let max_deltas = DYNFLOW_MAX_DELTAS.min(budget_deltas);
+            let options = DynFlowOptions {
+                rounds,
+                seed,
+                max_deltas_per_run: max_deltas,
+                max_total_steps: budget.max_sim_steps,
+            };
+            let merged = self.merged_flow_graph().expect("merged graph forced above");
+            let kemmerer = self.kemmerer_graph().expect("kemmerer graph forced above");
+            vhdl1_dynflow::witness(self.design(), &options)
+                .map(|w| Arc::new(cross_check(&w, merged, kemmerer)))
+                .map_err(|e| match e {
+                    // A delta overrun is budget exhaustion only when the
+                    // budget (not the built-in per-run cap) was binding.
+                    SimError::DeltaLimitExceeded { limit }
+                        if limit == budget_deltas && budget_deltas < DYNFLOW_MAX_DELTAS =>
+                    {
+                        EngineError::ResourceExhausted {
+                            stage: EngineStage::DynFlow,
+                            limit,
+                            consumed: limit + 1,
+                            pos: None,
+                        }
+                    }
+                    SimError::TotalStepLimitExceeded { limit } => EngineError::ResourceExhausted {
+                        stage: EngineStage::DynFlow,
+                        limit,
+                        consumed: limit + 1,
+                        pos: None,
+                    },
+                    other => EngineError::Sim(other),
+                })
+        })
+        .clone()
     }
 
     /// Materialises the owned, eager [`AnalysisResult`] of the classic API,

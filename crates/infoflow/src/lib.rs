@@ -49,6 +49,7 @@ pub mod alfp_encoding;
 pub mod analysis;
 pub mod budget;
 pub mod closure;
+pub mod dynflow;
 pub mod engine;
 pub mod graph;
 pub mod improved;
@@ -65,9 +66,10 @@ pub use closure::{
     global_closure, global_closure_bounded, specialize_rd, table8_step, ClosureExhausted,
     SpecializedRd,
 };
+pub use dynflow::{DynFlowReport, NoFlowProperty};
 pub use engine::{
     fnv1a64, Analysis, CachePolicy, Engine, EngineConfig, EngineError, EnginePhase, EngineStage,
-    EngineStats, SmokeReport,
+    EngineStats, SmokeReport, DYNFLOW_MAX_DELTAS,
 };
 pub use graph::FlowGraph;
 pub use improved::{improved_closure, improved_closure_bounded, ImprovedClosure, ImprovedOptions};

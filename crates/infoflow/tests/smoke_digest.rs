@@ -1,0 +1,37 @@
+//! Pinned smoke-digest regression tests.
+//!
+//! `Analysis::smoke` folds every delta cycle's changed-signal values — not
+//! just the final quiescent state — into `SmokeReport::state_digest`, so the
+//! digest witnesses the whole settling *trajectory*.  These constants pin
+//! the digests of two seed-7 corpus designs: any change to simulator
+//! scheduling, driver resolution, value formatting, or the digest recipe
+//! shows up here as a concrete before/after, instead of silently shifting
+//! what the smoke gate certifies.
+//!
+//! When a change to the simulator or digest recipe is *intentional*, rerun
+//! the pipeline and update the constants alongside the change.
+
+use vhdl1_corpus::{generate, CorpusSpec};
+use vhdl1_infoflow::Engine;
+
+fn smoke_of(name: &str) -> (u64, u64) {
+    let corpus = generate(&CorpusSpec::new(7, 8));
+    let d = corpus
+        .iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("{name} not in the seed-7 corpus prefix"));
+    let design = vhdl1_syntax::frontend(&d.source).expect("corpus designs elaborate");
+    let engine = Engine::default();
+    let smoke = engine.analyze(&design).smoke(10_000).expect("smoke run");
+    (smoke.deltas, smoke.state_digest)
+}
+
+#[test]
+fn fsm_trajectory_digest_is_pinned() {
+    assert_eq!(smoke_of("fsm_s7_001"), (2, 0xb24c_51c2_abcf_94b3));
+}
+
+#[test]
+fn cross_flow_trajectory_digest_is_pinned() {
+    assert_eq!(smoke_of("cross_flow_s7_003"), (2, 0xb9fa_4c8a_c5ac_112e));
+}

@@ -59,6 +59,13 @@ pub enum SimError {
         /// The configured limit.
         limit: u64,
     },
+    /// [`crate::Simulator::preset_input`] was called after simulation had
+    /// already started: initial port values only exist before the first
+    /// delta cycle (use `drive_input` afterwards).
+    PresetAfterStart {
+        /// The port whose preset was rejected.
+        name: String,
+    },
 }
 
 impl SimError {
@@ -71,7 +78,8 @@ impl SimError {
             | SimError::NonBooleanCondition { span, .. } => span.pos(),
             SimError::StepLimitExceeded { .. }
             | SimError::DeltaLimitExceeded { .. }
-            | SimError::TotalStepLimitExceeded { .. } => None,
+            | SimError::TotalStepLimitExceeded { .. }
+            | SimError::PresetAfterStart { .. } => None,
         }
     }
 
@@ -96,7 +104,8 @@ impl SimError {
             }
             SimError::StepLimitExceeded { .. }
             | SimError::DeltaLimitExceeded { .. }
-            | SimError::TotalStepLimitExceeded { .. } => {}
+            | SimError::TotalStepLimitExceeded { .. }
+            | SimError::PresetAfterStart { .. } => {}
         }
         self
     }
@@ -126,6 +135,12 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "run exceeded the total budget of {limit} statement steps"
+                )?;
+            }
+            SimError::PresetAfterStart { name } => {
+                write!(
+                    f,
+                    "cannot preset input `{name}` after simulation has started"
                 )?;
             }
         }

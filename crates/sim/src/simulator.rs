@@ -222,6 +222,43 @@ impl Simulator {
         Ok(())
     }
 
+    /// Sets the *initial* value of an input port, as a VHDL port default
+    /// expression would: the value is installed as the signal's present value
+    /// directly, so it is visible to the very first run of every process.
+    /// This matters for feedback signals (`acc <= acc xor key`): with an
+    /// uninitialised (`U`) input, the first process run poisons the feedback
+    /// signal with `U` before any [`Simulator::drive_input`] value can commit,
+    /// and `U` is absorbing — the signal never recovers.
+    ///
+    /// No event is generated (processes all run unconditionally in the first
+    /// delta cycle anyway).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UndefinedName`] if `name` is not an `in` port, and
+    /// [`SimError::PresetAfterStart`] once simulation has started (presets
+    /// only exist before the first delta cycle; drive inputs afterwards).
+    pub fn preset_input(&mut self, name: &str, value: Value) -> Result<(), SimError> {
+        let id =
+            self.design.sig_id.get(name).copied().filter(|&id| {
+                self.design.input_bits[id as usize / 64] >> (id as usize % 64) & 1 == 1
+            });
+        let Some(id) = id else {
+            return Err(SimError::UndefinedName {
+                name: name.to_string(),
+                span: vhdl1_syntax::Span::NONE,
+            });
+        };
+        if self.deltas > 0 || self.total_steps > 0 {
+            return Err(SimError::PresetAfterStart {
+                name: name.to_string(),
+            });
+        }
+        let width = self.design.sig_widths[id as usize] as usize;
+        self.present[id as usize] = PackedValue::from_value(&value).resized(width);
+        Ok(())
+    }
+
     /// Drives an input port with the unsigned value `n`.
     ///
     /// # Errors
@@ -509,6 +546,52 @@ mod tests {
         assert_eq!(s.signal("a"), Some(Value::Logic(Logic::U)));
         assert_eq!(s.signal("b"), Some(Value::Logic(Logic::U)));
         assert_eq!(s.signal("ghost"), None);
+    }
+
+    #[test]
+    fn preset_is_visible_to_the_first_process_run() {
+        // A feedback signal (`acc <= acc xor a`) distinguishes presets from
+        // drives: a drive only commits after the first process run, which by
+        // then has already poisoned `acc` via the input's initial `U`
+        // (`'0' xor U = X`, and undefined values are absorbing, so the
+        // signal never recovers).  A preset installs the value before any
+        // process runs.
+        let feedback = "entity e is port(a : in std_logic; b : out std_logic); end e;
+             architecture rtl of e is
+               signal acc : std_logic := '0';
+             begin
+               p : process begin acc <= acc xor a; b <= acc; wait on a; end process p;
+             end rtl;";
+        let mut driven = sim(feedback);
+        driven.drive_input("a", Value::logic('0').unwrap()).unwrap();
+        driven.run_until_quiescent(10).unwrap();
+        assert_eq!(driven.signal("acc"), Some(Value::Logic(Logic::X)));
+
+        let mut preset = sim(feedback);
+        preset
+            .preset_input("a", Value::logic('0').unwrap())
+            .unwrap();
+        assert_eq!(preset.signal("a"), Some(Value::logic('0').unwrap()));
+        preset.run_until_quiescent(10).unwrap();
+        assert_eq!(preset.signal("acc"), Some(Value::logic('0').unwrap()));
+        // And the preset generated no event of its own: `a` reads back as
+        // driven, one settle reached quiescence.
+        assert_eq!(preset.run_until_quiescent(10).unwrap(), 0);
+    }
+
+    #[test]
+    fn preset_is_rejected_once_simulation_starts() {
+        let mut s = sim(COPY);
+        s.run_until_quiescent(10).unwrap();
+        match s.preset_input("a", Value::logic('1').unwrap()) {
+            Err(SimError::PresetAfterStart { name }) => assert_eq!(name, "a"),
+            other => panic!("expected PresetAfterStart, got {other:?}"),
+        }
+        // Non-ports are rejected the same way as for `drive_input`.
+        match s.preset_input("b", Value::logic('1').unwrap()) {
+            Err(SimError::UndefinedName { name, .. }) => assert_eq!(name, "b"),
+            other => panic!("expected UndefinedName, got {other:?}"),
+        }
     }
 
     #[test]

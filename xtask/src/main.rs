@@ -34,6 +34,23 @@
 //! (new workloads need no baseline); series that *disappear* from the
 //! current summary fail the gate, so a bench refactor cannot silently drop
 //! coverage.
+//!
+//! ## `dynflow-series`
+//!
+//! Folds a `vhdl1c verify` JSON report into the bench summary as a
+//! `dynflow_coverage` series point:
+//!
+//! ```console
+//! $ cargo run -p xtask -- dynflow-series \
+//!       --report verify_report.json --out BENCH_alfp.json
+//! ```
+//!
+//! The point records the corpus size, the dynamically covered / total static
+//! flow-graph edge counts, and the coverage in permille.  Its `median_ns`
+//! field is the *uncovered* edge count plus one, which makes the ordinary
+//! `bench-gate` machinery double as a coverage-regression gate: dynamic
+//! coverage decaying between a committed baseline and a fresh nightly run
+//! shows up as a "regressed" series, exactly like a slow benchmark.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -42,6 +59,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("bench-gate") => bench_gate(&args[1..]),
+        Some("dynflow-series") => dynflow_series(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -54,7 +72,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  cargo run -p xtask -- bench-gate --baseline <file> --current <file> \\\n      [--tolerance <percent>] [--no-rescale]";
+const USAGE: &str = "usage:\n  cargo run -p xtask -- bench-gate --baseline <file> --current <file> \\\n      [--tolerance <percent>] [--no-rescale]\n  cargo run -p xtask -- dynflow-series --report <verify.json> --out <file>";
 
 fn bench_gate(args: &[String]) -> ExitCode {
     let mut baseline_path = None;
@@ -112,6 +130,103 @@ fn bench_gate(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn dynflow_series(args: &[String]) -> ExitCode {
+    let mut report_path = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" => report_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(report_path), Some(out_path)) = (report_path, out_path) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let report = match std::fs::read_to_string(&report_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {report_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let point = match coverage_point(&report) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {report_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let merged = append_point(&existing, &point);
+    if let Err(e) = std::fs::write(&out_path, &merged) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("dynflow-series: appended to {out_path}: {point}");
+    ExitCode::SUCCESS
+}
+
+/// Extracts a named `"field": <integer>` from the summary of a `vhdl1c`
+/// verify report.  Searches after the `"summary"` key: the report also has
+/// a top-level `"designs"` *array*, which must not shadow the count.
+fn summary_field(report: &str, name: &str) -> Result<u64, String> {
+    let summary = report
+        .find("\"summary\"")
+        .map(|at| &report[at..])
+        .ok_or("missing summary object")?;
+    let at = summary
+        .find(&format!("\"{name}\""))
+        .ok_or_else(|| format!("missing summary field `{name}`"))?;
+    summary[at..]
+        .split_once(':')
+        .and_then(|(_, rest)| {
+            rest.trim_start()
+                .split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .ok_or_else(|| format!("summary field `{name}` is not an integer"))
+}
+
+/// Builds the `dynflow_coverage` bench point from a verify report.  The
+/// `median_ns` field encodes uncovered edges + 1 so `bench-gate` flags
+/// coverage decay as a regression.
+fn coverage_point(report: &str) -> Result<String, String> {
+    let designs = summary_field(report, "designs")?;
+    let covered = summary_field(report, "dynflow_covered_edges")?;
+    let total = summary_field(report, "dynflow_static_edges")?;
+    if covered > total {
+        return Err(format!("covered {covered} exceeds total {total}"));
+    }
+    let permille = (covered * 1000).checked_div(total).unwrap_or(1000);
+    Ok(format!(
+        "{{\"workload\": \"dynflow_coverage\", \"size\": {designs}, \
+         \"covered_edges\": {covered}, \"static_edges\": {total}, \
+         \"coverage_permille\": {permille}, \"median_ns\": {}}}",
+        total - covered + 1
+    ))
+}
+
+/// Appends a point object to a flat JSON array document, creating the array
+/// when `existing` is empty.
+fn append_point(existing: &str, point: &str) -> String {
+    let body = existing.trim();
+    let Some(stripped) = body.strip_suffix(']') else {
+        return format!("[\n  {point}\n]\n");
+    };
+    let inner = stripped.trim_end();
+    let sep = if inner.ends_with('[') { "" } else { "," };
+    format!("{inner}{sep}\n  {point}\n]\n")
 }
 
 /// One `(workload, size)` measurement of a bench summary.
@@ -337,6 +452,61 @@ mod tests {
         assert!(rescaled.failed_series.is_empty(), "{}", rescaled.render());
         let absolute = compare(&b, &c, 25.0, false);
         assert_eq!(absolute.failed_series.len(), 3, "{}", absolute.render());
+    }
+
+    #[test]
+    fn coverage_point_encodes_uncovered_edges_as_median() {
+        let report = r#"{
+  "summary": {
+    "designs": 200,
+    "dynflow_covered_edges": 2700,
+    "dynflow_static_edges": 2774,
+    "cache_hits": 0
+  }
+}"#;
+        let point = coverage_point(report).unwrap();
+        assert!(point.contains("\"workload\": \"dynflow_coverage\""));
+        assert!(point.contains("\"size\": 200"));
+        assert!(point.contains("\"covered_edges\": 2700"));
+        assert!(point.contains("\"coverage_permille\": 973"));
+        // 74 uncovered edges + 1.
+        assert!(point.contains("\"median_ns\": 75"));
+        // The emitted point round-trips through the gate's own parser.
+        let parsed = parse_points(&format!("[{point}]")).unwrap();
+        assert_eq!(parsed, pts(&[("dynflow_coverage", 200, 75)]));
+        // Edgeless reports count as fully covered; inconsistent ones error.
+        let empty = coverage_point(
+            "{\"summary\": {\"designs\": 1, \"dynflow_covered_edges\": 0, \
+             \"dynflow_static_edges\": 0}}",
+        )
+        .unwrap();
+        assert!(empty.contains("\"coverage_permille\": 1000"));
+        assert!(coverage_point(
+            "{\"summary\": {\"designs\": 1, \"dynflow_covered_edges\": 2, \
+             \"dynflow_static_edges\": 1}}"
+        )
+        .is_err());
+        assert!(coverage_point("{}").is_err());
+    }
+
+    #[test]
+    fn append_point_grows_an_array_in_place() {
+        let fresh = append_point("", "{\"workload\": \"x\", \"size\": 1, \"median_ns\": 2}");
+        assert_eq!(
+            fresh,
+            "[\n  {\"workload\": \"x\", \"size\": 1, \"median_ns\": 2}\n]\n"
+        );
+        let grown = append_point(
+            &fresh,
+            "{\"workload\": \"y\", \"size\": 2, \"median_ns\": 3}",
+        );
+        assert_eq!(
+            parse_points(&grown).unwrap(),
+            pts(&[("x", 1, 2), ("y", 2, 3)])
+        );
+        // Appending to an empty array does not leave a leading comma.
+        let from_empty = append_point("[]", "{\"workload\": \"z\", \"size\": 1, \"median_ns\": 1}");
+        assert_eq!(parse_points(&from_empty).unwrap(), pts(&[("z", 1, 1)]));
     }
 
     #[test]
