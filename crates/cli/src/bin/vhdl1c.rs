@@ -11,7 +11,8 @@
 
 use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
-use vhdl1_cli::driver::{run_batch, BatchOptions, Format, Job, VerifyOptions};
+use vhdl1_cli::driver::{run_batch, run_batch_traced, BatchOptions, Format, Job, VerifyOptions};
+use vhdl1_cli::profile;
 use vhdl1_corpus::{generate, parse_manifest, write_manifest, CorpusSpec, Family};
 use vhdl1_infoflow::{Budget, Policy};
 
@@ -42,6 +43,10 @@ usage:
       --base            base closure only (no incoming/outgoing nodes)
       --no-cache        disable the engine's analysis memo table
                         (report-level dedup of identical jobs stays on)
+      --stats           print engine stage/cache counters to stderr
+      --profile[=FILE]  print a per-stage self-time table to stderr and,
+                        with =FILE, write the profile JSON document to
+                        FILE; the analysis report itself is unchanged
 
   vhdl1c verify [FILE...] [options]
       Analyze like `analyze`, then witness dynamic flows per design by
@@ -129,6 +134,16 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliE
     } else {
         Ok(None)
     }
+}
+
+/// Pulls `--profile` or `--profile=PATH` out of `args`: `None` when absent,
+/// `Some(None)` for the bare flag, `Some(Some(path))` with a destination.
+fn take_profile(args: &mut Vec<String>) -> Option<Option<String>> {
+    let i = args
+        .iter()
+        .position(|a| a == "--profile" || a.starts_with("--profile="))?;
+    let arg = args.remove(i);
+    Some(arg.strip_prefix("--profile=").map(str::to_string))
 }
 
 /// Pulls a boolean `--flag` out of `args`.
@@ -231,6 +246,9 @@ fn analyze_command(args: &[String], verify: bool) -> Result<ExitCode, CliError> 
     }
     opts.smoke = take_flag(&mut args, "--smoke");
     opts.timing = take_flag(&mut args, "--timing");
+    let profile = take_profile(&mut args);
+    opts.profile = profile.is_some();
+    let stats = take_flag(&mut args, "--stats");
     let check = take_flag(&mut args, "--check");
     if take_flag(&mut args, "--base") {
         opts.analysis.improved = false;
@@ -244,7 +262,14 @@ fn analyze_command(args: &[String], verify: bool) -> Result<ExitCode, CliError> 
     }
 
     let jobs = collect_jobs(&args)?;
-    let batch = run_batch(&jobs, &opts);
+    // Telemetry collection is only engaged when asked for; the plain path
+    // goes through `run_batch` with no clock reads at all.
+    let (batch, telemetry) = if opts.profile || stats {
+        let (batch, telemetry) = run_batch_traced(&jobs, &opts);
+        (batch, Some(telemetry))
+    } else {
+        (run_batch(&jobs, &opts), None)
+    };
     let rendered = match opts.format {
         Format::Json => batch.to_json(),
         Format::Dot => batch.to_dot(),
@@ -260,6 +285,18 @@ fn analyze_command(args: &[String], verify: bool) -> Result<ExitCode, CliError> 
             "degraded: {}: {} budget exhausted (consumed {}, limit {})",
             d.name, d.stage, d.consumed, d.limit
         );
+    }
+    if let Some(telemetry) = &telemetry {
+        if stats {
+            eprint!("{}", profile::render_stats(telemetry));
+        }
+        if let Some(dest) = &profile {
+            eprint!("{}", profile::render_table(telemetry));
+            if let Some(path) = dest {
+                std::fs::write(path, profile::render_json(telemetry))
+                    .map_err(|e| runtime(format!("cannot write profile `{path}`: {e}")))?;
+            }
+        }
     }
     if check {
         // Coverage gate: judged over the leaky population when one exists

@@ -10,17 +10,18 @@
 //! ground-truth bookkeeping is re-derived, never copied across the cache),
 //! grouped up front so every report byte is independent of worker count.
 
-use crate::pool;
+use crate::pool::{self, PoolStats};
 use crate::report::{
     analysis_report, BatchError, BatchReport, DegradedEntry, DesignReport, DynFlowSection,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use vhdl1_corpus::GeneratedDesign;
 use vhdl1_infoflow::{
-    fnv1a64, AnalysisOptions, CachePolicy, CancelFlag, Engine, EngineConfig, EngineError, Policy,
+    fnv1a64, AnalysisOptions, CachePolicy, CancelFlag, Engine, EngineConfig, EngineError,
+    EngineStats, Policy, TraceSnapshot,
 };
 
 /// Output formats of `vhdl1c analyze`.
@@ -143,6 +144,11 @@ pub struct BatchOptions {
     /// Witness dynamic flows by differential simulation and cross-check
     /// them against the static flow graph (`vhdl1c verify`).
     pub verify: Option<VerifyOptions>,
+    /// Collect batch telemetry — engine trace spans, pool timing, watchdog
+    /// events — surfaced by [`run_batch_traced`] (`vhdl1c --profile`).
+    /// Never touches the [`BatchReport`] itself: report bytes are identical
+    /// with profiling on or off.
+    pub profile: bool,
     /// Per-design wall-clock deadline, enforced by a watchdog thread that
     /// trips each design's cooperative [`CancelFlag`] — the design lands in
     /// the report's `degraded` section (stage `deadline`) while the batch
@@ -174,6 +180,7 @@ impl Default for BatchOptions {
             timing: false,
             smoke: false,
             verify: None,
+            profile: false,
             deadline_ms: None,
             analysis: AnalysisOptions::default(),
             cache: DEFAULT_ENGINE_CACHE,
@@ -208,11 +215,64 @@ impl Default for VerifyOptions {
 /// before the pool runs keeps `cached`/`cache_hits` — and therefore every
 /// report byte — independent of worker count and scheduling.
 pub fn run_batch(jobs: &[Job], opts: &BatchOptions) -> BatchReport {
+    run_batch_inner(jobs, opts, false).0
+}
+
+/// Batch telemetry collected alongside — never inside — a [`BatchReport`].
+///
+/// Engine stage counts and cache hit/miss counters are deterministic for a
+/// fixed corpus and options (report-level dedup picks representatives
+/// before the pool runs); everything wall-clock ([`BatchTelemetry::pool`],
+/// span times inside [`BatchTelemetry::trace`], `wall_ns`) is not.
+#[derive(Debug, Clone)]
+pub struct BatchTelemetry {
+    /// Stage-computation and source-cache counters of the shared engine.
+    pub stats: EngineStats,
+    /// Merged trace spans and events, when [`BatchOptions::profile`] was
+    /// set.
+    pub trace: Option<TraceSnapshot>,
+    /// Worker-pool timing, when [`BatchOptions::profile`] was set and the
+    /// batch was non-empty.
+    pub pool: Option<PoolStats>,
+    /// Designs whose cooperative cancel flag the watchdog tripped.
+    pub watchdog_cancels: u64,
+    /// Total jobs submitted.
+    pub jobs: usize,
+    /// Unique jobs after report-level dedup (the ones actually analyzed).
+    pub unique_jobs: usize,
+    /// Wall-clock duration of the whole batch.
+    pub wall_ns: u64,
+}
+
+/// [`run_batch`] plus [`BatchTelemetry`] — the entry point of
+/// `vhdl1c --stats`/`--profile`.  The report is byte-identical to what
+/// [`run_batch`] produces for the same inputs; trace spans and pool timing
+/// are only collected when [`BatchOptions::profile`] is set (engine stats
+/// and watchdog counts are always returned — they are free).
+pub fn run_batch_traced(jobs: &[Job], opts: &BatchOptions) -> (BatchReport, BatchTelemetry) {
+    let (report, telemetry) = run_batch_inner(jobs, opts, true);
+    (
+        report,
+        telemetry.expect("traced batch always yields telemetry"),
+    )
+}
+
+fn run_batch_inner(
+    jobs: &[Job],
+    opts: &BatchOptions,
+    collect: bool,
+) -> (BatchReport, Option<BatchTelemetry>) {
     let start = Instant::now();
 
     // One analysis session for the whole batch, shared by every worker.
+    // `--profile` turns the engine's span collection on; the toggle changes
+    // no analysis artifact, only whether the sink exists.
+    let mut analysis = opts.analysis;
+    if opts.profile {
+        analysis.trace = true;
+    }
     let engine = Engine::new(EngineConfig {
-        options: opts.analysis,
+        options: analysis,
         cache: opts.cache,
     });
 
@@ -238,9 +298,18 @@ pub fn run_batch(jobs: &[Job], opts: &BatchOptions) -> BatchReport {
     // panics: a crashing item becomes `Err(message)` while the rest of the
     // batch completes.
     let unique: Vec<usize> = (0..jobs.len()).filter(|&i| rep[i] == i).collect();
-    let unique_outcomes = pool::run(&unique, opts.jobs, |_, &i| {
+    let worker = |_: usize, &i: &usize| {
         analyze_job(&engine, &jobs[i], &policies[i], opts, watchdog.as_ref())
-    });
+    };
+    // Pool timing reads the clock per item; only pay for it under
+    // `--profile` so the plain batch path is untouched.
+    let (unique_outcomes, pool_stats) = if opts.profile {
+        let (outcomes, stats) = pool::run_timed(&unique, opts.jobs, worker);
+        (outcomes, Some(stats))
+    } else {
+        (pool::run(&unique, opts.jobs, worker), None)
+    };
+    let unique_count = unique.len();
     let outcome_of: HashMap<usize, JobOutcome> = unique
         .into_iter()
         .zip(unique_outcomes)
@@ -299,7 +368,16 @@ pub fn run_batch(jobs: &[Job], opts: &BatchOptions) -> BatchReport {
     if opts.timing {
         batch.wall_ms = Some(start.elapsed().as_secs_f64() * 1e3);
     }
-    batch
+    let telemetry = (collect || opts.profile).then(|| BatchTelemetry {
+        stats: engine.stats(),
+        trace: engine.trace_sink().map(|sink| sink.snapshot()),
+        pool: pool_stats,
+        watchdog_cancels: watchdog.as_ref().map_or(0, Watchdog::cancel_count),
+        jobs: jobs.len(),
+        unique_jobs: unique_count,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    });
+    (batch, telemetry)
 }
 
 /// Everything one job can produce: at most one report (possibly with an
@@ -337,6 +415,8 @@ impl JobOutcome {
                     stage: stage.as_str().to_string(),
                     limit: *limit,
                     consumed: *consumed,
+                    line: e.line_col().map(|(l, _)| l),
+                    col: e.line_col().map(|(_, c)| c),
                     message: e.to_string(),
                 }),
                 ..JobOutcome::default()
@@ -371,6 +451,7 @@ impl JobOutcome {
 struct Watchdog {
     entries: Arc<Mutex<Vec<(Instant, CancelFlag)>>>,
     stop: Arc<AtomicBool>,
+    cancels: Arc<AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -378,8 +459,10 @@ impl Watchdog {
     fn spawn(deadline: Duration) -> Watchdog {
         let entries: Arc<Mutex<Vec<(Instant, CancelFlag)>>> = Arc::default();
         let stop = Arc::new(AtomicBool::new(false));
+        let cancels = Arc::new(AtomicU64::new(0));
         let poll_entries = Arc::clone(&entries);
         let poll_stop = Arc::clone(&stop);
+        let poll_cancels = Arc::clone(&cancels);
         let handle = std::thread::spawn(move || {
             while !poll_stop.load(Ordering::Relaxed) {
                 {
@@ -389,6 +472,7 @@ impl Watchdog {
                     entries.retain(|(started, flag)| {
                         if started.elapsed() >= deadline {
                             flag.cancel();
+                            poll_cancels.fetch_add(1, Ordering::Relaxed);
                             return false;
                         }
                         true
@@ -400,8 +484,14 @@ impl Watchdog {
         Watchdog {
             entries,
             stop,
+            cancels,
             handle: Some(handle),
         }
+    }
+
+    /// Designs whose cancel flag this watchdog has tripped so far.
+    fn cancel_count(&self) -> u64 {
+        self.cancels.load(Ordering::Relaxed)
     }
 
     /// Starts the clock for one design; the returned flag trips once the

@@ -12,6 +12,8 @@
 //! * [`report`] — the [`report::DesignReport`]/[`report::BatchReport`]
 //!   security reports with JSON, Graphviz DOT and text renderings (shared
 //!   with the `covert_channel_audit` example);
+//! * [`profile`] — the `--profile` telemetry documents (profile JSON and
+//!   the flame-style self-time table), kept strictly out of the reports;
 //! * [`json`] — dependency-free JSON emission helpers.
 //!
 //! ```
@@ -33,9 +35,13 @@
 pub mod driver;
 pub mod json;
 pub mod pool;
+pub mod profile;
 pub mod report;
 
-pub use driver::{run_batch, BatchOptions, Format, Job, JobTruth};
+pub use driver::{
+    run_batch, run_batch_traced, BatchOptions, BatchTelemetry, Format, Job, JobTruth,
+};
+pub use pool::PoolStats;
 pub use report::{
     analysis_report, design_report, BatchError, BatchReport, DegradedEntry, DesignReport,
     ReportViolation,

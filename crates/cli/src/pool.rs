@@ -17,8 +17,131 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Timing telemetry of one [`run_timed`] invocation.
+///
+/// All durations are wall-clock nanoseconds and therefore machine- and
+/// load-dependent; only `workers`, `items` and `steals` are comparable
+/// across runs (and `steals` only under a fixed worker count and corpus).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers actually spawned (after clamping `jobs` to the item count).
+    pub workers: usize,
+    /// Items processed.
+    pub items: usize,
+    /// Items obtained by stealing from another worker's queue.
+    pub steals: u64,
+    /// Summed over items: time between batch start and the moment a worker
+    /// picked the item up — how long work sat queued.
+    pub queue_wait_ns: u64,
+    /// Per-worker time spent inside the work closure, `workers` entries.
+    pub busy_ns: Vec<u64>,
+    /// Wall-clock duration of the whole batch.
+    pub wall_ns: u64,
+}
+
+impl PoolStats {
+    /// Mean worker utilization in `[0, 1]`: busy time over wall time,
+    /// averaged across workers.  `1.0` on a zero-wall batch by convention.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 || self.busy_ns.is_empty() {
+            return 1.0;
+        }
+        let busy: u64 = self.busy_ns.iter().sum();
+        let cap = self.wall_ns.saturating_mul(self.busy_ns.len() as u64);
+        (busy as f64 / cap as f64).min(1.0)
+    }
+}
+
+/// [`run`] plus timing: returns the same in-order results together with
+/// [`PoolStats`] (queue wait, per-worker busy time, steal count).
+///
+/// This is a separate entry point rather than a flag on [`run`] so the
+/// unprofiled batch path performs no clock reads at all.
+pub fn run_timed<T, R, F>(items: &[T], jobs: usize, work: F) -> (Vec<Result<R, String>>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let start = Instant::now();
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        let mut busy = 0u64;
+        let mut queue_wait = 0u64;
+        let results = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let picked = Instant::now();
+                queue_wait += (picked - start).as_nanos() as u64;
+                let r = guarded(&work, i, t);
+                busy += picked.elapsed().as_nanos() as u64;
+                r
+            })
+            .collect();
+        let stats = PoolStats {
+            workers: 1,
+            items: items.len(),
+            steals: 0,
+            queue_wait_ns: queue_wait,
+            busy_ns: vec![busy],
+            wall_ns: start.elapsed().as_nanos() as u64,
+        };
+        return (results, stats);
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..items.len()).step_by(jobs).collect()))
+        .collect();
+    let steals = AtomicU64::new(0);
+    let queue_wait = AtomicU64::new(0);
+    let busy: Vec<AtomicU64> = (0..jobs).map(|_| AtomicU64::new(0)).collect();
+    let mut slots: Vec<Option<Result<R, String>>> = (0..items.len()).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let tx = tx.clone();
+            let queues = &queues;
+            let work = &work;
+            let (steals, queue_wait, busy) = (&steals, &queue_wait, &busy);
+            scope.spawn(move || {
+                while let Some((i, stolen)) = pop_or_steal_traced(queues, w) {
+                    if stolen {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let picked = Instant::now();
+                    queue_wait.fetch_add((picked - start).as_nanos() as u64, Ordering::Relaxed);
+                    let r = guarded(work, i, &items[i]);
+                    busy[w].fetch_add(picked.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    if tx.send((i, r)).is_err() {
+                        return; // receiver gone: the scope is unwinding
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|| Err("worker lost before reporting a result".to_string())))
+        .collect();
+    let stats = PoolStats {
+        workers: jobs,
+        items: items.len(),
+        steals: steals.into_inner(),
+        queue_wait_ns: queue_wait.into_inner(),
+        busy_ns: busy.into_iter().map(AtomicU64::into_inner).collect(),
+        wall_ns: start.elapsed().as_nanos() as u64,
+    };
+    (results, stats)
+}
 
 /// Runs `work` over every item, `jobs`-way parallel, returning results in
 /// item order.  `jobs <= 1` runs inline on the calling thread (the honest
@@ -89,6 +212,29 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "panic of unknown type".to_string()
     }
+}
+
+/// [`pop_or_steal`] that also reports whether the item was stolen from a
+/// victim's queue (for [`PoolStats::steals`]).
+fn pop_or_steal_traced(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<(usize, bool)> {
+    if let Some(i) = queues[w]
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .pop_front()
+    {
+        return Some((i, false));
+    }
+    for off in 1..queues.len() {
+        let victim = (w + off) % queues.len();
+        if let Some(i) = queues[victim]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .pop_back()
+        {
+            return Some((i, true));
+        }
+    }
+    None
 }
 
 fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
@@ -196,6 +342,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn run_timed_matches_run_and_accounts_time() {
+        let items: Vec<u64> = (0..48).map(|i| 500 + i * 10).collect();
+        let spinner = |_: usize, &spin: &u64| {
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i).rotate_left(7);
+            }
+            acc
+        };
+        let plain: Vec<u64> = run(&items, 4, spinner)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        for workers in [1, 2, 4] {
+            let (out, stats) = run_timed(&items, workers, spinner);
+            let out: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(out, plain, "results differ at workers={workers}");
+            assert_eq!(stats.workers, workers);
+            assert_eq!(stats.items, items.len());
+            assert_eq!(stats.busy_ns.len(), workers);
+            // Busy time is bounded by what the workers could have spent.
+            let busy: u64 = stats.busy_ns.iter().sum();
+            assert!(
+                busy <= stats.wall_ns.saturating_mul(workers as u64),
+                "busy {busy} exceeds wall {} x {workers}",
+                stats.wall_ns
+            );
+            let u = stats.utilization();
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+            if workers == 1 {
+                assert_eq!(stats.steals, 0, "inline path cannot steal");
+            }
+        }
+    }
+
+    #[test]
+    fn run_timed_isolates_panics_like_run() {
+        let items: Vec<u32> = (0..16).collect();
+        let (out, stats) = run_timed(&items, 2, |_, &x| {
+            assert!(x != 7, "boom at 7");
+            x
+        });
+        assert_eq!(stats.items, 16);
+        assert!(out[7].as_ref().unwrap_err().contains("boom at 7"));
+        assert!(out.iter().enumerate().all(|(i, r)| i == 7 || r.is_ok()));
     }
 
     #[test]

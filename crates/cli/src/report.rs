@@ -453,6 +453,11 @@ pub struct DegradedEntry {
     pub limit: u64,
     /// Units consumed when the limit tripped.
     pub consumed: u64,
+    /// Line of the construct being processed when the budget tripped, when
+    /// the engine attributed one (additive field; absent otherwise).
+    pub line: Option<u32>,
+    /// Column companion of [`DegradedEntry::line`].
+    pub col: Option<u32>,
     /// Full rendered engine error.
     pub message: String,
 }
@@ -612,9 +617,16 @@ impl BatchReport {
             .degraded
             .iter()
             .map(|d| {
+                // `line`/`col` are additive: emitted only when the engine
+                // attributed a position, so position-less entries render
+                // byte-identically to earlier releases.
+                let pos = match (d.line, d.col) {
+                    (Some(l), Some(c)) => format!("\"line\": {l}, \"col\": {c}, "),
+                    _ => String::new(),
+                };
                 format!(
                     "{{\"name\": {}, \"stage\": {}, \"limit\": {}, \"consumed\": {}, \
-                     \"message\": {}}}",
+                     {pos}\"message\": {}}}",
                     json::string(&d.name),
                     json::string(&d.stage),
                     d.limit,
@@ -683,9 +695,13 @@ impl BatchReport {
             let _ = writeln!(out, "error {}{tag}: {}", e.name, e.error);
         }
         for d in &self.degraded {
+            let at = match (d.line, d.col) {
+                (Some(l), Some(c)) => format!(" at {l}:{c}"),
+                _ => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "degraded {}: {} budget exhausted (consumed {}, limit {})",
+                "degraded {}: {} budget exhausted (consumed {}, limit {}){at}",
                 d.name, d.stage, d.consumed, d.limit
             );
         }
@@ -784,6 +800,8 @@ mod tests {
             stage: "closure".into(),
             limit: 100,
             consumed: 101,
+            line: Some(7),
+            col: Some(3),
             message: "closure budget exhausted: consumed 101, limit 100".into(),
         });
         let json = report.to_json();
@@ -793,6 +811,10 @@ mod tests {
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"expected\": false"));
         assert!(json.contains("\"stage\": \"closure\""));
+        // `consumed` is pinned in the degraded section, and positions are
+        // additive (present only when attributed).
+        assert!(json.contains("\"consumed\": 101"));
+        assert!(json.contains("\"line\": 7, \"col\": 3"));
         assert!(json.contains("\"summary\""));
         // Balanced braces/brackets (cheap structural sanity check).
         assert_eq!(
@@ -842,6 +864,7 @@ mod tests {
             limit: 10,
             consumed: 11,
             message: "rd budget exhausted: consumed 11, limit 10".into(),
+            ..DegradedEntry::default()
         });
         assert!(
             report.check_ok(),
@@ -850,6 +873,9 @@ mod tests {
         let text = report.to_text();
         assert!(text.contains("error garbage (expected):"));
         assert!(text.contains("degraded huge: rd budget exhausted (consumed 11, limit 10)"));
+        // No position attributed => no ` at l:c` suffix and no JSON fields.
+        assert!(!text.contains("limit 10) at"));
+        assert!(!report.to_json().contains("\"line\": 0"));
 
         report.errors.push(BatchError {
             name: "surprise".into(),

@@ -35,6 +35,12 @@ pub struct AnalysisOptions {
     /// part of the options and therefore of the engine's memo key, so
     /// analyses under different budgets never share cached stages.
     pub budget: Budget,
+    /// Collect stage-level spans and metrics into the engine's
+    /// [`crate::TraceSink`] (`vhdl1c --profile`).  Off by default: the
+    /// disabled path performs no span allocation and no timing calls —
+    /// every instrumentation site reduces to one `Option` check.  Tracing
+    /// never changes any analysis artifact or report byte.
+    pub trace: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -45,6 +51,7 @@ impl Default for AnalysisOptions {
             improved: true,
             improved_options: ImprovedOptions::default(),
             budget: Budget::default(),
+            trace: false,
         }
     }
 }
@@ -65,6 +72,7 @@ impl AnalysisOptions {
                 finals_are_outgoing: true,
             },
             budget: Budget::default(),
+            trace: false,
         }
     }
 

@@ -59,6 +59,7 @@ use crate::kemmerer::kemmerer_graph_from_matrix;
 use crate::local::local_dependencies;
 use crate::policy::{audit, AuditReport, Policy};
 use crate::rm::ResourceMatrix;
+use crate::trace::{SpanTimer, TraceSink};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
@@ -468,6 +469,10 @@ pub struct Engine {
     config: EngineConfig,
     cache: Mutex<Cache>,
     counters: Counters,
+    /// Span/metrics collector, allocated only when
+    /// [`AnalysisOptions::trace`] is set — the disabled path carries `None`
+    /// and every instrumentation site is a single discriminant check.
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl fmt::Debug for Engine {
@@ -489,6 +494,7 @@ impl Engine {
     /// Creates an engine with an explicit configuration.
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
+            trace: config.options.trace.then(|| Arc::new(TraceSink::new())),
             config,
             cache: Mutex::new(Cache::default()),
             counters: Counters::default(),
@@ -512,6 +518,26 @@ impl Engine {
     /// The session's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's span/metrics collector, present only when the options
+    /// enable [`AnalysisOptions::trace`].  Batch drivers snapshot it after
+    /// the run ([`TraceSink::snapshot`]) to build profiles.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
+    }
+
+    /// Opens a span when tracing is enabled; `None` otherwise (the
+    /// zero-cost disabled path — no allocation, no clock read).
+    fn trace_begin(&self, stage: &'static str) -> Option<SpanTimer> {
+        self.trace.as_ref().map(|sink| sink.begin(stage))
+    }
+
+    /// Closes a span opened by [`Engine::trace_begin`].
+    fn trace_end(&self, timer: Option<SpanTimer>, design: &str, work: u64, items: u64) {
+        if let (Some(timer), Some(sink)) = (timer, self.trace.as_deref()) {
+            sink.end(timer, design, work, items);
+        }
     }
 
     /// Snapshot of the stage-computation and cache counters.
@@ -699,7 +725,22 @@ impl Engine {
             max_source_bytes: budget.max_source_bytes,
             max_parse_depth: budget.max_parse_depth,
         };
-        vhdl1_syntax::frontend_with_limits(src, &limits).map_err(|e| {
+        let span = self.trace_begin("frontend");
+        let result = vhdl1_syntax::frontend_with_limits(src, &limits);
+        if span.is_some() {
+            match &result {
+                Ok(design) => self.trace_end(
+                    span,
+                    &design.name,
+                    src.len() as u64,
+                    design.signals.len() as u64,
+                ),
+                // Rejected sources have no design name yet; the span still
+                // accounts the front-end time spent refusing them.
+                Err(_) => self.trace_end(span, "<rejected>", src.len() as u64, 0),
+            }
+        }
+        result.map_err(|e| {
             if e.is_resource_limit() {
                 // The only resource limit left to the front end is parse
                 // depth (the size cap was enforced above).
@@ -811,6 +852,7 @@ impl<'e> Analysis<'e> {
     fn check_alive(&self) -> Result<(), EngineError> {
         let elapsed = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
         if self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled) {
+            self.trace_event("cancel", elapsed);
             return Err(EngineError::ResourceExhausted {
                 stage: EngineStage::Deadline,
                 limit: self.budget().deadline_ms.unwrap_or(0),
@@ -823,6 +865,7 @@ impl<'e> Analysis<'e> {
         // first stage" switch.
         if let Some(deadline) = self.budget().deadline_ms {
             if elapsed >= deadline {
+                self.trace_event("deadline", elapsed);
                 return Err(EngineError::ResourceExhausted {
                     stage: EngineStage::Deadline,
                     limit: deadline,
@@ -845,6 +888,29 @@ impl<'e> Analysis<'e> {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a memoized stage query (no span is allocated for hits).
+    fn trace_hit(&self, stage: &'static str) {
+        if let Some(sink) = &self.engine.trace {
+            sink.memo_hit(stage);
+        }
+    }
+
+    /// Records a deadline/cancel trip against this design.
+    fn trace_event(&self, kind: &'static str, elapsed_ms: u64) {
+        if let Some(sink) = &self.engine.trace {
+            sink.event(&self.design().name, kind, elapsed_ms);
+        }
+    }
+
+    /// The budget units consumed by an exhausted stage, for span work
+    /// accounting on the failure path (zero for non-budget failures).
+    fn consumed_of(e: &EngineError) -> u64 {
+        match e {
+            EngineError::ResourceExhausted { consumed, .. } => *consumed,
+            _ => 0,
+        }
+    }
+
     /// The Reaching Definitions artifacts (Section 4).
     ///
     /// # Errors
@@ -855,19 +921,35 @@ impl<'e> Analysis<'e> {
     pub fn rd(&self) -> Result<&ReachingDefinitions, EngineError> {
         if self.slots().rd.get().is_none() {
             self.check_alive()?;
+        } else {
+            self.trace_hit("rd");
         }
         self.slots()
             .rd
             .get_or_init(|| {
                 self.bump(&self.engine.counters.rd);
+                let span = self.engine.trace_begin("rd");
                 let max = self.budget().max_dataflow_steps.unwrap_or(u64::MAX);
-                ReachingDefinitions::compute_bounded(self.design(), &self.options().rd, max)
-                    .map_err(|e| EngineError::ResourceExhausted {
-                        stage: EngineStage::Rd,
-                        limit: e.limit,
-                        consumed: e.steps,
-                        pos: None,
-                    })
+                let result =
+                    ReachingDefinitions::compute_bounded(self.design(), &self.options().rd, max)
+                        .map_err(|e| EngineError::ResourceExhausted {
+                            stage: EngineStage::Rd,
+                            limit: e.limit,
+                            consumed: e.steps,
+                            pos: None,
+                        });
+                if span.is_some() {
+                    let (work, items) = match &result {
+                        Ok(rd) => {
+                            let labels = rd.cfg.labels().len() as u64;
+                            (labels, labels)
+                        }
+                        Err(e) => (Self::consumed_of(e), 0),
+                    };
+                    self.engine
+                        .trace_end(span, &self.design().name, work, items);
+                }
+                result
             })
             .as_ref()
             .map_err(|e| e.clone())
@@ -877,9 +959,19 @@ impl<'e> Analysis<'e> {
     /// dependencies are a single linear pass, bounded by the source-size
     /// budget the front end already enforced.
     pub fn local(&self) -> &ResourceMatrix {
+        if self.slots().local.get().is_some() {
+            self.trace_hit("local");
+        }
         self.slots().local.get_or_init(|| {
             self.bump(&self.engine.counters.local);
-            local_dependencies(self.design())
+            let span = self.engine.trace_begin("local");
+            let matrix = local_dependencies(self.design());
+            if span.is_some() {
+                let entries = matrix.len() as u64;
+                self.engine
+                    .trace_end(span, &self.design().name, entries, entries);
+            }
+            matrix
         })
     }
 
@@ -892,12 +984,23 @@ impl<'e> Analysis<'e> {
         if self.slots().specialized.get().is_none() {
             self.check_alive()?;
             self.rd()?;
+        } else {
+            self.trace_hit("specialized");
         }
         Ok(self.slots().specialized.get_or_init(|| {
             let rd = self.rd().expect("rd forced above");
             let local = self.local();
             self.bump(&self.engine.counters.specialized);
-            specialize_rd(rd, local, self.options().specialize_rd)
+            let span = self.engine.trace_begin("specialized");
+            let spec = specialize_rd(rd, local, self.options().specialize_rd);
+            if span.is_some() {
+                let facts: u64 = spec.present.values().map(|s| s.len() as u64).sum::<u64>()
+                    + spec.active.values().map(|s| s.len() as u64).sum::<u64>();
+                let rows = (spec.present.len() + spec.active.len()) as u64;
+                self.engine
+                    .trace_end(span, &self.design().name, facts, rows);
+            }
+            spec
         }))
     }
 
@@ -912,6 +1015,8 @@ impl<'e> Analysis<'e> {
         if self.slots().global.get().is_none() {
             self.check_alive()?;
             self.specialized()?;
+        } else {
+            self.trace_hit("global");
         }
         self.slots()
             .global
@@ -920,15 +1025,26 @@ impl<'e> Analysis<'e> {
                 let spec = self.specialized().expect("specialized forced above");
                 let local = self.local();
                 self.bump(&self.engine.counters.global);
+                let span = self.engine.trace_begin("global");
                 let max = self.budget().max_closure_iterations.unwrap_or(u64::MAX);
-                global_closure_bounded(self.design(), rd, spec, local, max).map_err(|e| {
-                    EngineError::ResourceExhausted {
-                        stage: EngineStage::Closure,
-                        limit: e.limit,
-                        consumed: e.iterations,
-                        pos: None,
-                    }
-                })
+                let result =
+                    global_closure_bounded(self.design(), rd, spec, local, max).map_err(|e| {
+                        EngineError::ResourceExhausted {
+                            stage: EngineStage::Closure,
+                            limit: e.limit,
+                            consumed: e.iterations,
+                            pos: None,
+                        }
+                    });
+                if span.is_some() {
+                    let (work, items) = match &result {
+                        Ok(matrix) => (matrix.len() as u64, matrix.len() as u64),
+                        Err(e) => (Self::consumed_of(e), 0),
+                    };
+                    self.engine
+                        .trace_end(span, &self.design().name, work, items);
+                }
+                result
             })
             .as_ref()
             .map_err(|e| e.clone())
@@ -950,6 +1066,8 @@ impl<'e> Analysis<'e> {
             if self.options().improved {
                 self.specialized()?;
             }
+        } else if self.options().improved {
+            self.trace_hit("improved");
         }
         self.slots()
             .improved
@@ -961,8 +1079,9 @@ impl<'e> Analysis<'e> {
                 let spec = self.specialized().expect("specialized forced above");
                 let local = self.local();
                 self.bump(&self.engine.counters.improved);
+                let span = self.engine.trace_begin("improved");
                 let max = self.budget().max_closure_iterations.unwrap_or(u64::MAX);
-                improved_closure_bounded(
+                let result = improved_closure_bounded(
                     self.design(),
                     rd,
                     spec,
@@ -976,7 +1095,17 @@ impl<'e> Analysis<'e> {
                     limit: e.limit,
                     consumed: e.iterations,
                     pos: None,
-                })
+                });
+                if span.is_some() {
+                    let (work, items) = match &result {
+                        Ok(Some(imp)) => (imp.matrix.len() as u64, imp.matrix.len() as u64),
+                        Ok(None) => (0, 0),
+                        Err(e) => (Self::consumed_of(e), 0),
+                    };
+                    self.engine
+                        .trace_end(span, &self.design().name, work, items);
+                }
+                result
             })
             .as_ref()
             .map(|o| o.as_ref())
@@ -1020,6 +1149,8 @@ impl<'e> Analysis<'e> {
             if self.improved()?.is_none() {
                 self.global()?;
             }
+        } else {
+            self.trace_hit("flow_graph");
         }
         Ok(self.slots().graph.get_or_init(|| {
             let matrix = match self.improved().expect("improved forced above") {
@@ -1027,7 +1158,17 @@ impl<'e> Analysis<'e> {
                 None => self.global().expect("global forced above"),
             };
             self.bump(&self.engine.counters.flow_graph);
-            FlowGraph::from_resource_matrix(matrix)
+            let span = self.engine.trace_begin("flow_graph");
+            let graph = FlowGraph::from_resource_matrix(matrix);
+            if span.is_some() {
+                self.engine.trace_end(
+                    span,
+                    &self.design().name,
+                    graph.node_count() as u64,
+                    graph.edge_count() as u64,
+                );
+            }
+            graph
         }))
     }
 
@@ -1041,11 +1182,23 @@ impl<'e> Analysis<'e> {
         if self.slots().base_graph.get().is_none() {
             self.check_alive()?;
             self.global()?;
+        } else {
+            self.trace_hit("flow_graph");
         }
         Ok(self.slots().base_graph.get_or_init(|| {
             let global = self.global().expect("global forced above");
             self.bump(&self.engine.counters.flow_graph);
-            FlowGraph::from_resource_matrix(global)
+            let span = self.engine.trace_begin("flow_graph");
+            let graph = FlowGraph::from_resource_matrix(global);
+            if span.is_some() {
+                self.engine.trace_end(
+                    span,
+                    &self.design().name,
+                    graph.node_count() as u64,
+                    graph.edge_count() as u64,
+                );
+            }
+            graph
         }))
     }
 
@@ -1059,11 +1212,23 @@ impl<'e> Analysis<'e> {
     pub fn merged_flow_graph(&self) -> Result<&FlowGraph, EngineError> {
         if self.slots().merged_graph.get().is_none() {
             self.flow_graph()?;
+        } else {
+            self.trace_hit("flow_graph");
         }
         Ok(self.slots().merged_graph.get_or_init(|| {
             let graph = self.flow_graph().expect("flow graph forced above");
             self.bump(&self.engine.counters.flow_graph);
-            graph.merge_io_nodes()
+            let span = self.engine.trace_begin("flow_graph");
+            let merged = graph.merge_io_nodes();
+            if span.is_some() {
+                self.engine.trace_end(
+                    span,
+                    &self.design().name,
+                    merged.node_count() as u64,
+                    merged.edge_count() as u64,
+                );
+            }
+            merged
         }))
     }
 
@@ -1077,11 +1242,23 @@ impl<'e> Analysis<'e> {
     pub fn kemmerer_graph(&self) -> Result<&FlowGraph, EngineError> {
         if self.slots().kemmerer.get().is_none() {
             self.check_alive()?;
+        } else {
+            self.trace_hit("kemmerer");
         }
         Ok(self.slots().kemmerer.get_or_init(|| {
             let local = self.local();
             self.bump(&self.engine.counters.kemmerer);
-            kemmerer_graph_from_matrix(local)
+            let span = self.engine.trace_begin("kemmerer");
+            let graph = kemmerer_graph_from_matrix(local);
+            if span.is_some() {
+                self.engine.trace_end(
+                    span,
+                    &self.design().name,
+                    graph.node_count() as u64,
+                    graph.edge_count() as u64,
+                );
+            }
+            graph
         }))
     }
 
@@ -1120,11 +1297,14 @@ impl<'e> Analysis<'e> {
     pub fn smoke(&self, max_deltas: u64) -> Result<SmokeReport, EngineError> {
         if self.slots().smoke.get().is_none() {
             self.check_alive()?;
+        } else {
+            self.trace_hit("smoke");
         }
         self.slots()
             .smoke
             .get_or_init(|| {
                 self.bump(&self.engine.counters.smoke);
+                let span = self.engine.trace_begin("smoke");
                 let budget = *self.budget();
                 let budget_deltas = budget.max_sim_deltas.unwrap_or(u64::MAX);
                 let effective_deltas = max_deltas.min(budget_deltas);
@@ -1173,7 +1353,7 @@ impl<'e> Analysis<'e> {
                         state_digest: fnv1a64(digest_input.as_bytes()),
                     })
                 };
-                run().map_err(|e| match e {
+                let result = run().map_err(|e| match e {
                     // A delta overrun is budget exhaustion only when the
                     // budget (not the caller's bound) was the binding limit.
                     SimError::DeltaLimitExceeded { limit }
@@ -1193,7 +1373,15 @@ impl<'e> Analysis<'e> {
                         pos: None,
                     },
                     other => EngineError::Sim(other),
-                })
+                });
+                if span.is_some() {
+                    let (work, items) = match &result {
+                        Ok(smoke) => (smoke.deltas, design.signals.len() as u64),
+                        Err(e) => (Self::consumed_of(e), 0),
+                    };
+                    self.engine.trace_end(span, &design.name, work, items);
+                }
+                result
             })
             .clone()
     }
@@ -1227,9 +1415,12 @@ impl<'e> Analysis<'e> {
             self.check_alive()?;
             self.merged_flow_graph()?;
             self.kemmerer_graph()?;
+        } else {
+            self.trace_hit("dynamic_flows");
         }
         cell.get_or_init(|| {
             self.bump(&self.engine.counters.dynflow);
+            let span = self.engine.trace_begin("dynamic_flows");
             let budget = *self.budget();
             let budget_deltas = budget.max_sim_deltas.unwrap_or(u64::MAX);
             let max_deltas = DYNFLOW_MAX_DELTAS.min(budget_deltas);
@@ -1241,7 +1432,7 @@ impl<'e> Analysis<'e> {
             };
             let merged = self.merged_flow_graph().expect("merged graph forced above");
             let kemmerer = self.kemmerer_graph().expect("kemmerer graph forced above");
-            vhdl1_dynflow::witness(self.design(), &options)
+            let result = vhdl1_dynflow::witness(self.design(), &options)
                 .map(|w| Arc::new(cross_check(&w, merged, kemmerer)))
                 .map_err(|e| match e {
                     // A delta overrun is budget exhaustion only when the
@@ -1263,7 +1454,16 @@ impl<'e> Analysis<'e> {
                         pos: None,
                     },
                     other => EngineError::Sim(other),
-                })
+                });
+            if span.is_some() {
+                let (work, items) = match &result {
+                    Ok(report) => (report.total_deltas, report.static_edges as u64),
+                    Err(e) => (Self::consumed_of(e), 0),
+                };
+                self.engine
+                    .trace_end(span, &self.design().name, work, items);
+            }
+            result
         })
         .clone()
     }

@@ -57,6 +57,7 @@ pub mod kemmerer;
 pub mod local;
 pub mod policy;
 pub mod rm;
+pub mod trace;
 
 pub use analysis::{
     analyze, analyze_all, analyze_source, analyze_with, AnalysisOptions, AnalysisResult,
@@ -77,3 +78,4 @@ pub use kemmerer::{kemmerer_graph, kemmerer_graph_from_matrix};
 pub use local::local_dependencies;
 pub use policy::{audit, AuditReport, Policy, Violation};
 pub use rm::{Access, Node, ResourceMatrix, RmEntry};
+pub use trace::{render_prometheus, SpanRecord, StageAgg, TraceEvent, TraceSink, TraceSnapshot};

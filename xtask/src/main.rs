@@ -51,6 +51,29 @@
 //! `bench-gate` machinery double as a coverage-regression gate: dynamic
 //! coverage decaying between a committed baseline and a fresh nightly run
 //! shows up as a "regressed" series, exactly like a slow benchmark.
+//!
+//! ## `profile-series`
+//!
+//! Folds the deterministic counters of a `vhdl1c analyze --profile=FILE`
+//! profile document into the bench summary:
+//!
+//! ```console
+//! $ cargo run -p xtask -- profile-series \
+//!       --profile profile.json --out BENCH_alfp.json
+//! ```
+//!
+//! Three series are appended, each encoding its counter (plus one) as
+//! `median_ns` so `bench-gate` flags *increases* as regressions:
+//!
+//! * `profile_stage_runs` — total stage computations across the batch: a
+//!   rise at a fixed corpus means memoization or dedup got less effective;
+//! * `profile_cache_misses` — engine source-cache misses (cache
+//!   effectiveness);
+//! * `profile_graph_edges` — flow-graph edges built (`items` of the
+//!   `flow_graph` stage): a proxy for analysis work and precision drift.
+//!
+//! Only the profile's single-line `"deterministic"` section is read; every
+//! wall-clock field is ignored by construction.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -60,6 +83,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("bench-gate") => bench_gate(&args[1..]),
         Some("dynflow-series") => dynflow_series(&args[1..]),
+        Some("profile-series") => profile_series(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -72,7 +96,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  cargo run -p xtask -- bench-gate --baseline <file> --current <file> \\\n      [--tolerance <percent>] [--no-rescale]\n  cargo run -p xtask -- dynflow-series --report <verify.json> --out <file>";
+const USAGE: &str = "usage:\n  cargo run -p xtask -- bench-gate --baseline <file> --current <file> \\\n      [--tolerance <percent>] [--no-rescale]\n  cargo run -p xtask -- dynflow-series --report <verify.json> --out <file>\n  cargo run -p xtask -- profile-series --profile <profile.json> --out <file>";
 
 fn bench_gate(args: &[String]) -> ExitCode {
     let mut baseline_path = None;
@@ -173,6 +197,110 @@ fn dynflow_series(args: &[String]) -> ExitCode {
     }
     println!("dynflow-series: appended to {out_path}: {point}");
     ExitCode::SUCCESS
+}
+
+fn profile_series(args: &[String]) -> ExitCode {
+    let mut profile_path = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => profile_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(profile_path), Some(out_path)) = (profile_path, out_path) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let profile = match std::fs::read_to_string(&profile_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {profile_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let points = match profile_points(&profile) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {profile_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut merged = std::fs::read_to_string(&out_path).unwrap_or_default();
+    for point in &points {
+        merged = append_point(&merged, point);
+        println!("profile-series: appended to {out_path}: {point}");
+    }
+    if let Err(e) = std::fs::write(&out_path, &merged) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extracts a named `"field": <integer>` occurring after `anchor` in
+/// `text`.
+fn field_after(text: &str, anchor: &str, name: &str) -> Result<u64, String> {
+    let scoped = text
+        .find(anchor)
+        .map(|at| &text[at..])
+        .ok_or_else(|| format!("missing `{anchor}`"))?;
+    let at = scoped
+        .find(&format!("\"{name}\""))
+        .ok_or_else(|| format!("missing field `{name}` after `{anchor}`"))?;
+    scoped[at..]
+        .split_once(':')
+        .and_then(|(_, rest)| {
+            rest.trim_start()
+                .split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .ok_or_else(|| format!("field `{name}` after `{anchor}` is not an integer"))
+}
+
+/// Builds the deterministic bench points of a profile document.  Reads only
+/// the single-line `"deterministic"` section; each counter is encoded as
+/// `median_ns` (plus one, so a zero counter still yields a valid point) and
+/// an increase therefore registers as a regression in `bench-gate`.
+fn profile_points(profile: &str) -> Result<Vec<String>, String> {
+    let det_line = profile
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"deterministic\""))
+        .ok_or("missing deterministic section")?;
+    let jobs = field_after(det_line, "\"deterministic\"", "jobs")?;
+    let misses = field_after(det_line, "\"deterministic\"", "cache_misses")?;
+    let stages = det_line
+        .find("\"stages\"")
+        .map(|at| &det_line[at..])
+        .ok_or("deterministic section carries no stages (profile collected without spans?)")?;
+    let mut runs = 0u64;
+    let mut rest = stages;
+    while let Some(at) = rest.find("\"runs\"") {
+        rest = &rest[at..];
+        runs += field_after(rest, "\"runs\"", "runs")?;
+        rest = &rest["\"runs\"".len()..];
+    }
+    let edges = field_after(stages, "\"flow_graph\"", "items")?;
+    let point = |workload: &str, value: u64| {
+        format!(
+            "{{\"workload\": \"{workload}\", \"size\": {jobs}, \
+             \"value\": {value}, \"median_ns\": {}}}",
+            value + 1
+        )
+    };
+    Ok(vec![
+        point("profile_stage_runs", runs),
+        point("profile_cache_misses", misses),
+        point("profile_graph_edges", edges),
+    ])
 }
 
 /// Extracts a named `"field": <integer>` from the summary of a `vhdl1c`
@@ -487,6 +615,47 @@ mod tests {
         )
         .is_err());
         assert!(coverage_point("{}").is_err());
+    }
+
+    #[test]
+    fn profile_points_read_only_the_deterministic_line() {
+        let profile = r#"{
+  "tool": "vhdl1c-profile",
+  "schema": 1,
+  "deterministic": {"jobs": 25, "unique_jobs": 25, "cache_hits": 0, "cache_misses": 25, "stages": {"frontend": {"runs": 25, "memo_hits": 0, "work": 100, "items": 50}, "rd": {"runs": 25, "memo_hits": 3, "work": 7, "items": 7}, "flow_graph": {"runs": 25, "memo_hits": 0, "work": 40, "items": 123}}},
+  "wall_ns": 99999,
+  "stages": [
+    {"stage": "frontend", "runs": 7777, "wall_ns": 1}
+  ]
+}"#;
+        let points = profile_points(profile).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!(points[0].contains("\"workload\": \"profile_stage_runs\""));
+        assert!(points[0].contains("\"size\": 25"));
+        // 25 + 25 + 25 runs from the deterministic line — the wall-clock
+        // `"stages"` array below it (with its decoy 7777) is never read.
+        assert!(points[0].contains("\"value\": 75"), "{}", points[0]);
+        assert!(points[0].contains("\"median_ns\": 76"));
+        assert!(points[1].contains("\"workload\": \"profile_cache_misses\""));
+        assert!(points[1].contains("\"median_ns\": 26"));
+        assert!(points[2].contains("\"workload\": \"profile_graph_edges\""));
+        assert!(points[2].contains("\"value\": 123"));
+        // The emitted points round-trip through the gate's parser.
+        let all = format!("[{}]", points.join(", "));
+        assert_eq!(
+            parse_points(&all).unwrap(),
+            pts(&[
+                ("profile_stage_runs", 25, 76),
+                ("profile_cache_misses", 25, 26),
+                ("profile_graph_edges", 25, 124),
+            ])
+        );
+        assert!(profile_points("{}").is_err());
+        assert!(
+            profile_points("{\n  \"deterministic\": {\"jobs\": 1, \"cache_misses\": 0}\n}")
+                .is_err(),
+            "a stage-less profile must be rejected, not silently zeroed"
+        );
     }
 
     #[test]
