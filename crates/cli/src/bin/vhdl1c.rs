@@ -43,6 +43,9 @@ usage:
       --base            base closure only (no incoming/outgoing nodes)
       --no-cache        disable the engine's analysis memo table
                         (report-level dedup of identical jobs stays on)
+      --cache-dir DIR   persist analysis artifacts to DIR; reruns (and
+                        vhdl1d daemons) serve warm designs from disk
+                        without re-parsing
       --stats           print engine stage/cache counters to stderr
       --profile[=FILE]  print a per-stage self-time table to stderr and,
                         with =FILE, write the profile JSON document to
@@ -253,8 +256,20 @@ fn analyze_command(args: &[String], verify: bool) -> Result<ExitCode, CliError> 
     if take_flag(&mut args, "--base") {
         opts.analysis.improved = false;
     }
-    if take_flag(&mut args, "--no-cache") {
+    let no_cache = take_flag(&mut args, "--no-cache");
+    if no_cache {
         opts.cache = vhdl1_infoflow::CachePolicy::Disabled;
+    }
+    if let Some(dir) = take_value(&mut args, "--cache-dir")? {
+        if no_cache {
+            return Err(usage("--cache-dir conflicts with --no-cache".to_string()));
+        }
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| runtime(format!("cannot create cache dir `{dir}`: {e}")))?;
+        opts.cache = vhdl1_infoflow::CachePolicy::Persistent {
+            dir: dir.into(),
+            cap: vhdl1_cli::driver::DEFAULT_PERSISTENT_CACHE_CAP,
+        };
     }
     let out_path = take_value(&mut args, "--out")?;
     if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {

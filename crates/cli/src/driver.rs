@@ -171,6 +171,11 @@ pub struct BatchOptions {
 /// on huge corpora while still covering realistic duplicate working sets.
 pub const DEFAULT_ENGINE_CACHE: CachePolicy = CachePolicy::Capped(512);
 
+/// Default artifact cap of a persistent cache directory (`--cache-dir`,
+/// `vhdl1d`): disk artifacts are small (a few KiB), so the disk cap is an
+/// order of magnitude looser than the in-memory default.
+pub const DEFAULT_PERSISTENT_CACHE_CAP: usize = 4096;
+
 impl Default for BatchOptions {
     fn default() -> Self {
         BatchOptions {
@@ -257,6 +262,28 @@ pub fn run_batch_traced(jobs: &[Job], opts: &BatchOptions) -> (BatchReport, Batc
     )
 }
 
+/// Runs a batch on a **caller-supplied** engine — the serving seam: the
+/// `vhdl1d` daemon routes every request through its long-lived worker
+/// engines this way.  Report bytes are identical to [`run_batch`] over the
+/// same jobs and options: dedup picks representatives before the pool runs,
+/// and engine memo or disk-artifact hits never alter a report byte — which
+/// is what lets a warm daemon answer `cmp`-identically to a cold CLI run.
+///
+/// The engine's own options govern the analysis; [`BatchOptions::analysis`],
+/// [`BatchOptions::cache`] and [`BatchOptions::profile`] are ignored here
+/// (they only shape the engine [`run_batch`] builds internally).
+pub fn run_batch_on(engine: &Engine, jobs: &[Job], opts: &BatchOptions) -> BatchReport {
+    run_batch_core(engine, jobs, opts).0
+}
+
+/// Non-deterministic (wall-clock) byproducts of [`run_batch_core`], folded
+/// into [`BatchTelemetry`] by the owning-engine entry points.
+struct CoreStats {
+    pool: Option<PoolStats>,
+    watchdog_cancels: u64,
+    unique_jobs: usize,
+}
+
 fn run_batch_inner(
     jobs: &[Job],
     opts: &BatchOptions,
@@ -273,11 +300,26 @@ fn run_batch_inner(
     }
     let engine = Engine::new(EngineConfig {
         options: analysis,
-        cache: opts.cache,
+        cache: opts.cache.clone(),
     });
+    let (batch, core) = run_batch_core(&engine, jobs, opts);
+    let telemetry = (collect || opts.profile).then(|| BatchTelemetry {
+        stats: engine.stats(),
+        trace: engine.trace_sink().map(|sink| sink.snapshot()),
+        pool: core.pool,
+        watchdog_cancels: core.watchdog_cancels,
+        jobs: jobs.len(),
+        unique_jobs: core.unique_jobs,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    });
+    (batch, telemetry)
+}
+
+fn run_batch_core(engine: &Engine, jobs: &[Job], opts: &BatchOptions) -> (BatchReport, CoreStats) {
+    let start = Instant::now();
 
     // One watchdog thread for the whole batch, when a deadline is set.
-    // Joined (via Drop) before run_batch returns.
+    // Joined (via Drop) before the batch returns.
     let watchdog = opts
         .deadline_ms
         .map(|ms| Watchdog::spawn(Duration::from_millis(ms)));
@@ -298,9 +340,8 @@ fn run_batch_inner(
     // panics: a crashing item becomes `Err(message)` while the rest of the
     // batch completes.
     let unique: Vec<usize> = (0..jobs.len()).filter(|&i| rep[i] == i).collect();
-    let worker = |_: usize, &i: &usize| {
-        analyze_job(&engine, &jobs[i], &policies[i], opts, watchdog.as_ref())
-    };
+    let worker =
+        |_: usize, &i: &usize| analyze_job(engine, &jobs[i], &policies[i], opts, watchdog.as_ref());
     // Pool timing reads the clock per item; only pay for it under
     // `--profile` so the plain batch path is untouched.
     let (unique_outcomes, pool_stats) = if opts.profile {
@@ -368,16 +409,12 @@ fn run_batch_inner(
     if opts.timing {
         batch.wall_ms = Some(start.elapsed().as_secs_f64() * 1e3);
     }
-    let telemetry = (collect || opts.profile).then(|| BatchTelemetry {
-        stats: engine.stats(),
-        trace: engine.trace_sink().map(|sink| sink.snapshot()),
+    let core = CoreStats {
         pool: pool_stats,
         watchdog_cancels: watchdog.as_ref().map_or(0, Watchdog::cancel_count),
-        jobs: jobs.len(),
         unique_jobs: unique_count,
-        wall_ns: start.elapsed().as_nanos() as u64,
-    });
-    (batch, telemetry)
+    };
+    (batch, core)
 }
 
 /// Everything one job can produce: at most one report (possibly with an

@@ -103,7 +103,8 @@ pub fn render_json(t: &BatchTelemetry) -> String {
         out,
         "  \"engine\": {{\"frontend\": {}, \"rd\": {}, \"local\": {}, \"specialized\": {}, \
          \"global\": {}, \"improved\": {}, \"flow_graph\": {}, \"kemmerer\": {}, \
-         \"smoke\": {}, \"dynamic_flows\": {}, \"cache_hits\": {}, \"cache_misses\": {}}},",
+         \"smoke\": {}, \"dynamic_flows\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"store_hits\": {}, \"store_misses\": {}, \"store_writes\": {}}},",
         s.frontend,
         s.rd,
         s.local,
@@ -115,7 +116,10 @@ pub fn render_json(t: &BatchTelemetry) -> String {
         s.smoke,
         s.dynamic_flows,
         s.cache_hits,
-        s.cache_misses
+        s.cache_misses,
+        s.store_hits,
+        s.store_misses,
+        s.store_writes
     );
     match &t.pool {
         Some(p) => {

@@ -6,7 +6,7 @@
 use crate::json;
 use std::fmt::Write as _;
 use vhdl1_infoflow::{
-    audit, Analysis, AnalysisResult, DynFlowReport, EngineError, FlowGraph, Policy,
+    audit, Analysis, AnalysisResult, DesignSummary, DynFlowReport, EngineError, FlowGraph, Policy,
 };
 use vhdl1_syntax::Design;
 
@@ -192,23 +192,31 @@ pub fn analysis_report(
     analysis: &Analysis<'_>,
     policy: &Policy,
 ) -> Result<DesignReport, EngineError> {
-    Ok(report_from_graph(
-        analysis.design(),
-        analysis.merged_flow_graph()?,
-        policy,
-    ))
+    // Graph first, then summary: both are restored from the disk artifact
+    // under `CachePolicy::Persistent`, so a warm report never re-parses —
+    // `analysis.design()` is deliberately not touched here.
+    let graph = analysis.merged_flow_graph()?;
+    Ok(report_from_summary(analysis.summary(), graph, policy))
 }
 
 fn report_from_graph(design: &Design, graph: &FlowGraph, policy: &Policy) -> DesignReport {
+    report_from_summary(&DesignSummary::of(design), graph, policy)
+}
+
+fn report_from_summary(
+    summary: &DesignSummary,
+    graph: &FlowGraph,
+    policy: &Policy,
+) -> DesignReport {
     let report = audit(graph, policy);
     DesignReport {
-        name: design.name.clone(),
+        name: summary.name.clone(),
         family: None,
         leaky: None,
         source_hash: String::new(),
-        processes: design.processes.len(),
-        labels: design.max_label(),
-        resources: design.resource_names().len(),
+        processes: summary.processes,
+        labels: summary.labels,
+        resources: summary.resources,
         edges: graph
             .edges()
             .map(|(f, t)| (f.name().to_string(), t.name().to_string()))

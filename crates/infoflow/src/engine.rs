@@ -59,6 +59,7 @@ use crate::kemmerer::kemmerer_graph_from_matrix;
 use crate::local::local_dependencies;
 use crate::policy::{audit, AuditReport, Policy};
 use crate::rm::ResourceMatrix;
+use crate::store::{Artifact, ArtifactStore, DesignSummary};
 use crate::trace::{SpanTimer, TraceSink};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -84,8 +85,55 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A stable, field-wise fingerprint of [`AnalysisOptions`] — the options
+/// half of [`Engine::source_key`].
+///
+/// Persistent cache keys ([`CachePolicy::Persistent`]) outlive the process,
+/// so the fingerprint must not depend on anything incidental like a `Debug`
+/// rendering: every semantic field is serialised explicitly (version-tagged,
+/// little-endian) and hashed with FNV-1a.  Two deliberate properties:
+///
+/// * adding an options field is a *fingerprint change* only if this
+///   function is updated — which is exactly when old artifacts must be
+///   invalidated — and the golden-hash test pins that decision;
+/// * [`AnalysisOptions::trace`] is **excluded**: tracing is observability
+///   only (reports are byte-identical profiled or not), so a tracing
+///   daemon shares artifacts with a non-tracing CLI run.
+pub fn options_fingerprint(options: &AnalysisOptions) -> u64 {
+    let mut buf = Vec::with_capacity(128);
+    buf.extend_from_slice(b"vhdl1-options-v1");
+    for flag in [
+        options.rd.process_repeats,
+        options.rd.use_under_approximation,
+        options.rd.kill_initial_at_wait,
+        options.specialize_rd,
+        options.improved,
+        options.improved_options.finals_are_outgoing,
+    ] {
+        buf.push(u8::from(flag));
+    }
+    let mut opt_u64 = |v: Option<u64>| match v {
+        Some(v) => {
+            buf.push(1);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        None => buf.push(0),
+    };
+    let b = &options.budget;
+    opt_u64(b.max_source_bytes);
+    opt_u64(b.max_parse_depth.map(u64::from));
+    opt_u64(b.max_dataflow_steps);
+    opt_u64(b.max_closure_iterations);
+    opt_u64(b.max_alfp_facts);
+    opt_u64(b.max_alfp_rounds);
+    opt_u64(b.max_sim_deltas);
+    opt_u64(b.max_sim_steps);
+    opt_u64(b.deadline_ms);
+    fnv1a64(&buf)
+}
+
 /// Retention policy of the engine's content-hash memo table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum CachePolicy {
     /// Memoize every analysed source for the lifetime of the engine (batch
     /// drivers: the working set is the corpus).
@@ -95,10 +143,34 @@ pub enum CachePolicy {
     Capped(usize),
     /// Never memoize (one-shot compatibility wrappers).
     Disabled,
+    /// [`Capped`](CachePolicy::Capped) in memory *plus* a disk-backed
+    /// content-addressed artifact store ([`crate::store`]) under `dir`: a
+    /// fresh engine serves previously analysed designs from disk without
+    /// parsing, and every freshly computed serving artifact is written
+    /// back (atomically) for the next process.  `cap` bounds both the
+    /// memo table and the on-disk artifact count.  Corrupted or
+    /// version-mismatched artifacts are misses, never errors.
+    Persistent {
+        /// Artifact directory (created on first use).
+        dir: std::path::PathBuf,
+        /// Maximum designs kept, in memory and on disk.
+        cap: usize,
+    },
+}
+
+impl CachePolicy {
+    /// The in-memory memo-table cap this policy implies, `None` when
+    /// unbounded or disabled.
+    fn memory_cap(&self) -> Option<usize> {
+        match self {
+            CachePolicy::Capped(cap) | CachePolicy::Persistent { cap, .. } => Some(*cap),
+            CachePolicy::Unbounded | CachePolicy::Disabled => None,
+        }
+    }
 }
 
 /// Configuration of an [`Engine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EngineConfig {
     /// Options shared by every analysis of the session.
     pub options: AnalysisOptions,
@@ -358,6 +430,15 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Memo-table misses in [`Engine::analyze_source`].
     pub cache_misses: u64,
+    /// Disk-artifact hits under [`CachePolicy::Persistent`] (memory miss
+    /// served from the store without parsing).
+    pub store_hits: u64,
+    /// Disk-artifact misses under [`CachePolicy::Persistent`] (absent,
+    /// corrupted or version-mismatched artifact; the design was computed
+    /// from source).
+    pub store_misses: u64,
+    /// Artifacts written back to the store.
+    pub store_writes: u64,
 }
 
 #[derive(Default)]
@@ -374,6 +455,9 @@ struct Counters {
     dynflow: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_writes: AtomicU64,
 }
 
 /// Built-in delta-cycle cap per quiescence run of
@@ -415,6 +499,10 @@ type DynFlowCell = Arc<OnceLock<Result<Arc<DynFlowReport>, EngineError>>>;
 
 #[derive(Default)]
 struct Slots {
+    /// The report-facing shape of the design (name, process/label/resource
+    /// counts).  Prefilled from a disk artifact, so report rendering never
+    /// forces a re-parse on the warm path.
+    summary: OnceLock<DesignSummary>,
     rd: OnceLock<Result<ReachingDefinitions, EngineError>>,
     local: OnceLock<ResourceMatrix>,
     specialized: OnceLock<SpecializedRd>,
@@ -433,9 +521,72 @@ struct Slots {
 }
 
 /// A design together with its memo slots, shareable across cache hits.
+///
+/// The elaborated design itself is lazy: a memo restored from a disk
+/// artifact starts with the serving slots (summary, graphs, smoke, dynflow)
+/// prefilled and the design **unparsed** — it is re-elaborated from the
+/// stored source only if a query actually needs stage recomputation.  Memos
+/// created by the front end start with the design present.
 struct Memo {
-    design: Design,
+    design: OnceLock<Design>,
+    /// The source text, kept only when a persistent store may need to
+    /// re-parse or write back (i.e. the engine has a store).
+    source: Option<Box<str>>,
+    /// The memo-table key, kept under the same condition as `source`.
+    key: Option<u64>,
     slots: Slots,
+}
+
+impl Memo {
+    /// A memo for a freshly elaborated design.
+    fn computed(design: Design, key: Option<u64>, source: Option<Box<str>>) -> Memo {
+        let cell = OnceLock::new();
+        let _ = cell.set(design);
+        Memo {
+            design: cell,
+            source,
+            key,
+            slots: Slots::default(),
+        }
+    }
+
+    /// A memo restored from a disk artifact: serving slots prefilled,
+    /// design unparsed.
+    fn from_artifact(artifact: Artifact) -> Memo {
+        let slots = Slots::default();
+        if let Some(summary) = artifact.summary {
+            let _ = slots.summary.set(summary);
+        }
+        if let Some(graph) = artifact.graph {
+            let _ = slots.graph.set(graph);
+        }
+        if let Some(graph) = artifact.base_graph {
+            let _ = slots.base_graph.set(graph);
+        }
+        if let Some(graph) = artifact.merged_graph {
+            let _ = slots.merged_graph.set(graph);
+        }
+        if let Some(graph) = artifact.kemmerer {
+            let _ = slots.kemmerer.set(graph);
+        }
+        if let Some(smoke) = artifact.smoke {
+            let _ = slots.smoke.set(Ok(smoke));
+        }
+        {
+            let mut map = slots.dynflow.lock().expect("fresh mutex");
+            for (rounds, seed, report) in artifact.dynflows {
+                let cell: DynFlowCell = Arc::default();
+                let _ = cell.set(Ok(Arc::new(report)));
+                map.insert((rounds, seed), cell);
+            }
+        }
+        Memo {
+            design: OnceLock::new(),
+            source: Some(artifact.source.into_boxed_str()),
+            key: Some(artifact.key),
+            slots,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -469,6 +620,11 @@ pub struct Engine {
     config: EngineConfig,
     cache: Mutex<Cache>,
     counters: Counters,
+    /// Disk-backed artifact store, present only under
+    /// [`CachePolicy::Persistent`].  `None` also when the directory could
+    /// not be opened — the engine then degrades to in-memory caching
+    /// (callers that must know validate the directory up front).
+    store: Option<ArtifactStore>,
     /// Span/metrics collector, allocated only when
     /// [`AnalysisOptions::trace`] is set — the disabled path carries `None`
     /// and every instrumentation site is a single discriminant check.
@@ -492,9 +648,20 @@ impl Default for Engine {
 
 impl Engine {
     /// Creates an engine with an explicit configuration.
+    ///
+    /// Under [`CachePolicy::Persistent`] the artifact directory is opened
+    /// (created if absent) here; an unopenable directory silently degrades
+    /// the engine to in-memory caching — serving must not fail because a
+    /// cache is missing.  Callers that want a hard error validate the
+    /// directory before building the engine.
     pub fn new(config: EngineConfig) -> Engine {
+        let store = match &config.cache {
+            CachePolicy::Persistent { dir, cap } => ArtifactStore::open(dir, *cap).ok(),
+            _ => None,
+        };
         Engine {
             trace: config.options.trace.then(|| Arc::new(TraceSink::new())),
+            store,
             config,
             cache: Mutex::new(Cache::default()),
             counters: Counters::default(),
@@ -557,18 +724,26 @@ impl Engine {
             dynamic_flows: g(&c.dynflow),
             cache_hits: g(&c.cache_hits),
             cache_misses: g(&c.cache_misses),
+            store_hits: g(&c.store_hits),
+            store_misses: g(&c.store_misses),
+            store_writes: g(&c.store_writes),
         }
     }
 
     /// The memo-table key of a source text under this engine's options:
-    /// FNV-1a over the source bytes mixed with a fingerprint of the options
-    /// (so persisted keys from engines with different options never
-    /// collide).  The [`Budget`] is part of the options, so analyses under
-    /// different budgets never share memo slots either — which is what
-    /// keeps budget truncation points deterministic.
+    /// FNV-1a over the source bytes mixed with the stable
+    /// [`options_fingerprint`] (so persisted keys from engines with
+    /// different options never collide).  The [`Budget`] is part of the
+    /// options, so analyses under different budgets never share memo slots
+    /// either — which is what keeps budget truncation points deterministic.
     pub fn source_key(&self, src: &str) -> u64 {
-        let options = fnv1a64(format!("{:?}", self.config.options).as_bytes());
-        fnv1a64(src.as_bytes()) ^ options.rotate_left(17)
+        fnv1a64(src.as_bytes()) ^ options_fingerprint(&self.config.options).rotate_left(17)
+    }
+
+    /// The engine's disk artifact store, when [`CachePolicy::Persistent`]
+    /// is active and its directory opened successfully.
+    pub fn artifact_store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
     }
 
     /// Number of designs currently memoized.
@@ -576,7 +751,8 @@ impl Engine {
         self.cache.lock().expect("engine cache poisoned").map.len()
     }
 
-    /// Drops every memoized design.
+    /// Drops every memoized design from **memory**.  On-disk artifacts of a
+    /// persistent cache are untouched — remove the directory to clear them.
     pub fn clear_cache(&self) {
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         cache.map.clear();
@@ -650,19 +826,38 @@ impl Engine {
                 cancel: None,
             });
         }
-        // Miss: run the front end outside the lock (parsing can be slow), then
-        // publish.  A racing thread may publish the same key first; reuse its
-        // memo so both handles share one set of slots.
+        // Memory miss: probe the disk store first (persistent policy only) —
+        // a hit restores the serving slots without any parsing.  The stored
+        // source must match byte-for-byte, so an FNV collision degrades to a
+        // miss instead of serving a different design's artifacts.
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let design = self.run_frontend(src)?;
+        let restored = self.store.as_ref().and_then(|store| {
+            let artifact = store.load(key).filter(|a| a.source == src);
+            let counter = if artifact.is_some() {
+                &self.counters.store_hits
+            } else {
+                &self.counters.store_misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            artifact
+        });
+        let fresh = match restored {
+            Some(artifact) => Memo::from_artifact(artifact),
+            // Full miss: run the front end outside the lock (parsing can be
+            // slow), then publish.
+            None => Memo::computed(
+                self.run_frontend(src)?,
+                self.store.as_ref().map(|_| key),
+                self.store.as_ref().map(|_| src.into()),
+            ),
+        };
+        // A racing thread may publish the same key first; reuse its memo so
+        // both handles share one set of slots.
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         let mut inserted = false;
         let memo = Arc::clone(cache.map.entry(key).or_insert_with(|| {
             inserted = true;
-            Arc::new(Memo {
-                design,
-                slots: Slots::default(),
-            })
+            Arc::new(fresh)
         }));
         // Record insertion order only for a fresh entry: a racing thread that
         // lost the publish must not add a duplicate order record (it would
@@ -670,7 +865,7 @@ impl Engine {
         if inserted {
             cache.order.push_back(key);
         }
-        if let CachePolicy::Capped(cap) = self.config.cache {
+        if let Some(cap) = self.config.cache.memory_cap() {
             while cache.map.len() > cap.max(1) {
                 match cache.order.pop_front() {
                     Some(old) if old != key => {
@@ -765,10 +960,7 @@ impl Engine {
     fn owned_analysis(&self, design: Design) -> Analysis<'_> {
         Analysis {
             engine: self,
-            inner: Inner::Shared(Arc::new(Memo {
-                design,
-                slots: Slots::default(),
-            })),
+            inner: Inner::Shared(Arc::new(Memo::computed(design, None, None))),
             started: Instant::now(),
             cancel: None,
         }
@@ -816,11 +1008,47 @@ impl fmt::Debug for Analysis<'_> {
 
 impl<'e> Analysis<'e> {
     /// The analysed design.
+    ///
+    /// For an analysis restored from a disk artifact the design is lazy:
+    /// the first call re-elaborates it from the stored source (queries
+    /// served entirely from restored slots never get here).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a restored artifact's source no longer elaborates under
+    /// the engine's options — impossible unless the artifact was produced
+    /// by a semantically different build that forgot to bump
+    /// [`crate::store::ARTIFACT_VERSION`].  Batch drivers isolate the panic
+    /// per design; the fix is clearing the cache directory.
     pub fn design(&self) -> &Design {
         match &self.inner {
             Inner::Borrowed { design, .. } => design,
-            Inner::Shared(memo) => &memo.design,
+            Inner::Shared(memo) => memo.design.get_or_init(|| {
+                let source = memo
+                    .source
+                    .as_deref()
+                    .expect("memo without a design always carries its source");
+                match self.engine.run_frontend(source) {
+                    Ok(design) => design,
+                    Err(e) => panic!(
+                        "stale persistent artifact: stored source no longer \
+                         elaborates ({e}); clear the cache directory"
+                    ),
+                }
+            }),
         }
+    }
+
+    /// The report-facing shape of the design: name, process count, label
+    /// count, resource count.
+    ///
+    /// Restored from the disk artifact on the warm path — unlike
+    /// [`Analysis::design`], this never re-parses a persistently cached
+    /// design.
+    pub fn summary(&self) -> &DesignSummary {
+        self.slots()
+            .summary
+            .get_or_init(|| DesignSummary::of(self.design()))
     }
 
     /// The engine this analysis runs in.
@@ -908,6 +1136,50 @@ impl<'e> Analysis<'e> {
         match e {
             EngineError::ResourceExhausted { consumed, .. } => *consumed,
             _ => 0,
+        }
+    }
+
+    /// Writes this memo's serving artifacts back to the engine's disk
+    /// store.  Called by the serving accessors after a *fresh* computation;
+    /// a no-op for handles without a store or without a key/source (i.e.
+    /// [`Engine::analyze`] handles over caller-owned designs).  Best
+    /// effort: an I/O failure costs persistence, never the analysis.
+    fn persist(&self) {
+        let Some(store) = &self.engine.store else {
+            return;
+        };
+        let Inner::Shared(memo) = &self.inner else {
+            return;
+        };
+        let (Some(key), Some(source)) = (memo.key, memo.source.as_deref()) else {
+            return;
+        };
+        let mut artifact = Artifact::new(key, source.to_string());
+        // The summary rides along with every write: the fresh path has the
+        // design at hand, and the warm path restores it before anything
+        // could ask for a re-parse.
+        artifact.summary = Some(self.summary().clone());
+        let slots = self.slots();
+        artifact.graph = slots.graph.get().cloned();
+        artifact.base_graph = slots.base_graph.get().cloned();
+        artifact.merged_graph = slots.merged_graph.get().cloned();
+        artifact.kemmerer = slots.kemmerer.get().cloned();
+        artifact.smoke = slots.smoke.get().and_then(|r| r.as_ref().ok()).copied();
+        {
+            let map = slots.dynflow.lock().expect("dynflow memo poisoned");
+            for ((rounds, seed), cell) in map.iter() {
+                if let Some(Ok(report)) = cell.get() {
+                    artifact.dynflows.push((*rounds, *seed, (**report).clone()));
+                }
+            }
+        }
+        // Deterministic section order regardless of query order.
+        artifact.dynflows.sort_by_key(|d| (d.0, d.1));
+        if store.save(&artifact).is_ok() {
+            self.engine
+                .counters
+                .store_writes
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -1144,7 +1416,8 @@ impl<'e> Analysis<'e> {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn flow_graph(&self) -> Result<&FlowGraph, EngineError> {
-        if self.slots().graph.get().is_none() {
+        let fresh = self.slots().graph.get().is_none();
+        if fresh {
             self.check_alive()?;
             if self.improved()?.is_none() {
                 self.global()?;
@@ -1152,7 +1425,7 @@ impl<'e> Analysis<'e> {
         } else {
             self.trace_hit("flow_graph");
         }
-        Ok(self.slots().graph.get_or_init(|| {
+        let graph = self.slots().graph.get_or_init(|| {
             let matrix = match self.improved().expect("improved forced above") {
                 Some(imp) => &imp.matrix,
                 None => self.global().expect("global forced above"),
@@ -1169,7 +1442,11 @@ impl<'e> Analysis<'e> {
                 );
             }
             graph
-        }))
+        });
+        if fresh {
+            self.persist();
+        }
+        Ok(graph)
     }
 
     /// The information-flow graph of the base (non-improved) closure,
@@ -1179,13 +1456,14 @@ impl<'e> Analysis<'e> {
     ///
     /// Propagates the failure of the base closure.
     pub fn base_flow_graph(&self) -> Result<&FlowGraph, EngineError> {
-        if self.slots().base_graph.get().is_none() {
+        let fresh = self.slots().base_graph.get().is_none();
+        if fresh {
             self.check_alive()?;
             self.global()?;
         } else {
             self.trace_hit("flow_graph");
         }
-        Ok(self.slots().base_graph.get_or_init(|| {
+        let graph = self.slots().base_graph.get_or_init(|| {
             let global = self.global().expect("global forced above");
             self.bump(&self.engine.counters.flow_graph);
             let span = self.engine.trace_begin("flow_graph");
@@ -1199,7 +1477,11 @@ impl<'e> Analysis<'e> {
                 );
             }
             graph
-        }))
+        });
+        if fresh {
+            self.persist();
+        }
+        Ok(graph)
     }
 
     /// [`Analysis::flow_graph`] with incoming/outgoing nodes merged into
@@ -1210,12 +1492,13 @@ impl<'e> Analysis<'e> {
     ///
     /// Propagates the failure of [`Analysis::flow_graph`].
     pub fn merged_flow_graph(&self) -> Result<&FlowGraph, EngineError> {
-        if self.slots().merged_graph.get().is_none() {
+        let fresh = self.slots().merged_graph.get().is_none();
+        if fresh {
             self.flow_graph()?;
         } else {
             self.trace_hit("flow_graph");
         }
-        Ok(self.slots().merged_graph.get_or_init(|| {
+        let graph = self.slots().merged_graph.get_or_init(|| {
             let graph = self.flow_graph().expect("flow graph forced above");
             self.bump(&self.engine.counters.flow_graph);
             let span = self.engine.trace_begin("flow_graph");
@@ -1229,7 +1512,11 @@ impl<'e> Analysis<'e> {
                 );
             }
             merged
-        }))
+        });
+        if fresh {
+            self.persist();
+        }
+        Ok(graph)
     }
 
     /// The graph produced by Kemmerer's method on the same local Resource
@@ -1240,12 +1527,13 @@ impl<'e> Analysis<'e> {
     /// Fails only through the deadline/cancel gate (the Kemmerer baseline
     /// has no counter budget of its own).
     pub fn kemmerer_graph(&self) -> Result<&FlowGraph, EngineError> {
-        if self.slots().kemmerer.get().is_none() {
+        let fresh = self.slots().kemmerer.get().is_none();
+        if fresh {
             self.check_alive()?;
         } else {
             self.trace_hit("kemmerer");
         }
-        Ok(self.slots().kemmerer.get_or_init(|| {
+        let graph = self.slots().kemmerer.get_or_init(|| {
             let local = self.local();
             self.bump(&self.engine.counters.kemmerer);
             let span = self.engine.trace_begin("kemmerer");
@@ -1259,7 +1547,11 @@ impl<'e> Analysis<'e> {
                 );
             }
             graph
-        }))
+        });
+        if fresh {
+            self.persist();
+        }
+        Ok(graph)
     }
 
     /// Audits the (merged) flow graph against a policy.
@@ -1295,12 +1587,14 @@ impl<'e> Analysis<'e> {
     /// the *budget's* simulation limits cut the run short — exceeding the
     /// caller's own `max_deltas` stays an [`EngineError::Sim`].
     pub fn smoke(&self, max_deltas: u64) -> Result<SmokeReport, EngineError> {
-        if self.slots().smoke.get().is_none() {
+        let fresh = self.slots().smoke.get().is_none();
+        if fresh {
             self.check_alive()?;
         } else {
             self.trace_hit("smoke");
         }
-        self.slots()
+        let report = self
+            .slots()
             .smoke
             .get_or_init(|| {
                 self.bump(&self.engine.counters.smoke);
@@ -1383,7 +1677,11 @@ impl<'e> Analysis<'e> {
                 }
                 result
             })
-            .clone()
+            .clone();
+        if fresh && report.is_ok() {
+            self.persist();
+        }
+        report
     }
 
     /// Witnesses dynamic flows by secret-perturbation differential
@@ -1411,61 +1709,69 @@ impl<'e> Analysis<'e> {
             let mut map = self.slots().dynflow.lock().expect("dynflow memo poisoned");
             Arc::clone(map.entry((rounds, seed)).or_default())
         };
-        if cell.get().is_none() {
+        let fresh = cell.get().is_none();
+        if fresh {
             self.check_alive()?;
             self.merged_flow_graph()?;
             self.kemmerer_graph()?;
         } else {
             self.trace_hit("dynamic_flows");
         }
-        cell.get_or_init(|| {
-            self.bump(&self.engine.counters.dynflow);
-            let span = self.engine.trace_begin("dynamic_flows");
-            let budget = *self.budget();
-            let budget_deltas = budget.max_sim_deltas.unwrap_or(u64::MAX);
-            let max_deltas = DYNFLOW_MAX_DELTAS.min(budget_deltas);
-            let options = DynFlowOptions {
-                rounds,
-                seed,
-                max_deltas_per_run: max_deltas,
-                max_total_steps: budget.max_sim_steps,
-            };
-            let merged = self.merged_flow_graph().expect("merged graph forced above");
-            let kemmerer = self.kemmerer_graph().expect("kemmerer graph forced above");
-            let result = vhdl1_dynflow::witness(self.design(), &options)
-                .map(|w| Arc::new(cross_check(&w, merged, kemmerer)))
-                .map_err(|e| match e {
-                    // A delta overrun is budget exhaustion only when the
-                    // budget (not the built-in per-run cap) was binding.
-                    SimError::DeltaLimitExceeded { limit }
-                        if limit == budget_deltas && budget_deltas < DYNFLOW_MAX_DELTAS =>
-                    {
-                        EngineError::ResourceExhausted {
-                            stage: EngineStage::DynFlow,
-                            limit,
-                            consumed: limit + 1,
-                            pos: None,
-                        }
-                    }
-                    SimError::TotalStepLimitExceeded { limit } => EngineError::ResourceExhausted {
-                        stage: EngineStage::DynFlow,
-                        limit,
-                        consumed: limit + 1,
-                        pos: None,
-                    },
-                    other => EngineError::Sim(other),
-                });
-            if span.is_some() {
-                let (work, items) = match &result {
-                    Ok(report) => (report.total_deltas, report.static_edges as u64),
-                    Err(e) => (Self::consumed_of(e), 0),
+        let report = cell
+            .get_or_init(|| {
+                self.bump(&self.engine.counters.dynflow);
+                let span = self.engine.trace_begin("dynamic_flows");
+                let budget = *self.budget();
+                let budget_deltas = budget.max_sim_deltas.unwrap_or(u64::MAX);
+                let max_deltas = DYNFLOW_MAX_DELTAS.min(budget_deltas);
+                let options = DynFlowOptions {
+                    rounds,
+                    seed,
+                    max_deltas_per_run: max_deltas,
+                    max_total_steps: budget.max_sim_steps,
                 };
-                self.engine
-                    .trace_end(span, &self.design().name, work, items);
-            }
-            result
-        })
-        .clone()
+                let merged = self.merged_flow_graph().expect("merged graph forced above");
+                let kemmerer = self.kemmerer_graph().expect("kemmerer graph forced above");
+                let result = vhdl1_dynflow::witness(self.design(), &options)
+                    .map(|w| Arc::new(cross_check(&w, merged, kemmerer)))
+                    .map_err(|e| match e {
+                        // A delta overrun is budget exhaustion only when the
+                        // budget (not the built-in per-run cap) was binding.
+                        SimError::DeltaLimitExceeded { limit }
+                            if limit == budget_deltas && budget_deltas < DYNFLOW_MAX_DELTAS =>
+                        {
+                            EngineError::ResourceExhausted {
+                                stage: EngineStage::DynFlow,
+                                limit,
+                                consumed: limit + 1,
+                                pos: None,
+                            }
+                        }
+                        SimError::TotalStepLimitExceeded { limit } => {
+                            EngineError::ResourceExhausted {
+                                stage: EngineStage::DynFlow,
+                                limit,
+                                consumed: limit + 1,
+                                pos: None,
+                            }
+                        }
+                        other => EngineError::Sim(other),
+                    });
+                if span.is_some() {
+                    let (work, items) = match &result {
+                        Ok(report) => (report.total_deltas, report.static_edges as u64),
+                        Err(e) => (Self::consumed_of(e), 0),
+                    };
+                    self.engine
+                        .trace_end(span, &self.design().name, work, items);
+                }
+                result
+            })
+            .clone();
+        if fresh && report.is_ok() {
+            self.persist();
+        }
+        report
     }
 
     /// Materialises the owned, eager [`AnalysisResult`] of the classic API,
@@ -2067,5 +2373,126 @@ end rtl;";
         });
         assert_eq!(engine.cached_designs(), 8);
         assert_eq!(engine.stats().flow_graph, 8);
+    }
+
+    /// Self-cleaning scratch directory for persistent-cache tests.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "vhdl1-engine-{tag}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn persistent_engine(dir: &std::path::Path) -> Engine {
+        Engine::new(EngineConfig {
+            options: AnalysisOptions::default(),
+            cache: CachePolicy::Persistent {
+                dir: dir.to_path_buf(),
+                cap: 16,
+            },
+        })
+    }
+
+    #[test]
+    fn persistent_cache_survives_engine_restart_without_reparsing() {
+        let tmp = TempDir::new("warm");
+        let (cold_graph, cold_summary) = {
+            let engine = persistent_engine(&tmp.0);
+            let analysis = engine.analyze_source(COPY).unwrap();
+            let graph = analysis.merged_flow_graph().unwrap().clone();
+            let summary = analysis.summary().clone();
+            let stats = engine.stats();
+            assert_eq!(stats.frontend, 1);
+            assert_eq!(stats.store_misses, 1, "cold start misses the store");
+            assert!(
+                stats.store_writes >= 1,
+                "warm artifacts are written through"
+            );
+            (graph, summary)
+        };
+
+        // A brand-new engine (fresh process, in effect) over the same
+        // directory must serve the design purely from disk: no parse, no
+        // RD, no closure, no graph construction.
+        let engine = persistent_engine(&tmp.0);
+        let analysis = engine.analyze_source(COPY).unwrap();
+        assert_eq!(analysis.summary(), &cold_summary);
+        assert_eq!(analysis.merged_flow_graph().unwrap(), &cold_graph);
+        let stats = engine.stats();
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.frontend, 0, "warm hit must not re-parse");
+        assert_eq!(stats.rd, 0, "warm hit must not re-run RD");
+        assert_eq!(stats.global, 0, "warm hit must not re-run the closure");
+        assert_eq!(stats.improved, 0);
+        assert_eq!(stats.flow_graph, 0, "warm hit must not rebuild graphs");
+    }
+
+    #[test]
+    fn corrupt_or_truncated_artifacts_degrade_to_recomputation() {
+        let tmp = TempDir::new("corrupt");
+        {
+            let engine = persistent_engine(&tmp.0);
+            let analysis = engine.analyze_source(COPY).unwrap();
+            let _ = analysis.merged_flow_graph().unwrap();
+        }
+        for entry in std::fs::read_dir(&tmp.0).unwrap() {
+            let path = entry.unwrap().path();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        }
+        let engine = persistent_engine(&tmp.0);
+        let analysis = engine.analyze_source(COPY).unwrap();
+        assert!(analysis.merged_flow_graph().unwrap().has_edge("a", "b"));
+        let stats = engine.stats();
+        assert_eq!(stats.store_hits, 0);
+        assert_eq!(stats.store_misses, 1, "corruption is a miss, not an error");
+        assert_eq!(stats.frontend, 1, "the design is recomputed from source");
+    }
+
+    #[test]
+    fn options_fingerprint_is_stable_and_field_sensitive() {
+        // Golden fingerprint of the default options: pins the serialized
+        // option layout.  A change here invalidates every persisted
+        // artifact in the wild — bump ARTIFACT_VERSION alongside it and
+        // say so in CHANGES.md.
+        assert_eq!(
+            options_fingerprint(&AnalysisOptions::default()),
+            0x716c_2536_9554_2b4f,
+            "options_fingerprint(default) changed; see comment above"
+        );
+        let mut base = AnalysisOptions::base();
+        assert_ne!(
+            options_fingerprint(&base),
+            options_fingerprint(&AnalysisOptions::default()),
+            "`improved` participates in the fingerprint"
+        );
+        let before = options_fingerprint(&base);
+        base.budget.max_alfp_facts = Some(7);
+        assert_ne!(options_fingerprint(&base), before, "budget participates");
+        // Tracing is observability-only and deliberately excluded: a
+        // tracing daemon shares disk artifacts with a non-tracing CLI.
+        let traced = AnalysisOptions {
+            trace: true,
+            ..AnalysisOptions::default()
+        };
+        assert_eq!(
+            options_fingerprint(&traced),
+            options_fingerprint(&AnalysisOptions::default()),
+            "trace must not fork cache keys"
+        );
     }
 }

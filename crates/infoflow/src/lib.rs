@@ -57,6 +57,7 @@ pub mod kemmerer;
 pub mod local;
 pub mod policy;
 pub mod rm;
+pub mod store;
 pub mod trace;
 
 pub use analysis::{
@@ -69,8 +70,8 @@ pub use closure::{
 };
 pub use dynflow::{DynFlowReport, NoFlowProperty};
 pub use engine::{
-    fnv1a64, Analysis, CachePolicy, Engine, EngineConfig, EngineError, EnginePhase, EngineStage,
-    EngineStats, SmokeReport, DYNFLOW_MAX_DELTAS,
+    fnv1a64, options_fingerprint, Analysis, CachePolicy, Engine, EngineConfig, EngineError,
+    EnginePhase, EngineStage, EngineStats, SmokeReport, DYNFLOW_MAX_DELTAS,
 };
 pub use graph::FlowGraph;
 pub use improved::{improved_closure, improved_closure_bounded, ImprovedClosure, ImprovedOptions};
@@ -78,4 +79,5 @@ pub use kemmerer::{kemmerer_graph, kemmerer_graph_from_matrix};
 pub use local::local_dependencies;
 pub use policy::{audit, AuditReport, Policy, Violation};
 pub use rm::{Access, Node, ResourceMatrix, RmEntry};
+pub use store::{Artifact, ArtifactStore, DesignSummary, ARTIFACT_VERSION};
 pub use trace::{render_prometheus, SpanRecord, StageAgg, TraceEvent, TraceSink, TraceSnapshot};

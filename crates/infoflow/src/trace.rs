@@ -427,6 +427,24 @@ pub fn render_prometheus(snapshot: &TraceSnapshot, stats: &EngineStats) -> Strin
     );
     let _ = writeln!(
         out,
+        "# HELP vhdl1_store_hits_total Persistent-artifact hits (memory misses served from disk)."
+    );
+    let _ = writeln!(out, "# TYPE vhdl1_store_hits_total counter");
+    let _ = writeln!(out, "vhdl1_store_hits_total {}", stats.store_hits);
+    let _ = writeln!(
+        out,
+        "# HELP vhdl1_store_misses_total Persistent-artifact misses (absent, corrupt, or stale)."
+    );
+    let _ = writeln!(out, "# TYPE vhdl1_store_misses_total counter");
+    let _ = writeln!(out, "vhdl1_store_misses_total {}", stats.store_misses);
+    let _ = writeln!(
+        out,
+        "# HELP vhdl1_store_writes_total Persistent artifacts written through to disk."
+    );
+    let _ = writeln!(out, "# TYPE vhdl1_store_writes_total counter");
+    let _ = writeln!(out, "vhdl1_store_writes_total {}", stats.store_writes);
+    let _ = writeln!(
+        out,
         "# HELP vhdl1_deadline_events_total Deadline/cancel trips observed at stage boundaries."
     );
     let _ = writeln!(out, "# TYPE vhdl1_deadline_events_total counter");

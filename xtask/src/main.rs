@@ -84,6 +84,7 @@ fn main() -> ExitCode {
         Some("bench-gate") => bench_gate(&args[1..]),
         Some("dynflow-series") => dynflow_series(&args[1..]),
         Some("profile-series") => profile_series(&args[1..]),
+        Some("store-series") => store_series(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -96,7 +97,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  cargo run -p xtask -- bench-gate --baseline <file> --current <file> \\\n      [--tolerance <percent>] [--no-rescale]\n  cargo run -p xtask -- dynflow-series --report <verify.json> --out <file>\n  cargo run -p xtask -- profile-series --profile <profile.json> --out <file>";
+const USAGE: &str = "usage:\n  cargo run -p xtask -- bench-gate --baseline <file> --current <file> \\\n      [--tolerance <percent>] [--no-rescale]\n  cargo run -p xtask -- dynflow-series --report <verify.json> --out <file>\n  cargo run -p xtask -- profile-series --profile <profile.json> --out <file>\n  cargo run -p xtask -- store-series --warm <profile.json> --out <file>";
 
 fn bench_gate(args: &[String]) -> ExitCode {
     let mut baseline_path = None;
@@ -242,6 +243,85 @@ fn profile_series(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+fn store_series(args: &[String]) -> ExitCode {
+    let mut warm_path = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--warm" => warm_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(warm_path), Some(out_path)) = (warm_path, out_path) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let warm = match std::fs::read_to_string(&warm_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {warm_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let point = match store_point(&warm) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {warm_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let merged = append_point(&existing, &point);
+    if let Err(e) = std::fs::write(&out_path, &merged) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("store-series: appended to {out_path}: {point}");
+    ExitCode::SUCCESS
+}
+
+/// Builds the `persistent_warm_cold` bench point from the profile of a
+/// **warm** `--cache-dir` rerun.  The point's value is the number of
+/// engine stage computations the warm run still performed — zero when the
+/// artifact store serves every design — so any recomputation creep trips
+/// `bench-gate` once baselined.  Rejects profiles that never touched the
+/// store (`store_hits == 0`): those would gate nothing.
+fn store_point(profile: &str) -> Result<String, String> {
+    let engine_line = profile
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"engine\""))
+        .ok_or("missing engine section")?;
+    let field = |name: &str| field_after(engine_line, "\"engine\"", name);
+    let hits = field("store_hits")?;
+    if hits == 0 {
+        return Err("warm profile has no store hits; was --cache-dir set on both runs?".into());
+    }
+    let recomputed = field("frontend")?
+        + field("rd")?
+        + field("local")?
+        + field("specialized")?
+        + field("global")?
+        + field("improved")?
+        + field("flow_graph")?
+        + field("kemmerer")?;
+    let det_line = profile
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"deterministic\""))
+        .ok_or("missing deterministic section")?;
+    let jobs = field_after(det_line, "\"deterministic\"", "jobs")?;
+    Ok(format!(
+        "{{\"workload\": \"persistent_warm_cold\", \"size\": {jobs}, \
+         \"value\": {recomputed}, \"median_ns\": {}}}",
+        recomputed + 1
+    ))
 }
 
 /// Extracts a named `"field": <integer>` occurring after `anchor` in
@@ -656,6 +736,32 @@ mod tests {
                 .is_err(),
             "a stage-less profile must be rejected, not silently zeroed"
         );
+    }
+
+    #[test]
+    fn store_point_measures_warm_recomputation() {
+        let warm = r#"{
+  "tool": "vhdl1c-profile",
+  "deterministic": {"jobs": 25, "unique_jobs": 25, "cache_hits": 0, "cache_misses": 25},
+  "engine": {"frontend": 0, "rd": 0, "local": 0, "specialized": 0, "global": 0, "improved": 0, "flow_graph": 0, "kemmerer": 0, "smoke": 0, "dynamic_flows": 0, "cache_hits": 0, "cache_misses": 25, "store_hits": 25, "store_misses": 0, "store_writes": 0},
+  "wall_ns": 1
+}"#;
+        let point = store_point(warm).unwrap();
+        assert!(point.contains("\"workload\": \"persistent_warm_cold\""));
+        assert!(point.contains("\"size\": 25"));
+        assert!(point.contains("\"value\": 0"));
+        assert!(point.contains("\"median_ns\": 1"));
+        assert_eq!(
+            parse_points(&format!("[{point}]")).unwrap(),
+            pts(&[("persistent_warm_cold", 25, 1)])
+        );
+        // A warm run that still recomputed registers a non-zero value...
+        let leaky = warm.replace("\"frontend\": 0, \"rd\": 0", "\"frontend\": 3, \"rd\": 2");
+        assert!(store_point(&leaky).unwrap().contains("\"value\": 5"));
+        // ...and a run that never hit the store gates nothing: reject it.
+        let cold = warm.replace("\"store_hits\": 25", "\"store_hits\": 0");
+        assert!(store_point(&cold).is_err());
+        assert!(store_point("{}").is_err());
     }
 
     #[test]
