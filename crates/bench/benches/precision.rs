@@ -37,13 +37,13 @@ fn bench_precision(c: &mut Criterion) {
         b.iter(|| analyze_with(black_box(&design), &AnalysisOptions::base()).base_flow_graph())
     });
     group.bench_function("ours_no_under_approx_temp_reuse_16", |b| {
-        let opts = AnalysisOptions {
-            rd: RdOptions {
+        let opts = AnalysisOptions::base()
+            .to_builder()
+            .rd(RdOptions {
                 use_under_approximation: false,
                 ..RdOptions::default()
-            },
-            ..AnalysisOptions::base()
-        };
+            })
+            .build();
         b.iter(|| analyze_with(black_box(&design), &opts).base_flow_graph())
     });
     group.bench_function("kemmerer_temp_reuse_16", |b| {

@@ -240,10 +240,7 @@ fn alfp_series() {
         Engine::default().trace_sink().is_none(),
         "disabled tracing must allocate no sink at all"
     );
-    let traced_options = AnalysisOptions {
-        trace: true,
-        ..AnalysisOptions::default()
-    };
+    let traced_options = AnalysisOptions::builder().trace(true).build();
     let (traced_edges, traced_median) = measure(5, || {
         let engine = Engine::with_options(traced_options);
         jobs.iter()

@@ -53,23 +53,17 @@ pub fn precision_row(workload: &str, design: &Design) -> PrecisionRow {
 
     let no_under = analyze_with(
         design,
-        &AnalysisOptions {
-            rd: RdOptions {
+        &base
+            .to_builder()
+            .rd(RdOptions {
                 use_under_approximation: false,
                 ..base.rd
-            },
-            ..base
-        },
+            })
+            .build(),
     )
     .base_flow_graph();
-    let no_spec = analyze_with(
-        design,
-        &AnalysisOptions {
-            specialize_rd: false,
-            ..base
-        },
-    )
-    .base_flow_graph();
+    let no_spec =
+        analyze_with(design, &base.to_builder().specialize_rd(false).build()).base_flow_graph();
 
     PrecisionRow {
         workload: workload.to_string(),

@@ -11,9 +11,11 @@
 
 use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
-use vhdl1_cli::driver::{run_batch, run_batch_traced, BatchOptions, Format, Job, VerifyOptions};
+use vhdl1_cli::driver::{
+    run_batch, run_batch_traced, run_edit_stream, BatchOptions, Format, Job, VerifyOptions,
+};
 use vhdl1_cli::profile;
-use vhdl1_corpus::{generate, parse_manifest, write_manifest, CorpusSpec, Family};
+use vhdl1_corpus::{edit_stream, generate, parse_manifest, write_manifest, CorpusSpec, Family};
 use vhdl1_infoflow::{Budget, Policy};
 
 const USAGE: &str = "\
@@ -50,6 +52,24 @@ usage:
       --profile[=FILE]  print a per-stage self-time table to stderr and,
                         with =FILE, write the profile JSON document to
                         FILE; the analysis report itself is unchanged
+
+  vhdl1c edit-stream [options]
+      Generate a deterministic edit stream — a multi-process base design
+      plus cumulative single-process mutations — and replay it through
+      one incremental analysis workspace, analyzing every revision in
+      order.  Report bytes are identical to a fresh `analyze` of each
+      revision; only the work differs (untouched processes are reused).
+      --seed N          stream seed (default 1)
+      --processes N     processes in the design (default 8, min 2)
+      --edits N         single-process mutations to replay (default 4)
+      Takes analyze's --format, --policy, --out, --budget, --base,
+      --no-cache, --cache-dir, --timing, --stats and --profile[=FILE]
+      options, plus:
+      --check           gate the exit code on batch cleanliness and on
+                        the reuse contract: every edit must recompute
+                        exactly one process (skipped under --no-cache
+                        or a step-bounded --budget, where incremental
+                        reuse is disabled by design)
 
   vhdl1c verify [FILE...] [options]
       Analyze like `analyze`, then witness dynamic flows per design by
@@ -117,6 +137,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "gen" => gen_command(rest),
         "analyze" => analyze_command(rest, false),
         "verify" => analyze_command(rest, true),
+        "edit-stream" => edit_stream_command(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -347,6 +368,129 @@ fn analyze_command(args: &[String], verify: bool) -> Result<ExitCode, CliError> 
                 batch.degraded.len()
             );
             return Ok(ExitCode::from(3));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn edit_stream_command(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut args = args.to_vec();
+    let parse_u = |flag: &str, value: Option<String>, default: usize| -> Result<usize, CliError> {
+        value.map_or(Ok(default), |v| {
+            v.parse()
+                .map_err(|_| usage(format!("`{flag}` must be an unsigned integer")))
+        })
+    };
+    let seed: u64 = take_value(&mut args, "--seed")?
+        .map_or(Ok(1), |v| v.parse())
+        .map_err(|_| usage("--seed must be an unsigned integer"))?;
+    let processes = parse_u("--processes", take_value(&mut args, "--processes")?, 8)?;
+    if processes < 2 {
+        return Err(usage("--processes must be at least 2"));
+    }
+    let edits = parse_u("--edits", take_value(&mut args, "--edits")?, 4)?;
+
+    let mut opts = BatchOptions::default();
+    if let Some(fmt) = take_value(&mut args, "--format")? {
+        opts.format =
+            Format::from_str(&fmt).ok_or_else(|| usage(format!("unknown format `{fmt}`")))?;
+    }
+    if let Some(path) = take_value(&mut args, "--policy")? {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| runtime(format!("cannot read policy `{path}`: {e}")))?;
+        opts.policy =
+            Some(Policy::parse_text(&text).map_err(|e| runtime(format!("policy `{path}`: {e}")))?);
+    }
+    if let Some(name) = take_value(&mut args, "--budget")? {
+        opts.analysis.budget = Budget::preset(&name).ok_or_else(|| {
+            usage(format!(
+                "unknown budget `{name}` (tight, standard, unlimited)"
+            ))
+        })?;
+    }
+    opts.timing = take_flag(&mut args, "--timing");
+    let stats = take_flag(&mut args, "--stats");
+    let profile_dest = take_profile(&mut args);
+    opts.profile = profile_dest.is_some();
+    let check = take_flag(&mut args, "--check");
+    if take_flag(&mut args, "--base") {
+        opts.analysis.improved = false;
+    }
+    let no_cache = take_flag(&mut args, "--no-cache");
+    if no_cache {
+        opts.cache = vhdl1_infoflow::CachePolicy::Disabled;
+    }
+    if let Some(dir) = take_value(&mut args, "--cache-dir")? {
+        if no_cache {
+            return Err(usage("--cache-dir conflicts with --no-cache".to_string()));
+        }
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| runtime(format!("cannot create cache dir `{dir}`: {e}")))?;
+        opts.cache = vhdl1_infoflow::CachePolicy::Persistent {
+            dir: dir.into(),
+            cap: vhdl1_cli::driver::DEFAULT_PERSISTENT_CACHE_CAP,
+        };
+    }
+    let out_path = take_value(&mut args, "--out")?;
+    if let Some(extra) = args.first() {
+        return Err(usage(format!("unexpected argument `{extra}`")));
+    }
+
+    let stream = edit_stream(seed, processes, edits);
+    let jobs: Vec<Job> = stream
+        .sources()
+        .into_iter()
+        .enumerate()
+        .map(|(revision, src)| Job::from_source(format!("{}@r{revision}", stream.name), src))
+        .collect();
+    let (batch, telemetry) = run_edit_stream(&jobs, &opts);
+    let rendered = match opts.format {
+        Format::Json => batch.to_json(),
+        Format::Dot => batch.to_dot(),
+        Format::Text => batch.to_text(),
+    };
+    write_output(out_path.as_deref(), &rendered)?;
+    for e in &batch.errors {
+        eprintln!("error: {}: {}", e.name, e.error);
+    }
+    if stats {
+        eprint!("{}", profile::render_stats(&telemetry));
+    }
+    if let Some(dest) = &profile_dest {
+        eprint!("{}", profile::render_table(&telemetry));
+        if let Some(path) = dest {
+            std::fs::write(path, profile::render_json(&telemetry))
+                .map_err(|e| runtime(format!("cannot write profile `{path}`: {e}")))?;
+        }
+    }
+    if check {
+        if !batch.check_ok() {
+            eprintln!(
+                "check failed: {} unexpected error(s), {} ground-truth mismatch(es)",
+                batch.unexpected_errors(),
+                batch.ground_truth_mismatches()
+            );
+            return Ok(ExitCode::from(2));
+        }
+        // Reuse contract — meaningful only when the incremental path is
+        // live (a disabled cache or step-bounded dataflow budget falls
+        // back to whole-design analysis by design).
+        let incremental = !no_cache && opts.analysis.budget.max_dataflow_steps.is_none();
+        if incremental {
+            // Cold caches recompute the base plus one process per edit;
+            // a warm persistent store can only lower that.  Every process
+            // of every revision must be accounted one way or the other.
+            let s = &telemetry.stats;
+            let total = ((edits + 1) * processes) as u64;
+            let max_recomputed = (processes + edits) as u64;
+            if s.units_recomputed > max_recomputed || s.units_reused + s.units_recomputed != total {
+                eprintln!(
+                    "check failed: reuse contract broken: recomputed {} units \
+                     (allowed at most {}), reused {}, expected {} total",
+                    s.units_recomputed, max_recomputed, s.units_reused, total
+                );
+                return Ok(ExitCode::from(2));
+            }
         }
     }
     Ok(ExitCode::SUCCESS)

@@ -20,7 +20,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use vhdl1_corpus::GeneratedDesign;
 use vhdl1_infoflow::{
-    fnv1a64, AnalysisOptions, CachePolicy, CancelFlag, Engine, EngineConfig, EngineError,
+    fnv1a64, Analysis, AnalysisOptions, CachePolicy, CancelFlag, Engine, EngineConfig, EngineError,
     EngineStats, Policy, TraceSnapshot,
 };
 
@@ -276,6 +276,60 @@ pub fn run_batch_on(engine: &Engine, jobs: &[Job], opts: &BatchOptions) -> Batch
     run_batch_core(engine, jobs, opts).0
 }
 
+/// Replays an edit stream: every job is a successive revision of one
+/// design, analyzed **in input order** through a single
+/// [`vhdl1_infoflow::Workspace`] so each revision reuses the per-process
+/// artifacts of every process the edit left untouched (the
+/// `units_reused` / `units_recomputed` counters of the returned telemetry
+/// account for the reuse).  Report bytes are identical to [`run_batch`]
+/// over the same jobs — incremental assembly is an implementation detail,
+/// never an observable one.
+pub fn run_edit_stream(jobs: &[Job], opts: &BatchOptions) -> (BatchReport, BatchTelemetry) {
+    let start = Instant::now();
+    let mut analysis = opts.analysis;
+    if opts.profile {
+        analysis.trace = true;
+    }
+    let engine = Engine::new(EngineConfig {
+        options: analysis,
+        cache: opts.cache.clone(),
+    });
+    let batch = run_edit_stream_on(&engine, jobs, opts);
+    let telemetry = BatchTelemetry {
+        stats: engine.stats(),
+        trace: engine.trace_sink().map(|sink| sink.snapshot()),
+        pool: None,
+        watchdog_cancels: 0,
+        jobs: jobs.len(),
+        unique_jobs: jobs.len(),
+        wall_ns: start.elapsed().as_nanos() as u64,
+    };
+    (batch, telemetry)
+}
+
+/// [`run_edit_stream`] on a caller-supplied engine — the daemon's
+/// `POST /update` seam.  Sequential by nature: revision `j+1`'s reuse is
+/// defined relative to revision `j`, so there is no pool and
+/// [`BatchOptions::jobs`] is ignored.
+pub fn run_edit_stream_on(engine: &Engine, jobs: &[Job], opts: &BatchOptions) -> BatchReport {
+    let start = Instant::now();
+    let workspace = engine.workspace();
+    let mut batch = BatchReport::default();
+    for job in jobs {
+        let policy = effective_policy(job, opts);
+        let started = Instant::now();
+        let outcome = match workspace.update(&job.source) {
+            Ok(analysis) => finish_job(analysis, job, &policy, opts, None, started),
+            Err(e) => JobOutcome::from_engine_error(&e),
+        };
+        push_outcome(&mut batch, job, outcome, false);
+    }
+    if opts.timing {
+        batch.wall_ms = Some(start.elapsed().as_secs_f64() * 1e3);
+    }
+    batch
+}
+
 /// Non-deterministic (wall-clock) byproducts of [`run_batch_core`], folded
 /// into [`BatchTelemetry`] by the owning-engine entry points.
 struct CoreStats {
@@ -371,40 +425,7 @@ fn run_batch_core(engine: &Engine, jobs: &[Job], opts: &BatchOptions) -> (BatchR
                 ..BatchError::default()
             })
         });
-        let cached = rep[i] != i;
-        if cached {
-            batch.cache_hits += 1;
-        }
-        let JobOutcome {
-            report,
-            error,
-            degraded,
-        } = outcome;
-        if let Some(mut report) = report {
-            report.name = job.name.clone();
-            report.cached = cached;
-            if cached {
-                // The duplicate did not spend analysis time itself, and
-                // its DOT graph (if any) must carry its own title.
-                report.millis = None;
-                if let Some(dot) = &mut report.dot {
-                    if let Some(eol) = dot.find('\n') {
-                        *dot = format!("digraph \"{}\" {{{}", job.name, &dot[eol..]);
-                    }
-                }
-            }
-            apply_truth(&mut report, job);
-            batch.designs.push(report);
-        }
-        if let Some(mut err) = error {
-            err.name = job.name.clone();
-            err.expected = job.truth.as_ref().is_some_and(|t| t.expect_error);
-            batch.errors.push(err);
-        }
-        if let Some(mut deg) = degraded {
-            deg.name = job.name.clone();
-            batch.degraded.push(deg);
-        }
+        push_outcome(&mut batch, job, outcome, rep[i] != i);
     }
     if opts.timing {
         batch.wall_ms = Some(start.elapsed().as_secs_f64() * 1e3);
@@ -552,6 +573,45 @@ impl Drop for Watchdog {
     }
 }
 
+/// Stamps one job's outcome into the batch, in input order: name and
+/// ground-truth bookkeeping are always the job's own, and a `cached`
+/// duplicate additionally drops its timing and retitles its DOT graph.
+fn push_outcome(batch: &mut BatchReport, job: &Job, outcome: JobOutcome, cached: bool) {
+    if cached {
+        batch.cache_hits += 1;
+    }
+    let JobOutcome {
+        report,
+        error,
+        degraded,
+    } = outcome;
+    if let Some(mut report) = report {
+        report.name = job.name.clone();
+        report.cached = cached;
+        if cached {
+            // The duplicate did not spend analysis time itself, and
+            // its DOT graph (if any) must carry its own title.
+            report.millis = None;
+            if let Some(dot) = &mut report.dot {
+                if let Some(eol) = dot.find('\n') {
+                    *dot = format!("digraph \"{}\" {{{}", job.name, &dot[eol..]);
+                }
+            }
+        }
+        apply_truth(&mut report, job);
+        batch.designs.push(report);
+    }
+    if let Some(mut err) = error {
+        err.name = job.name.clone();
+        err.expected = job.truth.as_ref().is_some_and(|t| t.expect_error);
+        batch.errors.push(err);
+    }
+    if let Some(mut deg) = degraded {
+        deg.name = job.name.clone();
+        batch.degraded.push(deg);
+    }
+}
+
 fn effective_policy(job: &Job, opts: &BatchOptions) -> Policy {
     match (&opts.policy, &job.truth) {
         (Some(p), _) => p.clone(),
@@ -605,6 +665,21 @@ fn analyze_job(
         Ok(analysis) => analysis,
         Err(e) => return JobOutcome::from_engine_error(&e),
     };
+    finish_job(analysis, job, policy, opts, watchdog, started)
+}
+
+/// The post-front-end half of a job: report assembly, optional DOT, smoke
+/// and dynamic-flow passes.  Shared by the batch path ([`analyze_job`])
+/// and the edit-stream path, which obtains its [`Analysis`] from
+/// [`vhdl1_infoflow::Workspace::update`] instead.
+fn finish_job(
+    analysis: Analysis<'_>,
+    job: &Job,
+    policy: &Policy,
+    opts: &BatchOptions,
+    watchdog: Option<&Watchdog>,
+    started: Instant,
+) -> JobOutcome {
     let analysis = match watchdog {
         Some(watchdog) => analysis.with_cancel_flag(watchdog.register()),
         None => analysis,
@@ -616,8 +691,12 @@ fn analyze_job(
     report.name = job.name.clone();
     report.source_hash = format!("fnv1a:{:016x}", fnv1a64(job.source.as_bytes()));
     if opts.format == Format::Dot {
+        // `graph_labels()` is served from the persisted artifact on a warm
+        // store, so DOT rendering does no front-end work there.
         match analysis.flow_graph() {
-            Ok(graph) => report.dot = Some(graph.to_dot(&job.name)),
+            Ok(graph) => {
+                report.dot = Some(graph.to_dot_with(&job.name, analysis.graph_labels()));
+            }
             Err(e) => return JobOutcome::from_engine_error(&e),
         }
     }

@@ -39,8 +39,8 @@ pub mod profile;
 pub mod report;
 
 pub use driver::{
-    run_batch, run_batch_on, run_batch_traced, BatchOptions, BatchTelemetry, Format, Job, JobTruth,
-    VerifyOptions,
+    run_batch, run_batch_on, run_batch_traced, run_edit_stream, run_edit_stream_on, BatchOptions,
+    BatchTelemetry, Format, Job, JobTruth, VerifyOptions,
 };
 pub use pool::PoolStats;
 pub use report::{

@@ -104,7 +104,8 @@ pub fn render_json(t: &BatchTelemetry) -> String {
         "  \"engine\": {{\"frontend\": {}, \"rd\": {}, \"local\": {}, \"specialized\": {}, \
          \"global\": {}, \"improved\": {}, \"flow_graph\": {}, \"kemmerer\": {}, \
          \"smoke\": {}, \"dynamic_flows\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-         \"store_hits\": {}, \"store_misses\": {}, \"store_writes\": {}}},",
+         \"store_hits\": {}, \"store_misses\": {}, \"store_writes\": {}, \
+         \"units_reused\": {}, \"units_recomputed\": {}}},",
         s.frontend,
         s.rd,
         s.local,
@@ -119,7 +120,9 @@ pub fn render_json(t: &BatchTelemetry) -> String {
         s.cache_misses,
         s.store_hits,
         s.store_misses,
-        s.store_writes
+        s.store_writes,
+        s.units_reused,
+        s.units_recomputed
     );
     match &t.pool {
         Some(p) => {
@@ -323,6 +326,13 @@ pub fn render_stats(t: &BatchTelemetry) -> String {
         s.smoke,
         s.dynamic_flows
     );
+    if s.units_reused + s.units_recomputed > 0 {
+        let _ = writeln!(
+            out,
+            "stats: incremental units: {} reused, {} recomputed",
+            s.units_reused, s.units_recomputed
+        );
+    }
     if t.watchdog_cancels > 0 {
         let _ = writeln!(out, "stats: watchdog cancel(s): {}", t.watchdog_cancels);
     }

@@ -58,10 +58,9 @@ fn hostile_designs_never_panic_the_engine() {
         let spec = CorpusSpec::new(seed, DESIGNS_PER_SEED).with_families(vec![Family::Hostile]);
         for (budget_name, budget) in budgets() {
             let engine = Engine::new(EngineConfig {
-                options: vhdl1_infoflow::AnalysisOptions {
-                    budget,
-                    ..Default::default()
-                },
+                options: vhdl1_infoflow::AnalysisOptions::builder()
+                    .budget(budget)
+                    .build(),
                 ..EngineConfig::default()
             });
             for design in generate(&spec) {

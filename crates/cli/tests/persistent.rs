@@ -4,7 +4,7 @@
 //! daemon's `run_batch_on` seam matches `run_batch` byte-for-byte.
 
 use vhdl1_cli::driver::{
-    run_batch, run_batch_on, run_batch_traced, BatchOptions, Job, VerifyOptions,
+    run_batch, run_batch_on, run_batch_traced, BatchOptions, Format, Job, VerifyOptions,
     DEFAULT_PERSISTENT_CACHE_CAP,
 };
 use vhdl1_corpus::{generate, CorpusSpec};
@@ -79,6 +79,30 @@ fn warm_rerun_does_zero_frontend_work_and_matches_bytes() {
         "warm rerun must not build graphs"
     );
     assert_eq!(warm_t.stats.store_hits as usize, warm_t.unique_jobs);
+}
+
+#[test]
+fn warm_dot_rerun_renders_labels_without_frontend_work() {
+    let tmp = TempDir::new("dot");
+    let jobs = corpus_jobs(19, 6);
+    let mut opts = persistent_opts(&tmp.0);
+    opts.format = Format::Dot;
+
+    let (cold, cold_t) = run_batch_traced(&jobs, &opts);
+    assert!(cold_t.stats.frontend > 0);
+    let cold_dot = cold.to_dot();
+    assert!(
+        cold_dot.contains("tooltip=\"accessed at "),
+        "DOT rendering must carry the node access labels"
+    );
+
+    // The access-label table is persisted with the artifact, so a warm
+    // rerun renders byte-identical DOT without re-elaborating anything —
+    // the last output format that used to force frontend work from disk.
+    let (warm, warm_t) = run_batch_traced(&jobs, &opts);
+    assert_eq!(warm.to_dot(), cold_dot, "DOT bytes must survive the store");
+    assert_eq!(warm_t.stats.frontend, 0, "warm DOT rerun must not parse");
+    assert_eq!(warm_t.stats.flow_graph, 0);
 }
 
 #[test]

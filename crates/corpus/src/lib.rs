@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edit;
 mod families;
 pub mod manifest;
 pub mod rng;
 
+pub use edit::{edit_stream, EditRevision, EditStream};
 pub use manifest::{parse_manifest, write_manifest};
 pub use rng::Rng;
 

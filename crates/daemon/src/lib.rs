@@ -17,6 +17,11 @@
 //!   `smoke` (`1`/`true`), `deadline_ms` (per-request watchdog override).
 //! * `POST /verify` — same body, plus `rounds` and `seed` query parameters;
 //!   responses match `vhdl1c verify --format json`.
+//! * `POST /update` — incremental re-analysis: body is one revised VHDL1
+//!   source of the design named by the required `id` query parameter.
+//!   Successive updates of an id shard to the same engine and reuse the
+//!   per-process artifacts of untouched processes; the report JSON is
+//!   byte-identical to `POST /analyze` over the same source.
 //! * `GET /healthz` — liveness probe, `200 ok`.
 //! * `GET /metrics` — Prometheus text exposition: per-stage counters merged
 //!   across all worker engines plus daemon request counters.
@@ -43,7 +48,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use vhdl1_cli::{run_batch_on, BatchOptions, Format, Job, VerifyOptions};
+use vhdl1_cli::{run_batch_on, run_edit_stream_on, BatchOptions, Format, Job, VerifyOptions};
 use vhdl1_corpus::parse_manifest;
 use vhdl1_infoflow::{
     fnv1a64, render_prometheus, AnalysisOptions, CachePolicy, Engine, EngineConfig, EngineStats,
@@ -94,8 +99,8 @@ impl Default for ServerConfig {
 }
 
 /// Request counters, one slot per endpoint plus a catch-all.
-const ENDPOINTS: [&str; 6] = [
-    "analyze", "verify", "healthz", "metrics", "shutdown", "other",
+const ENDPOINTS: [&str; 7] = [
+    "analyze", "verify", "update", "healthz", "metrics", "shutdown", "other",
 ];
 
 struct Shared {
@@ -269,10 +274,11 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
     let endpoint = match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/analyze") => 0,
         ("POST", "/verify") => 1,
-        ("GET", "/healthz") => 2,
-        ("GET", "/metrics") => 3,
-        ("POST", "/shutdown") => 4,
-        _ => 5,
+        ("POST", "/update") => 2,
+        ("GET", "/healthz") => 3,
+        ("GET", "/metrics") => 4,
+        ("POST", "/shutdown") => 5,
+        _ => 6,
     };
     shared.requests[endpoint].fetch_add(1, Ordering::Relaxed);
     match endpoint {
@@ -288,12 +294,13 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
             };
             analyze(shared, request, Some(VerifyOptions { rounds, seed }))
         }
-        2 => Response::ok("text/plain; charset=utf-8", b"ok\n".to_vec()),
-        3 => Response::ok(
+        2 => update(shared, request),
+        3 => Response::ok("text/plain; charset=utf-8", b"ok\n".to_vec()),
+        4 => Response::ok(
             "text/plain; version=0.0.4; charset=utf-8",
             metrics(shared).into_bytes(),
         ),
-        4 => {
+        5 => {
             shared.shutdown.store(true, Ordering::SeqCst);
             // The acceptor is blocked in accept(); poke it awake so it can
             // observe the flag, stop accepting, and drain.
@@ -301,7 +308,10 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
             Response::ok("text/plain; charset=utf-8", b"draining\n".to_vec())
         }
         _ => {
-            if matches!(request.path.as_str(), "/analyze" | "/verify" | "/shutdown") {
+            if matches!(
+                request.path.as_str(),
+                "/analyze" | "/verify" | "/update" | "/shutdown"
+            ) {
                 Response::error(405, "Method Not Allowed", "use POST")
             } else if matches!(request.path.as_str(), "/healthz" | "/metrics") {
                 Response::error(405, "Method Not Allowed", "use GET")
@@ -310,6 +320,34 @@ fn dispatch(shared: &Shared, request: &Request) -> Response {
             }
         }
     }
+}
+
+/// `POST /update` — the incremental re-analysis seam: the body is one
+/// revised source of the design named by `?id=`, analyzed through the
+/// id-sharded engine's edit workspace.  Successive updates of the same id
+/// land on the same engine (sharding is by **id**, not content — each
+/// revision's content differs by design) and reuse the per-process
+/// artifacts of every process the edit left untouched; the response is the
+/// same schema-3 report JSON as `POST /analyze` over that source.
+fn update(shared: &Shared, request: &Request) -> Response {
+    let source = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "Bad Request", "body is not UTF-8"),
+    };
+    if source.trim().is_empty() {
+        return Response::error(400, "Bad Request", "empty body: send VHDL1 source text");
+    }
+    let Some(id) = request.param("id") else {
+        return Response::error(400, "Bad Request", "update needs an `id` query parameter");
+    };
+    let shard = (fnv1a64(id.as_bytes()) % shared.engines.len() as u64) as usize;
+    let jobs = [Job::from_source(id, source)];
+    let opts = BatchOptions {
+        format: Format::Json,
+        ..BatchOptions::default()
+    };
+    let batch = run_edit_stream_on(&shared.engines[shard], &jobs, &opts);
+    Response::ok("application/json", batch.to_json().into_bytes())
 }
 
 /// `POST /analyze` and `POST /verify`: body → jobs → warm engine →
@@ -395,6 +433,8 @@ fn metrics(shared: &Shared) -> String {
         stats.store_hits += s.store_hits;
         stats.store_misses += s.store_misses;
         stats.store_writes += s.store_writes;
+        stats.units_reused += s.units_reused;
+        stats.units_recomputed += s.units_recomputed;
         if let Some(sink) = engine.trace_sink() {
             let shard = sink.snapshot();
             snapshot.spans.extend(shard.spans);

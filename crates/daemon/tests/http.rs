@@ -142,6 +142,62 @@ fn verify_endpoint_matches_cli_verify_bytes() {
 }
 
 #[test]
+fn update_endpoint_replays_an_edit_stream_incrementally() {
+    let stream = vhdl1_corpus::edit_stream(13, 6, 3);
+    let (addr, handle) = spawn_daemon(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    // Successive revisions of one design id flow to the same warm engine;
+    // every response must still be byte-identical to a from-scratch
+    // `vhdl1c analyze --format json` over that revision.
+    for src in stream.sources() {
+        let expected = run_batch(
+            &[Job::from_source(stream.name.clone(), src.to_string())],
+            &BatchOptions::default(),
+        )
+        .to_json();
+        let (status, body) = http(
+            addr,
+            "POST",
+            &format!("/update?id={}", stream.name),
+            src.as_bytes(),
+        );
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert_eq!(
+            body,
+            expected.as_bytes(),
+            "incremental update bytes must match a fresh analysis"
+        );
+    }
+
+    // The engine actually reused the untouched processes: each revision
+    // after the first recomputes one process and reuses the other five.
+    let (status, metrics) = http(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8(metrics).unwrap();
+    let reused: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("vhdl1_units_reused_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("unit reuse counter exposed");
+    assert_eq!(
+        reused,
+        (stream.revisions.len() * (stream.processes - 1)) as u64,
+        "each edit must reuse every untouched process"
+    );
+
+    // Protocol errors: an update without a design id cannot be routed.
+    let (status, _) = http(addr, "POST", "/update", stream.base.as_bytes());
+    assert_eq!(status, 400, "update without ?id= is a client error");
+    let (status, _) = http(addr, "GET", "/update", b"");
+    assert_eq!(status, 405);
+
+    shutdown(addr, handle);
+}
+
+#[test]
 fn warm_artifacts_survive_a_daemon_restart() {
     let tmp = TempDir::new("restart");
     let config = || {

@@ -1,14 +1,17 @@
 //! The eager one-shot entry points and their owned [`AnalysisResult`].
 //!
-//! These are compatibility wrappers over the demand-driven
-//! [`crate::engine`] API: each one builds a throwaway [`crate::Engine`],
-//! runs a lazy [`crate::Analysis`] to completion and materialises an owned
-//! result.  Callers that query more than once, analyse more than one design,
-//! or do not need every stage should hold an [`crate::Engine`] instead.
+//! These are compatibility façades over the session API: the design-based
+//! wrappers ([`analyze`], [`analyze_with`], [`analyze_all`]) drive a
+//! throwaway [`crate::Engine`] session, and the source-based
+//! [`analyze_source`] drives an edit session ([`crate::Workspace`]) of one
+//! update; each runs a lazy [`crate::Analysis`] to completion and
+//! materialises an owned result.  Callers that query more than once,
+//! analyse more than one design, or do not need every stage should hold an
+//! [`crate::Engine`] (or a [`crate::Workspace`] over it) instead.
 
 use crate::budget::Budget;
 use crate::closure::SpecializedRd;
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineError};
 use crate::graph::FlowGraph;
 use crate::improved::{ImprovedClosure, ImprovedOptions};
 use crate::kemmerer::kemmerer_graph_from_matrix;
@@ -18,7 +21,14 @@ use vhdl1_dataflow::{RdOptions, ReachingDefinitions};
 use vhdl1_syntax::Design;
 
 /// Options of the complete Information Flow analysis.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`AnalysisOptions::builder`] (or start from [`Default::default`],
+/// [`AnalysisOptions::base`] or [`AnalysisOptions::sequential_illustration`]
+/// and mutate fields), so adding an option is never a breaking change for
+/// downstream crates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct AnalysisOptions {
     /// Options of the underlying Reaching Definitions analyses.
     pub rd: RdOptions,
@@ -82,6 +92,90 @@ impl AnalysisOptions {
             improved: false,
             ..AnalysisOptions::default()
         }
+    }
+
+    /// Starts a builder from the default (paper-faithful) options.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vhdl1_infoflow::AnalysisOptions;
+    ///
+    /// let opts = AnalysisOptions::builder().improved(false).trace(true).build();
+    /// assert!(!opts.improved);
+    /// assert!(opts.trace);
+    /// ```
+    pub fn builder() -> AnalysisOptionsBuilder {
+        AnalysisOptionsBuilder {
+            opts: AnalysisOptions::default(),
+        }
+    }
+
+    /// Starts a builder from these options (e.g. from
+    /// [`AnalysisOptions::base`]), for changing a field without struct
+    /// update syntax — which `#[non_exhaustive]` forbids downstream.
+    pub fn to_builder(self) -> AnalysisOptionsBuilder {
+        AnalysisOptionsBuilder { opts: self }
+    }
+}
+
+/// Builder of [`AnalysisOptions`] — the construction path for downstream
+/// crates, since the options struct is `#[non_exhaustive]`.
+///
+/// Obtained from [`AnalysisOptions::builder`] (defaults) or
+/// [`AnalysisOptions::to_builder`] (any starting point); finished with
+/// [`AnalysisOptionsBuilder::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisOptionsBuilder {
+    opts: AnalysisOptions,
+}
+
+impl Default for AnalysisOptionsBuilder {
+    fn default() -> Self {
+        AnalysisOptions::builder()
+    }
+}
+
+impl AnalysisOptionsBuilder {
+    /// Sets the Reaching Definitions options.
+    pub fn rd(mut self, rd: RdOptions) -> Self {
+        self.opts.rd = rd;
+        self
+    }
+
+    /// Sets whether the RD specialisation of Table 7 runs.
+    pub fn specialize_rd(mut self, on: bool) -> Self {
+        self.opts.specialize_rd = on;
+        self
+    }
+
+    /// Sets whether the improved analysis of Section 5.3 runs.
+    pub fn improved(mut self, on: bool) -> Self {
+        self.opts.improved = on;
+        self
+    }
+
+    /// Sets the options of the improved analysis.
+    pub fn improved_options(mut self, improved_options: ImprovedOptions) -> Self {
+        self.opts.improved_options = improved_options;
+        self
+    }
+
+    /// Sets the resource budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// Sets whether stage-level tracing is collected.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.opts.trace = on;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> AnalysisOptions {
+        self.opts
     }
 }
 
@@ -182,12 +276,22 @@ pub fn analyze(design: &Design) -> AnalysisResult {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn analyze_with(design: &Design, options: &AnalysisOptions) -> AnalysisResult {
-    Engine::with_options(*options).analyze(design).into_result()
+    let mut batch = analyze_all([design], options);
+    batch.pop().expect("one design in, one result out")
 }
 
 /// Parses, elaborates and analyzes a source text in one step — the
 /// per-design entry point of batch drivers (`vhdl1c analyze`), where inputs
 /// arrive as text rather than elaborated designs.
+///
+/// Internally this is a one-update edit session: it drives
+/// [`crate::Workspace::update`] on a throwaway [`Engine`], so it shares the
+/// session API's cache-probe and per-unit bookkeeping paths.
+///
+/// # Panics
+///
+/// Panics when `options.budget` is exhausted mid-pipeline, like
+/// [`analyze_with`].
 ///
 /// # Errors
 ///
@@ -213,7 +317,13 @@ pub fn analyze_source(
     src: &str,
     options: &AnalysisOptions,
 ) -> Result<AnalysisResult, vhdl1_syntax::SyntaxError> {
-    Ok(analyze_with(&vhdl1_syntax::frontend(src)?, options))
+    let engine = Engine::with_options(*options);
+    let analysis = match engine.workspace().update(src) {
+        Ok(analysis) => analysis,
+        Err(EngineError::Frontend { source, .. }) => return Err(source),
+        Err(err) => panic!("analysis budget exhausted: {err}"),
+    };
+    Ok(analysis.into_result())
 }
 
 /// Analyzes every design of a batch with shared options, preserving order.

@@ -53,13 +53,13 @@ use crate::analysis::{AnalysisOptions, AnalysisResult};
 use crate::budget::{Budget, CancelFlag};
 use crate::closure::{global_closure_bounded, specialize_rd, SpecializedRd};
 use crate::dynflow::{cross_check, DynFlowReport};
-use crate::graph::FlowGraph;
+use crate::graph::{FlowGraph, GraphLabels};
 use crate::improved::{improved_closure_bounded, ImprovedClosure};
 use crate::kemmerer::kemmerer_graph_from_matrix;
-use crate::local::local_dependencies;
+use crate::local::{local_dependencies, local_dependencies_process};
 use crate::policy::{audit, AuditReport, Policy};
 use crate::rm::ResourceMatrix;
-use crate::store::{Artifact, ArtifactStore, DesignSummary};
+use crate::store::{Artifact, ArtifactStore, DesignSummary, UnitArtifact};
 use crate::trace::{SpanTimer, TraceSink};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -67,10 +67,16 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
-use vhdl1_dataflow::ReachingDefinitions;
+use vhdl1_dataflow::{
+    active_signals_rd_process, present_rd, ActiveRd, CrossFlow, DesignCfg, ProcessCfg,
+    ReachingDefinitions,
+};
 use vhdl1_dynflow::DynFlowOptions;
 use vhdl1_sim::{SimError, SimOptions, Simulator};
-use vhdl1_syntax::{Design, FrontendLimits, Pos, SyntaxError, SyntaxErrorKind};
+use vhdl1_syntax::{
+    design_context_text, unit_canonical_text, unit_fingerprints, Design, FrontendLimits, Pos,
+    SyntaxError, SyntaxErrorKind,
+};
 
 /// 64-bit FNV-1a content hash — the engine's cache key over source bytes.
 ///
@@ -439,6 +445,14 @@ pub struct EngineStats {
     pub store_misses: u64,
     /// Artifacts written back to the store.
     pub store_writes: u64,
+    /// Per-process units served from cache by [`Workspace::update`] —
+    /// processes whose fingerprint was unchanged (or whose whole design
+    /// hit), so their per-process RD rows and local Resource Matrix were
+    /// reused instead of recomputed.
+    pub units_reused: u64,
+    /// Per-process units recomputed by [`Workspace::update`] — processes
+    /// whose fingerprint changed (or was never seen).
+    pub units_recomputed: u64,
 }
 
 #[derive(Default)]
@@ -458,6 +472,8 @@ struct Counters {
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     store_writes: AtomicU64,
+    units_reused: AtomicU64,
+    units_recomputed: AtomicU64,
 }
 
 /// Built-in delta-cycle cap per quiescence run of
@@ -512,6 +528,9 @@ struct Slots {
     base_graph: OnceLock<FlowGraph>,
     merged_graph: OnceLock<FlowGraph>,
     kemmerer: OnceLock<FlowGraph>,
+    /// Per-node label annotations for DOT rendering.  Persisted with the
+    /// artifact so a warm `--format dot` run needs zero front-end work.
+    graph_labels: OnceLock<GraphLabels>,
     smoke: OnceLock<Result<SmokeReport, EngineError>>,
     /// Dynamic flow witnessing is parameterised by `(rounds, seed)`, so the
     /// memo is a keyed family of `OnceLock`s: each distinct parameter pair
@@ -569,6 +588,9 @@ impl Memo {
         if let Some(graph) = artifact.kemmerer {
             let _ = slots.kemmerer.set(graph);
         }
+        if let Some(labels) = artifact.graph_labels {
+            let _ = slots.graph_labels.set(labels);
+        }
         if let Some(smoke) = artifact.smoke {
             let _ = slots.smoke.set(Ok(smoke));
         }
@@ -596,6 +618,33 @@ struct Cache {
     order: VecDeque<u64>,
 }
 
+/// One cached per-process analysis unit ([`Workspace::update`]): the
+/// process's control-flow graph, its active-signal RD solutions and its
+/// local Resource Matrix, keyed by
+/// `unit_fingerprint ⊕ rotl17(options_fingerprint)`.
+struct UnitState {
+    /// Canonical design-context text — verified on every hit, so a
+    /// fingerprint collision degrades to a recompute instead of assembling
+    /// the wrong process's rows.
+    context: String,
+    /// Canonical labelled process text, verified likewise.
+    unit: String,
+    cfg: ProcessCfg,
+    active: ActiveRd,
+    local: ResourceMatrix,
+}
+
+/// How many per-process units each memoized-design slot is worth in the
+/// unit cache: a design cap of `n` keeps up to `64 n` units.
+const UNITS_PER_DESIGN_CAP: usize = 64;
+
+#[derive(Default)]
+struct UnitCache {
+    map: HashMap<u64, Arc<UnitState>>,
+    /// Insertion order, for FIFO eviction under a capped policy.
+    order: VecDeque<u64>,
+}
+
 /// A long-lived analysis session: shared options, the content-hash memo
 /// table, and the stage-computation counters.
 ///
@@ -619,6 +668,10 @@ struct Cache {
 pub struct Engine {
     config: EngineConfig,
     cache: Mutex<Cache>,
+    /// Per-process unit cache of [`Workspace::update`], keyed by unit
+    /// fingerprint (so it survives whole-design cache misses: an edited
+    /// design misses the memo table but reuses every untouched process).
+    units: Mutex<UnitCache>,
     counters: Counters,
     /// Disk-backed artifact store, present only under
     /// [`CachePolicy::Persistent`].  `None` also when the directory could
@@ -664,6 +717,7 @@ impl Engine {
             store,
             config,
             cache: Mutex::new(Cache::default()),
+            units: Mutex::new(UnitCache::default()),
             counters: Counters::default(),
         }
     }
@@ -727,6 +781,8 @@ impl Engine {
             store_hits: g(&c.store_hits),
             store_misses: g(&c.store_misses),
             store_writes: g(&c.store_writes),
+            units_reused: g(&c.units_reused),
+            units_recomputed: g(&c.units_recomputed),
         }
     }
 
@@ -811,37 +867,11 @@ impl Engine {
             return Ok(self.owned_analysis(self.run_frontend(src)?));
         }
         let key = self.source_key(src);
-        if let Some(memo) = self
-            .cache
-            .lock()
-            .expect("engine cache poisoned")
-            .map
-            .get(&key)
-        {
-            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Analysis {
-                engine: self,
-                inner: Inner::Shared(Arc::clone(memo)),
-                started: Instant::now(),
-                cancel: None,
-            });
+        if let Some(analysis) = self.lookup(key) {
+            return Ok(analysis);
         }
-        // Memory miss: probe the disk store first (persistent policy only) —
-        // a hit restores the serving slots without any parsing.  The stored
-        // source must match byte-for-byte, so an FNV collision degrades to a
-        // miss instead of serving a different design's artifacts.
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let restored = self.store.as_ref().and_then(|store| {
-            let artifact = store.load(key).filter(|a| a.source == src);
-            let counter = if artifact.is_some() {
-                &self.counters.store_hits
-            } else {
-                &self.counters.store_misses
-            };
-            counter.fetch_add(1, Ordering::Relaxed);
-            artifact
-        });
-        let fresh = match restored {
+        let fresh = match self.probe_store(key, src) {
             Some(artifact) => Memo::from_artifact(artifact),
             // Full miss: run the front end outside the lock (parsing can be
             // slow), then publish.
@@ -851,8 +881,43 @@ impl Engine {
                 self.store.as_ref().map(|_| src.into()),
             ),
         };
-        // A racing thread may publish the same key first; reuse its memo so
-        // both handles share one set of slots.
+        Ok(self.shared(self.publish(key, fresh)))
+    }
+
+    /// The memory-probe half of [`Engine::analyze_source`]: a memo-table
+    /// hit (bumping `cache_hits`) or `None`.
+    fn lookup(&self, key: u64) -> Option<Analysis<'_>> {
+        let memo = Arc::clone(
+            self.cache
+                .lock()
+                .expect("engine cache poisoned")
+                .map
+                .get(&key)?,
+        );
+        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Some(self.shared(memo))
+    }
+
+    /// The disk-probe half of [`Engine::analyze_source`] (persistent policy
+    /// only) — a hit restores the serving slots without any parsing.  The
+    /// stored source must match byte-for-byte, so an FNV collision degrades
+    /// to a miss instead of serving a different design's artifacts.
+    fn probe_store(&self, key: u64, src: &str) -> Option<Artifact> {
+        let store = self.store.as_ref()?;
+        let artifact = store.load(key).filter(|a| a.source == src);
+        let counter = if artifact.is_some() {
+            &self.counters.store_hits
+        } else {
+            &self.counters.store_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        artifact
+    }
+
+    /// Publishes a fresh memo under `key`, returning the winner if a racing
+    /// thread published the same key first (both handles then share one set
+    /// of slots), and evicts beyond a capped policy's memory cap.
+    fn publish(&self, key: u64, fresh: Memo) -> Arc<Memo> {
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         let mut inserted = false;
         let memo = Arc::clone(cache.map.entry(key).or_insert_with(|| {
@@ -876,13 +941,16 @@ impl Engine {
                 }
             }
         }
-        drop(cache);
-        Ok(Analysis {
+        memo
+    }
+
+    fn shared(&self, memo: Arc<Memo>) -> Analysis<'_> {
+        Analysis {
             engine: self,
             inner: Inner::Shared(memo),
             started: Instant::now(),
             cancel: None,
-        })
+        }
     }
 
     /// Lazily analyses every source of a batch, preserving order and
@@ -964,6 +1032,246 @@ impl Engine {
             started: Instant::now(),
             cancel: None,
         }
+    }
+
+    /// Opens an edit session over this engine: a [`Workspace`] whose
+    /// [`update`](Workspace::update) re-analyses successive revisions of a
+    /// design incrementally, reusing the per-process stages of every
+    /// process whose content fingerprint is unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vhdl1_infoflow::Engine;
+    ///
+    /// let engine = Engine::default();
+    /// let ws = engine.workspace();
+    /// let v1 = "entity e is port(a : in std_logic; b : out std_logic); end e;
+    ///      architecture rtl of e is begin
+    ///        p1 : process begin b <= a; wait on a; end process p1;
+    ///        p2 : process begin null; wait on a; end process p2;
+    ///      end rtl;";
+    /// ws.update(v1)?.flow_graph()?;
+    /// // Edit only p2: p1's per-process stages are reused.
+    /// let v2 = v1.replace("null;", "b <= a and a;");
+    /// ws.update(&v2)?.flow_graph()?;
+    /// assert_eq!(engine.stats().units_recomputed, 3); // 2 cold + 1 edited
+    /// assert_eq!(engine.stats().units_reused, 1);     // p1 on the update
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn workspace(&self) -> Workspace<'_> {
+        Workspace { engine: self }
+    }
+
+    /// Probes the per-process unit cache (memory, then the persistent
+    /// store), verifying the canonical texts so a fingerprint collision is
+    /// a recompute, never a wrong hit.  Store rehydration rebuilds the
+    /// control-flow graph from the freshly elaborated design (cheap and
+    /// linear) and the solved rows from the artifact.
+    fn unit_lookup(
+        &self,
+        key: u64,
+        design: &Design,
+        pidx: usize,
+        context: &str,
+        unit: &str,
+    ) -> Option<Arc<UnitState>> {
+        {
+            let units = self.units.lock().expect("unit cache poisoned");
+            if let Some(state) = units.map.get(&key) {
+                if state.context == context && state.unit == unit {
+                    return Some(Arc::clone(state));
+                }
+            }
+        }
+        let stored = self.store.as_ref()?.load_unit(key)?;
+        if stored.context != context || stored.unit != unit {
+            return None;
+        }
+        let state = UnitState {
+            cfg: ProcessCfg::build(&design.processes[pidx]),
+            active: stored.active(),
+            local: stored.local_matrix(),
+            context: stored.context,
+            unit: stored.unit,
+        };
+        Some(self.unit_publish(key, state))
+    }
+
+    /// Publishes a unit into the memory cache, FIFO-capped at
+    /// [`UNITS_PER_DESIGN_CAP`] units per design slot of a capped policy.
+    fn unit_publish(&self, key: u64, state: UnitState) -> Arc<UnitState> {
+        let state = Arc::new(state);
+        let mut units = self.units.lock().expect("unit cache poisoned");
+        if units.map.insert(key, Arc::clone(&state)).is_none() {
+            units.order.push_back(key);
+        }
+        if let Some(cap) = self.config.cache.memory_cap() {
+            let cap = cap.max(1).saturating_mul(UNITS_PER_DESIGN_CAP);
+            while units.map.len() > cap {
+                match units.order.pop_front() {
+                    Some(old) if old != key => {
+                        units.map.remove(&old);
+                    }
+                    Some(_) => units.order.push_back(key),
+                    None => break,
+                }
+            }
+        }
+        state
+    }
+}
+
+/// An edit session over an [`Engine`]: feed successive revisions of a
+/// design to [`Workspace::update`] and get a full [`Analysis`] back for
+/// each, paying only for what the edit touched.
+///
+/// The engine elaborates each revision, fingerprints every process against
+/// its design context ([`vhdl1_syntax::unit_fingerprint`]) and reuses the
+/// per-process stages — control-flow graph, active-signal Reaching
+/// Definitions rows, local Resource Matrix — of every unit whose
+/// fingerprint is unchanged, recomputing only touched processes plus the
+/// cross-process global stages (cross-flow, present-value RD, closures).
+/// [`EngineStats::units_reused`] / [`EngineStats::units_recomputed`] report
+/// the split per session.
+///
+/// The handle is stateless (all state lives in the engine), so a daemon
+/// can open one per request over a shared engine; reports produced through
+/// a workspace are byte-identical to fresh single-shot analyses of the
+/// same source.
+#[derive(Debug, Clone, Copy)]
+pub struct Workspace<'e> {
+    engine: &'e Engine,
+}
+
+impl<'e> Workspace<'e> {
+    /// The engine this workspace updates.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// Re-analyses a revision of the design, reusing every per-process
+    /// unit whose content fingerprint is unchanged since any earlier
+    /// [`update`](Workspace::update) (or persisted unit artifact).
+    ///
+    /// Falls back to the plain [`Engine::analyze_source`] path — no unit
+    /// accounting — when the cache policy is
+    /// [`Disabled`](CachePolicy::Disabled) (nothing could be reused) or a
+    /// dataflow step budget is set (per-unit solves would move the
+    /// deterministic truncation point).  A whole-design cache or store hit
+    /// counts every process as reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`EngineError`] when the revision does not
+    /// lex, parse or elaborate, or exceeds the front-end budget.
+    pub fn update(&self, src: &str) -> Result<Analysis<'e>, EngineError> {
+        let engine = self.engine;
+        if engine.config.cache == CachePolicy::Disabled
+            || engine.config.options.budget.max_dataflow_steps.is_some()
+        {
+            return engine.analyze_source(src);
+        }
+        let key = engine.source_key(src);
+        if let Some(analysis) = engine.lookup(key) {
+            let reused = analysis.summary().processes as u64;
+            engine
+                .counters
+                .units_reused
+                .fetch_add(reused, Ordering::Relaxed);
+            return Ok(analysis);
+        }
+        engine.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(artifact) = engine.probe_store(key, src) {
+            let analysis = engine.shared(engine.publish(key, Memo::from_artifact(artifact)));
+            let reused = analysis.summary().processes as u64;
+            engine
+                .counters
+                .units_reused
+                .fetch_add(reused, Ordering::Relaxed);
+            return Ok(analysis);
+        }
+        let design = engine.run_frontend(src)?;
+
+        // Per-unit probe: reuse or recompute each process's stages.
+        let context = design_context_text(&design);
+        let fingerprints = unit_fingerprints(&design);
+        let options_rot = options_fingerprint(&engine.config.options).rotate_left(17);
+        let mut states = Vec::with_capacity(design.processes.len());
+        for (pidx, fingerprint) in fingerprints.iter().enumerate() {
+            let unit_key = fingerprint ^ options_rot;
+            let unit = unit_canonical_text(&design, pidx);
+            if let Some(state) = engine.unit_lookup(unit_key, &design, pidx, &context, &unit) {
+                engine.counters.units_reused.fetch_add(1, Ordering::Relaxed);
+                states.push(state);
+                continue;
+            }
+            engine
+                .counters
+                .units_recomputed
+                .fetch_add(1, Ordering::Relaxed);
+            let cfg = ProcessCfg::build(&design.processes[pidx]);
+            let active = active_signals_rd_process(&design, &cfg, &engine.config.options.rd);
+            let local = local_dependencies_process(&design, pidx);
+            if let Some(store) = &engine.store {
+                let _ = store.save_unit(&UnitArtifact::of(
+                    unit_key, &context, &unit, &active, &local,
+                ));
+            }
+            states.push(engine.unit_publish(
+                unit_key,
+                UnitState {
+                    context: context.clone(),
+                    unit,
+                    cfg,
+                    active,
+                    local,
+                },
+            ));
+        }
+
+        // Global assembly: per-unit artifacts concatenate exactly (labels
+        // are globally unique and the per-process analyses couple nothing
+        // across processes); only the cross-process stages — cross-flow and
+        // the present-value RD — recompute from scratch.
+        engine.counters.rd.fetch_add(1, Ordering::Relaxed);
+        let span = engine.trace_begin("rd");
+        let rd_options = engine.config.options.rd;
+        let cfg = DesignCfg::from_processes(states.iter().map(|s| s.cfg.clone()).collect());
+        let cross = CrossFlow::build(&design);
+        let active = ActiveRd::concat(states.iter().map(|s| s.active.clone()));
+        let present = present_rd(&design, &cfg, &cross, &active, &rd_options);
+        if span.is_some() {
+            let labels = cfg.labels().len() as u64;
+            engine.trace_end(span, &design.name, labels, labels);
+        }
+        let rd = ReachingDefinitions {
+            options: rd_options,
+            cfg,
+            cross,
+            active,
+            present,
+        };
+
+        engine.counters.local.fetch_add(1, Ordering::Relaxed);
+        let span = engine.trace_begin("local");
+        let mut local = ResourceMatrix::new();
+        for state in &states {
+            local.extend_from(&state.local);
+        }
+        if span.is_some() {
+            let entries = local.len() as u64;
+            engine.trace_end(span, &design.name, entries, entries);
+        }
+
+        let memo = Memo::computed(
+            design,
+            engine.store.as_ref().map(|_| key),
+            engine.store.as_ref().map(|_| src.into()),
+        );
+        let _ = memo.slots.rd.set(Ok(rd));
+        let _ = memo.slots.local.set(local);
+        Ok(engine.shared(engine.publish(key, memo)))
     }
 }
 
@@ -1164,6 +1472,7 @@ impl<'e> Analysis<'e> {
         artifact.base_graph = slots.base_graph.get().cloned();
         artifact.merged_graph = slots.merged_graph.get().cloned();
         artifact.kemmerer = slots.kemmerer.get().cloned();
+        artifact.graph_labels = slots.graph_labels.get().cloned();
         artifact.smoke = slots.smoke.get().and_then(|r| r.as_ref().ok()).copied();
         {
             let map = slots.dynflow.lock().expect("dynflow memo poisoned");
@@ -1447,6 +1756,25 @@ impl<'e> Analysis<'e> {
             self.persist();
         }
         Ok(graph)
+    }
+
+    /// Per-node label annotations for DOT rendering
+    /// ([`FlowGraph::to_dot_with`]): the labels at which the design
+    /// accesses each graph node, derived from the local Resource Matrix.
+    ///
+    /// Persisted with the artifact, so rendering an annotated graph from a
+    /// warm persistent cache runs zero front-end work — unlike going
+    /// through [`Analysis::design`], which re-elaborates the stored source.
+    pub fn graph_labels(&self) -> &GraphLabels {
+        let fresh = self.slots().graph_labels.get().is_none();
+        let labels = self
+            .slots()
+            .graph_labels
+            .get_or_init(|| GraphLabels::of(self.local()));
+        if fresh {
+            self.persist();
+        }
+        labels
     }
 
     /// The information-flow graph of the base (non-improved) closure,

@@ -14,6 +14,35 @@ use crate::rm::{Access, Node, ResourceMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
+use vhdl1_syntax::Label;
+
+/// Per-node label annotations for DOT rendering: which labelled blocks of
+/// the design access each graph node.  Derived from the local Resource
+/// Matrix and persisted with the artifact, so a disk-served analysis can
+/// render an annotated graph without re-elaborating the source.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GraphLabels {
+    /// The labels at which each node is accessed (any access kind).
+    pub at: BTreeMap<Node, BTreeSet<Label>>,
+}
+
+impl GraphLabels {
+    /// Collects the annotations of a (local) Resource Matrix.
+    pub fn of(rm: &ResourceMatrix) -> GraphLabels {
+        let mut at: BTreeMap<Node, BTreeSet<Label>> = BTreeMap::new();
+        for entry in rm.iter() {
+            at.entry(entry.node.clone())
+                .or_default()
+                .insert(entry.label);
+        }
+        GraphLabels { at }
+    }
+
+    /// The labels at which `node` is accessed (empty when unknown).
+    pub fn labels_of(&self, node: &Node) -> BTreeSet<Label> {
+        self.at.get(node).cloned().unwrap_or_default()
+    }
+}
 
 /// A directed information-flow graph.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -222,6 +251,17 @@ impl FlowGraph {
 
     /// Renders the graph in Graphviz DOT syntax.
     pub fn to_dot(&self, name: &str) -> String {
+        self.render_dot(name, None)
+    }
+
+    /// [`FlowGraph::to_dot`] with per-node label annotations: nodes the
+    /// design accesses carry a `tooltip` listing the labels of the accessing
+    /// blocks.
+    pub fn to_dot_with(&self, name: &str, labels: &GraphLabels) -> String {
+        self.render_dot(name, Some(labels))
+    }
+
+    fn render_dot(&self, name: &str, labels: Option<&GraphLabels>) -> String {
         let mut ids: BTreeMap<&Node, String> = BTreeMap::new();
         for (i, n) in self.nodes.iter().enumerate() {
             ids.insert(n, format!("n{i}"));
@@ -235,7 +275,20 @@ impl FlowGraph {
                 Node::Incoming(_) => "diamond",
                 Node::Outgoing(_) => "box",
             };
-            let _ = writeln!(out, "  {id} [label=\"{n}\", shape={shape}];");
+            let at = labels.map(|l| l.labels_of(n)).unwrap_or_default();
+            if at.is_empty() {
+                let _ = writeln!(out, "  {id} [label=\"{n}\", shape={shape}];");
+            } else {
+                let list = at
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = writeln!(
+                    out,
+                    "  {id} [label=\"{n}\", shape={shape}, tooltip=\"accessed at {list}\"];"
+                );
+            }
         }
         for (f, t) in self.edges() {
             let _ = writeln!(out, "  {} -> {};", ids[f], ids[t]);

@@ -24,7 +24,10 @@
 //! The primary entry point is the demand-driven [`engine`] API: a
 //! long-lived [`Engine`] session hands out lazy, memoized [`Analysis`]
 //! handles whose stage queries compute on first demand and return borrowed
-//! artifacts.  The eager [`analyze`]/[`analyze_with`] one-shots remain as
+//! artifacts.  [`Engine::workspace`] opens an edit session ([`Workspace`])
+//! that re-analyses successive revisions incrementally, reusing the
+//! per-process stages of every process whose content fingerprint is
+//! unchanged.  The eager [`analyze`]/[`analyze_with`] one-shots remain as
 //! compatibility wrappers materialising an owned [`AnalysisResult`].
 //!
 //! ```
@@ -61,7 +64,8 @@ pub mod store;
 pub mod trace;
 
 pub use analysis::{
-    analyze, analyze_all, analyze_source, analyze_with, AnalysisOptions, AnalysisResult,
+    analyze, analyze_all, analyze_source, analyze_with, AnalysisOptions, AnalysisOptionsBuilder,
+    AnalysisResult,
 };
 pub use budget::{Budget, CancelFlag};
 pub use closure::{
@@ -71,13 +75,13 @@ pub use closure::{
 pub use dynflow::{DynFlowReport, NoFlowProperty};
 pub use engine::{
     fnv1a64, options_fingerprint, Analysis, CachePolicy, Engine, EngineConfig, EngineError,
-    EnginePhase, EngineStage, EngineStats, SmokeReport, DYNFLOW_MAX_DELTAS,
+    EnginePhase, EngineStage, EngineStats, SmokeReport, Workspace, DYNFLOW_MAX_DELTAS,
 };
-pub use graph::FlowGraph;
+pub use graph::{FlowGraph, GraphLabels};
 pub use improved::{improved_closure, improved_closure_bounded, ImprovedClosure, ImprovedOptions};
 pub use kemmerer::{kemmerer_graph, kemmerer_graph_from_matrix};
-pub use local::local_dependencies;
+pub use local::{local_dependencies, local_dependencies_process};
 pub use policy::{audit, AuditReport, Policy, Violation};
 pub use rm::{Access, Node, ResourceMatrix, RmEntry};
-pub use store::{Artifact, ArtifactStore, DesignSummary, ARTIFACT_VERSION};
+pub use store::{Artifact, ArtifactStore, DesignSummary, UnitArtifact, ARTIFACT_VERSION};
 pub use trace::{render_prometheus, SpanRecord, StageAgg, TraceEvent, TraceSink, TraceSnapshot};

@@ -1,0 +1,270 @@
+//! Per-design-unit content fingerprints for incremental re-analysis.
+//!
+//! The analysis engine in `vhdl1-infoflow` memoizes whole designs by source
+//! hash; an edit-session `Workspace` additionally memoizes *per-process*
+//! results, keyed by the fingerprints computed here.  A fingerprint must
+//! change exactly when a process's analysis-relevant content changes:
+//!
+//! * it is computed from a **canonical rendering** of the elaborated
+//!   process, not from source bytes, so whitespace, comments and formatting
+//!   edits anywhere in the file leave untouched processes' fingerprints
+//!   intact;
+//! * the rendering **includes the block labels** assigned by elaboration.
+//!   Labels are unique across the whole design, so an edit that changes the
+//!   number of elementary blocks in one process shifts the labels — and
+//!   therefore the fingerprints — of every process elaborated after it.
+//!   Label-preserving edits (the common editor case: changing an expression,
+//!   a target, a sensitivity list) leave other processes' fingerprints
+//!   stable;
+//! * the rendering **excludes source spans** entirely — spans move on every
+//!   edit and carry no analysis weight;
+//! * a separate **design-context fingerprint** covers everything a process
+//!   analysis reads outside its own body: the design and entity names and
+//!   the full signal table (names, kinds, types, initial values).  Unit
+//!   fingerprints mix the context in, so a signal-table edit invalidates
+//!   every unit.
+//!
+//! The canonical texts are exposed alongside the hashes so callers can store
+//! them as collision guards (the engine's artifact store verifies text
+//! equality before serving a hash hit).
+
+use crate::ast::Stmt;
+use crate::elaborate::{Design, ElabProcess, SignalKind};
+use crate::pretty::pretty_expr;
+use std::fmt::Write as _;
+
+/// FNV-1a 64-bit — the same function the analysis engine keys its
+/// whole-design memo table with (kept private here; the engine re-exports
+/// its own copy).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Canonical rendering of everything a per-process analysis reads *outside*
+/// the process body: design name, entity name and the signal table.
+///
+/// Deterministic and span-free; two designs with equal context text are
+/// indistinguishable to any single process's local analyses.
+pub fn design_context_text(design: &Design) -> String {
+    let mut out = String::with_capacity(128 + design.signals.len() * 32);
+    let _ = writeln!(out, "design {} entity {}", design.name, design.entity);
+    let _ = writeln!(out, "processes {}", design.processes.len());
+    for s in &design.signals {
+        let kind = match s.kind {
+            SignalKind::PortIn => "in",
+            SignalKind::PortOut => "out",
+            SignalKind::Internal => "internal",
+        };
+        let _ = write!(out, "signal {} {kind} {}", s.name, s.ty);
+        if let Some(init) = &s.init {
+            let _ = write!(out, " := {}", pretty_expr(init));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Canonical rendering of process `pidx`: name, index, variable table and
+/// the labelled body.  Deterministic, span-free, label-preserving.
+///
+/// Returns an empty string when `pidx` is out of range.
+pub fn unit_canonical_text(design: &Design, pidx: usize) -> String {
+    let Some(p) = design.processes.get(pidx) else {
+        return String::new();
+    };
+    process_canonical_text(p)
+}
+
+fn process_canonical_text(p: &ElabProcess) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = writeln!(out, "process {} #{}", p.name, p.index);
+    for v in &p.variables {
+        let _ = write!(out, "variable {} {}", v.name, v.ty);
+        if let Some(init) = &v.init {
+            let _ = write!(out, " := {}", pretty_expr(init));
+        }
+        out.push('\n');
+    }
+    out.push_str("begin\n");
+    write_stmt(&p.body, &mut out);
+    out
+}
+
+/// Writes a labelled, span-free rendering of `s`.  `Seq` nests flatten to
+/// the same text (they flatten to the same control-flow graph too), while
+/// branch structure is delimited explicitly so statement membership is
+/// unambiguous.
+fn write_stmt(s: &Stmt, out: &mut String) {
+    match s {
+        Stmt::Null { label } => {
+            let _ = writeln!(out, "{label}: null");
+        }
+        Stmt::VarAssign {
+            label,
+            target,
+            expr,
+        } => {
+            let _ = writeln!(out, "{label}: {target} := {}", pretty_expr(expr));
+        }
+        Stmt::SignalAssign {
+            label,
+            target,
+            expr,
+        } => {
+            let _ = writeln!(out, "{label}: {target} <= {}", pretty_expr(expr));
+        }
+        Stmt::Wait { label, on, until } => {
+            let _ = write!(out, "{label}: wait");
+            if !on.is_empty() {
+                let _ = write!(out, " on {}", on.join(","));
+            }
+            if !until.is_true_literal() {
+                let _ = write!(out, " until {}", pretty_expr(until));
+            }
+            out.push('\n');
+        }
+        Stmt::Seq(a, b) => {
+            write_stmt(a, out);
+            write_stmt(b, out);
+        }
+        Stmt::If {
+            label,
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "{label}: if {}", pretty_expr(cond));
+            write_stmt(then_branch, out);
+            out.push_str("else\n");
+            write_stmt(else_branch, out);
+            out.push_str("end if\n");
+        }
+        Stmt::While { label, cond, body } => {
+            let _ = writeln!(out, "{label}: while {}", pretty_expr(cond));
+            write_stmt(body, out);
+            out.push_str("end loop\n");
+        }
+    }
+}
+
+/// Fingerprint of the design context ([`design_context_text`]).
+pub fn design_context_fingerprint(design: &Design) -> u64 {
+    fnv1a64(design_context_text(design).as_bytes())
+}
+
+/// Fingerprint of process `pidx` with the design context mixed in: equal
+/// exactly when both the process rendering and the context rendering are
+/// equal (up to hash collision — callers that must rule collisions out
+/// compare the canonical texts).
+pub fn unit_fingerprint(design: &Design, pidx: usize) -> u64 {
+    let context = design_context_fingerprint(design);
+    fnv1a64(unit_canonical_text(design, pidx).as_bytes()) ^ context.rotate_left(29)
+}
+
+/// Fingerprints of every process of the design, in process order.
+pub fn unit_fingerprints(design: &Design) -> Vec<u64> {
+    let context = design_context_fingerprint(design);
+    design
+        .processes
+        .iter()
+        .map(|p| fnv1a64(process_canonical_text(p).as_bytes()) ^ context.rotate_left(29))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+
+    fn design(body_a: &str, body_b: &str) -> Design {
+        frontend(&format!(
+            "entity e is port(a : in std_logic; x : out std_logic; y : out std_logic); end e;
+             architecture rtl of e is begin
+               pa : process begin {body_a} wait on a; end process pa;
+               pb : process begin {body_b} wait on a; end process pb;
+             end rtl;"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let d1 = design("x <= a;", "y <= a;");
+        let d2 = design("x <= a;", "y <= a;");
+        assert_eq!(unit_fingerprints(&d1), unit_fingerprints(&d2));
+        assert_eq!(unit_canonical_text(&d1, 1), unit_canonical_text(&d2, 1));
+    }
+
+    #[test]
+    fn label_preserving_edit_keeps_other_units_stable() {
+        let base = design("x <= a;", "y <= a;");
+        // Same block count in pa, so pb's labels — and fingerprint — hold.
+        let edit = design("x <= not a;", "y <= a;");
+        let fp0 = unit_fingerprints(&base);
+        let fp1 = unit_fingerprints(&edit);
+        assert_ne!(fp0[0], fp1[0], "edited process must change");
+        assert_eq!(fp0[1], fp1[1], "untouched process must be stable");
+    }
+
+    #[test]
+    fn label_shifting_edit_invalidates_downstream_units() {
+        let base = design("x <= a;", "y <= a;");
+        // An extra statement in pa shifts every label in pb.
+        let edit = design("x <= a; x <= a;", "y <= a;");
+        let fp0 = unit_fingerprints(&base);
+        let fp1 = unit_fingerprints(&edit);
+        assert_ne!(fp0[0], fp1[0]);
+        assert_ne!(fp0[1], fp1[1], "label shift must invalidate pb");
+    }
+
+    #[test]
+    fn whitespace_edits_are_invisible() {
+        let d1 = design("x <= a;", "y <= a;");
+        let d2 = frontend(
+            "entity e is port(a : in std_logic; x : out std_logic; y : out std_logic); end e;
+             architecture rtl of e is
+             begin
+               pa : process begin    x <= a;
+                 wait on a; end process pa;
+               pb : process
+               begin y <= a; wait on a; end process pb;
+             end rtl;",
+        )
+        .unwrap();
+        assert_eq!(unit_fingerprints(&d1), unit_fingerprints(&d2));
+    }
+
+    #[test]
+    fn signal_table_edit_invalidates_every_unit() {
+        let base = design("x <= a;", "y <= a;");
+        let edit = frontend(
+            "entity e is port(a : in std_logic; x : out std_logic; y : out std_logic); end e;
+             architecture rtl of e is
+               signal t : std_logic := '0';
+             begin
+               pa : process begin x <= a; wait on a; end process pa;
+               pb : process begin y <= a; wait on a; end process pb;
+             end rtl;",
+        )
+        .unwrap();
+        let fp0 = unit_fingerprints(&base);
+        let fp1 = unit_fingerprints(&edit);
+        assert_ne!(fp0[0], fp1[0]);
+        assert_ne!(fp0[1], fp1[1]);
+        assert_ne!(
+            design_context_fingerprint(&base),
+            design_context_fingerprint(&edit)
+        );
+    }
+
+    #[test]
+    fn out_of_range_unit_is_empty() {
+        let d = design("x <= a;", "y <= a;");
+        assert_eq!(unit_canonical_text(&d, 99), "");
+    }
+}

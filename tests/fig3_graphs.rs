@@ -5,10 +5,10 @@ use bench::workloads::{design_of, program_a_src, program_b_src};
 use vhdl_infoflow::infoflow::{analyze_with, AnalysisOptions};
 
 fn base_sequential() -> AnalysisOptions {
-    AnalysisOptions {
-        improved: false,
-        ..AnalysisOptions::sequential_illustration()
-    }
+    AnalysisOptions::sequential_illustration()
+        .to_builder()
+        .improved(false)
+        .build()
 }
 
 #[test]

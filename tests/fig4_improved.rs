@@ -39,10 +39,10 @@ fn base_analysis_cannot_make_the_initial_value_distinction() {
     let design = design_of(&program_b_src());
     let result = analyze_with(
         &design,
-        &AnalysisOptions {
-            improved: false,
-            ..AnalysisOptions::sequential_illustration()
-        },
+        &AnalysisOptions::sequential_illustration()
+            .to_builder()
+            .improved(false)
+            .build(),
     );
     let g = result.flow_graph();
     assert!(g.nodes().all(|n| n.is_plain()));

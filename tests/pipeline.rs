@@ -95,7 +95,7 @@ proptest! {
     #[test]
     fn rd_based_graph_is_subgraph_of_kemmerer(src in arb_program()) {
         let design = frontend(&src).unwrap();
-        let opts = AnalysisOptions { improved: false, ..AnalysisOptions::sequential_illustration() };
+        let opts = AnalysisOptions::sequential_illustration().to_builder().improved(false).build();
         let result = analyze_with(&design, &opts);
         let ours = result.base_flow_graph();
         let kemmerer = result.kemmerer_flow_graph();
